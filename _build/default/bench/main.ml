@@ -1,0 +1,901 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation section. Run everything with
+
+     dune exec bench/main.exe
+
+   or a subset by name:
+
+     dune exec bench/main.exe -- fig9 fig11 formulas
+
+   Absolute numbers come from the calibrated simulator (DESIGN.md);
+   the reproduction targets are the shapes — who wins, by what
+   factor, where crossovers fall. EXPERIMENTS.md records the
+   side-by-side against the paper. Set PAXI_BENCH_QUICK=1 for a
+   shortened smoke run. *)
+
+open Paxi_benchmark
+open Paxi_model
+
+let quick = Sys.getenv_opt "PAXI_BENCH_QUICK" = Some "1"
+let measured_ms = if quick then 1_000.0 else 2_000.0
+let warmup_ms = if quick then 300.0 else 1_000.0
+
+(* ------------------------------------------------------------------ *)
+(* Shared experiment plumbing                                          *)
+(* ------------------------------------------------------------------ *)
+
+let zoned_protocols = [ "wpaxos"; "wankeeper"; "vpaxos" ]
+
+(* LAN deployments of multi-leader protocols use three co-located
+   zones (a single AZ): LAN latencies, zone structure for leaders. *)
+let lan_topology name n =
+  if List.mem name zoned_protocols then
+    Topology.custom
+      ~replica_regions:
+        (List.concat_map
+           (fun z -> List.init (n / 3) (fun _ -> Region.make z))
+           [ "az-a"; "az-b"; "az-c" ])
+      ~rtt_ms:(fun _ _ -> 0.4271)
+      ~jitter:0.02 ()
+  else Topology.lan ~n_replicas:n ()
+
+(* Clients of a zoned LAN deployment are spread across the co-located
+   zones (they connect through some replica's zone), so owner-side
+   locality tracking sees a uniform mix and does not collapse
+   ownership onto one leader. *)
+let lan_client_specs name ~concurrency workload =
+  if List.mem name zoned_protocols then
+    List.map
+      (fun z ->
+        Runner.clients ~region:(Region.make z) ~target:Runner.Round_robin
+          ~count:(Stdlib.max 1 (concurrency / 3))
+          workload)
+      [ "az-a"; "az-b"; "az-c" ]
+  else [ Runner.clients ~target:Runner.Round_robin ~count:concurrency workload ]
+
+(* One LAN measurement point at a concurrency level, on the paper's
+   uniform 1000-key 50%-write workload (§5.2). *)
+let lan_point name ~concurrency =
+  let (module P) = Paxi_protocols.Registry.find_exn name in
+  let n = 9 in
+  let config = Config.default ~n_replicas:n in
+  let spec =
+    Runner.spec ~warmup_ms ~duration_ms:measured_ms ~config
+      ~topology:(lan_topology name n)
+      ~client_specs:(lan_client_specs name ~concurrency Workload.default)
+      ()
+  in
+  Runner.run (module P) spec
+
+let concurrency_grid = if quick then [ 2; 16; 48 ] else [ 1; 8; 32; 64 ]
+
+let lan_series name =
+  List.map
+    (fun c ->
+      let r = lan_point name ~concurrency:c in
+      (c, r.Runner.throughput_rps, Stats.mean r.Runner.latency))
+    concurrency_grid
+
+let series_rows series =
+  List.map
+    (fun (c, thr, lat) -> [ string_of_int c; Report.frate thr; Report.fms lat ])
+    series
+
+let max_throughput series =
+  List.fold_left (fun acc (_, thr, _) -> Float.max acc thr) 0.0 series
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 — queueing models                                           *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  Report.section "Table 1: queue waiting-time models (mu = 5000/s, waits in ms)";
+  let mu = 5000.0 in
+  let kinds =
+    [
+      ("M/M/1", Queueing.Mm1);
+      ("M/D/1", Queueing.Md1);
+      ("M/G/1 cs2=0.5", Queueing.Mg1 { service_cv2 = 0.5 });
+      ("G/G/1 ca2=1 cs2=0.5", Queueing.Gg1 { arrival_cv2 = 1.0; service_cv2 = 0.5 });
+    ]
+  in
+  Report.print_table
+    ~header:("rho" :: List.map fst kinds)
+    ~rows:
+      (List.map
+         (fun rho ->
+           let lambda = rho *. mu in
+           Printf.sprintf "%.2f" rho
+           :: List.map
+                (fun (_, k) ->
+                  Report.fms (Queueing.wait_time k ~lambda ~mu *. 1000.0))
+                kinds)
+         [ 0.1; 0.3; 0.5; 0.7; 0.9; 0.95 ]);
+  print_endline "(M/D/1 is half of M/M/1 at equal rho, as the formulas require)"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3 — LAN RTT histogram                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  Report.section "Fig 3: intra-region RTT distribution, N(0.4271, 0.0476)";
+  let rng = Rng.create ~seed:3 in
+  let s = Stats.create () in
+  for _ = 1 to 20_000 do
+    Stats.add s (Dist.sample (Dist.normal_pos ~mu:0.4271 ~sigma:0.0476) rng)
+  done;
+  Printf.printf "sampled: mu=%.4f sigma=%.4f (paper: mu=0.4271 sigma=0.0476)\n"
+    (Stats.mean s) (Stats.stddev s);
+  List.iter
+    (fun (lo, _hi, count) ->
+      Printf.printf "  %.3f ms  %s\n" lo (String.make (count / 150) '#'))
+    (Stats.histogram s ~bins:24)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4 — queueing models vs the Paxi reference implementation       *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  Report.section "Fig 4: queueing models vs Paxi/Paxos (9-node LAN)";
+  let node = Service.default_node ~n:9 in
+  let rng = Rng.create ~seed:4 in
+  let measured = lan_series "paxos" in
+  let model kind thr =
+    match
+      Latency_model.lan_point ~queue:kind Latency_model.Paxos ~node
+        ~lan:Latency_model.default_lan ~rng ~lambda_rps:thr
+    with
+    | Some p -> Report.fms p.Latency_model.latency_ms
+    | None -> "-"
+  in
+  Report.print_table
+    ~header:[ "throughput"; "M/M/1"; "M/D/1"; "M/G/1"; "G/G/1"; "Paxi (measured)" ]
+    ~rows:
+      (List.map
+         (fun (_, thr, lat) ->
+           [
+             Report.frate thr;
+             model Queueing.Mm1 thr;
+             model Queueing.Md1 thr;
+             model (Queueing.Mg1 { service_cv2 = 0.0 }) thr;
+             model (Queueing.Gg1 { arrival_cv2 = 1.0; service_cv2 = 0.0 }) thr;
+             Report.fms lat;
+           ])
+         measured);
+  print_endline
+    "(M/D/1 and M/G/1 track the measured curve most closely; the paper\n\
+     selects M/D/1 for the rest of the analysis, and so do we)"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7 — Paxi/Paxos vs an independent Raft                          *)
+(* ------------------------------------------------------------------ *)
+
+let fig7 () =
+  Report.section "Fig 7: Paxi/Paxos vs independent Raft (9 replicas, LAN)";
+  let paxos = lan_series "paxos" in
+  let raft = lan_series "raft" in
+  Report.print_table
+    ~header:[ "clients"; "paxos ops/s"; "paxos lat"; "raft ops/s"; "raft lat" ]
+    ~rows:
+      (List.map2
+         (fun (c, pt, pl) (_, rt, rl) ->
+           [ string_of_int c; Report.frate pt; Report.fms pl;
+             Report.frate rt; Report.fms rl ])
+         paxos raft);
+  let pmax = max_throughput paxos and rmax = max_throughput raft in
+  Printf.printf
+    "max throughput: paxos %.0f, raft %.0f (ratio %.2f — the same\n\
+     single-leader ceiling, as the paper finds for Paxi/Paxos vs etcd)\n"
+    pmax rmax (rmax /. pmax)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 8 — modeled LAN performance                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fig8_protocols =
+  [
+    ("multipaxos", Latency_model.Paxos);
+    ("fpaxos |q2|=3", Latency_model.Fpaxos { q2 = 3 });
+    ("epaxos", Latency_model.Epaxos { conflict = 0.05 });
+    ("wpaxos", Latency_model.Wpaxos { leaders = 3; locality = 1.0; fz = 0 });
+  ]
+
+let fig8 () =
+  Report.section "Fig 8a: modeled LAN latency vs throughput (9 nodes)";
+  let node = Service.default_node ~n:9 in
+  let rng = Rng.create ~seed:8 in
+  List.iter
+    (fun (name, proto) ->
+      let cap = Latency_model.lan_max_throughput proto ~node in
+      Printf.printf "\n%s (max %.0f rounds/s)\n" name cap;
+      let lambdas = List.map (fun f -> f *. cap) [ 0.2; 0.4; 0.6; 0.8; 0.95 ] in
+      List.iter
+        (fun (p : Latency_model.point) ->
+          Printf.printf "  %8.0f rps  %7.3f ms\n" p.Latency_model.throughput_rps
+            p.Latency_model.latency_ms)
+        (Latency_model.lan_curve proto ~node ~lan:Latency_model.default_lan ~rng
+           ~lambdas))
+    fig8_protocols;
+  Report.section "Fig 8b: latency at low throughput (2000 rounds/s)";
+  Report.print_table ~header:[ "protocol"; "latency (ms)" ]
+    ~rows:
+      (List.map
+         (fun (name, proto) ->
+           [
+             name;
+             (match
+                Latency_model.lan_point proto ~node ~lan:Latency_model.default_lan
+                  ~rng ~lambda_rps:2000.0
+              with
+             | Some p -> Report.fms p.Latency_model.latency_ms
+             | None -> "-");
+           ])
+         fig8_protocols)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 9 — experimental LAN performance                               *)
+(* ------------------------------------------------------------------ *)
+
+let fig9 () =
+  Report.section
+    "Fig 9: experimental LAN latency vs throughput (9 nodes, 1000 keys, 50% writes)";
+  let names = [ "paxos"; "fpaxos"; "epaxos"; "wpaxos"; "wankeeper" ] in
+  let all = List.map (fun n -> (n, lan_series n)) names in
+  List.iter
+    (fun (name, series) ->
+      Printf.printf "\n%s\n" name;
+      Report.print_table ~header:[ "clients"; "ops/s"; "mean latency (ms)" ]
+        ~rows:(series_rows series))
+    all;
+  let cap name = max_throughput (List.assoc name all) in
+  Report.section "Fig 9 summary (the paper's qualitative findings)";
+  Printf.printf "single-leader ceiling: paxos %.0f, fpaxos %.0f ops/s (same bottleneck)\n"
+    (cap "paxos") (cap "fpaxos");
+  Printf.printf "wpaxos vs paxos:       %.0f vs %.0f = +%.0f%% (paper: ~+55%%)\n"
+    (cap "wpaxos") (cap "paxos")
+    (((cap "wpaxos" /. cap "paxos") -. 1.0) *. 100.0);
+  Printf.printf "wankeeper vs wpaxos:   %.0f vs %.0f (hierarchy trims leader load)\n"
+    (cap "wankeeper") (cap "wpaxos");
+  Printf.printf "epaxos:                %.0f ops/s (dependency-bookkeeping penalty)\n"
+    (cap "epaxos")
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 10 — modeled WAN performance                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig10 () =
+  Report.section "Fig 10: modeled WAN latency vs aggregate throughput (5 regions)";
+  let node = Service.default_node ~n:5 in
+  let wan = Latency_model.default_wan in
+  let entries =
+    [
+      ("multipaxos (CA leader)", Latency_model.Paxos, Region.california);
+      ("fpaxos |q2|=2 (CA leader)", Latency_model.Fpaxos { q2 = 2 }, Region.california);
+      ("epaxos (conflict=0.3)", Latency_model.Epaxos { conflict = 0.3 }, Region.virginia);
+      ( "epaxos (conflict=[0.02,0.70])",
+        Latency_model.Epaxos_adaptive { conflict_lo = 0.02; conflict_hi = 0.70 },
+        Region.virginia );
+      ( "wpaxos (locality=0.7)",
+        Latency_model.Wpaxos { leaders = 5; locality = 0.7; fz = 0 },
+        Region.virginia );
+    ]
+  in
+  List.iter
+    (fun (name, proto, leader_region) ->
+      let cap = Latency_model.lan_max_throughput proto ~node in
+      Printf.printf "\n%s\n" name;
+      let lambdas = List.map (fun f -> f *. cap) [ 0.2; 0.5; 0.8; 0.95 ] in
+      List.iter
+        (fun (p : Latency_model.point) ->
+          Printf.printf "  %8.0f rps  %8.3f ms\n" p.Latency_model.throughput_rps
+            p.Latency_model.latency_ms)
+        (Latency_model.wan_curve proto ~node ~wan ~leader_region ~lambdas))
+    entries;
+  print_endline
+    "\n(>100 ms separates Paxos from WPaxos; flexible quorums cut FPaxos'\n\
+     quorum wait; adaptive-conflict EPaxos degrades as load grows)"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 11 — conflict experiments across regions                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig11_regions = [ Region.virginia; Region.ohio; Region.california ]
+
+let fig11_run name ~fz ~conflict =
+  let (module P) = Paxi_protocols.Registry.find_exn name in
+  (* Paxos's stable leader is replica 0, i.e. the first region: home
+     it with the hot object in Ohio, like the other protocols *)
+  let topo_regions =
+    if name = "paxos" then Region.[ ohio; virginia; california ]
+    else fig11_regions
+  in
+  let topology = Topology.wan ~regions:topo_regions ~replicas_per_region:3 () in
+  let config =
+    {
+      (Config.default ~n_replicas:9) with
+      Config.fz;
+      master_region_index = 1 (* Ohio *);
+      initial_object_owner =
+        (if name = "epaxos" || name = "paxos" then None else Some 1);
+    }
+  in
+  let client_specs =
+    List.mapi
+      (fun i region ->
+        Runner.clients ~region ~count:2
+          {
+            Workload.default with
+            Workload.keys = 900;
+            min_key = 100;
+            hot_key = 0 (* the designated conflict object, homed in Ohio *);
+            conflict_ratio = conflict;
+            dist =
+              (let k = 900.0 in
+               Workload.Normal
+                 {
+                   mu = (float_of_int i +. 0.5) *. k /. 3.0;
+                   sigma = k /. 9.0;
+                   speed_ms = 0.0;
+                   drift = 0.0;
+                 });
+          })
+      fig11_regions
+  in
+  let spec =
+    Runner.spec ~warmup_ms ~duration_ms:measured_ms ~config ~topology
+      ~client_specs ()
+  in
+  let r = Runner.run (module P) spec in
+  List.map
+    (fun region ->
+      match
+        List.find_opt (fun (rg, _) -> Region.equal rg region) r.Runner.per_region
+      with
+      | Some (_, s) -> Stats.mean s
+      | None -> nan)
+    fig11_regions
+
+let fig11 () =
+  Report.section
+    "Fig 11: per-region latency under a conflict workload (hot object in Ohio)";
+  let configs =
+    [
+      ("wpaxos fz=0", "wpaxos", 0);
+      ("wpaxos fz=1", "wpaxos", 1);
+      ("wankeeper", "wankeeper", 0);
+      ("epaxos", "epaxos", 0);
+      ("vpaxos", "vpaxos", 0);
+      ("paxos", "paxos", 0);
+    ]
+  in
+  let conflicts =
+    if quick then [ 0.0; 0.5; 1.0 ] else [ 0.0; 0.2; 0.4; 0.6; 0.8; 1.0 ]
+  in
+  let results =
+    List.map
+      (fun (label, name, fz) ->
+        (label, List.map (fun c -> (c, fig11_run name ~fz ~conflict:c)) conflicts))
+      configs
+  in
+  List.iteri
+    (fun ri region ->
+      Printf.printf "\n(%c) %s — mean latency (ms)\n"
+        (Char.chr (Char.code 'a' + ri))
+        (Region.name region);
+      Report.print_table
+        ~header:("conflict" :: List.map fst results)
+        ~rows:
+          (List.map
+             (fun c ->
+               Printf.sprintf "%.0f%%" (c *. 100.0)
+               :: List.map
+                    (fun (_, series) ->
+                      let _, per_region =
+                        List.find (fun (c', _) -> c' = c) series
+                      in
+                      Report.fms (List.nth per_region ri))
+                    results)
+             conflicts))
+    fig11_regions;
+  print_endline
+    "\n(fz=0 protocols keep flat latency for non-conflicting commands;\n\
+     Ohio, the hot object's home, stays near local latency except\n\
+     under leaderless EPaxos; EPaxos degrades non-linearly in the\n\
+     remote regions as the conflict ratio grows)"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 12 — modeled EPaxos capacity vs conflict ratio                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig12 () =
+  Report.section "Fig 12: modeled max throughput vs conflict ratio (5 nodes)";
+  let node = Service.default_node ~n:5 in
+  let paxos_cap = Latency_model.lan_max_throughput Latency_model.Paxos ~node in
+  Report.print_table
+    ~header:[ "conflict %"; "epaxos max (rps)"; "paxos max (rps)" ]
+    ~rows:
+      (List.map
+         (fun c ->
+           [
+             Printf.sprintf "%.0f" (c *. 100.0);
+             Report.frate
+               (Latency_model.lan_max_throughput
+                  (Latency_model.Epaxos { conflict = c })
+                  ~node);
+             Report.frate paxos_cap;
+           ])
+         [ 0.0; 0.2; 0.4; 0.6; 0.8; 1.0 ]);
+  let cap c =
+    Latency_model.lan_max_throughput (Latency_model.Epaxos { conflict = c }) ~node
+  in
+  Printf.printf "degradation c=0 -> c=1: %.0f%% (paper: as much as ~40%%)\n"
+    ((1.0 -. (cap 1.0 /. cap 0.0)) *. 100.0)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 13 — locality workload across 5 regions                        *)
+(* ------------------------------------------------------------------ *)
+
+let fig13_regions = Region.aws_five
+
+let fig13_run label name ~fz =
+  let (module P) = Paxi_protocols.Registry.find_exn name in
+  let per = 1 in
+  let n = per * List.length fig13_regions in
+  let topology = Topology.wan ~regions:fig13_regions ~replicas_per_region:per () in
+  let config =
+    {
+      (Config.default ~n_replicas:n) with
+      Config.fz;
+      master_region_index = 1 (* Ohio *);
+      initial_object_owner = (if List.mem name zoned_protocols then Some 1 else None);
+    }
+  in
+  let client_specs =
+    List.mapi
+      (fun i region ->
+        Runner.clients ~region ~count:2
+          (Workload.with_locality
+             { Workload.default with Workload.keys = 1000 }
+             ~region_index:i
+             ~regions:(List.length fig13_regions)))
+      fig13_regions
+  in
+  (* the paper runs this workload for 60 s so object placement can
+     settle; give adaptation a long warmup in full mode *)
+  let spec =
+    Runner.spec
+      ~warmup_ms:(if quick then 2_000.0 else 8_000.0)
+      ~duration_ms:(if quick then 3_000.0 else 20_000.0)
+      ~config ~topology ~client_specs ()
+  in
+  (label, Runner.run (module P) spec)
+
+let fig13 () =
+  let results =
+    [
+      fig13_run "wpaxos fz=0" "wpaxos" ~fz:0;
+      fig13_run "wankeeper" "wankeeper" ~fz:0;
+      fig13_run "vpaxos" "vpaxos" ~fz:0;
+      fig13_run "wpaxos fz=1" "wpaxos" ~fz:1;
+      fig13_run "paxos" "paxos" ~fz:0;
+      fig13_run "epaxos" "epaxos" ~fz:0;
+    ]
+  in
+  Report.section
+    "Fig 13a: average latency per region, locality workload (objects start in Ohio)";
+  Report.print_table
+    ~header:("protocol" :: List.map Region.name fig13_regions)
+    ~rows:
+      (List.map
+         (fun (label, (r : Runner.result)) ->
+           label
+           :: List.map
+                (fun region ->
+                  match
+                    List.find_opt
+                      (fun (rg, _) -> Region.equal rg region)
+                      r.Runner.per_region
+                  with
+                  | Some (_, s) -> Report.fms (Stats.mean s)
+                  | None -> "-")
+                fig13_regions)
+         results);
+  Report.section "Fig 13b: latency CDF (ms at quantile)";
+  let quantiles = [ 25.0; 50.0; 75.0; 90.0; 99.0 ] in
+  Report.print_table
+    ~header:
+      ("protocol" :: List.map (fun q -> Printf.sprintf "p%.0f" q) quantiles)
+    ~rows:
+      (List.map
+         (fun (label, (r : Runner.result)) ->
+           label
+           :: List.map
+                (fun q -> Report.fms (Stats.percentile r.Runner.latency q))
+                quantiles)
+         results);
+  print_endline
+    "\n(WanKeeper favours the master region at the other regions' cost;\n\
+     WPaxos and VPaxos balance objects and show near-identical CDFs)"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 14 / Table 4 / Section-6 formulas                              *)
+(* ------------------------------------------------------------------ *)
+
+let fig14 () =
+  Report.section "Table 4: parameters explored by each protocol";
+  Report.print_table ~header:[ "parameter"; "protocols" ]
+    ~rows:(List.map (fun (p, ps) -> [ p; String.concat ", " ps ]) Formulas.table4);
+  Report.section "Fig 14: protocol selection flowchart (all decision paths)";
+  List.iter
+    (fun ((_ : Advisor.deployment), r) -> Format.printf "  %a@." Advisor.pp r)
+    Advisor.all_paths
+
+let formulas () =
+  Report.section "Section 6 formulas (load, capacity, latency)";
+  let n = 9 in
+  Printf.printf "Formula 3: L(S) = (1+c)(Q+L-2)/L\n";
+  Printf.printf "Eq 4: L(Paxos,N=9)      = %.3f (paper: 4)\n" (Formulas.load_paxos ~n);
+  Printf.printf "Eq 5: L(EPaxos,N=9,c=0) = %.3f (paper: 4/3)\n"
+    (Formulas.load_epaxos ~n ~conflict:0.0);
+  Printf.printf "Eq 5: L(EPaxos,N=9,c=1) = %.3f (paper: 8/3)\n"
+    (Formulas.load_epaxos ~n ~conflict:1.0);
+  Printf.printf "Eq 6: L(WPaxos,N=9,L=3) = %.3f (paper: 4/3)\n"
+    (Formulas.load_wpaxos ~n ~leaders:3);
+  Printf.printf "Formula 7: latency(c=0, l=0.7, DL=75ms, DQ=11ms) = %.1f ms\n"
+    (Formulas.latency ~conflict:0.0 ~locality:0.7 ~dl_ms:75.0 ~dq_ms:11.0)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (design decisions called out in DESIGN.md)                *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_run name ~config ~concurrency =
+  let (module P) = Paxi_protocols.Registry.find_exn name in
+  let spec =
+    Runner.spec ~warmup_ms ~duration_ms:measured_ms ~config
+      ~topology:(Topology.lan ~n_replicas:config.Config.n_replicas ())
+      ~client_specs:
+        [ Runner.clients ~target:Runner.Round_robin ~count:concurrency Workload.default ]
+      ()
+  in
+  Runner.run (module P) spec
+
+let ablate_thrifty () =
+  Report.section "Ablation: thrifty quorums (paxos, 9-node LAN, 32 clients)";
+  let run thrifty =
+    ablation_run "paxos"
+      ~config:{ (Config.default ~n_replicas:9) with Config.thrifty }
+      ~concurrency:32
+  in
+  Report.print_table
+    ~header:[ "thrifty"; "ops/s"; "mean lat (ms)"; "leader busy (ms)"; "msgs" ]
+    ~rows:
+      (List.map
+         (fun (label, (r : Runner.result)) ->
+           [
+             label;
+             Report.frate r.Runner.throughput_rps;
+             Report.fms (Stats.mean r.Runner.latency);
+             Report.frate r.Runner.busiest_node_busy_ms;
+             string_of_int r.Runner.messages_sent;
+           ])
+         [ ("off", run false); ("on", run true) ]);
+  print_endline
+    "(thrifty cuts the leader's copies from N-1 to Q-1 per round —\n\
+     the assumption behind Formula 3)"
+
+let ablate_commit () =
+  Report.section "Ablation: piggybacked vs explicit commit (paxos, 9-node LAN)";
+  let run piggyback_commit =
+    ablation_run "paxos"
+      ~config:{ (Config.default ~n_replicas:9) with Config.piggyback_commit }
+      ~concurrency:32
+  in
+  Report.print_table
+    ~header:[ "commit"; "ops/s"; "mean lat (ms)"; "msgs" ]
+    ~rows:
+      (List.map
+         (fun (label, (r : Runner.result)) ->
+           [
+             label;
+             Report.frate r.Runner.throughput_rps;
+             Report.fms (Stats.mean r.Runner.latency);
+             string_of_int r.Runner.messages_sent;
+           ])
+         [ ("piggybacked", run true); ("explicit", run false) ])
+
+let ablate_penalty () =
+  Report.section "Ablation: EPaxos dependency-bookkeeping penalty (9-node LAN)";
+  Report.print_table
+    ~header:[ "penalty"; "ops/s"; "mean lat (ms)" ]
+    ~rows:
+      (List.map
+         (fun p ->
+           let r =
+             ablation_run "epaxos"
+               ~config:{ (Config.default ~n_replicas:9) with Config.epaxos_penalty = p }
+               ~concurrency:48
+           in
+           [
+             Printf.sprintf "%.1fx" p;
+             Report.frate r.Runner.throughput_rps;
+             Report.fms (Stats.mean r.Runner.latency);
+           ])
+         [ 1.0; 2.0; 3.0; 4.0 ]);
+  print_endline
+    "(without the processing penalty EPaxos out-throughputs Paxos — the\n\
+     penalty drives its poor LAN showing, exactly as the paper argues)"
+
+(* ------------------------------------------------------------------ *)
+(* §4.2 benchmark tiers: scalability, availability, YCSB            *)
+(* ------------------------------------------------------------------ *)
+
+let scalability () =
+  Report.section
+    "Scalability tier (§4.2): throughput vs cluster size and key-space size";
+  let run name n keys =
+    let (module P) = Paxi_protocols.Registry.find_exn name in
+    let spec =
+      Runner.spec ~warmup_ms ~duration_ms:measured_ms
+        ~config:(Config.default ~n_replicas:n)
+        ~topology:(Topology.lan ~n_replicas:n ())
+        ~client_specs:
+          [ Runner.clients ~target:Runner.Round_robin ~count:32
+              { Workload.default with Workload.keys } ]
+        ()
+    in
+    Runner.run (module P) spec
+  in
+  Printf.printf "\ncluster-size sweep (paxos vs epaxos, 1000 keys):\n";
+  Report.print_table
+    ~header:[ "nodes"; "paxos ops/s"; "epaxos ops/s" ]
+    ~rows:
+      (List.map
+         (fun n ->
+           [
+             string_of_int n;
+             Report.frate (run "paxos" n 1000).Runner.throughput_rps;
+             Report.frate (run "epaxos" n 1000).Runner.throughput_rps;
+           ])
+         [ 3; 5; 7; 9 ]);
+  Printf.printf
+    "\n(single-leader throughput shrinks with N — the leader handles N+2\n\
+     messages per round — while leaderless protocols hold up)\n";
+  Printf.printf "\nkey-space sweep (paxos, 9 nodes):\n";
+  Report.print_table
+    ~header:[ "keys"; "ops/s" ]
+    ~rows:
+      (List.map
+         (fun k ->
+           [ string_of_int k; Report.frate (run "paxos" 9 k).Runner.throughput_rps ])
+         [ 100; 1000; 10_000 ])
+
+let availability () =
+  Report.section
+    "Availability tier (§4.2): throughput timeline across a leader crash";
+  let (module P) = Paxi_protocols.Registry.find_exn "paxos" in
+  let crash_at = 6_000.0 and crash_for = 8_000.0 in
+  let spec =
+    Runner.spec ~warmup_ms:500.0 ~duration_ms:20_000.0 ~collect_history:true
+      ~faults:(fun f ->
+        Faults.crash f ~node:(Address.replica 0) ~from_ms:crash_at
+          ~duration_ms:crash_for)
+      ~config:(Config.default ~n_replicas:5)
+      ~topology:(Topology.lan ~n_replicas:5 ())
+      ~client_specs:
+        [ Runner.clients ~target:Runner.Round_robin ~count:8
+            { Workload.default with Workload.keys = 100 } ]
+      ()
+  in
+  let result = Runner.run (module P) spec in
+  let buckets = Hashtbl.create 32 in
+  List.iter
+    (fun (op : Linearizability.op) ->
+      let b = int_of_float (op.Linearizability.responded_ms /. 1_000.0) in
+      Hashtbl.replace buckets b
+        (1 + Option.value (Hashtbl.find_opt buckets b) ~default:0))
+    result.Runner.history;
+  for b = 0 to 20 do
+    let count = Option.value (Hashtbl.find_opt buckets b) ~default:0 in
+    let note =
+      if float_of_int b *. 1_000.0 >= crash_at
+         && float_of_int b *. 1_000.0 < crash_at +. crash_for
+      then "  <- leader down"
+      else ""
+    in
+    Printf.printf "  t=%2d s  %6d ops%s\n" b count note
+  done;
+  Printf.printf
+    "(single-leader Paxos loses availability until failover elects a new\n\
+     leader; multi-leader protocols only lose the crashed leader's share)\n"
+
+let ycsb () =
+  Report.section "YCSB core workloads (paxos vs epaxos vs wpaxos, 9-node LAN)";
+  let run name kind =
+    let (module P) = Paxi_protocols.Registry.find_exn name in
+    let spec =
+      Runner.spec ~warmup_ms ~duration_ms:measured_ms
+        ~config:(Config.default ~n_replicas:9)
+        ~topology:(lan_topology name 9)
+        ~client_specs:(lan_client_specs name ~concurrency:32 (Workload.ycsb kind ~keys:1000))
+        ()
+    in
+    Runner.run (module P) spec
+  in
+  let kinds = [ ("A (50/50)", `A); ("B (95/5)", `B); ("C (reads)", `C);
+                ("D (latest)", `D); ("F (rmw)", `F) ] in
+  Report.print_table
+    ~header:[ "workload"; "paxos ops/s"; "epaxos ops/s"; "wpaxos ops/s" ]
+    ~rows:
+      (List.map
+         (fun (label, kind) ->
+           [
+             label;
+             Report.frate (run "paxos" kind).Runner.throughput_rps;
+             Report.frate (run "epaxos" kind).Runner.throughput_rps;
+             Report.frate (run "wpaxos" kind).Runner.throughput_rps;
+           ])
+         kinds);
+  print_endline
+    "(read-heavy workloads favour the leaderless fast path — the Fig. 14\n\
+     guidance; zipfian skew concentrates WPaxos ownership churn)"
+
+let openloop () =
+  Report.section
+    "Open-loop cross-validation: Poisson arrivals vs the M/D/1 model (paxos)";
+  let (module P) = Paxi_protocols.Registry.find_exn "paxos" in
+  let node = Service.default_node ~n:9 in
+  let rng = Rng.create ~seed:44 in
+  let cap = Latency_model.lan_max_throughput Latency_model.Paxos ~node in
+  Report.print_table
+    ~header:[ "offered load (rps)"; "measured lat (ms)"; "M/D/1 model (ms)" ]
+    ~rows:
+      (List.map
+         (fun frac ->
+           let rate = frac *. cap in
+           let spec =
+             Runner.spec ~warmup_ms ~duration_ms:measured_ms
+               ~config:(Config.default ~n_replicas:9)
+               ~topology:(Topology.lan ~n_replicas:9 ())
+               ~client_specs:
+                 [ (* straight to the leader, as the model's DL assumes *)
+                   Runner.clients ~target:(Runner.Fixed 0)
+                     ~arrival:(Runner.Open { rate_per_sec = rate /. 4.0 })
+                     ~count:4 Workload.default ]
+               ()
+           in
+           let r = Runner.run (module P) spec in
+           [
+             Report.frate rate;
+             Report.fms (Stats.mean r.Runner.latency);
+             (match
+                Latency_model.lan_point Latency_model.Paxos ~node
+                  ~lan:Latency_model.default_lan ~rng ~lambda_rps:rate
+              with
+             | Some p -> Report.fms p.Latency_model.latency_ms
+             | None -> "-");
+           ])
+         [ 0.2; 0.4; 0.6; 0.8 ]);
+  print_endline
+    "(Poisson arrivals match the model's M/D/1 assumption directly, so\n\
+     measured and modeled latencies should track closely until the knee)"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per experiment family      *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel () =
+  Report.section "Bechamel micro-benchmarks (one per table/figure family)";
+  let open Bechamel in
+  let node = Service.default_node ~n:9 in
+  let rng = Rng.create ~seed:42 in
+  let lan = Latency_model.default_lan in
+  let tests =
+    [
+      Test.make ~name:"table1_md1_wait"
+        (Staged.stage (fun () ->
+             ignore (Queueing.wait_time Queueing.Md1 ~lambda:4000.0 ~mu:5000.0)));
+      Test.make ~name:"fig3_rtt_sample"
+        (Staged.stage (fun () ->
+             ignore (Dist.sample (Dist.normal_pos ~mu:0.4271 ~sigma:0.0476) rng)));
+      Test.make ~name:"fig8_lan_model_point"
+        (Staged.stage (fun () ->
+             ignore
+               (Latency_model.lan_point Latency_model.Paxos ~node ~lan ~rng
+                  ~lambda_rps:3000.0)));
+      Test.make ~name:"fig10_wan_model_point"
+        (Staged.stage (fun () ->
+             ignore
+               (Latency_model.wan_point Latency_model.Paxos ~node
+                  ~wan:Latency_model.default_wan ~leader_region:Region.california
+                  ~lambda_rps:3000.0)));
+      Test.make ~name:"fig12_load_formula"
+        (Staged.stage (fun () -> ignore (Formulas.load_epaxos ~n:9 ~conflict:0.3)));
+      Test.make ~name:"fig9_paxos_command_roundtrip"
+        (Staged.stage (fun () ->
+             let module C = Cluster.Make (Paxi_protocols.Paxos) in
+             let config = Config.default ~n_replicas:5 in
+             let cluster =
+               C.create ~config ~topology:(Topology.lan ~n_replicas:5 ()) ()
+             in
+             C.register_client cluster ~id:0 ();
+             let command = Command.make ~id:0 ~client:0 (Command.Put (1, 1)) in
+             C.submit cluster ~client:0 ~target:0 ~command ~on_reply:(fun _ -> ());
+             Sim.run_until (C.sim cluster) 100.0));
+      Test.make ~name:"fig14_advisor"
+        (Staged.stage (fun () ->
+             ignore
+               (Advisor.recommend
+                  {
+                    Advisor.needs_consensus = true;
+                    wan = true;
+                    read_heavy = false;
+                    locality = Advisor.Dynamic_locality;
+                    region_failure_concern = true;
+                  })));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.3) ~kde:None () in
+  let raw =
+    Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"paxi" tests)
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ e ] -> Printf.sprintf "%.0f" e
+        | _ -> "-"
+      in
+      rows := [ name; est ] :: !rows)
+    results;
+  Report.print_table ~header:[ "micro-benchmark"; "ns/run" ]
+    ~rows:(List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("fig13", fig13);
+    ("fig14", fig14);
+    ("formulas", formulas);
+    ("scalability", scalability);
+    ("availability", availability);
+    ("ycsb", ycsb);
+    ("openloop", openloop);
+    ("ablate-thrifty", ablate_thrifty);
+    ("ablate-commit", ablate_commit);
+    ("ablate-penalty", ablate_penalty);
+    ("bechamel", bechamel);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %S (known: %s)\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+    requested

@@ -1,0 +1,1 @@
+bin/paxi_model_run.ml: Advisor Arg Cmd Cmdliner Format Formulas Latency_model List Paxi_model Printf Region Rng Service Term

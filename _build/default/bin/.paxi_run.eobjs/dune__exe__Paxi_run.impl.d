@@ -1,0 +1,1 @@
+bin/paxi_run.ml: Address Arg Cmd Cmdliner Config Faults Format Linearizability List Option Paxi_benchmark Paxi_protocols Printf Region Result Runner Stats Stdlib String Term Topology Workload

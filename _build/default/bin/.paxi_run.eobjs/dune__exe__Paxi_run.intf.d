@@ -1,0 +1,1 @@
+bin/paxi_run.mli:

@@ -1,0 +1,115 @@
+(* paxi_model_run — evaluate the analytic model: queueing formulas,
+   per-protocol LAN/WAN latency-throughput curves, and the Section 6
+   load/capacity formulas, printed as tables. *)
+
+open Cmdliner
+open Paxi_model
+
+let mode_arg =
+  Arg.(
+    value
+    & opt (enum [ ("lan", `Lan); ("wan", `Wan); ("load", `Load); ("advise", `Advise) ]) `Lan
+    & info [ "m"; "mode" ] ~docv:"MODE"
+        ~doc:"What to evaluate: lan curves, wan curves, load formulas, or \
+              the protocol advisor decision table.")
+
+let nodes_arg =
+  Arg.(value & opt int 9 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+
+let conflict_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "conflict" ] ~docv:"C" ~doc:"EPaxos conflict probability.")
+
+let points_arg =
+  Arg.(value & opt int 12 & info [ "points" ] ~docv:"P" ~doc:"Curve points.")
+
+let curve_lambdas cap points =
+  List.init points (fun i ->
+      cap *. (float_of_int (i + 1) /. float_of_int (points + 1)))
+
+let lan_table n conflict points =
+  let node = Service.default_node ~n in
+  let rng = Rng.create ~seed:7 in
+  let protos =
+    [
+      Latency_model.Paxos;
+      Latency_model.Fpaxos { q2 = 3 };
+      Latency_model.Epaxos { conflict };
+      Latency_model.Wpaxos { leaders = 3; locality = 1.0; fz = 0 };
+      Latency_model.Wankeeper { leaders = 3; locality = 1.0 };
+    ]
+  in
+  List.iter
+    (fun proto ->
+      let cap = Latency_model.lan_max_throughput proto ~node in
+      Printf.printf "\n%s (max %.0f rounds/s)\n"
+        (Latency_model.protocol_name proto)
+        cap;
+      let lambdas = curve_lambdas cap points in
+      List.iter
+        (fun { Latency_model.throughput_rps; latency_ms } ->
+          Printf.printf "  %8.0f rps  %8.3f ms\n" throughput_rps latency_ms)
+        (Latency_model.lan_curve proto ~node ~lan:Latency_model.default_lan ~rng
+           ~lambdas))
+    protos;
+  0
+
+let wan_table n conflict points =
+  ignore conflict;
+  let node = Service.default_node ~n in
+  let wan = Latency_model.default_wan in
+  let protos =
+    [
+      (Latency_model.Paxos, Region.california);
+      (Latency_model.Fpaxos { q2 = 2 }, Region.california);
+      (Latency_model.Epaxos { conflict = 0.3 }, Region.virginia);
+      ( Latency_model.Epaxos_adaptive { conflict_lo = 0.02; conflict_hi = 0.70 },
+        Region.virginia );
+      (Latency_model.Wpaxos { leaders = 5; locality = 0.7; fz = 0 }, Region.virginia);
+    ]
+  in
+  List.iter
+    (fun (proto, leader_region) ->
+      let cap = Latency_model.lan_max_throughput proto ~node in
+      Printf.printf "\n%s (leader %s)\n"
+        (Latency_model.protocol_name proto)
+        (Region.name leader_region);
+      let lambdas = curve_lambdas cap points in
+      List.iter
+        (fun { Latency_model.throughput_rps; latency_ms } ->
+          Printf.printf "  %8.0f rps  %8.3f ms\n" throughput_rps latency_ms)
+        (Latency_model.wan_curve proto ~node ~wan ~leader_region ~lambdas))
+    protos;
+  0
+
+let load_table n conflict =
+  Printf.printf "Section 6 load formulas at N=%d, c=%.2f\n" n conflict;
+  Printf.printf "  L(Paxos)   = %.3f\n" (Formulas.load_paxos ~n);
+  Printf.printf "  L(EPaxos)  = %.3f\n" (Formulas.load_epaxos ~n ~conflict);
+  Printf.printf "  L(WPaxos)  = %.3f (3 leaders)\n" (Formulas.load_wpaxos ~n ~leaders:3);
+  Printf.printf "  Cap ratios : wpaxos/paxos = %.2f, epaxos/paxos = %.2f\n"
+    (Formulas.load_paxos ~n /. Formulas.load_wpaxos ~n ~leaders:3)
+    (Formulas.load_paxos ~n /. Formulas.load_epaxos ~n ~conflict);
+  0
+
+let advise_table () =
+  List.iter
+    (fun ((_ : Advisor.deployment), r) -> Format.printf "%a@." Advisor.pp r)
+    Advisor.all_paths;
+  0
+
+let run mode n conflict points =
+  match mode with
+  | `Lan -> lan_table n conflict points
+  | `Wan -> wan_table n conflict points
+  | `Load -> load_table n conflict
+  | `Advise -> advise_table ()
+
+let cmd =
+  let doc = "evaluate the analytic performance model of the paper" in
+  Cmd.v
+    (Cmd.info "paxi_model_run" ~doc)
+    Term.(const run $ mode_arg $ nodes_arg $ conflict_arg $ points_arg)
+
+let () = exit (Cmd.eval' cmd)

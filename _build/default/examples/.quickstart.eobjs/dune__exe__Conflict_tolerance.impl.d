@@ -1,0 +1,1 @@
+examples/conflict_tolerance.ml: Config List Paxi_benchmark Paxi_protocols Printf Region Report Runner Stats Topology Workload

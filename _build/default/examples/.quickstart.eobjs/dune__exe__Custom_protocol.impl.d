@@ -1,0 +1,1 @@
+examples/custom_protocol.ml: Address Command Config Executor Faults Fun Hashtbl Linearizability List Paxi_benchmark Printf Proto Quorum Runner Stats Topology Workload

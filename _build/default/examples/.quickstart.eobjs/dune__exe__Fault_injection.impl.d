@@ -1,0 +1,1 @@
+examples/fault_injection.ml: Address Config Faults Hashtbl Linearizability List Option Paxi_benchmark Paxi_protocols Printf Runner Topology Workload

@@ -1,0 +1,1 @@
+examples/protocol_advisor.ml: Advisor Formulas List Paxi_model Printf Region String Topology

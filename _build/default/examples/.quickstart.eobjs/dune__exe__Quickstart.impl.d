@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cluster Command Config Executor Paxi_protocols Printf Proto Sim Topology

@@ -1,0 +1,1 @@
+examples/wan_locality.ml: Config List Paxi_benchmark Paxi_protocols Region Report Runner Stats Topology Workload

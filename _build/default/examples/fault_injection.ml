@@ -1,0 +1,64 @@
+(* Availability testing with the Paxi fault-injection commands (§4.2):
+   crash the Paxos leader mid-run, watch throughput dip and recover
+   after failover, then verify linearizability and replica agreement
+   offline.
+
+   dune exec examples/fault_injection.exe *)
+
+open Paxi_benchmark
+
+let () =
+  let (module P) = Paxi_protocols.Registry.find_exn "paxos" in
+  let n = 5 in
+  let config = Config.default ~n_replicas:n in
+  let topology = Topology.lan ~n_replicas:n () in
+  let crash_at = 10_000.0 and crash_for = 15_000.0 in
+  let spec =
+    Runner.spec ~warmup_ms:1_000.0 ~duration_ms:40_000.0 ~collect_history:true
+      ~check_consensus:true
+      ~faults:(fun faults ->
+        (* freeze the initial leader; also make one healthy link flaky *)
+        Faults.crash faults ~node:(Address.replica 0) ~from_ms:crash_at
+          ~duration_ms:crash_for;
+        Faults.flaky faults ~src:(Address.replica 1) ~dst:(Address.replica 2)
+          ~from_ms:0.0 ~duration_ms:60_000.0 ~p_drop:0.05)
+      ~config ~topology
+      ~client_specs:
+        [
+          Runner.clients ~target:Runner.Round_robin ~count:8
+            { Workload.default with Workload.keys = 100 };
+        ]
+      ()
+  in
+  let result = Runner.run (module P) spec in
+
+  (* throughput timeline from the reply history *)
+  let buckets = Hashtbl.create 64 in
+  List.iter
+    (fun (op : Linearizability.op) ->
+      let b = int_of_float (op.Linearizability.responded_ms /. 2_000.0) in
+      Hashtbl.replace buckets b
+        (1 + Option.value (Hashtbl.find_opt buckets b) ~default:0))
+    result.Runner.history;
+  Printf.printf "throughput timeline (2 s buckets):\n";
+  for b = 0 to 20 do
+    let count = Option.value (Hashtbl.find_opt buckets b) ~default:0 in
+    let marker =
+      if float_of_int b *. 2_000.0 >= crash_at
+         && float_of_int b *. 2_000.0 < crash_at +. crash_for
+      then " <- leader crashed"
+      else ""
+    in
+    Printf.printf "  %5.0f s  %5d ops %s\n"
+      (float_of_int b *. 2.0)
+      count marker
+  done;
+
+  let anomalies = Linearizability.check result.Runner.history in
+  Printf.printf "\ncompleted %d ops, gave up %d\n" result.Runner.completed
+    result.Runner.gave_up;
+  Printf.printf "linearizable: %s\n"
+    (if anomalies = [] then "yes" else Printf.sprintf "NO (%d)" (List.length anomalies));
+  Printf.printf "replica agreement: %s\n"
+    (if result.Runner.consensus_violations = [] then "yes"
+     else Printf.sprintf "NO (%d)" (List.length result.Runner.consensus_violations))

@@ -1,0 +1,48 @@
+(* The Figure-14 flowchart as a tool: describe a deployment, get the
+   paper's recommendation, and back it with the Section-6 formulas.
+
+   dune exec examples/protocol_advisor.exe *)
+
+open Paxi_model
+
+let describe (d : Advisor.deployment) =
+  Printf.sprintf "consensus=%b wan=%b read-heavy=%b locality=%s region-ft=%b"
+    d.Advisor.needs_consensus d.Advisor.wan d.Advisor.read_heavy
+    (match d.Advisor.locality with
+    | Advisor.No_locality -> "none"
+    | Advisor.Static_locality -> "static"
+    | Advisor.Dynamic_locality -> "dynamic")
+    d.Advisor.region_failure_concern
+
+let () =
+  print_endline "Figure 14 decision table:";
+  List.iter
+    (fun (d, r) ->
+      Printf.printf "  %-62s -> %s\n" (describe d)
+        (String.concat ", " r.Advisor.protocols))
+    Advisor.all_paths;
+
+  (* Back-of-the-envelope forecasting with the Section 6 formulas
+     (the paper's worked example at N = 9). *)
+  let n = 9 in
+  Printf.printf "\nSection 6 back-of-the-envelope at N = %d:\n" n;
+  Printf.printf "  load:    paxos %.2f   epaxos(c=0) %.2f   epaxos(c=0.5) %.2f   wpaxos(3 leaders) %.2f\n"
+    (Formulas.load_paxos ~n)
+    (Formulas.load_epaxos ~n ~conflict:0.0)
+    (Formulas.load_epaxos ~n ~conflict:0.5)
+    (Formulas.load_wpaxos ~n ~leaders:3);
+  Printf.printf "  so WPaxos' capacity advantage over Paxos is about %.1fx,\n"
+    (Formulas.load_paxos ~n /. Formulas.load_wpaxos ~n ~leaders:3);
+  Printf.printf "  and conflicts erase EPaxos' edge beyond c = %.2f.\n"
+    ((Formulas.load_paxos ~n /. Formulas.load_epaxos ~n ~conflict:0.0) -. 1.0);
+
+  (* Latency forecast (Formula 7) for a VA-based client of an OH
+     leader with region-local quorums. *)
+  let dl = Topology.aws_rtt_ms Region.virginia Region.ohio in
+  let dq = Topology.aws_rtt_ms Region.ohio Region.ohio in
+  Printf.printf "\nFormula 7 latency forecast, VA client / OH leader (DL=%.0f ms, DQ=%.1f ms):\n" dl dq;
+  List.iter
+    (fun l ->
+      Printf.printf "  locality %.1f -> %.1f ms\n" l
+        (Formulas.latency ~conflict:0.0 ~locality:l ~dl_ms:dl ~dq_ms:dq))
+    [ 0.0; 0.5; 0.9; 1.0 ]

@@ -1,0 +1,1 @@
+lib/benchmark/consensus_check.ml: Command Format List State_machine

@@ -1,0 +1,1 @@
+lib/benchmark/consensus_check.mli: Command Format State_machine

@@ -1,0 +1,1 @@
+lib/benchmark/linearizability.ml: Command Float Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/benchmark/linearizability.mli: Command

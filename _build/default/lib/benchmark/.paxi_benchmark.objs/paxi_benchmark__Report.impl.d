@@ -1,0 +1,1 @@
+lib/benchmark/report.ml: Float Format List Printf Stdlib String

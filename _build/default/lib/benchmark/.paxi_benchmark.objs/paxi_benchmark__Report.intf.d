@@ -1,0 +1,1 @@
+lib/benchmark/report.mli: Format

@@ -1,0 +1,1 @@
+lib/benchmark/runner.ml: Address Cluster Command Config Consensus_check Executor Faults Hashtbl Kv Linearizability List Proto Region Rng Sim State_machine Stats Topology Workload

@@ -1,0 +1,1 @@
+lib/benchmark/runner.mli: Config Consensus_check Faults Linearizability Proto Region Stats Topology Workload

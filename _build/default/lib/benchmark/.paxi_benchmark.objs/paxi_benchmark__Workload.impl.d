@@ -1,0 +1,1 @@
+lib/benchmark/workload.ml: Command Dist Printf Rng

@@ -1,0 +1,1 @@
+lib/benchmark/workload.mli: Command Rng

@@ -1,0 +1,111 @@
+type kind =
+  | Write of Command.value
+  | Del
+  | Read of Command.value option
+
+type op = {
+  client : int;
+  op_id : int;
+  key : Command.key;
+  kind : kind;
+  invoked_ms : float;
+  responded_ms : float;
+}
+
+type anomaly = { read : op; reason : string }
+
+let is_mutation o = match o.kind with Write _ | Del -> true | Read _ -> false
+
+(* A stale-read witness: a mutation [w'] distinct from the dictating
+   write that definitely linearizes after it ([w'] began after the
+   dictating write responded) and definitely before the read ([w']
+   responded before the read was invoked). *)
+let stale_witness mutations ~dict_resp ~read_inv =
+  List.find_opt
+    (fun w' -> w'.invoked_ms >= dict_resp && w'.responded_ms <= read_inv)
+    mutations
+
+let check_read mutations r =
+  match r.kind with
+  | Write _ | Del -> None
+  | Read (Some v) -> (
+      let dict =
+        List.find_opt (fun o -> match o.kind with Write v' -> v' = v | _ -> false) mutations
+      in
+      match dict with
+      | None ->
+          Some { read = r; reason = Printf.sprintf "value %d never written" v }
+      | Some w ->
+          if w.invoked_ms > r.responded_ms then
+            Some
+              {
+                read = r;
+                reason =
+                  Printf.sprintf "future read: write of %d began after read ended" v;
+              }
+          else (
+            match
+              stale_witness
+                (List.filter (fun o -> not (o == w)) mutations)
+                ~dict_resp:w.responded_ms ~read_inv:r.invoked_ms
+            with
+            | Some w' ->
+                Some
+                  {
+                    read = r;
+                    reason =
+                      Printf.sprintf
+                        "stale read: value %d was overwritten by c%d#%d before \
+                         the read began"
+                        v w'.client w'.op_id;
+                  }
+            | None -> None))
+  | Read None ->
+      (* candidates: the initial state, or any delete *)
+      let puts = List.filter (fun o -> match o.kind with Write _ -> true | _ -> false) mutations in
+      let initial_ok =
+        not (List.exists (fun p -> p.responded_ms <= r.invoked_ms) puts)
+      in
+      let dels = List.filter (fun o -> o.kind = Del) mutations in
+      let del_ok =
+        List.exists
+          (fun d ->
+            d.invoked_ms <= r.responded_ms
+            && stale_witness puts ~dict_resp:d.responded_ms
+                 ~read_inv:r.invoked_ms
+               = None)
+          dels
+      in
+      if initial_ok || del_ok then None
+      else
+        Some
+          {
+            read = r;
+            reason = "read of empty value after a completed write";
+          }
+
+let check_key ops =
+  (match ops with
+  | [] -> ()
+  | o :: rest ->
+      if List.exists (fun o' -> o'.key <> o.key) rest then
+        invalid_arg "Linearizability.check_key: mixed keys");
+  let mutations = List.filter is_mutation ops in
+  List.filter_map (check_read mutations) ops
+
+let check ops =
+  let by_key = Hashtbl.create 64 in
+  List.iter
+    (fun o ->
+      let l = Option.value (Hashtbl.find_opt by_key o.key) ~default:[] in
+      Hashtbl.replace by_key o.key (o :: l))
+    ops;
+  Hashtbl.fold
+    (fun _key l acc ->
+      let sorted =
+        List.sort (fun a b -> Float.compare a.invoked_ms b.invoked_ms) l
+      in
+      check_key sorted @ acc)
+    by_key []
+
+let is_linearizable ops = check ops = []

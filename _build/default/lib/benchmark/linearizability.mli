@@ -1,0 +1,44 @@
+(** Offline read/write linearizability checker (§4.2 Consistency),
+    after the Facebook TAO checker the paper adopts: input is the list
+    of operations per record sorted by invocation time; output is the
+    list of anomalous reads — reads that returned a value they could
+    not return in any linearizable execution.
+
+    Writes carry unique values (the workload generator guarantees
+    this), which makes every read's dictating write unambiguous and
+    the check polynomial. Two anomaly rules:
+
+    - {e stale read}: some other write finished after the dictating
+      write finished and before the read began — the read returned an
+      overwritten value;
+    - {e future read}: the dictating write began only after the read
+      completed.
+
+    Reads of [None] are validated against the initial state: they are
+    anomalous once any write has completed before the read began
+    (delete-aware validation treats each delete as a candidate
+    dictating write). *)
+
+type op = {
+  client : int;
+  op_id : int;
+  key : Command.key;
+  kind : kind;
+  invoked_ms : float;
+  responded_ms : float;
+}
+
+and kind =
+  | Write of Command.value
+  | Del
+  | Read of Command.value option
+
+type anomaly = { read : op; reason : string }
+
+val check_key : op list -> anomaly list
+(** All operations must target the same key. *)
+
+val check : op list -> anomaly list
+(** Partitions by key and checks each. *)
+
+val is_linearizable : op list -> bool

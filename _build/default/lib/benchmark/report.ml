@@ -1,0 +1,43 @@
+let widths header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  List.init cols (fun c ->
+      List.fold_left
+        (fun acc row ->
+          match List.nth_opt row c with
+          | Some cell -> Stdlib.max acc (String.length cell)
+          | None -> acc)
+        0 all)
+
+let pad width s = s ^ String.make (Stdlib.max 0 (width - String.length s)) ' '
+
+let table ~header ~rows ppf =
+  let ws = widths header rows in
+  let render row =
+    List.mapi (fun c cell -> pad (List.nth ws c) cell) row
+    |> String.concat "  "
+  in
+  Format.fprintf ppf "%s@." (render header);
+  Format.fprintf ppf "%s@."
+    (String.concat "  " (List.map (fun w -> String.make w '-') ws));
+  List.iter (fun row -> Format.fprintf ppf "%s@." (render row)) rows
+
+let print_table ~header ~rows =
+  table ~header ~rows Format.std_formatter;
+  Format.print_flush ()
+
+let csv ~header ~rows =
+  let line cells = String.concat "," cells in
+  String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+let fms x =
+  if Float.is_nan x || not (Float.is_finite x) then "-"
+  else Printf.sprintf "%.3f" x
+
+let frate x =
+  if Float.is_nan x || not (Float.is_finite x) then "-"
+  else Printf.sprintf "%.0f" x
+
+let section title =
+  let rule = String.make (String.length title) '=' in
+  Printf.printf "\n%s\n%s\n" title rule

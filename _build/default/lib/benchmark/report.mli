@@ -1,0 +1,22 @@
+(** Plain-text table and CSV rendering for benchmark output — the
+    rows/series each bench target prints when regenerating a paper
+    table or figure. *)
+
+val table :
+  header:string list -> rows:string list list -> Format.formatter -> unit
+(** Aligned columns, a rule under the header. *)
+
+val print_table : header:string list -> rows:string list list -> unit
+(** To stdout. *)
+
+val csv : header:string list -> rows:string list list -> string
+
+val fms : float -> string
+(** Format a latency in ms with 3 decimals; empty-cell marker for
+    nan/infinite. *)
+
+val frate : float -> string
+(** Format a throughput (ops/sec) with no decimals. *)
+
+val section : string -> unit
+(** Print a figure/table banner. *)

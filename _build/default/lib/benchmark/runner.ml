@@ -1,0 +1,230 @@
+type target = Nearest | Fixed of int | Round_robin
+
+type arrival = Closed | Open of { rate_per_sec : float }
+
+type client_spec = {
+  region : Region.t option;
+  count : int;
+  target : target;
+  arrival : arrival;
+  workload : Workload.t;
+}
+
+let clients ?region ?(target = Nearest) ?(arrival = Closed) ~count workload =
+  { region; count; target; arrival; workload }
+
+type spec = {
+  config : Config.t;
+  topology : Topology.t;
+  client_specs : client_spec list;
+  warmup_ms : float;
+  duration_ms : float;
+  cooldown_ms : float;
+  max_retries : int;
+  collect_history : bool;
+  check_consensus : bool;
+  faults : (Faults.t -> unit) option;
+}
+
+let spec ?(warmup_ms = 1_000.0) ?(duration_ms = 10_000.0)
+    ?(cooldown_ms = 1_000.0) ?(max_retries = 10) ?(collect_history = false)
+    ?(check_consensus = false) ?faults ~config ~topology ~client_specs () =
+  {
+    config;
+    topology;
+    client_specs;
+    warmup_ms;
+    duration_ms;
+    cooldown_ms;
+    max_retries;
+    collect_history;
+    check_consensus;
+    faults;
+  }
+
+type result = {
+  throughput_rps : float;
+  latency : Stats.t;
+  per_region : (Region.t * Stats.t) list;
+  completed : int;
+  gave_up : int;
+  history : Linearizability.op list;
+  consensus_violations : Consensus_check.violation list;
+  busiest_node_busy_ms : float;
+  busiest_node : int;
+  messages_sent : int;
+}
+
+let kind_of_op (op : Command.op) (read : Command.value option) =
+  match op with
+  | Command.Put (_, v) -> Linearizability.Write v
+  | Command.Delete _ -> Linearizability.Del
+  | Command.Get _ -> Linearizability.Read read
+
+let run (module P : Proto.RUNNABLE) spec =
+  let module C = Cluster.Make (P) in
+  let faults = Faults.create () in
+  (match spec.faults with Some install -> install faults | None -> ());
+  let cluster =
+    C.create ~faults ~config:spec.config ~topology:spec.topology ()
+  in
+  let sim = C.sim cluster in
+  let n = spec.config.Config.n_replicas in
+  let window_start = spec.warmup_ms in
+  let window_end = spec.warmup_ms +. spec.duration_ms in
+  let horizon = window_end +. spec.cooldown_ms in
+  let latency = Stats.create () in
+  let per_region : (Region.t * Stats.t) list ref = ref [] in
+  let region_stats region =
+    match List.find_opt (fun (r, _) -> Region.equal r region) !per_region with
+    | Some (_, s) -> s
+    | None ->
+        let s = Stats.create () in
+        per_region := (region, s) :: !per_region;
+        s
+  in
+  let completed = ref 0 in
+  let in_window = ref 0 in
+  let gave_up = ref 0 in
+  let history = ref [] in
+  let next_client_id = ref 0 in
+  let start_client cspec =
+    let cid = !next_client_id in
+    incr next_client_id;
+    (match cspec.region with
+    | Some region -> C.register_client cluster ~id:cid ~region ()
+    | None -> C.register_client cluster ~id:cid ());
+    let region = Topology.region_of spec.topology (Address.client cid) in
+    let gen =
+      Workload.generator cspec.workload ~rng:(Rng.split (Sim.rng sim)) ~client:cid
+    in
+    let rr = ref 0 in
+    let pick_target ~attempt =
+      match cspec.target with
+      | Fixed r -> (r + attempt) mod n
+      | Nearest ->
+          if attempt = 0 then C.nearest_replica cluster ~client:cid
+          else (C.nearest_replica cluster ~client:cid + attempt) mod n
+      | Round_robin ->
+          incr rr;
+          (!rr + attempt) mod n
+    in
+    let op_counter = ref 0 in
+    (* [issue ~continue] sends one command; [continue] fires once the
+       command resolves (closed loop chains the next request there;
+       open loop passes a no-op, pacing on a Poisson clock instead). *)
+    let issue ~continue =
+      let now = Sim.now sim in
+      if now < window_end then begin
+        let id = !op_counter in
+        incr op_counter;
+        let op = Workload.next_op gen ~now_ms:now in
+        let command = Command.make ~id ~client:cid op in
+        let invoked = now in
+        let rec attempt_send attempt =
+          let on_reply (reply : Proto.reply) =
+            let responded = Sim.now sim in
+            incr completed;
+            if invoked >= window_start && responded <= window_end then begin
+              incr in_window;
+              let l = responded -. invoked in
+              Stats.add latency l;
+              Stats.add (region_stats region) l
+            end;
+            if spec.collect_history then
+              history :=
+                {
+                  Linearizability.client = cid;
+                  op_id = id;
+                  key = Command.key command;
+                  kind = kind_of_op op reply.Proto.read;
+                  invoked_ms = invoked;
+                  responded_ms = responded;
+                }
+                :: !history;
+            continue ()
+          in
+          C.submit cluster ~client:cid
+            ~target:(pick_target ~attempt)
+            ~command ~on_reply;
+          ignore
+          @@ Sim.schedule_after sim ~delay:spec.config.Config.client_timeout_ms
+               (fun () ->
+                 if C.pending cluster ~client:cid ~command then
+                   if attempt < spec.max_retries then attempt_send (attempt + 1)
+                   else begin
+                     C.give_up cluster ~client:cid ~command;
+                     incr gave_up;
+                     continue ()
+                   end)
+        in
+        attempt_send 0
+      end
+    in
+    let jitter = Rng.float (Sim.rng sim) 5.0 in
+    match cspec.arrival with
+    | Closed ->
+        (* Stagger client start a little to avoid lock-step *)
+        let rec closed_loop () = issue ~continue:closed_loop in
+        ignore (Sim.schedule_at sim ~time:jitter (fun () -> closed_loop ()))
+    | Open { rate_per_sec } ->
+        let rng = Rng.split (Sim.rng sim) in
+        let rec tick () =
+          if Sim.now sim < window_end then begin
+            issue ~continue:(fun () -> ());
+            let gap = Rng.exponential rng ~rate:(rate_per_sec /. 1000.0) in
+            ignore (Sim.schedule_after sim ~delay:gap tick)
+          end
+        in
+        ignore (Sim.schedule_at sim ~time:jitter (fun () -> tick ()))
+  in
+  List.iter
+    (fun cspec ->
+      for _ = 1 to cspec.count do
+        start_client cspec
+      done)
+    spec.client_specs;
+  Sim.run_until sim horizon;
+  let consensus_violations =
+    if spec.check_consensus then begin
+      let state_machines =
+        List.init n (fun i ->
+            (i, Executor.state_machine (P.executor (C.replica cluster i))))
+      in
+      (* keys touched: union across nodes *)
+      let keys = Hashtbl.create 64 in
+      List.iter
+        (fun (_, sm) ->
+          List.iter
+            (fun k -> if k >= 0 then Hashtbl.replace keys k ())
+            (Kv.keys (State_machine.store sm)))
+        state_machines;
+      Consensus_check.check ~state_machines
+        ~keys:(Hashtbl.fold (fun k () acc -> k :: acc) keys [])
+    end
+    else []
+  in
+  let busiest_node, busiest_node_busy_ms =
+    let best = ref (0, 0.0) in
+    for i = 0 to n - 1 do
+      let b = C.replica_busy_ms cluster i in
+      if b > snd !best then best := (i, b)
+    done;
+    !best
+  in
+  let messages_sent, _, _ = C.message_counts cluster in
+  {
+    throughput_rps = float_of_int !in_window /. (spec.duration_ms /. 1000.0);
+    latency;
+    per_region = List.rev !per_region;
+    completed = !completed;
+    gave_up = !gave_up;
+    history = List.rev !history;
+    consensus_violations;
+    busiest_node_busy_ms;
+    busiest_node;
+    messages_sent;
+  }
+
+let saturation_sweep p ~make_spec ~concurrencies =
+  List.map (fun c -> (c, run p (make_spec ~concurrency:c))) concurrencies

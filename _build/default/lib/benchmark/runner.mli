@@ -1,0 +1,85 @@
+(** Benchmark runner (§4.2 Benchmarker): drives a protocol cluster
+    with closed-loop clients generating a {!Workload}, measures
+    per-request latency and aggregate throughput over a measured
+    window, optionally collects the full operation history for the
+    offline checkers, and sweeps concurrency to find saturation (the
+    latency-vs-throughput curves of Fig. 7/9). *)
+
+type target =
+  | Nearest  (** the client's in-region replica (default) *)
+  | Fixed of int
+  | Round_robin
+
+(** How a client issues requests: [Closed] waits for each reply before
+    the next request (the paper's concurrency-sweep mode); [Open]
+    fires at Poisson arrivals of the given rate regardless of replies,
+    matching the analytic model's arrival assumption (§3.2). *)
+type arrival = Closed | Open of { rate_per_sec : float }
+
+type client_spec = {
+  region : Region.t option;
+  count : int;  (** number of clients with this spec *)
+  target : target;
+  arrival : arrival;
+  workload : Workload.t;
+}
+
+val clients :
+  ?region:Region.t ->
+  ?target:target ->
+  ?arrival:arrival ->
+  count:int ->
+  Workload.t ->
+  client_spec
+
+type spec = {
+  config : Config.t;
+  topology : Topology.t;
+  client_specs : client_spec list;
+  warmup_ms : float;
+  duration_ms : float;  (** measured window, after warmup *)
+  cooldown_ms : float;  (** extra drain time before the run ends *)
+  max_retries : int;  (** client retries before giving up a command *)
+  collect_history : bool;
+  check_consensus : bool;
+      (** compare per-key histories across replicas at the end *)
+  faults : (Faults.t -> unit) option;  (** fault schedule installer *)
+}
+
+val spec :
+  ?warmup_ms:float ->
+  ?duration_ms:float ->
+  ?cooldown_ms:float ->
+  ?max_retries:int ->
+  ?collect_history:bool ->
+  ?check_consensus:bool ->
+  ?faults:(Faults.t -> unit) ->
+  config:Config.t ->
+  topology:Topology.t ->
+  client_specs:client_spec list ->
+  unit ->
+  spec
+
+type result = {
+  throughput_rps : float;  (** completed ops/sec in the window *)
+  latency : Stats.t;  (** per-request latency (ms) in the window *)
+  per_region : (Region.t * Stats.t) list;
+  completed : int;  (** total completed ops, including warmup *)
+  gave_up : int;  (** ops abandoned after [max_retries] *)
+  history : Linearizability.op list;  (** empty unless collected *)
+  consensus_violations : Consensus_check.violation list;
+  busiest_node_busy_ms : float;
+  busiest_node : int;
+  messages_sent : int;
+}
+
+val run : (module Proto.RUNNABLE) -> spec -> result
+
+val saturation_sweep :
+  (module Proto.RUNNABLE) ->
+  make_spec:(concurrency:int -> spec) ->
+  concurrencies:int list ->
+  (int * result) list
+(** One independent run per concurrency level; the caller plots
+    latency against throughput, as the paper's performance tier does
+    by raising client concurrency until throughput stops growing. *)

@@ -1,0 +1,1 @@
+lib/core/ballot.ml: Format Int

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Address Array Command Config Faults Hashtbl List Printf Procq Proto Rng Sim Topology Transport

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Address Command Config Faults Proto Region Sim Topology

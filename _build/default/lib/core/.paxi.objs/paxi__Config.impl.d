@@ -1,0 +1,1 @@
+lib/core/config.ml: In_channel Json List Printf Result

@@ -1,0 +1,1 @@
+lib/core/executor.ml: Command Hashtbl State_machine

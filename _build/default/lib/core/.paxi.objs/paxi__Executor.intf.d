@@ -1,0 +1,1 @@
+lib/core/executor.mli: Command State_machine

@@ -1,0 +1,1 @@
+lib/core/proto.ml: Address Command Config Executor Rng Sim Topology

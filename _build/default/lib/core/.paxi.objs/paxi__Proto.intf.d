@@ -1,0 +1,1 @@
+lib/core/proto.mli: Address Command Config Executor Rng Sim Topology

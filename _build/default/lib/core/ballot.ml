@@ -1,0 +1,18 @@
+type t = { round : int; owner : int }
+
+let zero = { round = 0; owner = -1 }
+let initial ~owner = { round = 1; owner }
+let next t ~owner = { round = t.round + 1; owner }
+let succ t = { round = t.round + 1; owner = t.owner }
+
+let compare a b =
+  match Int.compare a.round b.round with
+  | 0 -> Int.compare a.owner b.owner
+  | c -> c
+
+let equal a b = compare a b = 0
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let pp ppf t = Format.fprintf ppf "%d.%d" t.round t.owner

@@ -1,0 +1,24 @@
+(** Paxos ballot numbers: a round counter paired with the proposing
+    replica's id, totally ordered with the counter as the high-order
+    component so any two distinct proposers always have comparable,
+    distinct ballots. *)
+
+type t = { round : int; owner : int }
+
+val zero : t
+(** The null ballot; smaller than any ballot a replica produces. *)
+
+val initial : owner:int -> t
+val next : t -> owner:int -> t
+(** Smallest ballot owned by [owner] strictly greater than [t]. *)
+
+val succ : t -> t
+(** Next round for the same owner. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val pp : Format.formatter -> t -> unit

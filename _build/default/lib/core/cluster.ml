@@ -1,0 +1,169 @@
+type 'p envelope =
+  | Peer of 'p
+  | Request of { client : Address.t; request : Proto.request }
+  | Reply of Proto.reply
+
+module Make (P : Proto.RUNNABLE) = struct
+  type t = {
+    sim : Sim.t;
+    config : Config.t;
+    topology : Topology.t;
+    faults : Faults.t;
+    transport : P.message envelope Transport.t;
+    replicas : P.replica array;
+    (* per-client map from command id to reply callback *)
+    pending : (int, (int, Proto.reply -> unit) Hashtbl.t) Hashtbl.t;
+  }
+
+  let client_table t cid =
+    match Hashtbl.find_opt t.pending cid with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 16 in
+        Hashtbl.add t.pending cid tbl;
+        tbl
+
+  let deliver_reply t cid (reply : Proto.reply) =
+    let tbl = client_table t cid in
+    let id = reply.command.Command.id in
+    if reply.command.Command.client <> cid then ()
+    else
+    match Hashtbl.find_opt tbl id with
+    | Some cb ->
+        Hashtbl.remove tbl id;
+        cb reply
+    | None -> () (* late duplicate reply after retry already answered *)
+
+  let make_env t transport i : P.message Proto.env =
+    let addr = Address.replica i in
+    {
+      Proto.id = i;
+      n = t.config.Config.n_replicas;
+      config = t.config;
+      topology = t.topology;
+      rng = Rng.split (Sim.rng t.sim);
+      now = (fun () -> Sim.now t.sim);
+      schedule = (fun delay f -> Sim.schedule_after t.sim ~delay f);
+      send =
+        (fun dst m ->
+          Transport.send transport ~src:addr ~dst:(Address.replica dst)
+            (Peer m));
+      broadcast = (fun m -> Transport.broadcast transport ~src:addr (Peer m));
+      multicast =
+        (fun dsts m ->
+          Transport.multicast transport ~src:addr
+            ~dsts:(List.map Address.replica dsts)
+            (Peer m));
+      reply =
+        (fun client r ->
+          Transport.send transport ~src:addr ~dst:client (Reply r));
+      forward =
+        (fun dst ~client request ->
+          Transport.send transport ~src:addr ~dst:(Address.replica dst)
+            (Request { client; request }));
+    }
+
+  let create ?sim ?faults ~config ~topology () =
+    (match Config.validate config with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("Cluster.create: " ^ msg));
+    if Topology.n_replicas topology <> config.Config.n_replicas then
+      invalid_arg
+        (Printf.sprintf "Cluster.create: topology has %d replicas, config %d"
+           (Topology.n_replicas topology)
+           config.Config.n_replicas);
+    let sim =
+      match sim with Some s -> s | None -> Sim.create ~seed:config.Config.seed ()
+    in
+    let faults = match faults with Some f -> f | None -> Faults.create () in
+    let factor = P.cpu_factor config in
+    let processing _i =
+      Procq.create
+        ~t_in_ms:(config.Config.t_in_ms *. factor)
+        ~t_out_ms:(config.Config.t_out_ms *. factor)
+        ~bandwidth_mbps:config.Config.bandwidth_mbps ()
+    in
+    let transport =
+      Transport.create ~sim ~topology ~faults
+        ~default_size_bytes:config.Config.msg_size_bytes ~processing ()
+    in
+    let t =
+      {
+        sim;
+        config;
+        topology;
+        faults;
+        transport;
+        replicas = [||];
+        pending = Hashtbl.create 16;
+      }
+    in
+    let replicas =
+      Array.init config.Config.n_replicas (fun i ->
+          P.create (make_env t transport i))
+    in
+    let t = { t with replicas } in
+    Array.iteri
+      (fun i replica ->
+        Transport.register transport (Address.replica i) (fun ~src msg ->
+            match msg with
+            | Peer m -> P.on_message replica ~src:(Address.replica_id src) m
+            | Request { client; request } ->
+                P.on_request replica ~client request
+            | Reply _ -> () (* replicas never receive replies *)))
+      replicas;
+    Array.iter (fun r -> ignore (Sim.schedule_at sim ~time:(Sim.now sim) (fun () -> P.on_start r))) replicas;
+    t
+
+  let sim t = t.sim
+  let config t = t.config
+  let topology t = t.topology
+  let faults t = t.faults
+  let replica t i = t.replicas.(i)
+
+  let register_client t ~id ?region () =
+    (match region with
+    | Some r -> Topology.assign_client t.topology ~id ~region:r
+    | None -> ());
+    let addr = Address.client id in
+    Transport.register t.transport addr (fun ~src:_ msg ->
+        match msg with
+        | Reply r -> deliver_reply t id r
+        | Peer _ | Request _ -> ())
+
+  let submit t ~client ~target ~command ~on_reply =
+    let tbl = client_table t client in
+    Hashtbl.replace tbl command.Command.id on_reply;
+    let request =
+      { Proto.command; sent_at_ms = Sim.now t.sim }
+    in
+    Transport.send t.transport ~src:(Address.client client)
+      ~dst:(Address.replica target)
+      (Request { client = Address.client client; request })
+
+  let pending t ~client ~command =
+    match Hashtbl.find_opt t.pending client with
+    | Some tbl -> Hashtbl.mem tbl command.Command.id
+    | None -> false
+
+  let give_up t ~client ~command =
+    match Hashtbl.find_opt t.pending client with
+    | Some tbl -> Hashtbl.remove tbl command.Command.id
+    | None -> ()
+
+  let leader_of_key t ~replica key = P.leader_of_key t.replicas.(replica) key
+
+  let nearest_replica t ~client =
+    let region = Topology.region_of t.topology (Address.client client) in
+    match Topology.replicas_in t.topology region with
+    | r :: _ -> r
+    | [] -> 0
+
+  let message_counts t =
+    ( Transport.sent_count t.transport,
+      Transport.delivered_count t.transport,
+      Transport.dropped_count t.transport )
+
+  let replica_busy_ms t i =
+    Procq.busy_time (Transport.procq t.transport (Address.replica i))
+end

@@ -1,0 +1,69 @@
+(** Cluster engine: instantiates one replica of a protocol per
+    topology slot, wires them through a virtual-time transport, and
+    routes client requests and replies.
+
+    The engine is a functor over {!Proto.PROTOCOL}, so each protocol
+    gets a transport specialized to its own message type — the
+    simulation-mode equivalent of Paxi running all nodes in one
+    process over Go channels (§4.1 Networking). *)
+
+type 'p envelope =
+  | Peer of 'p
+  | Request of { client : Address.t; request : Proto.request }
+  | Reply of Proto.reply
+
+module Make (P : Proto.RUNNABLE) : sig
+  type t
+
+  val create :
+    ?sim:Sim.t ->
+    ?faults:Faults.t ->
+    config:Config.t ->
+    topology:Topology.t ->
+    unit ->
+    t
+  (** Build and start the cluster: replicas are created and
+      [P.on_start] runs at virtual time 0. Raises [Invalid_argument]
+      on an invalid config or when the topology size disagrees with
+      [config.n_replicas]. *)
+
+  val sim : t -> Sim.t
+  val config : t -> Config.t
+  val topology : t -> Topology.t
+  val faults : t -> Faults.t
+  val replica : t -> int -> P.replica
+
+  val register_client : t -> id:int -> ?region:Region.t -> unit -> unit
+  (** Declare a client and (for WAN topologies) pin it to a region. *)
+
+  val submit :
+    t ->
+    client:int ->
+    target:int ->
+    command:Command.t ->
+    on_reply:(Proto.reply -> unit) ->
+    unit
+  (** Send [command] from [client] to replica [target]. [on_reply]
+      fires at most once, when some replica answers for this command
+      id; re-submitting the same command id replaces the callback
+      (client retry). *)
+
+  val pending : t -> client:int -> command:Command.t -> bool
+  (** Is this command still awaiting a reply? *)
+
+  val give_up : t -> client:int -> command:Command.t -> unit
+  (** Drop the pending callback (client abandons the request). *)
+
+  val leader_of_key : t -> replica:int -> Command.key -> int option
+
+  val nearest_replica : t -> client:int -> int
+  (** Lowest-id replica in the client's region; falls back to replica
+      0 when the region hosts none. *)
+
+  val message_counts : t -> int * int * int
+  (** (sent, delivered, dropped) protocol+client messages so far. *)
+
+  val replica_busy_ms : t -> int -> float
+  (** Cumulative processing-queue occupancy of a replica — the
+      busiest-node load of §6. *)
+end

@@ -1,0 +1,191 @@
+type t = {
+  n_replicas : int;
+  seed : int;
+  msg_size_bytes : int;
+  t_in_ms : float;
+  t_out_ms : float;
+  bandwidth_mbps : float;
+  client_timeout_ms : float;
+  q2_size : int option;
+  fz : int;
+  leaders_per_region : int;
+  epaxos_penalty : float;
+  piggyback_commit : bool;
+  thrifty : bool;
+  migration_threshold : int;
+  migration_cooldown_ms : float;
+  failover_timeout_ms : float;
+  initial_object_owner : int option;
+  master_region_index : int;
+}
+
+let default ~n_replicas =
+  {
+    n_replicas;
+    seed = 42;
+    msg_size_bytes = 128;
+    t_in_ms = 0.012;
+    t_out_ms = 0.008;
+    bandwidth_mbps = 10_000.0;
+    client_timeout_ms = 1_000.0;
+    q2_size = None;
+    fz = 0;
+    leaders_per_region = 1;
+    epaxos_penalty = 4.0;
+    piggyback_commit = true;
+    thrifty = false;
+    migration_threshold = 3;
+    migration_cooldown_ms = 2_000.0;
+    failover_timeout_ms = 1_000.0;
+    initial_object_owner = None;
+    master_region_index = 0;
+  }
+
+let majority t = (t.n_replicas / 2) + 1
+
+let phase2_quorum_size t =
+  match t.q2_size with Some q -> q | None -> majority t
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if t.n_replicas < 1 then err "n_replicas must be >= 1 (got %d)" t.n_replicas
+  else if t.t_in_ms < 0.0 || t.t_out_ms < 0.0 then
+    err "service times must be non-negative"
+  else if t.bandwidth_mbps <= 0.0 then err "bandwidth must be positive"
+  else if t.client_timeout_ms <= 0.0 then err "client timeout must be positive"
+  else if t.fz < 0 then err "fz must be non-negative"
+  else if t.leaders_per_region < 1 then err "leaders_per_region must be >= 1"
+  else if t.epaxos_penalty < 1.0 then err "epaxos_penalty must be >= 1.0"
+  else if t.migration_threshold < 1 then err "migration_threshold must be >= 1"
+  else if t.migration_cooldown_ms < 0.0 then err "migration_cooldown_ms must be >= 0"
+  else if t.failover_timeout_ms <= 0.0 then err "failover timeout must be positive"
+  else if t.master_region_index < 0 then err "master_region_index must be >= 0"
+  else
+    match t.q2_size with
+    | Some q when q < 1 || q > t.n_replicas ->
+        err "q2_size %d out of range 1..%d" q t.n_replicas
+    | Some q ->
+        (* FPaxos safety: |q1| + |q2| > N with q1 = N - q2 + 1 holds by
+           construction; reject q2 that would force an empty q1. *)
+        if t.n_replicas - q + 1 < 1 then err "q2_size %d leaves no q1" q
+        else Ok ()
+    | None -> Ok ()
+
+let to_json t =
+  Json.Obj
+    ([
+       ("n_replicas", Json.Number (float_of_int t.n_replicas));
+       ("seed", Json.Number (float_of_int t.seed));
+       ("msg_size_bytes", Json.Number (float_of_int t.msg_size_bytes));
+       ("t_in_ms", Json.Number t.t_in_ms);
+       ("t_out_ms", Json.Number t.t_out_ms);
+       ("bandwidth_mbps", Json.Number t.bandwidth_mbps);
+       ("client_timeout_ms", Json.Number t.client_timeout_ms);
+       ("fz", Json.Number (float_of_int t.fz));
+       ("leaders_per_region", Json.Number (float_of_int t.leaders_per_region));
+       ("epaxos_penalty", Json.Number t.epaxos_penalty);
+       ("piggyback_commit", Json.Bool t.piggyback_commit);
+       ("thrifty", Json.Bool t.thrifty);
+       ("migration_threshold", Json.Number (float_of_int t.migration_threshold));
+       ("migration_cooldown_ms", Json.Number t.migration_cooldown_ms);
+       ("failover_timeout_ms", Json.Number t.failover_timeout_ms);
+       ("master_region_index", Json.Number (float_of_int t.master_region_index));
+     ]
+    @ (match t.q2_size with
+      | Some q -> [ ("q2_size", Json.Number (float_of_int q)) ]
+      | None -> [])
+    @
+    match t.initial_object_owner with
+    | Some o -> [ ("initial_object_owner", Json.Number (float_of_int o)) ]
+    | None -> [])
+
+let known_fields =
+  [
+    "n_replicas"; "seed"; "msg_size_bytes"; "t_in_ms"; "t_out_ms";
+    "bandwidth_mbps"; "client_timeout_ms"; "q2_size"; "fz";
+    "leaders_per_region"; "epaxos_penalty"; "piggyback_commit"; "thrifty";
+    "migration_threshold"; "migration_cooldown_ms"; "failover_timeout_ms";
+    "initial_object_owner";
+    "master_region_index";
+  ]
+
+let of_json json =
+  match json with
+  | Json.Obj fields -> (
+      match
+        List.find_opt (fun (k, _) -> not (List.mem k known_fields)) fields
+      with
+      | Some (k, _) -> Error (Printf.sprintf "unknown configuration field %S" k)
+      | None -> (
+          let intf name fallback =
+            match Json.member name json with
+            | Some v -> (
+                match Json.to_int v with
+                | Some i -> Ok i
+                | None -> Error (Printf.sprintf "%s must be an integer" name))
+            | None -> Ok fallback
+          in
+          let floatf name fallback =
+            match Json.member name json with
+            | Some v -> (
+                match Json.to_float v with
+                | Some f -> Ok f
+                | None -> Error (Printf.sprintf "%s must be a number" name))
+            | None -> Ok fallback
+          in
+          let boolf name fallback =
+            match Json.member name json with
+            | Some v -> (
+                match Json.to_bool v with
+                | Some b -> Ok b
+                | None -> Error (Printf.sprintf "%s must be a boolean" name))
+            | None -> Ok fallback
+          in
+          let opt_int name =
+            match Json.member name json with
+            | Some Json.Null | None -> Ok None
+            | Some v -> (
+                match Json.to_int v with
+                | Some i -> Ok (Some i)
+                | None -> Error (Printf.sprintf "%s must be an integer" name))
+          in
+          let ( let* ) = Result.bind in
+          let* n_replicas = intf "n_replicas" 0 in
+          if n_replicas < 1 then Error "n_replicas is required and must be >= 1"
+          else
+            let d = default ~n_replicas in
+            let* seed = intf "seed" d.seed in
+            let* msg_size_bytes = intf "msg_size_bytes" d.msg_size_bytes in
+            let* t_in_ms = floatf "t_in_ms" d.t_in_ms in
+            let* t_out_ms = floatf "t_out_ms" d.t_out_ms in
+            let* bandwidth_mbps = floatf "bandwidth_mbps" d.bandwidth_mbps in
+            let* client_timeout_ms = floatf "client_timeout_ms" d.client_timeout_ms in
+            let* q2_size = opt_int "q2_size" in
+            let* fz = intf "fz" d.fz in
+            let* leaders_per_region = intf "leaders_per_region" d.leaders_per_region in
+            let* epaxos_penalty = floatf "epaxos_penalty" d.epaxos_penalty in
+            let* piggyback_commit = boolf "piggyback_commit" d.piggyback_commit in
+            let* thrifty = boolf "thrifty" d.thrifty in
+            let* migration_threshold = intf "migration_threshold" d.migration_threshold in
+            let* migration_cooldown_ms = floatf "migration_cooldown_ms" d.migration_cooldown_ms in
+            let* failover_timeout_ms = floatf "failover_timeout_ms" d.failover_timeout_ms in
+            let* initial_object_owner = opt_int "initial_object_owner" in
+            let* master_region_index = intf "master_region_index" d.master_region_index in
+            let config =
+              {
+                n_replicas; seed; msg_size_bytes; t_in_ms; t_out_ms;
+                bandwidth_mbps; client_timeout_ms; q2_size; fz;
+                leaders_per_region; epaxos_penalty; piggyback_commit; thrifty;
+                migration_threshold; migration_cooldown_ms;
+                failover_timeout_ms; initial_object_owner;
+                master_region_index;
+              }
+            in
+            let* () = validate config in
+            Ok config))
+  | _ -> Error "configuration must be a JSON object"
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> Result.bind (Json.parse contents) of_json
+  | exception Sys_error msg -> Error msg

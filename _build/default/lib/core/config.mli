@@ -1,0 +1,72 @@
+(** Cluster and protocol configuration (§4.1 Configurations).
+
+    One flat record carries the knobs shared by every protocol plus the
+    per-protocol parameters the paper's evaluation varies: FPaxos
+    phase-2 quorum size, WPaxos fault-tolerance level [fz] and
+    leader-per-region restriction, the EPaxos conflict-bookkeeping
+    penalty, thrifty quorums and commit piggybacking. *)
+
+type t = {
+  n_replicas : int;
+  seed : int;
+  msg_size_bytes : int;  (** wire size charged per protocol message *)
+  t_in_ms : float;  (** CPU cost to process an incoming message *)
+  t_out_ms : float;  (** CPU cost to serialize an outgoing message *)
+  bandwidth_mbps : float;
+  client_timeout_ms : float;  (** client retry timeout *)
+  q2_size : int option;
+      (** FPaxos phase-2 quorum size; [None] = majority *)
+  fz : int;  (** WPaxos: number of zone (region) failures tolerated *)
+  leaders_per_region : int;
+      (** WPaxos/WanKeeper leader restriction used in §5 (one per
+          region) *)
+  epaxos_penalty : float;
+      (** multiplier on message-processing cost at EPaxos replicas,
+          accounting for dependency computation (§5) *)
+  piggyback_commit : bool;
+      (** piggyback phase-3 on the next phase-2 broadcast (§2) *)
+  thrifty : bool;
+      (** leaders contact only Q-1 followers instead of N-1 (§6.1) *)
+  migration_threshold : int;
+      (** consecutive remote accesses before object
+          migration/stealing — the paper's "simple three-consecutive
+          access policy" (§5.3) *)
+  migration_cooldown_ms : float;
+      (** minimum time between migrations of the same object; damps
+          ownership ping-pong when several regions interleave accesses
+          (uniform workloads) without slowing the first adaptation *)
+  failover_timeout_ms : float;
+      (** how long a follower waits without hearing from the leader
+          before starting its own phase-1 (staggered by replica id) *)
+  initial_object_owner : int option;
+      (** multi-leader protocols: replica that initially owns every
+          object (the locality experiment starts with all objects in
+          Ohio); [None] = keys are claimed on first access *)
+  master_region_index : int;
+      (** WanKeeper/VPaxos: index (into the topology's region list) of
+          the region hosting the master / level-2 group *)
+}
+
+val default : n_replicas:int -> t
+(** Calibrated to the paper's m5.large setup; see field defaults in the
+    implementation. *)
+
+val validate : t -> (unit, string) result
+(** Reject inconsistent settings (bad quorum sizes, negative costs). *)
+
+val majority : t -> int
+(** [⌊n/2⌋ + 1]. *)
+
+val phase2_quorum_size : t -> int
+(** [q2_size] when set (FPaxos), else majority. *)
+
+val to_json : t -> Json.t
+(** Serialize to the JSON shape understood by {!of_json}. *)
+
+val of_json : Json.t -> (t, string) result
+(** Read a configuration from JSON: every field is optional and
+    overrides {!default} (which requires ["n_replicas"]). Unknown
+    fields are rejected to catch typos. *)
+
+val load_file : string -> (t, string) result
+(** Parse a JSON configuration file (the §4.1 distribution model). *)

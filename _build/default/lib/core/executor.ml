@@ -1,0 +1,24 @@
+type t = {
+  sm : State_machine.t;
+  memo : (int * int, Command.value option) Hashtbl.t;
+}
+
+let create () = { sm = State_machine.create (); memo = Hashtbl.create 256 }
+
+let key_of (c : Command.t) = (c.Command.client, c.Command.id)
+
+let already_executed t c =
+  (not (Command.is_noop c)) && Hashtbl.mem t.memo (key_of c)
+
+let execute t c =
+  if Command.is_noop c then None
+  else
+    match Hashtbl.find_opt t.memo (key_of c) with
+    | Some r -> r
+    | None ->
+        let { State_machine.read; _ } = State_machine.apply t.sm c in
+        Hashtbl.add t.memo (key_of c) read;
+        read
+
+let state_machine t = t.sm
+let executed_count t = Hashtbl.length t.memo

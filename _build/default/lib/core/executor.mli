@@ -1,0 +1,19 @@
+(** Exactly-once command execution over a replica's state machine.
+
+    Consensus may decide the same command in more than one slot when
+    clients retry after a timeout; the executor applies each distinct
+    [(client, id)] once and memoizes the result so re-decided commands
+    still produce a reply with the original read value. *)
+
+type t
+
+val create : unit -> t
+
+val execute : t -> Command.t -> Command.value option
+(** Apply the command (or recall its memoized result) and return the
+    read value. No-ops return [None] and are not applied. *)
+
+val already_executed : t -> Command.t -> bool
+val state_machine : t -> State_machine.t
+val executed_count : t -> int
+(** Distinct commands applied (excludes no-ops and duplicates). *)

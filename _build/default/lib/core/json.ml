@@ -1,0 +1,214 @@
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of int * string
+
+let fail pos msg = raise (Parse_error (pos, msg))
+
+type state = { src : string; mutable pos : int }
+
+let peek s = if s.pos < String.length s.src then Some s.src.[s.pos] else None
+
+let advance s = s.pos <- s.pos + 1
+
+let rec skip_ws s =
+  match peek s with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance s;
+      skip_ws s
+  | _ -> ()
+
+let expect s c =
+  match peek s with
+  | Some c' when c' = c -> advance s
+  | _ -> fail s.pos (Printf.sprintf "expected %C" c)
+
+let literal s word value =
+  let n = String.length word in
+  if s.pos + n <= String.length s.src && String.sub s.src s.pos n = word then begin
+    s.pos <- s.pos + n;
+    value
+  end
+  else fail s.pos (Printf.sprintf "expected %s" word)
+
+let parse_string_body s =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek s with
+    | None -> fail s.pos "unterminated string"
+    | Some '"' -> advance s
+    | Some '\\' -> (
+        advance s;
+        match peek s with
+        | Some 'n' -> advance s; Buffer.add_char buf '\n'; go ()
+        | Some 't' -> advance s; Buffer.add_char buf '\t'; go ()
+        | Some 'r' -> advance s; Buffer.add_char buf '\r'; go ()
+        | Some 'b' -> advance s; Buffer.add_char buf '\b'; go ()
+        | Some 'f' -> advance s; Buffer.add_char buf '\012'; go ()
+        | Some '"' -> advance s; Buffer.add_char buf '"'; go ()
+        | Some '\\' -> advance s; Buffer.add_char buf '\\'; go ()
+        | Some '/' -> advance s; Buffer.add_char buf '/'; go ()
+        | Some 'u' ->
+            advance s;
+            if s.pos + 4 > String.length s.src then fail s.pos "bad \\u escape";
+            let hex = String.sub s.src s.pos 4 in
+            s.pos <- s.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail s.pos "bad \\u escape"
+            in
+            (* encode as UTF-8 *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            go ()
+        | _ -> fail s.pos "bad escape")
+    | Some c ->
+        advance s;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number s =
+  let start = s.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek s with Some c when is_num_char c -> true | _ -> false) do
+    advance s
+  done;
+  let text = String.sub s.src start (s.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> Number f
+  | None -> fail start (Printf.sprintf "bad number %S" text)
+
+let rec parse_value s =
+  skip_ws s;
+  match peek s with
+  | None -> fail s.pos "unexpected end of input"
+  | Some '{' ->
+      advance s;
+      skip_ws s;
+      if peek s = Some '}' then begin
+        advance s;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws s;
+          expect s '"';
+          let key = parse_string_body s in
+          skip_ws s;
+          expect s ':';
+          let value = parse_value s in
+          skip_ws s;
+          match peek s with
+          | Some ',' ->
+              advance s;
+              members ((key, value) :: acc)
+          | Some '}' ->
+              advance s;
+              List.rev ((key, value) :: acc)
+          | _ -> fail s.pos "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      advance s;
+      skip_ws s;
+      if peek s = Some ']' then begin
+        advance s;
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let value = parse_value s in
+          skip_ws s;
+          match peek s with
+          | Some ',' ->
+              advance s;
+              elements (value :: acc)
+          | Some ']' ->
+              advance s;
+              List.rev (value :: acc)
+          | _ -> fail s.pos "expected ',' or ']'"
+        in
+        List (elements [])
+      end
+  | Some '"' ->
+      advance s;
+      String (parse_string_body s)
+  | Some 't' -> literal s "true" (Bool true)
+  | Some 'f' -> literal s "false" (Bool false)
+  | Some 'n' -> literal s "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number s
+  | Some c -> fail s.pos (Printf.sprintf "unexpected %C" c)
+
+let parse src =
+  let s = { src; pos = 0 } in
+  match parse_value s with
+  | value ->
+      skip_ws s;
+      if s.pos < String.length src then
+        Error (Printf.sprintf "trailing garbage at offset %d" s.pos)
+      else Ok value
+  | exception Parse_error (pos, msg) ->
+      Error (Printf.sprintf "%s at offset %d" msg pos)
+
+let escape_string str =
+  let buf = Buffer.create (String.length str + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    str;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec to_string = function
+  | Null -> "null"
+  | Bool b -> string_of_bool b
+  | Number f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Printf.sprintf "%.0f" f
+      else Printf.sprintf "%g" f
+  | String s -> escape_string s
+  | List l -> "[" ^ String.concat "," (List.map to_string l) ^ "]"
+  | Obj fields ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> escape_string k ^ ":" ^ to_string v) fields)
+      ^ "}"
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_int = function
+  | Number f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_float = function Number f -> Some f | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let get_string = function String s -> Some s | _ -> None

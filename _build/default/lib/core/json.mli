@@ -1,0 +1,27 @@
+(** Minimal JSON reader/writer for configuration files (§4.1: Paxi
+    manages configuration "via a JSON file distributed to every
+    node"). Supports the full JSON grammar except exotic number forms
+    and unicode escapes beyond the BMP; no external dependencies. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; the error carries a character
+    offset. *)
+
+val to_string : t -> string
+(** Serialize (compact). *)
+
+val member : string -> t -> t option
+(** Field lookup on an object; [None] on anything else. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+val to_bool : t -> bool option
+val get_string : t -> string option

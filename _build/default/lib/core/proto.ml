@@ -1,0 +1,42 @@
+type request = { command : Command.t; sent_at_ms : float }
+
+type reply = {
+  command : Command.t;
+  read : Command.value option;
+  replier : int;
+  leader_hint : int option;
+}
+
+type 'm env = {
+  id : int;
+  n : int;
+  config : Config.t;
+  topology : Topology.t;
+  rng : Rng.t;
+  now : unit -> float;
+  schedule : float -> (unit -> unit) -> Sim.handle;
+  send : int -> 'm -> unit;
+  broadcast : 'm -> unit;
+  multicast : int list -> 'm -> unit;
+  reply : Address.t -> reply -> unit;
+  forward : int -> client:Address.t -> request -> unit;
+}
+
+module type PROTOCOL = sig
+  type message
+  type replica
+
+  val name : string
+  val create : message env -> replica
+  val on_request : replica -> client:Address.t -> request -> unit
+  val on_message : replica -> src:int -> message -> unit
+  val on_start : replica -> unit
+  val leader_of_key : replica -> Command.key -> int option
+  val executor : replica -> Executor.t
+end
+
+module type RUNNABLE = sig
+  include PROTOCOL
+
+  val cpu_factor : Config.t -> float
+end

@@ -1,0 +1,77 @@
+(** The protocol-developer interface of the framework (§4, Fig. 5):
+    a protocol supplies its message type and a replica that handles
+    client requests and peer messages; everything else — networking,
+    quorums, datastore, benchmarking — comes from the shared modules.
+
+    This mirrors Paxi's "fill in the two shaded blocks" design:
+    [message] is the Messages block, and the [PROTOCOL] replica
+    callbacks are the Replica block. *)
+
+type request = { command : Command.t; sent_at_ms : float }
+
+type reply = {
+  command : Command.t;
+  read : Command.value option;  (** value observed by a read *)
+  replier : int;  (** replica that committed and replied *)
+  leader_hint : int option;
+      (** where the client should send next, if the protocol wants to
+          redirect *)
+}
+
+(** Capabilities handed to a replica by the cluster engine. Peer
+    identifiers are replica ids [0 .. n-1]. *)
+type 'm env = {
+  id : int;
+  n : int;
+  config : Config.t;
+  topology : Topology.t;
+  rng : Rng.t;
+  now : unit -> float;
+  schedule : float -> (unit -> unit) -> Sim.handle;
+      (** [schedule delay thunk] — virtual-time timer. *)
+  send : int -> 'm -> unit;
+  broadcast : 'm -> unit;  (** to every other replica *)
+  multicast : int list -> 'm -> unit;
+  reply : Address.t -> reply -> unit;  (** answer a client *)
+  forward : int -> client:Address.t -> request -> unit;
+      (** hand a client request over to another replica, preserving the
+          originating client address *)
+}
+
+module type PROTOCOL = sig
+  type message
+
+  type replica
+
+  val name : string
+
+  val create : message env -> replica
+
+  val on_request : replica -> client:Address.t -> request -> unit
+  (** A client request arrived at this replica (directly or
+      forwarded). *)
+
+  val on_message : replica -> src:int -> message -> unit
+
+  val on_start : replica -> unit
+  (** Called once at time 0 (e.g. to elect an initial leader). *)
+
+  val leader_of_key : replica -> Command.key -> int option
+  (** Introspection for routing and tests: which replica currently
+      leads this key, if the protocol has the notion. *)
+
+  val executor : replica -> Executor.t
+  (** The replica's exactly-once execution layer; checkers read its
+      state machine. *)
+end
+
+(** A protocol plus its node-cost shaping, as consumed by
+    {!Cluster.Make} and the protocol registry. *)
+module type RUNNABLE = sig
+  include PROTOCOL
+
+  val cpu_factor : Config.t -> float
+  (** Multiplier on per-message CPU costs at this protocol's replicas
+      (EPaxos charges its dependency-bookkeeping penalty here; other
+      protocols return 1.0). *)
+end

@@ -1,0 +1,56 @@
+type 'a t = {
+  mutable slots : 'a option array;
+  mutable high : int; (* one past highest occupied slot *)
+  mutable frontier : int;
+  mutable filled : int;
+}
+
+let create () = { slots = Array.make 64 None; high = 0; frontier = 0; filled = 0 }
+
+let ensure t i =
+  let cap = Array.length t.slots in
+  if i >= cap then begin
+    let ncap = ref (cap * 2) in
+    while i >= !ncap do
+      ncap := !ncap * 2
+    done;
+    let ns = Array.make !ncap None in
+    Array.blit t.slots 0 ns 0 cap;
+    t.slots <- ns
+  end
+
+let get t i = if i < 0 || i >= Array.length t.slots then None else t.slots.(i)
+
+let set t i v =
+  if i < 0 then invalid_arg "Slot_log.set: negative slot";
+  ensure t i;
+  if t.slots.(i) = None then t.filled <- t.filled + 1;
+  t.slots.(i) <- Some v;
+  if i >= t.high then t.high <- i + 1
+
+let update t i ~f = set t i (f (get t i))
+let next_slot t = t.high
+
+let reserve t =
+  let s = t.high in
+  t.high <- t.high + 1;
+  s
+
+let exec_frontier t = t.frontier
+
+let advance_frontier t ~executable ~f =
+  let continue = ref true in
+  while !continue do
+    match get t t.frontier with
+    | Some v when executable v ->
+        f t.frontier v;
+        t.frontier <- t.frontier + 1
+    | _ -> continue := false
+  done
+
+let iter_filled t ~f =
+  for i = 0 to t.high - 1 do
+    match t.slots.(i) with Some v -> f i v | None -> ()
+  done
+
+let filled_count t = t.filled

@@ -1,0 +1,26 @@
+(** Growable replicated-log abstraction shared by the multi-decree
+    protocols: a sparse array of per-slot entries plus an execution
+    frontier. The entry type is protocol-specific. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val get : 'a t -> int -> 'a option
+val set : 'a t -> int -> 'a -> unit
+val update : 'a t -> int -> f:('a option -> 'a) -> unit
+val next_slot : 'a t -> int
+(** One past the highest occupied slot (0 when empty). *)
+
+val reserve : 'a t -> int
+(** Allocate and return the next free slot index. *)
+
+val exec_frontier : 'a t -> int
+(** Index of the first slot not yet executed. *)
+
+val advance_frontier :
+  'a t -> executable:('a -> bool) -> f:(int -> 'a -> unit) -> unit
+(** Run [f] on consecutive slots starting at the frontier while each
+    slot is filled and [executable]; advances the frontier past them. *)
+
+val iter_filled : 'a t -> f:(int -> 'a -> unit) -> unit
+val filled_count : 'a t -> int

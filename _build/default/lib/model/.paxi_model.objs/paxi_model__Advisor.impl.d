@@ -1,0 +1,1 @@
+lib/model/advisor.ml: Format List String

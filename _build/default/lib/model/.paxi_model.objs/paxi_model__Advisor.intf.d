@@ -1,0 +1,1 @@
+lib/model/advisor.mli: Format

@@ -1,0 +1,1 @@
+lib/model/latency_model.ml: Array Dist Float List Order_stats Paxi_quorum Queueing Region Service Stdlib Topology

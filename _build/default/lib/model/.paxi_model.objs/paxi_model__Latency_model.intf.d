@@ -1,0 +1,1 @@
+lib/model/latency_model.mli: Queueing Region Rng Service

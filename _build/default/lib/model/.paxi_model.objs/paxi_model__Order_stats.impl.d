@@ -1,0 +1,1 @@
+lib/model/order_stats.ml: Array Dist Float

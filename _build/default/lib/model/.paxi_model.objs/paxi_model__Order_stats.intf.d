@@ -1,0 +1,1 @@
+lib/model/order_stats.mli: Dist Rng

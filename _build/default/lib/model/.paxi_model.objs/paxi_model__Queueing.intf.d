@@ -1,0 +1,1 @@
+lib/model/queueing.mli: Format

@@ -1,0 +1,1 @@
+lib/model/service.ml: Float Paxi_quorum Stdlib

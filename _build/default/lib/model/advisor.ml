@@ -1,0 +1,109 @@
+type locality = No_locality | Static_locality | Dynamic_locality
+
+type deployment = {
+  needs_consensus : bool;
+  wan : bool;
+  read_heavy : bool;
+  locality : locality;
+  region_failure_concern : bool;
+}
+
+type recommendation = {
+  category : string;
+  protocols : string list;
+  rationale : string;
+}
+
+let no_consensus =
+  {
+    category = "no consensus needed";
+    protocols = [ "atomic-storage"; "chain-replication"; "eventual-consistency" ];
+    rationale =
+      "Consensus implements SMR for critical coordination; read/write \
+       linearizability alone does not require it.";
+  }
+
+let lan_single_leader =
+  {
+    category = "single-leader LAN";
+    protocols = [ "paxos"; "raft"; "zab" ];
+    rationale =
+      "Small LAN deployments keep decent performance with a single \
+       leader and benefit from implementation simplicity.";
+  }
+
+let leaderless =
+  {
+    category = "leaderless";
+    protocols = [ "generalized-paxos"; "epaxos" ];
+    rationale =
+      "Read-heavy workloads have few interfering commands, so the \
+       opportunistic-leader fast path usually applies.";
+  }
+
+let sharded_static =
+  {
+    category = "static sharding";
+    protocols = [ "paxos-groups" ];
+    rationale =
+      "Static locality means a sharding technique already places data \
+       optimally.";
+  }
+
+let hierarchical_regional =
+  {
+    category = "hierarchical / master-managed, single-region groups";
+    protocols = [ "vpaxos"; "wankeeper" ];
+    rationale =
+      "Without region-failure concerns, replica groups can live inside \
+       one region under a master or hierarchical architecture.";
+  }
+
+let adaptive_multileader =
+  {
+    category = "adaptive multi-leader";
+    protocols = [ "wpaxos"; "vpaxos-cross-region" ];
+    rationale =
+      "Dynamic locality plus region fault tolerance calls for a \
+       multi-leader protocol that adapts object ownership and uses \
+       cross-region quorums.";
+  }
+
+let recommend d =
+  if not d.needs_consensus then no_consensus
+  else if not d.wan then lan_single_leader
+  else
+    match d.locality with
+    | No_locality -> if d.read_heavy then leaderless else lan_single_leader
+    | Static_locality -> sharded_static
+    | Dynamic_locality ->
+        if d.region_failure_concern then adaptive_multileader
+        else hierarchical_regional
+
+let all_paths =
+  let base =
+    {
+      needs_consensus = true;
+      wan = true;
+      read_heavy = false;
+      locality = No_locality;
+      region_failure_concern = false;
+    }
+  in
+  let cases =
+    [
+      { base with needs_consensus = false };
+      { base with wan = false };
+      { base with read_heavy = true };
+      base;
+      { base with locality = Static_locality };
+      { base with locality = Dynamic_locality; region_failure_concern = false };
+      { base with locality = Dynamic_locality; region_failure_concern = true };
+    ]
+  in
+  List.map (fun d -> (d, recommend d)) cases
+
+let pp ppf r =
+  Format.fprintf ppf "%s: consider %s — %s" r.category
+    (String.concat ", " r.protocols)
+    r.rationale

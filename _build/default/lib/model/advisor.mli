@@ -1,0 +1,28 @@
+(** The protocol-selection flowchart of Figure 14, as a decision
+    function: given the deployment's characteristics, which category
+    of protocol fits, with the paper's rationale. *)
+
+type locality = No_locality | Static_locality | Dynamic_locality
+
+type deployment = {
+  needs_consensus : bool;
+      (** some coordination needs are served by weaker primitives *)
+  wan : bool;
+  read_heavy : bool;  (** more reads than writes *)
+  locality : locality;
+  region_failure_concern : bool;
+}
+
+type recommendation = {
+  category : string;
+  protocols : string list;
+  rationale : string;
+}
+
+val recommend : deployment -> recommendation
+
+val all_paths : (deployment * recommendation) list
+(** Every distinct path through the flowchart, for tests and for
+    printing the full decision table. *)
+
+val pp : Format.formatter -> recommendation -> unit

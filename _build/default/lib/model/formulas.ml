@@ -1,0 +1,30 @@
+let load ~leaders ~conflict ~quorum =
+  assert (leaders >= 1 && quorum >= 1);
+  assert (conflict >= 0.0 && conflict <= 1.0);
+  let l = float_of_int leaders and q = float_of_int quorum in
+  (1.0 +. conflict) *. (q +. l -. 2.0) /. l
+
+let capacity ~leaders ~conflict ~quorum =
+  1.0 /. load ~leaders ~conflict ~quorum
+
+let load_paxos ~n = float_of_int (n / 2)
+
+let load_epaxos ~n ~conflict =
+  let nf = float_of_int n in
+  (1.0 +. conflict) *. (float_of_int (n / 2) +. nf -. 1.0) /. nf
+
+let load_wpaxos ~n ~leaders =
+  let l = float_of_int leaders in
+  ((float_of_int n /. l) +. l -. 2.0) /. l
+
+let latency ~conflict ~locality ~dl_ms ~dq_ms =
+  (1.0 +. conflict)
+  *. (((1.0 -. locality) *. (dl_ms +. dq_ms)) +. (locality *. dq_ms))
+
+let table4 =
+  [
+    ("L (leaders)", [ "epaxos"; "wpaxos" ]);
+    ("c (conflicts)", [ "generalized-paxos"; "epaxos" ]);
+    ("Q (quorum)", [ "fpaxos"; "wpaxos" ]);
+    ("l (locality)", [ "vpaxos"; "wpaxos"; "wankeeper" ]);
+  ]

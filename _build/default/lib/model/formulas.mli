@@ -1,0 +1,37 @@
+(** The distilled formulas of Section 6 — the paper's "simple unified
+    theory of strongly-consistent replication".
+
+    Load (Definition 6.1, Equations 2–3): the minimum number of
+    operations the busiest node performs per request, where one
+    operation is the work of a round trip with one peer:
+
+    {v L(S) = (1 + c) (Q + L - 2) / L v}
+
+    Capacity is its reciprocal (Equation 1). Latency (Equation 7):
+
+    {v Latency = (1 + c) ((1 - l)(DL + DQ) + l DQ) v} *)
+
+val load : leaders:int -> conflict:float -> quorum:int -> float
+(** Equation 3. [leaders >= 1], [0 <= conflict <= 1], [quorum >= 1]. *)
+
+val capacity : leaders:int -> conflict:float -> quorum:int -> float
+(** Equation 1: [1 / load]. Relative units. *)
+
+val load_paxos : n:int -> float
+(** Equation 4: [⌊N/2⌋] — with [L = 1], [c = 0] and a majority
+    quorum. *)
+
+val load_epaxos : n:int -> conflict:float -> float
+(** Equation 5: [(1+c)(⌊N/2⌋ + N - 1)/N]. *)
+
+val load_wpaxos : n:int -> leaders:int -> float
+(** Equation 6: [(N/L + L - 2)/L] — flexible grid with per-zone
+    phase-2 quorums. *)
+
+val latency :
+  conflict:float -> locality:float -> dl_ms:float -> dq_ms:float -> float
+(** Equation 7. *)
+
+val table4 : (string * string list) list
+(** The parameter-to-protocol map of Table 4: which protocols explore
+    leaders, conflicts, quorums and locality. *)

@@ -1,0 +1,227 @@
+type protocol =
+  | Paxos
+  | Fpaxos of { q2 : int }
+  | Epaxos of { conflict : float }
+  | Epaxos_adaptive of { conflict_lo : float; conflict_hi : float }
+  | Wpaxos of { leaders : int; locality : float; fz : int }
+  | Wankeeper of { leaders : int; locality : float }
+
+let protocol_name = function
+  | Paxos -> "paxos"
+  | Fpaxos _ -> "fpaxos"
+  | Epaxos _ | Epaxos_adaptive _ -> "epaxos"
+  | Wpaxos _ -> "wpaxos"
+  | Wankeeper _ -> "wankeeper"
+
+type point = { throughput_rps : float; latency_ms : float }
+
+type lan = { rtt_mu_ms : float; rtt_sigma_ms : float }
+
+let default_lan = { rtt_mu_ms = 0.4271; rtt_sigma_ms = 0.0476 }
+
+let epaxos_penalty = 1.8
+
+let round_cost ~node = function
+  | Paxos -> Service.paxos node
+  | Fpaxos { q2 } -> Service.fpaxos node ~q2
+  | Epaxos { conflict } -> Service.epaxos node ~penalty:epaxos_penalty ~conflict
+  | Epaxos_adaptive { conflict_lo; _ } ->
+      Service.epaxos node ~penalty:epaxos_penalty ~conflict:conflict_lo
+  | Wpaxos { leaders; _ } -> Service.wpaxos node ~leaders
+  | Wankeeper { leaders; locality } -> Service.wankeeper node ~leaders ~locality
+
+(* For adaptive-conflict EPaxos the conflict probability (and with it
+   the service cost) grows with utilization, so saturation is the
+   fixed point of lambda * mean_service(c(lambda)) = 1; a few
+   iterations converge. *)
+let effective_conflict proto ~node ~lambda_rps =
+  match proto with
+  | Epaxos { conflict } -> conflict
+  | Epaxos_adaptive { conflict_lo; conflict_hi } ->
+      let rec fix c iter =
+        let rc = Service.epaxos node ~penalty:epaxos_penalty ~conflict:c in
+        let cap = Service.max_throughput_rps rc in
+        let util = Float.min 1.0 (lambda_rps /. cap) in
+        let c' = conflict_lo +. ((conflict_hi -. conflict_lo) *. util) in
+        if iter = 0 || Float.abs (c' -. c) < 1e-4 then c' else fix c' (iter - 1)
+      in
+      fix conflict_lo 20
+  | _ -> 0.0
+
+let resolved_cost proto ~node ~lambda_rps =
+  match proto with
+  | Epaxos_adaptive _ ->
+      let c = effective_conflict proto ~node ~lambda_rps in
+      Service.epaxos node ~penalty:epaxos_penalty ~conflict:c
+  | _ -> round_cost ~node proto
+
+let lan_max_throughput proto ~node =
+  match proto with
+  | Epaxos_adaptive _ ->
+      (* capacity at the high-conflict end *)
+      let rc =
+        resolved_cost proto ~node ~lambda_rps:1e12
+      in
+      Service.max_throughput_rps rc
+  | _ -> Service.max_throughput_rps (round_cost ~node proto)
+
+(* Queue wait at the busiest node for aggregate arrival rate lambda,
+   using the role-mixed service distribution. *)
+let queue_wait_ms ?(queue = Queueing.Md1) rc ~lambda_rps =
+  let mean_ms = Service.mean_service_ms rc in
+  if mean_ms <= 0.0 then Some 0.0
+  else begin
+    (* node-level arrival rate: rounds it leads plus rounds it
+       follows *)
+    let node_lambda = lambda_rps *. (rc.Service.lead_share +. rc.Service.follow_share) in
+    let mu = 1000.0 /. mean_ms in
+    if node_lambda >= mu then None
+    else begin
+      let kind =
+        match queue with
+        | Queueing.Mg1 _ -> Queueing.Mg1 { service_cv2 = Service.service_cv2 rc }
+        | k -> k
+      in
+      Some (Queueing.wait_time kind ~lambda:node_lambda ~mu *. 1000.0)
+    end
+  end
+
+(* ------------------------------- LAN ------------------------------ *)
+
+let lan_network_delays proto ~node ~lan ~rng =
+  let n = node.Service.n in
+  let mu = lan.rtt_mu_ms and sigma = lan.rtt_sigma_ms in
+  let quorum_rtt q = Order_stats.quorum_rtt_lan ~mu ~sigma ~quorum:q ~n rng in
+  let majority = (n / 2) + 1 in
+  match proto with
+  | Paxos -> (mu, quorum_rtt majority, 0.0)
+  | Fpaxos { q2 } -> (mu, quorum_rtt q2, 0.0)
+  | Epaxos _ | Epaxos_adaptive _ ->
+      (* client talks to its local (nearest) replica *)
+      let fast = Paxi_quorum.Quorum.fast_threshold n in
+      (mu, quorum_rtt fast, quorum_rtt majority)
+  | Wpaxos { leaders; _ } | Wankeeper { leaders; _ } ->
+      let zone = Stdlib.max 1 (n / leaders) in
+      let zq = (zone / 2) + 1 in
+      (* in-zone quorum out of the zone's members *)
+      let dq =
+        if zq <= 1 then 0.0
+        else
+          Order_stats.kth_of_n
+            (Dist.normal_pos ~mu ~sigma)
+            rng ~k:(zq - 1)
+            ~n:(Stdlib.max 1 (zone - 1))
+            ~trials:2000
+      in
+      (mu, dq, 0.0)
+
+let lan_point ?queue proto ~node ~lan ~rng ~lambda_rps =
+  let rc = resolved_cost proto ~node ~lambda_rps in
+  match queue_wait_ms ?queue rc ~lambda_rps with
+  | None -> None
+  | Some wq ->
+      let dl, dq, dq_extra = lan_network_delays proto ~node ~lan ~rng in
+      let c = effective_conflict proto ~node ~lambda_rps in
+      let base = wq +. rc.Service.lead_ms +. dl +. dq in
+      let latency = base +. (c *. dq_extra) in
+      Some { throughput_rps = lambda_rps; latency_ms = latency }
+
+let lan_curve ?queue proto ~node ~lan ~rng ~lambdas =
+  List.filter_map
+    (fun lambda_rps -> lan_point ?queue proto ~node ~lan ~rng ~lambda_rps)
+    lambdas
+
+(* ------------------------------- WAN ------------------------------ *)
+
+type wan = {
+  regions : Region.t list;
+  client_mix : (Region.t * float) list;
+  rtt_ms : Region.t -> Region.t -> float;
+}
+
+let default_wan =
+  {
+    regions = Region.aws_five;
+    client_mix = List.map (fun r -> (r, 0.2)) Region.aws_five;
+    rtt_ms = Topology.aws_rtt_ms;
+  }
+
+let avg_over_mix wan f =
+  List.fold_left (fun acc (r, w) -> acc +. (w *. f r)) 0.0 wan.client_mix
+
+(* RTTs from [region] to every other replica region. *)
+let rtts_from wan region =
+  wan.regions
+  |> List.filter (fun r -> not (Region.equal r region))
+  |> List.map (fun r -> wan.rtt_ms region r)
+  |> Array.of_list
+
+let wan_quorum_rtt wan region ~quorum =
+  Order_stats.quorum_rtt_wan ~rtts:(rtts_from wan region) ~quorum
+
+let wan_network_delays proto ~wan ~leader_region =
+  let n = List.length wan.regions in
+  let majority = (n / 2) + 1 in
+  match proto with
+  | Paxos ->
+      let dl = avg_over_mix wan (fun r -> wan.rtt_ms r leader_region) in
+      (dl, wan_quorum_rtt wan leader_region ~quorum:majority, 0.0)
+  | Fpaxos { q2 } ->
+      let dl = avg_over_mix wan (fun r -> wan.rtt_ms r leader_region) in
+      (dl, wan_quorum_rtt wan leader_region ~quorum:q2, 0.0)
+  | Epaxos _ | Epaxos_adaptive _ ->
+      let fast = Paxi_quorum.Quorum.fast_threshold n in
+      let dq = avg_over_mix wan (fun r -> wan_quorum_rtt wan r ~quorum:fast) in
+      let dq_extra =
+        avg_over_mix wan (fun r -> wan_quorum_rtt wan r ~quorum:majority)
+      in
+      (* the client's local replica leads; DL is intra-region *)
+      (Topology.aws_rtt_ms leader_region leader_region, dq, dq_extra)
+  | Wpaxos { locality; fz; _ } ->
+      (* fz = 0 commits in-region; fz >= 1 needs the nearest zone(s) *)
+      let local = Topology.aws_rtt_ms leader_region leader_region in
+      let dq =
+        if fz = 0 then local
+        else
+          avg_over_mix wan (fun r ->
+              Order_stats.quorum_rtt_wan ~rtts:(rtts_from wan r) ~quorum:(fz + 1))
+      in
+      let dl_remote =
+        avg_over_mix wan (fun r ->
+            (* average distance to the other regions' leaders *)
+            let others = rtts_from wan r in
+            if Array.length others = 0 then 0.0
+            else
+              Array.fold_left ( +. ) 0.0 others
+              /. float_of_int (Array.length others))
+      in
+      (* Formula 7 folds locality into the DL term *)
+      let dl = (1.0 -. locality) *. dl_remote in
+      (dl +. ((1.0 -. locality) *. local), dq *. 1.0, 0.0)
+  | Wankeeper { locality; _ } ->
+      let local = Topology.aws_rtt_ms leader_region leader_region in
+      let dl_master =
+        avg_over_mix wan (fun r ->
+            let others = rtts_from wan r in
+            if Array.length others = 0 then 0.0
+            else
+              Array.fold_left ( +. ) 0.0 others
+              /. float_of_int (Array.length others))
+      in
+      ((1.0 -. locality) *. dl_master, local, 0.0)
+
+let wan_point ?queue proto ~node ~wan ~leader_region ~lambda_rps =
+  let rc = resolved_cost proto ~node ~lambda_rps in
+  match queue_wait_ms ?queue rc ~lambda_rps with
+  | None -> None
+  | Some wq ->
+      let dl, dq, dq_extra = wan_network_delays proto ~wan ~leader_region in
+      let c = effective_conflict proto ~node ~lambda_rps in
+      let latency = wq +. rc.Service.lead_ms +. dl +. dq +. (c *. dq_extra) in
+      Some { throughput_rps = lambda_rps; latency_ms = latency }
+
+let wan_curve ?queue proto ~node ~wan ~leader_region ~lambdas =
+  List.filter_map
+    (fun lambda_rps ->
+      wan_point ?queue proto ~node ~wan ~leader_region ~lambda_rps)
+    lambdas

@@ -1,0 +1,89 @@
+(** End-to-end analytic latency/throughput curves (§3.3–3.4): the
+    average round latency perceived by a client is
+
+    {v Latency = Wq + ts + DL + DQ v}
+
+    where Wq is the queue wait at the busiest node (M/D/1 by default,
+    as selected in Fig. 4), ts the round service time, DL the
+    client-to-leader RTT and DQ the quorum RTT ((Q-1)-th order
+    statistic of follower RTTs — Monte-Carlo in LAN, the (Q-1)-th
+    smallest fixed RTT in WAN). These curves regenerate Fig. 4, 8, 10
+    and 12. *)
+
+type protocol =
+  | Paxos
+  | Fpaxos of { q2 : int }
+  | Epaxos of { conflict : float }
+  | Epaxos_adaptive of { conflict_lo : float; conflict_hi : float }
+      (** conflict probability grows linearly with utilization, the
+          paper's EPaxos (Conflict=[0.02, 0.70]) series in Fig. 10 *)
+  | Wpaxos of { leaders : int; locality : float; fz : int }
+  | Wankeeper of { leaders : int; locality : float }
+
+val protocol_name : protocol -> string
+
+type point = { throughput_rps : float; latency_ms : float }
+
+(** {1 LAN} *)
+
+type lan = { rtt_mu_ms : float; rtt_sigma_ms : float }
+
+val default_lan : lan
+(** The paper's measured intra-region RTT, N(0.4271, 0.0476) ms. *)
+
+val lan_max_throughput :
+  protocol -> node:Service.node_params -> float
+(** Saturation throughput (rounds/sec). *)
+
+val lan_point :
+  ?queue:Queueing.kind ->
+  protocol ->
+  node:Service.node_params ->
+  lan:lan ->
+  rng:Rng.t ->
+  lambda_rps:float ->
+  point option
+(** [None] once the busiest node saturates. *)
+
+val lan_curve :
+  ?queue:Queueing.kind ->
+  protocol ->
+  node:Service.node_params ->
+  lan:lan ->
+  rng:Rng.t ->
+  lambdas:float list ->
+  point list
+
+(** {1 WAN} *)
+
+type wan = {
+  regions : Region.t list;  (** one replica (or zone leader) each *)
+  client_mix : (Region.t * float) list;
+      (** where requests originate, weights summing to 1 *)
+  rtt_ms : Region.t -> Region.t -> float;
+}
+
+val default_wan : wan
+(** The paper's five AWS regions with a uniform client mix and the
+    calibrated RTT matrix. *)
+
+val wan_point :
+  ?queue:Queueing.kind ->
+  protocol ->
+  node:Service.node_params ->
+  wan:wan ->
+  leader_region:Region.t ->
+  lambda_rps:float ->
+  point option
+(** Aggregate arrival rate [lambda_rps] across all regions;
+    [leader_region] places the single leader (ignored by multi-leader
+    protocols, which put one leader per region). *)
+
+val wan_curve :
+  ?queue:Queueing.kind ->
+  protocol ->
+  node:Service.node_params ->
+  wan:wan ->
+  leader_region:Region.t ->
+  lambdas:float list ->
+  point list

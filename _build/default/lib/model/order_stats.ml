@@ -1,0 +1,28 @@
+let kth_of_n dist rng ~k ~n ~trials =
+  assert (k >= 1 && k <= n && trials > 0);
+  let sample = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for _ = 1 to trials do
+    for i = 0 to n - 1 do
+      sample.(i) <- Dist.sample dist rng
+    done;
+    Array.sort Float.compare sample;
+    acc := !acc +. sample.(k - 1)
+  done;
+  !acc /. float_of_int trials
+
+let kth_of_samples rtts ~k =
+  let n = Array.length rtts in
+  assert (k >= 1 && k <= n);
+  let sorted = Array.copy rtts in
+  Array.sort Float.compare sorted;
+  sorted.(k - 1)
+
+let quorum_rtt_lan ~mu ~sigma ~quorum ~n rng =
+  if quorum <= 1 then 0.0
+  else
+    kth_of_n (Dist.normal_pos ~mu ~sigma) rng ~k:(quorum - 1) ~n:(n - 1)
+      ~trials:2000
+
+let quorum_rtt_wan ~rtts ~quorum =
+  if quorum <= 1 then 0.0 else kth_of_samples rtts ~k:(quorum - 1)

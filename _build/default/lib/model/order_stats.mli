@@ -1,0 +1,21 @@
+(** k-order statistics by Monte-Carlo approximation (§3.3): the
+    expected RTT of the reply that completes a quorum is the
+    (Q-1)-th order statistic of the follower RTT distribution. *)
+
+val kth_of_n : Dist.t -> Rng.t -> k:int -> n:int -> trials:int -> float
+(** Expected value of the [k]-th smallest of [n] iid samples
+    (1-indexed; [k <= n]). *)
+
+val kth_of_samples : float array -> k:int -> float
+(** Deterministic variant for WAN: the [k]-th smallest of fixed
+    per-follower RTTs (used when followers are at known distances). *)
+
+val quorum_rtt_lan :
+  mu:float -> sigma:float -> quorum:int -> n:int -> Rng.t -> float
+(** Expected RTT for the [(quorum-1)]-th follower reply out of [n-1]
+    followers whose RTTs are Normal([mu], [sigma]); a self-voting
+    leader needs [quorum - 1] replies. Returns 0 for [quorum <= 1]. *)
+
+val quorum_rtt_wan : rtts:float array -> quorum:int -> float
+(** WAN version over the fixed RTTs from the leader to each other
+    node: the [(quorum-1)]-th smallest (§3.3). *)

@@ -1,0 +1,1 @@
+lib/net/address.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/net/region.ml: Format String

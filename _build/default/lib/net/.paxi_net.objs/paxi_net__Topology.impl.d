@@ -1,0 +1,1 @@
+lib/net/topology.ml: Address Array Float Hashtbl List Printf Region Rng

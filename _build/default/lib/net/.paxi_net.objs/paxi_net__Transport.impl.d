@@ -1,0 +1,1 @@
+lib/net/transport.ml: Address Faults List Option Procq Rng Sim Topology

@@ -1,0 +1,43 @@
+type t = Replica of int | Client of int
+
+let replica i = Replica i
+let client i = Client i
+let is_replica = function Replica _ -> true | Client _ -> false
+let is_client = function Client _ -> true | Replica _ -> false
+
+let replica_id = function
+  | Replica i -> i
+  | Client i -> invalid_arg (Printf.sprintf "Address.replica_id: client %d" i)
+
+let compare a b =
+  match (a, b) with
+  | Replica i, Replica j -> Int.compare i j
+  | Client i, Client j -> Int.compare i j
+  | Replica _, Client _ -> -1
+  | Client _, Replica _ -> 1
+
+let equal a b = compare a b = 0
+let hash = function Replica i -> (2 * i) + 1 | Client i -> 2 * i
+
+let pp ppf = function
+  | Replica i -> Format.fprintf ppf "n%d" i
+  | Client i -> Format.fprintf ppf "c%d" i
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+module Table = Hashtbl.Make (Hashed)

@@ -1,0 +1,22 @@
+(** Node addressing. Replicas participate in the protocol; clients
+    only exchange request/reply traffic with replicas. *)
+
+type t = Replica of int | Client of int
+
+val replica : int -> t
+val client : int -> t
+val is_replica : t -> bool
+val is_client : t -> bool
+
+val replica_id : t -> int
+(** Raises [Invalid_argument] on a client address. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Table : Hashtbl.S with type key = t

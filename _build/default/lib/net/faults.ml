@@ -1,0 +1,78 @@
+type window = { from_ms : float; until_ms : float }
+
+let in_window w now = now >= w.from_ms && now < w.until_ms
+
+type rule =
+  | Crash of { node : Address.t; w : window }
+  | Drop of { src : Address.t; dst : Address.t; w : window }
+  | Slow of { src : Address.t; dst : Address.t; w : window; extra_ms : float }
+  | Flaky of { src : Address.t; dst : Address.t; w : window; p_drop : float }
+  | Partition of { groups : Address.Set.t list; w : window }
+
+type t = { mutable rules : rule list }
+
+let create () = { rules = [] }
+let add t r = t.rules <- r :: t.rules
+
+let window ~from_ms ~duration_ms =
+  { from_ms; until_ms = from_ms +. duration_ms }
+
+let crash t ~node ~from_ms ~duration_ms =
+  add t (Crash { node; w = window ~from_ms ~duration_ms })
+
+let drop t ~src ~dst ~from_ms ~duration_ms =
+  add t (Drop { src; dst; w = window ~from_ms ~duration_ms })
+
+let slow t ~src ~dst ~from_ms ~duration_ms ~extra_ms =
+  add t (Slow { src; dst; w = window ~from_ms ~duration_ms; extra_ms })
+
+let flaky t ~src ~dst ~from_ms ~duration_ms ~p_drop =
+  add t (Flaky { src; dst; w = window ~from_ms ~duration_ms; p_drop })
+
+let partition t ~groups ~from_ms ~duration_ms =
+  let groups = List.map Address.Set.of_list groups in
+  add t (Partition { groups; w = window ~from_ms ~duration_ms })
+
+let is_crashed t ~now_ms node =
+  List.exists
+    (function
+      | Crash { node = n; w } -> Address.equal n node && in_window w now_ms
+      | _ -> false)
+    t.rules
+
+let link_matches ~src ~dst rule_src rule_dst =
+  Address.equal src rule_src && Address.equal dst rule_dst
+
+let partition_severed groups src dst =
+  (* Severed when the two endpoints appear in different groups; nodes
+     absent from every group communicate freely. *)
+  let find a = List.find_opt (fun g -> Address.Set.mem a g) groups in
+  match (find src, find dst) with
+  | Some ga, Some gb -> not (ga == gb)
+  | _ -> false
+
+let should_drop t rng ~now_ms ~src ~dst =
+  is_crashed t ~now_ms src || is_crashed t ~now_ms dst
+  || List.exists
+       (function
+         | Drop { src = s; dst = d; w } ->
+             in_window w now_ms && link_matches ~src ~dst s d
+         | Flaky { src = s; dst = d; w; p_drop } ->
+             in_window w now_ms && link_matches ~src ~dst s d
+             && Rng.bernoulli rng ~p:p_drop
+         | Partition { groups; w } ->
+             in_window w now_ms && partition_severed groups src dst
+         | Crash _ | Slow _ -> false)
+       t.rules
+
+let extra_delay t rng ~now_ms ~src ~dst =
+  List.fold_left
+    (fun acc rule ->
+      match rule with
+      | Slow { src = s; dst = d; w; extra_ms }
+        when in_window w now_ms && link_matches ~src ~dst s d ->
+          acc +. Rng.float rng extra_ms
+      | _ -> acc)
+    0.0 t.rules
+
+let clear t = t.rules <- []

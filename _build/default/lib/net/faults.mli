@@ -1,0 +1,52 @@
+(** Fault injection, mirroring the four special commands of the Paxi
+    client library (§4.2 Availability): [Crash(t)], [Drop(i,j,t)],
+    [Slow(i,j,t)] and [Flaky(i,j,t)], plus network partitions.
+
+    Faults are declared as schedules over virtual time and consulted by
+    the transport on every delivery. *)
+
+type t
+
+val create : unit -> t
+
+val crash : t -> node:Address.t -> from_ms:float -> duration_ms:float -> unit
+(** Freeze [node]: while crashed it neither processes nor emits
+    messages; in-flight messages addressed to it are dropped. *)
+
+val drop : t -> src:Address.t -> dst:Address.t -> from_ms:float -> duration_ms:float -> unit
+(** Drop every message from [src] to [dst] during the window. *)
+
+val slow :
+  t ->
+  src:Address.t ->
+  dst:Address.t ->
+  from_ms:float ->
+  duration_ms:float ->
+  extra_ms:float ->
+  unit
+(** Delay messages on the link by a random amount in [\[0, extra_ms\]]. *)
+
+val flaky :
+  t ->
+  src:Address.t ->
+  dst:Address.t ->
+  from_ms:float ->
+  duration_ms:float ->
+  p_drop:float ->
+  unit
+(** Drop each message on the link independently with probability
+    [p_drop]. *)
+
+val partition :
+  t -> groups:Address.t list list -> from_ms:float -> duration_ms:float -> unit
+(** Nodes can only talk within their own group during the window. *)
+
+val is_crashed : t -> now_ms:float -> Address.t -> bool
+
+val should_drop : t -> Rng.t -> now_ms:float -> src:Address.t -> dst:Address.t -> bool
+(** Combined verdict of crash/drop/flaky/partition rules. *)
+
+val extra_delay : t -> Rng.t -> now_ms:float -> src:Address.t -> dst:Address.t -> float
+(** Additional latency from active [slow] rules (ms). *)
+
+val clear : t -> unit

@@ -1,0 +1,64 @@
+type t = {
+  t_in_ms : float;
+  t_out_ms : float;
+  bytes_per_ms : float; (* NIC throughput *)
+  mutable busy_until : float;
+  mutable busy_time : float;
+  mutable processed : int;
+  free : bool;
+}
+
+let create ?(t_in_ms = 0.012) ?(t_out_ms = 0.008) ?(bandwidth_mbps = 10_000.0)
+    () =
+  {
+    t_in_ms;
+    t_out_ms;
+    (* mbps are megabits/s: bytes per ms = mbps * 1e6 / 8 / 1e3 *)
+    bytes_per_ms = bandwidth_mbps *. 125.0;
+    busy_until = 0.0;
+    busy_time = 0.0;
+    processed = 0;
+    free = false;
+  }
+
+let zero () =
+  {
+    t_in_ms = 0.0;
+    t_out_ms = 0.0;
+    bytes_per_ms = infinity;
+    busy_until = 0.0;
+    busy_time = 0.0;
+    processed = 0;
+    free = true;
+  }
+
+let occupy t ~now_ms ~cost =
+  if t.free then now_ms
+  else begin
+    let start = Float.max now_ms t.busy_until in
+    let finish = start +. cost in
+    t.busy_until <- finish;
+    t.busy_time <- t.busy_time +. cost;
+    finish
+  end
+
+let nic_cost t ~size_bytes =
+  if t.free then 0.0 else float_of_int size_bytes /. t.bytes_per_ms
+
+let occupy_incoming t ~now_ms ~size_bytes =
+  t.processed <- t.processed + 1;
+  occupy t ~now_ms ~cost:(t.t_in_ms +. nic_cost t ~size_bytes)
+
+let occupy_outgoing t ~now_ms ~copies ~size_bytes =
+  t.processed <- t.processed + 1;
+  occupy t ~now_ms
+    ~cost:(t.t_out_ms +. (float_of_int copies *. nic_cost t ~size_bytes))
+
+let busy_until t = t.busy_until
+let busy_time t = t.busy_time
+let messages_processed t = t.processed
+
+let reset t =
+  t.busy_until <- 0.0;
+  t.busy_time <- 0.0;
+  t.processed <- 0

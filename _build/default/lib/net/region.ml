@@ -1,0 +1,14 @@
+type t = string
+
+let make s = s
+let name t = t
+let equal = String.equal
+let compare = String.compare
+let pp ppf t = Format.pp_print_string ppf t
+let local = "local"
+let virginia = "virginia"
+let ohio = "ohio"
+let california = "california"
+let ireland = "ireland"
+let japan = "japan"
+let aws_five = [ virginia; ohio; california; ireland; japan ]

@@ -1,0 +1,22 @@
+(** Deployment regions. The paper's WAN experiments use five AWS
+    regions: N. Virginia, Ohio, California, Ireland and Japan. *)
+
+type t
+
+val make : string -> t
+val name : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val local : t
+(** The single region of a LAN deployment. *)
+
+val virginia : t
+val ohio : t
+val california : t
+val ireland : t
+val japan : t
+
+val aws_five : t list
+(** [VA; OH; CA; IR; JP] in the paper's order. *)

@@ -1,0 +1,120 @@
+type 'm t = {
+  sim : Sim.t;
+  topology : Topology.t;
+  faults : Faults.t;
+  default_size_bytes : int;
+  rng : Rng.t;
+  handlers : (src:Address.t -> 'm -> unit) Address.Table.t;
+  queues : Procq.t Address.Table.t;
+  make_procq : int -> Procq.t;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let create ~sim ~topology ?(faults = Faults.create ())
+    ?(default_size_bytes = 128) ?processing () =
+  let make_procq =
+    match processing with Some f -> f | None -> fun _ -> Procq.create ()
+  in
+  {
+    sim;
+    topology;
+    faults;
+    default_size_bytes;
+    rng = Rng.split (Sim.rng sim);
+    handlers = Address.Table.create 32;
+    queues = Address.Table.create 32;
+    make_procq;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+  }
+
+let sim t = t.sim
+let topology t = t.topology
+let faults t = t.faults
+
+let procq t addr =
+  match Address.Table.find_opt t.queues addr with
+  | Some q -> q
+  | None ->
+      let q =
+        match addr with
+        | Address.Replica i -> t.make_procq i
+        | Address.Client _ -> Procq.zero ()
+      in
+      Address.Table.add t.queues addr q;
+      q
+
+let register t addr handler = Address.Table.replace t.handlers addr handler
+
+let deliver t ~src ~dst ~size_bytes msg ~arrival =
+  Sim.schedule_at t.sim ~time:arrival (fun () ->
+      let now = Sim.now t.sim in
+      if Faults.is_crashed t.faults ~now_ms:now dst then
+        t.dropped <- t.dropped + 1
+      else begin
+        let q = procq t dst in
+        let ready = Procq.occupy_incoming q ~now_ms:now ~size_bytes in
+        ignore
+        @@ Sim.schedule_at t.sim ~time:ready (fun () ->
+            let now = Sim.now t.sim in
+            if Faults.is_crashed t.faults ~now_ms:now dst then
+              t.dropped <- t.dropped + 1
+            else
+              match Address.Table.find_opt t.handlers dst with
+              | Some handler ->
+                  t.delivered <- t.delivered + 1;
+                  handler ~src msg
+              | None -> t.dropped <- t.dropped + 1)
+      end)
+  |> ignore
+
+let dispatch t ~src ~dsts ~size_bytes msg =
+  let now = Sim.now t.sim in
+  if Faults.is_crashed t.faults ~now_ms:now src then
+    t.dropped <- t.dropped + List.length dsts
+  else begin
+    let copies = List.length dsts in
+    if copies > 0 then begin
+      let q = procq t src in
+      let departure = Procq.occupy_outgoing q ~now_ms:now ~copies ~size_bytes in
+      List.iter
+        (fun dst ->
+          t.sent <- t.sent + 1;
+          if Faults.should_drop t.faults t.rng ~now_ms:now ~src ~dst then
+            t.dropped <- t.dropped + 1
+          else begin
+            let delay = Topology.sample_delay t.topology t.rng src dst in
+            let extra =
+              Faults.extra_delay t.faults t.rng ~now_ms:now ~src ~dst
+            in
+            deliver t ~src ~dst ~size_bytes msg
+              ~arrival:(departure +. delay +. extra)
+          end)
+        dsts
+    end
+  end
+
+let send t ~src ~dst ?size_bytes msg =
+  let size_bytes = Option.value size_bytes ~default:t.default_size_bytes in
+  dispatch t ~src ~dsts:[ dst ] ~size_bytes msg
+
+let broadcast t ~src ?size_bytes msg =
+  let size_bytes = Option.value size_bytes ~default:t.default_size_bytes in
+  let n = Topology.n_replicas t.topology in
+  let dsts = ref [] in
+  for i = n - 1 downto 0 do
+    let a = Address.replica i in
+    if not (Address.equal a src) then dsts := a :: !dsts
+  done;
+  dispatch t ~src ~dsts:!dsts ~size_bytes msg
+
+let multicast t ~src ~dsts ?size_bytes msg =
+  let size_bytes = Option.value size_bytes ~default:t.default_size_bytes in
+  dispatch t ~src ~dsts ~size_bytes msg
+
+let sent_count t = t.sent
+let delivered_count t = t.delivered
+let dropped_count t = t.dropped

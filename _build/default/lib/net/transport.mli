@@ -1,0 +1,50 @@
+(** Virtual-time message transport with the Send / Broadcast /
+    Multicast interface of the Paxi networking module (§4.1).
+
+    A transport is polymorphic in the protocol's message type: each
+    cluster instantiates one transport for its own message variant, so
+    no serialization is needed inside the simulation; serialization
+    {e cost} is still charged through the {!Procq} node model.
+
+    Delivery of [send src dst m] at time [t]:
+    + the sender's queue serializes the message ([t_out] + NIC time),
+    + the link adds a sampled one-way delay (plus fault-injected slow
+      delay), unless a drop/crash/partition rule discards the message,
+    + the receiver's queue deserializes ([t_in] + NIC time), and the
+      registered handler runs when that completes. *)
+
+type 'm t
+
+val create :
+  sim:Sim.t ->
+  topology:Topology.t ->
+  ?faults:Faults.t ->
+  ?default_size_bytes:int ->
+  ?processing:(int -> Procq.t) ->
+  unit ->
+  'm t
+(** [processing i] supplies replica [i]'s node queue (defaults to
+    {!Procq.create} defaults); clients always get a free queue.
+    [default_size_bytes] defaults to 128, a small command. *)
+
+val sim : 'm t -> Sim.t
+val topology : 'm t -> Topology.t
+val faults : 'm t -> Faults.t
+val procq : 'm t -> Address.t -> Procq.t
+
+val register : 'm t -> Address.t -> (src:Address.t -> 'm -> unit) -> unit
+(** Install the message handler for an address (replaces any previous
+    one). *)
+
+val send : 'm t -> src:Address.t -> dst:Address.t -> ?size_bytes:int -> 'm -> unit
+
+val broadcast : 'm t -> src:Address.t -> ?size_bytes:int -> 'm -> unit
+(** Send to every replica except [src]; the CPU serializes once and the
+    NIC transmits per copy (§5.2, footnote 2). *)
+
+val multicast :
+  'm t -> src:Address.t -> dsts:Address.t list -> ?size_bytes:int -> 'm -> unit
+
+val sent_count : 'm t -> int
+val delivered_count : 'm t -> int
+val dropped_count : 'm t -> int

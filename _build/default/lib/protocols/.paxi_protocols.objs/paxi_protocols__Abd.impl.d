@@ -1,0 +1,1 @@
+lib/protocols/abd.ml: Address Command Config Executor Hashtbl List Proto Quorum

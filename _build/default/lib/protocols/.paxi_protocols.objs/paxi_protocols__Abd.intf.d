@@ -1,0 +1,1 @@
+lib/protocols/abd.mli: Command Config Executor Proto

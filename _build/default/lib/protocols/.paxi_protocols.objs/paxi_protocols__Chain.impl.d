@@ -1,0 +1,1 @@
+lib/protocols/chain.ml: Address Command Config Executor Hashtbl Proto

@@ -1,0 +1,1 @@
+lib/protocols/epaxos.ml: Address Array Command Config Executor Hashtbl Int List Proto Quorum Stdlib

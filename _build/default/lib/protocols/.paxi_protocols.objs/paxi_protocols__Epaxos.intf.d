@@ -1,0 +1,1 @@
+lib/protocols/epaxos.mli: Config Executor Proto

@@ -1,0 +1,1 @@
+lib/protocols/fpaxos.ml: Config Paxos Proto

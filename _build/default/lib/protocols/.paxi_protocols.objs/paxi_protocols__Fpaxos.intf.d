@@ -1,0 +1,1 @@
+lib/protocols/fpaxos.mli: Config Executor Proto

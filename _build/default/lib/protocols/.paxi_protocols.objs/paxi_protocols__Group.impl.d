@@ -1,0 +1,1 @@
+lib/protocols/group.ml: Address Command Executor List Proto Quorum Slot_log

@@ -1,0 +1,1 @@
+lib/protocols/group.mli: Address Command Executor Proto

@@ -1,0 +1,1 @@
+lib/protocols/mencius.ml: Address Command Config Executor List Proto Quorum Slot_log Stdlib

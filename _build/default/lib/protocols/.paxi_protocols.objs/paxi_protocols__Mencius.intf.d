@@ -1,0 +1,1 @@
+lib/protocols/mencius.mli: Config Executor Proto

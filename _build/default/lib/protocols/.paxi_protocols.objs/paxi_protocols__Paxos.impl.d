@@ -1,0 +1,1 @@
+lib/protocols/paxos.ml: Address Ballot Command Config Executor Float Hashtbl List Option Proto Queue Quorum Slot_log Stdlib Topology

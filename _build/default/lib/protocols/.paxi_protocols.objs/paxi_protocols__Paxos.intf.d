@@ -1,0 +1,1 @@
+lib/protocols/paxos.mli: Ballot Command Config Executor Proto

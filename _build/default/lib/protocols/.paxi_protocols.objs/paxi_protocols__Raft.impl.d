@@ -1,0 +1,1 @@
+lib/protocols/raft.ml: Address Array Command Config Executor Hashtbl Int List Option Proto Queue Quorum Rng Slot_log Stdlib

@@ -1,0 +1,1 @@
+lib/protocols/raft.mli: Config Executor Proto

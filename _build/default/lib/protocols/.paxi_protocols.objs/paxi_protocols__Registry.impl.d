@@ -1,0 +1,1 @@
+lib/protocols/registry.ml: Abd Chain Epaxos Fpaxos List Mencius Paxos Printf Proto Raft String Vpaxos Wankeeper Wpaxos

@@ -1,0 +1,1 @@
+lib/protocols/vpaxos.ml: Address Array Command Config Executor Group Hashtbl Kv List Option Proto Region State_machine Stdlib Topology

@@ -1,0 +1,1 @@
+lib/protocols/vpaxos.mli: Command Config Executor Proto

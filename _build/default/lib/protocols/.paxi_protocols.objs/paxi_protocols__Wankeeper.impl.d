@@ -1,0 +1,1 @@
+lib/protocols/wankeeper.ml: Address Array Command Config Executor Group Hashtbl Kv List Option Proto State_machine Stdlib Topology

@@ -1,0 +1,1 @@
+lib/protocols/wankeeper.mli: Config Executor Proto

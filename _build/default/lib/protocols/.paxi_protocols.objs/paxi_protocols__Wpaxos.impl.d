@@ -1,0 +1,1 @@
+lib/protocols/wpaxos.ml: Address Array Ballot Command Config Executor Float Hashtbl List Proto Queue Quorum Region Slot_log Stdlib Topology

@@ -1,0 +1,1 @@
+lib/protocols/wpaxos.mli: Command Config Executor Proto

@@ -1,0 +1,150 @@
+type tag = int * int
+(** (timestamp, writer id), ordered lexicographically. [(0, -1)] is
+    the initial tag of an unwritten register. *)
+
+type message =
+  | Query of { rid : int; key : Command.key }
+  | QueryR of { rid : int; tag : tag; value : Command.value option }
+  | Store of { rid : int; key : Command.key; tag : tag; value : Command.value option }
+  | StoreR of { rid : int }
+
+let name = "abd"
+let cpu_factor (_ : Config.t) = 1.0
+
+let zero_tag = (0, -1)
+
+type register = { mutable tag : tag; mutable value : Command.value option }
+
+(* One client operation in flight at the coordinating replica. *)
+type op_phase =
+  | Querying of { mutable best : tag * Command.value option; quorum : Quorum.t }
+  | Storing of { quorum : Quorum.t; result : Command.value option }
+
+type op = {
+  client : Address.t;
+  command : Command.t;
+  mutable phase : op_phase;
+}
+
+type replica = {
+  env : message Proto.env;
+  registers : (Command.key, register) Hashtbl.t;
+  ops : (int, op) Hashtbl.t;
+  mutable next_rid : int;
+  exec : Executor.t; (* records completed ops for the checkers *)
+}
+
+let create env =
+  {
+    env;
+    registers = Hashtbl.create 256;
+    ops = Hashtbl.create 64;
+    next_rid = 0;
+    exec = Executor.create ();
+  }
+
+let executor t = t.exec
+let leader_of_key _ _ = None
+
+let register t key =
+  match Hashtbl.find_opt t.registers key with
+  | Some r -> r
+  | None ->
+      let r = { tag = zero_tag; value = None } in
+      Hashtbl.add t.registers key r;
+      r
+
+let stored_tag t key =
+  match Hashtbl.find_opt t.registers key with
+  | Some r when r.tag <> zero_tag -> Some r.tag
+  | _ -> None
+
+let all_ids (t : replica) = List.init t.env.n (fun i -> i)
+let majority t = Quorum.create (Quorum.Majority (all_ids t))
+
+(* Adopt (tag, value) if newer; ABD's monotone store rule. *)
+let adopt (r : register) ~tag ~value =
+  if tag > r.tag then begin
+    r.tag <- tag;
+    r.value <- value
+  end
+
+let on_request t ~client (request : Proto.request) =
+  let command = request.Proto.command in
+  let rid = t.next_rid in
+  t.next_rid <- t.next_rid + 1;
+  let quorum = majority t in
+  let key = Command.key command in
+  (* the coordinator is also a quorum member: seed with local state *)
+  let r = register t key in
+  Quorum.ack quorum t.env.id;
+  let op =
+    { client; command; phase = Querying { best = (r.tag, r.value); quorum } }
+  in
+  Hashtbl.replace t.ops rid op;
+  t.env.broadcast (Query { rid; key })
+
+let finish t rid (op : op) ~result =
+  Hashtbl.remove t.ops rid;
+  (* record in the state machine so consensus-style checkers can read
+     per-key histories; execution here is just bookkeeping *)
+  ignore (Executor.execute t.exec op.command);
+  t.env.reply op.client
+    {
+      Proto.command = op.command;
+      read = (if Command.is_read op.command then result else None);
+      replier = t.env.id;
+      leader_hint = None;
+    }
+
+let start_store t rid (op : op) ~tag ~value ~result =
+  let quorum = majority t in
+  let key = Command.key op.command in
+  adopt (register t key) ~tag ~value;
+  Quorum.ack quorum t.env.id;
+  op.phase <- Storing { quorum; result };
+  t.env.broadcast (Store { rid; key; tag; value })
+
+let on_query t ~src ~rid ~key =
+  let r = register t key in
+  t.env.send src (QueryR { rid; tag = r.tag; value = r.value })
+
+let on_query_reply t ~src ~rid ~tag ~value =
+  match Hashtbl.find_opt t.ops rid with
+  | Some ({ phase = Querying q; _ } as op) ->
+      if tag > fst q.best then q.best <- (tag, value);
+      Quorum.ack q.quorum src;
+      if Quorum.satisfied q.quorum then begin
+        let (ts, _), best_value = q.best in
+        match op.command.Command.op with
+        | Command.Put (_, v) ->
+            (* store under a strictly larger tag owned by us *)
+            start_store t rid op ~tag:(ts + 1, t.env.id) ~value:(Some v)
+              ~result:None
+        | Command.Delete _ ->
+            start_store t rid op ~tag:(ts + 1, t.env.id) ~value:None ~result:None
+        | Command.Get _ ->
+            (* write-back phase makes the read linearizable *)
+            start_store t rid op ~tag:(fst q.best) ~value:best_value
+              ~result:best_value
+      end
+  | _ -> ()
+
+let on_store t ~src ~rid ~key ~tag ~value =
+  adopt (register t key) ~tag ~value;
+  t.env.send src (StoreR { rid })
+
+let on_store_reply t ~src ~rid =
+  match Hashtbl.find_opt t.ops rid with
+  | Some ({ phase = Storing s; _ } as op) ->
+      Quorum.ack s.quorum src;
+      if Quorum.satisfied s.quorum then finish t rid op ~result:s.result
+  | _ -> ()
+
+let on_message t ~src = function
+  | Query { rid; key } -> on_query t ~src ~rid ~key
+  | QueryR { rid; tag; value } -> on_query_reply t ~src ~rid ~tag ~value
+  | Store { rid; key; tag; value } -> on_store t ~src ~rid ~key ~tag ~value
+  | StoreR { rid } -> on_store_reply t ~src ~rid
+
+let on_start (_ : replica) = ()

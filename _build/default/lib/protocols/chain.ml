@@ -1,0 +1,80 @@
+type message =
+  | Propagate of { seq : int; cmd : Command.t; client : Address.t }
+
+let name = "chain"
+let cpu_factor (_ : Config.t) = 1.0
+
+type replica = {
+  env : message Proto.env;
+  exec : Executor.t;
+  mutable next_seq : int; (* head: write sequence numbers *)
+  mutable applied_seq : int; (* last sequence applied here *)
+  pending : (int, Command.t * Address.t) Hashtbl.t; (* out-of-order buffer *)
+  mutable forwarded : int;
+}
+
+let create env =
+  {
+    env;
+    exec = Executor.create ();
+    next_seq = 0;
+    applied_seq = -1;
+    pending = Hashtbl.create 32;
+    forwarded = 0;
+  }
+
+let executor t = t.exec
+let head (_ : replica) = 0
+let tail t = t.env.n - 1
+let is_head t = t.env.id = head t
+let is_tail t = t.env.id = tail t
+let writes_forwarded t = t.forwarded
+let leader_of_key t (_ : Command.key) = Some (tail t)
+
+let reply t ~client ~cmd ~read =
+  t.env.reply client
+    { Proto.command = cmd; read; replier = t.env.id; leader_hint = None }
+
+(* Apply writes in sequence order, forwarding down the chain; the tail
+   answers the client. *)
+let rec apply_ready t =
+  match Hashtbl.find_opt t.pending (t.applied_seq + 1) with
+  | None -> ()
+  | Some (cmd, client) ->
+      Hashtbl.remove t.pending (t.applied_seq + 1);
+      t.applied_seq <- t.applied_seq + 1;
+      ignore (Executor.execute t.exec cmd);
+      if is_tail t then reply t ~client ~cmd ~read:None
+      else begin
+        t.forwarded <- t.forwarded + 1;
+        t.env.send (t.env.id + 1)
+          (Propagate { seq = t.applied_seq; cmd; client })
+      end;
+      apply_ready t
+
+let handle_write t ~client cmd =
+  if is_head t then begin
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    Hashtbl.replace t.pending seq (cmd, client);
+    apply_ready t
+  end
+  else t.env.forward (head t) ~client { Proto.command = cmd; sent_at_ms = 0.0 }
+
+let handle_read t ~client cmd =
+  if is_tail t then
+    let read = Executor.execute t.exec cmd in
+    reply t ~client ~cmd ~read
+  else t.env.forward (tail t) ~client { Proto.command = cmd; sent_at_ms = 0.0 }
+
+let on_request t ~client (request : Proto.request) =
+  let cmd = request.Proto.command in
+  if Command.is_write cmd then handle_write t ~client cmd
+  else handle_read t ~client cmd
+
+let on_message t ~src:_ = function
+  | Propagate { seq; cmd; client } ->
+      Hashtbl.replace t.pending seq (cmd, client);
+      apply_ready t
+
+let on_start (_ : replica) = ()

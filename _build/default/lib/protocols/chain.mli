@@ -1,0 +1,22 @@
+(** Chain Replication (van Renesse & Schneider, OSDI 2004) — the other
+    non-consensus recommendation of the Figure-14 flowchart.
+
+    Replicas form a chain in id order: writes enter at the head
+    (replica 0), apply at each node, and propagate to the tail
+    (replica N-1), which acknowledges the client; reads are served by
+    the tail alone, so they only ever observe fully-replicated writes.
+    Linearizability follows from the single serialization point at
+    the tail. Throughput benefits from the pipelined chain (each node
+    processes two messages per write), at the cost of write latency
+    proportional to chain length and no tolerance of silent node
+    failure without an external reconfiguration master (not
+    implemented — the paper treats chain replication as an alternative
+    when consensus-grade fault handling is delegated elsewhere). *)
+
+include Proto.PROTOCOL
+
+val cpu_factor : Config.t -> float
+val executor : replica -> Executor.t
+val is_head : replica -> bool
+val is_tail : replica -> bool
+val writes_forwarded : replica -> int

@@ -1,0 +1,118 @@
+type message =
+  | Accept of { slot : int; cmd : Command.t; commit_up_to : int }
+  | AcceptOk of { slot : int }
+  | Commit of { slot : int; cmd : Command.t }
+
+type entry = {
+  mutable cmd : Command.t;
+  mutable client : Address.t option;
+  mutable quorum : Quorum.t option;
+  mutable committed : bool;
+}
+
+type t = {
+  id : int;
+  members : int list;
+  leader : int;
+  send : int -> message -> unit;
+  log : entry Slot_log.t;
+  exec : Executor.t;
+  on_executed : Command.t -> Address.t option -> Command.value option -> unit;
+  mutable committed_n : int;
+}
+
+let create ~env ~wrap ~members ~leader ~exec ~on_executed =
+  if not (List.mem leader members) then
+    invalid_arg "Group.create: leader not in members";
+  {
+    id = env.Proto.id;
+    members;
+    leader;
+    send = (fun dst m -> env.Proto.send dst (wrap m));
+    log = Slot_log.create ();
+    exec;
+    on_executed;
+    committed_n = 0;
+  }
+
+let is_leader t = t.id = t.leader
+let leader t = t.leader
+let members t = t.members
+
+let peers t = List.filter (fun m -> m <> t.id) t.members
+
+let advance t =
+  Slot_log.advance_frontier t.log
+    ~executable:(fun (e : entry) -> e.committed)
+    ~f:(fun _slot (e : entry) ->
+      t.committed_n <- t.committed_n + 1;
+      let read = Executor.execute t.exec e.cmd in
+      let client = e.client in
+      e.client <- None;
+      t.on_executed e.cmd client read)
+
+let commit_up_to t bound =
+  let changed = ref false in
+  for slot = 0 to bound - 1 do
+    match Slot_log.get t.log slot with
+    | Some (e : entry) when not e.committed ->
+        e.committed <- true;
+        changed := true
+    | _ -> ()
+  done;
+  if !changed then advance t
+
+let propose t ~client cmd =
+  if not (is_leader t) then invalid_arg "Group.propose: not the group leader";
+  let slot = Slot_log.reserve t.log in
+  let tracker = Quorum.create (Quorum.Majority t.members) in
+  Quorum.ack tracker t.id;
+  Slot_log.set t.log slot { cmd; client; quorum = Some tracker; committed = false };
+  let msg = Accept { slot; cmd; commit_up_to = Slot_log.exec_frontier t.log } in
+  List.iter (fun m -> t.send m msg) (peers t);
+  (* single-member groups commit instantly *)
+  (match Slot_log.get t.log slot with
+  | Some (e : entry) when not e.committed && Quorum.satisfied tracker ->
+      e.committed <- true;
+      advance t
+  | _ -> ())
+
+let on_accept t ~src ~slot ~cmd ~commit_up_to:bound =
+  (match Slot_log.get t.log slot with
+  | Some (e : entry) when e.committed -> ()
+  | Some e ->
+      if not (Command.equal e.cmd cmd) then e.client <- None;
+      e.cmd <- cmd
+  | None -> Slot_log.set t.log slot { cmd; client = None; quorum = None; committed = false });
+  commit_up_to t bound;
+  t.send src (AcceptOk { slot })
+
+let on_accept_ok t ~src ~slot =
+  if is_leader t then
+    match Slot_log.get t.log slot with
+    | Some ({ quorum = Some tracker; committed = false; _ } as e : entry) ->
+        Quorum.ack tracker src;
+        if Quorum.satisfied tracker then begin
+          e.committed <- true;
+          advance t;
+          List.iter (fun m -> t.send m (Commit { slot; cmd = e.cmd })) (peers t)
+        end
+    | _ -> ()
+
+let on_commit t ~slot ~cmd =
+  (match Slot_log.get t.log slot with
+  | Some (e : entry) ->
+      if not (Command.equal e.cmd cmd) then e.client <- None;
+      e.cmd <- cmd;
+      e.committed <- true
+  | None -> Slot_log.set t.log slot { cmd; client = None; quorum = None; committed = true });
+  advance t
+
+let on_message t ~src = function
+  | Accept { slot; cmd; commit_up_to } -> on_accept t ~src ~slot ~cmd ~commit_up_to
+  | AcceptOk { slot } -> on_accept_ok t ~src ~slot
+  | Commit { slot; cmd } -> on_commit t ~slot ~cmd
+
+let committed_count t = t.committed_n
+let last_proposed_slot t = Slot_log.next_slot t.log - 1
+let frontier t = Slot_log.exec_frontier t.log

@@ -1,0 +1,376 @@
+type message =
+  | P1a of { ballot : Ballot.t; frontier : int }
+  | P1b of {
+      ballot : Ballot.t;
+      ok : bool;
+      accepted : (int * Ballot.t * Command.t) list;
+    }
+  | P2a of { ballot : Ballot.t; slot : int; cmd : Command.t; commit_up_to : int }
+  | P2b of { ballot : Ballot.t; slot : int; ok : bool }
+  | Commit of { slot : int; cmd : Command.t }
+  | Heartbeat of { ballot : Ballot.t; commit_up_to : int }
+
+let name = "paxos"
+let cpu_factor (_ : Config.t) = 1.0
+
+type entry = {
+  mutable ballot : Ballot.t;
+  mutable cmd : Command.t;
+  mutable client : Address.t option;
+  mutable quorum : Quorum.t option;
+  mutable committed : bool;
+}
+
+type phase1_state = {
+  tracker : Quorum.t;
+  mutable recovered : (int * Ballot.t * Command.t) list;
+}
+
+type replica = {
+  env : message Proto.env;
+  mutable ballot : Ballot.t;
+  mutable active : bool; (* self is the established leader *)
+  log : entry Slot_log.t;
+  exec : Executor.t;
+  mutable p1 : phase1_state option;
+  pending : (Address.t * Proto.request) Queue.t;
+  mutable last_heard : float;
+}
+
+let all_ids (t : replica) = List.init t.env.n (fun i -> i)
+
+let q2_size (t : replica) = Config.phase2_quorum_size t.env.config
+
+let q1_size (t : replica) =
+  match t.env.config.Config.q2_size with
+  | Some q2 -> t.env.n - q2 + 1
+  | None -> Config.majority t.env.config
+
+(* Followers the leader contacts in phase-2: everyone, or with the
+   thrifty optimization only the Q2-1 closest peers. *)
+let phase2_peers (t : replica) =
+  let others = List.filter (fun i -> i <> t.env.id) (all_ids t) in
+  if not t.env.config.Config.thrifty then others
+  else begin
+    let my_region = Topology.region_of_replica t.env.topology t.env.id in
+    let dist i =
+      Topology.rtt_mean t.env.topology my_region
+        (Topology.region_of_replica t.env.topology i)
+    in
+    let sorted =
+      List.sort (fun a b -> Float.compare (dist a) (dist b)) others
+    in
+    List.filteri (fun rank _ -> rank < q2_size t - 1) sorted
+  end
+
+let create env =
+  {
+    env;
+    ballot = Ballot.zero;
+    active = false;
+    log = Slot_log.create ();
+    exec = Executor.create ();
+    p1 = None;
+    pending = Queue.create ();
+    last_heard = 0.0;
+  }
+
+let is_leader t = t.active
+let current_ballot t = t.ballot
+let commit_frontier t = Slot_log.exec_frontier t.log
+let executor t = t.exec
+
+let log_entry t slot =
+  Option.map
+    (fun (e : entry) -> (e.ballot, e.cmd, e.committed))
+    (Slot_log.get t.log slot)
+
+let leader_of_key t (_ : Command.key) =
+  if t.ballot.Ballot.round > 0 then Some t.ballot.Ballot.owner else None
+
+(* Execute committed slots in order; the proposer replies to its
+   recorded clients as their commands execute. *)
+let advance t =
+  Slot_log.advance_frontier t.log
+    ~executable:(fun e -> e.committed)
+    ~f:(fun _slot e ->
+      let read = Executor.execute t.exec e.cmd in
+      match e.client with
+      | Some client ->
+          e.client <- None;
+          t.env.reply client
+            {
+              Proto.command = e.cmd;
+              read;
+              replier = t.env.id;
+              leader_hint = (if t.active then Some t.env.id else None);
+            }
+      | None -> ())
+
+let commit_up_to t bound =
+  let changed = ref false in
+  for slot = 0 to bound - 1 do
+    match Slot_log.get t.log slot with
+    | Some e when not e.committed ->
+        e.committed <- true;
+        changed := true
+    | _ -> ()
+  done;
+  if !changed then advance t
+
+let propose t ~client (request : Proto.request) =
+  let slot = Slot_log.reserve t.log in
+  let tracker =
+    Quorum.create (Quorum.Count { members = all_ids t; threshold = q2_size t })
+  in
+  Quorum.ack tracker t.env.id;
+  let entry =
+    {
+      ballot = t.ballot;
+      cmd = request.Proto.command;
+      client = Some client;
+      quorum = Some tracker;
+      committed = false;
+    }
+  in
+  Slot_log.set t.log slot entry;
+  let msg =
+    P2a
+      {
+        ballot = t.ballot;
+        slot;
+        cmd = request.Proto.command;
+        commit_up_to = Slot_log.exec_frontier t.log;
+      }
+  in
+  if t.env.config.Config.thrifty then t.env.multicast (phase2_peers t) msg
+  else t.env.broadcast msg
+
+let drain_pending t =
+  if t.active then
+    while not (Queue.is_empty t.pending) do
+      let client, request = Queue.pop t.pending in
+      propose t ~client request
+    done
+  else if
+    t.ballot.Ballot.round > 0
+    && t.ballot.Ballot.owner <> t.env.id
+    && t.p1 = None
+  then
+    while not (Queue.is_empty t.pending) do
+      let client, request = Queue.pop t.pending in
+      t.env.forward t.ballot.Ballot.owner ~client request
+    done
+
+let start_phase1 t =
+  t.ballot <- Ballot.next t.ballot ~owner:t.env.id;
+  t.active <- false;
+  let tracker =
+    Quorum.create (Quorum.Count { members = all_ids t; threshold = q1_size t })
+  in
+  let state = { tracker; recovered = [] } in
+  t.p1 <- Some state;
+  Quorum.ack tracker t.env.id;
+  let frontier = Slot_log.exec_frontier t.log in
+  (* self-report own accepted entries *)
+  Slot_log.iter_filled t.log ~f:(fun slot e ->
+      if slot >= frontier then
+        state.recovered <- (slot, e.ballot, e.cmd) :: state.recovered);
+  t.env.broadcast (P1a { ballot = t.ballot; frontier })
+
+let become_leader t (state : phase1_state) =
+  t.p1 <- None;
+  t.active <- true;
+  t.last_heard <- t.env.now ();
+  (* Adopt the highest-ballot command reported for every slot at or
+     above our commit frontier, fill gaps with no-ops, re-propose. *)
+  let best = Hashtbl.create 16 in
+  List.iter
+    (fun (slot, b, cmd) ->
+      match Hashtbl.find_opt best slot with
+      | Some (b', _) when Ballot.(b' >= b) -> ()
+      | _ -> Hashtbl.replace best slot (b, cmd))
+    state.recovered;
+  let max_slot = Hashtbl.fold (fun s _ acc -> Stdlib.max s acc) best (-1) in
+  let frontier = Slot_log.exec_frontier t.log in
+  for slot = frontier to max_slot do
+    let cmd =
+      match Hashtbl.find_opt best slot with
+      | Some (_, cmd) -> cmd
+      | None -> Command.noop
+    in
+    let tracker =
+      Quorum.create
+        (Quorum.Count { members = all_ids t; threshold = q2_size t })
+    in
+    Quorum.ack tracker t.env.id;
+    (match Slot_log.get t.log slot with
+    | Some e when e.committed -> () (* keep committed state *)
+    | Some e ->
+        if not (Command.equal e.cmd cmd) then e.client <- None;
+        e.ballot <- t.ballot;
+        e.cmd <- cmd;
+        e.quorum <- Some tracker
+    | None ->
+        Slot_log.set t.log slot
+          {
+            ballot = t.ballot;
+            cmd;
+            client = None;
+            quorum = Some tracker;
+            committed = false;
+          });
+    match Slot_log.get t.log slot with
+    | Some e when not e.committed ->
+        t.env.broadcast
+          (P2a
+             {
+               ballot = t.ballot;
+               slot;
+               cmd = e.cmd;
+               commit_up_to = Slot_log.exec_frontier t.log;
+             })
+    | _ -> ()
+  done;
+  drain_pending t
+
+let step_down t ~ballot =
+  if Ballot.(ballot > t.ballot) then t.ballot <- ballot;
+  t.active <- false;
+  t.p1 <- None;
+  t.last_heard <- t.env.now ();
+  drain_pending t
+
+let on_request t ~client request =
+  if t.active then propose t ~client request
+  else if
+    t.ballot.Ballot.round > 0
+    && t.ballot.Ballot.owner <> t.env.id
+    && t.p1 = None
+  then t.env.forward t.ballot.Ballot.owner ~client request
+  else Queue.push (client, request) t.pending
+
+let on_p1a t ~src ~ballot ~frontier =
+  if Ballot.(ballot > t.ballot) then begin
+    t.ballot <- ballot;
+    t.active <- false;
+    t.p1 <- None;
+    t.last_heard <- t.env.now ();
+    let accepted = ref [] in
+    Slot_log.iter_filled t.log ~f:(fun slot e ->
+        if slot >= frontier then accepted := (slot, e.ballot, e.cmd) :: !accepted);
+    t.env.send src (P1b { ballot; ok = true; accepted = !accepted });
+    drain_pending t
+  end
+  else t.env.send src (P1b { ballot = t.ballot; ok = false; accepted = [] })
+
+let on_p1b t ~src ~ballot ~ok ~accepted =
+  match t.p1 with
+  | Some state when Ballot.equal ballot t.ballot && ok ->
+      state.recovered <- accepted @ state.recovered;
+      Quorum.ack state.tracker src;
+      if Quorum.satisfied state.tracker then become_leader t state
+  | Some _ when Ballot.(ballot > t.ballot) -> step_down t ~ballot
+  | _ -> ()
+
+let on_p2a t ~src ~ballot ~slot ~cmd ~commit_up_to:bound =
+  if Ballot.(ballot >= t.ballot) then begin
+    t.ballot <- ballot;
+    if ballot.Ballot.owner <> t.env.id then begin
+      t.active <- false;
+      t.p1 <- None
+    end;
+    t.last_heard <- t.env.now ();
+    (match Slot_log.get t.log slot with
+    | Some e when e.committed -> () (* never overwrite a commit *)
+    | Some e ->
+        (* a different command displaced this slot: the old proposer's
+           client must not be answered with the new command's result *)
+        if not (Command.equal e.cmd cmd) then e.client <- None;
+        e.ballot <- ballot;
+        e.cmd <- cmd
+    | None ->
+        Slot_log.set t.log slot
+          { ballot; cmd; client = None; quorum = None; committed = false });
+    commit_up_to t bound;
+    t.env.send src (P2b { ballot; slot; ok = true });
+    drain_pending t
+  end
+  else t.env.send src (P2b { ballot = t.ballot; slot; ok = false })
+
+let on_p2b t ~src ~ballot ~slot ~ok =
+  if ok && t.active && Ballot.equal ballot t.ballot then begin
+    match Slot_log.get t.log slot with
+    | Some ({ quorum = Some tracker; committed = false; _ } as e) ->
+        Quorum.ack tracker src;
+        if Quorum.satisfied tracker then begin
+          e.committed <- true;
+          advance t;
+          if not t.env.config.Config.piggyback_commit then
+            t.env.broadcast (Commit { slot; cmd = e.cmd })
+        end
+    | _ -> ()
+  end
+  else if (not ok) && Ballot.(ballot > t.ballot) then step_down t ~ballot
+
+let on_commit t ~slot ~cmd =
+  (match Slot_log.get t.log slot with
+  | Some e ->
+      e.cmd <- cmd;
+      e.committed <- true
+  | None ->
+      Slot_log.set t.log slot
+        { ballot = t.ballot; cmd; client = None; quorum = None; committed = true });
+  advance t
+
+let on_heartbeat t ~ballot ~commit_up_to:bound =
+  if Ballot.(ballot >= t.ballot) then begin
+    t.ballot <- ballot;
+    if ballot.Ballot.owner <> t.env.id then t.active <- false;
+    t.last_heard <- t.env.now ();
+    commit_up_to t bound;
+    drain_pending t
+  end
+
+let on_message t ~src msg =
+  match msg with
+  | P1a { ballot; frontier } -> on_p1a t ~src ~ballot ~frontier
+  | P1b { ballot; ok; accepted } -> on_p1b t ~src ~ballot ~ok ~accepted
+  | P2a { ballot; slot; cmd; commit_up_to } ->
+      on_p2a t ~src ~ballot ~slot ~cmd ~commit_up_to
+  | P2b { ballot; slot; ok } -> on_p2b t ~src ~ballot ~slot ~ok
+  | Commit { slot; cmd } -> on_commit t ~slot ~cmd
+  | Heartbeat { ballot; commit_up_to } -> on_heartbeat t ~ballot ~commit_up_to
+
+let rec heartbeat_loop t =
+  let period = t.env.config.Config.failover_timeout_ms /. 4.0 in
+  ignore
+  @@ t.env.schedule period (fun () ->
+         if t.active then begin
+           t.env.broadcast
+             (Heartbeat
+                {
+                  ballot = t.ballot;
+                  commit_up_to = Slot_log.exec_frontier t.log;
+                });
+           t.last_heard <- t.env.now ()
+         end;
+         heartbeat_loop t)
+
+let rec failover_loop t =
+  (* Stagger timeouts by id so the lowest live replica usually wins. *)
+  let base = t.env.config.Config.failover_timeout_ms in
+  let timeout = base *. (1.5 +. (0.5 *. float_of_int t.env.id)) in
+  ignore
+  @@ t.env.schedule (base /. 2.0) (fun () ->
+         if
+           (not t.active) && t.p1 = None
+           && t.env.now () -. t.last_heard > timeout
+         then start_phase1 t;
+         failover_loop t)
+
+let on_start t =
+  t.last_heard <- t.env.now ();
+  if t.env.id = 0 then start_phase1 t;
+  heartbeat_loop t;
+  failover_loop t

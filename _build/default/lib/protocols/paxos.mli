@@ -1,0 +1,23 @@
+(** Multi-decree Paxos (multi-Paxos, §2) with the optimizations the
+    paper assumes: a stable leader that skips phase-1 for subsequent
+    commands, and the commit phase piggybacked on the next phase-2
+    broadcast.
+
+    The same implementation provides Flexible Paxos: when
+    [config.q2_size] is set, phase-2 uses quorums of that size and
+    phase-1 uses quorums of [N - q2 + 1], preserving the FPaxos
+    intersection requirement. Followers forward client requests to the
+    leader; on leader silence a follower starts its own phase-1 after
+    a timeout staggered by replica id, recovering any uncommitted
+    entries reported by its phase-1 quorum. *)
+
+include Proto.PROTOCOL
+
+val cpu_factor : Config.t -> float
+
+val is_leader : replica -> bool
+val current_ballot : replica -> Ballot.t
+val commit_frontier : replica -> int
+val executor : replica -> Executor.t
+val log_entry : replica -> int -> (Ballot.t * Command.t * bool) option
+(** [(ballot, command, committed)] for a slot, for tests. *)

@@ -1,0 +1,344 @@
+type entry = { term : int; cmd : Command.t; client : Address.t option }
+
+type message =
+  | RequestVote of { term : int; last_index : int; last_term : int }
+  | VoteReply of { term : int; granted : bool }
+  | AppendEntries of {
+      term : int;
+      prev_index : int;
+      prev_term : int;
+      entries : entry list;
+      leader_commit : int;
+    }
+  | AppendReply of { term : int; success : bool; match_index : int }
+
+let name = "raft"
+let cpu_factor (_ : Config.t) = 1.0
+
+type role = Follower | Candidate | Leader
+
+type replica = {
+  env : message Proto.env;
+  mutable term : int;
+  mutable voted_for : int option;
+  mutable state : role;
+  mutable leader_id : int option;
+  log : entry Slot_log.t;
+  mutable commit_index : int; (* one past last committed slot *)
+  exec : Executor.t;
+  mutable next_index : int array;
+  mutable match_index : int array; (* one past last known replicated *)
+  mutable votes : Quorum.t option;
+  mutable last_heard : float;
+  mutable election_deadline : float;
+  pending : (Address.t * Proto.request) Queue.t;
+}
+
+let all_ids (t : replica) = List.init t.env.n (fun i -> i)
+
+let create env =
+  {
+    env;
+    term = 0;
+    voted_for = None;
+    state = Follower;
+    leader_id = None;
+    log = Slot_log.create ();
+    commit_index = 0;
+    exec = Executor.create ();
+    next_index = Array.make env.Proto.n 0;
+    match_index = Array.make env.Proto.n 0;
+    votes = None;
+    last_heard = 0.0;
+    election_deadline = 0.0;
+    pending = Queue.create ();
+  }
+
+let role t = t.state
+let current_term t = t.term
+let commit_index t = t.commit_index
+let executor t = t.exec
+let log_length t = Slot_log.next_slot t.log
+
+let log_term_at t i =
+  Option.map (fun (e : entry) -> e.term) (Slot_log.get t.log i)
+
+let leader_of_key t (_ : Command.key) = t.leader_id
+
+let last_index t = Slot_log.next_slot t.log - 1
+
+let term_at t i =
+  if i < 0 then 0
+  else match Slot_log.get t.log i with Some e -> e.term | None -> 0
+
+let reset_election_timer t =
+  let base = t.env.config.Config.failover_timeout_ms in
+  t.election_deadline <-
+    t.env.now () +. base +. Rng.float t.env.rng base
+
+(* Apply committed entries in order; leaders answer recorded clients. *)
+let apply_committed t =
+  Slot_log.advance_frontier t.log
+    ~executable:(fun (e : entry) ->
+      ignore e;
+      Slot_log.exec_frontier t.log < t.commit_index)
+    ~f:(fun _i (e : entry) ->
+      let read = Executor.execute t.exec e.cmd in
+      match e.client with
+      | Some client ->
+          t.env.reply client
+            {
+              Proto.command = e.cmd;
+              read;
+              replier = t.env.id;
+              leader_hint = t.leader_id;
+            }
+      | None -> ())
+
+let send_append t follower =
+  let next = t.next_index.(follower) in
+  let prev_index = next - 1 in
+  let entries = ref [] in
+  for i = last_index t downto next do
+    match Slot_log.get t.log i with
+    | Some e -> entries := e :: !entries
+    | None -> ()
+  done;
+  t.env.send follower
+    (AppendEntries
+       {
+         term = t.term;
+         prev_index;
+         prev_term = term_at t prev_index;
+         entries = !entries;
+         leader_commit = t.commit_index;
+       })
+
+(* Group followers that share the same next_index so the CPU
+   serializes the batch once (etcd replicates a shared log the same
+   way); stragglers with a lagging next_index get tailored sends. *)
+let broadcast_append t =
+  let groups = Hashtbl.create 4 in
+  List.iter
+    (fun i ->
+      if i <> t.env.id then begin
+        let next = t.next_index.(i) in
+        let members = Option.value (Hashtbl.find_opt groups next) ~default:[] in
+        Hashtbl.replace groups next (i :: members)
+      end)
+    (all_ids t);
+  Hashtbl.iter
+    (fun next members ->
+      let prev_index = next - 1 in
+      let entries = ref [] in
+      for i = last_index t downto next do
+        match Slot_log.get t.log i with
+        | Some e -> entries := e :: !entries
+        | None -> ()
+      done;
+      t.env.multicast members
+        (AppendEntries
+           {
+             term = t.term;
+             prev_index;
+             prev_term = term_at t prev_index;
+             entries = !entries;
+             leader_commit = t.commit_index;
+           }))
+    groups
+
+let become_leader t =
+  t.state <- Leader;
+  t.leader_id <- Some t.env.id;
+  t.votes <- None;
+  let len = Slot_log.next_slot t.log in
+  t.next_index <- Array.make t.env.n len;
+  t.match_index <- Array.make t.env.n 0;
+  (* No-op barrier: an entry of the new term lets the leader commit
+     any uncommitted tail from previous terms (Raft §5.4.2). *)
+  let barrier = Slot_log.reserve t.log in
+  Slot_log.set t.log barrier { term = t.term; cmd = Command.noop; client = None };
+  t.match_index.(t.env.id) <- barrier + 1;
+  broadcast_append t;
+  while not (Queue.is_empty t.pending) do
+    let client, request = Queue.pop t.pending in
+    let slot = Slot_log.reserve t.log in
+    Slot_log.set t.log slot
+      { term = t.term; cmd = request.Proto.command; client = Some client };
+    t.match_index.(t.env.id) <- slot + 1
+  done;
+  if Slot_log.next_slot t.log > len then broadcast_append t
+
+let become_follower t ~term =
+  if term > t.term then begin
+    t.term <- term;
+    t.voted_for <- None
+  end;
+  t.state <- Follower;
+  t.votes <- None;
+  reset_election_timer t
+
+let start_election t =
+  t.term <- t.term + 1;
+  t.state <- Candidate;
+  t.voted_for <- Some t.env.id;
+  t.leader_id <- None;
+  let tracker = Quorum.create (Quorum.Majority (all_ids t)) in
+  Quorum.ack tracker t.env.id;
+  t.votes <- Some tracker;
+  reset_election_timer t;
+  t.env.broadcast
+    (RequestVote
+       { term = t.term; last_index = last_index t; last_term = term_at t (last_index t) })
+
+let advance_commit t =
+  (* Largest index replicated on a majority with an entry of the
+     current term (Raft's commit rule). *)
+  let sorted = Array.copy t.match_index in
+  Array.sort Int.compare sorted;
+  (* the majority-th smallest match: at least majority replicas have
+     match_index >= this value *)
+  let majority_match = sorted.(t.env.n - Config.majority t.env.config) in
+  if majority_match > t.commit_index && term_at t (majority_match - 1) = t.term
+  then begin
+    t.commit_index <- majority_match;
+    apply_committed t
+  end
+
+let on_request t ~client (request : Proto.request) =
+  match t.state with
+  | Leader ->
+      let slot = Slot_log.reserve t.log in
+      Slot_log.set t.log slot
+        { term = t.term; cmd = request.Proto.command; client = Some client };
+      t.match_index.(t.env.id) <- slot + 1;
+      broadcast_append t
+  | Follower | Candidate -> (
+      match t.leader_id with
+      | Some l when l <> t.env.id -> t.env.forward l ~client request
+      | _ -> Queue.push (client, request) t.pending)
+
+let drain_pending_to_leader t =
+  match t.leader_id with
+  | Some l when l <> t.env.id && t.state <> Leader ->
+      while not (Queue.is_empty t.pending) do
+        let client, request = Queue.pop t.pending in
+        t.env.forward l ~client request
+      done
+  | _ -> ()
+
+let on_request_vote t ~src ~term ~last_index:cand_last ~last_term =
+  if term > t.term then become_follower t ~term;
+  let up_to_date =
+    last_term > term_at t (last_index t)
+    || (last_term = term_at t (last_index t) && cand_last >= last_index t)
+  in
+  let granted =
+    term = t.term
+    && up_to_date
+    && match t.voted_for with None -> true | Some v -> v = src
+  in
+  if granted then begin
+    t.voted_for <- Some src;
+    reset_election_timer t
+  end;
+  t.env.send src (VoteReply { term = t.term; granted })
+
+let on_vote_reply t ~src ~term ~granted =
+  if term > t.term then become_follower t ~term
+  else if t.state = Candidate && term = t.term && granted then
+    match t.votes with
+    | Some tracker ->
+        Quorum.ack tracker src;
+        if Quorum.satisfied tracker then become_leader t
+    | None -> ()
+
+let on_append_entries t ~src ~term ~prev_index ~prev_term ~entries
+    ~leader_commit =
+  if term < t.term then
+    t.env.send src (AppendReply { term = t.term; success = false; match_index = 0 })
+  else begin
+    if term > t.term || t.state <> Follower then become_follower t ~term;
+    t.leader_id <- Some src;
+    t.last_heard <- t.env.now ();
+    reset_election_timer t;
+    drain_pending_to_leader t;
+    let consistent = prev_index < 0 || term_at t prev_index = prev_term in
+    if not consistent then
+      t.env.send src
+        (AppendReply
+           {
+             term = t.term;
+             success = false;
+             match_index = Stdlib.min prev_index (Slot_log.next_slot t.log);
+           })
+    else begin
+      (* Append, overwriting conflicting suffixes. *)
+      List.iteri
+        (fun off (e : entry) ->
+          let i = prev_index + 1 + off in
+          match Slot_log.get t.log i with
+          | Some existing when existing.term = e.term -> ()
+          | _ -> Slot_log.set t.log i { e with client = None })
+        entries;
+      let match_index = prev_index + 1 + List.length entries in
+      if leader_commit > t.commit_index then begin
+        t.commit_index <- Stdlib.min leader_commit match_index;
+        apply_committed t
+      end;
+      t.env.send src (AppendReply { term = t.term; success = true; match_index })
+    end
+  end
+
+let on_append_reply t ~src ~term ~success ~match_index =
+  if term > t.term then become_follower t ~term
+  else if t.state = Leader && term = t.term then
+    if success then begin
+      t.match_index.(src) <- Stdlib.max t.match_index.(src) match_index;
+      t.next_index.(src) <- Stdlib.max t.next_index.(src) match_index;
+      advance_commit t
+    end
+    else begin
+      (* Fast backoff to the follower's hinted match point. *)
+      t.next_index.(src) <- Stdlib.max 0 (Stdlib.min match_index (t.next_index.(src) - 1));
+      send_append t src
+    end
+
+let on_message t ~src = function
+  | RequestVote { term; last_index; last_term } ->
+      on_request_vote t ~src ~term ~last_index ~last_term
+  | VoteReply { term; granted } -> on_vote_reply t ~src ~term ~granted
+  | AppendEntries { term; prev_index; prev_term; entries; leader_commit } ->
+      on_append_entries t ~src ~term ~prev_index ~prev_term ~entries
+        ~leader_commit
+  | AppendReply { term; success; match_index } ->
+      on_append_reply t ~src ~term ~success ~match_index
+
+let rec heartbeat_loop t =
+  let period = t.env.config.Config.failover_timeout_ms /. 4.0 in
+  ignore
+  @@ t.env.schedule period (fun () ->
+         if t.state = Leader then broadcast_append t;
+         heartbeat_loop t)
+
+let rec election_loop t =
+  let period = t.env.config.Config.failover_timeout_ms /. 4.0 in
+  ignore
+  @@ t.env.schedule period (fun () ->
+         (if t.state <> Leader && t.env.now () > t.election_deadline then
+            start_election t);
+         election_loop t)
+
+let on_start t =
+  t.last_heard <- t.env.now ();
+  (* Deterministic fast start: replica 0 stands for election right
+     away so the common case elects it immediately, as with etcd's
+     initial election. *)
+  let base = t.env.config.Config.failover_timeout_ms in
+  if t.env.id = 0 then
+    ignore
+      (t.env.schedule 1.0 (fun () ->
+           if t.state = Follower && t.leader_id = None then start_election t))
+  else t.election_deadline <- t.env.now () +. base +. Rng.float t.env.rng base;
+  heartbeat_loop t;
+  election_loop t

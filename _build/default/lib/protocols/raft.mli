@@ -1,0 +1,19 @@
+(** Raft consensus (Ongaro & Ousterhout 2014), implemented
+    independently from {!Paxos} as the paper's Fig. 7 does with etcd:
+    randomized election timeouts, terms, per-follower [next_index]
+    replication with consistency checks, and majority commit. It is
+    deliberately a separate code path so the Paxos/Raft comparison
+    exercises two implementations of the single-leader approach. *)
+
+include Proto.PROTOCOL
+
+val cpu_factor : Config.t -> float
+
+type role = Follower | Candidate | Leader
+
+val role : replica -> role
+val current_term : replica -> int
+val commit_index : replica -> int
+val executor : replica -> Executor.t
+val log_length : replica -> int
+val log_term_at : replica -> int -> int option

@@ -1,0 +1,24 @@
+let all : (string * (module Proto.RUNNABLE)) list =
+  [
+    ("paxos", (module Paxos));
+    ("fpaxos", (module Fpaxos));
+    ("raft", (module Raft));
+    ("epaxos", (module Epaxos));
+    ("wpaxos", (module Wpaxos));
+    ("wankeeper", (module Wankeeper));
+    ("vpaxos", (module Vpaxos));
+    ("mencius", (module Mencius));
+    ("abd", (module Abd));
+    ("chain", (module Chain));
+  ]
+
+let names = List.map fst all
+let find name = List.assoc_opt name all
+
+let find_exn name =
+  match find name with
+  | Some p -> p
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown protocol %S (known: %s)" name
+           (String.concat ", " names))

@@ -1,0 +1,14 @@
+(** Name-indexed registry of every protocol in the framework, for CLI
+    tools and benchmark sweeps that select protocols at runtime. *)
+
+val all : (string * (module Proto.RUNNABLE)) list
+(** The six consensus families of §2 in the order the paper introduces
+    them ([paxos; fpaxos; raft; epaxos; wpaxos; wankeeper; vpaxos]),
+    plus the additional Figure-14 categories: [mencius]
+    (rotating-leader), and the no-consensus alternatives [abd] (atomic
+    storage) and [chain] (chain replication). *)
+
+val names : string list
+val find : string -> (module Proto.RUNNABLE) option
+val find_exn : string -> (module Proto.RUNNABLE)
+(** Raises [Invalid_argument] with the known names on a miss. *)

@@ -1,0 +1,26 @@
+(** Vertical Paxos (§2), in the augmented form the paper evaluates
+    (§5.3): per-region Paxos groups commit commands on the objects
+    assigned to them, while a master group (in the
+    [config.master_region_index] region) owns the object-to-group
+    assignment and commits every reassignment through its own
+    consensus before it takes effect — the control plane / data plane
+    split of VPaxos.
+
+    Object migration follows the same consecutive-remote-access
+    policy as WPaxos/WanKeeper; on reassignment the old owner drains
+    its in-flight proposals for the object, ships the object's latest
+    value to the new owner, and the new owner re-commits it in its
+    group before serving queued commands, so reads stay linearizable
+    across migrations. *)
+
+include Proto.PROTOCOL
+
+val cpu_factor : Config.t -> float
+val executor : replica -> Executor.t
+val is_master : replica -> bool
+val is_zone_leader : replica -> bool
+val assigned_zone : replica -> Command.key -> int option
+(** This replica's view of which zone owns the key. *)
+
+val migrations : replica -> int
+(** Reassignments committed (meaningful at the master). *)

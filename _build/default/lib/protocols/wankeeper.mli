@@ -1,0 +1,34 @@
+(** WanKeeper (§2): hierarchical two-level consensus with a token
+    broker.
+
+    Each region runs a level-1 replication group ({!Group}) with a
+    fixed leader; one region (the [config.master_region_index]-th)
+    additionally hosts the level-2 master. Commands on an object
+    execute in the region group that holds the object's token. Tokens
+    start at the master; when several regions contend for the same
+    object the master retracts the token and executes those commands
+    itself in its own group, and once accesses settle on one region
+    (the consecutive-access threshold) the master passes the token
+    down so that region commits with local latency — the behaviour
+    behind Ohio's flat latency curve in Fig. 11b and its win in
+    Fig. 13a.
+
+    Token movement carries the object's latest value, which the
+    receiving leader re-commits in its group as a sync write, keeping
+    reads linearizable across moves. Master failure recovery is not
+    implemented (not exercised by the paper's experiments). *)
+
+include Proto.PROTOCOL
+
+val cpu_factor : Config.t -> float
+val executor : replica -> Executor.t
+val is_master : replica -> bool
+val is_zone_leader : replica -> bool
+val tokens_held : replica -> int
+(** Number of keys whose token this replica's zone currently holds
+    (meaningful at zone leaders). *)
+
+val grants : replica -> int
+(** Tokens granted (meaningful at the master). *)
+
+val retractions : replica -> int

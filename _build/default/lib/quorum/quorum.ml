@@ -1,0 +1,140 @@
+type per_zone = Per_zone_majority | Per_zone_all
+
+type spec =
+  | Majority of int list
+  | Count of { members : int list; threshold : int }
+  | Fast of int list
+  | Zones of { zones : int list list; need_zones : int; per_zone : per_zone }
+
+let majority_threshold n = (n / 2) + 1
+let fast_threshold n = (3 * n + 3) / 4
+
+let dedup l = List.sort_uniq Int.compare l
+
+let members = function
+  | Majority ms | Fast ms -> dedup ms
+  | Count { members; _ } -> dedup members
+  | Zones { zones; _ } -> dedup (List.concat zones)
+
+let zone_need per_zone zone =
+  match per_zone with
+  | Per_zone_majority -> majority_threshold (List.length zone)
+  | Per_zone_all -> List.length zone
+
+let min_size = function
+  | Majority ms -> majority_threshold (List.length (dedup ms))
+  | Fast ms -> fast_threshold (List.length (dedup ms))
+  | Count { threshold; _ } -> threshold
+  | Zones { zones; need_zones; per_zone } ->
+      let needs =
+        List.map (zone_need per_zone) zones |> List.sort Int.compare
+      in
+      let rec take k acc = function
+        | _ when k = 0 -> acc
+        | [] -> acc
+        | x :: rest -> take (k - 1) (acc + x) rest
+      in
+      take need_zones 0 needs
+
+type t = {
+  spec : spec;
+  mutable acked : int list;
+  mutable nacked : int list;
+}
+
+let create spec = { spec; acked = []; nacked = [] }
+
+let ack t id =
+  if List.mem id (members t.spec) && not (List.mem id t.acked) then
+    t.acked <- id :: t.acked
+
+let nack t id =
+  if List.mem id (members t.spec) && not (List.mem id t.nacked) then
+    t.nacked <- id :: t.nacked
+
+let count_in acked group =
+  List.length (List.filter (fun m -> List.mem m acked) group)
+
+let satisfied_with spec acked =
+  match spec with
+  | Majority ms ->
+      let ms = dedup ms in
+      count_in acked ms >= majority_threshold (List.length ms)
+  | Fast ms ->
+      let ms = dedup ms in
+      count_in acked ms >= fast_threshold (List.length ms)
+  | Count { members; threshold } -> count_in acked (dedup members) >= threshold
+  | Zones { zones; need_zones; per_zone } ->
+      let ok_zones =
+        List.filter
+          (fun z -> count_in acked z >= zone_need per_zone z)
+          zones
+      in
+      List.length ok_zones >= need_zones
+
+let satisfied t = satisfied_with t.spec t.acked
+
+let rejected t =
+  (* Satisfaction impossible even if every silent member eventually
+     acks: treat all non-nacked members as acked and re-check. *)
+  let optimistic =
+    List.filter (fun m -> not (List.mem m t.nacked)) (members t.spec)
+  in
+  not (satisfied_with t.spec optimistic)
+
+let acks t = List.rev t.acked
+let nacks t = List.rev t.nacked
+
+let reset t =
+  t.acked <- [];
+  t.nacked <- []
+
+let spec t = t.spec
+let is_quorum spec acked = satisfied_with spec (dedup acked)
+
+(* Enumerate subsets of [l] of size [k]. *)
+let rec choose k l =
+  if k = 0 then [ [] ]
+  else
+    match l with
+    | [] -> []
+    | x :: rest ->
+        List.map (fun s -> x :: s) (choose (k - 1) rest) @ choose k rest
+
+let minimal_quorums spec =
+  match spec with
+  | Majority ms ->
+      let ms = dedup ms in
+      choose (majority_threshold (List.length ms)) ms
+  | Fast ms ->
+      let ms = dedup ms in
+      choose (fast_threshold (List.length ms)) ms
+  | Count { members; threshold } -> choose threshold (dedup members)
+  | Zones { zones; need_zones; per_zone } ->
+      let zone_minimals =
+        List.map (fun z -> choose (zone_need per_zone z) z) zones
+      in
+      (* pick need_zones zones, then one minimal per chosen zone *)
+      let rec zone_choices k zs =
+        if k = 0 then [ [] ]
+        else
+          match zs with
+          | [] -> []
+          | z :: rest ->
+              let with_z =
+                List.concat_map
+                  (fun minimal ->
+                    List.map (fun s -> minimal @ s) (zone_choices (k - 1) rest))
+                  z
+              in
+              with_z @ zone_choices k rest
+      in
+      List.map dedup (zone_choices need_zones zone_minimals)
+
+let intersects a b =
+  let qa = minimal_quorums a and qb = minimal_quorums b in
+  qa <> [] && qb <> []
+  && List.for_all
+       (fun sa ->
+         List.for_all (fun sb -> List.exists (fun x -> List.mem x sb) sa) qb)
+       qa

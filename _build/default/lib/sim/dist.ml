@@ -1,0 +1,111 @@
+type t = Rng.t -> float
+
+let constant c = fun _ -> c
+let uniform ~lo ~hi = fun rng -> Rng.uniform rng ~lo ~hi
+let normal ~mu ~sigma = fun rng -> Rng.normal rng ~mu ~sigma
+
+let normal_pos ~mu ~sigma =
+  fun rng ->
+    let rec draw tries =
+      let x = Rng.normal rng ~mu ~sigma in
+      if x >= 0.0 then x else if tries > 32 then Float.max 0.0 mu else draw (tries + 1)
+    in
+    draw 0
+
+let exponential ~mean =
+  assert (mean > 0.0);
+  fun rng -> Rng.exponential rng ~rate:(1.0 /. mean)
+
+let shifted d ~by = fun rng -> d rng +. by
+let scaled d ~by = fun rng -> d rng *. by
+let sample d rng = d rng
+
+let mean_estimate d rng ~n =
+  assert (n > 0);
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. d rng
+  done;
+  !acc /. float_of_int n
+
+module Discrete = struct
+  (* A discrete sampler is either a direct draw or an inverse-CDF table
+     over k keys; [moving] shifts the key space with workload time. *)
+  type kind =
+    | Uniform
+    | Table of float array (* cumulative popularity, length k *)
+    | Gaussian of { mu : float; sigma : float }
+
+  type t = { k : int; kind : kind; move_speed_ms : float; move_drift : float }
+
+  let plain k kind = { k; kind; move_speed_ms = 0.0; move_drift = 0.0 }
+
+  let uniform ~k =
+    assert (k > 0);
+    plain k Uniform
+
+  let cumulative weights =
+    let k = Array.length weights in
+    let cum = Array.make k 0.0 in
+    let acc = ref 0.0 in
+    for i = 0 to k - 1 do
+      acc := !acc +. weights.(i);
+      cum.(i) <- !acc
+    done;
+    let total = !acc in
+    Array.map (fun x -> x /. total) cum
+
+  let zipfian ~k ~s ~v =
+    assert (k > 0 && v > 0.0);
+    let weights = Array.init k (fun i -> 1.0 /. ((float_of_int i +. v) ** s)) in
+    plain k (Table (cumulative weights))
+
+  let normal ~k ~mu ~sigma =
+    assert (k > 0 && sigma > 0.0);
+    plain k (Gaussian { mu; sigma })
+
+  let exponential ~k ~mean =
+    assert (k > 0 && mean > 0.0);
+    let weights = Array.init k (fun i -> exp (-.float_of_int i /. mean)) in
+    plain k (Table (cumulative weights))
+
+  let with_moving_mean t ~speed_ms ~drift =
+    assert (speed_ms > 0.0);
+    { t with move_speed_ms = speed_ms; move_drift = drift }
+
+  (* Binary search for the first index whose cumulative weight covers u. *)
+  let search cum u =
+    let n = Array.length cum in
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cum.(mid) < u then go (mid + 1) hi else go lo mid
+    in
+    go 0 (n - 1)
+
+  let sample t rng ~now_ms =
+    let offset =
+      if t.move_speed_ms > 0.0 then
+        int_of_float (now_ms /. t.move_speed_ms *. t.move_drift)
+      else 0
+    in
+    let raw =
+      match t.kind with
+      | Uniform -> Rng.int rng t.k
+      | Table cum -> search cum (Rng.float rng 1.0)
+      | Gaussian { mu; sigma } ->
+          let rec draw tries =
+            let x = int_of_float (Float.round (Rng.normal rng ~mu ~sigma)) in
+            if x >= 0 && x < t.k then x
+            else if tries > 64 then
+              (* Pathological mu/sigma: clamp instead of spinning. *)
+              Int.max 0 (Int.min (t.k - 1) x)
+            else draw (tries + 1)
+          in
+          draw 0
+    in
+    ((raw + offset) mod t.k + t.k) mod t.k
+
+  let k t = t.k
+end

@@ -1,0 +1,51 @@
+(** Probability distributions used for network latencies and workload
+    key popularity (paper Fig. 6: uniform, zipfian, normal,
+    exponential). A continuous distribution is a sampler over floats;
+    {!Discrete} builds integer key samplers over [0..k-1]. *)
+
+type t
+(** A sampler for a continuous, real-valued distribution. *)
+
+val constant : float -> t
+val uniform : lo:float -> hi:float -> t
+
+val normal : mu:float -> sigma:float -> t
+(** Unbounded Gaussian. *)
+
+val normal_pos : mu:float -> sigma:float -> t
+(** Gaussian truncated below at [0] (resampled); used for RTTs, which
+    the paper measures to be approximately normal (Fig. 3). *)
+
+val exponential : mean:float -> t
+val shifted : t -> by:float -> t
+val scaled : t -> by:float -> t
+val sample : t -> Rng.t -> float
+val mean_estimate : t -> Rng.t -> n:int -> float
+(** Monte-Carlo mean of [n] samples; used in tests and calibration. *)
+
+module Discrete : sig
+  (** Integer-key samplers over the key space [0 .. k-1], mirroring the
+      Paxi benchmark's key-distribution choices (Table 3). *)
+
+  type t
+
+  val uniform : k:int -> t
+
+  val zipfian : k:int -> s:float -> v:float -> t
+  (** Popularity [∝ 1/(i+v)^s], the paper's [zipfian_s]/[zipfian_v]. *)
+
+  val normal : k:int -> mu:float -> sigma:float -> t
+  (** Key [i] popularity follows a Gaussian centred at [mu]; draws
+      outside [0..k-1] are clamped by resampling. The paper uses this
+      to synthesise locality: each region gets its own [mu]. *)
+
+  val exponential : k:int -> mean:float -> t
+
+  val with_moving_mean : t -> speed_ms:float -> drift:float -> t
+  (** Moving-locality decorator (Table 3 [Move]/[Speed]): every
+      [speed_ms] of workload time the distribution mean advances by
+      [drift] keys. Only meaningful for [normal]. *)
+
+  val sample : t -> Rng.t -> now_ms:float -> int
+  val k : t -> int
+end

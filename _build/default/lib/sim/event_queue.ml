@@ -1,0 +1,75 @@
+(* Array-backed binary min-heap ordered by (time, seq). *)
+
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+let is_empty t = t.size = 0
+let length t = t.size
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.heap in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  let nh = Array.make ncap t.heap.(0) in
+  Array.blit t.heap 0 nh 0 t.size;
+  t.heap <- nh
+
+let push t ~time payload =
+  let e = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = 0 && Array.length t.heap = 0 then t.heap <- Array.make 16 e;
+  if t.size >= Array.length t.heap then grow t;
+  t.heap.(t.size) <- e;
+  t.size <- t.size + 1;
+  (* sift up *)
+  let i = ref (t.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    less t.heap.(!i) t.heap.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.heap.(!i) in
+    t.heap.(!i) <- t.heap.(parent);
+    t.heap.(parent) <- tmp;
+    i := parent
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && less t.heap.(l) t.heap.(!smallest) then smallest := l;
+        if r < t.size && less t.heap.(r) t.heap.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = t.heap.(!i) in
+          t.heap.(!i) <- t.heap.(!smallest);
+          t.heap.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+
+let clear t = t.size <- 0

@@ -1,0 +1,19 @@
+(** Priority queue of timestamped events for the discrete-event
+    simulator. Ties on time are broken by insertion order so that runs
+    are deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** [push q ~time ev] schedules [ev] at [time]. O(log n). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event (FIFO among equal times). *)
+
+val peek_time : 'a t -> float option
+
+val clear : 'a t -> unit

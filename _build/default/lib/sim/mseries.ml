@@ -1,0 +1,40 @@
+type t = {
+  window_ms : float;
+  counts : (int, int ref) Hashtbl.t;
+  mutable total : int;
+}
+
+let create ~window_ms =
+  assert (window_ms > 0.0);
+  { window_ms; counts = Hashtbl.create 64; total = 0 }
+
+let bucket_of t now_ms = int_of_float (now_ms /. t.window_ms)
+
+let record_n t ~now_ms ~n =
+  let b = bucket_of t now_ms in
+  (match Hashtbl.find_opt t.counts b with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add t.counts b (ref n));
+  t.total <- t.total + n
+
+let record t ~now_ms = record_n t ~now_ms ~n:1
+
+let rate_per_sec t ~from_ms ~until_ms =
+  if until_ms <= from_ms then 0.0
+  else begin
+    let acc = ref 0 in
+    Hashtbl.iter
+      (fun b r ->
+        let start = float_of_int b *. t.window_ms in
+        if start >= from_ms && start < until_ms then acc := !acc + !r)
+      t.counts;
+    float_of_int !acc /. ((until_ms -. from_ms) /. 1000.0)
+  end
+
+let total t = t.total
+
+let buckets t =
+  Hashtbl.fold
+    (fun b r acc -> (float_of_int b *. t.window_ms, !r) :: acc)
+    t.counts []
+  |> List.sort compare

@@ -1,0 +1,21 @@
+(** Windowed event counting over virtual time, used to derive
+    throughput (committed operations per second) from a run. *)
+
+type t
+
+val create : window_ms:float -> t
+(** Buckets of width [window_ms]. *)
+
+val record : t -> now_ms:float -> unit
+(** Count one event at virtual time [now_ms]. *)
+
+val record_n : t -> now_ms:float -> n:int -> unit
+
+val rate_per_sec : t -> from_ms:float -> until_ms:float -> float
+(** Average events/second over the half-open interval
+    [\[from_ms, until_ms)]. *)
+
+val total : t -> int
+
+val buckets : t -> (float * int) list
+(** [(bucket_start_ms, count)] for every non-empty bucket, sorted. *)

@@ -1,0 +1,61 @@
+type handle = { mutable cancelled : bool }
+
+type event = { h : handle; thunk : unit -> unit }
+
+type t = {
+  queue : event Event_queue.t;
+  mutable clock : float;
+  root_rng : Rng.t;
+}
+
+let create ?(seed = 42) () =
+  { queue = Event_queue.create (); clock = 0.0; root_rng = Rng.create ~seed }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let schedule_at t ~time thunk =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_at: time %g < now %g" time t.clock);
+  let h = { cancelled = false } in
+  Event_queue.push t.queue ~time { h; thunk };
+  h
+
+let schedule_after t ~delay thunk =
+  schedule_at t ~time:(t.clock +. Float.max 0.0 delay) thunk
+
+let cancel h = h.cancelled <- true
+
+let fire t time ev =
+  t.clock <- time;
+  if not ev.h.cancelled then ev.thunk ()
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Event_queue.peek_time t.queue with
+    | Some time when time <= horizon -> (
+        match Event_queue.pop t.queue with
+        | Some (time, ev) -> fire t time ev
+        | None -> continue := false)
+    | _ -> continue := false
+  done;
+  if horizon > t.clock then t.clock <- horizon
+
+let run t =
+  let continue = ref true in
+  while !continue do
+    match Event_queue.pop t.queue with
+    | Some (time, ev) -> fire t time ev
+    | None -> continue := false
+  done
+
+let step t =
+  match Event_queue.pop t.queue with
+  | Some (time, ev) ->
+      fire t time ev;
+      true
+  | None -> false
+
+let pending t = Event_queue.length t.queue

@@ -1,0 +1,46 @@
+(** Virtual-time discrete-event scheduler.
+
+    All simulated components (network links, node processing queues,
+    clients, fault injectors) schedule thunks on one shared [Sim.t];
+    [run_until] drains events in timestamp order while advancing the
+    virtual clock. Time is in milliseconds, matching the paper's
+    latency units. *)
+
+type t
+
+type handle
+(** Cancellation handle for a scheduled event. *)
+
+val create : ?seed:int -> unit -> t
+val now : t -> float
+(** Current virtual time (ms). *)
+
+val rng : t -> Rng.t
+(** The root RNG of this simulation; split it for per-component
+    streams. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** Schedule a thunk at an absolute virtual time. Scheduling in the
+    past raises [Invalid_argument]. *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> handle
+(** Schedule relative to [now]; negative delays are clamped to 0. *)
+
+val cancel : handle -> unit
+(** Cancelled events are skipped when their time comes. Idempotent. *)
+
+val run_until : t -> float -> unit
+(** Process every event with timestamp [<= horizon], advancing the
+    clock; afterwards the clock reads [horizon]. *)
+
+val run : t -> unit
+(** Drain all pending events (the queue must be finite: protocols
+    driven by closed-loop clients terminate when clients stop). *)
+
+val step : t -> bool
+(** Process exactly one event. Returns [false] when the queue is
+    empty. *)
+
+val pending : t -> int
+(** Number of scheduled (uncancelled or cancelled-but-unprocessed)
+    events. *)

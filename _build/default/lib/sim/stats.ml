@@ -1,0 +1,122 @@
+type t = {
+  mutable data : float array;
+  mutable n : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable lo : float;
+  mutable hi : float;
+  mutable sorted : bool;
+}
+
+let create () =
+  {
+    data = [||];
+    n = 0;
+    sum = 0.0;
+    sumsq = 0.0;
+    lo = infinity;
+    hi = neg_infinity;
+    sorted = true;
+  }
+
+let add t x =
+  if t.n >= Array.length t.data then begin
+    let cap = Int.max 64 (2 * Array.length t.data) in
+    let nd = Array.make cap 0.0 in
+    Array.blit t.data 0 nd 0 t.n;
+    t.data <- nd
+  end;
+  t.data.(t.n) <- x;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  t.sumsq <- t.sumsq +. (x *. x);
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x;
+  t.sorted <- false
+
+let add_all t xs = List.iter (add t) xs
+let count t = t.n
+let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
+
+let variance t =
+  if t.n < 2 then nan
+  else
+    let n = float_of_int t.n in
+    let m = t.sum /. n in
+    Float.max 0.0 ((t.sumsq -. (n *. m *. m)) /. (n -. 1.0))
+
+let stddev t = sqrt (variance t)
+let min t = if t.n = 0 then nan else t.lo
+let max t = if t.n = 0 then nan else t.hi
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let view = Array.sub t.data 0 t.n in
+    Array.sort Float.compare view;
+    Array.blit view 0 t.data 0 t.n;
+    t.sorted <- true
+  end
+
+let percentile t p =
+  if t.n = 0 then nan
+  else begin
+    ensure_sorted t;
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = p /. 100.0 *. float_of_int (t.n - 1) in
+    let lo_idx = int_of_float (Float.floor rank) in
+    let hi_idx = Stdlib.min (t.n - 1) (lo_idx + 1) in
+    let frac = rank -. float_of_int lo_idx in
+    t.data.(lo_idx) +. (frac *. (t.data.(hi_idx) -. t.data.(lo_idx)))
+  end
+
+let median t = percentile t 50.0
+
+let cdf t ~points =
+  if t.n = 0 || points <= 0 then []
+  else begin
+    ensure_sorted t;
+    List.init points (fun i ->
+        let q = float_of_int (i + 1) /. float_of_int points in
+        let idx =
+          Stdlib.min (t.n - 1)
+            (int_of_float (Float.round (q *. float_of_int (t.n - 1))))
+        in
+        (t.data.(idx), q))
+  end
+
+let histogram t ~bins =
+  if t.n = 0 || bins <= 0 then []
+  else begin
+    let lo = t.lo and hi = t.hi in
+    let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+    let counts = Array.make bins 0 in
+    for i = 0 to t.n - 1 do
+      let b = int_of_float ((t.data.(i) -. lo) /. width) in
+      let b = Stdlib.max 0 (Stdlib.min (bins - 1) b) in
+      counts.(b) <- counts.(b) + 1
+    done;
+    List.init bins (fun b ->
+        ( lo +. (float_of_int b *. width),
+          lo +. (float_of_int (b + 1) *. width),
+          counts.(b) ))
+  end
+
+let samples t =
+  ensure_sorted t;
+  Array.sub t.data 0 t.n
+
+let merge a b =
+  let t = create () in
+  for i = 0 to a.n - 1 do
+    add t a.data.(i)
+  done;
+  for i = 0 to b.n - 1 do
+    add t b.data.(i)
+  done;
+  t
+
+let pp_summary ppf t =
+  if t.n = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.3f p50=%.3f p99=%.3f min=%.3f max=%.3f"
+      t.n (mean t) (median t) (percentile t 99.0) (min t) (max t)

@@ -1,0 +1,40 @@
+(** Sample statistics: streaming moments plus retained samples for
+    percentiles, CDFs (paper Fig. 13b) and histograms (Fig. 3). *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val add_all : t -> float list -> unit
+val count : t -> int
+val mean : t -> float
+(** Mean of the samples; [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [nan] for fewer than 2 samples. *)
+
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [\[0,100\]], linear interpolation
+    between closest ranks; [nan] when empty. *)
+
+val median : t -> float
+
+val cdf : t -> points:int -> (float * float) list
+(** [(value, fraction <= value)] pairs at [points] evenly spaced
+    quantiles — the series behind the paper's latency CDF plots. *)
+
+val histogram : t -> bins:int -> (float * float * int) list
+(** [(lo, hi, count)] buckets over the sample range. *)
+
+val samples : t -> float array
+(** Sorted copy of all retained samples. *)
+
+val merge : t -> t -> t
+(** Pooled statistics of two sample sets. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line [n/mean/p50/p99/min/max] summary. *)

@@ -1,0 +1,1 @@
+lib/store/command.ml: Format Int

@@ -1,0 +1,1 @@
+lib/store/state_machine.ml: Command Kv List

@@ -1,0 +1,1 @@
+lib/store/state_machine.mli: Command Kv

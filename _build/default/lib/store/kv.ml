@@ -1,0 +1,39 @@
+type version = {
+  value : Command.value option;
+  seq : int;
+  writer : Command.t;
+}
+
+type t = { table : (Command.key, version list ref) Hashtbl.t }
+(* Version chains are stored newest-first for O(1) writes. *)
+
+let create () = { table = Hashtbl.create 64 }
+
+let chain t k =
+  match Hashtbl.find_opt t.table k with
+  | Some c -> c
+  | None ->
+      let c = ref [] in
+      Hashtbl.add t.table k c;
+      c
+
+let get t k =
+  match Hashtbl.find_opt t.table k with
+  | Some { contents = v :: _ } -> v.value
+  | _ -> None
+
+let append t writer k value =
+  let c = chain t k in
+  let seq = 1 + match !c with [] -> 0 | v :: _ -> v.seq in
+  c := { value; seq; writer } :: !c
+
+let put t writer k v = append t writer k (Some v)
+let delete t writer k = append t writer k None
+
+let versions t k =
+  match Hashtbl.find_opt t.table k with
+  | Some c -> List.rev !c
+  | None -> []
+
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.table []
+let size t = Hashtbl.length t.table

@@ -1,0 +1,26 @@
+(** In-memory multi-version key-value datastore (§4.1 Data store).
+
+    Every write creates a new version; the full version chain of every
+    key is retained so the consensus checker can compare per-node
+    histories, as the paper does with its multi-version store. *)
+
+type t
+
+type version = {
+  value : Command.value option;  (** [None] for a delete *)
+  seq : int;  (** position in this key's version chain, from 1 *)
+  writer : Command.t;  (** the command that created this version *)
+}
+
+val create : unit -> t
+val get : t -> Command.key -> Command.value option
+(** Latest live value; [None] if absent or deleted. *)
+
+val put : t -> Command.t -> Command.key -> Command.value -> unit
+val delete : t -> Command.t -> Command.key -> unit
+val versions : t -> Command.key -> version list
+(** Oldest first. *)
+
+val keys : t -> Command.key list
+val size : t -> int
+(** Number of keys ever written. *)

@@ -1,0 +1,28 @@
+type result = { command : Command.t; read : Command.value option }
+
+type t = { kv : Kv.t; mutable applied_rev : Command.t list; mutable n : int }
+
+let create () = { kv = Kv.create (); applied_rev = []; n = 0 }
+
+let apply t cmd =
+  let read =
+    if Command.is_noop cmd then None
+    else
+      match cmd.Command.op with
+      | Command.Get k -> Kv.get t.kv k
+      | Command.Put (k, v) ->
+          Kv.put t.kv cmd k v;
+          None
+      | Command.Delete k ->
+          Kv.delete t.kv cmd k;
+          None
+  in
+  t.applied_rev <- cmd :: t.applied_rev;
+  t.n <- t.n + 1;
+  { command = cmd; read }
+
+let applied t = List.rev t.applied_rev
+let applied_count t = t.n
+let store t = t.kv
+
+let key_history t k = List.map (fun v -> v.Kv.writer) (Kv.versions t.kv k)

@@ -1,0 +1,1 @@
+test/proto_harness.ml: Alcotest Cluster Command Config Executor Faults Fun Hashtbl Kv List Paxi_benchmark Proto Region Sim State_machine Topology

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Cluster Command Config Paxi_protocols Region Sim String Topology

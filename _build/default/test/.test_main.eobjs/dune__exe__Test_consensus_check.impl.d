@@ -1,0 +1,1 @@
+test/test_consensus_check.ml: Alcotest Command Consensus_check Format List Paxi_benchmark State_machine

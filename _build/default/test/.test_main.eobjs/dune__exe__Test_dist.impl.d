@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Dist Float Fun List QCheck QCheck_alcotest Rng Stdlib

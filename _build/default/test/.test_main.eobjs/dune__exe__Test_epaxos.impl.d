@@ -1,0 +1,1 @@
+test/test_epaxos.ml: Address Alcotest Command Executor Faults List Option Paxi_protocols Printf Proto Proto_harness Sim

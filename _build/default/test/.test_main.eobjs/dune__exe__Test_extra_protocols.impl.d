@@ -1,0 +1,1 @@
+test/test_extra_protocols.ml: Address Alcotest Command Executor Faults List Paxi_benchmark Paxi_protocols Printf Proto Proto_harness Sim

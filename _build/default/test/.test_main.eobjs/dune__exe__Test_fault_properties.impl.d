@@ -1,0 +1,1 @@
+test/test_fault_properties.ml: Address Config Faults Linearizability List Paxi_benchmark Paxi_protocols Printf Proto QCheck QCheck_alcotest Runner String Topology Workload

@@ -1,0 +1,1 @@
+test/test_group.ml: Alcotest Cluster Command Config Executor Fun List Paxi_protocols Printf Proto Rng Sim Topology

@@ -1,0 +1,1 @@
+test/test_integration.ml: Address Alcotest Config Faults Float Linearizability List Paxi_benchmark Paxi_protocols Printf Proto Region Runner Stats Stdlib Topology Workload

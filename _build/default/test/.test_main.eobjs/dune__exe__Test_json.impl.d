@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Config Filename Json List Option Out_channel Printf QCheck QCheck_alcotest Result Sys

@@ -1,0 +1,1 @@
+test/test_linearizability.ml: Alcotest Fun Hashtbl Linearizability List Option Paxi_benchmark QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Format List Mseries Paxi_benchmark Paxi_protocols Report String

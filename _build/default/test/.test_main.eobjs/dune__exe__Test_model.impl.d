@@ -1,0 +1,1 @@
+test/test_model.ml: Advisor Alcotest Dist Float Formulas Latency_model List Order_stats Paxi_model Printf QCheck QCheck_alcotest Queueing Region Rng Service

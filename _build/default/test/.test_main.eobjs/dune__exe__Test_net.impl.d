@@ -1,0 +1,1 @@
+test/test_net.ml: Address Alcotest Faults Float List Procq Region Rng Topology

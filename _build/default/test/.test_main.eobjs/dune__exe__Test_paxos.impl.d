@@ -1,0 +1,1 @@
+test/test_paxos.ml: Address Alcotest Command Config Faults List Paxi_protocols Printf Proto Proto_harness Sim State_machine

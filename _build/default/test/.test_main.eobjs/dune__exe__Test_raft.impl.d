@@ -1,0 +1,1 @@
+test/test_raft.ml: Address Alcotest Command Faults List Option Paxi_protocols Printf Proto Proto_harness Sim

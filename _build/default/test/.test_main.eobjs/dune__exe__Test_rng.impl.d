@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Dist Float Fun Int List QCheck QCheck_alcotest Rng Stats

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Ballot Command Config Executor Kv List Slot_log State_machine

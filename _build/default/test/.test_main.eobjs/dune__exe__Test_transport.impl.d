@@ -1,0 +1,1 @@
+test/test_transport.ml: Address Alcotest Array Faults List Procq Sim Topology Transport

@@ -1,0 +1,1 @@
+test/test_vpaxos.ml: Alcotest Command Config List Paxi_protocols Proto Proto_harness Region Sim

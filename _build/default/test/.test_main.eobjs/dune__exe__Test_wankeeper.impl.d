@@ -1,0 +1,1 @@
+test/test_wankeeper.ml: Alcotest Command Config List Paxi_protocols Printf Proto Proto_harness Region Sim

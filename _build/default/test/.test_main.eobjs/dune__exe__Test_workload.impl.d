@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Command Float Int List Paxi_benchmark Printf Rng Workload

@@ -1,0 +1,1 @@
+test/test_wpaxos.ml: Address Alcotest Command Config Faults List Option Paxi_protocols Printf Proto Proto_harness Region Sim

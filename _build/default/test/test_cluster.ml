@@ -1,0 +1,105 @@
+(* Cluster engine: validation, client plumbing, routing helpers. *)
+
+module C = Cluster.Make (Paxi_protocols.Paxos)
+
+let test_rejects_invalid_config () =
+  let config = { (Config.default ~n_replicas:5) with Config.n_replicas = 0 } in
+  match C.create ~config ~topology:(Topology.lan ~n_replicas:5 ()) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_rejects_size_mismatch () =
+  let config = Config.default ~n_replicas:5 in
+  match C.create ~config ~topology:(Topology.lan ~n_replicas:3 ()) () with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "mentions sizes" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let make () =
+  let config = Config.default ~n_replicas:5 in
+  C.create ~config ~topology:(Topology.lan ~n_replicas:5 ()) ()
+
+let test_pending_and_give_up () =
+  let cluster = make () in
+  C.register_client cluster ~id:0 ();
+  let command = Command.make ~id:0 ~client:0 (Command.Put (1, 1)) in
+  Alcotest.(check bool) "nothing pending" false
+    (C.pending cluster ~client:0 ~command);
+  C.submit cluster ~client:0 ~target:0 ~command ~on_reply:(fun _ -> ());
+  Alcotest.(check bool) "pending after submit" true
+    (C.pending cluster ~client:0 ~command);
+  C.give_up cluster ~client:0 ~command;
+  Alcotest.(check bool) "gone after give_up" false
+    (C.pending cluster ~client:0 ~command);
+  (* the command still commits, but the reply is dropped silently *)
+  Sim.run_until (C.sim cluster) 1_000.0
+
+let test_reply_clears_pending () =
+  let cluster = make () in
+  C.register_client cluster ~id:0 ();
+  let command = Command.make ~id:0 ~client:0 (Command.Put (1, 1)) in
+  let replies = ref 0 in
+  C.submit cluster ~client:0 ~target:0 ~command ~on_reply:(fun _ -> incr replies);
+  Sim.run_until (C.sim cluster) 1_000.0;
+  Alcotest.(check int) "one reply" 1 !replies;
+  Alcotest.(check bool) "not pending" false (C.pending cluster ~client:0 ~command)
+
+let test_resubmit_replaces_callback () =
+  let cluster = make () in
+  C.register_client cluster ~id:0 ();
+  let command = Command.make ~id:0 ~client:0 (Command.Put (1, 1)) in
+  let first = ref 0 and second = ref 0 in
+  C.submit cluster ~client:0 ~target:0 ~command ~on_reply:(fun _ -> incr first);
+  C.submit cluster ~client:0 ~target:1 ~command ~on_reply:(fun _ -> incr second);
+  Sim.run_until (C.sim cluster) 2_000.0;
+  Alcotest.(check int) "old callback replaced" 0 !first;
+  Alcotest.(check bool) "new callback fired once" true (!second = 1)
+
+let test_nearest_replica () =
+  let topology =
+    Topology.wan
+      ~regions:[ Region.virginia; Region.ohio; Region.california ]
+      ~replicas_per_region:3 ()
+  in
+  let config = Config.default ~n_replicas:9 in
+  let cluster = C.create ~config ~topology () in
+  C.register_client cluster ~id:0 ~region:Region.california ();
+  C.register_client cluster ~id:1 ~region:Region.ohio ();
+  Alcotest.(check int) "CA client -> replica 2" 2
+    (C.nearest_replica cluster ~client:0);
+  Alcotest.(check int) "OH client -> replica 1" 1
+    (C.nearest_replica cluster ~client:1)
+
+let test_busy_accounting_and_counts () =
+  let cluster = make () in
+  C.register_client cluster ~id:0 ();
+  for i = 0 to 9 do
+    C.submit cluster ~client:0 ~target:0
+      ~command:(Command.make ~id:i ~client:0 (Command.Put (i, i)))
+      ~on_reply:(fun _ -> ())
+  done;
+  Sim.run_until (C.sim cluster) 2_000.0;
+  let sent, delivered, _ = C.message_counts cluster in
+  Alcotest.(check bool) "messages flowed" true (sent > 0 && delivered > 0);
+  Alcotest.(check bool) "leader busiest" true
+    (C.replica_busy_ms cluster 0 > C.replica_busy_ms cluster 1)
+
+let test_leader_of_key_introspection () =
+  let cluster = make () in
+  Sim.run_until (C.sim cluster) 500.0;
+  Alcotest.(check (option int)) "replica 0 leads" (Some 0)
+    (C.leader_of_key cluster ~replica:3 0)
+
+let suite =
+  ( "cluster",
+    [
+      Alcotest.test_case "rejects invalid config" `Quick test_rejects_invalid_config;
+      Alcotest.test_case "rejects size mismatch" `Quick test_rejects_size_mismatch;
+      Alcotest.test_case "pending and give_up" `Quick test_pending_and_give_up;
+      Alcotest.test_case "reply clears pending" `Quick test_reply_clears_pending;
+      Alcotest.test_case "resubmit replaces callback" `Quick test_resubmit_replaces_callback;
+      Alcotest.test_case "nearest replica" `Quick test_nearest_replica;
+      Alcotest.test_case "busy accounting" `Quick test_busy_accounting_and_counts;
+      Alcotest.test_case "leader introspection" `Quick test_leader_of_key_introspection;
+    ] )

@@ -1,0 +1,56 @@
+open Paxi_benchmark
+
+let cmd id = Command.make ~id ~client:0 (Command.Put (1, id))
+
+let test_prefix_ok () =
+  let a = [ cmd 1; cmd 2; cmd 3 ] and b = [ cmd 1; cmd 2 ] in
+  Alcotest.(check bool) "prefix" true (Consensus_check.common_prefix a b = Ok ());
+  Alcotest.(check bool) "symmetric" true (Consensus_check.common_prefix b a = Ok ());
+  Alcotest.(check bool) "empty" true (Consensus_check.common_prefix [] a = Ok ())
+
+let test_divergence_position () =
+  let a = [ cmd 1; cmd 2; cmd 3 ] and b = [ cmd 1; cmd 9; cmd 3 ] in
+  Alcotest.(check bool) "diverges at 1" true
+    (Consensus_check.common_prefix a b = Error 1)
+
+let test_check_key () =
+  let histories = [ (0, [ cmd 1; cmd 2 ]); (1, [ cmd 1; cmd 2 ]); (2, [ cmd 1; cmd 3 ]) ] in
+  let violations = Consensus_check.check_key ~key:1 ~histories in
+  (* node 2 disagrees with nodes 0 and 1 *)
+  Alcotest.(check int) "two violating pairs" 2 (List.length violations);
+  List.iter
+    (fun v ->
+      Alcotest.(check int) "at position 1" 1 v.Consensus_check.position;
+      Alcotest.(check int) "node b is 2" 2 v.Consensus_check.node_b)
+    violations
+
+let test_check_against_state_machines () =
+  let sm_a = State_machine.create () and sm_b = State_machine.create () in
+  ignore (State_machine.apply sm_a (cmd 1));
+  ignore (State_machine.apply sm_a (cmd 2));
+  ignore (State_machine.apply sm_b (cmd 1));
+  let ok =
+    Consensus_check.check ~state_machines:[ (0, sm_a); (1, sm_b) ] ~keys:[ 1 ]
+  in
+  Alcotest.(check int) "prefix agreement" 0 (List.length ok);
+  ignore (State_machine.apply sm_b (cmd 9));
+  let bad =
+    Consensus_check.check ~state_machines:[ (0, sm_a); (1, sm_b) ] ~keys:[ 1 ]
+  in
+  Alcotest.(check int) "divergence found" 1 (List.length bad)
+
+let test_pp () =
+  let v = { Consensus_check.key = 1; node_a = 0; node_b = 2; position = 3 } in
+  Alcotest.(check string) "render"
+    "key 1: nodes 0 and 2 diverge at version 3"
+    (Format.asprintf "%a" Consensus_check.pp_violation v)
+
+let suite =
+  ( "consensus_check",
+    [
+      Alcotest.test_case "prefix ok" `Quick test_prefix_ok;
+      Alcotest.test_case "divergence position" `Quick test_divergence_position;
+      Alcotest.test_case "check_key pairs" `Quick test_check_key;
+      Alcotest.test_case "against state machines" `Quick test_check_against_state_machines;
+      Alcotest.test_case "pp" `Quick test_pp;
+    ] )

@@ -1,0 +1,110 @@
+let rng () = Rng.create ~seed:99
+
+let test_constant () =
+  let d = Dist.constant 3.5 in
+  let r = rng () in
+  for _ = 1 to 10 do
+    Alcotest.(check (float 0.0)) "constant" 3.5 (Dist.sample d r)
+  done
+
+let test_shifted_scaled () =
+  let d = Dist.scaled (Dist.shifted (Dist.constant 2.0) ~by:1.0) ~by:10.0 in
+  Alcotest.(check (float 0.0)) "(2+1)*10" 30.0 (Dist.sample d (rng ()))
+
+let test_mean_estimate () =
+  let d = Dist.uniform ~lo:0.0 ~hi:10.0 in
+  let m = Dist.mean_estimate d (rng ()) ~n:20_000 in
+  Alcotest.(check bool) "~5" true (Float.abs (m -. 5.0) < 0.2)
+
+let test_discrete_uniform_range () =
+  let d = Dist.Discrete.uniform ~k:10 in
+  let r = rng () in
+  for _ = 1 to 1000 do
+    let x = Dist.Discrete.sample d r ~now_ms:0.0 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10)
+  done
+
+let test_discrete_uniform_covers () =
+  let d = Dist.Discrete.uniform ~k:5 in
+  let r = rng () in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Dist.Discrete.sample d r ~now_ms:0.0) <- true
+  done;
+  Alcotest.(check bool) "all keys seen" true (Array.for_all Fun.id seen)
+
+let histogram_of d ~k ~n =
+  let r = rng () in
+  let counts = Array.make k 0 in
+  for _ = 1 to n do
+    let x = Dist.Discrete.sample d r ~now_ms:0.0 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  counts
+
+let test_zipf_head_heavy () =
+  let k = 100 in
+  let counts = histogram_of (Dist.Discrete.zipfian ~k ~s:2.0 ~v:1.0) ~k ~n:20_000 in
+  Alcotest.(check bool) "key 0 most popular" true
+    (Array.for_all (fun c -> counts.(0) >= c) counts);
+  Alcotest.(check bool) "head dominates tail" true
+    (counts.(0) > 10 * Stdlib.max 1 counts.(50))
+
+let test_exponential_decay () =
+  let k = 100 in
+  let counts = histogram_of (Dist.Discrete.exponential ~k ~mean:10.0) ~k ~n:20_000 in
+  Alcotest.(check bool) "front heavier than back" true
+    (counts.(0) + counts.(1) > counts.(60) + counts.(61))
+
+let test_normal_centred () =
+  let k = 100 in
+  let counts = histogram_of (Dist.Discrete.normal ~k ~mu:50.0 ~sigma:5.0) ~k ~n:20_000 in
+  let centre = counts.(48) + counts.(49) + counts.(50) + counts.(51) + counts.(52) in
+  let edge = counts.(0) + counts.(1) + counts.(98) + counts.(99) in
+  Alcotest.(check bool) "mass at centre" true (centre > 50 * Stdlib.max 1 edge)
+
+let test_moving_mean_shifts () =
+  let k = 100 in
+  let base = Dist.Discrete.normal ~k ~mu:10.0 ~sigma:2.0 in
+  let moving = Dist.Discrete.with_moving_mean base ~speed_ms:100.0 ~drift:10.0 in
+  let r = rng () in
+  let avg_at now_ms =
+    let acc = ref 0 in
+    for _ = 1 to 2000 do
+      acc := !acc + Dist.Discrete.sample moving r ~now_ms
+    done;
+    float_of_int !acc /. 2000.0
+  in
+  let early = avg_at 0.0 and later = avg_at 300.0 in
+  Alcotest.(check bool) "mean moved ~30 keys" true (later -. early > 20.0)
+
+let test_k_accessor () =
+  Alcotest.(check int) "k" 42 (Dist.Discrete.k (Dist.Discrete.uniform ~k:42))
+
+let prop_zipf_in_range =
+  QCheck.Test.make ~name:"zipf samples in range" ~count:100
+    QCheck.(pair (int_range 1 200) (float_range 0.5 3.0))
+    (fun (k, s) ->
+      let d = Dist.Discrete.zipfian ~k ~s ~v:1.0 in
+      let r = Rng.create ~seed:(k + int_of_float (s *. 10.0)) in
+      List.for_all
+        (fun _ ->
+          let x = Dist.Discrete.sample d r ~now_ms:0.0 in
+          x >= 0 && x < k)
+        (List.init 50 Fun.id))
+
+let suite =
+  ( "dist",
+    [
+      Alcotest.test_case "constant" `Quick test_constant;
+      Alcotest.test_case "shifted/scaled" `Quick test_shifted_scaled;
+      Alcotest.test_case "mean estimate" `Quick test_mean_estimate;
+      Alcotest.test_case "discrete uniform range" `Quick test_discrete_uniform_range;
+      Alcotest.test_case "discrete uniform covers" `Quick test_discrete_uniform_covers;
+      Alcotest.test_case "zipf head-heavy" `Quick test_zipf_head_heavy;
+      Alcotest.test_case "exponential decay" `Quick test_exponential_decay;
+      Alcotest.test_case "normal centred" `Quick test_normal_centred;
+      Alcotest.test_case "moving mean shifts keys" `Quick test_moving_mean_shifts;
+      Alcotest.test_case "k accessor" `Quick test_k_accessor;
+      QCheck_alcotest.to_alcotest prop_zipf_in_range;
+    ] )

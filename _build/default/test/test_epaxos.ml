@@ -1,0 +1,137 @@
+module E = Paxi_protocols.Epaxos
+module H = Proto_harness.Make (Paxi_protocols.Epaxos)
+
+let put k v = Command.Put (k, v)
+let get k = Command.Get k
+
+let test_commits_without_leader () =
+  let h = H.lan ~n:5 () in
+  (* every replica can lead: send each op to a different node *)
+  let client = H.new_client h in
+  let replies = ref 0 in
+  let module C = H.C in
+  for i = 0 to 9 do
+    let command = Command.make ~id:i ~client (put i i) in
+    C.submit h.H.cluster ~client ~target:(i mod 5) ~command
+      ~on_reply:(fun _ -> incr replies)
+  done;
+  H.run_for h 10_000.0;
+  Alcotest.(check int) "all committed" 10 !replies
+
+let test_fast_path_on_disjoint_keys () =
+  let h = H.lan ~n:5 () in
+  ignore (H.submit_seq h ~target:0 (List.init 10 (fun i -> put i i)));
+  let r0 = H.replica h 0 in
+  Alcotest.(check int) "all fast" 10 (E.fast_path_count r0);
+  Alcotest.(check int) "no slow" 0 (E.slow_path_count r0)
+
+let test_conflicts_take_slow_path () =
+  let h = H.lan ~n:5 () in
+  let module C = H.C in
+  let client = H.new_client h in
+  let replies = ref 0 in
+  (* two writers to the same key from different command leaders,
+     submitted simultaneously: at least one sees a dependency mismatch *)
+  for round = 0 to 19 do
+    let a = Command.make ~id:(2 * round) ~client (put 0 round) in
+    let b = Command.make ~id:(2 * round + 1) ~client (put 0 (1000 + round)) in
+    let t = Sim.now (H.sim h) +. (float_of_int round *. 50.0) in
+    ignore
+      (Sim.schedule_at (H.sim h) ~time:t (fun () ->
+           C.submit h.H.cluster ~client ~target:0 ~command:a ~on_reply:(fun _ -> incr replies);
+           C.submit h.H.cluster ~client ~target:3 ~command:b ~on_reply:(fun _ -> incr replies)))
+  done;
+  H.run_for h 60_000.0;
+  Alcotest.(check int) "all commit despite conflicts" 40 !replies;
+  let slow =
+    E.slow_path_count (H.replica h 0) + E.slow_path_count (H.replica h 3)
+  in
+  Alcotest.(check bool) "some rounds were slow" true (slow > 0);
+  H.assert_consistent h
+
+let test_histories_converge_under_conflict () =
+  let h = H.lan ~n:5 () in
+  let module C = H.C in
+  let total = ref 0 in
+  for c = 0 to 2 do
+    let client = H.new_client h in
+    for i = 0 to 29 do
+      let command = Command.make ~id:i ~client (put (i mod 2) ((c * 100) + i)) in
+      ignore
+        (Sim.schedule_at (H.sim h)
+           ~time:(float_of_int i *. 3.0)
+           (fun () ->
+             C.submit h.H.cluster ~client ~target:c ~command ~on_reply:(fun _ -> incr total)))
+    done
+  done;
+  H.run_for h 60_000.0;
+  Alcotest.(check int) "all commit" 90 !total;
+  H.run_for h 5_000.0;
+  H.assert_consistent h;
+  (* all replicas executed every instance *)
+  for i = 0 to 4 do
+    Alcotest.(check int)
+      (Printf.sprintf "replica %d executed" i)
+      90
+      (Executor.executed_count (E.executor (H.replica h i)))
+  done
+
+let test_reads_linearize () =
+  let h = H.lan ~n:5 () in
+  let replies = H.submit_seq h ~target:1 [ put 1 10; get 1; put 1 20; get 1 ] in
+  Alcotest.(check (list int)) "reads in order" [ 10; 20 ]
+    (List.filter_map (fun (r : Proto.reply) -> r.Proto.read) replies)
+
+let test_interleaved_read_write_same_key () =
+  (* reads and writes to one key from different leaders, sequentially:
+     every read must observe the immediately preceding write *)
+  let h = H.lan ~n:5 () in
+  let module C = H.C in
+  let client = H.new_client h in
+  let expected = ref [] and got = ref [] in
+  let rec step i =
+    if i < 20 then begin
+      let write = Command.make ~id:(2 * i) ~client (put 0 i) in
+      C.submit h.H.cluster ~client ~target:(i mod 5) ~command:write
+        ~on_reply:(fun _ ->
+          let read = Command.make ~id:(2 * i + 1) ~client (get 0) in
+          C.submit h.H.cluster ~client ~target:((i + 2) mod 5) ~command:read
+            ~on_reply:(fun r ->
+              expected := i :: !expected;
+              got := Option.value r.Proto.read ~default:(-1) :: !got;
+              step (i + 1)))
+    end
+  in
+  ignore (Sim.schedule_at (H.sim h) ~time:1.0 (fun () -> step 0));
+  H.run_for h 60_000.0;
+  Alcotest.(check (list int)) "each read sees preceding write" !expected !got
+
+let test_no_commit_without_fast_or_majority () =
+  let h = H.lan ~n:5 () in
+  (* crash 3 nodes: neither fast quorum (4) nor majority (3) possible *)
+  List.iter
+    (fun i ->
+      Faults.crash (H.faults h) ~node:(Address.replica i) ~from_ms:0.0
+        ~duration_ms:10_000.0)
+    [ 2; 3; 4 ];
+  let module C = H.C in
+  let client = H.new_client h in
+  let got = ref false in
+  let command = Command.make ~id:0 ~client (put 1 1) in
+  ignore
+    (Sim.schedule_at (H.sim h) ~time:1.0 (fun () ->
+         C.submit h.H.cluster ~client ~target:0 ~command ~on_reply:(fun _ -> got := true)));
+  H.run_for h 5_000.0;
+  Alcotest.(check bool) "stalled" false !got
+
+let suite =
+  ( "epaxos",
+    [
+      Alcotest.test_case "commits without a leader" `Quick test_commits_without_leader;
+      Alcotest.test_case "fast path on disjoint keys" `Quick test_fast_path_on_disjoint_keys;
+      Alcotest.test_case "conflicts take slow path" `Quick test_conflicts_take_slow_path;
+      Alcotest.test_case "histories converge under conflict" `Quick test_histories_converge_under_conflict;
+      Alcotest.test_case "reads linearize" `Quick test_reads_linearize;
+      Alcotest.test_case "interleaved rw same key" `Quick test_interleaved_read_write_same_key;
+      Alcotest.test_case "no commit without quorum" `Quick test_no_commit_without_fast_or_majority;
+    ] )

@@ -1,0 +1,71 @@
+let test_ordering () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:3.0 "c";
+  Event_queue.push q ~time:1.0 "a";
+  Event_queue.push q ~time:2.0 "b";
+  let pop () = Option.get (Event_queue.pop q) in
+  Alcotest.(check (pair (float 0.0) string)) "first" (1.0, "a") (pop ());
+  Alcotest.(check (pair (float 0.0) string)) "second" (2.0, "b") (pop ());
+  Alcotest.(check (pair (float 0.0) string)) "third" (3.0, "c") (pop ());
+  Alcotest.(check bool) "empty" true (Event_queue.pop q = None)
+
+let test_fifo_on_ties () =
+  let q = Event_queue.create () in
+  for i = 0 to 9 do
+    Event_queue.push q ~time:1.0 i
+  done;
+  for i = 0 to 9 do
+    let _, v = Option.get (Event_queue.pop q) in
+    Alcotest.(check int) "fifo" i v
+  done
+
+let test_interleaved_push_pop () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:5.0 "late";
+  Event_queue.push q ~time:1.0 "early";
+  let _, v = Option.get (Event_queue.pop q) in
+  Alcotest.(check string) "early first" "early" v;
+  Event_queue.push q ~time:2.0 "mid";
+  let _, v = Option.get (Event_queue.pop q) in
+  Alcotest.(check string) "mid next" "mid" v
+
+let test_length_and_clear () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q);
+  for i = 1 to 100 do
+    Event_queue.push q ~time:(float_of_int i) i
+  done;
+  Alcotest.(check int) "length" 100 (Event_queue.length q);
+  Event_queue.clear q;
+  Alcotest.(check bool) "cleared" true (Event_queue.is_empty q)
+
+let test_peek () =
+  let q = Event_queue.create () in
+  Alcotest.(check (option (float 0.0))) "none" None (Event_queue.peek_time q);
+  Event_queue.push q ~time:4.2 ();
+  Alcotest.(check (option (float 0.0))) "peek" (Some 4.2) (Event_queue.peek_time q);
+  Alcotest.(check int) "peek does not pop" 1 (Event_queue.length q)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"pop yields non-decreasing times" ~count:200
+    QCheck.(list (float_range 0.0 1000.0))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> Event_queue.push q ~time:t ()) times;
+      let rec drain last =
+        match Event_queue.pop q with
+        | None -> true
+        | Some (t, ()) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+let suite =
+  ( "event_queue",
+    [
+      Alcotest.test_case "ordering" `Quick test_ordering;
+      Alcotest.test_case "fifo on equal times" `Quick test_fifo_on_ties;
+      Alcotest.test_case "interleaved push/pop" `Quick test_interleaved_push_pop;
+      Alcotest.test_case "length and clear" `Quick test_length_and_clear;
+      Alcotest.test_case "peek" `Quick test_peek;
+      QCheck_alcotest.to_alcotest prop_heap_sorted;
+    ] )

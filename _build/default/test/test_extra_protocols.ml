@@ -1,0 +1,210 @@
+(* Mencius, ABD atomic storage, Chain replication *)
+
+module M = Paxi_protocols.Mencius
+module A = Paxi_protocols.Abd
+module Ch = Paxi_protocols.Chain
+
+let put k v = Command.Put (k, v)
+let get k = Command.Get k
+
+(* ----- Mencius ----------------------------------------------------- *)
+
+module HM = Proto_harness.Make (Paxi_protocols.Mencius)
+
+let test_mencius_basic () =
+  let h = HM.lan ~n:5 () in
+  let replies = HM.submit_seq h ~target:0 [ put 1 10; get 1; put 1 20; get 1 ] in
+  Alcotest.(check int) "all" 4 (List.length replies);
+  Alcotest.(check (list int)) "reads ordered" [ 10; 20 ]
+    (List.filter_map (fun (r : Proto.reply) -> r.Proto.read) replies)
+
+let test_mencius_slot_rotation () =
+  let h = HM.lan ~n:5 () in
+  ignore (HM.submit_seq h ~target:2 [ put 1 1 ]);
+  (* replica 2 owns slots 2, 7, 12, ... *)
+  Alcotest.(check int) "used slot 2, next own is 7" 7
+    (M.next_owned_slot (HM.replica h 2))
+
+let test_mencius_skips_fill_gaps () =
+  let h = HM.lan ~n:5 () in
+  (* only replica 3 proposes: everyone else must skip to let its
+     second command execute *)
+  ignore (HM.submit_seq h ~target:3 [ put 1 1; put 1 2; get 1 ]);
+  let r = HM.replica h 0 in
+  Alcotest.(check bool) "replica 0 skipped" true (M.skips_issued r >= 1);
+  HM.run_for h 1_000.0;
+  HM.assert_consistent h
+
+let test_mencius_multi_proposers_agree () =
+  let h = HM.lan ~n:5 () in
+  let module C = HM.C in
+  let replies = ref 0 in
+  for c = 0 to 2 do
+    let client = HM.new_client h in
+    for i = 0 to 19 do
+      let command = Command.make ~id:i ~client (put (i mod 3) ((c * 100) + i)) in
+      ignore
+        (Sim.schedule_at (HM.sim h)
+           ~time:(float_of_int ((i * 7) + c))
+           (fun () ->
+             C.submit h.HM.cluster ~client ~target:c ~command
+               ~on_reply:(fun _ -> incr replies)))
+    done
+  done;
+  HM.run_for h 30_000.0;
+  Alcotest.(check int) "all commit" 60 !replies;
+  HM.assert_consistent h;
+  (* every replica executed every command *)
+  for i = 0 to 4 do
+    Alcotest.(check int)
+      (Printf.sprintf "replica %d" i)
+      60
+      (Executor.executed_count (M.executor (HM.replica h i)))
+  done
+
+(* ----- ABD --------------------------------------------------------- *)
+
+module HA = Proto_harness.Make (Paxi_protocols.Abd)
+
+let test_abd_write_read () =
+  let h = HA.lan ~n:5 () in
+  let replies = HA.submit_seq h ~target:0 [ put 1 10; get 1 ] in
+  Alcotest.(check int) "two replies" 2 (List.length replies);
+  Alcotest.(check (option int)) "read" (Some 10) (List.nth replies 1).Proto.read
+
+let test_abd_read_from_other_replica () =
+  let h = HA.lan ~n:5 () in
+  ignore (HA.submit_seq h ~target:0 [ put 2 42 ]);
+  let replies = HA.submit_seq h ~target:3 [ get 2 ] in
+  Alcotest.(check (option int)) "read elsewhere" (Some 42)
+    (List.hd replies).Proto.read
+
+let test_abd_tags_grow () =
+  let h = HA.lan ~n:5 () in
+  ignore (HA.submit_seq h ~target:0 [ put 3 1 ]);
+  let t1 = A.stored_tag (HA.replica h 0) 3 in
+  ignore (HA.submit_seq h ~target:1 [ put 3 2 ]);
+  let t2 = A.stored_tag (HA.replica h 0) 3 in
+  Alcotest.(check bool) "tag increased" true (t2 > t1);
+  (match t2 with
+  | Some (_, writer) -> Alcotest.(check int) "writer recorded" 1 writer
+  | None -> Alcotest.fail "no tag")
+
+let test_abd_initial_read () =
+  let h = HA.lan ~n:5 () in
+  let replies = HA.submit_seq h ~target:2 [ get 99 ] in
+  Alcotest.(check (option int)) "unwritten" None (List.hd replies).Proto.read
+
+let test_abd_delete () =
+  let h = HA.lan ~n:5 () in
+  let replies =
+    HA.submit_seq h ~target:0 [ put 4 7; Command.Delete 4; get 4 ]
+  in
+  Alcotest.(check (option int)) "deleted" None (List.nth replies 2).Proto.read
+
+let test_abd_survives_minority_crash () =
+  let h = HA.lan ~n:5 () in
+  List.iter
+    (fun i ->
+      Faults.crash (HA.faults h) ~node:(Address.replica i) ~from_ms:0.0
+        ~duration_ms:600_000.0)
+    [ 3; 4 ];
+  let replies = HA.submit_seq h ~target:0 [ put 5 55; get 5 ] in
+  Alcotest.(check int) "majority suffices" 2 (List.length replies);
+  Alcotest.(check (option int)) "read" (Some 55) (List.nth replies 1).Proto.read
+
+let test_abd_linearizable_under_concurrency () =
+  let h = HA.lan ~n:5 () in
+  let module C = HA.C in
+  let history = ref [] in
+  let record client id key kind inv resp =
+    history :=
+      { Paxi_benchmark.Linearizability.client; op_id = id; key; kind;
+        invoked_ms = inv; responded_ms = resp }
+      :: !history
+  in
+  for c = 0 to 2 do
+    let client = HA.new_client h in
+    let rec issue i =
+      if i < 30 then begin
+        let is_write = (i + c) mod 2 = 0 in
+        let op = if is_write then put 0 ((c * 1000) + i) else get 0 in
+        let command = Command.make ~id:i ~client op in
+        let inv = Sim.now (HA.sim h) in
+        C.submit h.HA.cluster ~client ~target:c ~command ~on_reply:(fun r ->
+            let resp = Sim.now (HA.sim h) in
+            let kind =
+              if is_write then Paxi_benchmark.Linearizability.Write ((c * 1000) + i)
+              else Paxi_benchmark.Linearizability.Read r.Proto.read
+            in
+            record client i 0 kind inv resp;
+            issue (i + 1))
+      end
+    in
+    ignore (Sim.schedule_at (HA.sim h) ~time:(float_of_int c) (fun () -> issue 0))
+  done;
+  HA.run_for h 60_000.0;
+  Alcotest.(check int) "all 90 done" 90 (List.length !history);
+  Alcotest.(check int) "linearizable" 0
+    (List.length (Paxi_benchmark.Linearizability.check !history))
+
+(* ----- Chain replication ------------------------------------------ *)
+
+module HC = Proto_harness.Make (Paxi_protocols.Chain)
+
+let test_chain_roles () =
+  let h = HC.lan ~n:4 () in
+  Alcotest.(check bool) "0 is head" true (Ch.is_head (HC.replica h 0));
+  Alcotest.(check bool) "3 is tail" true (Ch.is_tail (HC.replica h 3));
+  Alcotest.(check bool) "1 is middle" false
+    (Ch.is_head (HC.replica h 1) || Ch.is_tail (HC.replica h 1))
+
+let test_chain_write_read () =
+  let h = HC.lan ~n:4 () in
+  let replies = HC.submit_seq h ~target:0 [ put 1 10; get 1 ] in
+  Alcotest.(check int) "both served" 2 (List.length replies);
+  (* writes are acked by the tail; reads served at the tail *)
+  Alcotest.(check int) "write acked by tail" 3 (List.hd replies).Proto.replier;
+  Alcotest.(check (option int)) "read" (Some 10) (List.nth replies 1).Proto.read
+
+let test_chain_propagates_to_all () =
+  let h = HC.lan ~n:4 () in
+  ignore (HC.submit_seq h ~target:2 (List.init 10 (fun i -> put i i)));
+  HC.run_for h 1_000.0;
+  for i = 0 to 3 do
+    Alcotest.(check int)
+      (Printf.sprintf "node %d applied" i)
+      10
+      (Executor.executed_count (Ch.executor (HC.replica h i)))
+  done;
+  HC.assert_consistent h;
+  Alcotest.(check bool) "middle forwarded" true
+    (Ch.writes_forwarded (HC.replica h 1) >= 10)
+
+let test_chain_read_your_writes () =
+  let h = HC.lan ~n:5 () in
+  let replies =
+    HC.submit_seq h ~target:1 [ put 7 1; put 7 2; put 7 3; get 7 ]
+  in
+  Alcotest.(check (option int)) "latest write" (Some 3)
+    (List.nth replies 3).Proto.read
+
+let suite =
+  ( "extra_protocols",
+    [
+      Alcotest.test_case "mencius basic" `Quick test_mencius_basic;
+      Alcotest.test_case "mencius slot rotation" `Quick test_mencius_slot_rotation;
+      Alcotest.test_case "mencius skips fill gaps" `Quick test_mencius_skips_fill_gaps;
+      Alcotest.test_case "mencius multi-proposer agreement" `Quick test_mencius_multi_proposers_agree;
+      Alcotest.test_case "abd write/read" `Quick test_abd_write_read;
+      Alcotest.test_case "abd read elsewhere" `Quick test_abd_read_from_other_replica;
+      Alcotest.test_case "abd tags grow" `Quick test_abd_tags_grow;
+      Alcotest.test_case "abd initial read" `Quick test_abd_initial_read;
+      Alcotest.test_case "abd delete" `Quick test_abd_delete;
+      Alcotest.test_case "abd survives minority crash" `Quick test_abd_survives_minority_crash;
+      Alcotest.test_case "abd linearizable under concurrency" `Quick test_abd_linearizable_under_concurrency;
+      Alcotest.test_case "chain roles" `Quick test_chain_roles;
+      Alcotest.test_case "chain write/read" `Quick test_chain_write_read;
+      Alcotest.test_case "chain propagates to all" `Quick test_chain_propagates_to_all;
+      Alcotest.test_case "chain read-your-writes" `Quick test_chain_read_your_writes;
+    ] )

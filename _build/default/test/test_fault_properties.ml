@@ -1,0 +1,122 @@
+(* Property-based fault robustness: random fault schedules against
+   Paxos and Raft; the offline checkers are the oracle. Each QCheck
+   case builds a fault plan from the generated seed, runs a short
+   cluster workload, and requires client-observed linearizability and
+   replica agreement. *)
+
+open Paxi_benchmark
+
+type fault_plan = {
+  seed : int;
+  crash_replica : int option;
+  crash_at : float;
+  flaky_links : (int * int) list;
+  p_drop : float;
+  slow_links : (int * int) list;
+}
+
+let plan_gen =
+  QCheck.Gen.(
+    let* seed = int_range 1 10_000 in
+    let* crash = opt (int_range 0 4) in
+    let* crash_at = float_range 500.0 3_000.0 in
+    let* n_flaky = int_range 0 3 in
+    let* flaky_links =
+      list_size (return n_flaky) (pair (int_range 0 4) (int_range 0 4))
+    in
+    let* p_drop = float_range 0.05 0.3 in
+    let* n_slow = int_range 0 2 in
+    let* slow_links =
+      list_size (return n_slow) (pair (int_range 0 4) (int_range 0 4))
+    in
+    return { seed; crash_replica = crash; crash_at; flaky_links; p_drop; slow_links })
+
+let plan_print p =
+  Printf.sprintf "seed=%d crash=%s@%.0f flaky=%s p=%.2f slow=%s" p.seed
+    (match p.crash_replica with Some r -> string_of_int r | None -> "-")
+    p.crash_at
+    (String.concat ","
+       (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) p.flaky_links))
+    p.p_drop
+    (String.concat ","
+       (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) p.slow_links))
+
+let run_under_faults (module P : Proto.RUNNABLE) plan =
+  let n = 5 in
+  let config = { (Config.default ~n_replicas:n) with Config.seed = plan.seed } in
+  let spec =
+    Runner.spec ~warmup_ms:200.0 ~duration_ms:6_000.0 ~cooldown_ms:2_000.0
+      ~collect_history:true ~check_consensus:true
+      ~faults:(fun f ->
+        (match plan.crash_replica with
+        | Some r ->
+            Faults.crash f ~node:(Address.replica r) ~from_ms:plan.crash_at
+              ~duration_ms:30_000.0
+        | None -> ());
+        List.iter
+          (fun (a, b) ->
+            if a <> b then
+              Faults.flaky f ~src:(Address.replica a) ~dst:(Address.replica b)
+                ~from_ms:0.0 ~duration_ms:60_000.0 ~p_drop:plan.p_drop)
+          plan.flaky_links;
+        List.iter
+          (fun (a, b) ->
+            if a <> b then
+              Faults.slow f ~src:(Address.replica a) ~dst:(Address.replica b)
+                ~from_ms:0.0 ~duration_ms:60_000.0 ~extra_ms:5.0)
+          plan.slow_links)
+      ~config
+      ~topology:(Topology.lan ~n_replicas:n ())
+      ~client_specs:
+        [
+          Runner.clients ~target:Runner.Round_robin ~count:3
+            { Workload.default with Workload.keys = 15 };
+        ]
+      ()
+  in
+  Runner.run (module P) spec
+
+let safety_holds p result =
+  let anomalies = Linearizability.check result.Runner.history in
+  if anomalies <> [] then begin
+    Printf.printf "plan %s: %d anomalies, e.g. %s\n" (plan_print p)
+      (List.length anomalies)
+      (List.hd anomalies).Linearizability.reason;
+    false
+  end
+  else if result.Runner.consensus_violations <> [] then begin
+    Printf.printf "plan %s: consensus violations\n" (plan_print p);
+    false
+  end
+  else true
+
+let prop_paxos_safe_under_faults =
+  QCheck.Test.make ~name:"paxos linearizable under random faults" ~count:8
+    (QCheck.make ~print:plan_print plan_gen)
+    (fun plan ->
+      safety_holds plan
+        (run_under_faults (Paxi_protocols.Registry.find_exn "paxos") plan))
+
+let prop_raft_safe_under_faults =
+  QCheck.Test.make ~name:"raft linearizable under random faults" ~count:8
+    (QCheck.make ~print:plan_print plan_gen)
+    (fun plan ->
+      safety_holds plan
+        (run_under_faults (Paxi_protocols.Registry.find_exn "raft") plan))
+
+let prop_epaxos_safe_under_flaky =
+  QCheck.Test.make ~name:"epaxos linearizable under flaky links" ~count:6
+    (QCheck.make ~print:plan_print plan_gen)
+    (fun plan ->
+      (* EPaxos has no recovery: flaky/slow links only, no crashes *)
+      let plan = { plan with crash_replica = None } in
+      safety_holds plan
+        (run_under_faults (Paxi_protocols.Registry.find_exn "epaxos") plan))
+
+let suite =
+  ( "fault_properties",
+    [
+      QCheck_alcotest.to_alcotest ~long:false prop_paxos_safe_under_faults;
+      QCheck_alcotest.to_alcotest ~long:false prop_raft_safe_under_faults;
+      QCheck_alcotest.to_alcotest ~long:false prop_epaxos_safe_under_flaky;
+    ] )

@@ -1,0 +1,186 @@
+(* Direct tests of the intra-zone replication group used by WanKeeper
+   and VPaxos. We drive it through a tiny ad-hoc protocol whose
+   message type is just the group's. *)
+
+module Group_proto = struct
+  type message = Paxi_protocols.Group.message
+
+  type replica = {
+    group : Paxi_protocols.Group.t;
+    executed : (Command.t * Command.value option) list ref;
+  }
+
+  let name = "group-test"
+  let cpu_factor _ = 1.0
+
+  let members = [ 0; 1; 2 ]
+
+  let create (env : message Proto.env) =
+    let executed = ref [] in
+    let exec = Executor.create () in
+    let group =
+      Paxi_protocols.Group.create ~env ~wrap:Fun.id ~members ~leader:0 ~exec
+        ~on_executed:(fun cmd client read ->
+          executed := (cmd, read) :: !executed;
+          match client with
+          | Some c ->
+              env.Proto.reply c
+                { Proto.command = cmd; read; replier = env.Proto.id; leader_hint = None }
+          | None -> ())
+    in
+    { group; executed }
+
+  let on_request t ~client (request : Proto.request) =
+    if Paxi_protocols.Group.is_leader t.group then
+      Paxi_protocols.Group.propose t.group ~client:(Some client)
+        request.Proto.command
+
+  let on_message t ~src m = Paxi_protocols.Group.on_message t.group ~src m
+  let on_start _ = ()
+  let leader_of_key _ _ = Some 0
+  let executor _ = Executor.create () (* unused in these tests *)
+end
+
+module C = Cluster.Make (Group_proto)
+
+let setup () =
+  let config = Config.default ~n_replicas:3 in
+  let topology = Topology.lan ~n_replicas:3 () in
+  let cluster = C.create ~config ~topology () in
+  C.register_client cluster ~id:0 ();
+  cluster
+
+let test_commits_on_majority () =
+  let cluster = setup () in
+  let sim = C.sim cluster in
+  let got = ref None in
+  C.submit cluster ~client:0 ~target:0
+    ~command:(Command.make ~id:0 ~client:0 (Command.Put (1, 7)))
+    ~on_reply:(fun r -> got := Some r.Proto.replier);
+  Sim.run_until sim 100.0;
+  Alcotest.(check (option int)) "leader replied" (Some 0) !got
+
+let test_members_execute_in_order () =
+  let cluster = setup () in
+  let sim = C.sim cluster in
+  for i = 0 to 4 do
+    C.submit cluster ~client:0 ~target:0
+      ~command:(Command.make ~id:i ~client:0 (Command.Put (1, i)))
+      ~on_reply:(fun _ -> ())
+  done;
+  Sim.run_until sim 500.0;
+  (* proposal order depends on message arrival, but all members must
+     execute the same sequence *)
+  let order m =
+    let r = C.replica cluster m in
+    List.rev_map fst !(r.Group_proto.executed)
+    |> List.map (fun (c : Command.t) -> c.Command.id)
+  in
+  let reference = order 0 in
+  Alcotest.(check int) "leader executed 5" 5 (List.length reference);
+  Alcotest.(check (list int)) "all ids present" [ 0; 1; 2; 3; 4 ]
+    (List.sort compare reference);
+  for m = 1 to 2 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "member %d same order" m)
+      reference (order m)
+  done
+
+let test_propose_rejected_at_follower () =
+  let cluster = setup () in
+  Sim.run_until (C.sim cluster) 10.0;
+  let follower = C.replica cluster 1 in
+  Alcotest.(check bool) "not leader" false
+    (Paxi_protocols.Group.is_leader follower.Group_proto.group);
+  Alcotest.check_raises "propose at follower"
+    (Invalid_argument "Group.propose: not the group leader") (fun () ->
+      Paxi_protocols.Group.propose follower.Group_proto.group ~client:None
+        (Command.make ~id:9 ~client:0 (Command.Put (0, 0))))
+
+let test_frontier_tracking () =
+  let cluster = setup () in
+  let sim = C.sim cluster in
+  let leader = C.replica cluster 0 in
+  Alcotest.(check int) "no proposals" (-1)
+    (Paxi_protocols.Group.last_proposed_slot leader.Group_proto.group);
+  C.submit cluster ~client:0 ~target:0
+    ~command:(Command.make ~id:0 ~client:0 (Command.Put (1, 1)))
+    ~on_reply:(fun _ -> ());
+  Sim.run_until sim 100.0;
+  Alcotest.(check int) "one proposal" 0
+    (Paxi_protocols.Group.last_proposed_slot leader.Group_proto.group);
+  Alcotest.(check int) "frontier past it" 1
+    (Paxi_protocols.Group.frontier leader.Group_proto.group)
+
+let test_single_member_group () =
+  (* a zone with one node commits instantly *)
+  let module Solo = struct
+    include Group_proto
+
+    let members = [ 0 ]
+
+    let create (env : message Proto.env) =
+      let executed = ref [] in
+      let exec = Executor.create () in
+      let group =
+        Paxi_protocols.Group.create ~env ~wrap:Fun.id ~members:[ 0 ] ~leader:0
+          ~exec
+          ~on_executed:(fun cmd client read ->
+            executed := (cmd, read) :: !executed;
+            match client with
+            | Some c ->
+                env.Proto.reply c
+                  { Proto.command = cmd; read; replier = env.Proto.id; leader_hint = None }
+            | None -> ())
+      in
+      { group; executed }
+  end in
+  ignore Solo.members;
+  let module C1 = Cluster.Make (Solo) in
+  let config = Config.default ~n_replicas:1 in
+  let cluster = C1.create ~config ~topology:(Topology.lan ~n_replicas:1 ()) () in
+  C1.register_client cluster ~id:0 ();
+  let got = ref false in
+  C1.submit cluster ~client:0 ~target:0
+    ~command:(Command.make ~id:0 ~client:0 (Command.Put (1, 1)))
+    ~on_reply:(fun _ -> got := true);
+  Sim.run_until (C1.sim cluster) 50.0;
+  Alcotest.(check bool) "solo commit" true !got
+
+let test_leader_must_be_member () =
+  let env_stub () =
+    (* only Group.create's validation runs before any env use *)
+    let sim = Sim.create () in
+    let topology = Topology.lan ~n_replicas:3 () in
+    {
+      Proto.id = 0;
+      n = 3;
+      config = Config.default ~n_replicas:3;
+      topology;
+      rng = Rng.create ~seed:0;
+      now = (fun () -> Sim.now sim);
+      schedule = (fun delay f -> Sim.schedule_after sim ~delay f);
+      send = (fun _ _ -> ());
+      broadcast = (fun _ -> ());
+      multicast = (fun _ _ -> ());
+      reply = (fun _ _ -> ());
+      forward = (fun _ ~client:_ _ -> ());
+    }
+  in
+  Alcotest.check_raises "leader outside members"
+    (Invalid_argument "Group.create: leader not in members") (fun () ->
+      ignore
+        (Paxi_protocols.Group.create ~env:(env_stub ()) ~wrap:Fun.id
+           ~members:[ 1; 2 ] ~leader:0 ~exec:(Executor.create ())
+           ~on_executed:(fun _ _ _ -> ())))
+
+let suite =
+  ( "group",
+    [
+      Alcotest.test_case "commits on majority" `Quick test_commits_on_majority;
+      Alcotest.test_case "members execute in order" `Quick test_members_execute_in_order;
+      Alcotest.test_case "propose rejected at follower" `Quick test_propose_rejected_at_follower;
+      Alcotest.test_case "frontier tracking" `Quick test_frontier_tracking;
+      Alcotest.test_case "single-member group" `Quick test_single_member_group;
+      Alcotest.test_case "leader must be member" `Quick test_leader_must_be_member;
+    ] )

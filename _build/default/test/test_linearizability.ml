@@ -1,0 +1,146 @@
+open Paxi_benchmark
+
+let op ?(client = 0) ~id ~key kind (inv, resp) =
+  {
+    Linearizability.client;
+    op_id = id;
+    key;
+    kind;
+    invoked_ms = inv;
+    responded_ms = resp;
+  }
+
+let w ?client ~id ~key v span = op ?client ~id ~key (Linearizability.Write v) span
+let r ?client ~id ~key v span = op ?client ~id ~key (Linearizability.Read v) span
+let d ?client ~id ~key span = op ?client ~id ~key Linearizability.Del span
+
+let check_ok name history =
+  Alcotest.(check int) name 0 (List.length (Linearizability.check history))
+
+let check_bad name n history =
+  Alcotest.(check int) name n (List.length (Linearizability.check history))
+
+let test_sequential_valid () =
+  check_ok "write then read"
+    [ w ~id:0 ~key:1 10 (0.0, 1.0); r ~id:1 ~key:1 (Some 10) (2.0, 3.0) ]
+
+let test_stale_read_detected () =
+  (* w(10) done by 1; w(20) done by 3; read at 4 returns 10: stale *)
+  check_bad "stale" 1
+    [
+      w ~id:0 ~key:1 10 (0.0, 1.0);
+      w ~id:1 ~key:1 20 (2.0, 3.0);
+      r ~id:2 ~key:1 (Some 10) (4.0, 5.0);
+    ]
+
+let test_concurrent_write_either_value_ok () =
+  (* read overlaps w(20): may see either 10 or 20 *)
+  let base = [ w ~id:0 ~key:1 10 (0.0, 1.0); w ~id:1 ~key:1 20 (2.0, 10.0) ] in
+  check_ok "old value ok" (base @ [ r ~id:2 ~key:1 (Some 10) (3.0, 4.0) ]);
+  check_ok "new value ok" (base @ [ r ~id:3 ~key:1 (Some 20) (3.0, 4.0) ])
+
+let test_future_read_detected () =
+  check_bad "future" 1
+    [ w ~id:0 ~key:1 10 (5.0, 6.0); r ~id:1 ~key:1 (Some 10) (0.0, 1.0) ]
+
+let test_phantom_value_detected () =
+  check_bad "never written" 1 [ r ~id:0 ~key:1 (Some 99) (0.0, 1.0) ]
+
+let test_initial_none_ok () =
+  check_ok "initial read" [ r ~id:0 ~key:1 None (0.0, 1.0) ]
+
+let test_none_after_write_detected () =
+  check_bad "lost write" 1
+    [ w ~id:0 ~key:1 10 (0.0, 1.0); r ~id:1 ~key:1 None (2.0, 3.0) ]
+
+let test_none_concurrent_with_write_ok () =
+  check_ok "read during write"
+    [ w ~id:0 ~key:1 10 (0.0, 5.0); r ~id:1 ~key:1 None (1.0, 2.0) ]
+
+let test_none_after_delete_ok () =
+  check_ok "deleted"
+    [
+      w ~id:0 ~key:1 10 (0.0, 1.0);
+      d ~id:1 ~key:1 (2.0, 3.0);
+      r ~id:2 ~key:1 None (4.0, 5.0);
+    ]
+
+let test_none_with_write_after_delete_detected () =
+  check_bad "write after delete" 1
+    [
+      w ~id:0 ~key:1 10 (0.0, 1.0);
+      d ~id:1 ~key:1 (2.0, 3.0);
+      w ~id:2 ~key:1 20 (4.0, 5.0);
+      r ~id:3 ~key:1 None (6.0, 7.0);
+    ]
+
+let test_keys_independent () =
+  (* staleness on key 1 does not implicate key 2 reads *)
+  check_bad "only one anomaly" 1
+    [
+      w ~id:0 ~key:1 10 (0.0, 1.0);
+      w ~id:1 ~key:1 20 (2.0, 3.0);
+      r ~id:2 ~key:1 (Some 10) (4.0, 5.0);
+      w ~id:3 ~key:2 30 (0.0, 1.0);
+      r ~id:4 ~key:2 (Some 30) (4.0, 5.0);
+    ]
+
+let test_check_key_rejects_mixed () =
+  Alcotest.check_raises "mixed keys"
+    (Invalid_argument "Linearizability.check_key: mixed keys") (fun () ->
+      ignore
+        (Linearizability.check_key
+           [ w ~id:0 ~key:1 10 (0.0, 1.0); w ~id:1 ~key:2 20 (0.0, 1.0) ]))
+
+let test_is_linearizable () =
+  Alcotest.(check bool) "valid" true
+    (Linearizability.is_linearizable
+       [ w ~id:0 ~key:1 10 (0.0, 1.0); r ~id:1 ~key:1 (Some 10) (2.0, 3.0) ]);
+  Alcotest.(check bool) "invalid" false
+    (Linearizability.is_linearizable [ r ~id:0 ~key:1 (Some 5) (0.0, 1.0) ])
+
+(* Sequential histories (no overlapping operations, reads return the
+   latest completed write) are always accepted. *)
+let prop_sequential_accepted =
+  QCheck.Test.make ~name:"sequential histories linearizable" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 30) (pair bool (int_range 0 3)))
+    (fun steps ->
+      let t = ref 0.0 in
+      let latest = Hashtbl.create 4 in
+      let history =
+        List.mapi
+          (fun i (is_write, key) ->
+            let inv = !t in
+            t := !t +. 1.0;
+            let resp = !t in
+            t := !t +. 1.0;
+            if is_write then begin
+              Hashtbl.replace latest key i;
+              w ~id:i ~key i (inv, resp)
+            end
+            else
+              r ~id:i ~key
+                (Option.map Fun.id (Hashtbl.find_opt latest key))
+                (inv, resp))
+          steps
+      in
+      Linearizability.is_linearizable history)
+
+let suite =
+  ( "linearizability",
+    [
+      Alcotest.test_case "sequential valid" `Quick test_sequential_valid;
+      Alcotest.test_case "stale read detected" `Quick test_stale_read_detected;
+      Alcotest.test_case "concurrent write either value" `Quick test_concurrent_write_either_value_ok;
+      Alcotest.test_case "future read detected" `Quick test_future_read_detected;
+      Alcotest.test_case "phantom value detected" `Quick test_phantom_value_detected;
+      Alcotest.test_case "initial none ok" `Quick test_initial_none_ok;
+      Alcotest.test_case "none after write detected" `Quick test_none_after_write_detected;
+      Alcotest.test_case "none during write ok" `Quick test_none_concurrent_with_write_ok;
+      Alcotest.test_case "none after delete ok" `Quick test_none_after_delete_ok;
+      Alcotest.test_case "write-after-delete none detected" `Quick test_none_with_write_after_delete_detected;
+      Alcotest.test_case "keys independent" `Quick test_keys_independent;
+      Alcotest.test_case "check_key rejects mixed" `Quick test_check_key_rejects_mixed;
+      Alcotest.test_case "is_linearizable" `Quick test_is_linearizable;
+      QCheck_alcotest.to_alcotest prop_sequential_accepted;
+    ] )

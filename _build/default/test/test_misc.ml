@@ -1,0 +1,81 @@
+(* Mseries, Report, Registry, Group *)
+
+open Paxi_benchmark
+
+let test_mseries_counting () =
+  let m = Mseries.create ~window_ms:100.0 in
+  Mseries.record m ~now_ms:10.0;
+  Mseries.record m ~now_ms:50.0;
+  Mseries.record m ~now_ms:150.0;
+  Mseries.record_n m ~now_ms:250.0 ~n:3;
+  Alcotest.(check int) "total" 6 (Mseries.total m);
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "buckets"
+    [ (0.0, 2); (100.0, 1); (200.0, 3) ]
+    (Mseries.buckets m)
+
+let test_mseries_rate () =
+  let m = Mseries.create ~window_ms:100.0 in
+  for i = 0 to 9 do
+    Mseries.record m ~now_ms:(float_of_int i *. 100.0)
+  done;
+  (* 10 events over 1 second *)
+  Alcotest.(check (float 1e-9)) "rate" 10.0
+    (Mseries.rate_per_sec m ~from_ms:0.0 ~until_ms:1000.0);
+  Alcotest.(check (float 1e-9)) "partial window" 10.0
+    (Mseries.rate_per_sec m ~from_ms:0.0 ~until_ms:500.0);
+  Alcotest.(check (float 0.0)) "empty interval" 0.0
+    (Mseries.rate_per_sec m ~from_ms:100.0 ~until_ms:100.0)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_report_table () =
+  let out =
+    Format.asprintf "%t" (fun ppf ->
+        Report.table ~header:[ "a"; "bb" ] ~rows:[ [ "1"; "2" ]; [ "333"; "4" ] ] ppf)
+  in
+  Alcotest.(check bool) "has rule" true (String.contains out '-');
+  Alcotest.(check bool) "contains cells" true
+    (contains out "333" && contains out "bb")
+
+let test_report_csv () =
+  Alcotest.(check string) "csv" "a,b\n1,2\n"
+    (Report.csv ~header:[ "a"; "b" ] ~rows:[ [ "1"; "2" ] ])
+
+let test_report_formats () =
+  Alcotest.(check string) "ms" "1.235" (Report.fms 1.2351);
+  Alcotest.(check string) "nan" "-" (Report.fms nan);
+  Alcotest.(check string) "inf" "-" (Report.fms infinity);
+  Alcotest.(check string) "rate" "1235" (Report.frate 1234.6)
+
+let test_registry () =
+  Alcotest.(check int) "ten protocols" 10 (List.length Paxi_protocols.Registry.all);
+  Alcotest.(check bool) "finds paxos" true
+    (Paxi_protocols.Registry.find "paxos" <> None);
+  Alcotest.(check bool) "misses unknown" true
+    (Paxi_protocols.Registry.find "zab" = None);
+  List.iter
+    (fun name ->
+      let (module P) = Paxi_protocols.Registry.find_exn name in
+      Alcotest.(check string) "name matches" name P.name)
+    Paxi_protocols.Registry.names
+
+let test_registry_find_exn_raises () =
+  match Paxi_protocols.Registry.find_exn "nope" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let suite =
+  ( "misc",
+    [
+      Alcotest.test_case "mseries counting" `Quick test_mseries_counting;
+      Alcotest.test_case "mseries rate" `Quick test_mseries_rate;
+      Alcotest.test_case "report table" `Quick test_report_table;
+      Alcotest.test_case "report csv" `Quick test_report_csv;
+      Alcotest.test_case "report formats" `Quick test_report_formats;
+      Alcotest.test_case "registry" `Quick test_registry;
+      Alcotest.test_case "registry find_exn" `Quick test_registry_find_exn_raises;
+    ] )

@@ -1,0 +1,186 @@
+(* Address, Region, Topology, Faults, Procq *)
+
+let test_address_roundtrip () =
+  Alcotest.(check int) "replica id" 3 (Address.replica_id (Address.replica 3));
+  Alcotest.(check bool) "is_replica" true (Address.is_replica (Address.replica 0));
+  Alcotest.(check bool) "is_client" true (Address.is_client (Address.client 0));
+  Alcotest.(check string) "pp replica" "n2" (Address.to_string (Address.replica 2));
+  Alcotest.(check string) "pp client" "c7" (Address.to_string (Address.client 7))
+
+let test_address_ordering () =
+  Alcotest.(check bool) "replica < client" true
+    (Address.compare (Address.replica 5) (Address.client 0) < 0);
+  Alcotest.(check bool) "same equal" true
+    (Address.equal (Address.client 1) (Address.client 1))
+
+let test_address_replica_id_on_client () =
+  Alcotest.check_raises "client" (Invalid_argument "Address.replica_id: client 1")
+    (fun () -> ignore (Address.replica_id (Address.client 1)))
+
+let test_lan_topology () =
+  let t = Topology.lan ~n_replicas:5 () in
+  Alcotest.(check int) "n" 5 (Topology.n_replicas t);
+  Alcotest.(check int) "one region" 1 (List.length (Topology.regions t));
+  Alcotest.(check bool) "all local" true
+    (Region.equal (Topology.region_of_replica t 3) Region.local)
+
+let test_wan_topology_layout () =
+  let t = Topology.wan ~regions:Region.aws_five ~replicas_per_region:2 () in
+  Alcotest.(check int) "n" 10 (Topology.n_replicas t);
+  Alcotest.(check int) "regions" 5 (List.length (Topology.regions t));
+  (* round-robin layout: replica r is in region r mod 5 *)
+  Alcotest.(check bool) "replica 0 in VA" true
+    (Region.equal (Topology.region_of_replica t 0) Region.virginia);
+  Alcotest.(check bool) "replica 6 in OH" true
+    (Region.equal (Topology.region_of_replica t 6) Region.ohio);
+  Alcotest.(check (list int)) "replicas in VA" [ 0; 5 ]
+    (Topology.replicas_in t Region.virginia)
+
+let test_rtt_sampling () =
+  let t = Topology.wan ~regions:Region.aws_five ~replicas_per_region:1 () in
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 100 do
+    let rtt = Topology.sample_rtt t rng (Address.replica 0) (Address.replica 4) in
+    (* VA <-> JP is ~162 ms with 5% jitter *)
+    Alcotest.(check bool) "plausible VA-JP rtt" true (rtt > 130.0 && rtt < 200.0)
+  done
+
+let test_one_way_half_rtt () =
+  let t = Topology.wan ~regions:Region.aws_five ~replicas_per_region:1 ~jitter:0.0 () in
+  let rng = Rng.create ~seed:1 in
+  let d = Topology.sample_delay t rng (Address.replica 0) (Address.replica 1) in
+  Alcotest.(check (float 1e-6)) "half of 11ms" 5.5 d
+
+let test_client_region_assignment () =
+  let t = Topology.wan ~regions:Region.aws_five ~replicas_per_region:1 () in
+  Topology.assign_client t ~id:3 ~region:Region.japan;
+  Alcotest.(check bool) "assigned" true
+    (Region.equal (Topology.region_of t (Address.client 3)) Region.japan);
+  (* unassigned clients default to the first region *)
+  Alcotest.(check bool) "default" true
+    (Region.equal (Topology.region_of t (Address.client 99)) Region.virginia)
+
+let test_aws_matrix_symmetric () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check (float 1e-9))
+            "symmetric"
+            (Topology.aws_rtt_ms a b) (Topology.aws_rtt_ms b a))
+        Region.aws_five)
+    Region.aws_five
+
+let test_faults_crash_window () =
+  let f = Faults.create () in
+  Faults.crash f ~node:(Address.replica 1) ~from_ms:100.0 ~duration_ms:50.0;
+  Alcotest.(check bool) "before" false (Faults.is_crashed f ~now_ms:99.0 (Address.replica 1));
+  Alcotest.(check bool) "during" true (Faults.is_crashed f ~now_ms:120.0 (Address.replica 1));
+  Alcotest.(check bool) "after" false (Faults.is_crashed f ~now_ms:151.0 (Address.replica 1));
+  Alcotest.(check bool) "other node" false (Faults.is_crashed f ~now_ms:120.0 (Address.replica 2))
+
+let test_faults_drop_directional () =
+  let f = Faults.create () in
+  let rng = Rng.create ~seed:1 in
+  let a = Address.replica 0 and b = Address.replica 1 in
+  Faults.drop f ~src:a ~dst:b ~from_ms:0.0 ~duration_ms:100.0;
+  Alcotest.(check bool) "a->b dropped" true (Faults.should_drop f rng ~now_ms:50.0 ~src:a ~dst:b);
+  Alcotest.(check bool) "b->a fine" false (Faults.should_drop f rng ~now_ms:50.0 ~src:b ~dst:a)
+
+let test_faults_flaky_probability () =
+  let f = Faults.create () in
+  let rng = Rng.create ~seed:5 in
+  let a = Address.replica 0 and b = Address.replica 1 in
+  Faults.flaky f ~src:a ~dst:b ~from_ms:0.0 ~duration_ms:1000.0 ~p_drop:0.5;
+  let drops = ref 0 in
+  for _ = 1 to 2000 do
+    if Faults.should_drop f rng ~now_ms:10.0 ~src:a ~dst:b then incr drops
+  done;
+  let p = float_of_int !drops /. 2000.0 in
+  Alcotest.(check bool) "p ~0.5" true (Float.abs (p -. 0.5) < 0.05)
+
+let test_faults_slow () =
+  let f = Faults.create () in
+  let rng = Rng.create ~seed:5 in
+  let a = Address.replica 0 and b = Address.replica 1 in
+  Faults.slow f ~src:a ~dst:b ~from_ms:0.0 ~duration_ms:100.0 ~extra_ms:10.0;
+  let d = Faults.extra_delay f rng ~now_ms:50.0 ~src:a ~dst:b in
+  Alcotest.(check bool) "bounded delay" true (d >= 0.0 && d <= 10.0);
+  Alcotest.(check (float 0.0)) "outside window" 0.0
+    (Faults.extra_delay f rng ~now_ms:150.0 ~src:a ~dst:b)
+
+let test_faults_partition () =
+  let f = Faults.create () in
+  let rng = Rng.create ~seed:5 in
+  let r = Address.replica in
+  Faults.partition f
+    ~groups:[ [ r 0; r 1 ]; [ r 2; r 3; r 4 ] ]
+    ~from_ms:0.0 ~duration_ms:100.0;
+  Alcotest.(check bool) "cross-group severed" true
+    (Faults.should_drop f rng ~now_ms:50.0 ~src:(r 0) ~dst:(r 2));
+  Alcotest.(check bool) "within group fine" false
+    (Faults.should_drop f rng ~now_ms:50.0 ~src:(r 2) ~dst:(r 4));
+  Alcotest.(check bool) "healed after" false
+    (Faults.should_drop f rng ~now_ms:150.0 ~src:(r 0) ~dst:(r 2))
+
+let test_faults_clear () =
+  let f = Faults.create () in
+  Faults.crash f ~node:(Address.replica 0) ~from_ms:0.0 ~duration_ms:100.0;
+  Faults.clear f;
+  Alcotest.(check bool) "cleared" false (Faults.is_crashed f ~now_ms:50.0 (Address.replica 0))
+
+let test_procq_queueing () =
+  let q = Procq.create ~t_in_ms:1.0 ~t_out_ms:0.5 ~bandwidth_mbps:1e9 () in
+  (* two messages arriving together queue behind each other *)
+  let f1 = Procq.occupy_incoming q ~now_ms:0.0 ~size_bytes:0 in
+  let f2 = Procq.occupy_incoming q ~now_ms:0.0 ~size_bytes:0 in
+  Alcotest.(check (float 1e-6)) "first" 1.0 f1;
+  Alcotest.(check (float 1e-6)) "second queued" 2.0 f2;
+  (* idle gap resets the queue *)
+  let f3 = Procq.occupy_incoming q ~now_ms:10.0 ~size_bytes:0 in
+  Alcotest.(check (float 1e-6)) "after idle" 11.0 f3
+
+let test_procq_broadcast_serializes_once () =
+  let q = Procq.create ~t_in_ms:1.0 ~t_out_ms:0.5 ~bandwidth_mbps:1.0 () in
+  (* bandwidth 1 Mbit/s = 125 bytes/ms; 125-byte message = 1 ms NIC *)
+  let f = Procq.occupy_outgoing q ~now_ms:0.0 ~copies:4 ~size_bytes:125 in
+  Alcotest.(check (float 1e-6)) "0.5 CPU + 4 NIC" 4.5 f
+
+let test_procq_zero_is_free () =
+  let q = Procq.zero () in
+  Alcotest.(check (float 0.0)) "no cost" 5.0
+    (Procq.occupy_incoming q ~now_ms:5.0 ~size_bytes:1_000_000);
+  Alcotest.(check (float 0.0)) "no busy" 0.0 (Procq.busy_time q)
+
+let test_procq_busy_accounting () =
+  let q = Procq.create ~t_in_ms:1.0 ~t_out_ms:1.0 ~bandwidth_mbps:1e9 () in
+  ignore (Procq.occupy_incoming q ~now_ms:0.0 ~size_bytes:0);
+  ignore (Procq.occupy_outgoing q ~now_ms:0.0 ~copies:1 ~size_bytes:0);
+  Alcotest.(check bool) "busy ~2ms" true (Float.abs (Procq.busy_time q -. 2.0) < 1e-6);
+  Alcotest.(check int) "2 messages" 2 (Procq.messages_processed q);
+  Procq.reset q;
+  Alcotest.(check (float 0.0)) "reset" 0.0 (Procq.busy_time q)
+
+let suite =
+  ( "net",
+    [
+      Alcotest.test_case "address roundtrip" `Quick test_address_roundtrip;
+      Alcotest.test_case "address ordering" `Quick test_address_ordering;
+      Alcotest.test_case "replica_id rejects client" `Quick test_address_replica_id_on_client;
+      Alcotest.test_case "lan topology" `Quick test_lan_topology;
+      Alcotest.test_case "wan topology layout" `Quick test_wan_topology_layout;
+      Alcotest.test_case "rtt sampling plausible" `Quick test_rtt_sampling;
+      Alcotest.test_case "one-way is half rtt" `Quick test_one_way_half_rtt;
+      Alcotest.test_case "client region assignment" `Quick test_client_region_assignment;
+      Alcotest.test_case "aws matrix symmetric" `Quick test_aws_matrix_symmetric;
+      Alcotest.test_case "crash window" `Quick test_faults_crash_window;
+      Alcotest.test_case "drop is directional" `Quick test_faults_drop_directional;
+      Alcotest.test_case "flaky probability" `Quick test_faults_flaky_probability;
+      Alcotest.test_case "slow adds bounded delay" `Quick test_faults_slow;
+      Alcotest.test_case "partition" `Quick test_faults_partition;
+      Alcotest.test_case "faults clear" `Quick test_faults_clear;
+      Alcotest.test_case "procq queueing" `Quick test_procq_queueing;
+      Alcotest.test_case "broadcast serializes once" `Quick test_procq_broadcast_serializes_once;
+      Alcotest.test_case "zero queue is free" `Quick test_procq_zero_is_free;
+      Alcotest.test_case "procq busy accounting" `Quick test_procq_busy_accounting;
+    ] )

@@ -1,0 +1,112 @@
+module R = Paxi_protocols.Raft
+module H = Proto_harness.Make (Paxi_protocols.Raft)
+
+let put k v = Command.Put (k, v)
+let get k = Command.Get k
+
+let test_elects_initial_leader () =
+  let h = H.lan ~n:5 () in
+  H.run_for h 200.0;
+  Alcotest.(check bool) "r0 leads" true (R.role (H.replica h 0) = R.Leader);
+  Alcotest.(check int) "term 1" 1 (R.current_term (H.replica h 0))
+
+let test_commits_and_reads () =
+  let h = H.lan ~n:5 () in
+  let replies = H.submit_seq h [ put 1 10; get 1; put 1 11; get 1 ] in
+  Alcotest.(check int) "all" 4 (List.length replies);
+  Alcotest.(check (list int)) "reads" [ 10; 11 ]
+    (List.filter_map (fun (r : Proto.reply) -> r.Proto.read) replies)
+
+let test_leader_crash_new_term () =
+  let h = H.lan ~n:5 () in
+  H.run_for h 200.0;
+  Faults.crash (H.faults h) ~node:(Address.replica 0)
+    ~from_ms:(Sim.now (H.sim h)) ~duration_ms:600_000.0;
+  let replies = H.submit_seq h ~target:1 (List.init 10 (fun i -> put i i)) in
+  Alcotest.(check int) "progress after crash" 10 (List.length replies);
+  let leader = List.find_opt (fun i -> R.role (H.replica h i) = R.Leader) [ 1; 2; 3; 4 ] in
+  Alcotest.(check bool) "survivor leads" true (leader <> None);
+  Alcotest.(check bool) "term advanced" true
+    (R.current_term (H.replica h (Option.get leader)) >= 2);
+  H.assert_consistent h
+
+let test_log_matching_after_heal () =
+  let h = H.lan ~n:5 () in
+  H.run_for h 200.0;
+  ignore (H.submit_seq h [ put 0 0; put 1 1 ]);
+  (* partition a follower away, commit more, then heal *)
+  let r = Address.replica in
+  Faults.partition (H.faults h)
+    ~groups:[ [ r 0; r 1; r 2; r 3 ]; [ r 4 ] ]
+    ~from_ms:(Sim.now (H.sim h)) ~duration_ms:5_000.0;
+  ignore (H.submit_seq h [ put 2 2; put 3 3; put 4 4 ]);
+  (* after healing, heartbeats must repair replica 4's log *)
+  H.run_for h 20_000.0;
+  Alcotest.(check int) "replica 4 caught up" 5
+    (List.length (H.applied_commands h 4));
+  H.assert_consistent h
+
+let test_stale_candidate_cannot_win () =
+  let h = H.lan ~n:5 () in
+  H.run_for h 200.0;
+  ignore (H.submit_seq h (List.init 5 (fun i -> put i i)));
+  (* isolate replica 4 so it misses entries, let it rejoin: its
+     election attempts with a stale log must fail *)
+  let r = Address.replica in
+  Faults.partition (H.faults h)
+    ~groups:[ [ r 0; r 1; r 2; r 3 ]; [ r 4 ] ]
+    ~from_ms:(Sim.now (H.sim h)) ~duration_ms:8_000.0;
+  ignore (H.submit_seq h (List.init 5 (fun i -> put (10 + i) i)));
+  H.run_for h 20_000.0;
+  (* replica 4 may have bumped terms while isolated, but all committed
+     entries must survive *)
+  ignore (H.submit_seq h [ get 10 ]);
+  H.run_for h 5_000.0;
+  H.assert_consistent h;
+  Alcotest.(check bool) "someone leads" true
+    (List.exists (fun i -> R.role (H.replica h i) = R.Leader) [ 0; 1; 2; 3; 4 ])
+
+let test_noop_barrier_commits_tail () =
+  (* commands committed by a crashed leader must eventually execute on
+     survivors even with no further client traffic *)
+  let h = H.lan ~n:5 () in
+  H.run_for h 200.0;
+  ignore (H.submit_seq h (List.init 5 (fun i -> put i i)));
+  Faults.crash (H.faults h) ~node:(Address.replica 0)
+    ~from_ms:(Sim.now (H.sim h)) ~duration_ms:600_000.0;
+  H.run_for h 30_000.0;
+  for i = 1 to 4 do
+    Alcotest.(check int)
+      (Printf.sprintf "replica %d has all 5" i)
+      5
+      (List.length (H.applied_commands h i))
+  done
+
+let test_follower_forwards () =
+  let h = H.lan ~n:3 () in
+  H.run_for h 200.0;
+  let replies = H.submit_seq h ~target:2 [ put 5 50; get 5 ] in
+  Alcotest.(check int) "forwarded and committed" 2 (List.length replies);
+  Alcotest.(check (option int)) "read" (Some 50) (List.nth replies 1).Proto.read
+
+let test_log_introspection () =
+  let h = H.lan ~n:3 () in
+  ignore (H.submit_seq h [ put 1 1 ]);
+  H.run_for h 500.0;
+  let r0 = H.replica h 0 in
+  Alcotest.(check bool) "log non-empty" true (R.log_length r0 >= 1);
+  Alcotest.(check (option int)) "term of slot 0" (Some 1) (R.log_term_at r0 0);
+  Alcotest.(check bool) "commit index" true (R.commit_index r0 >= 1)
+
+let suite =
+  ( "raft",
+    [
+      Alcotest.test_case "elects initial leader" `Quick test_elects_initial_leader;
+      Alcotest.test_case "commits and reads" `Quick test_commits_and_reads;
+      Alcotest.test_case "leader crash advances term" `Quick test_leader_crash_new_term;
+      Alcotest.test_case "log repair after partition" `Quick test_log_matching_after_heal;
+      Alcotest.test_case "stale candidate cannot win" `Quick test_stale_candidate_cannot_win;
+      Alcotest.test_case "no-op barrier commits tail" `Quick test_noop_barrier_commits_tail;
+      Alcotest.test_case "follower forwards" `Quick test_follower_forwards;
+      Alcotest.test_case "log introspection" `Quick test_log_introspection;
+    ] )

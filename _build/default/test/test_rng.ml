@@ -1,0 +1,99 @@
+let test_determinism () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:1 in
+  for _ = 1 to 100 do
+    Alcotest.(check (float 0.0)) "same stream" (Rng.float a 1.0) (Rng.float b 1.0)
+  done
+
+let test_seed_changes_stream () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let xs = List.init 20 (fun _ -> Rng.float a 1.0) in
+  let ys = List.init 20 (fun _ -> Rng.float b 1.0) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let test_split_independent () =
+  let parent = Rng.create ~seed:7 in
+  let child = Rng.split parent in
+  let xs = List.init 20 (fun _ -> Rng.float child 1.0) in
+  let ys = List.init 20 (fun _ -> Rng.float parent 1.0) in
+  Alcotest.(check bool) "child differs from parent" true (xs <> ys)
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10)
+  done
+
+let test_uniform_bounds () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let x = Rng.uniform rng ~lo:2.0 ~hi:5.0 in
+    Alcotest.(check bool) "in range" true (x >= 2.0 && x < 5.0)
+  done
+
+let test_normal_moments () =
+  let rng = Rng.create ~seed:11 in
+  let n = 50_000 in
+  let s = Stats.create () in
+  for _ = 1 to n do
+    Stats.add s (Rng.normal rng ~mu:5.0 ~sigma:2.0)
+  done;
+  Alcotest.(check bool) "mean ~5" true (Float.abs (Stats.mean s -. 5.0) < 0.05);
+  Alcotest.(check bool) "stddev ~2" true (Float.abs (Stats.stddev s -. 2.0) < 0.05)
+
+let test_exponential_mean () =
+  let rng = Rng.create ~seed:13 in
+  let s = Stats.create () in
+  for _ = 1 to 50_000 do
+    Stats.add s (Rng.exponential rng ~rate:0.5)
+  done;
+  Alcotest.(check bool) "mean ~2" true (Float.abs (Stats.mean s -. 2.0) < 0.1)
+
+let test_bernoulli_frequency () =
+  let rng = Rng.create ~seed:17 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng ~p:0.3 then incr hits
+  done;
+  let f = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "p ~0.3" true (Float.abs (f -. 0.3) < 0.02)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create ~seed:19 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_pick_member () =
+  let rng = Rng.create ~seed:23 in
+  let a = [| 1; 2; 3 |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "member" true (Array.exists (( = ) (Rng.pick rng a)) a)
+  done
+
+let prop_normal_pos_nonneg =
+  QCheck.Test.make ~name:"Dist.normal_pos never negative" ~count:500
+    QCheck.(pair (float_range (-5.0) 5.0) (float_range 0.1 5.0))
+    (fun (mu, sigma) ->
+      let rng = Rng.create ~seed:(int_of_float (mu *. 100.) lxor 55) in
+      let d = Dist.normal_pos ~mu ~sigma in
+      List.for_all (fun _ -> Dist.sample d rng >= 0.0) (List.init 50 Fun.id))
+
+let suite =
+  ( "rng",
+    [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "seed changes stream" `Quick test_seed_changes_stream;
+      Alcotest.test_case "split independence" `Quick test_split_independent;
+      Alcotest.test_case "int bounds" `Quick test_int_bounds;
+      Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
+      Alcotest.test_case "normal moments" `Slow test_normal_moments;
+      Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+      Alcotest.test_case "bernoulli frequency" `Quick test_bernoulli_frequency;
+      Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+      Alcotest.test_case "pick returns member" `Quick test_pick_member;
+      QCheck_alcotest.to_alcotest prop_normal_pos_nonneg;
+    ] )

@@ -1,0 +1,100 @@
+let test_schedule_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.schedule_at sim ~time:2.0 (fun () -> log := "b" :: !log));
+  ignore (Sim.schedule_at sim ~time:1.0 (fun () -> log := "a" :: !log));
+  Sim.run sim;
+  Alcotest.(check (list string)) "order" [ "a"; "b" ] (List.rev !log)
+
+let test_clock_advances () =
+  let sim = Sim.create () in
+  let seen = ref [] in
+  ignore (Sim.schedule_at sim ~time:5.0 (fun () -> seen := Sim.now sim :: !seen));
+  ignore (Sim.schedule_at sim ~time:10.0 (fun () -> seen := Sim.now sim :: !seen));
+  Sim.run sim;
+  Alcotest.(check (list (float 0.0))) "clock at events" [ 5.0; 10.0 ] (List.rev !seen)
+
+let test_schedule_after () =
+  let sim = Sim.create () in
+  let fired_at = ref 0.0 in
+  ignore
+    (Sim.schedule_at sim ~time:3.0 (fun () ->
+         ignore (Sim.schedule_after sim ~delay:2.0 (fun () -> fired_at := Sim.now sim))));
+  Sim.run sim;
+  Alcotest.(check (float 1e-9)) "relative" 5.0 !fired_at
+
+let test_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule_at sim ~time:1.0 (fun () -> fired := true) in
+  Sim.cancel h;
+  Sim.run sim;
+  Alcotest.(check bool) "cancelled" false !fired
+
+let test_run_until_horizon () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> ignore (Sim.schedule_at sim ~time:t (fun () -> fired := t :: !fired)))
+    [ 1.0; 2.0; 3.0; 4.0 ];
+  Sim.run_until sim 2.5;
+  Alcotest.(check (list (float 0.0))) "only before horizon" [ 1.0; 2.0 ] (List.rev !fired);
+  Alcotest.(check (float 0.0)) "clock at horizon" 2.5 (Sim.now sim);
+  Sim.run_until sim 10.0;
+  Alcotest.(check int) "rest fired" 4 (List.length !fired)
+
+let test_past_scheduling_rejected () =
+  let sim = Sim.create () in
+  Sim.run_until sim 5.0;
+  Alcotest.check_raises "past" (Invalid_argument "Sim.schedule_at: time 1 < now 5")
+    (fun () -> ignore (Sim.schedule_at sim ~time:1.0 (fun () -> ())))
+
+let test_negative_delay_clamped () =
+  let sim = Sim.create () in
+  Sim.run_until sim 5.0;
+  let fired = ref false in
+  ignore (Sim.schedule_after sim ~delay:(-3.0) (fun () -> fired := true));
+  Sim.run sim;
+  Alcotest.(check bool) "fired now" true !fired
+
+let test_cascading_events () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec chain n =
+    if n > 0 then
+      ignore
+        (Sim.schedule_after sim ~delay:1.0 (fun () ->
+             incr count;
+             chain (n - 1)))
+  in
+  chain 100;
+  Sim.run sim;
+  Alcotest.(check int) "all fired" 100 !count;
+  Alcotest.(check (float 0.0)) "time" 100.0 (Sim.now sim)
+
+let test_step () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule_at sim ~time:1.0 (fun () -> ()));
+  Alcotest.(check bool) "one step" true (Sim.step sim);
+  Alcotest.(check bool) "exhausted" false (Sim.step sim)
+
+let test_pending () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule_at sim ~time:1.0 (fun () -> ()));
+  ignore (Sim.schedule_at sim ~time:2.0 (fun () -> ()));
+  Alcotest.(check int) "two pending" 2 (Sim.pending sim)
+
+let suite =
+  ( "sim",
+    [
+      Alcotest.test_case "schedule order" `Quick test_schedule_order;
+      Alcotest.test_case "clock advances" `Quick test_clock_advances;
+      Alcotest.test_case "schedule_after is relative" `Quick test_schedule_after;
+      Alcotest.test_case "cancel" `Quick test_cancel;
+      Alcotest.test_case "run_until horizon" `Quick test_run_until_horizon;
+      Alcotest.test_case "past scheduling rejected" `Quick test_past_scheduling_rejected;
+      Alcotest.test_case "negative delay clamped" `Quick test_negative_delay_clamped;
+      Alcotest.test_case "cascading events" `Quick test_cascading_events;
+      Alcotest.test_case "step" `Quick test_step;
+      Alcotest.test_case "pending" `Quick test_pending;
+    ] )

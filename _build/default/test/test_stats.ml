@@ -1,0 +1,100 @@
+let mk xs =
+  let s = Stats.create () in
+  Stats.add_all s xs;
+  s
+
+let test_empty () =
+  let s = Stats.create () in
+  Alcotest.(check int) "count" 0 (Stats.count s);
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Stats.mean s));
+  Alcotest.(check bool) "percentile nan" true (Float.is_nan (Stats.percentile s 50.0))
+
+let test_moments () =
+  let s = mk [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.min s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.max s);
+  (* unbiased sample variance of that classic set = 32/7 *)
+  Alcotest.(check (float 1e-9)) "variance" (32.0 /. 7.0) (Stats.variance s)
+
+let test_percentiles () =
+  let s = mk (List.init 101 float_of_int) in
+  Alcotest.(check (float 1e-9)) "p0" 0.0 (Stats.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Stats.percentile s 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile s 100.0);
+  Alcotest.(check (float 1e-9)) "p25" 25.0 (Stats.percentile s 25.0)
+
+let test_percentile_interpolation () =
+  let s = mk [ 1.0; 2.0 ] in
+  Alcotest.(check (float 1e-9)) "p50 interp" 1.5 (Stats.percentile s 50.0)
+
+let test_median_single () =
+  let s = mk [ 42.0 ] in
+  Alcotest.(check (float 1e-9)) "median" 42.0 (Stats.median s)
+
+let test_add_after_percentile () =
+  (* percentile sorts in place; later adds must still work *)
+  let s = mk [ 3.0; 1.0; 2.0 ] in
+  ignore (Stats.median s);
+  Stats.add s 0.0;
+  Alcotest.(check (float 1e-9)) "new min" 0.0 (Stats.percentile s 0.0);
+  Alcotest.(check int) "count" 4 (Stats.count s)
+
+let test_cdf () =
+  let s = mk [ 1.0; 2.0; 3.0; 4.0 ] in
+  let cdf = Stats.cdf s ~points:4 in
+  Alcotest.(check int) "points" 4 (List.length cdf);
+  let values = List.map fst cdf in
+  Alcotest.(check bool) "non-decreasing" true
+    (List.sort Float.compare values = values);
+  let _, last_q = List.nth cdf 3 in
+  Alcotest.(check (float 1e-9)) "last quantile" 1.0 last_q
+
+let test_histogram () =
+  let s = mk [ 0.0; 0.5; 1.0; 1.5; 2.0 ] in
+  let h = Stats.histogram s ~bins:2 in
+  Alcotest.(check int) "bins" 2 (List.length h);
+  let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all samples binned" 5 total
+
+let test_merge () =
+  let a = mk [ 1.0; 2.0 ] and b = mk [ 3.0; 4.0 ] in
+  let m = Stats.merge a b in
+  Alcotest.(check int) "count" 4 (Stats.count m);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean m)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in p" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (float_range 0.0 100.0))
+    (fun xs ->
+      let s = mk xs in
+      let ps = [ 0.0; 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 100.0 ] in
+      let vals = List.map (Stats.percentile s) ps in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-9 && mono rest
+        | _ -> true
+      in
+      mono vals)
+
+let prop_mean_bounded =
+  QCheck.Test.make ~name:"mean within [min,max]" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (float_range (-50.0) 50.0))
+    (fun xs ->
+      let s = mk xs in
+      Stats.mean s >= Stats.min s -. 1e-9 && Stats.mean s <= Stats.max s +. 1e-9)
+
+let suite =
+  ( "stats",
+    [
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "moments" `Quick test_moments;
+      Alcotest.test_case "percentiles" `Quick test_percentiles;
+      Alcotest.test_case "percentile interpolation" `Quick test_percentile_interpolation;
+      Alcotest.test_case "median of single" `Quick test_median_single;
+      Alcotest.test_case "add after percentile" `Quick test_add_after_percentile;
+      Alcotest.test_case "cdf" `Quick test_cdf;
+      Alcotest.test_case "histogram" `Quick test_histogram;
+      Alcotest.test_case "merge" `Quick test_merge;
+      QCheck_alcotest.to_alcotest prop_percentile_monotone;
+      QCheck_alcotest.to_alcotest prop_mean_bounded;
+    ] )

@@ -1,0 +1,139 @@
+type msg = Ping of int
+
+let setup ?(n = 3) ?faults () =
+  let sim = Sim.create () in
+  let topology = Topology.lan ~n_replicas:n () in
+  let transport = Transport.create ~sim ~topology ?faults () in
+  (sim, transport)
+
+let test_send_delivers () =
+  let sim, tr = setup () in
+  let got = ref [] in
+  Transport.register tr (Address.replica 1) (fun ~src m ->
+      got := (src, m) :: !got);
+  Transport.send tr ~src:(Address.replica 0) ~dst:(Address.replica 1) (Ping 7);
+  Sim.run sim;
+  match !got with
+  | [ (src, Ping 7) ] ->
+      Alcotest.(check bool) "from 0" true (Address.equal src (Address.replica 0))
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let test_delivery_has_latency () =
+  let sim, tr = setup () in
+  let at = ref 0.0 in
+  Transport.register tr (Address.replica 1) (fun ~src:_ _ -> at := Sim.now sim);
+  Transport.send tr ~src:(Address.replica 0) ~dst:(Address.replica 1) (Ping 0);
+  Sim.run sim;
+  Alcotest.(check bool) "positive delay" true (!at > 0.0);
+  (* half an ~0.43ms LAN RTT plus processing *)
+  Alcotest.(check bool) "sub-millisecond" true (!at < 1.0)
+
+let test_broadcast_excludes_sender () =
+  let sim, tr = setup ~n:4 () in
+  let got = Array.make 4 0 in
+  for i = 0 to 3 do
+    Transport.register tr (Address.replica i) (fun ~src:_ _ ->
+        got.(i) <- got.(i) + 1)
+  done;
+  Transport.broadcast tr ~src:(Address.replica 2) (Ping 1);
+  Sim.run sim;
+  Alcotest.(check (array int)) "everyone but sender" [| 1; 1; 0; 1 |] got
+
+let test_multicast_subset () =
+  let sim, tr = setup ~n:4 () in
+  let got = Array.make 4 0 in
+  for i = 0 to 3 do
+    Transport.register tr (Address.replica i) (fun ~src:_ _ ->
+        got.(i) <- got.(i) + 1)
+  done;
+  Transport.multicast tr ~src:(Address.replica 0)
+    ~dsts:[ Address.replica 1; Address.replica 3 ]
+    (Ping 1);
+  Sim.run sim;
+  Alcotest.(check (array int)) "subset" [| 0; 1; 0; 1 |] got
+
+let test_drop_rule_blocks () =
+  let faults = Faults.create () in
+  Faults.drop faults ~src:(Address.replica 0) ~dst:(Address.replica 1)
+    ~from_ms:0.0 ~duration_ms:1000.0;
+  let sim, tr = setup ~faults () in
+  let got = ref 0 in
+  Transport.register tr (Address.replica 1) (fun ~src:_ _ -> incr got);
+  Transport.send tr ~src:(Address.replica 0) ~dst:(Address.replica 1) (Ping 0);
+  Sim.run sim;
+  Alcotest.(check int) "dropped" 0 !got;
+  Alcotest.(check int) "counted" 1 (Transport.dropped_count tr)
+
+let test_crashed_receiver_drops () =
+  let faults = Faults.create () in
+  Faults.crash faults ~node:(Address.replica 1) ~from_ms:0.0 ~duration_ms:1000.0;
+  let sim, tr = setup ~faults () in
+  let got = ref 0 in
+  Transport.register tr (Address.replica 1) (fun ~src:_ _ -> incr got);
+  Transport.send tr ~src:(Address.replica 0) ~dst:(Address.replica 1) (Ping 0);
+  Sim.run sim;
+  Alcotest.(check int) "no delivery to crashed node" 0 !got
+
+let test_crashed_sender_sends_nothing () =
+  let faults = Faults.create () in
+  Faults.crash faults ~node:(Address.replica 0) ~from_ms:0.0 ~duration_ms:1000.0;
+  let sim, tr = setup ~faults () in
+  let got = ref 0 in
+  Transport.register tr (Address.replica 1) (fun ~src:_ _ -> incr got);
+  Transport.send tr ~src:(Address.replica 0) ~dst:(Address.replica 1) (Ping 0);
+  Sim.run sim;
+  Alcotest.(check int) "nothing sent" 0 !got
+
+let test_unregistered_destination_drops () =
+  let sim, tr = setup () in
+  Transport.send tr ~src:(Address.replica 0) ~dst:(Address.replica 2) (Ping 0);
+  Sim.run sim;
+  Alcotest.(check int) "dropped" 1 (Transport.dropped_count tr)
+
+let test_counts () =
+  let sim, tr = setup ~n:5 () in
+  for i = 0 to 4 do
+    Transport.register tr (Address.replica i) (fun ~src:_ _ -> ())
+  done;
+  Transport.broadcast tr ~src:(Address.replica 0) (Ping 0);
+  Sim.run sim;
+  Alcotest.(check int) "sent 4" 4 (Transport.sent_count tr);
+  Alcotest.(check int) "delivered 4" 4 (Transport.delivered_count tr)
+
+let test_queueing_backpressure () =
+  (* With slow incoming processing, back-to-back messages are spaced
+     by the service time at the receiver. *)
+  let sim = Sim.create () in
+  let topology = Topology.lan ~n_replicas:2 () in
+  let transport =
+    Transport.create ~sim ~topology
+      ~processing:(fun _ -> Procq.create ~t_in_ms:1.0 ~t_out_ms:0.0 ~bandwidth_mbps:1e9 ())
+      ()
+  in
+  let times = ref [] in
+  Transport.register transport (Address.replica 1) (fun ~src:_ _ ->
+      times := Sim.now sim :: !times);
+  for _ = 1 to 3 do
+    Transport.send transport ~src:(Address.replica 0) ~dst:(Address.replica 1) (Ping 0)
+  done;
+  Sim.run sim;
+  match List.rev !times with
+  | [ t1; t2; t3 ] ->
+      Alcotest.(check bool) "spaced by >= service time" true
+        (t2 -. t1 > 0.9 && t3 -. t2 > 0.9)
+  | _ -> Alcotest.fail "expected 3 deliveries"
+
+let suite =
+  ( "transport",
+    [
+      Alcotest.test_case "send delivers" `Quick test_send_delivers;
+      Alcotest.test_case "delivery has latency" `Quick test_delivery_has_latency;
+      Alcotest.test_case "broadcast excludes sender" `Quick test_broadcast_excludes_sender;
+      Alcotest.test_case "multicast subset" `Quick test_multicast_subset;
+      Alcotest.test_case "drop rule blocks" `Quick test_drop_rule_blocks;
+      Alcotest.test_case "crashed receiver drops" `Quick test_crashed_receiver_drops;
+      Alcotest.test_case "crashed sender sends nothing" `Quick test_crashed_sender_sends_nothing;
+      Alcotest.test_case "unregistered destination drops" `Quick test_unregistered_destination_drops;
+      Alcotest.test_case "sent/delivered counts" `Quick test_counts;
+      Alcotest.test_case "queueing backpressure" `Quick test_queueing_backpressure;
+    ] )
