@@ -15,10 +15,21 @@
 
 open Paxi_benchmark
 open Paxi_model
+module Pool = Paxi_exec.Pool
+module Parmap = Paxi_exec.Parmap
 
 let quick = Sys.getenv_opt "PAXI_BENCH_QUICK" = Some "1"
 let measured_ms = if quick then 1_000.0 else 2_000.0
 let warmup_ms = if quick then 300.0 else 1_000.0
+
+(* Every measurement point below is an independent simulation, so
+   whole grids fan out across the domain pool (Parmap.map, sized by
+   PAXI_JOBS / the core count) and only the printing is sequential.
+   Each point's seed is derived from the point's identity — never from
+   execution order — so pooled output is byte-identical to
+   PAXI_JOBS=1. *)
+let root_seed = 42
+let point_seed key = Runner.derive_seed ~root:root_seed (Hashtbl.hash key)
 
 (* ------------------------------------------------------------------ *)
 (* Shared experiment plumbing                                          *)
@@ -58,7 +69,12 @@ let lan_client_specs name ~concurrency workload =
 let lan_point name ~concurrency =
   let (module P) = Paxi_protocols.Registry.find_exn name in
   let n = 9 in
-  let config = Config.default ~n_replicas:n in
+  let config =
+    {
+      (Config.default ~n_replicas:n) with
+      Config.seed = point_seed ("lan", name, concurrency);
+    }
+  in
   let spec =
     Runner.spec ~warmup_ms ~duration_ms:measured_ms ~config
       ~topology:(lan_topology name n)
@@ -69,12 +85,31 @@ let lan_point name ~concurrency =
 
 let concurrency_grid = if quick then [ 2; 16; 48 ] else [ 1; 8; 32; 64 ]
 
-let lan_series name =
+(* Sweep several protocols' whole concurrency grids as one pool batch
+   (figures that plot multiple protocols side by side would otherwise
+   only parallelize within one curve at a time). *)
+let lan_series_many names =
+  let points =
+    List.concat_map
+      (fun name -> List.map (fun c -> (name, c)) concurrency_grid)
+      names
+  in
+  let rows =
+    Parmap.map
+      (fun (name, c) ->
+        let r = lan_point name ~concurrency:c in
+        (name, (c, r.Runner.throughput_rps, Stats.mean r.Runner.latency)))
+      points
+  in
   List.map
-    (fun c ->
-      let r = lan_point name ~concurrency:c in
-      (c, r.Runner.throughput_rps, Stats.mean r.Runner.latency))
-    concurrency_grid
+    (fun name ->
+      ( name,
+        List.filter_map
+          (fun (n, row) -> if n = name then Some row else None)
+          rows ))
+    names
+
+let lan_series name = List.assoc name (lan_series_many [ name ])
 
 let series_rows series =
   List.map
@@ -172,8 +207,9 @@ let fig4 () =
 
 let fig7 () =
   Report.section "Fig 7: Paxi/Paxos vs independent Raft (9 replicas, LAN)";
-  let paxos = lan_series "paxos" in
-  let raft = lan_series "raft" in
+  let all = lan_series_many [ "paxos"; "raft" ] in
+  let paxos = List.assoc "paxos" all in
+  let raft = List.assoc "raft" all in
   Report.print_table
     ~header:[ "clients"; "paxos ops/s"; "paxos lat"; "raft ops/s"; "raft lat" ]
     ~rows:
@@ -240,7 +276,7 @@ let fig9 () =
   Report.section
     "Fig 9: experimental LAN latency vs throughput (9 nodes, 1000 keys, 50% writes)";
   let names = [ "paxos"; "fpaxos"; "epaxos"; "wpaxos"; "wankeeper" ] in
-  let all = List.map (fun n -> (n, lan_series n)) names in
+  let all = lan_series_many names in
   List.iter
     (fun (name, series) ->
       Printf.printf "\n%s\n" name;
@@ -314,6 +350,7 @@ let fig11_run name ~fz ~conflict =
     {
       (Config.default ~n_replicas:9) with
       Config.fz;
+      seed = point_seed ("fig11", name, fz, conflict);
       master_region_index = 1 (* Ohio *);
       initial_object_owner =
         (if name = "epaxos" || name = "paxos" then None else Some 1);
@@ -371,10 +408,23 @@ let fig11 () =
   let conflicts =
     if quick then [ 0.0; 0.5; 1.0 ] else [ 0.0; 0.2; 0.4; 0.6; 0.8; 1.0 ]
   in
+  let points =
+    List.concat_map
+      (fun (label, name, fz) ->
+        List.map (fun c -> (label, name, fz, c)) conflicts)
+      configs
+  in
+  let rows =
+    Parmap.map (fun (_, name, fz, c) -> fig11_run name ~fz ~conflict:c) points
+  in
+  let table = List.combine points rows in
   let results =
     List.map
-      (fun (label, name, fz) ->
-        (label, List.map (fun c -> (c, fig11_run name ~fz ~conflict:c)) conflicts))
+      (fun (label, _, _) ->
+        ( label,
+          List.filter_map
+            (fun ((l, _, _, c), r) -> if l = label then Some (c, r) else None)
+            table ))
       configs
   in
   List.iteri
@@ -446,6 +496,7 @@ let fig13_run label name ~fz =
     {
       (Config.default ~n_replicas:n) with
       Config.fz;
+      seed = point_seed ("fig13", name, fz);
       master_region_index = 1 (* Ohio *);
       initial_object_owner = (if List.mem name zoned_protocols then Some 1 else None);
     }
@@ -472,14 +523,16 @@ let fig13_run label name ~fz =
 
 let fig13 () =
   let results =
-    [
-      fig13_run "wpaxos fz=0" "wpaxos" ~fz:0;
-      fig13_run "wankeeper" "wankeeper" ~fz:0;
-      fig13_run "vpaxos" "vpaxos" ~fz:0;
-      fig13_run "wpaxos fz=1" "wpaxos" ~fz:1;
-      fig13_run "paxos" "paxos" ~fz:0;
-      fig13_run "epaxos" "epaxos" ~fz:0;
-    ]
+    Parmap.map
+      (fun (label, name, fz) -> fig13_run label name ~fz)
+      [
+        ("wpaxos fz=0", "wpaxos", 0);
+        ("wankeeper", "wankeeper", 0);
+        ("vpaxos", "vpaxos", 0);
+        ("wpaxos fz=1", "wpaxos", 1);
+        ("paxos", "paxos", 0);
+        ("epaxos", "epaxos", 0);
+      ]
   in
   Report.section
     "Fig 13a: average latency per region, locality workload (objects start in Ohio)";
@@ -563,8 +616,16 @@ let ablate_thrifty () =
   Report.section "Ablation: thrifty quorums (paxos, 9-node LAN, 32 clients)";
   let run thrifty =
     ablation_run "paxos"
-      ~config:{ (Config.default ~n_replicas:9) with Config.thrifty }
+      ~config:
+        {
+          (Config.default ~n_replicas:9) with
+          Config.thrifty;
+          seed = point_seed ("ablate-thrifty", thrifty);
+        }
       ~concurrency:32
+  in
+  let variants =
+    List.combine [ "off"; "on" ] (Parmap.map run [ false; true ])
   in
   Report.print_table
     ~header:[ "thrifty"; "ops/s"; "mean lat (ms)"; "leader busy (ms)"; "msgs" ]
@@ -578,7 +639,7 @@ let ablate_thrifty () =
              Report.frate r.Runner.busiest_node_busy_ms;
              string_of_int r.Runner.messages_sent;
            ])
-         [ ("off", run false); ("on", run true) ]);
+         variants);
   print_endline
     "(thrifty cuts the leader's copies from N-1 to Q-1 per round —\n\
      the assumption behind Formula 3)"
@@ -587,8 +648,16 @@ let ablate_commit () =
   Report.section "Ablation: piggybacked vs explicit commit (paxos, 9-node LAN)";
   let run piggyback_commit =
     ablation_run "paxos"
-      ~config:{ (Config.default ~n_replicas:9) with Config.piggyback_commit }
+      ~config:
+        {
+          (Config.default ~n_replicas:9) with
+          Config.piggyback_commit;
+          seed = point_seed ("ablate-commit", piggyback_commit);
+        }
       ~concurrency:32
+  in
+  let variants =
+    List.combine [ "piggybacked"; "explicit" ] (Parmap.map run [ true; false ])
   in
   Report.print_table
     ~header:[ "commit"; "ops/s"; "mean lat (ms)"; "msgs" ]
@@ -601,26 +670,36 @@ let ablate_commit () =
              Report.fms (Stats.mean r.Runner.latency);
              string_of_int r.Runner.messages_sent;
            ])
-         [ ("piggybacked", run true); ("explicit", run false) ])
+         variants)
 
 let ablate_penalty () =
   Report.section "Ablation: EPaxos dependency-bookkeeping penalty (9-node LAN)";
+  let penalties = [ 1.0; 2.0; 3.0; 4.0 ] in
+  let results =
+    Parmap.map
+      (fun p ->
+        ( p,
+          ablation_run "epaxos"
+            ~config:
+              {
+                (Config.default ~n_replicas:9) with
+                Config.epaxos_penalty = p;
+                seed = point_seed ("ablate-penalty", p);
+              }
+            ~concurrency:48 ))
+      penalties
+  in
   Report.print_table
     ~header:[ "penalty"; "ops/s"; "mean lat (ms)" ]
     ~rows:
       (List.map
-         (fun p ->
-           let r =
-             ablation_run "epaxos"
-               ~config:{ (Config.default ~n_replicas:9) with Config.epaxos_penalty = p }
-               ~concurrency:48
-           in
+         (fun (p, (r : Runner.result)) ->
            [
              Printf.sprintf "%.1fx" p;
              Report.frate r.Runner.throughput_rps;
              Report.fms (Stats.mean r.Runner.latency);
            ])
-         [ 1.0; 2.0; 3.0; 4.0 ]);
+         results);
   print_endline
     "(without the processing penalty EPaxos out-throughputs Paxos — the\n\
      penalty drives its poor LAN showing, exactly as the paper argues)"
@@ -632,19 +711,37 @@ let ablate_penalty () =
 let scalability () =
   Report.section
     "Scalability tier (§4.2): throughput vs cluster size and key-space size";
-  let run name n keys =
-    let (module P) = Paxi_protocols.Registry.find_exn name in
-    let spec =
-      Runner.spec ~warmup_ms ~duration_ms:measured_ms
-        ~config:(Config.default ~n_replicas:n)
-        ~topology:(Topology.lan ~n_replicas:n ())
-        ~client_specs:
-          [ Runner.clients ~target:Runner.Round_robin ~count:32
-              { Workload.default with Workload.keys } ]
-        ()
-    in
-    Runner.run (module P) spec
+  let sizes = [ 3; 5; 7; 9 ] in
+  let key_sizes = [ 100; 1000; 10_000 ] in
+  let points =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun n -> [ ("paxos", n, 1000); ("epaxos", n, 1000) ])
+         sizes
+      @ List.map (fun k -> ("paxos", 9, k)) key_sizes)
   in
+  let results =
+    List.combine points
+      (Parmap.map
+         (fun (name, n, keys) ->
+           let (module P) = Paxi_protocols.Registry.find_exn name in
+           let spec =
+             Runner.spec ~warmup_ms ~duration_ms:measured_ms
+               ~config:
+                 {
+                   (Config.default ~n_replicas:n) with
+                   Config.seed = point_seed ("scalability", name, n, keys);
+                 }
+               ~topology:(Topology.lan ~n_replicas:n ())
+               ~client_specs:
+                 [ Runner.clients ~target:Runner.Round_robin ~count:32
+                     { Workload.default with Workload.keys } ]
+               ()
+           in
+           Runner.run (module P) spec)
+         points)
+  in
+  let get name n keys = List.assoc (name, n, keys) results in
   Printf.printf "\ncluster-size sweep (paxos vs epaxos, 1000 keys):\n";
   Report.print_table
     ~header:[ "nodes"; "paxos ops/s"; "epaxos ops/s" ]
@@ -653,10 +750,10 @@ let scalability () =
          (fun n ->
            [
              string_of_int n;
-             Report.frate (run "paxos" n 1000).Runner.throughput_rps;
-             Report.frate (run "epaxos" n 1000).Runner.throughput_rps;
+             Report.frate (get "paxos" n 1000).Runner.throughput_rps;
+             Report.frate (get "epaxos" n 1000).Runner.throughput_rps;
            ])
-         [ 3; 5; 7; 9 ]);
+         sizes);
   Printf.printf
     "\n(single-leader throughput shrinks with N — the leader handles N+2\n\
      messages per round — while leaderless protocols hold up)\n";
@@ -666,8 +763,8 @@ let scalability () =
     ~rows:
       (List.map
          (fun k ->
-           [ string_of_int k; Report.frate (run "paxos" 9 k).Runner.throughput_rps ])
-         [ 100; 1000; 10_000 ])
+           [ string_of_int k; Report.frate (get "paxos" 9 k).Runner.throughput_rps ])
+         key_sizes)
 
 let availability () =
   Report.section
@@ -710,19 +807,36 @@ let availability () =
 
 let ycsb () =
   Report.section "YCSB core workloads (paxos vs epaxos vs wpaxos, 9-node LAN)";
-  let run name kind =
-    let (module P) = Paxi_protocols.Registry.find_exn name in
-    let spec =
-      Runner.spec ~warmup_ms ~duration_ms:measured_ms
-        ~config:(Config.default ~n_replicas:9)
-        ~topology:(lan_topology name 9)
-        ~client_specs:(lan_client_specs name ~concurrency:32 (Workload.ycsb kind ~keys:1000))
-        ()
-    in
-    Runner.run (module P) spec
-  in
   let kinds = [ ("A (50/50)", `A); ("B (95/5)", `B); ("C (reads)", `C);
                 ("D (latest)", `D); ("F (rmw)", `F) ] in
+  let protos = [ "paxos"; "epaxos"; "wpaxos" ] in
+  let points =
+    List.concat_map
+      (fun (_, kind) -> List.map (fun name -> (name, kind)) protos)
+      kinds
+  in
+  let results =
+    List.combine points
+      (Parmap.map
+         (fun (name, kind) ->
+           let (module P) = Paxi_protocols.Registry.find_exn name in
+           let spec =
+             Runner.spec ~warmup_ms ~duration_ms:measured_ms
+               ~config:
+                 {
+                   (Config.default ~n_replicas:9) with
+                   Config.seed = point_seed ("ycsb", name, kind);
+                 }
+               ~topology:(lan_topology name 9)
+               ~client_specs:
+                 (lan_client_specs name ~concurrency:32
+                    (Workload.ycsb kind ~keys:1000))
+               ()
+           in
+           Runner.run (module P) spec)
+         points)
+  in
+  let get name kind = List.assoc (name, kind) results in
   Report.print_table
     ~header:[ "workload"; "paxos ops/s"; "epaxos ops/s"; "wpaxos ops/s" ]
     ~rows:
@@ -730,9 +844,9 @@ let ycsb () =
          (fun (label, kind) ->
            [
              label;
-             Report.frate (run "paxos" kind).Runner.throughput_rps;
-             Report.frate (run "epaxos" kind).Runner.throughput_rps;
-             Report.frate (run "wpaxos" kind).Runner.throughput_rps;
+             Report.frate (get "paxos" kind).Runner.throughput_rps;
+             Report.frate (get "epaxos" kind).Runner.throughput_rps;
+             Report.frate (get "wpaxos" kind).Runner.throughput_rps;
            ])
          kinds);
   print_endline
@@ -746,24 +860,35 @@ let openloop () =
   let node = Service.default_node ~n:9 in
   let rng = Rng.create ~seed:44 in
   let cap = Latency_model.lan_max_throughput Latency_model.Paxos ~node in
+  (* measure in parallel; evaluate the model sequentially afterwards
+     so its shared RNG draws in a fixed order *)
+  let measured =
+    Parmap.map
+      (fun frac ->
+        let rate = frac *. cap in
+        let spec =
+          Runner.spec ~warmup_ms ~duration_ms:measured_ms
+            ~config:
+              {
+                (Config.default ~n_replicas:9) with
+                Config.seed = point_seed ("openloop", frac);
+              }
+            ~topology:(Topology.lan ~n_replicas:9 ())
+            ~client_specs:
+              [ (* straight to the leader, as the model's DL assumes *)
+                Runner.clients ~target:(Runner.Fixed 0)
+                  ~arrival:(Runner.Open { rate_per_sec = rate /. 4.0 })
+                  ~count:4 Workload.default ]
+            ()
+        in
+        (rate, Runner.run (module P) spec))
+      [ 0.2; 0.4; 0.6; 0.8 ]
+  in
   Report.print_table
     ~header:[ "offered load (rps)"; "measured lat (ms)"; "M/D/1 model (ms)" ]
     ~rows:
       (List.map
-         (fun frac ->
-           let rate = frac *. cap in
-           let spec =
-             Runner.spec ~warmup_ms ~duration_ms:measured_ms
-               ~config:(Config.default ~n_replicas:9)
-               ~topology:(Topology.lan ~n_replicas:9 ())
-               ~client_specs:
-                 [ (* straight to the leader, as the model's DL assumes *)
-                   Runner.clients ~target:(Runner.Fixed 0)
-                     ~arrival:(Runner.Open { rate_per_sec = rate /. 4.0 })
-                     ~count:4 Workload.default ]
-               ()
-           in
-           let r = Runner.run (module P) spec in
+         (fun (rate, (r : Runner.result)) ->
            [
              Report.frate rate;
              Report.fms (Stats.mean r.Runner.latency);
@@ -774,7 +899,7 @@ let openloop () =
              | Some p -> Report.fms p.Latency_model.latency_ms
              | None -> "-");
            ])
-         [ 0.2; 0.4; 0.6; 0.8 ]);
+         measured);
   print_endline
     "(Poisson arrivals match the model's M/D/1 assumption directly, so\n\
      measured and modeled latencies should track closely until the knee)"
@@ -857,6 +982,86 @@ let bechamel () =
     ~rows:(List.sort compare !rows)
 
 (* ------------------------------------------------------------------ *)
+(* Perf guard: BENCH_pr1.json                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the LAN sweep grid through a 1-way pool and a full-width
+   pool, checks the two produce identical results, and wall-clocks a
+   fixed Paxos LAN point for a simulator events/sec figure. Not part
+   of the default experiment list — run `bench/main.exe -- perf`
+   (normally with PAXI_BENCH_QUICK=1) to regenerate BENCH_pr1.json,
+   the trajectory future PRs compare against. *)
+let perf () =
+  Report.section "Perf guard: pooled vs sequential sweep, simulator events/sec";
+  let names = [ "paxos"; "fpaxos"; "epaxos"; "wpaxos"; "wankeeper" ] in
+  let points =
+    List.concat_map
+      (fun name -> List.map (fun c -> (name, c)) concurrency_grid)
+      names
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let sweep pool =
+    Parmap.map ~pool (fun (name, c) -> lan_point name ~concurrency:c) points
+  in
+  let seq_pool = Pool.create ~jobs:1 () in
+  let seq_results, seq_s = time (fun () -> sweep seq_pool) in
+  Pool.shutdown seq_pool;
+  let jobs = Pool.default_jobs () in
+  let par_pool = Pool.create ~jobs () in
+  let par_results, par_s = time (fun () -> sweep par_pool) in
+  Pool.shutdown par_pool;
+  let identical =
+    List.for_all2
+      (fun (a : Runner.result) (b : Runner.result) ->
+        a.Runner.throughput_rps = b.Runner.throughput_rps
+        && Stats.samples a.Runner.latency = Stats.samples b.Runner.latency)
+      seq_results par_results
+  in
+  let fixed, fixed_s = time (fun () -> lan_point "paxos" ~concurrency:32) in
+  let events_per_sec = float_of_int fixed.Runner.sim_events /. fixed_s in
+  Printf.printf
+    "sweep: %d points; sequential %.2f s; %d-way pooled %.2f s (%.2fx); \
+     identical=%b\n"
+    (List.length points) seq_s jobs par_s (seq_s /. par_s) identical;
+  Printf.printf
+    "paxos LAN point (32 clients): %d events in %.2f s = %.0f events/s\n"
+    fixed.Runner.sim_events fixed_s events_per_sec;
+  let num x = Json.Number x in
+  let json =
+    Json.Obj
+      [
+        ("pr", num 1.0);
+        ("quick", Json.Bool quick);
+        ("suite", Json.String "lan sweep: 5 protocols x concurrency grid");
+        ("points", num (float_of_int (List.length points)));
+        ("jobs", num (float_of_int jobs));
+        ("sequential_wall_s", num seq_s);
+        ("pooled_wall_s", num par_s);
+        ("speedup", num (seq_s /. par_s));
+        ("parallel_identical", Json.Bool identical);
+        ( "paxos_lan_point",
+          Json.Obj
+            [
+              ("concurrency", num 32.0);
+              ("sim_events", num (float_of_int fixed.Runner.sim_events));
+              ("wall_s", num fixed_s);
+              ("events_per_sec", num events_per_sec);
+              ("throughput_rps", num fixed.Runner.throughput_rps);
+              ("mean_latency_ms", num (Stats.mean fixed.Runner.latency));
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_pr1.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_pr1.json"
+
+(* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -884,18 +1089,22 @@ let experiments =
     ("bechamel", bechamel);
   ]
 
+(* runnable by name but not part of the run-everything default *)
+let extra_experiments = [ ("perf", perf) ]
+
 let () =
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names
     | _ -> List.map fst experiments
   in
+  let known = experiments @ extra_experiments in
   List.iter
     (fun name ->
-      match List.assoc_opt name experiments with
+      match List.assoc_opt name known with
       | Some f -> f ()
       | None ->
           Printf.eprintf "unknown experiment %S (known: %s)\n" name
-            (String.concat ", " (List.map fst experiments));
+            (String.concat ", " (List.map fst known));
           exit 1)
     requested

@@ -53,6 +53,7 @@ type result = {
   busiest_node_busy_ms : float;
   busiest_node : int;
   messages_sent : int;
+  sim_events : int;
 }
 
 let kind_of_op (op : Command.op) (read : Command.value option) =
@@ -224,7 +225,33 @@ let run (module P : Proto.RUNNABLE) spec =
     busiest_node_busy_ms;
     busiest_node;
     messages_sent;
+    sim_events = Sim.events_fired sim;
   }
 
-let saturation_sweep p ~make_spec ~concurrencies =
-  List.map (fun c -> (c, run p (make_spec ~concurrency:c))) concurrencies
+(* Stable per-point seed, splittable from a fixed root: every
+   experiment point owns a seed that depends only on the root and the
+   point's identity, never on which domain runs it or in what order —
+   the invariant that makes pooled sweeps byte-identical to
+   sequential ones. (murmur-style finalizer, 30-bit output) *)
+let derive_seed ~root index =
+  let mix h =
+    let h = h lxor (h lsr 16) in
+    let h = h * 0x85EBCA6B land max_int in
+    let h = h lxor (h lsr 13) in
+    let h = h * 0xC2B2AE35 land max_int in
+    h lxor (h lsr 16)
+  in
+  mix (mix (index + 0x9E3779B9) lxor root) land 0x3FFFFFFF
+
+let run_many ?pool points =
+  Paxi_exec.Parmap.map ?pool
+    (fun ((p : (module Proto.RUNNABLE)), spec) -> run p spec)
+    points
+
+let saturation_sweep ?pool p ~make_spec ~concurrencies =
+  let results =
+    Paxi_exec.Parmap.map ?pool
+      (fun c -> run p (make_spec ~concurrency:c))
+      concurrencies
+  in
+  List.combine concurrencies results

@@ -71,15 +71,34 @@ type result = {
   busiest_node_busy_ms : float;
   busiest_node : int;
   messages_sent : int;
+  sim_events : int;  (** simulator events executed during the run *)
 }
 
 val run : (module Proto.RUNNABLE) -> spec -> result
 
+val derive_seed : root:int -> int -> int
+(** [derive_seed ~root i] hashes a stable point identity [i] (an index
+    or a structural hash of the point's parameters) into a simulation
+    seed. Points seeded this way give the same result no matter which
+    domain runs them or in what order, which is what keeps pooled
+    sweeps byte-identical to sequential ones. *)
+
+val run_many :
+  ?pool:Paxi_exec.Pool.t ->
+  ((module Proto.RUNNABLE) * spec) list ->
+  result list
+(** Run every (protocol, spec) point — each an independent simulation
+    seeded by its own [spec.config.seed] — across the pool's domains
+    (default: the shared [PAXI_JOBS]-sized pool). Results come back in
+    input order and are identical to mapping {!run} sequentially. *)
+
 val saturation_sweep :
+  ?pool:Paxi_exec.Pool.t ->
   (module Proto.RUNNABLE) ->
   make_spec:(concurrency:int -> spec) ->
   concurrencies:int list ->
   (int * result) list
-(** One independent run per concurrency level; the caller plots
-    latency against throughput, as the paper's performance tier does
-    by raising client concurrency until throughput stops growing. *)
+(** One independent run per concurrency level, fanned out across the
+    pool; the caller plots latency against throughput, as the paper's
+    performance tier does by raising client concurrency until
+    throughput stops growing. *)

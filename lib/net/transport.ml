@@ -71,35 +71,62 @@ let deliver t ~src ~dst ~size_bytes msg ~arrival =
       end)
   |> ignore
 
-let dispatch t ~src ~dsts ~size_bytes msg =
+(* Single-destination fast path. Most traffic — client requests,
+   replies, forwards, acks — has exactly one destination, so skip the
+   list length/iter machinery of the general [dispatch]. Accounting
+   and RNG draw order are identical to [dispatch ~dsts:[dst]]: crash
+   check, outgoing occupancy for one copy, drop draw, delay draw,
+   extra-delay draw. *)
+let send_one t ~src ~dst ~size_bytes msg =
   let now = Sim.now t.sim in
   if Faults.is_crashed t.faults ~now_ms:now src then
-    t.dropped <- t.dropped + List.length dsts
+    t.dropped <- t.dropped + 1
   else begin
-    let copies = List.length dsts in
-    if copies > 0 then begin
-      let q = procq t src in
-      let departure = Procq.occupy_outgoing q ~now_ms:now ~copies ~size_bytes in
-      List.iter
-        (fun dst ->
-          t.sent <- t.sent + 1;
-          if Faults.should_drop t.faults t.rng ~now_ms:now ~src ~dst then
-            t.dropped <- t.dropped + 1
-          else begin
-            let delay = Topology.sample_delay t.topology t.rng src dst in
-            let extra =
-              Faults.extra_delay t.faults t.rng ~now_ms:now ~src ~dst
-            in
-            deliver t ~src ~dst ~size_bytes msg
-              ~arrival:(departure +. delay +. extra)
-          end)
-        dsts
+    let q = procq t src in
+    let departure = Procq.occupy_outgoing q ~now_ms:now ~copies:1 ~size_bytes in
+    t.sent <- t.sent + 1;
+    if Faults.should_drop t.faults t.rng ~now_ms:now ~src ~dst then
+      t.dropped <- t.dropped + 1
+    else begin
+      let delay = Topology.sample_delay t.topology t.rng src dst in
+      let extra = Faults.extra_delay t.faults t.rng ~now_ms:now ~src ~dst in
+      deliver t ~src ~dst ~size_bytes msg ~arrival:(departure +. delay +. extra)
     end
   end
 
+let dispatch t ~src ~dsts ~size_bytes msg =
+  match dsts with
+  | [] -> ()
+  | [ dst ] -> send_one t ~src ~dst ~size_bytes msg
+  | dsts ->
+      let now = Sim.now t.sim in
+      if Faults.is_crashed t.faults ~now_ms:now src then
+        t.dropped <- t.dropped + List.length dsts
+      else begin
+        let copies = List.length dsts in
+        let q = procq t src in
+        let departure =
+          Procq.occupy_outgoing q ~now_ms:now ~copies ~size_bytes
+        in
+        List.iter
+          (fun dst ->
+            t.sent <- t.sent + 1;
+            if Faults.should_drop t.faults t.rng ~now_ms:now ~src ~dst then
+              t.dropped <- t.dropped + 1
+            else begin
+              let delay = Topology.sample_delay t.topology t.rng src dst in
+              let extra =
+                Faults.extra_delay t.faults t.rng ~now_ms:now ~src ~dst
+              in
+              deliver t ~src ~dst ~size_bytes msg
+                ~arrival:(departure +. delay +. extra)
+            end)
+          dsts
+      end
+
 let send t ~src ~dst ?size_bytes msg =
   let size_bytes = Option.value size_bytes ~default:t.default_size_bytes in
-  dispatch t ~src ~dsts:[ dst ] ~size_bytes msg
+  send_one t ~src ~dst ~size_bytes msg
 
 let broadcast t ~src ?size_bytes msg =
   let size_bytes = Option.value size_bytes ~default:t.default_size_bytes in

@@ -1,4 +1,11 @@
-(* Array-backed binary min-heap ordered by (time, seq). *)
+(* Array-backed binary min-heap ordered by (time, seq).
+
+   Retired slots are overwritten with [dummy] so a popped event's
+   payload (typically a closure over protocol state) becomes
+   collectable immediately instead of being pinned by the backing
+   array for the rest of the run. [dummy]'s payload is an unboxed
+   dummy value ([Obj.magic ()]); it is never read: only slots below
+   [size] are live, and [grow]/[pop] use it purely as array filler. *)
 
 type 'a entry = { time : float; seq : int; payload : 'a }
 
@@ -6,9 +13,13 @@ type 'a t = {
   mutable heap : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
+  dummy : 'a entry;
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+let create () =
+  let dummy = { time = nan; seq = -1; payload = Obj.magic () } in
+  { heap = [||]; size = 0; next_seq = 0; dummy }
+
 let is_empty t = t.size = 0
 let length t = t.size
 
@@ -17,14 +28,13 @@ let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 let grow t =
   let cap = Array.length t.heap in
   let ncap = if cap = 0 then 16 else cap * 2 in
-  let nh = Array.make ncap t.heap.(0) in
+  let nh = Array.make ncap t.dummy in
   Array.blit t.heap 0 nh 0 t.size;
   t.heap <- nh
 
 let push t ~time payload =
   let e = { time; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;
-  if t.size = 0 && Array.length t.heap = 0 then t.heap <- Array.make 16 e;
   if t.size >= Array.length t.heap then grow t;
   t.heap.(t.size) <- e;
   t.size <- t.size + 1;
@@ -50,6 +60,7 @@ let pop t =
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.heap.(0) <- t.heap.(t.size);
+      t.heap.(t.size) <- t.dummy;
       (* sift down *)
       let i = ref 0 in
       let continue = ref true in
@@ -66,10 +77,14 @@ let pop t =
         end
         else continue := false
       done
-    end;
+    end
+    else t.heap.(0) <- t.dummy;
     Some (top.time, top.payload)
   end
 
 let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
 
-let clear t = t.size <- 0
+let clear t =
+  t.size <- 0;
+  t.next_seq <- 0;
+  t.heap <- [||]

@@ -17,3 +17,5 @@ val pop : 'a t -> (float * 'a) option
 val peek_time : 'a t -> float option
 
 val clear : 'a t -> unit
+(** Empty the queue and drop the backing array, releasing every
+    retained event (and anything its closure captured) to the GC. *)

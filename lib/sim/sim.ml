@@ -5,14 +5,21 @@ type event = { h : handle; thunk : unit -> unit }
 type t = {
   queue : event Event_queue.t;
   mutable clock : float;
+  mutable fired : int;
   root_rng : Rng.t;
 }
 
 let create ?(seed = 42) () =
-  { queue = Event_queue.create (); clock = 0.0; root_rng = Rng.create ~seed }
+  {
+    queue = Event_queue.create ();
+    clock = 0.0;
+    fired = 0;
+    root_rng = Rng.create ~seed;
+  }
 
 let now t = t.clock
 let rng t = t.root_rng
+let events_fired t = t.fired
 
 let schedule_at t ~time thunk =
   if time < t.clock then
@@ -29,7 +36,10 @@ let cancel h = h.cancelled <- true
 
 let fire t time ev =
   t.clock <- time;
-  if not ev.h.cancelled then ev.thunk ()
+  if not ev.h.cancelled then begin
+    t.fired <- t.fired + 1;
+    ev.thunk ()
+  end
 
 let run_until t horizon =
   let continue = ref true in

@@ -44,3 +44,8 @@ val step : t -> bool
 val pending : t -> int
 (** Number of scheduled (uncancelled or cancelled-but-unprocessed)
     events. *)
+
+val events_fired : t -> int
+(** Number of event thunks executed so far (cancelled events are not
+    counted) — the denominator-free simulator throughput metric
+    reported by the perf guard. *)

@@ -5,7 +5,9 @@ type t = {
   mutable sumsq : float;
   mutable lo : float;
   mutable hi : float;
-  mutable sorted : bool;
+  mutable sorted_n : int;
+      (* [data.(0 .. sorted_n-1)] is sorted; [data.(sorted_n .. n-1)]
+         is the unsorted tail appended since the last query *)
 }
 
 let create () =
@@ -16,7 +18,7 @@ let create () =
     sumsq = 0.0;
     lo = infinity;
     hi = neg_infinity;
-    sorted = true;
+    sorted_n = 0;
   }
 
 let add t x =
@@ -31,8 +33,7 @@ let add t x =
   t.sum <- t.sum +. x;
   t.sumsq <- t.sumsq +. (x *. x);
   if x < t.lo then t.lo <- x;
-  if x > t.hi then t.hi <- x;
-  t.sorted <- false
+  if x > t.hi then t.hi <- x
 
 let add_all t xs = List.iter (add t) xs
 let count t = t.n
@@ -49,12 +50,37 @@ let stddev t = sqrt (variance t)
 let min t = if t.n = 0 then nan else t.lo
 let max t = if t.n = 0 then nan else t.hi
 
+(* Reporting interleaves [add] and [percentile] (per-region tables,
+   CDFs, summaries), so re-sorting all [n] samples on every query is
+   O(n log n) each time. Instead keep the prefix sorted across
+   queries: sort only the tail appended since the last query and merge
+   it in — O(k log k + n) for a tail of k new samples. *)
 let ensure_sorted t =
-  if not t.sorted then begin
-    let view = Array.sub t.data 0 t.n in
-    Array.sort Float.compare view;
-    Array.blit view 0 t.data 0 t.n;
-    t.sorted <- true
+  if t.sorted_n < t.n then begin
+    if t.sorted_n = 0 then begin
+      let view = Array.sub t.data 0 t.n in
+      Array.sort Float.compare view;
+      Array.blit view 0 t.data 0 t.n
+    end
+    else begin
+      let tail = Array.sub t.data t.sorted_n (t.n - t.sorted_n) in
+      Array.sort Float.compare tail;
+      (* merge sorted prefix and tail backwards, in place *)
+      let i = ref (t.sorted_n - 1) and j = ref (Array.length tail - 1) in
+      let k = ref (t.n - 1) in
+      while !j >= 0 do
+        if !i >= 0 && Float.compare t.data.(!i) tail.(!j) > 0 then begin
+          t.data.(!k) <- t.data.(!i);
+          decr i
+        end
+        else begin
+          t.data.(!k) <- tail.(!j);
+          decr j
+        end;
+        decr k
+      done
+    end;
+    t.sorted_n <- t.n
   end
 
 let percentile t p =

@@ -46,6 +46,94 @@ let test_peek () =
   Alcotest.(check (option (float 0.0))) "peek" (Some 4.2) (Event_queue.peek_time q);
   Alcotest.(check int) "peek does not pop" 1 (Event_queue.length q)
 
+(* Interleaved push/pop/clear against a sorted-list reference model:
+   pops must match the reference (min time, FIFO among ties) at every
+   step, across clears. Ops are decoded from a generated int list:
+   0-6 push (time derived from the op), 7-8 pop, 9 clear. *)
+let prop_matches_reference =
+  QCheck.Test.make ~name:"push/pop/clear matches sorted reference" ~count:300
+    QCheck.(list (int_bound 999))
+    (fun ops ->
+      let q = Event_queue.create () in
+      let model = ref [] (* (time, payload), kept unsorted *) in
+      let counter = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op mod 10 with
+          | 9 ->
+              Event_queue.clear q;
+              model := []
+          | 7 | 8 -> (
+              let expect =
+                match
+                  List.stable_sort
+                    (fun (t1, _) (t2, _) -> Float.compare t1 t2)
+                    (List.rev !model)
+                with
+                | [] -> None
+                | (t, v) :: _ ->
+                    model := List.filter (fun (_, v') -> v' <> v) !model;
+                    Some (t, v)
+              in
+              match (Event_queue.pop q, expect) with
+              | None, None -> ()
+              | Some (t, v), Some (t', v') ->
+                  if not (t = t' && v = v') then ok := false
+              | _ -> ok := false)
+          | d ->
+              let time = float_of_int (d * 100) in
+              incr counter;
+              Event_queue.push q ~time !counter;
+              model := (time, !counter) :: !model)
+        ops;
+      (* drain: remaining events must come out in model order too *)
+      let rest =
+        List.stable_sort (fun (t1, _) (t2, _) -> Float.compare t1 t2)
+          (List.rev !model)
+      in
+      List.iter
+        (fun (t, v) ->
+          match Event_queue.pop q with
+          | Some (t', v') -> if not (t = t' && v = v') then ok := false
+          | None -> ok := false)
+        rest;
+      !ok && Event_queue.is_empty q)
+
+(* [pop] and [clear] must release retired payloads to the GC: a
+   popped event's closure used to stay pinned by the heap array until
+   the queue itself died, retaining whole cluster states across a
+   sweep. Observed with a finaliser on the payload. *)
+let[@inline never] push_and_pop q flag =
+  let payload = ref 42 in
+  Gc.finalise (fun _ -> flag := true) payload;
+  Event_queue.push q ~time:1.0 payload;
+  Event_queue.push q ~time:2.0 (ref 0);
+  ignore (Event_queue.pop q)
+
+let test_pop_releases_payload () =
+  let q = Event_queue.create () in
+  let collected = ref false in
+  push_and_pop q collected;
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload collected" true !collected;
+  Alcotest.(check int) "second event still queued" 1 (Event_queue.length q)
+
+let[@inline never] push_only q flag =
+  let payload = ref 7 in
+  Gc.finalise (fun _ -> flag := true) payload;
+  Event_queue.push q ~time:1.0 payload
+
+let test_clear_releases_payloads () =
+  let q = Event_queue.create () in
+  let collected = ref false in
+  push_only q collected;
+  Event_queue.clear q;
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "cleared payload collected" true !collected
+
 let prop_heap_sorted =
   QCheck.Test.make ~name:"pop yields non-decreasing times" ~count:200
     QCheck.(list (float_range 0.0 1000.0))
@@ -67,5 +155,10 @@ let suite =
       Alcotest.test_case "interleaved push/pop" `Quick test_interleaved_push_pop;
       Alcotest.test_case "length and clear" `Quick test_length_and_clear;
       Alcotest.test_case "peek" `Quick test_peek;
+      Alcotest.test_case "pop releases payload" `Quick
+        test_pop_releases_payload;
+      Alcotest.test_case "clear releases payloads" `Quick
+        test_clear_releases_payloads;
       QCheck_alcotest.to_alcotest prop_heap_sorted;
+      QCheck_alcotest.to_alcotest prop_matches_reference;
     ] )

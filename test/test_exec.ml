@@ -1,0 +1,189 @@
+(* Domain pool: result ordering, work stealing under skew, exception
+   propagation, and the determinism contract — a pooled sweep is
+   byte-identical to the sequential path. *)
+
+open Paxi_benchmark
+
+let test_map_matches_sequential () =
+  let pool = Paxi_exec.Pool.create ~jobs:4 () in
+  let xs = List.init 100 Fun.id in
+  let expect = List.map (fun x -> x * x) xs in
+  let got = Paxi_exec.Parmap.map ~pool (fun x -> x * x) xs in
+  Paxi_exec.Pool.shutdown pool;
+  Alcotest.(check (list int)) "ordered results" expect got
+
+let test_sequential_pool () =
+  let pool = Paxi_exec.Pool.create ~jobs:1 () in
+  let order = ref [] in
+  let got =
+    Paxi_exec.Parmap.map ~pool
+      (fun x ->
+        order := x :: !order;
+        x + 1)
+      [ 1; 2; 3; 4 ]
+  in
+  Paxi_exec.Pool.shutdown pool;
+  Alcotest.(check (list int)) "results" [ 2; 3; 4; 5 ] got;
+  Alcotest.(check (list int)) "jobs=1 runs in submission order" [ 4; 3; 2; 1 ]
+    !order
+
+let test_skewed_tasks () =
+  (* one long task first: stealing must keep the rest from queuing
+     behind it, and ordering must survive any interleaving *)
+  let pool = Paxi_exec.Pool.create ~jobs:3 () in
+  let work x =
+    let spins = if x = 0 then 2_000_000 else 10_000 in
+    let acc = ref 0 in
+    for i = 1 to spins do
+      acc := !acc + (i mod 7)
+    done;
+    ignore !acc;
+    x * 10
+  in
+  let xs = List.init 20 Fun.id in
+  let got = Paxi_exec.Parmap.map ~pool work xs in
+  Paxi_exec.Pool.shutdown pool;
+  Alcotest.(check (list int)) "ordered" (List.map (fun x -> x * 10) xs) got
+
+exception Boom
+
+let test_exception_propagates () =
+  let pool = Paxi_exec.Pool.create ~jobs:4 () in
+  let raised =
+    try
+      ignore
+        (Paxi_exec.Parmap.map ~pool
+           (fun x -> if x = 7 then raise Boom else x)
+           (List.init 16 Fun.id));
+      false
+    with Boom -> true
+  in
+  (* the pool survives a failed batch *)
+  let got = Paxi_exec.Parmap.map ~pool (fun x -> x + 1) [ 1; 2 ] in
+  Paxi_exec.Pool.shutdown pool;
+  Alcotest.(check bool) "exception re-raised" true raised;
+  Alcotest.(check (list int)) "pool usable afterwards" [ 2; 3 ] got
+
+let test_run_many_reuses_batches () =
+  let pool = Paxi_exec.Pool.create ~jobs:2 () in
+  for round = 1 to 3 do
+    let got = Paxi_exec.Parmap.map ~pool (fun x -> x * round) [ 1; 2; 3 ] in
+    Alcotest.(check (list int))
+      (Printf.sprintf "round %d" round)
+      [ round; 2 * round; 3 * round ]
+      got
+  done;
+  Paxi_exec.Pool.shutdown pool
+
+(* The acceptance contract of the parallel sweep engine: running the
+   same (protocol, spec) points through a multi-domain pool yields
+   exactly the sequential results — same throughput, same latency
+   samples, bit for bit. *)
+let bench_point name =
+  let (module P) = Paxi_protocols.Registry.find_exn name in
+  let config =
+    {
+      (Config.default ~n_replicas:5) with
+      Config.seed = Runner.derive_seed ~root:7 (Hashtbl.hash name);
+    }
+  in
+  let spec =
+    Runner.spec ~warmup_ms:100.0 ~duration_ms:400.0 ~cooldown_ms:100.0 ~config
+      ~topology:(Topology.lan ~n_replicas:5 ())
+      ~client_specs:
+        [ Runner.clients ~target:Runner.Round_robin ~count:4 Workload.default ]
+      ()
+  in
+  ((module P : Proto.RUNNABLE), spec)
+
+let test_run_many_deterministic () =
+  let points = List.map bench_point [ "paxos"; "epaxos"; "raft" ] in
+  let seq = List.map (fun (p, s) -> Runner.run p s) points in
+  let pool = Paxi_exec.Pool.create ~jobs:4 () in
+  let par = Runner.run_many ~pool points in
+  Paxi_exec.Pool.shutdown pool;
+  List.iter2
+    (fun (a : Runner.result) (b : Runner.result) ->
+      Alcotest.(check (float 0.0))
+        "throughput identical" a.Runner.throughput_rps b.Runner.throughput_rps;
+      Alcotest.(check int) "completed identical" a.Runner.completed
+        b.Runner.completed;
+      Alcotest.(check int) "messages identical" a.Runner.messages_sent
+        b.Runner.messages_sent;
+      Alcotest.(check int) "sim events identical" a.Runner.sim_events
+        b.Runner.sim_events;
+      Alcotest.(check (array (float 0.0)))
+        "latency samples identical"
+        (Stats.samples a.Runner.latency)
+        (Stats.samples b.Runner.latency))
+    seq par
+
+let test_saturation_sweep_deterministic () =
+  let (module P) = Paxi_protocols.Registry.find_exn "paxos" in
+  let make_spec ~concurrency =
+    Runner.spec ~warmup_ms:100.0 ~duration_ms:300.0 ~cooldown_ms:100.0
+      ~config:
+        {
+          (Config.default ~n_replicas:3) with
+          Config.seed = Runner.derive_seed ~root:7 concurrency;
+        }
+      ~topology:(Topology.lan ~n_replicas:3 ())
+      ~client_specs:
+        [ Runner.clients ~target:Runner.Round_robin ~count:concurrency
+            Workload.default ]
+      ()
+  in
+  let concurrencies = [ 1; 4; 8 ] in
+  let seq_pool = Paxi_exec.Pool.create ~jobs:1 () in
+  let seq =
+    Runner.saturation_sweep ~pool:seq_pool (module P) ~make_spec ~concurrencies
+  in
+  Paxi_exec.Pool.shutdown seq_pool;
+  let pool = Paxi_exec.Pool.create ~jobs:3 () in
+  let par =
+    Runner.saturation_sweep ~pool (module P) ~make_spec ~concurrencies
+  in
+  Paxi_exec.Pool.shutdown pool;
+  List.iter2
+    (fun (c, (a : Runner.result)) (c', (b : Runner.result)) ->
+      Alcotest.(check int) "concurrency order" c c';
+      Alcotest.(check (float 0.0))
+        "throughput identical" a.Runner.throughput_rps b.Runner.throughput_rps;
+      Alcotest.(check (array (float 0.0)))
+        "latency samples identical"
+        (Stats.samples a.Runner.latency)
+        (Stats.samples b.Runner.latency))
+    seq par
+
+let test_derive_seed_stable () =
+  Alcotest.(check int)
+    "same identity, same seed"
+    (Runner.derive_seed ~root:42 17)
+    (Runner.derive_seed ~root:42 17);
+  Alcotest.(check bool)
+    "different identities diverge" true
+    (Runner.derive_seed ~root:42 17 <> Runner.derive_seed ~root:42 18);
+  Alcotest.(check bool)
+    "different roots diverge" true
+    (Runner.derive_seed ~root:42 17 <> Runner.derive_seed ~root:43 17);
+  Alcotest.(check bool)
+    "non-negative" true
+    (Runner.derive_seed ~root:42 17 >= 0)
+
+let suite =
+  ( "exec",
+    [
+      Alcotest.test_case "parmap matches sequential map" `Quick
+        test_map_matches_sequential;
+      Alcotest.test_case "jobs=1 escape hatch" `Quick test_sequential_pool;
+      Alcotest.test_case "work stealing under skew" `Quick test_skewed_tasks;
+      Alcotest.test_case "exception propagates" `Quick
+        test_exception_propagates;
+      Alcotest.test_case "pool reusable across batches" `Quick
+        test_run_many_reuses_batches;
+      Alcotest.test_case "run_many deterministic across domains" `Slow
+        test_run_many_deterministic;
+      Alcotest.test_case "saturation_sweep deterministic" `Slow
+        test_saturation_sweep_deterministic;
+      Alcotest.test_case "derive_seed stable" `Quick test_derive_seed_stable;
+    ] )

@@ -32,4 +32,5 @@ let () =
       Test_extra_protocols.suite;
       Test_json.suite;
       Test_cluster.suite;
+      Test_exec.suite;
     ]

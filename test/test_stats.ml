@@ -63,6 +63,50 @@ let test_merge () =
   Alcotest.(check int) "count" 4 (Stats.count m);
   Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean m)
 
+(* The amortized sort (sorted prefix + merged tail) must be
+   indistinguishable from naively re-sorting everything on each query,
+   under arbitrary interleavings of [add] and [percentile]. Chunk
+   sizes are decoded from the generated list; a query runs between
+   chunks and after the last one. *)
+let naive_percentile xs p =
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  let p = Float.max 0.0 (Float.min 100.0 p) in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = Stdlib.min (n - 1) (lo + 1) in
+  let frac = rank -. float_of_int lo in
+  a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+let prop_percentile_interleaved =
+  QCheck.Test.make ~name:"percentile matches naive sort across interleaved adds"
+    ~count:200
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 8)
+           (list_of_size (Gen.int_range 0 20) (float_range 0.0 100.0)))
+        (float_range 0.0 100.0))
+    (fun (chunks, p) ->
+      let s = Stats.create () in
+      let seen = ref [] in
+      List.for_all
+        (fun chunk ->
+          List.iter (Stats.add s) chunk;
+          seen := !seen @ chunk;
+          match !seen with
+          | [] -> Float.is_nan (Stats.percentile s p)
+          | xs ->
+              let got = Stats.percentile s p in
+              let expect = naive_percentile xs p in
+              Float.abs (got -. expect) <= 1e-9
+              && (* the sorted view must agree too *)
+              Stats.samples s
+              = (let a = Array.of_list xs in
+                 Array.sort Float.compare a;
+                 a))
+        chunks)
+
 let prop_percentile_monotone =
   QCheck.Test.make ~name:"percentile monotone in p" ~count:200
     QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (float_range 0.0 100.0))
@@ -97,4 +141,5 @@ let suite =
       Alcotest.test_case "merge" `Quick test_merge;
       QCheck_alcotest.to_alcotest prop_percentile_monotone;
       QCheck_alcotest.to_alcotest prop_mean_bounded;
+      QCheck_alcotest.to_alcotest prop_percentile_interleaved;
     ] )
