@@ -1092,19 +1092,128 @@ let experiments =
 (* runnable by name but not part of the run-everything default *)
 let extra_experiments = [ ("perf", perf) ]
 
-let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+(* ------------------------------------------------------------------ *)
+(* nemesis subcommand                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Nemesis = Paxi_nemesis
+
+let nemesis_usage () =
+  prerr_endline
+    "usage: main.exe nemesis [--protocol NAME[,NAME..]] [--trials N] \
+     [--seed N] [--max-faults N] [--json] [--replay SCHEDULE_JSON]";
+  exit 2
+
+(* Randomized fault-schedule campaigns (or a single replayed repro)
+   against the named protocols; exits non-zero when any trial fails,
+   printing a shrunk one-line repro for each failure. *)
+let nemesis_main args =
+  let protocols = ref [] in
+  let trials = ref 8 in
+  let seed = ref 42 in
+  let max_faults = ref 4 in
+  let json = ref false in
+  let replay = ref None in
+  let int_arg name v =
+    match int_of_string_opt v with
+    | Some i when i > 0 -> i
+    | _ ->
+        Printf.eprintf "nemesis: %s expects a positive integer, got %S\n" name v;
+        exit 2
   in
+  let rec parse = function
+    | [] -> ()
+    | "--protocol" :: v :: rest ->
+        protocols := !protocols @ String.split_on_char ',' v;
+        parse rest
+    | "--trials" :: v :: rest ->
+        trials := int_arg "--trials" v;
+        parse rest
+    | "--seed" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some i -> seed := i
+        | None ->
+            Printf.eprintf "nemesis: --seed expects an integer, got %S\n" v;
+            exit 2);
+        parse rest
+    | "--max-faults" :: v :: rest ->
+        max_faults := int_arg "--max-faults" v;
+        parse rest
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | "--replay" :: v :: rest ->
+        (match Nemesis.Schedule.of_string v with
+        | Ok s -> replay := Some s
+        | Error e ->
+            Printf.eprintf "nemesis: bad --replay schedule: %s\n" e;
+            exit 2);
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "nemesis: unknown argument %S\n" arg;
+        nemesis_usage ()
+  in
+  parse args;
+  let protocols =
+    match !protocols with
+    | [] -> Paxi_protocols.Registry.names
+    | ps ->
+        List.iter
+          (fun p ->
+            if Paxi_protocols.Registry.find p = None then begin
+              Printf.eprintf "nemesis: unknown protocol %S (known: %s)\n" p
+                (String.concat ", " Paxi_protocols.Registry.names);
+              exit 2
+            end)
+          ps;
+        ps
+  in
+  match !replay with
+  | Some schedule ->
+      let failed = ref false in
+      List.iter
+        (fun protocol ->
+          let v = Nemesis.Trial.run ~protocol ~seed:!seed schedule in
+          if not v.Nemesis.Trial.ok then failed := true;
+          Printf.printf "nemesis %s seed %d: %s (%d completed, %d gave up)\n"
+            protocol !seed
+            (if v.Nemesis.Trial.ok then "ok"
+             else String.concat "; " v.Nemesis.Trial.reasons)
+            v.Nemesis.Trial.completed v.Nemesis.Trial.gave_up)
+        protocols;
+      if !failed then exit 1
+  | None ->
+      let reports =
+        List.map
+          (fun protocol ->
+            Nemesis.Campaign.run ~protocol ~trials:!trials ~seed:!seed
+              ~max_faults:!max_faults ())
+          protocols
+      in
+      if !json then
+        print_endline
+          (Json.to_string
+             (Json.List (List.map Nemesis.Campaign.to_json reports)))
+      else
+        List.iter (fun r -> Format.printf "%a" Nemesis.Campaign.pp r) reports;
+      if List.exists (fun r -> r.Nemesis.Campaign.failures <> []) reports then
+        exit 1
+
+let run_experiments names =
+  let requested = match names with [] -> List.map fst experiments | _ -> names in
   let known = experiments @ extra_experiments in
   List.iter
     (fun name ->
       match List.assoc_opt name known with
       | Some f -> f ()
       | None ->
-          Printf.eprintf "unknown experiment %S (known: %s)\n" name
+          Printf.eprintf "unknown experiment %S (known: %s, nemesis)\n" name
             (String.concat ", " (List.map fst known));
           exit 1)
     requested
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "nemesis" :: rest -> nemesis_main rest
+  | _ :: names -> run_experiments names
+  | [] -> run_experiments []

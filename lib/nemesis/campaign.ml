@@ -1,0 +1,117 @@
+open Paxi_benchmark
+
+type outcome = {
+  trial : int;
+  seed : int;
+  schedule : Schedule.t;
+  verdict : Trial.verdict;
+  shrunk : (Schedule.t * int) option;  (** (minimal schedule, probes) *)
+}
+
+type report = {
+  protocol : string;
+  root_seed : int;
+  trials : int;
+  max_faults : int;
+  passed : int;
+  failures : outcome list;
+}
+
+(* Each trial's seed hashes its own identity (protocol, root seed,
+   index), never its rank in some work queue, so fanning the campaign
+   across a pool of any size — or running it twice — yields the same
+   schedules, the same verdicts, and the same shrunk repros. *)
+let trial_seed ~protocol ~root index =
+  Runner.derive_seed ~root (Hashtbl.hash (protocol, index))
+
+let run_trial ~protocol ~root ~max_faults ~shrink_budget index =
+  let seed = trial_seed ~protocol ~root index in
+  let schedule = Trial.generate ~protocol ~seed ~max_faults in
+  let verdict = Trial.run ~protocol ~seed schedule in
+  let shrunk =
+    if verdict.Trial.ok then None
+    else
+      Some
+        (Shrink.shrink ~budget:shrink_budget
+           ~still_fails:(fun candidate ->
+             not (Trial.run ~protocol ~seed candidate).Trial.ok)
+           schedule)
+  in
+  { trial = index; seed; schedule; verdict; shrunk }
+
+let run ?pool ?(shrink_budget = 120) ?(max_faults = 4) ~protocol ~trials ~seed
+    () =
+  (* shrinking happens inside the trial task, so a pool schedules whole
+     trials and determinism needs nothing beyond per-trial seeds *)
+  let outcomes =
+    Paxi_exec.Parmap.map ?pool
+      (run_trial ~protocol ~root:seed ~max_faults ~shrink_budget)
+      (List.init trials Fun.id)
+  in
+  let failures = List.filter (fun o -> not o.verdict.Trial.ok) outcomes in
+  {
+    protocol;
+    root_seed = seed;
+    trials;
+    max_faults;
+    passed = trials - List.length failures;
+    failures;
+  }
+
+let repro_line ~protocol ~seed schedule =
+  Printf.sprintf "bench/main.exe -- nemesis --protocol %s --seed %d --replay '%s'"
+    protocol seed
+    (Json.to_string (Schedule.to_json schedule))
+
+let outcome_to_json o =
+  let base =
+    [
+      ("trial", Json.Number (float_of_int o.trial));
+      ("seed", Json.Number (float_of_int o.seed));
+      ("schedule", Schedule.to_json o.schedule);
+      ("ok", Json.Bool o.verdict.Trial.ok);
+      ( "reasons",
+        Json.List (List.map (fun r -> Json.String r) o.verdict.Trial.reasons) );
+      ("completed", Json.Number (float_of_int o.verdict.Trial.completed));
+      ("gave_up", Json.Number (float_of_int o.verdict.Trial.gave_up));
+    ]
+  in
+  let shrunk =
+    match o.shrunk with
+    | None -> []
+    | Some (s, probes) ->
+        [
+          ("shrunk", Schedule.to_json s);
+          ("shrink_probes", Json.Number (float_of_int probes));
+        ]
+  in
+  Json.Obj (base @ shrunk)
+
+let to_json r =
+  Json.Obj
+    [
+      ("protocol", Json.String r.protocol);
+      ("root_seed", Json.Number (float_of_int r.root_seed));
+      ("trials", Json.Number (float_of_int r.trials));
+      ("max_faults", Json.Number (float_of_int r.max_faults));
+      ("passed", Json.Number (float_of_int r.passed));
+      ("failures", Json.List (List.map outcome_to_json r.failures));
+    ]
+
+let pp ppf r =
+  Format.fprintf ppf "nemesis %s: %d/%d trials passed (root seed %d)@."
+    r.protocol r.passed r.trials r.root_seed;
+  List.iter
+    (fun o ->
+      let shrunk, probes =
+        match o.shrunk with Some (s, p) -> (s, p) | None -> (o.schedule, 0)
+      in
+      Format.fprintf ppf
+        "  FAIL trial %d (seed %d)@.    %s@.    shrunk (%d probes, %d fault%s): %s@.    repro: %s@."
+        o.trial o.seed
+        (String.concat "; " o.verdict.Trial.reasons)
+        probes (List.length shrunk)
+        (if List.length shrunk = 1 then "" else "s")
+        (Schedule.to_string shrunk)
+        (repro_line ~protocol:r.protocol ~seed:o.seed shrunk))
+    r.failures

@@ -1,0 +1,49 @@
+(** Nemesis campaign: a batch of independent fault-schedule trials for
+    one protocol, fanned across the shared domain pool, with failing
+    schedules shrunk to one-line repros.
+
+    Every trial's seed is derived from its identity (protocol, root
+    seed, trial index) — never from scheduling order — so reports are
+    byte-identical at any [PAXI_JOBS]. *)
+
+type outcome = {
+  trial : int;
+  seed : int;  (** the derived per-trial seed; replays the trial *)
+  schedule : Schedule.t;  (** as generated *)
+  verdict : Trial.verdict;
+  shrunk : (Schedule.t * int) option;
+      (** failing trials only: minimized schedule and probe count *)
+}
+
+type report = {
+  protocol : string;
+  root_seed : int;
+  trials : int;
+  max_faults : int;
+  passed : int;
+  failures : outcome list;
+}
+
+val trial_seed : protocol:string -> root:int -> int -> int
+
+val run :
+  ?pool:Paxi_exec.Pool.t ->
+  ?shrink_budget:int ->
+  ?max_faults:int ->
+  protocol:string ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  report
+(** Run [trials] independent trials ([max_faults] defaults to 4).
+    Shrinking runs inside each trial's task, so pooling schedules
+    whole trials. *)
+
+val repro_line : protocol:string -> seed:int -> Schedule.t -> string
+(** The exact CLI invocation that replays a (shrunk) failing trial. *)
+
+val to_json : report -> Json.t
+(** Deterministic report encoding; CI diffs this across [PAXI_JOBS]
+    settings. *)
+
+val pp : Format.formatter -> report -> unit

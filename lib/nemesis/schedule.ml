@@ -1,0 +1,285 @@
+type fault =
+  | Crash of { node : int; from_ms : float; duration_ms : float }
+  | Drop of { src : int; dst : int; from_ms : float; duration_ms : float }
+  | Slow of {
+      src : int;
+      dst : int;
+      from_ms : float;
+      duration_ms : float;
+      extra_ms : float;
+    }
+  | Flaky of {
+      src : int;
+      dst : int;
+      from_ms : float;
+      duration_ms : float;
+      p_drop : float;
+    }
+  | Partition of { minority : int list; from_ms : float; duration_ms : float }
+
+type t = fault list
+
+type kinds = {
+  crash : bool;
+  partition : bool;
+  drop : bool;
+  flaky : bool;
+  slow : bool;
+}
+
+let all_kinds =
+  { crash = true; partition = true; drop = true; flaky = true; slow = true }
+
+let no_kinds =
+  { crash = false; partition = false; drop = false; flaky = false; slow = false }
+
+let window_of = function
+  | Crash { from_ms; duration_ms; _ }
+  | Drop { from_ms; duration_ms; _ }
+  | Slow { from_ms; duration_ms; _ }
+  | Flaky { from_ms; duration_ms; _ }
+  | Partition { from_ms; duration_ms; _ } ->
+      (from_ms, from_ms +. duration_ms)
+
+let end_ms t =
+  List.fold_left (fun acc f -> Float.max acc (snd (window_of f))) 0.0 t
+
+let scale_duration fault factor =
+  match fault with
+  | Crash r -> Crash { r with duration_ms = r.duration_ms *. factor }
+  | Drop r -> Drop { r with duration_ms = r.duration_ms *. factor }
+  | Slow r -> Slow { r with duration_ms = r.duration_ms *. factor }
+  | Flaky r -> Flaky { r with duration_ms = r.duration_ms *. factor }
+  | Partition r -> Partition { r with duration_ms = r.duration_ms *. factor }
+
+let duration_of fault =
+  let from_ms, until_ms = window_of fault in
+  until_ms -. from_ms
+
+let install t ~n faults =
+  let r = Address.replica in
+  List.iter
+    (function
+      | Crash { node; from_ms; duration_ms } ->
+          Faults.crash faults ~node:(r node) ~from_ms ~duration_ms
+      | Drop { src; dst; from_ms; duration_ms } ->
+          Faults.drop faults ~src:(r src) ~dst:(r dst) ~from_ms ~duration_ms
+      | Slow { src; dst; from_ms; duration_ms; extra_ms } ->
+          Faults.slow faults ~src:(r src) ~dst:(r dst) ~from_ms ~duration_ms
+            ~extra_ms
+      | Flaky { src; dst; from_ms; duration_ms; p_drop } ->
+          Faults.flaky faults ~src:(r src) ~dst:(r dst) ~from_ms ~duration_ms
+            ~p_drop
+      | Partition { minority; from_ms; duration_ms } ->
+          let rest =
+            List.filter_map
+              (fun i -> if List.mem i minority then None else Some (r i))
+              (List.init n Fun.id)
+          in
+          Faults.partition faults
+            ~groups:[ List.map r minority; rest ]
+            ~from_ms ~duration_ms)
+    t
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One random fault. The initial stable leader of the single-leader
+   protocols is replica 0, so crashes and link faults are biased
+   toward it — leader-targeted faults are the highest-yield schedules
+   (a follower crash is almost a no-op). Partitions split the cluster
+   into a random minority and the complementary majority, sometimes
+   exiling the leader into the minority. *)
+let gen_fault rng ~n ~kinds ~horizon_ms ~crashed =
+  let minority_cap = (n - 1) / 2 in
+  let leader_biased () = if Rng.bernoulli rng ~p:0.4 then 0 else Rng.int rng n in
+  let other_than a = (a + 1 + Rng.int rng (n - 1)) mod n in
+  let from_ms = Rng.float rng (Float.max 1.0 (horizon_ms *. 0.75)) in
+  let duration_ms = Rng.uniform rng ~lo:300.0 ~hi:1_800.0 in
+  let pick_link () =
+    let a = leader_biased () in
+    let b = other_than a in
+    if Rng.bool rng then (a, b) else (b, a)
+  in
+  let available =
+    [
+      (kinds.crash && List.length !crashed < minority_cap, `Crash);
+      (kinds.partition, `Partition);
+      (kinds.drop, `Drop);
+      (kinds.flaky, `Flaky);
+      (kinds.slow, `Slow);
+    ]
+    |> List.filter_map (fun (ok, k) -> if ok then Some k else None)
+  in
+  match available with
+  | [] -> None
+  | ks -> (
+      match Rng.pick rng (Array.of_list ks) with
+      | `Crash ->
+          (* distinct targets, capped at a minority of the cluster, so
+             a quorum always survives every instant of the schedule *)
+          let candidates =
+            List.filter (fun i -> not (List.mem i !crashed)) (List.init n Fun.id)
+          in
+          let node =
+            if List.mem 0 candidates && Rng.bernoulli rng ~p:0.4 then 0
+            else Rng.pick rng (Array.of_list candidates)
+          in
+          crashed := node :: !crashed;
+          Some (Crash { node; from_ms; duration_ms })
+      | `Partition ->
+          let k = 1 + Rng.int rng minority_cap in
+          let ids = Array.init n Fun.id in
+          Rng.shuffle rng ids;
+          let minority = Array.to_list (Array.sub ids 0 k) in
+          let minority =
+            (* sometimes drag the leader into the minority side *)
+            if (not (List.mem 0 minority)) && Rng.bernoulli rng ~p:0.3 then
+              0 :: List.tl minority
+            else minority
+          in
+          Some (Partition { minority = List.sort_uniq compare minority; from_ms; duration_ms })
+      | `Drop ->
+          let src, dst = pick_link () in
+          Some (Drop { src; dst; from_ms; duration_ms })
+      | `Flaky ->
+          let src, dst = pick_link () in
+          let p_drop = Rng.uniform rng ~lo:0.05 ~hi:0.4 in
+          Some (Flaky { src; dst; from_ms; duration_ms; p_drop })
+      | `Slow ->
+          let src, dst = pick_link () in
+          let extra_ms = Rng.uniform rng ~lo:1.0 ~hi:10.0 in
+          Some (Slow { src; dst; from_ms; duration_ms; extra_ms }))
+
+let generate ~rng ~n ~kinds ~max_faults ~horizon_ms =
+  if n < 2 then invalid_arg "Schedule.generate: need at least 2 replicas";
+  let count = 1 + Rng.int rng (Stdlib.max 1 max_faults) in
+  let crashed = ref [] in
+  let rec go k acc =
+    if k = 0 then List.rev acc
+    else
+      match gen_fault rng ~n ~kinds ~horizon_ms ~crashed with
+      | Some f -> go (k - 1) (f :: acc)
+      | None -> List.rev acc
+  in
+  go count []
+
+(* ------------------------------------------------------------------ *)
+(* Rendering and serialization                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fault_to_string = function
+  | Crash { node; from_ms; duration_ms } ->
+      Printf.sprintf "crash(n%d,@%.0f+%.0f)" node from_ms duration_ms
+  | Drop { src; dst; from_ms; duration_ms } ->
+      Printf.sprintf "drop(n%d->n%d,@%.0f+%.0f)" src dst from_ms duration_ms
+  | Slow { src; dst; from_ms; duration_ms; extra_ms } ->
+      Printf.sprintf "slow(n%d->n%d,+%.1fms,@%.0f+%.0f)" src dst extra_ms
+        from_ms duration_ms
+  | Flaky { src; dst; from_ms; duration_ms; p_drop } ->
+      Printf.sprintf "flaky(n%d->n%d,p=%.2f,@%.0f+%.0f)" src dst p_drop from_ms
+        duration_ms
+  | Partition { minority; from_ms; duration_ms } ->
+      Printf.sprintf "partition({%s}|rest,@%.0f+%.0f)"
+        (String.concat "," (List.map (Printf.sprintf "n%d") minority))
+        from_ms duration_ms
+
+let to_string t =
+  if t = [] then "(no faults)"
+  else String.concat "; " (List.map fault_to_string t)
+
+let num f = Json.Number f
+let inum i = Json.Number (float_of_int i)
+
+let fault_to_json f =
+  let base kind from_ms duration_ms rest =
+    Json.Obj
+      (("kind", Json.String kind)
+      :: rest
+      @ [ ("from_ms", num from_ms); ("duration_ms", num duration_ms) ])
+  in
+  match f with
+  | Crash { node; from_ms; duration_ms } ->
+      base "crash" from_ms duration_ms [ ("node", inum node) ]
+  | Drop { src; dst; from_ms; duration_ms } ->
+      base "drop" from_ms duration_ms [ ("src", inum src); ("dst", inum dst) ]
+  | Slow { src; dst; from_ms; duration_ms; extra_ms } ->
+      base "slow" from_ms duration_ms
+        [ ("src", inum src); ("dst", inum dst); ("extra_ms", num extra_ms) ]
+  | Flaky { src; dst; from_ms; duration_ms; p_drop } ->
+      base "flaky" from_ms duration_ms
+        [ ("src", inum src); ("dst", inum dst); ("p_drop", num p_drop) ]
+  | Partition { minority; from_ms; duration_ms } ->
+      base "partition" from_ms duration_ms
+        [ ("minority", Json.List (List.map inum minority)) ]
+
+let to_json t = Json.List (List.map fault_to_json t)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let get_num field j =
+  match Json.member field j with
+  | Some (Json.Number f) -> Ok f
+  | _ -> Error (Printf.sprintf "missing number %S" field)
+
+let get_int field j =
+  let* f = get_num field j in
+  if Float.is_integer f then Ok (int_of_float f)
+  else Error (Printf.sprintf "%S is not an integer" field)
+
+let fault_of_json j =
+  match Json.member "kind" j with
+  | Some (Json.String kind) -> (
+      let* from_ms = get_num "from_ms" j in
+      let* duration_ms = get_num "duration_ms" j in
+      match kind with
+      | "crash" ->
+          let* node = get_int "node" j in
+          Ok (Crash { node; from_ms; duration_ms })
+      | "drop" ->
+          let* src = get_int "src" j in
+          let* dst = get_int "dst" j in
+          Ok (Drop { src; dst; from_ms; duration_ms })
+      | "slow" ->
+          let* src = get_int "src" j in
+          let* dst = get_int "dst" j in
+          let* extra_ms = get_num "extra_ms" j in
+          Ok (Slow { src; dst; from_ms; duration_ms; extra_ms })
+      | "flaky" ->
+          let* src = get_int "src" j in
+          let* dst = get_int "dst" j in
+          let* p_drop = get_num "p_drop" j in
+          Ok (Flaky { src; dst; from_ms; duration_ms; p_drop })
+      | "partition" -> (
+          match Json.member "minority" j with
+          | Some (Json.List ms) ->
+              let* minority =
+                List.fold_left
+                  (fun acc m ->
+                    let* acc = acc in
+                    match Json.to_int m with
+                    | Some i -> Ok (i :: acc)
+                    | None -> Error "partition minority: expected integers")
+                  (Ok []) ms
+              in
+              Ok (Partition { minority = List.rev minority; from_ms; duration_ms })
+          | _ -> Error "partition: missing minority")
+      | k -> Error (Printf.sprintf "unknown fault kind %S" k))
+  | _ -> Error "fault: missing kind"
+
+let of_json = function
+  | Json.List faults ->
+      let* rev =
+        List.fold_left
+          (fun acc j ->
+            let* acc = acc in
+            let* f = fault_of_json j in
+            Ok (f :: acc))
+          (Ok []) faults
+      in
+      Ok (List.rev rev)
+  | _ -> Error "schedule: expected a list"
+
+let of_string s =
+  match Json.parse s with Ok j -> of_json j | Error e -> Error e

@@ -1,0 +1,79 @@
+(** Nemesis fault schedules: a protocol-independent description of a
+    randomized adversity plan — who crashes, which links drop, slow
+    down, or flake, and how the cluster partitions, each over a
+    bounded window of virtual time.
+
+    Schedules are plain data (replica indices and windows), so they
+    can be generated from a seed, serialized into a one-line repro,
+    shrunk fault-by-fault, and only turned into a live {!Faults.t}
+    when a trial runs. *)
+
+type fault =
+  | Crash of { node : int; from_ms : float; duration_ms : float }
+  | Drop of { src : int; dst : int; from_ms : float; duration_ms : float }
+  | Slow of {
+      src : int;
+      dst : int;
+      from_ms : float;
+      duration_ms : float;
+      extra_ms : float;
+    }
+  | Flaky of {
+      src : int;
+      dst : int;
+      from_ms : float;
+      duration_ms : float;
+      p_drop : float;
+    }
+  | Partition of { minority : int list; from_ms : float; duration_ms : float }
+      (** The cluster splits into [minority] and its complement; the
+          majority side retains a quorum. *)
+
+type t = fault list
+
+type kinds = {
+  crash : bool;
+  partition : bool;
+  drop : bool;
+  flaky : bool;
+  slow : bool;
+}
+(** Which fault kinds a generator may draw — protocols that do not
+    implement a recovery path (see the per-protocol notes in
+    lib/protocols/*.mli) are stressed only with the kinds they are
+    expected to survive. *)
+
+val all_kinds : kinds
+val no_kinds : kinds
+
+val window_of : fault -> float * float
+(** [(from_ms, until_ms)] of the fault's window. *)
+
+val duration_of : fault -> float
+val scale_duration : fault -> float -> fault
+
+val end_ms : t -> float
+(** When the last fault lifts ([0.0] for an empty schedule) — the
+    instant after which the liveness oracle expects commits to
+    resume. *)
+
+val generate :
+  rng:Rng.t -> n:int -> kinds:kinds -> max_faults:int -> horizon_ms:float -> t
+(** Draw 1..[max_faults] faults with windows inside
+    [\[0, horizon_ms + max window\]]. Crashes target distinct nodes,
+    never more than a minority of the cluster, and are biased toward
+    replica 0 (the initial stable leader of the single-leader
+    protocols); partitions split a random minority — sometimes
+    containing the leader — from the rest. Deterministic in [rng]. *)
+
+val install : t -> n:int -> Faults.t -> unit
+(** Materialize the schedule into a live fault injector for an
+    [n]-replica cluster. *)
+
+val to_string : t -> string
+(** Compact one-line rendering for repro lines. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+val of_string : string -> (t, string) result
+(** Parse a schedule from its JSON text (as printed in repro lines). *)

@@ -1,0 +1,174 @@
+open Paxi_benchmark
+
+type profile = {
+  kinds : Schedule.kinds;
+  n : int;
+  zoned : bool;
+  global_consensus : bool;
+}
+
+(* What each family is expected to survive, matched to the recovery
+   machinery its implementation actually has (each row validated
+   empirically against randomized campaigns; see DESIGN.md):
+
+   - paxos/fpaxos: heartbeat-driven failover plus leader
+     retransmission of in-flight slots — full matrix.
+   - raft: elections and next_index-driven AppendEntries catch-up —
+     full matrix.
+   - epaxos: [watch_instance] retransmits PreAccept/Accept, so lost
+     messages heal, but a crashed command leader leaves its in-flight
+     instances as permanent dependency holes — everything but crash.
+   - abd: leaderless; every operation is a fresh client-driven quorum
+     round and the client retries against rotating replicas — full
+     matrix.
+   - mencius: per-message loss heals (client retries re-drive the
+     rotation and skips regenerate), but a crash or partition wedges
+     the crashed replica's slot range — no crash, no partition.
+   - wpaxos: client retries re-initiate ownership steals, so
+     probabilistic loss heals; a sustained link blackout strands a
+     steal in progress forever — flaky and slow only.
+   - chain/wankeeper/vpaxos: no retransmission at all; one lost chain
+     hop / token grant / handoff wedges the system permanently.
+     Stressed with delays only, which still exercises timeout and
+     reordering robustness. *)
+let profile_of name =
+  let open Schedule in
+  let slow_only = { no_kinds with slow = true } in
+  match name with
+  | "paxos" | "fpaxos" | "raft" ->
+      { kinds = all_kinds; n = 5; zoned = false; global_consensus = true }
+  | "epaxos" ->
+      {
+        kinds = { all_kinds with crash = false };
+        n = 5;
+        zoned = false;
+        global_consensus = true;
+      }
+  | "abd" -> { kinds = all_kinds; n = 5; zoned = false; global_consensus = false }
+  | "chain" -> { kinds = slow_only; n = 5; zoned = false; global_consensus = true }
+  | "mencius" ->
+      {
+        kinds = { all_kinds with crash = false; partition = false };
+        n = 5;
+        zoned = false;
+        global_consensus = true;
+      }
+  | "wpaxos" ->
+      {
+        kinds = { no_kinds with slow = true; flaky = true };
+        n = 9;
+        zoned = true;
+        global_consensus = true;
+      }
+  | "wankeeper" ->
+      { kinds = slow_only; n = 9; zoned = true; global_consensus = false }
+  | "vpaxos" ->
+      { kinds = slow_only; n = 9; zoned = true; global_consensus = false }
+  | other ->
+      invalid_arg
+        (Printf.sprintf "Trial.profile_of: unknown protocol %S (known: %s)"
+           other
+           (String.concat ", " Paxi_protocols.Registry.names))
+
+type verdict = {
+  ok : bool;
+  reasons : string list;
+  completed : int;
+  gave_up : int;
+  anomalies : int;
+  divergences : int;
+}
+
+let horizon_ms = 3_000.0
+
+(* Virtual time the cluster gets after the last fault lifts: long
+   enough for the slowest failover timeout (base 1000ms scaled by up
+   to 3.5x for the highest replica id) plus a full client retry. *)
+let recovery_ms = 4_500.0
+
+let zones = [ "az-a"; "az-b"; "az-c" ]
+
+let topology_for profile =
+  if profile.zoned then
+    Topology.custom
+      ~replica_regions:
+        (List.concat_map
+           (fun z -> List.init (profile.n / 3) (fun _ -> Region.make z))
+           zones)
+      ~rtt_ms:(fun _ _ -> 0.4271)
+      ~jitter:0.02 ()
+  else Topology.lan ~n_replicas:profile.n ()
+
+let client_specs_for profile workload =
+  if profile.zoned then
+    List.map
+      (fun z ->
+        Runner.clients ~region:(Region.make z) ~target:Runner.Round_robin
+          ~count:1 workload)
+      zones
+  else [ Runner.clients ~target:Runner.Round_robin ~count:3 workload ]
+
+let generate ~protocol ~seed ~max_faults =
+  let profile = profile_of protocol in
+  let rng = Rng.create ~seed in
+  Schedule.generate ~rng ~n:profile.n ~kinds:profile.kinds ~max_faults
+    ~horizon_ms
+
+let run ~protocol ~seed schedule =
+  let profile = profile_of protocol in
+  let (module P) = Paxi_protocols.Registry.find_exn protocol in
+  let config =
+    { (Config.default ~n_replicas:profile.n) with Config.seed }
+  in
+  let warmup_ms = 200.0 in
+  let fault_end = Schedule.end_ms schedule in
+  let duration_ms =
+    Float.max 1_500.0 (fault_end +. recovery_ms -. warmup_ms)
+  in
+  let workload = { Workload.default with Workload.keys = 15 } in
+  let spec =
+    Runner.spec ~warmup_ms ~duration_ms ~cooldown_ms:2_000.0
+      ~collect_history:true ~check_consensus:profile.global_consensus
+      ~faults:(Schedule.install schedule ~n:profile.n)
+      ~config
+      ~topology:(topology_for profile)
+      ~client_specs:(client_specs_for profile workload)
+      ()
+  in
+  let result = Runner.run (module P) spec in
+  let anomalies = Linearizability.check result.Runner.history in
+  let divergences = result.Runner.consensus_violations in
+  let reasons = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> reasons := s :: !reasons) fmt in
+  (match anomalies with
+  | [] -> ()
+  | a :: _ ->
+      fail "%d linearizability anomalies (first: %s)" (List.length anomalies)
+        a.Linearizability.reason);
+  (match divergences with
+  | [] -> ()
+  | v :: _ ->
+      fail "%d consensus divergences (first: %s)" (List.length divergences)
+        (Fmt.str "%a" Consensus_check.pp_violation v));
+  if result.Runner.completed = 0 then fail "no operation ever completed"
+  else if
+    (* liveness: commits resume after the last fault lifts (history
+       records completed ops only, so one late invocation completing
+       is exactly the evidence we need) *)
+    schedule <> []
+    && not
+         (List.exists
+            (fun (op : Linearizability.op) ->
+              op.Linearizability.invoked_ms >= fault_end)
+            result.Runner.history)
+  then
+    fail "no operation invoked after the last fault lifted (%.0fms) completed"
+      fault_end;
+  {
+    ok = !reasons = [];
+    reasons = List.rev !reasons;
+    completed = result.Runner.completed;
+    gave_up = result.Runner.gave_up;
+    anomalies = List.length anomalies;
+    divergences = List.length divergences;
+  }

@@ -1,0 +1,53 @@
+(** One nemesis trial: run a protocol cluster under a fault schedule
+    and judge the outcome with the offline oracles.
+
+    The oracle combines three judgments:
+    - {e safety}: the client-observed history is linearizable
+      ({!Paxi_benchmark.Linearizability.check}) and, for protocols
+      that maintain one global replicated state machine, the
+      per-replica state machines share common-prefix per-key histories
+      ({!Paxi_benchmark.Consensus_check.check});
+    - {e liveness}: some client operation invoked after the last fault
+      window lifts still completes — commits resume once the network
+      heals;
+    - {e progress}: the run completed at least one operation at all.
+
+    Each protocol is stressed only with the fault kinds its
+    implementation has a recovery path for (see {!profile_of}); the
+    profile table doubles as documentation of each family's fault
+    tolerance. *)
+
+type profile = {
+  kinds : Schedule.kinds;  (** fault kinds this protocol must survive *)
+  n : int;  (** cluster size the trial uses *)
+  zoned : bool;  (** three-zone topology (multi-leader families) *)
+  global_consensus : bool;
+      (** whether the cross-replica consensus check applies — zone- or
+          coordinator-scoped protocols keep deliberately divergent
+          per-node state *)
+}
+
+val profile_of : string -> profile
+(** Raises [Invalid_argument] on an unknown protocol name. *)
+
+val horizon_ms : float
+(** Fault windows start inside [\[0, 0.75 * horizon_ms)]. *)
+
+type verdict = {
+  ok : bool;
+  reasons : string list;  (** why the trial failed; [] when [ok] *)
+  completed : int;
+  gave_up : int;
+  anomalies : int;  (** linearizability anomalies *)
+  divergences : int;  (** consensus-check violations *)
+}
+
+val generate : protocol:string -> seed:int -> max_faults:int -> Schedule.t
+(** The schedule a trial with this identity runs: deterministic in
+    [(protocol, seed, max_faults)] and gated by the protocol's
+    profile. *)
+
+val run : protocol:string -> seed:int -> Schedule.t -> verdict
+(** Run one simulated cluster of [protocol] under the schedule, with
+    closed-loop clients, and judge it. Deterministic in the
+    arguments. *)

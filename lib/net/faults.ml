@@ -9,10 +9,62 @@ type rule =
   | Flaky of { src : Address.t; dst : Address.t; w : window; p_drop : float }
   | Partition of { groups : Address.Set.t list; w : window }
 
-type t = { mutable rules : rule list }
+let window_of = function
+  | Crash { w; _ } | Drop { w; _ } | Slow { w; _ } | Flaky { w; _ }
+  | Partition { w; _ } ->
+      w
 
-let create () = { rules = [] }
-let add t r = t.rules <- r :: t.rules
+let until_of r = (window_of r).until_ms
+
+(* [rules] is authoritative (newest first). [live] is the hot-path
+   cache: the subsequence of [rules] whose windows had not yet expired
+   the last time the cache was refreshed, at virtual time
+   [live_from]. Expired rules can never match again (windows are
+   half-open and time only has to move forward for the cache to be
+   used), so dropping them keeps per-message fault checks proportional
+   to the number of *active* faults, not the whole schedule.
+   [next_expiry] is the earliest expiry among [live] rules so the
+   filter only runs when something actually expired. Queries at
+   [now < live_from] (tests probing a schedule out of order) bypass
+   the cache and consult [rules] directly — verdicts never depend on
+   query order. *)
+type t = {
+  mutable rules : rule list;
+  mutable live : rule list;
+  mutable live_from : float;
+  mutable next_expiry : float;
+}
+
+let create () =
+  { rules = []; live = []; live_from = neg_infinity; next_expiry = infinity }
+
+let add t r =
+  t.rules <- r :: t.rules;
+  t.live <- r :: t.live;
+  t.next_expiry <- Float.min t.next_expiry (until_of r)
+
+(* Must drop the cache as well as the rules: a stale [live] list (or a
+   stale [next_expiry] watermark) would let rules added after the
+   clear inherit pruning state from windows that no longer exist —
+   the "resurrected expired window" failure mode the regression test
+   in test_net.ml pins down. *)
+let clear t =
+  t.rules <- [];
+  t.live <- [];
+  t.live_from <- neg_infinity;
+  t.next_expiry <- infinity
+
+let consult t ~now_ms =
+  if now_ms < t.live_from then t.rules
+  else begin
+    if now_ms >= t.next_expiry then begin
+      t.live <- List.filter (fun r -> until_of r > now_ms) t.live;
+      t.next_expiry <-
+        List.fold_left (fun acc r -> Float.min acc (until_of r)) infinity t.live;
+      t.live_from <- now_ms
+    end;
+    t.live
+  end
 
 let window ~from_ms ~duration_ms =
   { from_ms; until_ms = from_ms +. duration_ms }
@@ -38,7 +90,7 @@ let is_crashed t ~now_ms node =
     (function
       | Crash { node = n; w } -> Address.equal n node && in_window w now_ms
       | _ -> false)
-    t.rules
+    (consult t ~now_ms)
 
 let link_matches ~src ~dst rule_src rule_dst =
   Address.equal src rule_src && Address.equal dst rule_dst
@@ -63,7 +115,7 @@ let should_drop t rng ~now_ms ~src ~dst =
          | Partition { groups; w } ->
              in_window w now_ms && partition_severed groups src dst
          | Crash _ | Slow _ -> false)
-       t.rules
+       (consult t ~now_ms)
 
 let extra_delay t rng ~now_ms ~src ~dst =
   List.fold_left
@@ -73,6 +125,138 @@ let extra_delay t rng ~now_ms ~src ~dst =
         when in_window w now_ms && link_matches ~src ~dst s d ->
           acc +. Rng.float rng extra_ms
       | _ -> acc)
-    0.0 t.rules
+    0.0
+    (consult t ~now_ms)
 
-let clear t = t.rules <- []
+let rule_count t = List.length t.rules
+
+(* ------------------------------------------------------------------ *)
+(* Serialization: schedules as JSON, for nemesis repro lines.          *)
+(* ------------------------------------------------------------------ *)
+
+let addr_json a = Json.String (Address.to_string a)
+
+let window_fields w =
+  [
+    ("from_ms", Json.Number w.from_ms);
+    ("duration_ms", Json.Number (w.until_ms -. w.from_ms));
+  ]
+
+let link_fields src dst w =
+  (("src", addr_json src) :: ("dst", addr_json dst) :: window_fields w)
+
+let rule_to_json = function
+  | Crash { node; w } ->
+      Json.Obj
+        (("kind", Json.String "crash")
+        :: ("node", addr_json node)
+        :: window_fields w)
+  | Drop { src; dst; w } ->
+      Json.Obj (("kind", Json.String "drop") :: link_fields src dst w)
+  | Slow { src; dst; w; extra_ms } ->
+      Json.Obj
+        ((("kind", Json.String "slow") :: link_fields src dst w)
+        @ [ ("extra_ms", Json.Number extra_ms) ])
+  | Flaky { src; dst; w; p_drop } ->
+      Json.Obj
+        ((("kind", Json.String "flaky") :: link_fields src dst w)
+        @ [ ("p_drop", Json.Number p_drop) ])
+  | Partition { groups; w } ->
+      Json.Obj
+        (("kind", Json.String "partition")
+        :: ( "groups",
+             Json.List
+               (List.map
+                  (fun g ->
+                    Json.List
+                      (List.map addr_json (Address.Set.elements g)))
+                  groups) )
+        :: window_fields w)
+
+(* Rules are stored newest-first; serialize in the order they were
+   added so [of_json] re-adds them in the same order and rebuilds an
+   identical internal list (flaky rules draw from the RNG in list
+   order, so order is part of behaviour). *)
+let to_json t = Json.List (List.rev_map rule_to_json t.rules)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let parse_addr ctx = function
+  | Some (Json.String s) -> (
+      match Address.of_string s with
+      | Some a -> Ok a
+      | None -> Error (Printf.sprintf "%s: bad address %S" ctx s))
+  | _ -> Error (Printf.sprintf "%s: expected an address string" ctx)
+
+let parse_float ctx = function
+  | Some (Json.Number f) -> Ok f
+  | _ -> Error (Printf.sprintf "%s: expected a number" ctx)
+
+let rule_of_json j =
+  match Json.member "kind" j with
+  | Some (Json.String kind) -> (
+      let* from_ms = parse_float "from_ms" (Json.member "from_ms" j) in
+      let* duration_ms =
+        parse_float "duration_ms" (Json.member "duration_ms" j)
+      in
+      let w = window ~from_ms ~duration_ms in
+      let link () =
+        let* src = parse_addr "src" (Json.member "src" j) in
+        let* dst = parse_addr "dst" (Json.member "dst" j) in
+        Ok (src, dst)
+      in
+      match kind with
+      | "crash" ->
+          let* node = parse_addr "node" (Json.member "node" j) in
+          Ok (Crash { node; w })
+      | "drop" ->
+          let* src, dst = link () in
+          Ok (Drop { src; dst; w })
+      | "slow" ->
+          let* src, dst = link () in
+          let* extra_ms = parse_float "extra_ms" (Json.member "extra_ms" j) in
+          Ok (Slow { src; dst; w; extra_ms })
+      | "flaky" ->
+          let* src, dst = link () in
+          let* p_drop = parse_float "p_drop" (Json.member "p_drop" j) in
+          Ok (Flaky { src; dst; w; p_drop })
+      | "partition" -> (
+          match Json.member "groups" j with
+          | Some (Json.List groups) ->
+              let* groups =
+                List.fold_left
+                  (fun acc g ->
+                    let* acc = acc in
+                    match g with
+                    | Json.List members ->
+                        let* members =
+                          List.fold_left
+                            (fun acc m ->
+                              let* acc = acc in
+                              let* a = parse_addr "group member" (Some m) in
+                              Ok (a :: acc))
+                            (Ok []) members
+                        in
+                        Ok (Address.Set.of_list members :: acc)
+                    | _ -> Error "partition: group must be a list")
+                  (Ok []) groups
+              in
+              Ok (Partition { groups = List.rev groups; w })
+          | _ -> Error "partition: missing groups")
+      | k -> Error (Printf.sprintf "unknown fault kind %S" k))
+  | _ -> Error "fault rule: missing kind"
+
+let of_json = function
+  | Json.List rules ->
+      let t = create () in
+      let* () =
+        List.fold_left
+          (fun acc j ->
+            let* () = acc in
+            let* r = rule_of_json j in
+            add t r;
+            Ok ())
+          (Ok ()) rules
+      in
+      Ok t
+  | _ -> Error "fault schedule: expected a list"

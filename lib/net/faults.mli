@@ -50,3 +50,18 @@ val extra_delay : t -> Rng.t -> now_ms:float -> src:Address.t -> dst:Address.t -
 (** Additional latency from active [slow] rules (ms). *)
 
 val clear : t -> unit
+(** Remove every rule — including any internal expiry-pruning state,
+    so rules added afterwards behave exactly as on a fresh schedule
+    (a cleared schedule never resurrects expired windows). *)
+
+val rule_count : t -> int
+
+val to_json : t -> Json.t
+(** Serialize the schedule, preserving the order rules were added in
+    (flaky rules consume RNG draws in rule order, so order is part of
+    behaviour). *)
+
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json}: [of_json (to_json s)] yields a schedule
+    with verdict-identical [should_drop] / [extra_delay] /
+    [is_crashed] behaviour, RNG draw for RNG draw. *)

@@ -347,12 +347,26 @@ let rec heartbeat_loop t =
   ignore
   @@ t.env.schedule period (fun () ->
          if t.active then begin
+           let frontier = Slot_log.exec_frontier t.log in
            t.env.broadcast
-             (Heartbeat
-                {
-                  ballot = t.ballot;
-                  commit_up_to = Slot_log.exec_frontier t.log;
-                });
+             (Heartbeat { ballot = t.ballot; commit_up_to = frontier });
+           (* Re-propose in-flight slots each beat: a P2a or P2b lost
+              to the network would otherwise wedge the execution
+              frontier forever — no other path retries phase-2, and
+              followers keep hearing heartbeats so they never call an
+              election on the stuck leader's behalf. Acceptors treat
+              the duplicate P2a as idempotent and re-ack; [Quorum.ack]
+              ignores duplicate voters. *)
+           Slot_log.iter_filled t.log ~f:(fun slot e ->
+               if
+                 slot >= frontier
+                 && (not e.committed)
+                 && e.quorum <> None
+                 && Ballot.equal e.ballot t.ballot
+               then
+                 t.env.broadcast
+                   (P2a
+                      { ballot = t.ballot; slot; cmd = e.cmd; commit_up_to = frontier }));
            t.last_heard <- t.env.now ()
          end;
          heartbeat_loop t)

@@ -1,7 +1,10 @@
 (** Minimal JSON reader/writer for configuration files (§4.1: Paxi
     manages configuration "via a JSON file distributed to every
     node"). Supports the full JSON grammar except exotic number forms
-    and unicode escapes beyond the BMP; no external dependencies. *)
+    and unicode escapes beyond the BMP; no external dependencies.
+    Lives in the base simulator layer so every layer above it — fault
+    schedules in [paxi_net], configuration in [paxi], reports in the
+    benchmark harness — can serialize without circular deps. *)
 
 type t =
   | Null

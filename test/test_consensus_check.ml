@@ -39,6 +39,33 @@ let test_check_against_state_machines () =
   in
   Alcotest.(check int) "divergence found" 1 (List.length bad)
 
+(* Empty histories: a node that executed nothing for a key is a prefix
+   of every other node — straggling replicas are never "divergent",
+   only conflicting ones. Pinned because the nemesis oracle leans on
+   it: crashed or partitioned nodes end runs with short (or no)
+   histories and must not trip the checker. *)
+let test_empty_histories_agree () =
+  Alcotest.(check bool) "two empties" true
+    (Consensus_check.common_prefix [] [] = Ok ());
+  Alcotest.(check int) "no histories at all" 0
+    (List.length (Consensus_check.check_key ~key:1 ~histories:[]));
+  Alcotest.(check int) "all nodes empty" 0
+    (List.length
+       (Consensus_check.check_key ~key:1 ~histories:[ (0, []); (1, []) ]));
+  (* only the genuinely conflicting pair (1,2) violates; the empty
+     node 0 pairs cleanly with both *)
+  Alcotest.(check int) "empty against diverging pair" 1
+    (List.length
+       (Consensus_check.check_key ~key:1
+          ~histories:[ (0, []); (1, [ cmd 1 ]); (2, [ cmd 2 ]) ]))
+
+let test_empty_state_machines_agree () =
+  let sm_a = State_machine.create () and sm_b = State_machine.create () in
+  Alcotest.(check int) "no executions, no violations" 0
+    (List.length
+       (Consensus_check.check ~state_machines:[ (0, sm_a); (1, sm_b) ]
+          ~keys:[ 1; 2; 3 ]))
+
 let test_pp () =
   let v = { Consensus_check.key = 1; node_a = 0; node_b = 2; position = 3 } in
   Alcotest.(check string) "render"
@@ -52,5 +79,7 @@ let suite =
       Alcotest.test_case "divergence position" `Quick test_divergence_position;
       Alcotest.test_case "check_key pairs" `Quick test_check_key;
       Alcotest.test_case "against state machines" `Quick test_check_against_state_machines;
+      Alcotest.test_case "empty histories agree" `Quick test_empty_histories_agree;
+      Alcotest.test_case "empty state machines agree" `Quick test_empty_state_machines_agree;
       Alcotest.test_case "pp" `Quick test_pp;
     ] )

@@ -99,6 +99,59 @@ let test_is_linearizable () =
   Alcotest.(check bool) "invalid" false
     (Linearizability.is_linearizable [ r ~id:0 ~key:1 (Some 5) (0.0, 1.0) ])
 
+(* --- zero-duration operations and equal timestamps ---------------
+
+   The simulator's virtual clock is a float of milliseconds and every
+   network hop has positive latency, so real histories never produce
+   exact ties; these tests pin how the checker breaks them anyway.
+   The rule: boundary comparisons are non-strict, so two operations
+   sharing a timestamp are treated as ordered (response at t is
+   "before" an invocation at t). That makes the checker conservative
+   at exact ties — it may flag a tie-only history that a checker
+   exploring all tie-break orders would accept — and never lenient. *)
+
+let test_zero_duration_write_then_read_ok () =
+  (* an instantaneous read of an instantaneous write at the same
+     moment: the dictating write did not begin after the read ended
+     (strict comparison), so this is accepted *)
+  check_ok "zero-duration pair at one instant"
+    [ w ~id:0 ~key:1 10 (100.0, 100.0); r ~id:1 ~key:1 (Some 10) (100.0, 100.0) ]
+
+let test_touching_windows_count_as_ordered () =
+  (* w(20) invoked exactly when w(10) responded, read invoked exactly
+     when w(20) responded: the non-strict boundaries make w(20) a
+     definite overwrite, so reading 10 is stale *)
+  check_bad "touching windows are ordered" 1
+    [
+      w ~id:0 ~key:1 10 (0.0, 1.0);
+      w ~id:1 ~key:1 20 (1.0, 2.0);
+      r ~id:2 ~key:1 (Some 10) (2.0, 3.0);
+    ]
+
+let test_all_ties_flagged_conservatively () =
+  (* three zero-duration ops at one instant: the order w(20); w(10);
+     read(10) would be linearizable, but the tie-broken overwrite
+     check flags the read — pinned as the documented conservative
+     behaviour *)
+  check_bad "tie-only history flagged" 1
+    [
+      w ~id:0 ~key:1 10 (100.0, 100.0);
+      w ~id:1 ~key:1 20 (100.0, 100.0);
+      r ~id:2 ~key:1 (Some 10) (100.0, 100.0);
+    ]
+
+let test_none_read_at_write_boundary_detected () =
+  (* a write responding exactly when the empty read is invoked counts
+     as completed-before: the read can no longer see the initial
+     state *)
+  check_bad "boundary write beats empty read" 1
+    [ w ~id:0 ~key:1 10 (0.0, 1.0); r ~id:1 ~key:1 None (1.0, 2.0) ]
+
+let test_empty_history_ok () =
+  check_ok "empty history" [];
+  Alcotest.(check int) "check_key of empty" 0
+    (List.length (Linearizability.check_key []))
+
 (* Sequential histories (no overlapping operations, reads return the
    latest completed write) are always accepted. *)
 let prop_sequential_accepted =
@@ -142,5 +195,14 @@ let suite =
       Alcotest.test_case "keys independent" `Quick test_keys_independent;
       Alcotest.test_case "check_key rejects mixed" `Quick test_check_key_rejects_mixed;
       Alcotest.test_case "is_linearizable" `Quick test_is_linearizable;
+      Alcotest.test_case "zero-duration pair ok" `Quick
+        test_zero_duration_write_then_read_ok;
+      Alcotest.test_case "touching windows ordered" `Quick
+        test_touching_windows_count_as_ordered;
+      Alcotest.test_case "ties flagged conservatively" `Quick
+        test_all_ties_flagged_conservatively;
+      Alcotest.test_case "none read at write boundary" `Quick
+        test_none_read_at_write_boundary_detected;
+      Alcotest.test_case "empty history ok" `Quick test_empty_history_ok;
       QCheck_alcotest.to_alcotest prop_sequential_accepted;
     ] )

@@ -33,4 +33,5 @@ let () =
       Test_json.suite;
       Test_cluster.suite;
       Test_exec.suite;
+      Test_nemesis.suite;
     ]

@@ -1,0 +1,210 @@
+(* Nemesis harness: fixed-seed campaigns over every protocol family,
+   shrinker behaviour on synthetic predicates, schedule serialization,
+   and campaign determinism across pool sizes. *)
+
+module Schedule = Paxi_nemesis.Schedule
+module Trial = Paxi_nemesis.Trial
+module Shrink = Paxi_nemesis.Shrink
+module Campaign = Paxi_nemesis.Campaign
+
+(* The PR-pinning campaign: every protocol in the registry survives a
+   fixed-seed batch of randomized fault schedules drawn from its own
+   tolerance profile. A failure prints the shrunk one-line repro. *)
+let test_campaign protocol () =
+  let report = Campaign.run ~protocol ~trials:3 ~seed:42 () in
+  List.iter
+    (fun (o : Campaign.outcome) ->
+      let shrunk =
+        match o.Campaign.shrunk with Some (s, _) -> s | None -> o.Campaign.schedule
+      in
+      Printf.printf "%s trial %d failed: %s\n  repro: %s\n" protocol
+        o.Campaign.trial
+        (String.concat "; " o.Campaign.verdict.Trial.reasons)
+        (Campaign.repro_line ~protocol ~seed:o.Campaign.seed shrunk))
+    report.Campaign.failures;
+  Alcotest.(check int)
+    (protocol ^ " campaign failures")
+    0
+    (List.length report.Campaign.failures)
+
+(* Trials are seeded by identity, so the same campaign on pools of
+   different sizes produces byte-identical JSON reports. *)
+let test_campaign_pool_deterministic () =
+  let report_with jobs =
+    let pool = Paxi_exec.Pool.create ~jobs () in
+    let r = Campaign.run ~pool ~protocol:"paxos" ~trials:3 ~seed:7 () in
+    Paxi_exec.Pool.shutdown pool;
+    Json.to_string (Campaign.to_json r)
+  in
+  Alcotest.(check string)
+    "campaign json identical at jobs=1 and jobs=4" (report_with 1)
+    (report_with 4)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule generation and serialization                               *)
+(* ------------------------------------------------------------------ *)
+
+let schedule_testable =
+  Alcotest.testable
+    (fun ppf s -> Format.pp_print_string ppf (Schedule.to_string s))
+    ( = )
+
+let test_generate_deterministic () =
+  let gen () = Trial.generate ~protocol:"raft" ~seed:123 ~max_faults:6 in
+  Alcotest.check schedule_testable "same seed, same schedule" (gen ()) (gen ());
+  let other = Trial.generate ~protocol:"raft" ~seed:124 ~max_faults:6 in
+  Alcotest.(check bool) "different seed differs" false (gen () = other)
+
+let test_generate_respects_kinds () =
+  (* chain's profile is slow-only: no generated fault may be anything
+     else, across many seeds *)
+  for seed = 1 to 50 do
+    let s = Trial.generate ~protocol:"chain" ~seed ~max_faults:6 in
+    List.iter
+      (fun f ->
+        match f with
+        | Schedule.Slow _ -> ()
+        | f ->
+            Alcotest.failf "chain schedule contains %s"
+              (Schedule.to_string [ f ]))
+      s
+  done
+
+let test_generate_crashes_bounded () =
+  (* crashes target distinct nodes and never reach a majority, so a
+     quorum survives every instant *)
+  for seed = 1 to 50 do
+    let s = Trial.generate ~protocol:"paxos" ~seed ~max_faults:8 in
+    let crashed =
+      List.filter_map
+        (function Schedule.Crash { node; _ } -> Some node | _ -> None)
+        s
+    in
+    Alcotest.(check bool)
+      "crash targets distinct" true
+      (List.length (List.sort_uniq compare crashed) = List.length crashed);
+    Alcotest.(check bool)
+      "crashes below majority" true
+      (List.length crashed <= 2)
+  done
+
+let test_schedule_json_roundtrip () =
+  for seed = 1 to 50 do
+    let s = Trial.generate ~protocol:"paxos" ~seed ~max_faults:6 in
+    match Schedule.of_json (Schedule.to_json s) with
+    | Ok s' -> Alcotest.check schedule_testable "roundtrip" s s'
+    | Error e -> Alcotest.failf "roundtrip failed: %s" e
+  done
+
+let test_schedule_text_roundtrip_replays () =
+  (* the repro line goes through text, where float precision is
+     truncated; the parsed schedule must still be a valid schedule
+     with the same shape (kind sequence and near-identical windows) *)
+  let s = Trial.generate ~protocol:"paxos" ~seed:5 ~max_faults:6 in
+  match Schedule.of_string (Json.to_string (Schedule.to_json s)) with
+  | Error e -> Alcotest.failf "text roundtrip failed: %s" e
+  | Ok s' ->
+      Alcotest.(check int) "same length" (List.length s) (List.length s');
+      List.iter2
+        (fun a b ->
+          let fa, ua = Schedule.window_of a and fb, ub = Schedule.window_of b in
+          Alcotest.(check bool)
+            "windows within float-printing tolerance" true
+            (Float.abs (fa -. fb) < 0.01 && Float.abs (ua -. ub) < 0.01))
+        s s'
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker on synthetic predicates (no simulation)                    *)
+(* ------------------------------------------------------------------ *)
+
+let crash n = Schedule.Crash { node = n; from_ms = 100.0; duration_ms = 800.0 }
+
+let slow src =
+  Schedule.Slow
+    { src; dst = src + 1; from_ms = 0.0; duration_ms = 1_600.0; extra_ms = 5.0 }
+
+let contains_crash s =
+  List.exists (function Schedule.Crash _ -> true | _ -> false) s
+
+let test_shrink_drops_irrelevant_faults () =
+  let schedule = [ slow 0; crash 1; slow 2; slow 3 ] in
+  let shrunk, _ = Shrink.shrink ~still_fails:contains_crash schedule in
+  (* the drop pass isolates the crash, then the halving pass walks its
+     window down to the floor (the predicate ignores duration) *)
+  Alcotest.check schedule_testable "only the crash survives"
+    [ Schedule.Crash { node = 1; from_ms = 100.0; duration_ms = 50.0 } ]
+    shrunk
+
+let test_shrink_halves_windows () =
+  (* failure iff some fault lasts >= 100ms: halving must walk the
+     1600ms window down to the smallest still-failing duration *)
+  let still_fails s =
+    List.exists (fun f -> Schedule.duration_of f >= 100.0) s
+  in
+  let shrunk, _ = Shrink.shrink ~still_fails [ slow 0 ] in
+  Alcotest.(check int) "one fault" 1 (List.length shrunk);
+  let d = Schedule.duration_of (List.hd shrunk) in
+  Alcotest.(check bool)
+    (Printf.sprintf "duration %.0f minimized into [100, 200)" d)
+    true
+    (d >= 100.0 && d < 200.0)
+
+let test_shrink_result_still_fails () =
+  let still_fails s = List.length s >= 2 in
+  let schedule = [ slow 0; slow 1; slow 2; crash 0; crash 1 ] in
+  let shrunk, _ = Shrink.shrink ~still_fails schedule in
+  Alcotest.(check bool) "shrunk still fails" true (still_fails shrunk);
+  Alcotest.(check int) "minimal size" 2 (List.length shrunk)
+
+let test_shrink_budget_zero_is_identity () =
+  let schedule = [ slow 0; crash 1 ] in
+  let shrunk, probes =
+    Shrink.shrink ~budget:0 ~still_fails:contains_crash schedule
+  in
+  Alcotest.check schedule_testable "unchanged" schedule shrunk;
+  Alcotest.(check int) "no probes" 0 probes
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: a protocol with no recovery machinery must fail and     *)
+(* shrink when stressed beyond its profile                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_trial_detects_unsurvivable_fault () =
+  (* chain replication wedges under any crash; the liveness oracle
+     must say so, and the shrinker must keep the repro at one fault *)
+  let schedule =
+    [ Schedule.Crash { node = 1; from_ms = 400.0; duration_ms = 600.0 } ]
+  in
+  let v = Trial.run ~protocol:"chain" ~seed:11 schedule in
+  Alcotest.(check bool) "chain fails under crash" false v.Trial.ok;
+  Alcotest.(check bool) "made some progress first" true (v.Trial.completed > 0)
+
+let suite =
+  ( "nemesis",
+    List.map
+      (fun p -> Alcotest.test_case ("campaign " ^ p) `Slow (test_campaign p))
+      Paxi_protocols.Registry.names
+    @ [
+        Alcotest.test_case "campaign pool-deterministic" `Slow
+          test_campaign_pool_deterministic;
+        Alcotest.test_case "generate deterministic" `Quick
+          test_generate_deterministic;
+        Alcotest.test_case "generate respects kinds" `Quick
+          test_generate_respects_kinds;
+        Alcotest.test_case "generate bounds crashes" `Quick
+          test_generate_crashes_bounded;
+        Alcotest.test_case "schedule json roundtrip" `Quick
+          test_schedule_json_roundtrip;
+        Alcotest.test_case "schedule text roundtrip" `Quick
+          test_schedule_text_roundtrip_replays;
+        Alcotest.test_case "shrink drops irrelevant faults" `Quick
+          test_shrink_drops_irrelevant_faults;
+        Alcotest.test_case "shrink halves windows" `Quick
+          test_shrink_halves_windows;
+        Alcotest.test_case "shrink result still fails" `Quick
+          test_shrink_result_still_fails;
+        Alcotest.test_case "shrink budget zero" `Quick
+          test_shrink_budget_zero_is_identity;
+        Alcotest.test_case "trial detects unsurvivable fault" `Slow
+          test_trial_detects_unsurvivable_fault;
+      ] )

@@ -129,6 +129,159 @@ let test_faults_clear () =
   Faults.clear f;
   Alcotest.(check bool) "cleared" false (Faults.is_crashed f ~now_ms:50.0 (Address.replica 0))
 
+(* Regression: overlapping crash + partition windows on the same node,
+   probed past expiry (which triggers internal pruning), then cleared
+   and re-added. The re-added schedule must behave exactly like a
+   fresh one — clear must not leak pruning state that would resurrect
+   or suppress expired windows. *)
+let test_faults_clear_no_resurrection () =
+  let r = Address.replica in
+  let rng () = Rng.create ~seed:9 in
+  let install f =
+    Faults.crash f ~node:(r 1) ~from_ms:100.0 ~duration_ms:200.0;
+    Faults.partition f
+      ~groups:[ [ r 0; r 1 ]; [ r 2; r 3; r 4 ] ]
+      ~from_ms:150.0 ~duration_ms:100.0;
+    Faults.drop f ~src:(r 0) ~dst:(r 2) ~from_ms:400.0 ~duration_ms:50.0
+  in
+  let f = Faults.create () in
+  install f;
+  (* advance past every window so pruning discards all three rules *)
+  Alcotest.(check bool) "all expired" false
+    (Faults.should_drop f (rng ()) ~now_ms:1_000.0 ~src:(r 0) ~dst:(r 2));
+  Faults.clear f;
+  Alcotest.(check int) "cleared" 0 (Faults.rule_count f);
+  install f;
+  let fresh = Faults.create () in
+  install fresh;
+  (* the re-added schedule matches a fresh one at every probe time,
+     including inside the windows that had already been pruned *)
+  List.iter
+    (fun now_ms ->
+      Alcotest.(check bool)
+        (Printf.sprintf "crash verdict at %.0f" now_ms)
+        (Faults.is_crashed fresh ~now_ms (r 1))
+        (Faults.is_crashed f ~now_ms (r 1));
+      List.iter
+        (fun (src, dst) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "drop verdict %s->%s at %.0f"
+               (Address.to_string src) (Address.to_string dst) now_ms)
+            (Faults.should_drop fresh (rng ()) ~now_ms ~src ~dst)
+            (Faults.should_drop f (rng ()) ~now_ms ~src ~dst))
+        [ (r 0, r 2); (r 1, r 3); (r 2, r 4); (r 0, r 1) ])
+    [ 50.0; 120.0; 160.0; 260.0; 320.0; 420.0; 500.0 ]
+
+(* Forward-time pruning must not change verdicts: drive one schedule
+   strictly forward (letting it prune) and compare against a fresh
+   copy probed only at that instant. *)
+let test_faults_pruning_preserves_verdicts () =
+  let r = Address.replica in
+  let install f =
+    Faults.crash f ~node:(r 0) ~from_ms:10.0 ~duration_ms:20.0;
+    Faults.crash f ~node:(r 0) ~from_ms:50.0 ~duration_ms:20.0;
+    Faults.drop f ~src:(r 1) ~dst:(r 0) ~from_ms:25.0 ~duration_ms:100.0
+  in
+  let pruned = Faults.create () in
+  install pruned;
+  List.iter
+    (fun now_ms ->
+      let fresh = Faults.create () in
+      install fresh;
+      Alcotest.(check bool)
+        (Printf.sprintf "crash at %.0f" now_ms)
+        (Faults.is_crashed fresh ~now_ms (r 0))
+        (Faults.is_crashed pruned ~now_ms (r 0));
+      Alcotest.(check bool)
+        (Printf.sprintf "drop at %.0f" now_ms)
+        (Faults.should_drop fresh (Rng.create ~seed:1) ~now_ms ~src:(r 1)
+           ~dst:(r 0))
+        (Faults.should_drop pruned (Rng.create ~seed:1) ~now_ms ~src:(r 1)
+           ~dst:(r 0)))
+    [ 0.0; 15.0; 31.0; 45.0; 60.0; 71.0; 124.0; 126.0; 500.0 ]
+
+(* JSON round-trip: [of_json (to_json s)] must be verdict-identical to
+   [s] — same [should_drop] answers, same [extra_delay], drawn from
+   identically-seeded RNGs (rule order, and hence RNG draw order, is
+   part of the contract). *)
+let fault_schedule_gen =
+  QCheck.Gen.(
+    let addr = map Address.replica (int_range 0 4) in
+    let win = pair (float_range 0.0 500.0) (float_range 1.0 300.0) in
+    let rule =
+      frequency
+        [
+          ( 2,
+            let* node = addr and* f, d = win in
+            return (`Crash (node, f, d)) );
+          ( 2,
+            let* s = addr and* t = addr and* f, d = win in
+            return (`Drop (s, t, f, d)) );
+          ( 2,
+            let* s = addr and* t = addr and* f, d = win
+            and* e = float_range 0.1 10.0 in
+            return (`Slow (s, t, f, d, e)) );
+          ( 2,
+            let* s = addr and* t = addr and* f, d = win
+            and* p = float_range 0.0 1.0 in
+            return (`Flaky (s, t, f, d, p)) );
+          ( 1,
+            let* k = int_range 1 4 and* f, d = win in
+            return (`Partition (k, f, d)) );
+        ]
+    in
+    list_size (int_range 0 8) rule)
+
+let install_gen_rules f rules =
+  List.iter
+    (function
+      | `Crash (node, from_ms, duration_ms) ->
+          Faults.crash f ~node ~from_ms ~duration_ms
+      | `Drop (src, dst, from_ms, duration_ms) ->
+          Faults.drop f ~src ~dst ~from_ms ~duration_ms
+      | `Slow (src, dst, from_ms, duration_ms, extra_ms) ->
+          Faults.slow f ~src ~dst ~from_ms ~duration_ms ~extra_ms
+      | `Flaky (src, dst, from_ms, duration_ms, p_drop) ->
+          Faults.flaky f ~src ~dst ~from_ms ~duration_ms ~p_drop
+      | `Partition (k, from_ms, duration_ms) ->
+          let minority = List.init k Address.replica in
+          let rest =
+            List.filter_map
+              (fun i -> if i >= k then Some (Address.replica i) else None)
+              (List.init 5 Fun.id)
+          in
+          Faults.partition f ~groups:[ minority; rest ] ~from_ms ~duration_ms)
+    rules
+
+let prop_faults_json_roundtrip =
+  QCheck.Test.make ~name:"faults json round-trip verdict-identical" ~count:100
+    (QCheck.make fault_schedule_gen) (fun rules ->
+      let f = Faults.create () in
+      install_gen_rules f rules;
+      let f' =
+        match Faults.of_json (Faults.to_json f) with
+        | Ok f' -> f'
+        | Error msg -> QCheck.Test.fail_reportf "of_json: %s" msg
+      in
+      (* text-level fixpoint too: serialize-parse-serialize is stable *)
+      if
+        Json.to_string (Faults.to_json f) <> Json.to_string (Faults.to_json f')
+      then QCheck.Test.fail_reportf "to_json not a fixpoint";
+      let rng_a = Rng.create ~seed:7 and rng_b = Rng.create ~seed:7 in
+      List.for_all
+        (fun now_ms ->
+          List.for_all
+            (fun src ->
+              List.for_all
+                (fun dst ->
+                  Faults.should_drop f rng_a ~now_ms ~src ~dst
+                  = Faults.should_drop f' rng_b ~now_ms ~src ~dst
+                  && Faults.extra_delay f rng_a ~now_ms ~src ~dst
+                     = Faults.extra_delay f' rng_b ~now_ms ~src ~dst)
+                (List.init 5 Address.replica))
+            (List.init 5 Address.replica))
+        [ 0.0; 100.0; 250.0; 400.0; 799.0 ])
+
 let test_procq_queueing () =
   let q = Procq.create ~t_in_ms:1.0 ~t_out_ms:0.5 ~bandwidth_mbps:1e9 () in
   (* two messages arriving together queue behind each other *)
@@ -179,6 +332,11 @@ let suite =
       Alcotest.test_case "slow adds bounded delay" `Quick test_faults_slow;
       Alcotest.test_case "partition" `Quick test_faults_partition;
       Alcotest.test_case "faults clear" `Quick test_faults_clear;
+      Alcotest.test_case "clear does not resurrect expired windows" `Quick
+        test_faults_clear_no_resurrection;
+      Alcotest.test_case "pruning preserves verdicts" `Quick
+        test_faults_pruning_preserves_verdicts;
+      QCheck_alcotest.to_alcotest prop_faults_json_roundtrip;
       Alcotest.test_case "procq queueing" `Quick test_procq_queueing;
       Alcotest.test_case "broadcast serializes once" `Quick test_procq_broadcast_serializes_once;
       Alcotest.test_case "zero queue is free" `Quick test_procq_zero_is_free;
