@@ -18,7 +18,11 @@ open Paxi_model
 module Pool = Paxi_exec.Pool
 module Parmap = Paxi_exec.Parmap
 
-let quick = Sys.getenv_opt "PAXI_BENCH_QUICK" = Some "1"
+(* --quick on the command line is equivalent to PAXI_BENCH_QUICK=1
+   (CI's perf-smoke job uses the flag form). *)
+let quick =
+  Array.exists (String.equal "--quick") Sys.argv
+  || Sys.getenv_opt "PAXI_BENCH_QUICK" = Some "1"
 let measured_ms = if quick then 1_000.0 else 2_000.0
 let warmup_ms = if quick then 300.0 else 1_000.0
 
@@ -982,17 +986,20 @@ let bechamel () =
     ~rows:(List.sort compare !rows)
 
 (* ------------------------------------------------------------------ *)
-(* Perf guard: BENCH_pr1.json                                          *)
+(* Perf guard: BENCH_pr3.json                                          *)
 (* ------------------------------------------------------------------ *)
 
-(* Times the LAN sweep grid through a 1-way pool and a full-width
-   pool, checks the two produce identical results, and wall-clocks a
-   fixed Paxos LAN point for a simulator events/sec figure. Not part
-   of the default experiment list — run `bench/main.exe -- perf`
-   (normally with PAXI_BENCH_QUICK=1) to regenerate BENCH_pr1.json,
-   the trajectory future PRs compare against. *)
+(* Hot-path perf guard. Wall-clocks the fixed Paxos LAN point for a
+   simulator events/sec figure (with GC allocation and the
+   collapsed-delivery share), re-checks that the pooled sweep is
+   byte-identical to sequential, and measures the batched-vs-unbatched
+   saturation throughput of the paxos leader. Not part of the
+   run-everything default — run `bench/main.exe -- perf --quick` to
+   regenerate BENCH_pr3.json, the trajectory future PRs compare
+   against (BENCH_pr1.json holds the pre-overhaul numbers). *)
 let perf () =
-  Report.section "Perf guard: pooled vs sequential sweep, simulator events/sec";
+  Report.section
+    "Perf guard: simulator events/sec, delivery collapse, leader batching";
   let names = [ "paxos"; "fpaxos"; "epaxos"; "wpaxos"; "wankeeper" ] in
   let points =
     List.concat_map
@@ -1021,8 +1028,16 @@ let perf () =
         && Stats.samples a.Runner.latency = Stats.samples b.Runner.latency)
       seq_results par_results
   in
+  (* the fixed point BENCH_pr1.json timed: paxos, 9-node LAN, 32
+     closed-loop clients — now with GC and inline-share accounting *)
+  let alloc0 = Gc.allocated_bytes () in
   let fixed, fixed_s = time (fun () -> lan_point "paxos" ~concurrency:32) in
+  let alloc_bytes = Gc.allocated_bytes () -. alloc0 in
   let events_per_sec = float_of_int fixed.Runner.sim_events /. fixed_s in
+  let inlined_share =
+    float_of_int fixed.Runner.sim_events_inlined
+    /. float_of_int (Stdlib.max 1 fixed.Runner.sim_events)
+  in
   Printf.printf
     "sweep: %d points; sequential %.2f s; %d-way pooled %.2f s (%.2fx); \
      identical=%b\n"
@@ -1030,13 +1045,69 @@ let perf () =
   Printf.printf
     "paxos LAN point (32 clients): %d events in %.2f s = %.0f events/s\n"
     fixed.Runner.sim_events fixed_s events_per_sec;
+  Printf.printf "  inlined deliveries: %d (%.0f%% of events); %.0f MB allocated\n"
+    fixed.Runner.sim_events_inlined (100.0 *. inlined_share)
+    (alloc_bytes /. 1e6);
+  (match
+     let ( let* ) = Option.bind in
+     let* doc =
+       match
+         In_channel.with_open_text "BENCH_pr1.json" In_channel.input_all
+       with
+       | s -> Result.to_option (Json.parse s)
+       | exception Sys_error _ -> None
+     in
+     let* point = Json.member "paxos_lan_point" doc in
+     let* eps = Json.member "events_per_sec" point in
+     Json.to_float eps
+   with
+  | Some base ->
+      Printf.printf "  vs BENCH_pr1 baseline %.0f events/s: %.2fx\n" base
+        (events_per_sec /. base)
+  | None -> print_endline "  (no BENCH_pr1.json baseline found)");
+  (* leader batching: saturation throughput at equal service-time
+     parameters, one unbatched and one max_batch=8 run *)
+  let sat_concurrency = if quick then 48 else 64 in
+  let sat batching =
+    let (module P) = Paxi_protocols.Registry.find_exn "paxos" in
+    let config =
+      {
+        (Config.default ~n_replicas:9) with
+        Config.seed = point_seed ("perf-batching", batching <> None);
+        batching;
+      }
+    in
+    let spec =
+      Runner.spec ~warmup_ms ~duration_ms:measured_ms ~config
+        ~topology:(Topology.lan ~n_replicas:9 ())
+        ~client_specs:
+          [
+            Runner.clients ~target:Runner.Round_robin ~count:sat_concurrency
+              Workload.default;
+          ]
+        ()
+    in
+    Runner.run (module P) spec
+  in
+  let plain = sat None in
+  let batched = sat (Some { Config.max_batch = 8; max_wait_ms = 0.05 }) in
+  let gain =
+    batched.Runner.throughput_rps /. plain.Runner.throughput_rps
+  in
+  Printf.printf
+    "batching (%d clients): unbatched %.0f ops/s, max_batch=8 %.0f ops/s \
+     (%.2fx)\n"
+    sat_concurrency plain.Runner.throughput_rps batched.Runner.throughput_rps
+    gain;
   let num x = Json.Number x in
   let json =
     Json.Obj
       [
-        ("pr", num 1.0);
+        ("pr", num 3.0);
         ("quick", Json.Bool quick);
-        ("suite", Json.String "lan sweep: 5 protocols x concurrency grid");
+        ( "suite",
+          Json.String
+            "hot path: events/sec, delivery collapse, leader batching" );
         ("points", num (float_of_int (List.length points)));
         ("jobs", num (float_of_int jobs));
         ("sequential_wall_s", num seq_s);
@@ -1048,18 +1119,32 @@ let perf () =
             [
               ("concurrency", num 32.0);
               ("sim_events", num (float_of_int fixed.Runner.sim_events));
+              ( "sim_events_inlined",
+                num (float_of_int fixed.Runner.sim_events_inlined) );
+              ("inlined_share", num inlined_share);
               ("wall_s", num fixed_s);
               ("events_per_sec", num events_per_sec);
+              ("allocated_mb", num (alloc_bytes /. 1e6));
               ("throughput_rps", num fixed.Runner.throughput_rps);
               ("mean_latency_ms", num (Stats.mean fixed.Runner.latency));
             ] );
+        ( "paxos_batching",
+          Json.Obj
+            [
+              ("concurrency", num (float_of_int sat_concurrency));
+              ("max_batch", num 8.0);
+              ("max_wait_ms", num 0.05);
+              ("unbatched_rps", num plain.Runner.throughput_rps);
+              ("batched_rps", num batched.Runner.throughput_rps);
+              ("gain", num gain);
+            ] );
       ]
   in
-  let oc = open_out "BENCH_pr1.json" in
+  let oc = open_out "BENCH_pr3.json" in
   output_string oc (Json.to_string json);
   output_char oc '\n';
   close_out oc;
-  print_endline "wrote BENCH_pr1.json"
+  print_endline "wrote BENCH_pr3.json"
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
@@ -1200,6 +1285,7 @@ let nemesis_main args =
         exit 1
 
 let run_experiments names =
+  let names = List.filter (fun n -> n <> "--quick") names in
   let requested = match names with [] -> List.map fst experiments | _ -> names in
   let known = experiments @ extra_experiments in
   List.iter

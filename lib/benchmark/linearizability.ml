@@ -29,27 +29,47 @@ let check_read mutations r =
   match r.kind with
   | Write _ | Del -> None
   | Read (Some v) -> (
-      let dict =
-        List.find_opt (fun o -> match o.kind with Write v' -> v' = v | _ -> false) mutations
+      (* ANY write of [v] whose interval permits the read can dictate
+         it. With duplicate written values, fixing on the first write
+         of [v] would wrongly flag a read dictated by a later rewrite
+         of the same value. *)
+      let candidates =
+        List.filter
+          (fun o -> match o.kind with Write v' -> v' = v | _ -> false)
+          mutations
       in
-      match dict with
-      | None ->
+      match candidates with
+      | [] ->
           Some { read = r; reason = Printf.sprintf "value %d never written" v }
-      | Some w ->
-          if w.invoked_ms > r.responded_ms then
-            Some
-              {
-                read = r;
-                reason =
-                  Printf.sprintf "future read: write of %d began after read ended" v;
-              }
-          else (
-            match
-              stale_witness
-                (List.filter (fun o -> not (o == w)) mutations)
-                ~dict_resp:w.responded_ms ~read_inv:r.invoked_ms
-            with
-            | Some w' ->
+      | _ -> (
+          let in_time =
+            List.filter (fun w -> w.invoked_ms <= r.responded_ms) candidates
+          in
+          let witness_for w =
+            stale_witness
+              (List.filter (fun o -> not (o == w)) mutations)
+              ~dict_resp:w.responded_ms ~read_inv:r.invoked_ms
+          in
+          match in_time with
+          | [] ->
+              Some
+                {
+                  read = r;
+                  reason =
+                    Printf.sprintf
+                      "future read: write of %d began after read ended" v;
+                }
+          | _ ->
+              if List.exists (fun w -> witness_for w = None) in_time then None
+              else
+                (* every candidate is overwritten before the read; cite
+                   the witness of the latest-responding one *)
+                let w =
+                  List.fold_left
+                    (fun a b -> if b.responded_ms > a.responded_ms then b else a)
+                    (List.hd in_time) in_time
+                in
+                let w' = Option.get (witness_for w) in
                 Some
                   {
                     read = r;
@@ -58,8 +78,7 @@ let check_read mutations r =
                         "stale read: value %d was overwritten by c%d#%d before \
                          the read began"
                         v w'.client w'.op_id;
-                  }
-            | None -> None))
+                  }))
   | Read None ->
       (* candidates: the initial state, or any delete *)
       let puts = List.filter (fun o -> match o.kind with Write _ -> true | _ -> false) mutations in

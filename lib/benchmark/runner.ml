@@ -54,6 +54,7 @@ type result = {
   busiest_node : int;
   messages_sent : int;
   sim_events : int;
+  sim_events_inlined : int;
 }
 
 let kind_of_op (op : Command.op) (read : Command.value option) =
@@ -226,6 +227,7 @@ let run (module P : Proto.RUNNABLE) spec =
     busiest_node;
     messages_sent;
     sim_events = Sim.events_fired sim;
+    sim_events_inlined = Sim.events_inlined sim;
   }
 
 (* Stable per-point seed, splittable from a fixed root: every

@@ -72,6 +72,9 @@ type result = {
   busiest_node : int;
   messages_sent : int;
   sim_events : int;  (** simulator events executed during the run *)
+  sim_events_inlined : int;
+      (** subset of [sim_events] run inline at their arrival site by
+          the collapsed-delivery fast path, never entering the heap *)
 }
 
 val run : (module Proto.RUNNABLE) -> spec -> result

@@ -54,6 +54,18 @@ module Make (P : Proto.RUNNABLE) = struct
           Transport.multicast transport ~src:addr
             ~dsts:(List.map Address.replica dsts)
             (Peer m));
+      send_sized =
+        (fun dst ~size_bytes m ->
+          Transport.send transport ~src:addr ~dst:(Address.replica dst)
+            ~size_bytes (Peer m));
+      broadcast_sized =
+        (fun ~size_bytes m ->
+          Transport.broadcast transport ~src:addr ~size_bytes (Peer m));
+      multicast_sized =
+        (fun dsts ~size_bytes m ->
+          Transport.multicast transport ~src:addr
+            ~dsts:(List.map Address.replica dsts)
+            ~size_bytes (Peer m));
       reply =
         (fun client r ->
           Transport.send transport ~src:addr ~dst:client (Reply r));

@@ -1,3 +1,5 @@
+type batching = { max_batch : int; max_wait_ms : float }
+
 type t = {
   n_replicas : int;
   seed : int;
@@ -17,6 +19,7 @@ type t = {
   failover_timeout_ms : float;
   initial_object_owner : int option;
   master_region_index : int;
+  batching : batching option;
 }
 
 let default ~n_replicas =
@@ -39,6 +42,7 @@ let default ~n_replicas =
     failover_timeout_ms = 1_000.0;
     initial_object_owner = None;
     master_region_index = 0;
+    batching = None;
   }
 
 let majority t = (t.n_replicas / 2) + 1
@@ -61,6 +65,12 @@ let validate t =
   else if t.failover_timeout_ms <= 0.0 then err "failover timeout must be positive"
   else if t.master_region_index < 0 then err "master_region_index must be >= 0"
   else
+    match t.batching with
+    | Some b when b.max_batch < 1 ->
+        err "batching.max_batch must be >= 1 (got %d)" b.max_batch
+    | Some b when b.max_wait_ms < 0.0 ->
+        err "batching.max_wait_ms must be >= 0"
+    | _ -> (
     match t.q2_size with
     | Some q when q < 1 || q > t.n_replicas ->
         err "q2_size %d out of range 1..%d" q t.n_replicas
@@ -69,7 +79,7 @@ let validate t =
            construction; reject q2 that would force an empty q1. *)
         if t.n_replicas - q + 1 < 1 then err "q2_size %d leaves no q1" q
         else Ok ()
-    | None -> Ok ()
+    | None -> Ok ())
 
 let to_json t =
   Json.Obj
@@ -94,9 +104,20 @@ let to_json t =
     @ (match t.q2_size with
       | Some q -> [ ("q2_size", Json.Number (float_of_int q)) ]
       | None -> [])
+    @ (match t.initial_object_owner with
+      | Some o -> [ ("initial_object_owner", Json.Number (float_of_int o)) ]
+      | None -> [])
     @
-    match t.initial_object_owner with
-    | Some o -> [ ("initial_object_owner", Json.Number (float_of_int o)) ]
+    match t.batching with
+    | Some b ->
+        [
+          ( "batching",
+            Json.Obj
+              [
+                ("max_batch", Json.Number (float_of_int b.max_batch));
+                ("max_wait_ms", Json.Number b.max_wait_ms);
+              ] );
+        ]
     | None -> [])
 
 let known_fields =
@@ -107,6 +128,7 @@ let known_fields =
     "migration_threshold"; "migration_cooldown_ms"; "failover_timeout_ms";
     "initial_object_owner";
     "master_region_index";
+    "batching";
   ]
 
 let of_json json =
@@ -171,6 +193,23 @@ let of_json json =
             let* failover_timeout_ms = floatf "failover_timeout_ms" d.failover_timeout_ms in
             let* initial_object_owner = opt_int "initial_object_owner" in
             let* master_region_index = intf "master_region_index" d.master_region_index in
+            let* batching =
+              match Json.member "batching" json with
+              | Some Json.Null | None -> Ok None
+              | Some (Json.Obj _ as b) -> (
+                  match
+                    ( Option.bind (Json.member "max_batch" b) Json.to_int,
+                      Option.bind (Json.member "max_wait_ms" b) Json.to_float )
+                  with
+                  | Some max_batch, Some max_wait_ms ->
+                      Ok (Some { max_batch; max_wait_ms })
+                  | _ ->
+                      Error
+                        "batching requires integer max_batch and numeric \
+                         max_wait_ms"
+                  )
+              | Some _ -> Error "batching must be an object or null"
+            in
             let config =
               {
                 n_replicas; seed; msg_size_bytes; t_in_ms; t_out_ms;
@@ -178,7 +217,7 @@ let of_json json =
                 leaders_per_region; epaxos_penalty; piggyback_commit; thrifty;
                 migration_threshold; migration_cooldown_ms;
                 failover_timeout_ms; initial_object_owner;
-                master_region_index;
+                master_region_index; batching;
               }
             in
             let* () = validate config in

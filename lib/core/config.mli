@@ -6,6 +6,16 @@
     leader-per-region restriction, the EPaxos conflict-bookkeeping
     penalty, thrifty quorums and commit piggybacking. *)
 
+type batching = {
+  max_batch : int;  (** flush a leader's batch at this many commands *)
+  max_wait_ms : float;
+      (** flush a non-full batch after this long (0 = next sim instant) *)
+}
+(** Leader command batching (§6's capacity lever): coalesce queued
+    client commands into one multi-command phase-2 round — one
+    serialized message per peer with summed wire size, one quorum per
+    batch slot-range — amortizing [t_in]/[t_out] across the batch. *)
+
 type t = {
   n_replicas : int;
   seed : int;
@@ -45,6 +55,9 @@ type t = {
   master_region_index : int;
       (** WanKeeper/VPaxos: index (into the topology's region list) of
           the region hosting the master / level-2 group *)
+  batching : batching option;
+      (** leader command batching for Paxos/FPaxos/Raft; [None] (the
+          default) proposes one slot per client command *)
 }
 
 val default : n_replicas:int -> t

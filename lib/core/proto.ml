@@ -18,6 +18,9 @@ type 'm env = {
   send : int -> 'm -> unit;
   broadcast : 'm -> unit;
   multicast : int list -> 'm -> unit;
+  send_sized : int -> size_bytes:int -> 'm -> unit;
+  broadcast_sized : size_bytes:int -> 'm -> unit;
+  multicast_sized : int list -> size_bytes:int -> 'm -> unit;
   reply : Address.t -> reply -> unit;
   forward : int -> client:Address.t -> request -> unit;
 }

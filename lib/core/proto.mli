@@ -32,6 +32,12 @@ type 'm env = {
   send : int -> 'm -> unit;
   broadcast : 'm -> unit;  (** to every other replica *)
   multicast : int list -> 'm -> unit;
+  send_sized : int -> size_bytes:int -> 'm -> unit;
+      (** like [send] with an explicit wire size — batched messages
+          charge the sum of their commands' sizes instead of the
+          configured per-message default *)
+  broadcast_sized : size_bytes:int -> 'm -> unit;
+  multicast_sized : int list -> size_bytes:int -> 'm -> unit;
   reply : Address.t -> reply -> unit;  (** answer a client *)
   forward : int -> client:Address.t -> request -> unit;
       (** hand a client request over to another replica, preserving the

@@ -53,4 +53,9 @@ let iter_filled t ~f =
     match t.slots.(i) with Some v -> f i v | None -> ()
   done
 
+let iter_from t ~start ~f =
+  for i = (if start < 0 then 0 else start) to t.high - 1 do
+    match t.slots.(i) with Some v -> f i v | None -> ()
+  done
+
 let filled_count t = t.filled

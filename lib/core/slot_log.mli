@@ -23,4 +23,10 @@ val advance_frontier :
     slot is filled and [executable]; advances the frontier past them. *)
 
 val iter_filled : 'a t -> f:(int -> 'a -> unit) -> unit
+
+val iter_from : 'a t -> start:int -> f:(int -> 'a -> unit) -> unit
+(** Like {!iter_filled} but starting at slot [start] (clamped to 0) —
+    lets hot paths skip the already-executed prefix instead of
+    rescanning the whole history. *)
+
 val filled_count : 'a t -> int

@@ -42,6 +42,14 @@ val fpaxos : node_params -> q2:int -> round_cost
     count (the leader still broadcasts to all). With [thrifty] the
     leader processes [q2+2] messages instead. *)
 
+val paxos_batched : node_params -> batch:int -> round_cost
+(** Leader batching at batch size [b]: one phase-2 broadcast and one
+    ack per follower cover [b] commands, so per-command leader CPU is
+    [((b + N - 1)*t_in + (b + 1)*t_out) / b] — the [s(b) = t_poll +
+    b*t_op] amortization with the round's fixed overhead spread over
+    the batch. NIC time per command is unchanged (the batched message
+    carries [b] commands' bytes). Equals {!paxos} at [batch = 1]. *)
+
 val epaxos : node_params -> penalty:float -> conflict:float -> round_cost
 (** Every node leads 1/N of rounds; [penalty] multiplies CPU costs for
     dependency bookkeeping; conflicting rounds add an accept phase. *)

@@ -1,12 +1,30 @@
+(* Runtime escape hatch for the collapsed-delivery optimisation: with
+   PAXI_NO_INLINE_DELIVERY=1 (or by flipping the ref in a test) every
+   delivery schedules its queue-ready completion as a real sim event,
+   as before the collapse. Results must be identical either way — the
+   determinism suite pins that. *)
+let inline_delivery =
+  ref (Sys.getenv_opt "PAXI_NO_INLINE_DELIVERY" <> Some "1")
+
+type 'm handler = src:Address.t -> 'm -> unit
+
 type 'm t = {
   sim : Sim.t;
   topology : Topology.t;
   faults : Faults.t;
   default_size_bytes : int;
   rng : Rng.t;
-  handlers : (src:Address.t -> 'm -> unit) Address.Table.t;
-  queues : Procq.t Address.Table.t;
+  (* replica addresses are dense ints — O(1) array lookup on the
+     delivery hot path; clients (sparse ids) stay in hashtables. *)
+  mutable r_handlers : 'm handler option array;
+  mutable r_queues : Procq.t option array;
+  c_handlers : 'm handler Address.Table.t;
+  c_queues : Procq.t Address.Table.t;
   make_procq : int -> Procq.t;
+  (* per-source broadcast destination lists, rebuilt only when the
+     topology's replica count changes. *)
+  mutable peers : Address.t list array;
+  mutable peers_n : int;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
@@ -17,15 +35,20 @@ let create ~sim ~topology ?(faults = Faults.create ())
   let make_procq =
     match processing with Some f -> f | None -> fun _ -> Procq.create ()
   in
+  let n = Topology.n_replicas topology in
   {
     sim;
     topology;
     faults;
     default_size_bytes;
     rng = Rng.split (Sim.rng sim);
-    handlers = Address.Table.create 32;
-    queues = Address.Table.create 32;
+    r_handlers = Array.make n None;
+    r_queues = Array.make n None;
+    c_handlers = Address.Table.create 32;
+    c_queues = Address.Table.create 32;
     make_procq;
+    peers = [||];
+    peers_n = -1;
     sent = 0;
     delivered = 0;
     dropped = 0;
@@ -35,19 +58,45 @@ let sim t = t.sim
 let topology t = t.topology
 let faults t = t.faults
 
-let procq t addr =
-  match Address.Table.find_opt t.queues addr with
-  | Some q -> q
-  | None ->
-      let q =
-        match addr with
-        | Address.Replica i -> t.make_procq i
-        | Address.Client _ -> Procq.zero ()
-      in
-      Address.Table.add t.queues addr q;
-      q
+let grow_replica_arrays t n =
+  let grow1 arr =
+    let na = Array.make n None in
+    Array.blit arr 0 na 0 (Array.length arr);
+    na
+  in
+  t.r_handlers <- grow1 t.r_handlers;
+  t.r_queues <- grow1 t.r_queues
 
-let register t addr handler = Address.Table.replace t.handlers addr handler
+let procq t addr =
+  match addr with
+  | Address.Replica i ->
+      if i >= Array.length t.r_queues then grow_replica_arrays t (i + 1);
+      (match t.r_queues.(i) with
+      | Some q -> q
+      | None ->
+          let q = t.make_procq i in
+          t.r_queues.(i) <- Some q;
+          q)
+  | Address.Client _ -> (
+      match Address.Table.find_opt t.c_queues addr with
+      | Some q -> q
+      | None ->
+          let q = Procq.zero () in
+          Address.Table.add t.c_queues addr q;
+          q)
+
+let register t addr handler =
+  match addr with
+  | Address.Replica i ->
+      if i >= Array.length t.r_handlers then grow_replica_arrays t (i + 1);
+      t.r_handlers.(i) <- Some handler
+  | Address.Client _ -> Address.Table.replace t.c_handlers addr handler
+
+let handler_for t addr =
+  match addr with
+  | Address.Replica i ->
+      if i < Array.length t.r_handlers then t.r_handlers.(i) else None
+  | Address.Client _ -> Address.Table.find_opt t.c_handlers addr
 
 let deliver t ~src ~dst ~size_bytes msg ~arrival =
   Sim.schedule_at t.sim ~time:arrival (fun () ->
@@ -57,17 +106,24 @@ let deliver t ~src ~dst ~size_bytes msg ~arrival =
       else begin
         let q = procq t dst in
         let ready = Procq.occupy_incoming q ~now_ms:now ~size_bytes in
-        ignore
-        @@ Sim.schedule_at t.sim ~time:ready (fun () ->
-            let now = Sim.now t.sim in
-            if Faults.is_crashed t.faults ~now_ms:now dst then
-              t.dropped <- t.dropped + 1
-            else
-              match Address.Table.find_opt t.handlers dst with
-              | Some handler ->
-                  t.delivered <- t.delivered + 1;
-                  handler ~src msg
-              | None -> t.dropped <- t.dropped + 1)
+        let complete () =
+          let now = Sim.now t.sim in
+          if Faults.is_crashed t.faults ~now_ms:now dst then
+            t.dropped <- t.dropped + 1
+          else
+            match handler_for t dst with
+            | Some handler ->
+                t.delivered <- t.delivered + 1;
+                handler ~src msg
+            | None -> t.dropped <- t.dropped + 1
+        in
+        (* Collapsed delivery: when no pending event precedes [ready]
+           the queue-ready completion runs inline inside this arrival
+           event instead of being scheduled. All RNG draws happened at
+           send time and [complete] draws none, so the stream and the
+           firing order are bit-identical to the scheduled path. *)
+        if not (!inline_delivery && Sim.try_inline t.sim ~time:ready complete)
+        then ignore @@ Sim.schedule_at t.sim ~time:ready complete
       end)
   |> ignore
 
@@ -79,8 +135,13 @@ let deliver t ~src ~dst ~size_bytes msg ~arrival =
    extra-delay draw. *)
 let send_one t ~src ~dst ~size_bytes msg =
   let now = Sim.now t.sim in
-  if Faults.is_crashed t.faults ~now_ms:now src then
+  if Faults.is_crashed t.faults ~now_ms:now src then begin
+    (* a crashed sender still "attempts" the send: count it in [sent]
+       exactly like the live path so sent = delivered + dropped +
+       in-flight holds on both paths. *)
+    t.sent <- t.sent + 1;
     t.dropped <- t.dropped + 1
+  end
   else begin
     let q = procq t src in
     let departure = Procq.occupy_outgoing q ~now_ms:now ~copies:1 ~size_bytes in
@@ -100,8 +161,11 @@ let dispatch t ~src ~dsts ~size_bytes msg =
   | [ dst ] -> send_one t ~src ~dst ~size_bytes msg
   | dsts ->
       let now = Sim.now t.sim in
-      if Faults.is_crashed t.faults ~now_ms:now src then
-        t.dropped <- t.dropped + List.length dsts
+      if Faults.is_crashed t.faults ~now_ms:now src then begin
+        let copies = List.length dsts in
+        t.sent <- t.sent + copies;
+        t.dropped <- t.dropped + copies
+      end
       else begin
         let copies = List.length dsts in
         let q = procq t src in
@@ -128,15 +192,32 @@ let send t ~src ~dst ?size_bytes msg =
   let size_bytes = Option.value size_bytes ~default:t.default_size_bytes in
   send_one t ~src ~dst ~size_bytes msg
 
+let peers_of t src =
+  let n = Topology.n_replicas t.topology in
+  if n <> t.peers_n then begin
+    t.peers <-
+      Array.init n (fun s ->
+          let dsts = ref [] in
+          for i = n - 1 downto 0 do
+            if i <> s then dsts := Address.replica i :: !dsts
+          done;
+          !dsts);
+    t.peers_n <- n
+  end;
+  match src with
+  | Address.Replica i when i < n -> t.peers.(i)
+  | _ ->
+      (* non-replica broadcaster: no cached list; build once *)
+      let dsts = ref [] in
+      for i = n - 1 downto 0 do
+        let a = Address.replica i in
+        if not (Address.equal a src) then dsts := a :: !dsts
+      done;
+      !dsts
+
 let broadcast t ~src ?size_bytes msg =
   let size_bytes = Option.value size_bytes ~default:t.default_size_bytes in
-  let n = Topology.n_replicas t.topology in
-  let dsts = ref [] in
-  for i = n - 1 downto 0 do
-    let a = Address.replica i in
-    if not (Address.equal a src) then dsts := a :: !dsts
-  done;
-  dispatch t ~src ~dsts:!dsts ~size_bytes msg
+  dispatch t ~src ~dsts:(peers_of t src) ~size_bytes msg
 
 let multicast t ~src ~dsts ?size_bytes msg =
   let size_bytes = Option.value size_bytes ~default:t.default_size_bytes in

@@ -15,6 +15,15 @@
 
 type 'm t
 
+val inline_delivery : bool ref
+(** When true (the default unless [PAXI_NO_INLINE_DELIVERY=1] is set in
+    the environment), a delivery whose queue-ready completion is
+    provably next in the global event order runs inline inside the
+    arrival event instead of scheduling a second event. Firing order,
+    RNG stream and all statistics are identical either way; flip this
+    to [false] to force the two-event schedule (used by the
+    determinism tests). *)
+
 val create :
   sim:Sim.t ->
   topology:Topology.t ->

@@ -59,7 +59,9 @@ let advance t =
 
 let commit_up_to t bound =
   let changed = ref false in
-  for slot = 0 to bound - 1 do
+  (* slots below the frontier are committed by construction (the
+     frontier only advances over committed entries) — skip them. *)
+  for slot = Slot_log.exec_frontier t.log to bound - 1 do
     match Slot_log.get t.log slot with
     | Some (e : entry) when not e.committed ->
         e.committed <- true;

@@ -7,6 +7,17 @@ type message =
     }
   | P2a of { ballot : Ballot.t; slot : int; cmd : Command.t; commit_up_to : int }
   | P2b of { ballot : Ballot.t; slot : int; ok : bool }
+  | P2aBatch of {
+      ballot : Ballot.t;
+      first_slot : int;
+      cmds : Command.t array;
+      commit_up_to : int;
+    }
+      (** one phase-2 round for [Array.length cmds] contiguous slots
+          starting at [first_slot]; wire size is the sum of the
+          commands' sizes, so the receiver pays one [t_in] for the
+          whole batch *)
+  | P2bBatch of { ballot : Ballot.t; first_slot : int; count : int; ok : bool }
   | Commit of { slot : int; cmd : Command.t }
   | Heartbeat of { ballot : Ballot.t; commit_up_to : int }
 
@@ -26,6 +37,10 @@ type phase1_state = {
   mutable recovered : (int * Ballot.t * Command.t) list;
 }
 
+(* One in-flight batched phase-2 round: a single quorum covers the
+   slot range [first_slot, first_slot + count). *)
+type batch_state = { bballot : Ballot.t; count : int; tracker : Quorum.t }
+
 type replica = {
   env : message Proto.env;
   mutable ballot : Ballot.t;
@@ -35,6 +50,10 @@ type replica = {
   mutable p1 : phase1_state option;
   pending : (Address.t * Proto.request) Queue.t;
   mutable last_heard : float;
+  (* leader command batching (Config.batching) *)
+  batch_buf : (Address.t * Proto.request) Queue.t;
+  mutable flush_timer : Sim.handle option;
+  batches : (int, batch_state) Hashtbl.t; (* keyed by first_slot *)
 }
 
 let all_ids (t : replica) = List.init t.env.n (fun i -> i)
@@ -73,6 +92,9 @@ let create env =
     p1 = None;
     pending = Queue.create ();
     last_heard = 0.0;
+    batch_buf = Queue.create ();
+    flush_timer = None;
+    batches = Hashtbl.create 16;
   }
 
 let is_leader t = t.active
@@ -109,7 +131,9 @@ let advance t =
 
 let commit_up_to t bound =
   let changed = ref false in
-  for slot = 0 to bound - 1 do
+  (* slots below the frontier are committed by construction (the
+     frontier only advances over committed entries) — skip them. *)
+  for slot = Slot_log.exec_frontier t.log to bound - 1 do
     match Slot_log.get t.log slot with
     | Some e when not e.committed ->
         e.committed <- true;
@@ -146,11 +170,96 @@ let propose t ~client (request : Proto.request) =
   if t.env.config.Config.thrifty then t.env.multicast (phase2_peers t) msg
   else t.env.broadcast msg
 
+let commit_batch t first_slot (bs : batch_state) =
+  Hashtbl.remove t.batches first_slot;
+  for slot = first_slot to first_slot + bs.count - 1 do
+    match Slot_log.get t.log slot with
+    | Some e when not e.committed -> e.committed <- true
+    | _ -> ()
+  done;
+  advance t;
+  if not t.env.config.Config.piggyback_commit then
+    for slot = first_slot to first_slot + bs.count - 1 do
+      match Slot_log.get t.log slot with
+      | Some e -> t.env.broadcast (Commit { slot; cmd = e.cmd })
+      | None -> ()
+    done
+
+(* One phase-2 round for the whole batch: contiguous slots, a single
+   shared quorum tracker, one serialized message per peer whose wire
+   size is the sum of the commands' sizes (one [occupy_outgoing], one
+   [t_in] at each acceptor). Per-command client replies still happen
+   individually as the slots execute in [advance]. *)
+let propose_batch t items =
+  let k = List.length items in
+  let first_slot = Slot_log.next_slot t.log in
+  let cmds = Array.make k Command.noop in
+  List.iteri
+    (fun i (client, (request : Proto.request)) ->
+      let slot = Slot_log.reserve t.log in
+      cmds.(i) <- request.Proto.command;
+      Slot_log.set t.log slot
+        {
+          ballot = t.ballot;
+          cmd = request.Proto.command;
+          client = Some client;
+          (* quorum = None: the shared tracker lives in [t.batches],
+             keeping the per-slot retransmission path away from
+             batched slots *)
+          quorum = None;
+          committed = false;
+        })
+    items;
+  let tracker =
+    Quorum.create (Quorum.Count { members = all_ids t; threshold = q2_size t })
+  in
+  Quorum.ack tracker t.env.id;
+  let bs = { bballot = t.ballot; count = k; tracker } in
+  Hashtbl.replace t.batches first_slot bs;
+  let msg =
+    P2aBatch
+      {
+        ballot = t.ballot;
+        first_slot;
+        cmds;
+        commit_up_to = Slot_log.exec_frontier t.log;
+      }
+  in
+  let size_bytes = k * t.env.config.Config.msg_size_bytes in
+  (if t.env.config.Config.thrifty then
+     t.env.multicast_sized (phase2_peers t) ~size_bytes msg
+   else t.env.broadcast_sized ~size_bytes msg);
+  if Quorum.satisfied tracker then commit_batch t first_slot bs
+
+let flush_batch t =
+  (match t.flush_timer with Some h -> Sim.cancel h | None -> ());
+  t.flush_timer <- None;
+  if t.active && not (Queue.is_empty t.batch_buf) then begin
+    let items = List.of_seq (Queue.to_seq t.batch_buf) in
+    Queue.clear t.batch_buf;
+    propose_batch t items
+  end
+
+(* Active-leader ingress: propose immediately, or coalesce into the
+   current batch when Config.batching is on. *)
+let enqueue t ~client request =
+  match t.env.config.Config.batching with
+  | None -> propose t ~client request
+  | Some b ->
+      Queue.push (client, request) t.batch_buf;
+      if Queue.length t.batch_buf >= b.Config.max_batch then flush_batch t
+      else if t.flush_timer = None then
+        t.flush_timer <-
+          Some
+            (t.env.schedule b.Config.max_wait_ms (fun () ->
+                 t.flush_timer <- None;
+                 flush_batch t))
+
 let drain_pending t =
   if t.active then
     while not (Queue.is_empty t.pending) do
       let client, request = Queue.pop t.pending in
-      propose t ~client request
+      enqueue t ~client request
     done
   else if
     t.ballot.Ballot.round > 0
@@ -173,15 +282,15 @@ let start_phase1 t =
   Quorum.ack tracker t.env.id;
   let frontier = Slot_log.exec_frontier t.log in
   (* self-report own accepted entries *)
-  Slot_log.iter_filled t.log ~f:(fun slot e ->
-      if slot >= frontier then
-        state.recovered <- (slot, e.ballot, e.cmd) :: state.recovered);
+  Slot_log.iter_from t.log ~start:frontier ~f:(fun slot e ->
+      state.recovered <- (slot, e.ballot, e.cmd) :: state.recovered);
   t.env.broadcast (P1a { ballot = t.ballot; frontier })
 
 let become_leader t (state : phase1_state) =
   t.p1 <- None;
   t.active <- true;
   t.last_heard <- t.env.now ();
+  Hashtbl.reset t.batches (* stale rounds from a previous leadership *);
   (* Adopt the highest-ballot command reported for every slot at or
      above our commit frontier, fill gaps with no-ops, re-propose. *)
   let best = Hashtbl.create 16 in
@@ -239,10 +348,16 @@ let step_down t ~ballot =
   t.active <- false;
   t.p1 <- None;
   t.last_heard <- t.env.now ();
+  (* abandon in-flight batch rounds; buffered-but-unproposed commands
+     go back to [pending] so they are forwarded to the new leader *)
+  Hashtbl.reset t.batches;
+  (match t.flush_timer with Some h -> Sim.cancel h | None -> ());
+  t.flush_timer <- None;
+  Queue.transfer t.batch_buf t.pending;
   drain_pending t
 
 let on_request t ~client request =
-  if t.active then propose t ~client request
+  if t.active then enqueue t ~client request
   else if
     t.ballot.Ballot.round > 0
     && t.ballot.Ballot.owner <> t.env.id
@@ -257,8 +372,8 @@ let on_p1a t ~src ~ballot ~frontier =
     t.p1 <- None;
     t.last_heard <- t.env.now ();
     let accepted = ref [] in
-    Slot_log.iter_filled t.log ~f:(fun slot e ->
-        if slot >= frontier then accepted := (slot, e.ballot, e.cmd) :: !accepted);
+    Slot_log.iter_from t.log ~start:frontier ~f:(fun slot e ->
+        accepted := (slot, e.ballot, e.cmd) :: !accepted);
     t.env.send src (P1b { ballot; ok = true; accepted = !accepted });
     drain_pending t
   end
@@ -297,6 +412,47 @@ let on_p2a t ~src ~ballot ~slot ~cmd ~commit_up_to:bound =
     drain_pending t
   end
   else t.env.send src (P2b { ballot = t.ballot; slot; ok = false })
+
+(* Acceptor side of a batched round: store every slot, then send ONE
+   ack covering the whole range — the per-slot adoption logic is
+   identical to [on_p2a]. *)
+let on_p2a_batch t ~src ~ballot ~first_slot ~cmds ~commit_up_to:bound =
+  let count = Array.length cmds in
+  if Ballot.(ballot >= t.ballot) then begin
+    t.ballot <- ballot;
+    if ballot.Ballot.owner <> t.env.id then begin
+      t.active <- false;
+      t.p1 <- None
+    end;
+    t.last_heard <- t.env.now ();
+    Array.iteri
+      (fun i cmd ->
+        let slot = first_slot + i in
+        match Slot_log.get t.log slot with
+        | Some e when e.committed -> () (* never overwrite a commit *)
+        | Some e ->
+            if not (Command.equal e.cmd cmd) then e.client <- None;
+            e.ballot <- ballot;
+            e.cmd <- cmd
+        | None ->
+            Slot_log.set t.log slot
+              { ballot; cmd; client = None; quorum = None; committed = false })
+      cmds;
+    commit_up_to t bound;
+    t.env.send src (P2bBatch { ballot; first_slot; count; ok = true });
+    drain_pending t
+  end
+  else t.env.send src (P2bBatch { ballot = t.ballot; first_slot; count; ok = false })
+
+let on_p2b_batch t ~src ~ballot ~first_slot ~count ~ok =
+  if ok && t.active && Ballot.equal ballot t.ballot then begin
+    match Hashtbl.find_opt t.batches first_slot with
+    | Some bs when bs.count = count && Ballot.equal bs.bballot ballot ->
+        Quorum.ack bs.tracker src;
+        if Quorum.satisfied bs.tracker then commit_batch t first_slot bs
+    | _ -> ()
+  end
+  else if (not ok) && Ballot.(ballot > t.ballot) then step_down t ~ballot
 
 let on_p2b t ~src ~ballot ~slot ~ok =
   if ok && t.active && Ballot.equal ballot t.ballot then begin
@@ -339,6 +495,10 @@ let on_message t ~src msg =
   | P2a { ballot; slot; cmd; commit_up_to } ->
       on_p2a t ~src ~ballot ~slot ~cmd ~commit_up_to
   | P2b { ballot; slot; ok } -> on_p2b t ~src ~ballot ~slot ~ok
+  | P2aBatch { ballot; first_slot; cmds; commit_up_to } ->
+      on_p2a_batch t ~src ~ballot ~first_slot ~cmds ~commit_up_to
+  | P2bBatch { ballot; first_slot; count; ok } ->
+      on_p2b_batch t ~src ~ballot ~first_slot ~count ~ok
   | Commit { slot; cmd } -> on_commit t ~slot ~cmd
   | Heartbeat { ballot; commit_up_to } -> on_heartbeat t ~ballot ~commit_up_to
 
@@ -357,16 +517,38 @@ let rec heartbeat_loop t =
               election on the stuck leader's behalf. Acceptors treat
               the duplicate P2a as idempotent and re-ack; [Quorum.ack]
               ignores duplicate voters. *)
-           Slot_log.iter_filled t.log ~f:(fun slot e ->
+           Slot_log.iter_from t.log ~start:frontier ~f:(fun slot e ->
                if
-                 slot >= frontier
-                 && (not e.committed)
+                 (not e.committed)
                  && e.quorum <> None
                  && Ballot.equal e.ballot t.ballot
                then
                  t.env.broadcast
                    (P2a
                       { ballot = t.ballot; slot; cmd = e.cmd; commit_up_to = frontier }));
+           (* Batched rounds retransmit as whole batches (their slots
+              carry [quorum = None] and are skipped above). *)
+           Hashtbl.iter
+             (fun first_slot (bs : batch_state) ->
+               if Ballot.equal bs.bballot t.ballot then begin
+                 let cmds =
+                   Array.init bs.count (fun i ->
+                       match Slot_log.get t.log (first_slot + i) with
+                       | Some e -> e.cmd
+                       | None -> Command.noop)
+                 in
+                 t.env.broadcast_sized
+                   ~size_bytes:
+                     (bs.count * t.env.config.Config.msg_size_bytes)
+                   (P2aBatch
+                      {
+                        ballot = t.ballot;
+                        first_slot;
+                        cmds;
+                        commit_up_to = frontier;
+                      })
+               end)
+             t.batches;
            t.last_heard <- t.env.now ()
          end;
          heartbeat_loop t)

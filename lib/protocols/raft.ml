@@ -32,6 +32,10 @@ type replica = {
   mutable last_heard : float;
   mutable election_deadline : float;
   pending : (Address.t * Proto.request) Queue.t;
+  (* leader command batching (Config.batching): entries appended since
+     the last replication round, and the pending deferred-flush timer *)
+  mutable unflushed : int;
+  mutable flush_timer : Sim.handle option;
 }
 
 let all_ids (t : replica) = List.init t.env.n (fun i -> i)
@@ -52,6 +56,8 @@ let create env =
     last_heard = 0.0;
     election_deadline = 0.0;
     pending = Queue.create ();
+    unflushed = 0;
+    flush_timer = None;
   }
 
 let role t = t.state
@@ -95,6 +101,16 @@ let apply_committed t =
             }
       | None -> ())
 
+(* With batching on, an AppendEntries carrying k entries costs k
+   message sizes on the wire (but still one t_in/t_out) — without it,
+   sends keep the flat per-message default so unbatched runs are
+   bit-identical to the pre-batching simulator. *)
+let append_size t entries =
+  match t.env.config.Config.batching with
+  | Some _ ->
+      Stdlib.max 1 (List.length entries) * t.env.config.Config.msg_size_bytes
+  | None -> t.env.config.Config.msg_size_bytes
+
 let send_append t follower =
   let next = t.next_index.(follower) in
   let prev_index = next - 1 in
@@ -104,7 +120,7 @@ let send_append t follower =
     | Some e -> entries := e :: !entries
     | None -> ()
   done;
-  t.env.send follower
+  t.env.send_sized follower ~size_bytes:(append_size t !entries)
     (AppendEntries
        {
          term = t.term;
@@ -118,6 +134,11 @@ let send_append t follower =
    serializes the batch once (etcd replicates a shared log the same
    way); stragglers with a lagging next_index get tailored sends. *)
 let broadcast_append t =
+  (* every replication round ships the full unreplicated tail, so any
+     deferred batch flush is satisfied by it *)
+  t.unflushed <- 0;
+  (match t.flush_timer with Some h -> Sim.cancel h | None -> ());
+  t.flush_timer <- None;
   let groups = Hashtbl.create 4 in
   List.iter
     (fun i ->
@@ -136,7 +157,7 @@ let broadcast_append t =
         | Some e -> entries := e :: !entries
         | None -> ()
       done;
-      t.env.multicast members
+      t.env.multicast_sized members ~size_bytes:(append_size t !entries)
         (AppendEntries
            {
              term = t.term;
@@ -176,6 +197,9 @@ let become_follower t ~term =
   end;
   t.state <- Follower;
   t.votes <- None;
+  t.unflushed <- 0;
+  (match t.flush_timer with Some h -> Sim.cancel h | None -> ());
+  t.flush_timer <- None;
   reset_election_timer t
 
 let start_election t =
@@ -207,12 +231,26 @@ let advance_commit t =
 
 let on_request t ~client (request : Proto.request) =
   match t.state with
-  | Leader ->
+  | Leader -> (
       let slot = Slot_log.reserve t.log in
       Slot_log.set t.log slot
         { term = t.term; cmd = request.Proto.command; client = Some client };
       t.match_index.(t.env.id) <- slot + 1;
-      broadcast_append t
+      match t.env.config.Config.batching with
+      | None -> broadcast_append t
+      | Some b ->
+          (* defer replication until the batch fills or the wait timer
+             fires; the next AppendEntries then carries the whole tail
+             in one message per follower *)
+          t.unflushed <- t.unflushed + 1;
+          if t.unflushed >= b.Config.max_batch then broadcast_append t
+          else if t.flush_timer = None then
+            t.flush_timer <-
+              Some
+                (t.env.schedule b.Config.max_wait_ms (fun () ->
+                     t.flush_timer <- None;
+                     if t.state = Leader && t.unflushed > 0 then
+                       broadcast_append t)))
   | Follower | Candidate -> (
       match t.leader_id with
       | Some l when l <> t.env.id -> t.env.forward l ~client request

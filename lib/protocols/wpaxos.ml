@@ -194,7 +194,9 @@ let advance t (ks : key_state) =
 
 let commit_up_to t ks bound =
   let changed = ref false in
-  for slot = 0 to bound - 1 do
+  (* slots below the frontier are committed by construction (the
+     frontier only advances over committed entries) — skip them. *)
+  for slot = Slot_log.exec_frontier ks.log to bound - 1 do
     match Slot_log.get ks.log slot with
     | Some (e : entry) when not e.committed ->
         e.committed <- true;
@@ -277,9 +279,8 @@ let start_steal t key ks =
   ks.p1 <- Some state;
   Quorum.ack tracker t.env.id;
   let frontier = Slot_log.exec_frontier ks.log in
-  Slot_log.iter_filled ks.log ~f:(fun slot (e : entry) ->
-      if slot >= frontier then
-        state.recovered <- (slot, e.ballot, e.cmd, e.committed) :: state.recovered);
+  Slot_log.iter_from ks.log ~start:frontier ~f:(fun slot (e : entry) ->
+      state.recovered <- (slot, e.ballot, e.cmd, e.committed) :: state.recovered);
   t.env.broadcast (P1a { key; ballot = ks.ballot; frontier })
 
 let become_owner t key ks (state : phase1_state) =
@@ -409,9 +410,8 @@ let on_p1a t ~src ~key ~ballot ~frontier =
     ks.owner_active <- false;
     ks.p1 <- None;
     let accepted = ref [] in
-    Slot_log.iter_filled ks.log ~f:(fun slot (e : entry) ->
-        if slot >= frontier then
-          accepted := (slot, e.ballot, e.cmd, e.committed) :: !accepted);
+    Slot_log.iter_from ks.log ~start:frontier ~f:(fun slot (e : entry) ->
+        accepted := (slot, e.ballot, e.cmd, e.committed) :: !accepted);
     t.env.send src (P1b { key; ballot; ok = true; accepted = !accepted });
     drain_pending t key ks
   end

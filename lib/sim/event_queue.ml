@@ -1,90 +1,131 @@
-(* Array-backed binary min-heap ordered by (time, seq).
+(* 4-ary implicit min-heap ordered by (time, seq), stored as parallel
+   arrays so the hot compare is a monomorphic [float] comparison on an
+   unboxed float array (no polymorphic entry records, no boxed keys).
 
-   Retired slots are overwritten with [dummy] so a popped event's
-   payload (typically a closure over protocol state) becomes
+   Payloads live in an ['a option array]: slots below [size] are
+   always [Some], retired slots are reset to [None] so a popped
+   event's payload (typically a closure over protocol state) becomes
    collectable immediately instead of being pinned by the backing
-   array for the rest of the run. [dummy]'s payload is an unboxed
-   dummy value ([Obj.magic ()]); it is never read: only slots below
-   [size] are live, and [grow]/[pop] use it purely as array filler. *)
+   array for the rest of the run. When the heap drains to empty the
+   arrays are dropped outright. No unsound sentinel is involved.
 
-type 'a entry = { time : float; seq : int; payload : 'a }
+   Sift-up/down use the hole method: the moving entry is held in
+   locals while ancestors/descendants shift, and written exactly once
+   at its final slot. *)
 
 type 'a t = {
-  mutable heap : 'a entry array;
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable payloads : 'a option array;
   mutable size : int;
   mutable next_seq : int;
-  dummy : 'a entry;
 }
 
+let arity = 4
+
 let create () =
-  let dummy = { time = nan; seq = -1; payload = Obj.magic () } in
-  { heap = [||]; size = 0; next_seq = 0; dummy }
+  { times = [||]; seqs = [||]; payloads = [||]; size = 0; next_seq = 0 }
 
 let is_empty t = t.size = 0
 let length t = t.size
 
-let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let alloc_seq t =
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  s
 
 let grow t =
-  let cap = Array.length t.heap in
+  let cap = Array.length t.times in
   let ncap = if cap = 0 then 16 else cap * 2 in
-  let nh = Array.make ncap t.dummy in
-  Array.blit t.heap 0 nh 0 t.size;
-  t.heap <- nh
+  let nt = Array.make ncap 0.0 in
+  let ns = Array.make ncap 0 in
+  let np = Array.make ncap None in
+  Array.blit t.times 0 nt 0 t.size;
+  Array.blit t.seqs 0 ns 0 t.size;
+  Array.blit t.payloads 0 np 0 t.size;
+  t.times <- nt;
+  t.seqs <- ns;
+  t.payloads <- np
 
-let push t ~time payload =
-  let e = { time; seq = t.next_seq; payload } in
-  t.next_seq <- t.next_seq + 1;
-  if t.size >= Array.length t.heap then grow t;
-  t.heap.(t.size) <- e;
+let push_seq t ~time ~seq payload =
+  if t.size >= Array.length t.times then grow t;
+  let i = ref t.size in
   t.size <- t.size + 1;
-  (* sift up *)
-  let i = ref (t.size - 1) in
-  while
-    !i > 0
-    &&
-    let parent = (!i - 1) / 2 in
-    less t.heap.(!i) t.heap.(parent)
-  do
-    let parent = (!i - 1) / 2 in
-    let tmp = t.heap.(!i) in
-    t.heap.(!i) <- t.heap.(parent);
-    t.heap.(parent) <- tmp;
-    i := parent
-  done
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / arity in
+    if time < t.times.(p) || (time = t.times.(p) && seq < t.seqs.(p)) then begin
+      t.times.(!i) <- t.times.(p);
+      t.seqs.(!i) <- t.seqs.(p);
+      t.payloads.(!i) <- t.payloads.(p);
+      i := p
+    end
+    else continue := false
+  done;
+  t.times.(!i) <- time;
+  t.seqs.(!i) <- seq;
+  t.payloads.(!i) <- Some payload
+
+let push t ~time payload = push_seq t ~time ~seq:(alloc_seq t) payload
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.heap.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.heap.(0) <- t.heap.(t.size);
-      t.heap.(t.size) <- t.dummy;
-      (* sift down *)
+    let top_time = t.times.(0) in
+    let top =
+      match t.payloads.(0) with Some p -> p | None -> assert false
+    in
+    let n = t.size - 1 in
+    t.size <- n;
+    if n = 0 then begin
+      (* dropping the arrays releases every retained reference *)
+      t.times <- [||];
+      t.seqs <- [||];
+      t.payloads <- [||]
+    end
+    else begin
+      (* re-insert the last entry at the root hole and sift it down *)
+      let time = t.times.(n) and seq = t.seqs.(n) in
+      let payload = t.payloads.(n) in
+      t.payloads.(n) <- None;
       let i = ref 0 in
       let continue = ref true in
       while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.size && less t.heap.(l) t.heap.(!smallest) then smallest := l;
-        if r < t.size && less t.heap.(r) t.heap.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = t.heap.(!i) in
-          t.heap.(!i) <- t.heap.(!smallest);
-          t.heap.(!smallest) <- tmp;
-          i := !smallest
+        let first = (arity * !i) + 1 in
+        if first >= n then continue := false
+        else begin
+          let last = min (first + arity - 1) (n - 1) in
+          let best = ref first in
+          for c = first + 1 to last do
+            if
+              t.times.(c) < t.times.(!best)
+              || (t.times.(c) = t.times.(!best) && t.seqs.(c) < t.seqs.(!best))
+            then best := c
+          done;
+          let b = !best in
+          if t.times.(b) < time || (t.times.(b) = time && t.seqs.(b) < seq)
+          then begin
+            t.times.(!i) <- t.times.(b);
+            t.seqs.(!i) <- t.seqs.(b);
+            t.payloads.(!i) <- t.payloads.(b);
+            i := b
+          end
+          else continue := false
         end
-        else continue := false
-      done
-    end
-    else t.heap.(0) <- t.dummy;
-    Some (top.time, top.payload)
+      done;
+      t.times.(!i) <- time;
+      t.seqs.(!i) <- seq;
+      t.payloads.(!i) <- payload
+    end;
+    Some (top_time, top)
   end
 
-let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+let peek_time t = if t.size = 0 then None else Some t.times.(0)
+let peek t = if t.size = 0 then None else Some (t.times.(0), t.seqs.(0))
 
 let clear t =
   t.size <- 0;
   t.next_seq <- 0;
-  t.heap <- [||]
+  t.times <- [||];
+  t.seqs <- [||];
+  t.payloads <- [||]

@@ -1,6 +1,7 @@
 (** Priority queue of timestamped events for the discrete-event
     simulator. Ties on time are broken by insertion order so that runs
-    are deterministic. *)
+    are deterministic. Implemented as a 4-ary implicit heap over
+    parallel arrays with a monomorphic float-key compare. *)
 
 type 'a t
 
@@ -9,13 +10,27 @@ val is_empty : 'a t -> bool
 val length : 'a t -> int
 
 val push : 'a t -> time:float -> 'a -> unit
-(** [push q ~time ev] schedules [ev] at [time]. O(log n). *)
+(** [push q ~time ev] schedules [ev] at [time] with the next sequence
+    number. O(log n). *)
+
+val push_seq : 'a t -> time:float -> seq:int -> 'a -> unit
+(** Like {!push} but with a caller-supplied sequence number (obtained
+    from {!alloc_seq}), for callers that interleave heap entries with
+    an external same-time lane and need one total (time, seq) order. *)
+
+val alloc_seq : 'a t -> int
+(** Claim the next sequence number from the queue's tie-break counter
+    without pushing. Used by the scheduler's zero-delay FIFO lane so
+    lane entries and heap entries share one deterministic order. *)
 
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the earliest event (FIFO among equal times). *)
 
 val peek_time : 'a t -> float option
 
+val peek : 'a t -> (float * int) option
+(** Time and sequence number of the earliest event, without popping. *)
+
 val clear : 'a t -> unit
-(** Empty the queue and drop the backing array, releasing every
+(** Empty the queue and drop the backing arrays, releasing every
     retained event (and anything its closure captured) to the GC. *)

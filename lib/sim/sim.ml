@@ -2,35 +2,64 @@ type handle = { mutable cancelled : bool }
 
 type event = { h : handle; thunk : unit -> unit }
 
+type lane_entry = { lseq : int; lev : event }
+
 type t = {
   queue : event Event_queue.t;
+  lane : lane_entry Queue.t;
+      (* same-instant FIFO: every entry was scheduled at exactly the
+         current clock ([schedule_immediate] / zero-delay
+         [schedule_after]), so it fires before the clock can advance.
+         Entries carry seqs from the heap's counter so the merged
+         (time, seq) order is identical to pushing them on the heap. *)
   mutable clock : float;
   mutable fired : int;
+  mutable inlined : int;
+  mutable horizon : float;
+      (* upper bound on clock advancement for [try_inline]; only
+         meaningful while [inline_ok]. *)
+  mutable inline_ok : bool;
+      (* true only inside [run]/[run_until]: [step]-driven harnesses
+         expect one externally visible event per call, so inlining is
+         disabled there. *)
   root_rng : Rng.t;
 }
 
 let create ?(seed = 42) () =
   {
     queue = Event_queue.create ();
+    lane = Queue.create ();
     clock = 0.0;
     fired = 0;
+    inlined = 0;
+    horizon = neg_infinity;
+    inline_ok = false;
     root_rng = Rng.create ~seed;
   }
 
 let now t = t.clock
 let rng t = t.root_rng
 let events_fired t = t.fired
+let events_inlined t = t.inlined
 
 let schedule_at t ~time thunk =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Sim.schedule_at: time %g < now %g" time t.clock);
   let h = { cancelled = false } in
-  Event_queue.push t.queue ~time { h; thunk };
+  if time = t.clock then
+    Queue.add { lseq = Event_queue.alloc_seq t.queue; lev = { h; thunk } }
+      t.lane
+  else Event_queue.push t.queue ~time { h; thunk };
   h
 
 let schedule_after t ~delay thunk =
   schedule_at t ~time:(t.clock +. Float.max 0.0 delay) thunk
+
+let schedule_immediate t thunk =
+  let h = { cancelled = false } in
+  Queue.add { lseq = Event_queue.alloc_seq t.queue; lev = { h; thunk } } t.lane;
+  h
 
 let cancel h = h.cancelled <- true
 
@@ -41,31 +70,83 @@ let fire t time ev =
     ev.thunk ()
   end
 
+(* Earliest event across the heap and the lane. Lane entries all sit
+   at [t.clock]; a heap entry at the same time fires first iff its seq
+   is smaller (it was scheduled earlier). *)
+let pop_next t =
+  if Queue.is_empty t.lane then Event_queue.pop t.queue
+  else
+    let take_heap =
+      match Event_queue.peek t.queue with
+      | Some (htime, hseq) ->
+          htime <= t.clock && hseq < (Queue.peek t.lane).lseq
+      | None -> false
+    in
+    if take_heap then Event_queue.pop t.queue
+    else
+      let { lseq = _; lev } = Queue.pop t.lane in
+      Some (t.clock, lev)
+
 let run_until t horizon =
+  let saved_ok = t.inline_ok and saved_h = t.horizon in
+  t.inline_ok <- true;
+  t.horizon <- horizon;
   let continue = ref true in
   while !continue do
-    match Event_queue.peek_time t.queue with
-    | Some time when time <= horizon -> (
-        match Event_queue.pop t.queue with
-        | Some (time, ev) -> fire t time ev
-        | None -> continue := false)
-    | _ -> continue := false
+    if not (Queue.is_empty t.lane) then (
+      match pop_next t with
+      | Some (time, ev) -> fire t time ev
+      | None -> continue := false)
+    else
+      match Event_queue.peek_time t.queue with
+      | Some time when time <= horizon -> (
+          match pop_next t with
+          | Some (time, ev) -> fire t time ev
+          | None -> continue := false)
+      | _ -> continue := false
   done;
+  t.inline_ok <- saved_ok;
+  t.horizon <- saved_h;
   if horizon > t.clock then t.clock <- horizon
 
 let run t =
+  let saved_ok = t.inline_ok and saved_h = t.horizon in
+  t.inline_ok <- true;
+  t.horizon <- infinity;
   let continue = ref true in
   while !continue do
-    match Event_queue.pop t.queue with
+    match pop_next t with
     | Some (time, ev) -> fire t time ev
     | None -> continue := false
-  done
+  done;
+  t.inline_ok <- saved_ok;
+  t.horizon <- saved_h
 
 let step t =
-  match Event_queue.pop t.queue with
+  match pop_next t with
   | Some (time, ev) ->
       fire t time ev;
       true
   | None -> false
 
-let pending t = Event_queue.length t.queue
+let try_inline t ~time thunk =
+  if
+    t.inline_ok && time >= t.clock && time <= t.horizon
+    && Queue.is_empty t.lane
+    && (match Event_queue.peek_time t.queue with
+       | Some htime -> htime > time
+       | None -> true)
+  then begin
+    (* No pending event precedes (time, fresh-seq), so running the
+       thunk here with the clock advanced is observationally identical
+       to scheduling it — same RNG stream, same order. Counted in
+       [fired] so event totals match the non-inlined schedule. *)
+    t.clock <- time;
+    t.fired <- t.fired + 1;
+    t.inlined <- t.inlined + 1;
+    thunk ();
+    true
+  end
+  else false
+
+let pending t = Event_queue.length t.queue + Queue.length t.lane

@@ -4,7 +4,14 @@
     clients, fault injectors) schedule thunks on one shared [Sim.t];
     [run_until] drains events in timestamp order while advancing the
     virtual clock. Time is in milliseconds, matching the paper's
-    latency units. *)
+    latency units.
+
+    Events are totally ordered by (time, sequence number). Zero-delay
+    events — those scheduled at exactly the current clock — go through
+    a FIFO lane instead of the heap, and [try_inline] lets the network
+    layer run a provably next-in-order continuation without scheduling
+    it at all. Both preserve the exact firing order of the plain
+    heap-only scheduler. *)
 
 type t
 
@@ -21,10 +28,15 @@ val rng : t -> Rng.t
 
 val schedule_at : t -> time:float -> (unit -> unit) -> handle
 (** Schedule a thunk at an absolute virtual time. Scheduling in the
-    past raises [Invalid_argument]. *)
+    past raises [Invalid_argument]; scheduling at exactly [now] lands
+    in the zero-delay lane (same order, O(1)). *)
 
 val schedule_after : t -> delay:float -> (unit -> unit) -> handle
 (** Schedule relative to [now]; negative delays are clamped to 0. *)
+
+val schedule_immediate : t -> (unit -> unit) -> handle
+(** Equivalent to [schedule_after ~delay:0.] but skips the clamp and
+    heap entirely: the thunk joins the zero-delay FIFO lane. *)
 
 val cancel : handle -> unit
 (** Cancelled events are skipped when their time comes. Idempotent. *)
@@ -39,7 +51,17 @@ val run : t -> unit
 
 val step : t -> bool
 (** Process exactly one event. Returns [false] when the queue is
-    empty. *)
+    empty. Inline execution ({!try_inline}) is disabled under [step]
+    so harnesses observe one event per call. *)
+
+val try_inline : t -> time:float -> (unit -> unit) -> bool
+(** [try_inline t ~time thunk] runs [thunk] immediately with the clock
+    advanced to [time] — counting it as a fired event — iff doing so
+    is indistinguishable from [schedule_at t ~time thunk]: we are
+    inside [run]/[run_until], [now <= time <= horizon], and no pending
+    event (heap or lane) precedes [(time, fresh seq)]. Returns [false]
+    without side effects otherwise; the caller must then schedule
+    normally. *)
 
 val pending : t -> int
 (** Number of scheduled (uncancelled or cancelled-but-unprocessed)
@@ -48,4 +70,9 @@ val pending : t -> int
 val events_fired : t -> int
 (** Number of event thunks executed so far (cancelled events are not
     counted) — the denominator-free simulator throughput metric
-    reported by the perf guard. *)
+    reported by the perf guard. Includes inlined continuations, so the
+    total matches a run with inlining disabled. *)
+
+val events_inlined : t -> int
+(** How many of {!events_fired} ran inline via {!try_inline} instead
+    of through the queue. *)

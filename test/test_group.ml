@@ -163,6 +163,9 @@ let test_leader_must_be_member () =
       send = (fun _ _ -> ());
       broadcast = (fun _ -> ());
       multicast = (fun _ _ -> ());
+      send_sized = (fun _ ~size_bytes:_ _ -> ());
+      broadcast_sized = (fun ~size_bytes:_ _ -> ());
+      multicast_sized = (fun _ ~size_bytes:_ _ -> ());
       reply = (fun _ _ -> ());
       forward = (fun _ ~client:_ _ -> ());
     }

@@ -1,0 +1,166 @@
+(* Hot-path soundness: the collapsed-delivery fast path must be
+   invisible to every measured statistic, and leader command batching
+   must both stay safe and actually raise saturation throughput. *)
+
+open Paxi_benchmark
+
+let paxos = Paxi_protocols.Registry.find_exn "paxos"
+let raft = Paxi_protocols.Registry.find_exn "raft"
+
+let lan_spec ?batching ?(seed = 7) ?(concurrency = 12)
+    ?(duration_ms = 1_500.0) ?(collect_history = false)
+    ?(check_consensus = false) () =
+  let n = 5 in
+  let config =
+    { (Config.default ~n_replicas:n) with Config.seed; batching }
+  in
+  Runner.spec ~warmup_ms:300.0 ~duration_ms ~collect_history ~check_consensus
+    ~config
+    ~topology:(Topology.lan ~n_replicas:n ())
+    ~client_specs:
+      [
+        Runner.clients ~target:(Runner.Fixed 0) ~count:concurrency
+          { Workload.default with Workload.keys = 30 };
+      ]
+    ()
+
+let with_inline_delivery v f =
+  let saved = !Transport.inline_delivery in
+  Transport.inline_delivery := v;
+  Fun.protect ~finally:(fun () -> Transport.inline_delivery := saved) f
+
+(* The acceptance bar of this PR: a fixed-seed run with delivery
+   collapse enabled is statistically byte-identical to the same run
+   with every delivery going through the heap. *)
+let test_inline_delivery_invisible () =
+  let run inline =
+    with_inline_delivery inline (fun () -> Runner.run paxos (lan_spec ()))
+  in
+  let off = run false and on = run true in
+  Alcotest.(check int) "no inlining when disabled" 0
+    off.Runner.sim_events_inlined;
+  Alcotest.(check bool) "fast path actually taken" true
+    (on.Runner.sim_events_inlined > 0);
+  Alcotest.(check (float 0.0)) "throughput identical"
+    off.Runner.throughput_rps on.Runner.throughput_rps;
+  Alcotest.(check (float 0.0)) "mean latency identical"
+    (Stats.mean off.Runner.latency)
+    (Stats.mean on.Runner.latency);
+  Alcotest.(check (float 0.0)) "max latency identical"
+    (Stats.max off.Runner.latency)
+    (Stats.max on.Runner.latency);
+  Alcotest.(check int) "completed identical" off.Runner.completed
+    on.Runner.completed;
+  Alcotest.(check int) "messages identical" off.Runner.messages_sent
+    on.Runner.messages_sent;
+  Alcotest.(check int) "event totals identical" off.Runner.sim_events
+    on.Runner.sim_events
+
+(* Unbatched runs must not notice that the batching machinery exists:
+   same seed, batching = None, identical statistics run-to-run. *)
+let test_fixed_seed_reproducible () =
+  let r1 = Runner.run paxos (lan_spec ())
+  and r2 = Runner.run paxos (lan_spec ()) in
+  Alcotest.(check (float 0.0)) "throughput reproducible"
+    r1.Runner.throughput_rps r2.Runner.throughput_rps;
+  Alcotest.(check (float 0.0)) "latency reproducible"
+    (Stats.mean r1.Runner.latency)
+    (Stats.mean r2.Runner.latency);
+  Alcotest.(check int) "events reproducible" r1.Runner.sim_events
+    r2.Runner.sim_events
+
+let check_safe name (r : Runner.result) =
+  let anomalies = Linearizability.check r.Runner.history in
+  List.iter
+    (fun a -> Printf.printf "%s anomaly: %s\n" name a.Linearizability.reason)
+    anomalies;
+  Alcotest.(check int) (name ^ " linearizable") 0 (List.length anomalies);
+  Alcotest.(check int)
+    (name ^ " consensus clean")
+    0
+    (List.length r.Runner.consensus_violations);
+  Alcotest.(check int) (name ^ " nothing abandoned") 0 r.Runner.gave_up
+
+let batching = { Config.max_batch = 8; max_wait_ms = 0.2 }
+
+let test_batched_paxos_safe () =
+  let r =
+    Runner.run paxos
+      (lan_spec ~batching ~collect_history:true ~check_consensus:true ())
+  in
+  Alcotest.(check bool) "made progress" true (r.Runner.throughput_rps > 100.0);
+  check_safe "batched paxos" r
+
+let test_batched_raft_safe () =
+  let r =
+    Runner.run raft
+      (lan_spec ~batching ~collect_history:true ~check_consensus:true ())
+  in
+  Alcotest.(check bool) "made progress" true (r.Runner.throughput_rps > 100.0);
+  check_safe "batched raft" r
+
+let test_batched_fpaxos_safe () =
+  let fpaxos = Paxi_protocols.Registry.find_exn "fpaxos" in
+  let r =
+    Runner.run fpaxos
+      (lan_spec ~batching ~collect_history:true ~check_consensus:true ())
+  in
+  Alcotest.(check bool) "made progress" true (r.Runner.throughput_rps > 100.0);
+  check_safe "batched fpaxos" r
+
+(* A lone slow client never fills a batch: the max_wait timer must
+   flush for it, and every command still gets its own reply. *)
+let test_max_wait_flushes_partial_batch () =
+  let module P = (val paxos) in
+  let module H = Proto_harness.Make (P) in
+  let t =
+    H.lan
+      ~config:
+        {
+          (Config.default ~n_replicas:3) with
+          Config.batching = Some { Config.max_batch = 64; max_wait_ms = 1.0 };
+        }
+      ~n:3 ()
+  in
+  let replies =
+    H.submit_seq t
+      (List.init 5 (fun i -> Command.Put (i, 100 + i)))
+  in
+  Alcotest.(check int) "every command replied" 5 (List.length replies);
+  H.run_for t 50.0;
+  H.assert_consistent t;
+  Alcotest.(check int) "all five applied at the leader" 5
+    (List.length (H.applied_commands t 0))
+
+(* The point of batching (§6 capacity lever): amortizing t_in/t_out
+   across a batch raises the leader's saturation throughput. At equal
+   service-time parameters a max_batch=8 leader must clear >= 1.5x the
+   unbatched saturation throughput. *)
+let test_batching_raises_saturation () =
+  let sat batching =
+    (Runner.run paxos
+       (lan_spec ?batching ~concurrency:32 ~duration_ms:2_000.0 ()))
+      .Runner.throughput_rps
+  in
+  let plain = sat None in
+  let batched = sat (Some { Config.max_batch = 8; max_wait_ms = 0.05 }) in
+  Alcotest.(check bool)
+    (Printf.sprintf "batched %.0f >= 1.5x unbatched %.0f rps" batched plain)
+    true
+    (batched >= 1.5 *. plain)
+
+let suite =
+  ( "hotpath",
+    [
+      Alcotest.test_case "inline delivery invisible" `Slow
+        test_inline_delivery_invisible;
+      Alcotest.test_case "fixed seed reproducible" `Slow
+        test_fixed_seed_reproducible;
+      Alcotest.test_case "batched paxos safe" `Slow test_batched_paxos_safe;
+      Alcotest.test_case "batched raft safe" `Slow test_batched_raft_safe;
+      Alcotest.test_case "batched fpaxos safe" `Slow test_batched_fpaxos_safe;
+      Alcotest.test_case "max_wait flushes partial batch" `Quick
+        test_max_wait_flushes_partial_batch;
+      Alcotest.test_case "batching raises saturation" `Slow
+        test_batching_raises_saturation;
+    ] )

@@ -147,6 +147,30 @@ let test_none_read_at_write_boundary_detected () =
   check_bad "boundary write beats empty read" 1
     [ w ~id:0 ~key:1 10 (0.0, 1.0); r ~id:1 ~key:1 None (1.0, 2.0) ]
 
+(* Regression: a value written twice. The checker used to fix on the
+   FIRST write of the value as the dictating write, so the rewrite in
+   between looked like a stale-read witness and this legal history was
+   flagged. Any matching write whose interval permits the read may
+   dictate it. *)
+let test_rewritten_value_read_ok () =
+  check_ok "read dictated by the second write of the same value"
+    [
+      w ~id:0 ~key:1 5 (0.0, 1.0);
+      w ~id:1 ~key:1 7 (2.0, 3.0);
+      w ~id:2 ~key:1 5 (4.0, 5.0);
+      r ~id:3 ~key:1 (Some 5) (6.0, 7.0);
+    ]
+
+let test_rewritten_value_still_catches_stale () =
+  (* both writes of 5 are definitely overwritten before the read *)
+  check_bad "stale even with duplicate writes" 1
+    [
+      w ~id:0 ~key:1 5 (0.0, 1.0);
+      w ~id:1 ~key:1 5 (2.0, 3.0);
+      w ~id:2 ~key:1 7 (4.0, 5.0);
+      r ~id:3 ~key:1 (Some 5) (6.0, 7.0);
+    ]
+
 let test_empty_history_ok () =
   check_ok "empty history" [];
   Alcotest.(check int) "check_key of empty" 0
@@ -203,6 +227,10 @@ let suite =
         test_all_ties_flagged_conservatively;
       Alcotest.test_case "none read at write boundary" `Quick
         test_none_read_at_write_boundary_detected;
+      Alcotest.test_case "rewritten value read ok" `Quick
+        test_rewritten_value_read_ok;
+      Alcotest.test_case "rewritten value still stale" `Quick
+        test_rewritten_value_still_catches_stale;
       Alcotest.test_case "empty history ok" `Quick test_empty_history_ok;
       QCheck_alcotest.to_alcotest prop_sequential_accepted;
     ] )

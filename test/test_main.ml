@@ -34,4 +34,5 @@ let () =
       Test_cluster.suite;
       Test_exec.suite;
       Test_nemesis.suite;
+      Test_hotpath.suite;
     ]

@@ -84,6 +84,75 @@ let test_pending () =
   ignore (Sim.schedule_at sim ~time:2.0 (fun () -> ()));
   Alcotest.(check int) "two pending" 2 (Sim.pending sim)
 
+(* --- zero-delay lane ------------------------------------------------ *)
+
+let test_immediate_runs_before_later_events () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.schedule_at sim ~time:1.0 (fun () -> log := "later" :: !log));
+  ignore (Sim.schedule_immediate sim (fun () -> log := "now" :: !log));
+  Sim.run sim;
+  Alcotest.(check (list string)) "immediate first" [ "now"; "later" ]
+    (List.rev !log);
+  Alcotest.(check (float 0.0)) "clock stayed for immediate" 1.0 (Sim.now sim)
+
+let test_immediate_fifo () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  List.iter
+    (fun tag -> ignore (Sim.schedule_immediate sim (fun () -> log := tag :: !log)))
+    [ "a"; "b"; "c" ];
+  Sim.run sim;
+  Alcotest.(check (list string)) "lane is FIFO" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_immediate_interleaves_with_same_time_heap () =
+  (* schedule_at at the current instant routes to the lane; either way
+     the merged order must follow scheduling order at equal times *)
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Sim.schedule_at sim ~time:2.0 (fun () ->
+         ignore (Sim.schedule_immediate sim (fun () -> log := "i1" :: !log));
+         ignore (Sim.schedule_at sim ~time:2.0 (fun () -> log := "z1" :: !log));
+         ignore (Sim.schedule_immediate sim (fun () -> log := "i2" :: !log))));
+  Sim.run sim;
+  Alcotest.(check (list string)) "scheduling order at one instant"
+    [ "i1"; "z1"; "i2" ] (List.rev !log)
+
+let test_immediate_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  ignore
+    (Sim.schedule_at sim ~time:1.0 (fun () ->
+         let h = Sim.schedule_immediate sim (fun () -> fired := true) in
+         Sim.cancel h));
+  Sim.run sim;
+  Alcotest.(check bool) "cancelled lane event" false !fired
+
+let test_immediate_counts_as_pending_and_step () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule_immediate sim (fun () -> ()));
+  ignore (Sim.schedule_at sim ~time:1.0 (fun () -> ()));
+  Alcotest.(check int) "lane + heap pending" 2 (Sim.pending sim);
+  Alcotest.(check bool) "step lane" true (Sim.step sim);
+  Alcotest.(check bool) "step heap" true (Sim.step sim);
+  Alcotest.(check bool) "exhausted" false (Sim.step sim)
+
+let test_immediate_cascade_runs_same_instant () =
+  let sim = Sim.create () in
+  let depth = ref 0 in
+  let rec go n =
+    if n > 0 then
+      ignore
+        (Sim.schedule_immediate sim (fun () ->
+             incr depth;
+             go (n - 1)))
+  in
+  ignore (Sim.schedule_at sim ~time:3.0 (fun () -> go 50));
+  Sim.run sim;
+  Alcotest.(check int) "all ran" 50 !depth;
+  Alcotest.(check (float 0.0)) "no time passed" 3.0 (Sim.now sim)
+
 let suite =
   ( "sim",
     [
@@ -97,4 +166,14 @@ let suite =
       Alcotest.test_case "cascading events" `Quick test_cascading_events;
       Alcotest.test_case "step" `Quick test_step;
       Alcotest.test_case "pending" `Quick test_pending;
+      Alcotest.test_case "immediate before later events" `Quick
+        test_immediate_runs_before_later_events;
+      Alcotest.test_case "immediate FIFO" `Quick test_immediate_fifo;
+      Alcotest.test_case "immediate interleaves with same-time heap" `Quick
+        test_immediate_interleaves_with_same_time_heap;
+      Alcotest.test_case "immediate cancel" `Quick test_immediate_cancel;
+      Alcotest.test_case "immediate pending/step" `Quick
+        test_immediate_counts_as_pending_and_step;
+      Alcotest.test_case "immediate cascade same instant" `Quick
+        test_immediate_cascade_runs_same_instant;
     ] )

@@ -84,6 +84,45 @@ let test_crashed_sender_sends_nothing () =
   Sim.run sim;
   Alcotest.(check int) "nothing sent" 0 !got
 
+let test_crashed_sender_accounting () =
+  (* A crashed source still counts its attempts in [sent] (and in
+     [dropped]) on both the unicast and the fan-out paths, so message
+     totals are comparable across faulty and fault-free runs. *)
+  let faults = Faults.create () in
+  Faults.crash faults ~node:(Address.replica 0) ~from_ms:0.0 ~duration_ms:1000.0;
+  let sim, tr = setup ~n:4 ~faults () in
+  for i = 0 to 3 do
+    Transport.register tr (Address.replica i) (fun ~src:_ _ -> ())
+  done;
+  Transport.send tr ~src:(Address.replica 0) ~dst:(Address.replica 1) (Ping 0);
+  Alcotest.(check int) "unicast counted as sent" 1 (Transport.sent_count tr);
+  Transport.broadcast tr ~src:(Address.replica 0) (Ping 1);
+  Alcotest.(check int) "broadcast copies counted as sent" 4
+    (Transport.sent_count tr);
+  Transport.multicast tr ~src:(Address.replica 0)
+    ~dsts:[ Address.replica 2; Address.replica 3 ]
+    (Ping 2);
+  Alcotest.(check int) "multicast copies counted as sent" 6
+    (Transport.sent_count tr);
+  Sim.run sim;
+  Alcotest.(check int) "all dropped" 6 (Transport.dropped_count tr);
+  Alcotest.(check int) "nothing delivered" 0 (Transport.delivered_count tr)
+
+let test_broadcast_cache_stable_across_calls () =
+  (* repeated broadcasts reuse the cached per-source peer list and
+     keep delivering to everyone but the sender *)
+  let sim, tr = setup ~n:4 () in
+  let got = Array.make 4 0 in
+  for i = 0 to 3 do
+    Transport.register tr (Address.replica i) (fun ~src:_ _ ->
+        got.(i) <- got.(i) + 1)
+  done;
+  for _ = 1 to 3 do
+    Transport.broadcast tr ~src:(Address.replica 2) (Ping 1)
+  done;
+  Sim.run sim;
+  Alcotest.(check (array int)) "3x everyone but sender" [| 3; 3; 0; 3 |] got
+
 let test_unregistered_destination_drops () =
   let sim, tr = setup () in
   Transport.send tr ~src:(Address.replica 0) ~dst:(Address.replica 2) (Ping 0);
@@ -133,6 +172,8 @@ let suite =
       Alcotest.test_case "drop rule blocks" `Quick test_drop_rule_blocks;
       Alcotest.test_case "crashed receiver drops" `Quick test_crashed_receiver_drops;
       Alcotest.test_case "crashed sender sends nothing" `Quick test_crashed_sender_sends_nothing;
+      Alcotest.test_case "crashed sender accounting" `Quick test_crashed_sender_accounting;
+      Alcotest.test_case "broadcast cache stable" `Quick test_broadcast_cache_stable_across_calls;
       Alcotest.test_case "unregistered destination drops" `Quick test_unregistered_destination_drops;
       Alcotest.test_case "sent/delivered counts" `Quick test_counts;
       Alcotest.test_case "queueing backpressure" `Quick test_queueing_backpressure;
