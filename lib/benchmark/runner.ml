@@ -55,6 +55,8 @@ type result = {
   messages_sent : int;
   sim_events : int;
   sim_events_inlined : int;
+  retransmits : int;
+  dup_drops : int;
 }
 
 let kind_of_op (op : Command.op) (read : Command.value option) =
@@ -215,6 +217,7 @@ let run (module P : Proto.RUNNABLE) spec =
     !best
   in
   let messages_sent, _, _ = C.message_counts cluster in
+  let retransmits, dup_drops = C.retransmit_counts cluster in
   {
     throughput_rps = float_of_int !in_window /. (spec.duration_ms /. 1000.0);
     latency;
@@ -228,6 +231,8 @@ let run (module P : Proto.RUNNABLE) spec =
     messages_sent;
     sim_events = Sim.events_fired sim;
     sim_events_inlined = Sim.events_inlined sim;
+    retransmits;
+    dup_drops;
   }
 
 (* Stable per-point seed, splittable from a fixed root: every

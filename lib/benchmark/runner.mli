@@ -75,6 +75,11 @@ type result = {
   sim_events_inlined : int;
       (** subset of [sim_events] run inline at their arrival site by
           the collapsed-delivery fast path, never entering the heap *)
+  retransmits : int;
+      (** message copies re-sent by the reliable-delivery layer's
+          backoff timers (0 unless [Config.retransmit] is set) *)
+  dup_drops : int;
+      (** duplicate explicit-ack payloads suppressed at receivers *)
 }
 
 val run : (module Proto.RUNNABLE) -> spec -> result

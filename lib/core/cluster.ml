@@ -2,6 +2,9 @@ type 'p envelope =
   | Peer of 'p
   | Request of { client : Address.t; request : Proto.request }
   | Reply of Proto.reply
+  | Rel of 'p Reliable.packet
+      (** a protocol message under reliable-delivery bookkeeping, or
+          one of the substrate's own acks *)
 
 module Make (P : Proto.RUNNABLE) = struct
   type t = {
@@ -10,6 +13,7 @@ module Make (P : Proto.RUNNABLE) = struct
     topology : Topology.t;
     faults : Faults.t;
     transport : P.message envelope Transport.t;
+    endpoints : (P.message, P.message envelope) Reliable.t array;
     replicas : P.replica array;
     (* per-client map from command id to reply callback *)
     pending : (int, (int, Proto.reply -> unit) Hashtbl.t) Hashtbl.t;
@@ -36,6 +40,17 @@ module Make (P : Proto.RUNNABLE) = struct
 
   let make_env t transport i : P.message Proto.env =
     let addr = Address.replica i in
+    let ep = t.endpoints.(i) in
+    let peer_addrs =
+      List.init t.config.Config.n_replicas Fun.id
+      |> List.filter_map (fun j ->
+             if j = i then None else Some (Address.replica j))
+    in
+    let rel_active =
+      match t.config.Config.retransmit with
+      | Some r -> r.Config.max_tries > 0
+      | None -> false
+    in
     {
       Proto.id = i;
       n = t.config.Config.n_replicas;
@@ -73,6 +88,28 @@ module Make (P : Proto.RUNNABLE) = struct
         (fun dst ~client request ->
           Transport.send transport ~src:addr ~dst:(Address.replica dst)
             (Request { client; request }));
+      rel =
+        {
+          Proto.active = rel_active;
+          fresh = (fun () -> Reliable.fresh ep);
+          post =
+            (fun ?key ?size_bytes ~ack dst m ->
+              Reliable.post ep ?key ?size_bytes ~ack
+                ~dst:(Address.replica dst) m);
+          post_multi =
+            (fun ?key ?size_bytes ~ack dsts m ->
+              Reliable.post_multi ep ?key ?size_bytes ~ack
+                ~dsts:(List.map Address.replica dsts)
+                m);
+          post_all =
+            (fun ?key ?size_bytes ~ack m ->
+              Reliable.post_multi ep ?key ?size_bytes ~ack ~dsts:peer_addrs m);
+          settle =
+            (fun ~dst ~key ->
+              Reliable.settle ep ~dst:(Address.replica dst) ~key);
+          settle_all = (fun ~key -> Reliable.settle_all ep ~key);
+          unpost_all = (fun () -> Reliable.unpost_all ep);
+        };
     }
 
   let create ?sim ?faults ~config ~topology () =
@@ -99,6 +136,21 @@ module Make (P : Proto.RUNNABLE) = struct
       Transport.create ~sim ~topology ~faults
         ~default_size_bytes:config.Config.msg_size_bytes ~processing ()
     in
+    let policy =
+      match config.Config.retransmit with
+      | Some r ->
+          {
+            Reliable.base_ms = r.Config.base_ms;
+            max_ms = r.Config.max_ms;
+            max_tries = r.Config.max_tries;
+          }
+      | None -> Reliable.inert
+    in
+    let endpoints =
+      Array.init config.Config.n_replicas (fun i ->
+          Reliable.create ~transport ~self:(Address.replica i) ~policy
+            ~inject:(fun pkt -> Rel pkt))
+    in
     let t =
       {
         sim;
@@ -106,6 +158,7 @@ module Make (P : Proto.RUNNABLE) = struct
         topology;
         faults;
         transport;
+        endpoints;
         replicas = [||];
         pending = Hashtbl.create 16;
       }
@@ -122,6 +175,11 @@ module Make (P : Proto.RUNNABLE) = struct
             | Peer m -> P.on_message replica ~src:(Address.replica_id src) m
             | Request { client; request } ->
                 P.on_request replica ~client request
+            | Rel pkt ->
+                Reliable.on_packet t.endpoints.(i) ~src
+                  ~deliver:(fun ~src m ->
+                    P.on_message replica ~src:(Address.replica_id src) m)
+                  pkt
             | Reply _ -> () (* replicas never receive replies *)))
       replicas;
     Array.iter (fun r -> ignore (Sim.schedule_at sim ~time:(Sim.now sim) (fun () -> P.on_start r))) replicas;
@@ -141,7 +199,7 @@ module Make (P : Proto.RUNNABLE) = struct
     Transport.register t.transport addr (fun ~src:_ msg ->
         match msg with
         | Reply r -> deliver_reply t id r
-        | Peer _ | Request _ -> ())
+        | Peer _ | Request _ | Rel _ -> ())
 
   let submit t ~client ~target ~command ~on_reply =
     let tbl = client_table t client in
@@ -175,6 +233,11 @@ module Make (P : Proto.RUNNABLE) = struct
     ( Transport.sent_count t.transport,
       Transport.delivered_count t.transport,
       Transport.dropped_count t.transport )
+
+  let retransmit_counts t =
+    Array.fold_left
+      (fun (r, d) ep -> (r + Reliable.retransmits ep, d + Reliable.dup_drops ep))
+      (0, 0) t.endpoints
 
   let replica_busy_ms t i =
     Procq.busy_time (Transport.procq t.transport (Address.replica i))

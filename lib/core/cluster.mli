@@ -11,6 +11,9 @@ type 'p envelope =
   | Peer of 'p
   | Request of { client : Address.t; request : Proto.request }
   | Reply of Proto.reply
+  | Rel of 'p Reliable.packet
+      (** a protocol message under reliable-delivery bookkeeping, or
+          one of the substrate's own acks (see {!Paxi_net.Reliable}) *)
 
 module Make (P : Proto.RUNNABLE) : sig
   type t
@@ -62,6 +65,11 @@ module Make (P : Proto.RUNNABLE) : sig
 
   val message_counts : t -> int * int * int
   (** (sent, delivered, dropped) protocol+client messages so far. *)
+
+  val retransmit_counts : t -> int * int
+  (** (retransmits, dup_drops) summed over every replica's
+      reliable-delivery endpoint; both 0 when retransmission is
+      disabled. *)
 
   val replica_busy_ms : t -> int -> float
   (** Cumulative processing-queue occupancy of a replica — the

@@ -1,5 +1,7 @@
 type batching = { max_batch : int; max_wait_ms : float }
 
+type retransmit = { base_ms : float; max_ms : float; max_tries : int }
+
 type t = {
   n_replicas : int;
   seed : int;
@@ -20,6 +22,7 @@ type t = {
   initial_object_owner : int option;
   master_region_index : int;
   batching : batching option;
+  retransmit : retransmit option;
 }
 
 let default ~n_replicas =
@@ -43,6 +46,7 @@ let default ~n_replicas =
     initial_object_owner = None;
     master_region_index = 0;
     batching = None;
+    retransmit = None;
   }
 
 let majority t = (t.n_replicas / 2) + 1
@@ -65,6 +69,13 @@ let validate t =
   else if t.failover_timeout_ms <= 0.0 then err "failover timeout must be positive"
   else if t.master_region_index < 0 then err "master_region_index must be >= 0"
   else
+    match t.retransmit with
+    | Some r when r.max_tries < 0 -> err "retransmit.max_tries must be >= 0"
+    | Some r when r.max_tries > 0 && r.base_ms <= 0.0 ->
+        err "retransmit.base_ms must be positive"
+    | Some r when r.max_tries > 0 && r.max_ms < r.base_ms ->
+        err "retransmit.max_ms must be >= base_ms"
+    | _ -> (
     match t.batching with
     | Some b when b.max_batch < 1 ->
         err "batching.max_batch must be >= 1 (got %d)" b.max_batch
@@ -79,7 +90,7 @@ let validate t =
            construction; reject q2 that would force an empty q1. *)
         if t.n_replicas - q + 1 < 1 then err "q2_size %d leaves no q1" q
         else Ok ()
-    | None -> Ok ())
+    | None -> Ok ()))
 
 let to_json t =
   Json.Obj
@@ -107,15 +118,27 @@ let to_json t =
     @ (match t.initial_object_owner with
       | Some o -> [ ("initial_object_owner", Json.Number (float_of_int o)) ]
       | None -> [])
+    @ (match t.batching with
+      | Some b ->
+          [
+            ( "batching",
+              Json.Obj
+                [
+                  ("max_batch", Json.Number (float_of_int b.max_batch));
+                  ("max_wait_ms", Json.Number b.max_wait_ms);
+                ] );
+          ]
+      | None -> [])
     @
-    match t.batching with
-    | Some b ->
+    match t.retransmit with
+    | Some r ->
         [
-          ( "batching",
+          ( "retransmit",
             Json.Obj
               [
-                ("max_batch", Json.Number (float_of_int b.max_batch));
-                ("max_wait_ms", Json.Number b.max_wait_ms);
+                ("base_ms", Json.Number r.base_ms);
+                ("max_ms", Json.Number r.max_ms);
+                ("max_tries", Json.Number (float_of_int r.max_tries));
               ] );
         ]
     | None -> [])
@@ -129,6 +152,7 @@ let known_fields =
     "initial_object_owner";
     "master_region_index";
     "batching";
+    "retransmit";
   ]
 
 let of_json json =
@@ -210,6 +234,24 @@ let of_json json =
                   )
               | Some _ -> Error "batching must be an object or null"
             in
+            let* retransmit =
+              match Json.member "retransmit" json with
+              | Some Json.Null | None -> Ok None
+              | Some (Json.Obj _ as r) -> (
+                  match
+                    ( Option.bind (Json.member "base_ms" r) Json.to_float,
+                      Option.bind (Json.member "max_ms" r) Json.to_float,
+                      Option.bind (Json.member "max_tries" r) Json.to_int )
+                  with
+                  | Some base_ms, Some max_ms, Some max_tries ->
+                      Ok (Some { base_ms; max_ms; max_tries })
+                  | _ ->
+                      Error
+                        "retransmit requires numeric base_ms and max_ms and \
+                         integer max_tries"
+                  )
+              | Some _ -> Error "retransmit must be an object or null"
+            in
             let config =
               {
                 n_replicas; seed; msg_size_bytes; t_in_ms; t_out_ms;
@@ -217,7 +259,7 @@ let of_json json =
                 leaders_per_region; epaxos_penalty; piggyback_commit; thrifty;
                 migration_threshold; migration_cooldown_ms;
                 failover_timeout_ms; initial_object_owner;
-                master_region_index; batching;
+                master_region_index; batching; retransmit;
               }
             in
             let* () = validate config in

@@ -16,6 +16,13 @@ type batching = {
     serialized message per peer with summed wire size, one quorum per
     batch slot-range — amortizing [t_in]/[t_out] across the batch. *)
 
+type retransmit = { base_ms : float; max_ms : float; max_tries : int }
+(** Reliable-delivery policy applied by {!Paxi_net.Reliable} to every
+    message a protocol posts with an ack key: first retransmission
+    after [base_ms], backoff doubling up to [max_ms], giving up after
+    [max_tries] retransmissions. [max_tries = 0] (or a [None] field)
+    leaves the layer inert — no timers, no acks, no dedup state. *)
+
 type t = {
   n_replicas : int;
   seed : int;
@@ -58,6 +65,10 @@ type t = {
   batching : batching option;
       (** leader command batching for Paxos/FPaxos/Raft; [None] (the
           default) proposes one slot per client command *)
+  retransmit : retransmit option;
+      (** reliable-delivery retransmission policy; [None] (the
+          default) disables retransmission, matching a loss-free
+          network assumption *)
 }
 
 val default : n_replicas:int -> t

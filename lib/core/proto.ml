@@ -7,6 +7,47 @@ type reply = {
   leader_hint : int option;
 }
 
+(* Reliable-delivery operations over the cluster's shared
+   {!Paxi_net.Reliable} endpoint: post a message under an ack key and
+   the substrate retransmits it (per [Config.retransmit]) until every
+   destination settles. Inert when retransmission is disabled
+   ([active = false]): posts degrade to plain sends and settles are
+   no-ops, so protocols can call these unconditionally. *)
+type 'm rel = {
+  active : bool;
+  fresh : unit -> int;
+  post : ?key:int -> ?size_bytes:int -> ack:Reliable.ack_mode -> int -> 'm -> int;
+  post_multi :
+    ?key:int -> ?size_bytes:int -> ack:Reliable.ack_mode -> int list -> 'm -> int;
+  post_all : ?key:int -> ?size_bytes:int -> ack:Reliable.ack_mode -> 'm -> int;
+  settle : dst:int -> key:int -> unit;
+  settle_all : key:int -> unit;
+  unpost_all : unit -> unit;
+}
+
+(* A fully inert [rel] for harness env stubs that also stub out the
+   plain send operations: posts go nowhere and settles are no-ops,
+   but keys are still unique. *)
+let null_rel () =
+  let next = ref 0 in
+  let fresh () =
+    incr next;
+    !next
+  in
+  {
+    active = false;
+    fresh;
+    post = (fun ?key ?size_bytes:_ ~ack:_ _ _ ->
+        match key with Some k -> k | None -> fresh ());
+    post_multi = (fun ?key ?size_bytes:_ ~ack:_ _ _ ->
+        match key with Some k -> k | None -> fresh ());
+    post_all = (fun ?key ?size_bytes:_ ~ack:_ _ ->
+        match key with Some k -> k | None -> fresh ());
+    settle = (fun ~dst:_ ~key:_ -> ());
+    settle_all = (fun ~key:_ -> ());
+    unpost_all = (fun () -> ());
+  }
+
 type 'm env = {
   id : int;
   n : int;
@@ -23,6 +64,7 @@ type 'm env = {
   multicast_sized : int list -> size_bytes:int -> 'm -> unit;
   reply : Address.t -> reply -> unit;
   forward : int -> client:Address.t -> request -> unit;
+  rel : 'm rel;
 }
 
 module type PROTOCOL = sig

@@ -18,6 +18,36 @@ type reply = {
           redirect *)
 }
 
+(** Reliable-delivery operations (see {!Paxi_net.Reliable}): a message
+    posted under an ack key is retransmitted on an exponential-backoff
+    timer until every destination settles — by the protocol calling
+    [settle] when the natural reply arrives ([ack:Piggyback]), or by
+    the substrate's own acknowledgements ([ack:Explicit], which also
+    suppresses duplicate deliveries at the receiver). All operations
+    are inert no-ops when [Config.retransmit] is absent ([active =
+    false]); posts then degrade to plain sends with identical
+    accounting, so protocols call them unconditionally. *)
+type 'm rel = {
+  active : bool;
+  fresh : unit -> int;  (** a never-used ack key *)
+  post : ?key:int -> ?size_bytes:int -> ack:Reliable.ack_mode -> int -> 'm -> int;
+      (** [post ~ack dst m] sends and registers; returns the key. *)
+  post_multi :
+    ?key:int -> ?size_bytes:int -> ack:Reliable.ack_mode -> int list -> 'm -> int;
+      (** one multicast (single serialization), per-destination
+          settling. *)
+  post_all : ?key:int -> ?size_bytes:int -> ack:Reliable.ack_mode -> 'm -> int;
+      (** [post_multi] to every other replica — the reliable
+          [broadcast]. *)
+  settle : dst:int -> key:int -> unit;
+  settle_all : key:int -> unit;  (** withdraw the post entirely *)
+  unpost_all : unit -> unit;  (** step-down: withdraw every post *)
+}
+
+val null_rel : unit -> 'm rel
+(** A fully inert [rel] (unique keys, no sends, no state) for harness
+    env stubs that also stub out the plain send operations. *)
+
 (** Capabilities handed to a replica by the cluster engine. Peer
     identifiers are replica ids [0 .. n-1]. *)
 type 'm env = {
@@ -42,6 +72,7 @@ type 'm env = {
   forward : int -> client:Address.t -> request -> unit;
       (** hand a client request over to another replica, preserving the
           originating client address *)
+  rel : 'm rel;  (** reliable-delivery operations *)
 }
 
 module type PROTOCOL = sig

@@ -26,7 +26,7 @@ let trial_seed ~protocol ~root index =
 
 let run_trial ~protocol ~root ~max_faults ~shrink_budget index =
   let seed = trial_seed ~protocol ~root index in
-  let schedule = Trial.generate ~protocol ~seed ~max_faults in
+  let schedule = Trial.generate ~protocol ~seed ~max_faults () in
   let verdict = Trial.run ~protocol ~seed schedule in
   let shrunk =
     if verdict.Trial.ok then None

@@ -11,10 +11,10 @@ type profile = {
    machinery its implementation actually has (each row validated
    empirically against randomized campaigns; see DESIGN.md):
 
-   - paxos/fpaxos: heartbeat-driven failover plus leader
-     retransmission of in-flight slots — full matrix.
-   - raft: elections and next_index-driven AppendEntries catch-up —
-     full matrix.
+   - paxos/fpaxos: heartbeat-driven failover plus reliable-delivery
+     retransmission of phase-1/phase-2 posts — full matrix.
+   - raft: elections, next_index-driven AppendEntries catch-up, and
+     reliably-posted appends — full matrix.
    - epaxos: [watch_instance] retransmits PreAccept/Accept, so lost
      messages heal, but a crashed command leader leaves its in-flight
      instances as permanent dependency holes — everything but crash.
@@ -24,28 +24,24 @@ type profile = {
    - mencius: per-message loss heals (client retries re-drive the
      rotation and skips regenerate), but a crash or partition wedges
      the crashed replica's slot range — no crash, no partition.
-   - wpaxos: client retries re-initiate ownership steals, so
-     probabilistic loss heals; a sustained link blackout strands a
-     steal in progress forever — flaky and slow only.
-   - chain/wankeeper/vpaxos: no retransmission at all; one lost chain
-     hop / token grant / handoff wedges the system permanently.
-     Stressed with delays only, which still exercises timeout and
-     reordering robustness. *)
+   - wpaxos: steal P1a/P2as are reliably posted, so drops, flakiness
+     and link blackouts all heal once the network does; only a crash
+     is fatal (a dead zone leader takes its mandatory zone-majority
+     vote with it — there is no reconfiguration).
+   - chain/wankeeper/vpaxos: chain hops, token moves and ownership
+     handoffs ride the explicitly-acked reliable channel, so any
+     transient loss heals; their fixed role assignments (chain order,
+     master zone, static group leaders) still make a crash fatal. *)
 let profile_of name =
   let open Schedule in
-  let slow_only = { no_kinds with slow = true } in
+  let no_crash = { all_kinds with crash = false } in
   match name with
   | "paxos" | "fpaxos" | "raft" ->
       { kinds = all_kinds; n = 5; zoned = false; global_consensus = true }
   | "epaxos" ->
-      {
-        kinds = { all_kinds with crash = false };
-        n = 5;
-        zoned = false;
-        global_consensus = true;
-      }
+      { kinds = no_crash; n = 5; zoned = false; global_consensus = true }
   | "abd" -> { kinds = all_kinds; n = 5; zoned = false; global_consensus = false }
-  | "chain" -> { kinds = slow_only; n = 5; zoned = false; global_consensus = true }
+  | "chain" -> { kinds = no_crash; n = 5; zoned = false; global_consensus = true }
   | "mencius" ->
       {
         kinds = { all_kinds with crash = false; partition = false };
@@ -54,16 +50,11 @@ let profile_of name =
         global_consensus = true;
       }
   | "wpaxos" ->
-      {
-        kinds = { no_kinds with slow = true; flaky = true };
-        n = 9;
-        zoned = true;
-        global_consensus = true;
-      }
+      { kinds = no_crash; n = 9; zoned = true; global_consensus = true }
   | "wankeeper" ->
-      { kinds = slow_only; n = 9; zoned = true; global_consensus = false }
+      { kinds = no_crash; n = 9; zoned = true; global_consensus = false }
   | "vpaxos" ->
-      { kinds = slow_only; n = 9; zoned = true; global_consensus = false }
+      { kinds = no_crash; n = 9; zoned = true; global_consensus = false }
   | other ->
       invalid_arg
         (Printf.sprintf "Trial.profile_of: unknown protocol %S (known: %s)"
@@ -108,17 +99,37 @@ let client_specs_for profile workload =
       zones
   else [ Runner.clients ~target:Runner.Round_robin ~count:3 workload ]
 
-let generate ~protocol ~seed ~max_faults =
+(* [?n] overrides the profile's cluster size (zoned profiles spread
+   [n / 3] replicas per zone) — regression trials pin behavior at
+   sizes the default campaign does not visit, e.g. the two-replica
+   zones of the wpaxos n=6 wedge. *)
+let resolve_profile ?n protocol =
   let profile = profile_of protocol in
+  match n with Some n -> { profile with n } | None -> profile
+
+let generate ?n ~protocol ~seed ~max_faults () =
+  let profile = resolve_profile ?n protocol in
   let rng = Rng.create ~seed in
   Schedule.generate ~rng ~n:profile.n ~kinds:profile.kinds ~max_faults
     ~horizon_ms
 
-let run ~protocol ~seed schedule =
-  let profile = profile_of protocol in
+let run ?n ~protocol ~seed schedule =
+  let profile = resolve_profile ?n protocol in
   let (module P) = Paxi_protocols.Registry.find_exn protocol in
   let config =
-    { (Config.default ~n_replicas:profile.n) with Config.seed }
+    {
+      (Config.default ~n_replicas:profile.n) with
+      Config.seed;
+      (* every trial runs with the reliable-delivery substrate armed:
+         faults are the whole point here, and several families (chain,
+         wankeeper, vpaxos, and paxos/raft since their ad-hoc retry
+         paths moved into lib/net/reliable) depend on it to heal. The
+         budget — 40ms doubling to a 320ms cap, 25 tries ≈ 7.9s —
+         comfortably outlives the generator's longest fault window
+         (1.8s) plus delivery jitter. *)
+      Config.retransmit =
+        Some { Config.base_ms = 40.0; max_ms = 320.0; max_tries = 25 };
+    }
   in
   let warmup_ms = 200.0 in
   let fault_end = Schedule.end_ms schedule in

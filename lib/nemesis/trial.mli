@@ -42,12 +42,14 @@ type verdict = {
   divergences : int;  (** consensus-check violations *)
 }
 
-val generate : protocol:string -> seed:int -> max_faults:int -> Schedule.t
+val generate :
+  ?n:int -> protocol:string -> seed:int -> max_faults:int -> unit -> Schedule.t
 (** The schedule a trial with this identity runs: deterministic in
     [(protocol, seed, max_faults)] and gated by the protocol's
-    profile. *)
+    profile. [?n] overrides the profile's cluster size. *)
 
-val run : protocol:string -> seed:int -> Schedule.t -> verdict
+val run : ?n:int -> protocol:string -> seed:int -> Schedule.t -> verdict
 (** Run one simulated cluster of [protocol] under the schedule, with
     closed-loop clients, and judge it. Deterministic in the
-    arguments. *)
+    arguments. [?n] overrides the profile's cluster size (zoned
+    profiles place [n / 3] replicas per zone). *)

@@ -1,0 +1,152 @@
+type policy = { base_ms : float; max_ms : float; max_tries : int }
+
+let inert = { base_ms = 0.; max_ms = 0.; max_tries = 0 }
+
+type ack_mode = Piggyback | Explicit
+
+type 'p packet =
+  | Payload of { key : int; ack : ack_mode; msg : 'p }
+  | Ack of { key : int }
+
+(* An ack is a key and some framing; charge it like a minimal wire
+   message rather than the transport's default command size. *)
+let ack_size_bytes = 32
+
+type ('p, 'm) post = {
+  packet : 'm;  (* the injected [Payload], reusable verbatim on resend *)
+  size_bytes : int option;
+  mutable remaining : Address.t list;
+  mutable tries : int;
+  mutable timer : Sim.handle option;
+}
+
+type ('p, 'm) t = {
+  transport : 'm Transport.t;
+  self : Address.t;
+  policy : policy;
+  inject : 'p packet -> 'm;
+  posts : (int, ('p, 'm) post) Hashtbl.t;
+  seen : (Address.t * int, unit) Hashtbl.t;
+  mutable next_key : int;
+  mutable retransmits : int;
+  mutable dup_drops : int;
+}
+
+let create ~transport ~self ~policy ~inject =
+  {
+    transport;
+    self;
+    policy;
+    inject;
+    posts = Hashtbl.create 64;
+    seen = Hashtbl.create 256;
+    next_key = 0;
+    retransmits = 0;
+    dup_drops = 0;
+  }
+
+let enabled t = t.policy.max_tries > 0
+
+let fresh t =
+  t.next_key <- t.next_key + 1;
+  t.next_key
+
+let send_packet t ~dsts ~size_bytes packet =
+  Transport.multicast t.transport ~src:t.self ~dsts ?size_bytes packet
+
+let backoff t ~tries =
+  Float.min t.policy.max_ms (t.policy.base_ms *. Float.pow 2. (float_of_int tries))
+
+let cancel_timer post =
+  match post.timer with
+  | Some h ->
+      Sim.cancel h;
+      post.timer <- None
+  | None -> ()
+
+let rec arm t key post =
+  let delay = backoff t ~tries:post.tries in
+  post.timer <-
+    Some
+      (Sim.schedule_after (Transport.sim t.transport) ~delay (fun () ->
+           post.timer <- None;
+           post.tries <- post.tries + 1;
+           if post.tries > t.policy.max_tries || post.remaining = [] then
+             Hashtbl.remove t.posts key
+           else begin
+             t.retransmits <- t.retransmits + List.length post.remaining;
+             send_packet t ~dsts:post.remaining ~size_bytes:post.size_bytes
+               post.packet;
+             arm t key post
+           end))
+
+let post_multi t ?key ?size_bytes ~ack ~dsts msg =
+  let key = match key with Some k -> k | None -> fresh t in
+  let packet = t.inject (Payload { key; ack; msg }) in
+  send_packet t ~dsts ~size_bytes packet;
+  if enabled t && dsts <> [] then begin
+    match Hashtbl.find_opt t.posts key with
+    | Some post ->
+        (* key reuse: fold the new destinations into the open post *)
+        post.remaining <-
+          post.remaining
+          @ List.filter
+              (fun d -> not (List.exists (Address.equal d) post.remaining))
+              dsts
+    | None ->
+        let post =
+          { packet; size_bytes; remaining = dsts; tries = 0; timer = None }
+        in
+        Hashtbl.add t.posts key post;
+        arm t key post
+  end;
+  key
+
+let post t ?key ?size_bytes ~ack ~dst msg =
+  post_multi t ?key ?size_bytes ~ack ~dsts:[ dst ] msg
+
+let settle t ~dst ~key =
+  match Hashtbl.find_opt t.posts key with
+  | None -> ()
+  | Some post ->
+      post.remaining <-
+        List.filter (fun d -> not (Address.equal d dst)) post.remaining;
+      if post.remaining = [] then begin
+        cancel_timer post;
+        Hashtbl.remove t.posts key
+      end
+
+let settle_all t ~key =
+  match Hashtbl.find_opt t.posts key with
+  | None -> ()
+  | Some post ->
+      cancel_timer post;
+      Hashtbl.remove t.posts key
+
+let unpost_all t =
+  Hashtbl.iter (fun _ post -> cancel_timer post) t.posts;
+  Hashtbl.reset t.posts
+
+let on_packet t ~src ~deliver = function
+  | Payload { msg; _ } when not (enabled t) ->
+      (* inert: no acks, no dedup — indistinguishable from a plain send *)
+      deliver ~src msg
+  | Payload { ack = Piggyback; msg; _ } ->
+      (* duplicates re-run the (idempotent) handler: that is what
+         regenerates the lost natural reply *)
+      deliver ~src msg
+  | Payload { key; ack = Explicit; msg } ->
+      (* re-ack every receipt — the previous ack may be the loss *)
+      Transport.send t.transport ~src:t.self ~dst:src
+        ~size_bytes:ack_size_bytes
+        (t.inject (Ack { key }));
+      if Hashtbl.mem t.seen (src, key) then t.dup_drops <- t.dup_drops + 1
+      else begin
+        Hashtbl.add t.seen (src, key) ();
+        deliver ~src msg
+      end
+  | Ack { key } -> settle t ~dst:src ~key
+
+let outstanding t = Hashtbl.length t.posts
+let retransmits t = t.retransmits
+let dup_drops t = t.dup_drops

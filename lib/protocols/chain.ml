@@ -47,8 +47,13 @@ let rec apply_ready t =
       if is_tail t then reply t ~client ~cmd ~read:None
       else begin
         t.forwarded <- t.forwarded + 1;
-        t.env.send (t.env.id + 1)
-          (Propagate { seq = t.applied_seq; cmd; client })
+        (* Explicitly-acked: a dropped hop would otherwise leave a
+           permanent hole in the successor's sequence and wedge the
+           whole suffix of the chain; duplicates are suppressed at the
+           receiver by the substrate's dedup. *)
+        ignore
+          (t.env.rel.post ~ack:Reliable.Explicit (t.env.id + 1)
+             (Propagate { seq = t.applied_seq; cmd; client }))
       end;
       apply_ready t
 

@@ -8,6 +8,8 @@ type entry = {
   mutable client : Address.t option;
   mutable quorum : Quorum.t option;
   mutable committed : bool;
+  mutable rkey : int;
+      (* reliable-delivery key of the in-flight Accept (0 when none) *)
 }
 
 type t = {
@@ -15,6 +17,11 @@ type t = {
   members : int list;
   leader : int;
   send : int -> message -> unit;
+  post_peers : message -> int;
+      (* reliable multicast of a wrapped message to the other members;
+         AcceptOks are the piggybacked acks *)
+  settle : dst:int -> key:int -> unit;
+  settle_all : key:int -> unit;
   log : entry Slot_log.t;
   exec : Executor.t;
   on_executed : Command.t -> Address.t option -> Command.value option -> unit;
@@ -24,11 +31,19 @@ type t = {
 let create ~env ~wrap ~members ~leader ~exec ~on_executed =
   if not (List.mem leader members) then
     invalid_arg "Group.create: leader not in members";
+  let peers = List.filter (fun m -> m <> env.Proto.id) members in
   {
     id = env.Proto.id;
     members;
     leader;
     send = (fun dst m -> env.Proto.send dst (wrap m));
+    post_peers =
+      (fun m ->
+        if peers = [] then 0
+        else
+          env.Proto.rel.Proto.post_multi ~ack:Reliable.Piggyback peers (wrap m));
+    settle = (fun ~dst ~key -> env.Proto.rel.Proto.settle ~dst ~key);
+    settle_all = (fun ~key -> env.Proto.rel.Proto.settle_all ~key);
     log = Slot_log.create ();
     exec;
     on_executed;
@@ -69,9 +84,10 @@ let propose t ~client cmd =
   let slot = Slot_log.reserve t.log in
   let tracker = Quorum.create (Quorum.Majority t.members) in
   Quorum.ack tracker t.id;
-  Slot_log.set t.log slot { cmd; client; quorum = Some tracker; committed = false };
-  let msg = Accept { slot; cmd; commit_up_to = Slot_log.exec_frontier t.log } in
-  List.iter (fun m -> t.send m msg) (peers t);
+  let e = { cmd; client; quorum = Some tracker; committed = false; rkey = 0 } in
+  Slot_log.set t.log slot e;
+  e.rkey <-
+    t.post_peers (Accept { slot; cmd; commit_up_to = Slot_log.exec_frontier t.log });
   (* single-member groups commit instantly *)
   (match Slot_log.get t.log slot with
   | Some (e : entry) when not e.committed && Quorum.satisfied tracker ->
@@ -85,7 +101,9 @@ let on_accept t ~src ~slot ~cmd ~commit_up_to:bound =
   | Some e ->
       if not (Command.equal e.cmd cmd) then e.client <- None;
       e.cmd <- cmd
-  | None -> Slot_log.set t.log slot { cmd; client = None; quorum = None; committed = false });
+  | None ->
+      Slot_log.set t.log slot
+        { cmd; client = None; quorum = None; committed = false; rkey = 0 });
   commit_up_to t bound;
   t.send src (AcceptOk { slot })
 
@@ -93,12 +111,17 @@ let on_accept_ok t ~src ~slot =
   if is_leader t then
     match Slot_log.get t.log slot with
     | Some ({ quorum = Some tracker; committed = false; _ } as e : entry) ->
+        t.settle ~dst:src ~key:e.rkey;
         Quorum.ack tracker src;
         if Quorum.satisfied tracker then begin
           e.committed <- true;
+          t.settle_all ~key:e.rkey;
           advance t;
           List.iter (fun m -> t.send m (Commit { slot; cmd = e.cmd })) (peers t)
         end
+    | Some ({ committed = true; rkey; _ } : entry) when rkey <> 0 ->
+        (* late ack for an already-committed slot: stop the timer *)
+        t.settle ~dst:src ~key:rkey
     | _ -> ()
 
 let on_commit t ~slot ~cmd =
@@ -107,7 +130,9 @@ let on_commit t ~slot ~cmd =
       if not (Command.equal e.cmd cmd) then e.client <- None;
       e.cmd <- cmd;
       e.committed <- true
-  | None -> Slot_log.set t.log slot { cmd; client = None; quorum = None; committed = true });
+  | None ->
+      Slot_log.set t.log slot
+        { cmd; client = None; quorum = None; committed = true; rkey = 0 });
   advance t
 
 let on_message t ~src = function

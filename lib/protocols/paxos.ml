@@ -30,16 +30,25 @@ type entry = {
   mutable client : Address.t option;
   mutable quorum : Quorum.t option;
   mutable committed : bool;
+  mutable rkey : int;
+      (** reliable-delivery key of the in-flight P2a for this slot
+          (0 when none) — settled per-acceptor as P2bs arrive *)
 }
 
 type phase1_state = {
   tracker : Quorum.t;
   mutable recovered : (int * Ballot.t * Command.t) list;
+  rkey : int;  (** reliable-delivery key of the P1a broadcast *)
 }
 
 (* One in-flight batched phase-2 round: a single quorum covers the
    slot range [first_slot, first_slot + count). *)
-type batch_state = { bballot : Ballot.t; count : int; tracker : Quorum.t }
+type batch_state = {
+  bballot : Ballot.t;
+  count : int;
+  tracker : Quorum.t;
+  rkey : int;
+}
 
 type replica = {
   env : message Proto.env;
@@ -155,6 +164,7 @@ let propose t ~client (request : Proto.request) =
       client = Some client;
       quorum = Some tracker;
       committed = false;
+      rkey = 0;
     }
   in
   Slot_log.set t.log slot entry;
@@ -167,11 +177,14 @@ let propose t ~client (request : Proto.request) =
         commit_up_to = Slot_log.exec_frontier t.log;
       }
   in
-  if t.env.config.Config.thrifty then t.env.multicast (phase2_peers t) msg
-  else t.env.broadcast msg
+  entry.rkey <-
+    (if t.env.config.Config.thrifty then
+       t.env.rel.post_multi ~ack:Reliable.Piggyback (phase2_peers t) msg
+     else t.env.rel.post_all ~ack:Reliable.Piggyback msg)
 
 let commit_batch t first_slot (bs : batch_state) =
   Hashtbl.remove t.batches first_slot;
+  t.env.rel.settle_all ~key:bs.rkey;
   for slot = first_slot to first_slot + bs.count - 1 do
     match Slot_log.get t.log slot with
     | Some e when not e.committed -> e.committed <- true
@@ -208,14 +221,13 @@ let propose_batch t items =
              batched slots *)
           quorum = None;
           committed = false;
+          rkey = 0;
         })
     items;
   let tracker =
     Quorum.create (Quorum.Count { members = all_ids t; threshold = q2_size t })
   in
   Quorum.ack tracker t.env.id;
-  let bs = { bballot = t.ballot; count = k; tracker } in
-  Hashtbl.replace t.batches first_slot bs;
   let msg =
     P2aBatch
       {
@@ -226,9 +238,14 @@ let propose_batch t items =
       }
   in
   let size_bytes = k * t.env.config.Config.msg_size_bytes in
-  (if t.env.config.Config.thrifty then
-     t.env.multicast_sized (phase2_peers t) ~size_bytes msg
-   else t.env.broadcast_sized ~size_bytes msg);
+  let rkey =
+    if t.env.config.Config.thrifty then
+      t.env.rel.post_multi ~size_bytes ~ack:Reliable.Piggyback (phase2_peers t)
+        msg
+    else t.env.rel.post_all ~size_bytes ~ack:Reliable.Piggyback msg
+  in
+  let bs = { bballot = t.ballot; count = k; tracker; rkey } in
+  Hashtbl.replace t.batches first_slot bs;
   if Quorum.satisfied tracker then commit_batch t first_slot bs
 
 let flush_batch t =
@@ -274,22 +291,30 @@ let drain_pending t =
 let start_phase1 t =
   t.ballot <- Ballot.next t.ballot ~owner:t.env.id;
   t.active <- false;
+  (* a fresh candidacy obsoletes whatever this replica was still
+     retransmitting (an older P1a, stale P2as from lost leadership) *)
+  t.env.rel.unpost_all ();
   let tracker =
     Quorum.create (Quorum.Count { members = all_ids t; threshold = q1_size t })
   in
-  let state = { tracker; recovered = [] } in
+  let state = { tracker; recovered = []; rkey = t.env.rel.fresh () } in
   t.p1 <- Some state;
   Quorum.ack tracker t.env.id;
   let frontier = Slot_log.exec_frontier t.log in
   (* self-report own accepted entries *)
   Slot_log.iter_from t.log ~start:frontier ~f:(fun slot e ->
       state.recovered <- (slot, e.ballot, e.cmd) :: state.recovered);
-  t.env.broadcast (P1a { ballot = t.ballot; frontier })
+  ignore
+    (t.env.rel.post_all ~key:state.rkey ~ack:Reliable.Piggyback
+       (P1a { ballot = t.ballot; frontier }))
 
 let become_leader t (state : phase1_state) =
   t.p1 <- None;
   t.active <- true;
   t.last_heard <- t.env.now ();
+  (* stop re-soliciting promises from stragglers: they will learn the
+     ballot from the P2as and heartbeats that follow *)
+  t.env.rel.settle_all ~key:state.rkey;
   Hashtbl.reset t.batches (* stale rounds from a previous leadership *);
   (* Adopt the highest-ballot command reported for every slot at or
      above our commit frontier, fill gaps with no-ops, re-propose. *)
@@ -328,17 +353,19 @@ let become_leader t (state : phase1_state) =
             client = None;
             quorum = Some tracker;
             committed = false;
+            rkey = 0;
           });
     match Slot_log.get t.log slot with
     | Some e when not e.committed ->
-        t.env.broadcast
-          (P2a
-             {
-               ballot = t.ballot;
-               slot;
-               cmd = e.cmd;
-               commit_up_to = Slot_log.exec_frontier t.log;
-             })
+        e.rkey <-
+          t.env.rel.post_all ~ack:Reliable.Piggyback
+            (P2a
+               {
+                 ballot = t.ballot;
+                 slot;
+                 cmd = e.cmd;
+                 commit_up_to = Slot_log.exec_frontier t.log;
+               })
     | _ -> ()
   done;
   drain_pending t
@@ -348,6 +375,9 @@ let step_down t ~ballot =
   t.active <- false;
   t.p1 <- None;
   t.last_heard <- t.env.now ();
+  (* everything this replica was retransmitting carried the lost
+     ballot; the new leader re-proposes whatever survives phase-1 *)
+  t.env.rel.unpost_all ();
   (* abandon in-flight batch rounds; buffered-but-unproposed commands
      go back to [pending] so they are forwarded to the new leader *)
   Hashtbl.reset t.batches;
@@ -366,7 +396,15 @@ let on_request t ~client request =
   else Queue.push (client, request) t.pending
 
 let on_p1a t ~src ~ballot ~frontier =
-  if Ballot.(ballot > t.ballot) then begin
+  (* Promise not only strictly higher ballots but also the exact
+     ballot we already hold when [src] owns it: we may have adopted it
+     from a nok P2b or a duplicate (retransmitted) P1a before this
+     copy arrived, and the promise is idempotent. Refusing would make
+     a retransmitted P1a elicit nok forever after its P1b was lost. *)
+  if
+    Ballot.(ballot > t.ballot)
+    || (Ballot.equal ballot t.ballot && ballot.Ballot.owner = src)
+  then begin
     t.ballot <- ballot;
     t.active <- false;
     t.p1 <- None;
@@ -382,6 +420,7 @@ let on_p1a t ~src ~ballot ~frontier =
 let on_p1b t ~src ~ballot ~ok ~accepted =
   match t.p1 with
   | Some state when Ballot.equal ballot t.ballot && ok ->
+      t.env.rel.settle ~dst:src ~key:state.rkey;
       state.recovered <- accepted @ state.recovered;
       Quorum.ack state.tracker src;
       if Quorum.satisfied state.tracker then become_leader t state
@@ -406,7 +445,7 @@ let on_p2a t ~src ~ballot ~slot ~cmd ~commit_up_to:bound =
         e.cmd <- cmd
     | None ->
         Slot_log.set t.log slot
-          { ballot; cmd; client = None; quorum = None; committed = false });
+          { ballot; cmd; client = None; quorum = None; committed = false; rkey = 0 });
     commit_up_to t bound;
     t.env.send src (P2b { ballot; slot; ok = true });
     drain_pending t
@@ -436,7 +475,7 @@ let on_p2a_batch t ~src ~ballot ~first_slot ~cmds ~commit_up_to:bound =
             e.cmd <- cmd
         | None ->
             Slot_log.set t.log slot
-              { ballot; cmd; client = None; quorum = None; committed = false })
+              { ballot; cmd; client = None; quorum = None; committed = false; rkey = 0 })
       cmds;
     commit_up_to t bound;
     t.env.send src (P2bBatch { ballot; first_slot; count; ok = true });
@@ -448,6 +487,7 @@ let on_p2b_batch t ~src ~ballot ~first_slot ~count ~ok =
   if ok && t.active && Ballot.equal ballot t.ballot then begin
     match Hashtbl.find_opt t.batches first_slot with
     | Some bs when bs.count = count && Ballot.equal bs.bballot ballot ->
+        t.env.rel.settle ~dst:src ~key:bs.rkey;
         Quorum.ack bs.tracker src;
         if Quorum.satisfied bs.tracker then commit_batch t first_slot bs
     | _ -> ()
@@ -458,13 +498,18 @@ let on_p2b t ~src ~ballot ~slot ~ok =
   if ok && t.active && Ballot.equal ballot t.ballot then begin
     match Slot_log.get t.log slot with
     | Some ({ quorum = Some tracker; committed = false; _ } as e) ->
+        t.env.rel.settle ~dst:src ~key:e.rkey;
         Quorum.ack tracker src;
         if Quorum.satisfied tracker then begin
           e.committed <- true;
+          t.env.rel.settle_all ~key:e.rkey;
           advance t;
           if not t.env.config.Config.piggyback_commit then
             t.env.broadcast (Commit { slot; cmd = e.cmd })
         end
+    | Some { committed = true; rkey; _ } when rkey <> 0 ->
+        (* late ack for an already-committed slot: just stop the timer *)
+        t.env.rel.settle ~dst:src ~key:rkey
     | _ -> ()
   end
   else if (not ok) && Ballot.(ballot > t.ballot) then step_down t ~ballot
@@ -476,7 +521,14 @@ let on_commit t ~slot ~cmd =
       e.committed <- true
   | None ->
       Slot_log.set t.log slot
-        { ballot = t.ballot; cmd; client = None; quorum = None; committed = true });
+        {
+          ballot = t.ballot;
+          cmd;
+          client = None;
+          quorum = None;
+          committed = true;
+          rkey = 0;
+        });
   advance t
 
 let on_heartbeat t ~ballot ~commit_up_to:bound =
@@ -507,48 +559,13 @@ let rec heartbeat_loop t =
   ignore
   @@ t.env.schedule period (fun () ->
          if t.active then begin
-           let frontier = Slot_log.exec_frontier t.log in
+           (* Lost P2a/P2b recovery now lives in the reliable-delivery
+              layer (each phase-2 post retransmits on its own backoff
+              timer until acked) — the beat is a pure keep-alive plus
+              commit-frontier carrier. *)
            t.env.broadcast
-             (Heartbeat { ballot = t.ballot; commit_up_to = frontier });
-           (* Re-propose in-flight slots each beat: a P2a or P2b lost
-              to the network would otherwise wedge the execution
-              frontier forever — no other path retries phase-2, and
-              followers keep hearing heartbeats so they never call an
-              election on the stuck leader's behalf. Acceptors treat
-              the duplicate P2a as idempotent and re-ack; [Quorum.ack]
-              ignores duplicate voters. *)
-           Slot_log.iter_from t.log ~start:frontier ~f:(fun slot e ->
-               if
-                 (not e.committed)
-                 && e.quorum <> None
-                 && Ballot.equal e.ballot t.ballot
-               then
-                 t.env.broadcast
-                   (P2a
-                      { ballot = t.ballot; slot; cmd = e.cmd; commit_up_to = frontier }));
-           (* Batched rounds retransmit as whole batches (their slots
-              carry [quorum = None] and are skipped above). *)
-           Hashtbl.iter
-             (fun first_slot (bs : batch_state) ->
-               if Ballot.equal bs.bballot t.ballot then begin
-                 let cmds =
-                   Array.init bs.count (fun i ->
-                       match Slot_log.get t.log (first_slot + i) with
-                       | Some e -> e.cmd
-                       | None -> Command.noop)
-                 in
-                 t.env.broadcast_sized
-                   ~size_bytes:
-                     (bs.count * t.env.config.Config.msg_size_bytes)
-                   (P2aBatch
-                      {
-                        ballot = t.ballot;
-                        first_slot;
-                        cmds;
-                        commit_up_to = frontier;
-                      })
-               end)
-             t.batches;
+             (Heartbeat
+                { ballot = t.ballot; commit_up_to = Slot_log.exec_frontier t.log });
            t.last_heard <- t.env.now ()
          end;
          heartbeat_loop t)

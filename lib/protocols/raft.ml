@@ -36,6 +36,11 @@ type replica = {
      the last replication round, and the pending deferred-flush timer *)
   mutable unflushed : int;
   mutable flush_timer : Sim.handle option;
+  (* reliable-delivery bookkeeping: the key of the open append post
+     covering each follower (0 = none) and the match_index that post
+     expects back — a success reply at or past it is the ack *)
+  mutable append_key : int array;
+  mutable inflight_match : int array;
 }
 
 let all_ids (t : replica) = List.init t.env.n (fun i -> i)
@@ -58,6 +63,8 @@ let create env =
     pending = Queue.create ();
     unflushed = 0;
     flush_timer = None;
+    append_key = Array.make env.Proto.n 0;
+    inflight_match = Array.make env.Proto.n 0;
   }
 
 let role t = t.state
@@ -111,8 +118,13 @@ let append_size t entries =
       Stdlib.max 1 (List.length entries) * t.env.config.Config.msg_size_bytes
   | None -> t.env.config.Config.msg_size_bytes
 
-let send_append t follower =
-  let next = t.next_index.(follower) in
+(* Ship the tail from [next] to [dsts] (who all share that
+   next_index). A non-empty tail goes through the reliable layer: any
+   post still covering a destination is superseded first (settled and
+   re-posted with the current tail), so at most one append post is
+   open per follower and it always carries the freshest state. An
+   empty tail is a plain probe — nothing to recover. *)
+let post_append t ~dsts ~next =
   let prev_index = next - 1 in
   let entries = ref [] in
   for i = last_index t downto next do
@@ -120,15 +132,38 @@ let send_append t follower =
     | Some e -> entries := e :: !entries
     | None -> ()
   done;
-  t.env.send_sized follower ~size_bytes:(append_size t !entries)
-    (AppendEntries
-       {
-         term = t.term;
-         prev_index;
-         prev_term = term_at t prev_index;
-         entries = !entries;
-         leader_commit = t.commit_index;
-       })
+  let msg =
+    AppendEntries
+      {
+        term = t.term;
+        prev_index;
+        prev_term = term_at t prev_index;
+        entries = !entries;
+        leader_commit = t.commit_index;
+      }
+  in
+  let size_bytes = append_size t !entries in
+  List.iter
+    (fun f ->
+      if t.append_key.(f) <> 0 then begin
+        t.env.rel.settle ~dst:f ~key:t.append_key.(f);
+        t.append_key.(f) <- 0;
+        t.inflight_match.(f) <- 0
+      end)
+    dsts;
+  if !entries = [] then t.env.multicast_sized dsts ~size_bytes msg
+  else begin
+    let key = t.env.rel.post_multi ~size_bytes ~ack:Reliable.Piggyback dsts msg in
+    let expected = prev_index + 1 + List.length !entries in
+    List.iter
+      (fun f ->
+        t.append_key.(f) <- key;
+        t.inflight_match.(f) <- expected)
+      dsts
+  end
+
+let send_append t follower =
+  post_append t ~dsts:[ follower ] ~next:t.next_index.(follower)
 
 (* Group followers that share the same next_index so the CPU
    serializes the batch once (etcd replicates a shared log the same
@@ -148,22 +183,32 @@ let broadcast_append t =
         Hashtbl.replace groups next (i :: members)
       end)
     (all_ids t);
+  Hashtbl.iter (fun next members -> post_append t ~dsts:members ~next) groups
+
+(* The beat when there is nothing to flush: empty appends grouped by
+   next_index. They keep election timers quiet and carry the commit
+   frontier; lost-append recovery is the reliable layer's job, so the
+   beat no longer re-ships the unreplicated tail. *)
+let broadcast_keepalive t =
+  let groups = Hashtbl.create 4 in
+  List.iter
+    (fun i ->
+      if i <> t.env.id then begin
+        let next = t.next_index.(i) in
+        let members = Option.value (Hashtbl.find_opt groups next) ~default:[] in
+        Hashtbl.replace groups next (i :: members)
+      end)
+    (all_ids t);
   Hashtbl.iter
     (fun next members ->
       let prev_index = next - 1 in
-      let entries = ref [] in
-      for i = last_index t downto next do
-        match Slot_log.get t.log i with
-        | Some e -> entries := e :: !entries
-        | None -> ()
-      done;
-      t.env.multicast_sized members ~size_bytes:(append_size t !entries)
+      t.env.multicast_sized members ~size_bytes:(append_size t [])
         (AppendEntries
            {
              term = t.term;
              prev_index;
              prev_term = term_at t prev_index;
-             entries = !entries;
+             entries = [];
              leader_commit = t.commit_index;
            }))
     groups
@@ -175,6 +220,8 @@ let become_leader t =
   let len = Slot_log.next_slot t.log in
   t.next_index <- Array.make t.env.n len;
   t.match_index <- Array.make t.env.n 0;
+  t.append_key <- Array.make t.env.n 0;
+  t.inflight_match <- Array.make t.env.n 0;
   (* No-op barrier: an entry of the new term lets the leader commit
      any uncommitted tail from previous terms (Raft §5.4.2). *)
   let barrier = Slot_log.reserve t.log in
@@ -200,6 +247,8 @@ let become_follower t ~term =
   t.unflushed <- 0;
   (match t.flush_timer with Some h -> Sim.cancel h | None -> ());
   t.flush_timer <- None;
+  (* open append posts belong to a leadership this replica just lost *)
+  t.env.rel.unpost_all ();
   reset_election_timer t
 
 let start_election t =
@@ -207,6 +256,7 @@ let start_election t =
   t.state <- Candidate;
   t.voted_for <- Some t.env.id;
   t.leader_id <- None;
+  t.env.rel.unpost_all ();
   let tracker = Quorum.create (Quorum.Majority (all_ids t)) in
   Quorum.ack tracker t.env.id;
   t.votes <- Some tracker;
@@ -332,6 +382,14 @@ let on_append_reply t ~src ~term ~success ~match_index =
   if term > t.term then become_follower t ~term
   else if t.state = Leader && term = t.term then
     if success then begin
+      (* the open post's ack: a success at or past the match it was
+         shipped to establish (an older reply leaves it posted) *)
+      if t.append_key.(src) <> 0 && match_index >= t.inflight_match.(src)
+      then begin
+        t.env.rel.settle ~dst:src ~key:t.append_key.(src);
+        t.append_key.(src) <- 0;
+        t.inflight_match.(src) <- 0
+      end;
       t.match_index.(src) <- Stdlib.max t.match_index.(src) match_index;
       t.next_index.(src) <- Stdlib.max t.next_index.(src) match_index;
       advance_commit t
@@ -356,7 +414,9 @@ let rec heartbeat_loop t =
   let period = t.env.config.Config.failover_timeout_ms /. 4.0 in
   ignore
   @@ t.env.schedule period (fun () ->
-         if t.state = Leader then broadcast_append t;
+         (if t.state = Leader then
+            if t.unflushed > 0 then broadcast_append t
+            else broadcast_keepalive t);
          heartbeat_loop t)
 
 let rec election_loop t =

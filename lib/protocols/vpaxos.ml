@@ -114,7 +114,12 @@ let flush_handoffs t =
   List.iter
     (fun (key, dest) ->
       Hashtbl.remove t.handoff key;
-      t.env.send (zone_leader t dest) (VState { key; value = local_value t key }))
+      (* one-shot state transfer: a lost VState would leave the new
+         owner queueing requests forever, so post it explicitly-acked
+         (the substrate dedups the duplicate deliveries) *)
+      ignore
+        (t.env.rel.post ~ack:Reliable.Explicit (zone_leader t dest)
+           (VState { key; value = local_value t key })))
     ready
 
 (* Apply an assignment decision locally: the new owner waits for the
@@ -168,12 +173,14 @@ let notify_leaders t key zone =
     |> List.filter_map (function l :: _ -> Some l | [] -> None)
     |> List.filter (fun l -> l <> t.env.id)
   in
-  t.env.multicast leaders (VAssign { key; zone })
+  ignore (t.env.rel.post_multi ~ack:Reliable.Explicit leaders (VAssign { key; zone }))
 
 let master_on_lookup t key ~zone ~client (request : Proto.request) =
   match assigned_zone t key with
   | Some z ->
-      t.env.send (zone_leader t zone) (VAssign { key; zone = z });
+      ignore
+        (t.env.rel.post ~ack:Reliable.Explicit (zone_leader t zone)
+           (VAssign { key; zone = z }));
       t.env.forward (zone_leader t z) ~client request
   | None ->
       if Hashtbl.mem t.reassigning key then
@@ -217,7 +224,10 @@ let note_access t key ~origin ~client (request : Proto.request) =
     if count >= t.env.config.Config.migration_threshold then begin
       Hashtbl.remove t.streaks key;
       if is_master t then master_on_migrate t key ~to_zone:zone
-      else t.env.send (zone_leader t t.master_zone) (VMigrateReq { key; to_zone = zone })
+      else
+        ignore
+          (t.env.rel.post ~ack:Reliable.Explicit (zone_leader t t.master_zone)
+             (VMigrateReq { key; to_zone = zone }))
     end
   end
 
@@ -243,8 +253,9 @@ let on_request t ~client (request : Proto.request) =
         if is_master t then
           master_on_lookup t key ~zone:t.my_zone ~client request
         else
-          t.env.send (zone_leader t t.master_zone)
-            (VLookup { key; zone = t.my_zone; client; request })
+          ignore
+            (t.env.rel.post ~ack:Reliable.Explicit (zone_leader t t.master_zone)
+               (VLookup { key; zone = t.my_zone; client; request }))
 
 let on_state t key ~value =
   sync_value t key value;

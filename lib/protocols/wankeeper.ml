@@ -153,8 +153,12 @@ let flush_token_moves t =
   List.iter
     (fun (key, gen) ->
       Hashtbl.remove t.pending_retracts key;
-      t.env.send (master_replica t)
-        (RetractAck { key; gen; value = local_value t key }))
+      (* token moves are one-shot state transfers with no natural
+         retry: post them explicitly-acked so a lost hop cannot strand
+         the token (dedup suppresses the duplicate deliveries) *)
+      ignore
+        (t.env.rel.post ~ack:Reliable.Explicit (master_replica t)
+           (RetractAck { key; gen; value = local_value t key })))
     ready_retracts;
   let ready_grants =
     Hashtbl.fold
@@ -165,8 +169,9 @@ let flush_token_moves t =
   List.iter
     (fun (key, zone, gen, pending) ->
       Hashtbl.remove t.pending_grants key;
-      t.env.send (zone_leader t zone)
-        (TokenGrant { key; gen; value = local_value t key; pending }))
+      ignore
+        (t.env.rel.post ~ack:Reliable.Explicit (zone_leader t zone)
+           (TokenGrant { key; gen; value = local_value t key; pending })))
     ready_grants
 
 let schedule_flush t =
@@ -198,7 +203,10 @@ let begin_retract t key tok =
     tok.retracting <- true;
     t.retractions <- t.retractions + 1;
     match tok.holder with
-    | Some z -> t.env.send (zone_leader t z) (TokenRetract { key; gen = tok.gen })
+    | Some z ->
+        ignore
+          (t.env.rel.post ~ack:Reliable.Explicit (zone_leader t z)
+             (TokenRetract { key; gen = tok.gen }))
     | None -> tok.retracting <- false
   end
 

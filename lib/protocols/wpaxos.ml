@@ -30,11 +30,14 @@ type entry = {
   mutable client : Address.t option;
   mutable quorum : Quorum.t option;
   mutable committed : bool;
+  mutable rkey : int;
+      (** reliable-delivery key of the in-flight P2a (0 when none) *)
 }
 
 type phase1_state = {
   tracker : Quorum.t;
   mutable recovered : (int * Ballot.t * Command.t * bool) list;
+  rkey : int;  (** reliable-delivery key of the steal's P1a broadcast *)
 }
 
 type key_state = {
@@ -205,6 +208,20 @@ let commit_up_to t ks bound =
   done;
   if !changed then advance t ks
 
+(* Stop retransmitting everything this replica had in flight for one
+   object: its steal's P1a and any owner-side P2as. Called wherever
+   the replica is preempted for the key — the winner re-proposes. *)
+let withdraw_posts t (ks : key_state) =
+  (match ks.p1 with
+  | Some st when st.rkey <> 0 -> t.env.rel.settle_all ~key:st.rkey
+  | _ -> ());
+  Slot_log.iter_from ks.log ~start:(Slot_log.exec_frontier ks.log)
+    ~f:(fun _slot (e : entry) ->
+      if e.rkey <> 0 then begin
+        t.env.rel.settle_all ~key:e.rkey;
+        e.rkey <- 0
+      end)
+
 let propose t key ks ~client (request : Proto.request) =
   let slot = Slot_log.reserve ks.log in
   let tracker = Quorum.create (q2_spec t) in
@@ -216,6 +233,7 @@ let propose t key ks ~client (request : Proto.request) =
       client = Some client;
       quorum = Some tracker;
       committed = false;
+      rkey = 0;
     }
   in
   Slot_log.set ks.log slot entry;
@@ -229,15 +247,17 @@ let propose t key ks ~client (request : Proto.request) =
         commit_up_to = Slot_log.exec_frontier ks.log;
       }
   in
-  if t.env.config.Config.thrifty then begin
-    (* contact only the phase-2 zones *)
-    let dsts =
-      List.concat_map (fun z -> t.zones.(z)) (q2_zones t)
-      |> List.filter (fun i -> i <> t.env.id)
-    in
-    t.env.multicast dsts msg
-  end
-  else t.env.broadcast msg (* full replication, as in §5 *)
+  entry.rkey <-
+    (if t.env.config.Config.thrifty then begin
+       (* contact only the phase-2 zones *)
+       let dsts =
+         List.concat_map (fun z -> t.zones.(z)) (q2_zones t)
+         |> List.filter (fun i -> i <> t.env.id)
+       in
+       t.env.rel.post_multi ~ack:Reliable.Piggyback dsts msg
+     end
+     else t.env.rel.post_all ~ack:Reliable.Piggyback msg
+       (* full replication, as in §5 *))
 
 let drain_pending t key ks =
   if ks.owner_active then
@@ -274,18 +294,25 @@ let start_steal t key ks =
   ks.owner_active <- false;
   ks.streak <- 0;
   ks.streak_zone <- -1;
+  (* our older in-flight posts (a lost steal, preempted P2as) are
+     superseded by this candidacy *)
+  withdraw_posts t ks;
   let tracker = Quorum.create (q1_spec t) in
-  let state = { tracker; recovered = [] } in
+  let state = { tracker; recovered = []; rkey = t.env.rel.fresh () } in
   ks.p1 <- Some state;
   Quorum.ack tracker t.env.id;
   let frontier = Slot_log.exec_frontier ks.log in
   Slot_log.iter_from ks.log ~start:frontier ~f:(fun slot (e : entry) ->
       state.recovered <- (slot, e.ballot, e.cmd, e.committed) :: state.recovered);
-  t.env.broadcast (P1a { key; ballot = ks.ballot; frontier })
+  ignore
+    (t.env.rel.post_all ~key:state.rkey ~ack:Reliable.Piggyback
+       (P1a { key; ballot = ks.ballot; frontier }))
 
 let become_owner t key ks (state : phase1_state) =
   ks.p1 <- None;
   ks.owner_active <- true;
+  (* stop re-soliciting promises; stragglers learn from P2a/CommitK *)
+  t.env.rel.settle_all ~key:state.rkey;
   (* Committed entries reported by the quorum are adopted as-is (they
      carry state the stealer may have missed — q1 intersects every
      phase-2 quorum, so every committed slot is reported by someone);
@@ -330,18 +357,20 @@ let become_owner t key ks (state : phase1_state) =
             client = None;
             quorum = Some tracker;
             committed = already_committed;
+            rkey = 0;
           });
     match Slot_log.get ks.log slot with
     | Some (e : entry) when not e.committed ->
-        t.env.broadcast
-          (P2a
-             {
-               key;
-               ballot = ks.ballot;
-               slot;
-               cmd = e.cmd;
-               commit_up_to = Slot_log.exec_frontier ks.log;
-             })
+        e.rkey <-
+          t.env.rel.post_all ~ack:Reliable.Piggyback
+            (P2a
+               {
+                 key;
+                 ballot = ks.ballot;
+                 slot;
+                 cmd = e.cmd;
+                 commit_up_to = Slot_log.exec_frontier ks.log;
+               })
     | _ -> ()
   done;
   advance t ks;
@@ -405,7 +434,19 @@ let on_steal_hint t key =
 
 let on_p1a t ~src ~key ~ballot ~frontier =
   let ks = key_state t key in
-  if Ballot.(ballot > ks.ballot) then begin
+  (* Acking is correct not only for strictly higher ballots but also
+     when we already sit at this exact ballot with [src] as its owner:
+     the promise is idempotent, and we may have adopted the ballot
+     through a nok [P2b] (preemption) or a duplicate [P1a]
+     (retransmission) before the steal's own [P1a] reached us.
+     Without the re-ack a 2-replica zone can wedge a steal forever:
+     the preempted owner's vote is mandatory there, and it would
+     refuse the very ballot it already deferred to. *)
+  if
+    Ballot.(ballot > ks.ballot)
+    || (Ballot.equal ballot ks.ballot && ballot.Ballot.owner = src)
+  then begin
+    withdraw_posts t ks;
     ks.ballot <- ballot;
     ks.owner_active <- false;
     ks.p1 <- None;
@@ -422,11 +463,13 @@ let on_p1b t ~src ~key ~ballot ~ok ~accepted =
   let ks = key_state t key in
   match ks.p1 with
   | Some state when Ballot.equal ballot ks.ballot && ok ->
+      t.env.rel.settle ~dst:src ~key:state.rkey;
       state.recovered <- accepted @ state.recovered;
       Quorum.ack state.tracker src;
       if Quorum.satisfied state.tracker then become_owner t key ks state
   | Some _ when Ballot.(ballot > ks.ballot) ->
       (* lost the steal race; defer to the higher ballot *)
+      withdraw_posts t ks;
       ks.ballot <- ballot;
       ks.p1 <- None;
       ks.owner_active <- false;
@@ -438,6 +481,7 @@ let on_p2a t ~src ~key ~ballot ~slot ~cmd ~commit_up_to:bound =
   if Ballot.(ballot >= ks.ballot) then begin
     ks.ballot <- ballot;
     if ballot.Ballot.owner <> t.env.id then begin
+      withdraw_posts t ks;
       ks.owner_active <- false;
       ks.p1 <- None
     end;
@@ -449,7 +493,7 @@ let on_p2a t ~src ~key ~ballot ~slot ~cmd ~commit_up_to:bound =
         e.cmd <- cmd
     | None ->
         Slot_log.set ks.log slot
-          { ballot; cmd; client = None; quorum = None; committed = false });
+          { ballot; cmd; client = None; quorum = None; committed = false; rkey = 0 });
     commit_up_to t ks bound;
     t.env.send src (P2b { key; ballot; slot; ok = true });
     drain_pending t key ks
@@ -461,15 +505,21 @@ let on_p2b t ~src ~key ~ballot ~slot ~ok =
   if ok && ks.owner_active && Ballot.equal ballot ks.ballot then begin
     match Slot_log.get ks.log slot with
     | Some ({ quorum = Some tracker; committed = false; _ } as e : entry) ->
+        t.env.rel.settle ~dst:src ~key:e.rkey;
         Quorum.ack tracker src;
         if Quorum.satisfied tracker then begin
           e.committed <- true;
+          t.env.rel.settle_all ~key:e.rkey;
           advance t ks;
           t.env.broadcast (CommitK { key; slot; cmd = e.cmd })
         end
+    | Some ({ committed = true; rkey; _ } : entry) when rkey <> 0 ->
+        (* late ack for an already-committed slot: stop the timer *)
+        t.env.rel.settle ~dst:src ~key:rkey
     | _ -> ()
   end
   else if (not ok) && Ballot.(ballot > ks.ballot) then begin
+    withdraw_posts t ks;
     ks.ballot <- ballot;
     ks.owner_active <- false;
     ks.p1 <- None;
@@ -485,7 +535,14 @@ let on_commit t ~key ~slot ~cmd =
       e.committed <- true
   | None ->
       Slot_log.set ks.log slot
-        { ballot = ks.ballot; cmd; client = None; quorum = None; committed = true });
+        {
+          ballot = ks.ballot;
+          cmd;
+          client = None;
+          quorum = None;
+          committed = true;
+          rkey = 0;
+        });
   advance t ks
 
 let on_message t ~src = function

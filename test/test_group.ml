@@ -168,6 +168,7 @@ let test_leader_must_be_member () =
       multicast_sized = (fun _ ~size_bytes:_ _ -> ());
       reply = (fun _ _ -> ());
       forward = (fun _ ~client:_ _ -> ());
+      rel = Proto.null_rel ();
     }
   in
   Alcotest.check_raises "leader outside members"

@@ -7,12 +7,12 @@ open Paxi_benchmark
 let paxos = Paxi_protocols.Registry.find_exn "paxos"
 let raft = Paxi_protocols.Registry.find_exn "raft"
 
-let lan_spec ?batching ?(seed = 7) ?(concurrency = 12)
+let lan_spec ?batching ?retransmit ?(seed = 7) ?(concurrency = 12)
     ?(duration_ms = 1_500.0) ?(collect_history = false)
     ?(check_consensus = false) () =
   let n = 5 in
   let config =
-    { (Config.default ~n_replicas:n) with Config.seed; batching }
+    { (Config.default ~n_replicas:n) with Config.seed; batching; retransmit }
   in
   Runner.spec ~warmup_ms:300.0 ~duration_ms ~collect_history ~check_consensus
     ~config
@@ -55,6 +55,45 @@ let test_inline_delivery_invisible () =
     on.Runner.messages_sent;
   Alcotest.(check int) "event totals identical" off.Runner.sim_events
     on.Runner.sim_events
+
+(* The reliable-delivery substrate's acceptance bar: on a loss-free
+   network every retransmission timer is cancelled by its ack before
+   firing, so a fixed-seed run with the layer armed matches the
+   disabled run on every statistic except the inline-delivery count
+   (cancelled timer entries sitting in the heap can block
+   [Sim.try_inline], which is exactly the one counter the collapse is
+   allowed to vary). The recovery counters must also stay at zero. *)
+let test_retransmit_inert_when_fault_free () =
+  let retransmit =
+    { Config.base_ms = 40.0; max_ms = 320.0; max_tries = 25 }
+  in
+  List.iter
+    (fun (name, p) ->
+      let off = Runner.run p (lan_spec ())
+      and on = Runner.run p (lan_spec ~retransmit ()) in
+      Alcotest.(check int) (name ^ ": zero retransmits") 0 on.Runner.retransmits;
+      Alcotest.(check int) (name ^ ": zero dup drops") 0 on.Runner.dup_drops;
+      Alcotest.(check (float 0.0))
+        (name ^ ": throughput identical")
+        off.Runner.throughput_rps on.Runner.throughput_rps;
+      Alcotest.(check (float 0.0))
+        (name ^ ": mean latency identical")
+        (Stats.mean off.Runner.latency)
+        (Stats.mean on.Runner.latency);
+      Alcotest.(check (float 0.0))
+        (name ^ ": max latency identical")
+        (Stats.max off.Runner.latency)
+        (Stats.max on.Runner.latency);
+      Alcotest.(check int)
+        (name ^ ": completed identical")
+        off.Runner.completed on.Runner.completed;
+      Alcotest.(check int)
+        (name ^ ": messages identical")
+        off.Runner.messages_sent on.Runner.messages_sent;
+      Alcotest.(check int)
+        (name ^ ": event totals identical")
+        off.Runner.sim_events on.Runner.sim_events)
+    [ ("paxos", paxos); ("raft", raft) ]
 
 (* Unbatched runs must not notice that the batching machinery exists:
    same seed, batching = None, identical statistics run-to-run. *)
@@ -154,6 +193,8 @@ let suite =
     [
       Alcotest.test_case "inline delivery invisible" `Slow
         test_inline_delivery_invisible;
+      Alcotest.test_case "retransmission inert when fault-free" `Slow
+        test_retransmit_inert_when_fault_free;
       Alcotest.test_case "fixed seed reproducible" `Slow
         test_fixed_seed_reproducible;
       Alcotest.test_case "batched paxos safe" `Slow test_batched_paxos_safe;

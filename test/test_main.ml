@@ -33,6 +33,7 @@ let () =
       Test_json.suite;
       Test_cluster.suite;
       Test_exec.suite;
+      Test_reliable.suite;
       Test_nemesis.suite;
       Test_hotpath.suite;
     ]

@@ -50,23 +50,24 @@ let schedule_testable =
     ( = )
 
 let test_generate_deterministic () =
-  let gen () = Trial.generate ~protocol:"raft" ~seed:123 ~max_faults:6 in
+  let gen () = Trial.generate ~protocol:"raft" ~seed:123 ~max_faults:6 () in
   Alcotest.check schedule_testable "same seed, same schedule" (gen ()) (gen ());
-  let other = Trial.generate ~protocol:"raft" ~seed:124 ~max_faults:6 in
+  let other = Trial.generate ~protocol:"raft" ~seed:124 ~max_faults:6 () in
   Alcotest.(check bool) "different seed differs" false (gen () = other)
 
 let test_generate_respects_kinds () =
-  (* chain's profile is slow-only: no generated fault may be anything
-     else, across many seeds *)
+  (* chain's profile spans every kind except crash (its fixed
+     head-to-tail order has no reconfiguration): no generated fault
+     may be a crash, across many seeds *)
   for seed = 1 to 50 do
-    let s = Trial.generate ~protocol:"chain" ~seed ~max_faults:6 in
+    let s = Trial.generate ~protocol:"chain" ~seed ~max_faults:6 () in
     List.iter
       (fun f ->
         match f with
-        | Schedule.Slow _ -> ()
-        | f ->
+        | Schedule.Crash _ ->
             Alcotest.failf "chain schedule contains %s"
-              (Schedule.to_string [ f ]))
+              (Schedule.to_string [ f ])
+        | _ -> ())
       s
   done
 
@@ -74,7 +75,7 @@ let test_generate_crashes_bounded () =
   (* crashes target distinct nodes and never reach a majority, so a
      quorum survives every instant *)
   for seed = 1 to 50 do
-    let s = Trial.generate ~protocol:"paxos" ~seed ~max_faults:8 in
+    let s = Trial.generate ~protocol:"paxos" ~seed ~max_faults:8 () in
     let crashed =
       List.filter_map
         (function Schedule.Crash { node; _ } -> Some node | _ -> None)
@@ -90,7 +91,7 @@ let test_generate_crashes_bounded () =
 
 let test_schedule_json_roundtrip () =
   for seed = 1 to 50 do
-    let s = Trial.generate ~protocol:"paxos" ~seed ~max_faults:6 in
+    let s = Trial.generate ~protocol:"paxos" ~seed ~max_faults:6 () in
     match Schedule.of_json (Schedule.to_json s) with
     | Ok s' -> Alcotest.check schedule_testable "roundtrip" s s'
     | Error e -> Alcotest.failf "roundtrip failed: %s" e
@@ -100,7 +101,7 @@ let test_schedule_text_roundtrip_replays () =
   (* the repro line goes through text, where float precision is
      truncated; the parsed schedule must still be a valid schedule
      with the same shape (kind sequence and near-identical windows) *)
-  let s = Trial.generate ~protocol:"paxos" ~seed:5 ~max_faults:6 in
+  let s = Trial.generate ~protocol:"paxos" ~seed:5 ~max_faults:6 () in
   match Schedule.of_string (Json.to_string (Schedule.to_json s)) with
   | Error e -> Alcotest.failf "text roundtrip failed: %s" e
   | Ok s' ->
@@ -169,14 +170,37 @@ let test_shrink_budget_zero_is_identity () =
 (* shrink when stressed beyond its profile                             *)
 (* ------------------------------------------------------------------ *)
 
+(* Regression: with two replicas per zone (n = 6) every zone's
+   phase-1 majority is 2-of-2, so a steal needs the preempted owner's
+   own vote. That owner could learn the stealing ballot from a nok
+   P2b before the steal's P1a reached it, and then refuse to re-ack
+   the equal ballot — wedging the steal (and eventually every key)
+   forever, fault-free. The fixed run must sustain progress across
+   the whole horizon, not just until the first migration. *)
+let test_wpaxos_n6_no_wedge () =
+  let v = Trial.run ~protocol:"wpaxos" ~n:6 ~seed:42 [] in
+  Alcotest.(check bool)
+    ("verdict ok: " ^ String.concat "; " v.Trial.reasons)
+    true v.Trial.ok;
+  Alcotest.(check int) "nothing abandoned" 0 v.Trial.gave_up;
+  Alcotest.(check bool)
+    (Printf.sprintf "sustained progress (completed=%d)" v.Trial.completed)
+    true
+    (v.Trial.completed > 2_000)
+
 let test_trial_detects_unsurvivable_fault () =
-  (* chain replication wedges under any crash; the liveness oracle
-     must say so, and the shrinker must keep the repro at one fault *)
+  (* mencius wedges when a replica is partitioned away mid-run (its
+     slot range stops being skipped and no other path revokes it);
+     the liveness oracle must say so. Chain no longer works here: its
+     explicitly-acked hops now heal through any transient fault. *)
   let schedule =
-    [ Schedule.Crash { node = 1; from_ms = 400.0; duration_ms = 600.0 } ]
+    [
+      Schedule.Partition
+        { minority = [ 1 ]; from_ms = 400.0; duration_ms = 600.0 };
+    ]
   in
-  let v = Trial.run ~protocol:"chain" ~seed:11 schedule in
-  Alcotest.(check bool) "chain fails under crash" false v.Trial.ok;
+  let v = Trial.run ~protocol:"mencius" ~seed:11 schedule in
+  Alcotest.(check bool) "mencius fails under partition" false v.Trial.ok;
   Alcotest.(check bool) "made some progress first" true (v.Trial.completed > 0)
 
 let suite =
@@ -205,6 +229,8 @@ let suite =
           test_shrink_result_still_fails;
         Alcotest.test_case "shrink budget zero" `Quick
           test_shrink_budget_zero_is_identity;
+        Alcotest.test_case "wpaxos n=6 steal wedge fixed" `Slow
+          test_wpaxos_n6_no_wedge;
         Alcotest.test_case "trial detects unsurvivable fault" `Slow
           test_trial_detects_unsurvivable_fault;
       ] )

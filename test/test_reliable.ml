@@ -1,0 +1,197 @@
+(* Unit tests for the reliable-delivery substrate (lib/net/reliable):
+   backoff schedule, cancel-on-ack, give-up after the try budget,
+   receiver-side dedup of explicitly-acked posts, partial settling of
+   multicast posts, and the inert degenerate mode. The harness drives
+   two or three bare endpoints over a real LAN transport so fault
+   windows, queueing delay and ack traffic all behave as in a full
+   protocol run. *)
+
+(* The transport envelope IS the packet type: no protocol on top. *)
+type msg = string Reliable.packet
+
+type node = {
+  ep : (string, msg) Reliable.t;
+  mutable delivered : (Address.t * string) list; (* newest first *)
+}
+
+let deliveries node = List.length node.delivered
+
+let policy = { Reliable.base_ms = 10.0; max_ms = 40.0; max_tries = 3 }
+
+let setup ?(n = 2) ?(policy = policy) () =
+  let sim = Sim.create ~seed:7 () in
+  let faults = Faults.create () in
+  let transport : msg Transport.t =
+    Transport.create ~sim ~topology:(Topology.lan ~n_replicas:n ()) ~faults ()
+  in
+  let nodes =
+    Array.init n (fun i ->
+        let self = Address.replica i in
+        let ep = Reliable.create ~transport ~self ~policy ~inject:Fun.id in
+        let node = { ep; delivered = [] } in
+        Transport.register transport self (fun ~src pkt ->
+            Reliable.on_packet ep ~src
+              ~deliver:(fun ~src m ->
+                node.delivered <- (src, m) :: node.delivered)
+              pkt);
+        node)
+  in
+  (sim, faults, transport, nodes)
+
+let r i = Address.replica i
+
+(* Fault-free: the ack lands well inside the first backoff window, so
+   the timer dies unfired — zero retransmits, zero duplicates. *)
+let test_cancel_on_ack () =
+  let sim, _, _, nodes = setup () in
+  let _key = Reliable.post nodes.(0).ep ~ack:Reliable.Explicit ~dst:(r 1) "hello" in
+  Sim.run sim;
+  Alcotest.(check int) "delivered exactly once" 1 (deliveries nodes.(1));
+  Alcotest.(check int) "no retransmits" 0 (Reliable.retransmits nodes.(0).ep);
+  Alcotest.(check int) "no dup drops" 0 (Reliable.dup_drops nodes.(1).ep);
+  Alcotest.(check int) "post settled" 0 (Reliable.outstanding nodes.(0).ep)
+
+(* A black-holed link exposes the raw schedule: with base 10ms, cap
+   40ms and 3 tries, retransmissions fire at t=10, 30 and 70, and the
+   endpoint abandons the post at t=110. *)
+let test_backoff_schedule_and_give_up () =
+  let sim, faults, _, nodes = setup () in
+  Faults.drop faults ~src:(r 0) ~dst:(r 1) ~from_ms:0.0 ~duration_ms:10_000.0;
+  let _key = Reliable.post nodes.(0).ep ~ack:Reliable.Explicit ~dst:(r 1) "lost" in
+  let at t expect =
+    Sim.run_until sim t;
+    Alcotest.(check int)
+      (Printf.sprintf "retransmits by t=%.0f" t)
+      expect
+      (Reliable.retransmits nodes.(0).ep)
+  in
+  at 9.0 0;
+  at 15.0 1;
+  at 35.0 2;
+  at 75.0 3;
+  at 200.0 3;
+  Alcotest.(check int) "gave up: no open post" 0
+    (Reliable.outstanding nodes.(0).ep);
+  Alcotest.(check int) "nothing got through" 0 (deliveries nodes.(1))
+
+(* A transient blackout shorter than the try budget heals: the first
+   retransmission after the window lifts delivers, the ack settles the
+   post, and no further copies are sent. *)
+let test_loss_healed_within_budget () =
+  let sim, faults, _, nodes = setup () in
+  Faults.drop faults ~src:(r 0) ~dst:(r 1) ~from_ms:0.0 ~duration_ms:25.0;
+  let _key = Reliable.post nodes.(0).ep ~ack:Reliable.Explicit ~dst:(r 1) "heal" in
+  Sim.run sim;
+  Alcotest.(check int) "delivered exactly once" 1 (deliveries nodes.(1));
+  Alcotest.(check int) "two copies lost to the window" 2
+    (Reliable.retransmits nodes.(0).ep);
+  Alcotest.(check int) "post settled" 0 (Reliable.outstanding nodes.(0).ep)
+
+(* Losing the acks instead of the payloads exercises the receiver
+   side: every duplicate is suppressed and re-acked until an ack
+   finally survives. *)
+let test_explicit_dedup () =
+  let sim, faults, _, nodes = setup () in
+  Faults.drop faults ~src:(r 1) ~dst:(r 0) ~from_ms:0.0 ~duration_ms:25.0;
+  let _key = Reliable.post nodes.(0).ep ~ack:Reliable.Explicit ~dst:(r 1) "dup" in
+  Sim.run sim;
+  Alcotest.(check int) "handler ran exactly once" 1 (deliveries nodes.(1));
+  Alcotest.(check int) "duplicates suppressed" 2
+    (Reliable.dup_drops nodes.(1).ep);
+  Alcotest.(check int) "payload resent while unacked" 2
+    (Reliable.retransmits nodes.(0).ep);
+  Alcotest.(check int) "eventually settled" 0
+    (Reliable.outstanding nodes.(0).ep)
+
+(* Piggyback mode never suppresses duplicates (handlers are idempotent
+   and re-answering is what regenerates a lost reply) and never emits
+   substrate acks: without a protocol-level settle the post runs its
+   full budget and every copy is delivered. *)
+let test_piggyback_redelivers () =
+  let sim, _, _, nodes = setup () in
+  let key =
+    Reliable.post nodes.(0).ep ~ack:Reliable.Piggyback ~dst:(r 1) "again"
+  in
+  Sim.run sim;
+  Alcotest.(check int) "initial + every retransmission delivered"
+    (1 + policy.Reliable.max_tries)
+    (deliveries nodes.(1));
+  Alcotest.(check int) "piggyback never counts dups" 0
+    (Reliable.dup_drops nodes.(1).ep);
+  Alcotest.(check int) "budget exhausted, post abandoned" 0
+    (Reliable.outstanding nodes.(0).ep);
+  (* late settle of a dead key must be a no-op *)
+  Reliable.settle nodes.(0).ep ~dst:(r 1) ~key;
+  Alcotest.(check int) "late settle ignored" 0
+    (Reliable.outstanding nodes.(0).ep)
+
+(* Piggyback cancel-on-settle: a protocol-level settle before the
+   first backoff deadline silences the timer for good. *)
+let test_piggyback_settle_cancels () =
+  let sim, _, _, nodes = setup () in
+  let key =
+    Reliable.post nodes.(0).ep ~ack:Reliable.Piggyback ~dst:(r 1) "once"
+  in
+  Sim.run_until sim 5.0;
+  Reliable.settle nodes.(0).ep ~dst:(r 1) ~key;
+  Sim.run sim;
+  Alcotest.(check int) "delivered exactly once" 1 (deliveries nodes.(1));
+  Alcotest.(check int) "no retransmits after settle" 0
+    (Reliable.retransmits nodes.(0).ep);
+  Alcotest.(check int) "post closed" 0 (Reliable.outstanding nodes.(0).ep)
+
+(* Multicast posts settle per destination: once a destination acks,
+   retransmissions go only to the stragglers. *)
+let test_post_multi_partial_settle () =
+  let sim, faults, _, nodes = setup ~n:3 () in
+  Faults.drop faults ~src:(r 0) ~dst:(r 2) ~from_ms:0.0 ~duration_ms:25.0;
+  let _key =
+    Reliable.post_multi nodes.(0).ep ~ack:Reliable.Explicit
+      ~dsts:[ r 1; r 2 ] "fanout"
+  in
+  Sim.run sim;
+  Alcotest.(check int) "settled dst never re-hit" 1 (deliveries nodes.(1));
+  Alcotest.(check int) "straggler reached after the window" 1
+    (deliveries nodes.(2));
+  Alcotest.(check int) "copies resent to the straggler only" 2
+    (Reliable.retransmits nodes.(0).ep);
+  Alcotest.(check int) "fully settled" 0 (Reliable.outstanding nodes.(0).ep)
+
+(* Inert policy (max_tries = 0): a post is a plain transport send —
+   no state, no timers, no acks — so a lost message stays lost. *)
+let test_inert_is_plain_send () =
+  let sim, faults, transport, nodes = setup ~policy:Reliable.inert () in
+  Faults.drop faults ~src:(r 0) ~dst:(r 1) ~from_ms:0.0 ~duration_ms:10_000.0;
+  let _k1 = Reliable.post nodes.(0).ep ~ack:Reliable.Explicit ~dst:(r 1) "void" in
+  Sim.run sim;
+  Alcotest.(check int) "no open posts in inert mode" 0
+    (Reliable.outstanding nodes.(0).ep);
+  Alcotest.(check int) "no retransmits in inert mode" 0
+    (Reliable.retransmits nodes.(0).ep);
+  Alcotest.(check int) "lost message stays lost" 0 (deliveries nodes.(1));
+  (* and a delivered one arrives exactly once, without ack traffic *)
+  Faults.clear faults;
+  let _k2 = Reliable.post nodes.(0).ep ~ack:Reliable.Explicit ~dst:(r 1) "plain" in
+  Sim.run sim;
+  Alcotest.(check int) "delivered exactly once" 1 (deliveries nodes.(1));
+  (* two posts, two wire messages: the receiver acked neither *)
+  Alcotest.(check int) "no ack traffic" 2 (Transport.sent_count transport)
+
+let suite =
+  ( "reliable",
+    [
+      Alcotest.test_case "cancel on ack" `Quick test_cancel_on_ack;
+      Alcotest.test_case "backoff schedule and give-up" `Quick
+        test_backoff_schedule_and_give_up;
+      Alcotest.test_case "loss healed within budget" `Quick
+        test_loss_healed_within_budget;
+      Alcotest.test_case "explicit dedup" `Quick test_explicit_dedup;
+      Alcotest.test_case "piggyback redelivers" `Quick
+        test_piggyback_redelivers;
+      Alcotest.test_case "piggyback settle cancels" `Quick
+        test_piggyback_settle_cancels;
+      Alcotest.test_case "post_multi partial settle" `Quick
+        test_post_multi_partial_settle;
+      Alcotest.test_case "inert is plain send" `Quick
+        test_inert_is_plain_send;
+    ] )
