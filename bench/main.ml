@@ -1345,6 +1345,209 @@ let nemesis_main args =
       if List.exists (fun r -> r.Nemesis.Campaign.failures <> []) reports then
         exit 1
 
+(* ------------------------------------------------------------------ *)
+(* dissect subcommand                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let dissect_usage () =
+  prerr_endline
+    "usage: main.exe dissect [--protocol NAME] [--load FRAC] [--trace FILE] \
+     [--quick]";
+  exit 2
+
+(* Latency dissection: run one traced open-loop point and print the
+   measured wait/service/network breakdown next to the analytic
+   model's Wq + ts + DL + DQ decomposition (§3.3). *)
+let dissect_main args =
+  let protocol = ref "paxos" in
+  let load = ref 0.6 in
+  let trace_file = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--protocol" :: v :: rest ->
+        protocol := v;
+        parse rest
+    | "--load" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f > 0.0 && f < 1.0 -> load := f
+        | _ ->
+            Printf.eprintf "dissect: --load expects a fraction in (0,1), got %S\n" v;
+            exit 2);
+        parse rest
+    | "--trace" :: v :: rest ->
+        trace_file := Some v;
+        parse rest
+    | "--quick" :: rest -> parse rest (* consumed by the global flag *)
+    | arg :: _ ->
+        Printf.eprintf "dissect: unknown argument %S\n" arg;
+        dissect_usage ()
+  in
+  parse args;
+  let (module P) =
+    match Paxi_protocols.Registry.find !protocol with
+    | Some p -> p
+    | None ->
+        Printf.eprintf "dissect: unknown protocol %S (known: %s)\n" !protocol
+          (String.concat ", " Paxi_protocols.Registry.names);
+        exit 2
+  in
+  let n = 5 in
+  let node = Service.default_node ~n in
+  let model_proto =
+    match !protocol with
+    | "paxos" | "raft" -> Some Latency_model.Paxos
+    | "fpaxos" ->
+        Some (Latency_model.Fpaxos { q2 = Paxi_protocols.Fpaxos.default_q2 ~n })
+    | "epaxos" -> Some (Latency_model.Epaxos { conflict = 0.0 })
+    | _ -> None
+  in
+  (* Offered load as a fraction of the modeled saturation point; when
+     the protocol has no analytic model, scale off plain Paxos. *)
+  let cap =
+    Latency_model.lan_max_throughput
+      (Option.value model_proto ~default:Latency_model.Paxos)
+      ~node
+  in
+  let rate = !load *. cap in
+  let config =
+    {
+      (Config.default ~n_replicas:n) with
+      Config.seed = point_seed ("dissect", !protocol, !load);
+      tracing = true;
+    }
+  in
+  let spec =
+    Runner.spec ~warmup_ms ~duration_ms:measured_ms ~config
+      ~topology:(Topology.lan ~n_replicas:n ())
+      ~client_specs:
+        [ (* straight to the leader, as the model's DL assumes *)
+          Runner.clients ~target:(Runner.Fixed 0)
+            ~arrival:(Runner.Open { rate_per_sec = rate /. 4.0 })
+            ~count:4 Workload.default ]
+      ()
+  in
+  Report.section
+    (Printf.sprintf "Latency dissection: %s at %.0f%% of modeled capacity \
+                     (%.0f rps offered)"
+       !protocol (100.0 *. !load) rate);
+  let result = Runner.run (module P) spec in
+  let tr = result.Runner.trace in
+  let e2e = Paxi_obs.Trace.e2e tr in
+  let requests = Stats.count e2e in
+  if requests = 0 then begin
+    prerr_endline "dissect: no requests completed inside the measured window";
+    exit 1
+  end;
+  let e2e_mean = Stats.mean e2e in
+  let components = Paxi_obs.Trace.components tr in
+  let sum_means =
+    List.fold_left (fun acc (_, s) -> acc +. Stats.mean s) 0.0 components
+  in
+  Report.print_table
+    ~header:[ "component"; "mean (ms)"; "p99 (ms)"; "share" ]
+    ~rows:
+      (List.map
+         (fun (name, s) ->
+           [
+             name;
+             Report.fms (Stats.mean s);
+             Report.fms (Stats.percentile s 99.0);
+             Printf.sprintf "%5.1f%%" (100.0 *. Stats.mean s /. e2e_mean);
+           ])
+         components
+      @ [
+          [ "sum of components"; Report.fms sum_means; ""; "" ];
+          [ "end-to-end"; Report.fms e2e_mean; Report.fms (Stats.percentile e2e 99.0); "" ];
+        ]);
+  let sum_err = Float.abs (sum_means -. e2e_mean) /. e2e_mean in
+  Printf.printf "components sum to %s of the measured mean (%d requests)\n"
+    (Printf.sprintf "%.3f%%" (100.0 *. (1.0 -. sum_err)))
+    requests;
+  if sum_err > 0.01 then begin
+    prerr_endline "dissect: breakdown does not telescope to end-to-end (>1%)";
+    exit 1
+  end;
+  (* model comparison *)
+  (match model_proto with
+  | None ->
+      Printf.printf "(no analytic model for %s; measured breakdown only)\n"
+        !protocol
+  | Some proto -> (
+      let rng = Rng.create ~seed:44 in
+      match
+        Latency_model.lan_breakdown proto ~node ~lan:Latency_model.default_lan
+          ~rng ~lambda_rps:rate
+      with
+      | None -> print_endline "(model saturated at this load)"
+      | Some b ->
+          let leader = result.Runner.busiest_node in
+          let per_req total = total /. float_of_int requests in
+          let wq_meas = per_req (Paxi_obs.Trace.node_wait_ms tr leader) in
+          let ts_meas = per_req (Paxi_obs.Trace.node_busy_ms tr leader) in
+          let dl_meas =
+            Stats.mean (Paxi_obs.Trace.net_in tr)
+            +. Stats.mean (Paxi_obs.Trace.net_out tr)
+          in
+          let dq_meas =
+            let c = Paxi_obs.Trace.quorum_wait tr in
+            if Stats.count c > 0 then Stats.mean c
+            else Stats.mean (Paxi_obs.Trace.server_residency tr)
+          in
+          let row name meas model =
+            [
+              name;
+              Report.fms meas;
+              Report.fms model;
+              (if model > 0.0 then
+                 Printf.sprintf "%+.1f%%" (100.0 *. (meas -. model) /. model)
+               else "-");
+            ]
+          in
+          Report.print_table
+            ~header:[ "term"; "measured (ms)"; "model (ms)"; "rel err" ]
+            ~rows:
+              [
+                row "queue wait Wq (leader)" wq_meas b.Latency_model.wq_ms;
+                row "service ts (leader)" ts_meas b.Latency_model.service_ms;
+                row "client net DL" dl_meas b.Latency_model.dl_ms;
+                row "quorum DQ" dq_meas b.Latency_model.dq_ms;
+                row "total" e2e_mean b.Latency_model.total_ms;
+              ];
+          print_endline
+            "(measured leader wait/occupancy include every message at the \n\
+             busiest node — heartbeats and quorum replies, not only the \n\
+             request itself — so small positive errors are expected)"));
+  (* warmup-aware time series *)
+  let series = Paxi_obs.Trace.series tr in
+  let from_ms, _ = Paxi_obs.Trace.window tr in
+  Report.print_table
+    ~header:[ "bucket (ms)"; "completions"; "mean lat (ms)"; "" ]
+    ~rows:
+      (List.map
+         (fun (start, count, mean) ->
+           [
+             Printf.sprintf "%.0f" start;
+             string_of_int count;
+             Report.fms mean;
+             (if start < from_ms then "warmup" else "");
+           ])
+         series);
+  Report.print_table
+    ~header:[ "message type"; "sent" ]
+    ~rows:
+      (List.map
+         (fun (label, count) -> [ label; string_of_int count ])
+         (Paxi_obs.Trace.message_counts tr));
+  (match !trace_file with
+  | None -> ()
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc
+            (Json.to_string (Paxi_obs.Trace.to_chrome_json tr)));
+      Printf.printf "wrote %d spans to %s (open in chrome://tracing)\n"
+        (Paxi_obs.Trace.span_count tr)
+        path)
+
 let run_experiments names =
   let names = List.filter (fun n -> n <> "--quick") names in
   let requested = match names with [] -> List.map fst experiments | _ -> names in
@@ -1362,5 +1565,6 @@ let run_experiments names =
 let () =
   match Array.to_list Sys.argv with
   | _ :: "nemesis" :: rest -> nemesis_main rest
+  | _ :: "dissect" :: rest -> dissect_main rest
   | _ :: names -> run_experiments names
   | [] -> run_experiments []

@@ -31,6 +31,7 @@ module Primary_backup = struct
 
   let name = "primary-backup"
   let cpu_factor _ = 1.0
+  let message_label = function Replicate _ -> "Replicate" | Ack _ -> "Ack"
 
   let create env =
     { env; exec = Executor.create (); next_seq = 0; waiting = Hashtbl.create 32 }

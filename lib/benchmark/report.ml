@@ -26,9 +26,91 @@ let print_table ~header ~rows =
   table ~header ~rows Format.std_formatter;
   Format.print_flush ()
 
+(* RFC-4180: a cell containing a comma, double quote, CR or LF is
+   wrapped in double quotes, with embedded quotes doubled. Emitting
+   such cells raw used to shift every following column. *)
+let csv_cell s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
 let csv ~header ~rows =
-  let line cells = String.concat "," cells in
+  let line cells = String.concat "," (List.map csv_cell cells) in
   String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+let csv_parse text =
+  let n = String.length text in
+  let rows = ref [] and row = ref [] in
+  let cell = Buffer.create 32 in
+  let flush_cell () =
+    row := Buffer.contents cell :: !row;
+    Buffer.clear cell
+  in
+  let flush_row () =
+    flush_cell ();
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  let i = ref 0 in
+  let at_row_start = ref true in
+  while !i < n do
+    (match text.[!i] with
+    | '"' ->
+        (* quoted cell: consume to the closing quote, "" unescapes *)
+        incr i;
+        let closed = ref false in
+        while not !closed do
+          if !i >= n then closed := true
+          else if text.[!i] = '"' then
+            if !i + 1 < n && text.[!i + 1] = '"' then begin
+              Buffer.add_char cell '"';
+              i := !i + 2
+            end
+            else begin
+              incr i;
+              closed := true
+            end
+          else begin
+            Buffer.add_char cell text.[!i];
+            incr i
+          end
+        done;
+        at_row_start := false
+    | ',' ->
+        flush_cell ();
+        at_row_start := false;
+        incr i
+    | '\r' ->
+        (* CRLF or lone CR both end the row *)
+        flush_row ();
+        at_row_start := true;
+        incr i;
+        if !i < n && text.[!i] = '\n' then incr i
+    | '\n' ->
+        flush_row ();
+        at_row_start := true;
+        incr i
+    | c ->
+        Buffer.add_char cell c;
+        at_row_start := false;
+        incr i)
+  done;
+  (* trailing cell without a final newline *)
+  if (not !at_row_start) || Buffer.length cell > 0 || !row <> [] then
+    flush_row ();
+  List.rev !rows
 
 let fms x =
   if Float.is_nan x || not (Float.is_finite x) then "-"

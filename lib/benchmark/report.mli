@@ -10,6 +10,14 @@ val print_table : header:string list -> rows:string list list -> unit
 (** To stdout. *)
 
 val csv : header:string list -> rows:string list list -> string
+(** RFC-4180: cells containing commas, quotes, CR or LF are quoted
+    with embedded quotes doubled, so arbitrary cell text survives a
+    round trip through {!csv_parse}. *)
+
+val csv_parse : string -> string list list
+(** Parse RFC-4180 text (as produced by {!csv}) back into rows of
+    cells; handles quoted cells, doubled quotes, and embedded
+    newlines. *)
 
 val fms : float -> string
 (** Format a latency in ms with 3 decimals; empty-cell marker for

@@ -57,6 +57,7 @@ type result = {
   sim_events_inlined : int;
   retransmits : int;
   dup_drops : int;
+  trace : Paxi_obs.Trace.t;
 }
 
 let kind_of_op (op : Command.op) (read : Command.value option) =
@@ -77,6 +78,8 @@ let run (module P : Proto.RUNNABLE) spec =
   let window_start = spec.warmup_ms in
   let window_end = spec.warmup_ms +. spec.duration_ms in
   let horizon = window_end +. spec.cooldown_ms in
+  Paxi_obs.Trace.set_window (C.trace cluster) ~from_ms:window_start
+    ~until_ms:window_end;
   let latency = Stats.create () in
   let per_region : (Region.t * Stats.t) list ref = ref [] in
   let region_stats region =
@@ -233,6 +236,7 @@ let run (module P : Proto.RUNNABLE) spec =
     sim_events_inlined = Sim.events_inlined sim;
     retransmits;
     dup_drops;
+    trace = C.trace cluster;
   }
 
 (* Stable per-point seed, splittable from a fixed root: every

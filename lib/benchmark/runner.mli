@@ -80,6 +80,9 @@ type result = {
           backoff timers (0 unless [Config.retransmit] is set) *)
   dup_drops : int;
       (** duplicate explicit-ack payloads suppressed at receivers *)
+  trace : Paxi_obs.Trace.t;
+      (** the cluster's latency-dissection trace, windowed to the
+          measured interval; disabled unless [config.tracing] *)
 }
 
 val run : (module Proto.RUNNABLE) -> spec -> result

@@ -17,6 +17,7 @@ module Make (P : Proto.RUNNABLE) = struct
     replicas : P.replica array;
     (* per-client map from command id to reply callback *)
     pending : (int, (int, Proto.reply -> unit) Hashtbl.t) Hashtbl.t;
+    trace : Paxi_obs.Trace.t;
   }
 
   let client_table t cid =
@@ -51,6 +52,35 @@ module Make (P : Proto.RUNNABLE) = struct
       | Some r -> r.Config.max_tries > 0
       | None -> false
     in
+    (* per-message-type counters: tag every protocol-level send (plain
+       or reliable-posted) at the env wrappers, where the message is
+       still a [P.message] rather than an envelope *)
+    let tally =
+      if Paxi_obs.Trace.enabled t.trace then fun m ->
+        Paxi_obs.Trace.count_msg t.trace (P.message_label m)
+      else fun _ -> ()
+    in
+    let tag label =
+      if Paxi_obs.Trace.enabled t.trace then fun () ->
+        Paxi_obs.Trace.count_msg t.trace label
+      else fun () -> ()
+    in
+    let tally_reply = tag "reply" and tally_forward = tag "forward" in
+    let obs =
+      if Paxi_obs.Trace.enabled t.trace then
+        {
+          Proto.active = true;
+          on_propose =
+            (fun ~slot ~cmd ->
+              Paxi_obs.Trace.on_propose t.trace ~slot
+                ~client:cmd.Command.client ~cmd_id:cmd.Command.id
+                ~now_ms:(Sim.now t.sim));
+          on_quorum =
+            (fun ~slot ->
+              Paxi_obs.Trace.on_quorum t.trace ~slot ~now_ms:(Sim.now t.sim));
+        }
+      else Proto.null_obs
+    in
     {
       Proto.id = i;
       n = t.config.Config.n_replicas;
@@ -61,31 +91,41 @@ module Make (P : Proto.RUNNABLE) = struct
       schedule = (fun delay f -> Sim.schedule_after t.sim ~delay f);
       send =
         (fun dst m ->
+          tally m;
           Transport.send transport ~src:addr ~dst:(Address.replica dst)
             (Peer m));
-      broadcast = (fun m -> Transport.broadcast transport ~src:addr (Peer m));
+      broadcast =
+        (fun m ->
+          tally m;
+          Transport.broadcast transport ~src:addr (Peer m));
       multicast =
         (fun dsts m ->
+          tally m;
           Transport.multicast transport ~src:addr
             ~dsts:(List.map Address.replica dsts)
             (Peer m));
       send_sized =
         (fun dst ~size_bytes m ->
+          tally m;
           Transport.send transport ~src:addr ~dst:(Address.replica dst)
             ~size_bytes (Peer m));
       broadcast_sized =
         (fun ~size_bytes m ->
+          tally m;
           Transport.broadcast transport ~src:addr ~size_bytes (Peer m));
       multicast_sized =
         (fun dsts ~size_bytes m ->
+          tally m;
           Transport.multicast transport ~src:addr
             ~dsts:(List.map Address.replica dsts)
             ~size_bytes (Peer m));
       reply =
         (fun client r ->
+          tally_reply ();
           Transport.send transport ~src:addr ~dst:client (Reply r));
       forward =
         (fun dst ~client request ->
+          tally_forward ();
           Transport.send transport ~src:addr ~dst:(Address.replica dst)
             (Request { client; request }));
       rel =
@@ -94,15 +134,18 @@ module Make (P : Proto.RUNNABLE) = struct
           fresh = (fun () -> Reliable.fresh ep);
           post =
             (fun ?key ?size_bytes ~ack dst m ->
+              tally m;
               Reliable.post ep ?key ?size_bytes ~ack
                 ~dst:(Address.replica dst) m);
           post_multi =
             (fun ?key ?size_bytes ~ack dsts m ->
+              tally m;
               Reliable.post_multi ep ?key ?size_bytes ~ack
                 ~dsts:(List.map Address.replica dsts)
                 m);
           post_all =
             (fun ?key ?size_bytes ~ack m ->
+              tally m;
               Reliable.post_multi ep ?key ?size_bytes ~ack ~dsts:peer_addrs m);
           settle =
             (fun ~dst ~key ->
@@ -110,6 +153,7 @@ module Make (P : Proto.RUNNABLE) = struct
           settle_all = (fun ~key -> Reliable.settle_all ep ~key);
           unpost_all = (fun () -> Reliable.unpost_all ep);
         };
+      obs;
     }
 
   let create ?sim ?faults ~config ~topology () =
@@ -151,6 +195,7 @@ module Make (P : Proto.RUNNABLE) = struct
           Reliable.create ~transport ~self:(Address.replica i) ~policy
             ~inject:(fun pkt -> Rel pkt))
     in
+    let trace = Paxi_obs.Trace.create ~enabled:config.Config.tracing () in
     let t =
       {
         sim;
@@ -161,8 +206,39 @@ module Make (P : Proto.RUNNABLE) = struct
         endpoints;
         replicas = [||];
         pending = Hashtbl.create 16;
+        trace;
       }
     in
+    if config.Config.tracing then
+      Transport.set_observer transport
+        (Some
+           {
+             Transport.on_delivery =
+               (fun ~src:_ ~dst ~size_bytes:_ ~sent_ms ~arrival_ms ~wait_ms
+                    ~service_ms ~ready_ms msg ->
+                 (match msg with
+                 | Request { client = Address.Client cid; request } ->
+                     Paxi_obs.Trace.on_request_arrival trace ~client:cid
+                       ~cmd_id:request.Proto.command.Command.id ~arrival_ms
+                       ~wait_ms ~service_ms ~ready_ms
+                 | Reply r ->
+                     Paxi_obs.Trace.on_reply trace
+                       ~client:r.Proto.command.Command.client
+                       ~cmd_id:r.Proto.command.Command.id ~sent_ms ~ready_ms
+                 | _ -> ());
+                 match dst with
+                 | Address.Replica i ->
+                     Paxi_obs.Trace.on_hop trace ~node:i ~now_ms:arrival_ms
+                       ~wait_ms ~service_ms
+                 | Address.Client _ -> ());
+             on_transmit =
+               (fun ~src ~now_ms ~wait_ms ~service_ms ~copies:_ ~size_bytes:_ ->
+                 match src with
+                 | Address.Replica i ->
+                     Paxi_obs.Trace.on_hop trace ~node:i ~now_ms ~wait_ms
+                       ~service_ms
+                 | Address.Client _ -> ());
+           });
     let replicas =
       Array.init config.Config.n_replicas (fun i ->
           P.create (make_env t transport i))
@@ -186,6 +262,7 @@ module Make (P : Proto.RUNNABLE) = struct
     t
 
   let sim t = t.sim
+  let trace t = t.trace
   let config t = t.config
   let topology t = t.topology
   let faults t = t.faults
@@ -207,6 +284,9 @@ module Make (P : Proto.RUNNABLE) = struct
     let request =
       { Proto.command; sent_at_ms = Sim.now t.sim }
     in
+    if Paxi_obs.Trace.enabled t.trace then
+      Paxi_obs.Trace.on_submit t.trace ~client ~cmd_id:command.Command.id
+        ~now_ms:(Sim.now t.sim);
     Transport.send t.transport ~src:(Address.client client)
       ~dst:(Address.replica target)
       (Request { client = Address.client client; request })

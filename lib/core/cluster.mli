@@ -31,6 +31,13 @@ module Make (P : Proto.RUNNABLE) : sig
       [config.n_replicas]. *)
 
   val sim : t -> Sim.t
+
+  val trace : t -> Paxi_obs.Trace.t
+  (** The cluster's latency-dissection trace. Disabled (a no-op sink)
+      unless [config.tracing] is set; when enabled, the transport
+      observer and protocol hooks feed it per-request spans, per-hop
+      queue accounting and per-message-type counters. *)
+
   val config : t -> Config.t
   val topology : t -> Topology.t
   val faults : t -> Faults.t

@@ -23,6 +23,7 @@ type t = {
   master_region_index : int;
   batching : batching option;
   retransmit : retransmit option;
+  tracing : bool;
 }
 
 let default ~n_replicas =
@@ -47,6 +48,7 @@ let default ~n_replicas =
     master_region_index = 0;
     batching = None;
     retransmit = None;
+    tracing = false;
   }
 
 let majority t = (t.n_replicas / 2) + 1
@@ -111,6 +113,7 @@ let to_json t =
        ("migration_cooldown_ms", Json.Number t.migration_cooldown_ms);
        ("failover_timeout_ms", Json.Number t.failover_timeout_ms);
        ("master_region_index", Json.Number (float_of_int t.master_region_index));
+       ("tracing", Json.Bool t.tracing);
      ]
     @ (match t.q2_size with
       | Some q -> [ ("q2_size", Json.Number (float_of_int q)) ]
@@ -153,6 +156,7 @@ let known_fields =
     "master_region_index";
     "batching";
     "retransmit";
+    "tracing";
   ]
 
 let of_json json =
@@ -217,6 +221,7 @@ let of_json json =
             let* failover_timeout_ms = floatf "failover_timeout_ms" d.failover_timeout_ms in
             let* initial_object_owner = opt_int "initial_object_owner" in
             let* master_region_index = intf "master_region_index" d.master_region_index in
+            let* tracing = boolf "tracing" d.tracing in
             let* batching =
               match Json.member "batching" json with
               | Some Json.Null | None -> Ok None
@@ -259,7 +264,7 @@ let of_json json =
                 leaders_per_region; epaxos_penalty; piggyback_commit; thrifty;
                 migration_threshold; migration_cooldown_ms;
                 failover_timeout_ms; initial_object_owner;
-                master_region_index; batching; retransmit;
+                master_region_index; batching; retransmit; tracing;
               }
             in
             let* () = validate config in

@@ -69,6 +69,11 @@ type t = {
       (** reliable-delivery retransmission policy; [None] (the
           default) disables retransmission, matching a loss-free
           network assumption *)
+  tracing : bool;
+      (** collect per-request latency-dissection traces (see
+          {!Paxi_obs.Trace}); off by default. Tracing only reads
+          timestamps the simulator already computed — a fixed-seed run
+          produces byte-identical statistics either way *)
 }
 
 val default : n_replicas:int -> t

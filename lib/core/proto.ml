@@ -48,6 +48,20 @@ let null_rel () =
     unpost_all = (fun () -> ());
   }
 
+(* Tracing hooks a replica calls at the two protocol-level milestones
+   the transport cannot see: a command being assigned a slot, and that
+   slot's quorum being satisfied. Plain closures so protocols stay
+   decoupled from the observability layer; no-ops when tracing is off
+   ([active = false]). *)
+type obs = {
+  active : bool;
+  on_propose : slot:int -> cmd:Command.t -> unit;
+  on_quorum : slot:int -> unit;
+}
+
+let null_obs =
+  { active = false; on_propose = (fun ~slot:_ ~cmd:_ -> ()); on_quorum = (fun ~slot:_ -> ()) }
+
 type 'm env = {
   id : int;
   n : int;
@@ -65,6 +79,7 @@ type 'm env = {
   reply : Address.t -> reply -> unit;
   forward : int -> client:Address.t -> request -> unit;
   rel : 'm rel;
+  obs : obs;
 }
 
 module type PROTOCOL = sig
@@ -72,6 +87,7 @@ module type PROTOCOL = sig
   type replica
 
   val name : string
+  val message_label : message -> string
   val create : message env -> replica
   val on_request : replica -> client:Address.t -> request -> unit
   val on_message : replica -> src:int -> message -> unit

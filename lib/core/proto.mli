@@ -48,6 +48,23 @@ val null_rel : unit -> 'm rel
 (** A fully inert [rel] (unique keys, no sends, no state) for harness
     env stubs that also stub out the plain send operations. *)
 
+(** Tracing hooks (see {!Paxi_obs.Trace}) for the two protocol-level
+    milestones the transport cannot observe on its own: a client
+    command being assigned a consensus slot, and that slot's quorum
+    being satisfied. Protocols call these unconditionally — both are
+    no-ops when tracing is disabled — and must not skip them on the
+    grounds of [active]; the flag only lets a protocol avoid building
+    expensive arguments. The hooks receive values the protocol already
+    computed and never draw randomness or schedule events. *)
+type obs = {
+  active : bool;
+  on_propose : slot:int -> cmd:Command.t -> unit;
+  on_quorum : slot:int -> unit;
+}
+
+val null_obs : obs
+(** Inert hooks ([active = false]) for harness env stubs. *)
+
 (** Capabilities handed to a replica by the cluster engine. Peer
     identifiers are replica ids [0 .. n-1]. *)
 type 'm env = {
@@ -73,6 +90,7 @@ type 'm env = {
       (** hand a client request over to another replica, preserving the
           originating client address *)
   rel : 'm rel;  (** reliable-delivery operations *)
+  obs : obs;  (** tracing hooks; inert when tracing is off *)
 }
 
 module type PROTOCOL = sig
@@ -81,6 +99,10 @@ module type PROTOCOL = sig
   type replica
 
   val name : string
+
+  val message_label : message -> string
+  (** Constructor tag of a message, e.g. ["P2a"] — keys the
+      per-message-type send counters of the tracing layer. *)
 
   val create : message env -> replica
 

@@ -115,16 +115,37 @@ let lan_network_delays proto ~node ~lan ~rng =
       in
       (mu, dq, 0.0)
 
-let lan_point ?queue proto ~node ~lan ~rng ~lambda_rps =
+type breakdown = {
+  wq_ms : float;
+  service_ms : float;
+  dl_ms : float;
+  dq_ms : float;
+  conflict_extra_ms : float;
+  total_ms : float;
+}
+
+let lan_breakdown ?queue proto ~node ~lan ~rng ~lambda_rps =
   let rc = resolved_cost proto ~node ~lambda_rps in
   match queue_wait_ms ?queue rc ~lambda_rps with
   | None -> None
   | Some wq ->
       let dl, dq, dq_extra = lan_network_delays proto ~node ~lan ~rng in
       let c = effective_conflict proto ~node ~lambda_rps in
-      let base = wq +. rc.Service.lead_ms +. dl +. dq in
-      let latency = base +. (c *. dq_extra) in
-      Some { throughput_rps = lambda_rps; latency_ms = latency }
+      let conflict_extra_ms = c *. dq_extra in
+      Some
+        {
+          wq_ms = wq;
+          service_ms = rc.Service.lead_ms;
+          dl_ms = dl;
+          dq_ms = dq;
+          conflict_extra_ms;
+          total_ms = wq +. rc.Service.lead_ms +. dl +. dq +. conflict_extra_ms;
+        }
+
+let lan_point ?queue proto ~node ~lan ~rng ~lambda_rps =
+  match lan_breakdown ?queue proto ~node ~lan ~rng ~lambda_rps with
+  | None -> None
+  | Some b -> Some { throughput_rps = lambda_rps; latency_ms = b.total_ms }
 
 let lan_curve ?queue proto ~node ~lan ~rng ~lambdas =
   List.filter_map

@@ -35,6 +35,29 @@ val lan_max_throughput :
   protocol -> node:Service.node_params -> float
 (** Saturation throughput (rounds/sec). *)
 
+type breakdown = {
+  wq_ms : float;  (** queue wait at the busiest node *)
+  service_ms : float;  (** leader round service time *)
+  dl_ms : float;  (** client-to-leader network RTT *)
+  dq_ms : float;  (** quorum RTT (order statistic) *)
+  conflict_extra_ms : float;
+      (** EPaxos second-phase penalty weighted by conflict rate *)
+  total_ms : float;  (** sum of the components — [lan_point]'s latency *)
+}
+(** The Latency = Wq + ts + DL + DQ decomposition of §3.3, kept as
+    separate components so measured per-request traces can be compared
+    term by term against the model ([bench/main dissect]). *)
+
+val lan_breakdown :
+  ?queue:Queueing.kind ->
+  protocol ->
+  node:Service.node_params ->
+  lan:lan ->
+  rng:Rng.t ->
+  lambda_rps:float ->
+  breakdown option
+(** [None] once the busiest node saturates. *)
+
 val lan_point :
   ?queue:Queueing.kind ->
   protocol ->

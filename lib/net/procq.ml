@@ -4,6 +4,7 @@ type t = {
   bytes_per_ms : float; (* NIC throughput *)
   mutable busy_until : float;
   mutable busy_time : float;
+  mutable waited : float;
   mutable processed : int;
   free : bool;
 }
@@ -17,6 +18,7 @@ let create ?(t_in_ms = 0.012) ?(t_out_ms = 0.008) ?(bandwidth_mbps = 10_000.0)
     bytes_per_ms = bandwidth_mbps *. 125.0;
     busy_until = 0.0;
     busy_time = 0.0;
+    waited = 0.0;
     processed = 0;
     free = false;
   }
@@ -28,6 +30,7 @@ let zero () =
     bytes_per_ms = infinity;
     busy_until = 0.0;
     busy_time = 0.0;
+    waited = 0.0;
     processed = 0;
     free = true;
   }
@@ -39,7 +42,22 @@ let occupy t ~now_ms ~cost =
     let finish = start +. cost in
     t.busy_until <- finish;
     t.busy_time <- t.busy_time +. cost;
+    t.waited <- t.waited +. (start -. now_ms);
     finish
+  end
+
+(* Same arithmetic as [occupy] but also reports the message's own
+   queueing wait and service split — the tracing layer's per-hop
+   attribution. The [ready] value is bit-identical to [occupy]'s. *)
+let occupy_split t ~now_ms ~cost =
+  if t.free then (now_ms, 0.0, 0.0)
+  else begin
+    let start = Float.max now_ms t.busy_until in
+    let finish = start +. cost in
+    t.busy_until <- finish;
+    t.busy_time <- t.busy_time +. cost;
+    t.waited <- t.waited +. (start -. now_ms);
+    (finish, start -. now_ms, cost)
   end
 
 let nic_cost t ~size_bytes =
@@ -54,11 +72,22 @@ let occupy_outgoing t ~now_ms ~copies ~size_bytes =
   occupy t ~now_ms
     ~cost:(t.t_out_ms +. (float_of_int copies *. nic_cost t ~size_bytes))
 
+let occupy_incoming_split t ~now_ms ~size_bytes =
+  t.processed <- t.processed + 1;
+  occupy_split t ~now_ms ~cost:(t.t_in_ms +. nic_cost t ~size_bytes)
+
+let occupy_outgoing_split t ~now_ms ~copies ~size_bytes =
+  t.processed <- t.processed + 1;
+  occupy_split t ~now_ms
+    ~cost:(t.t_out_ms +. (float_of_int copies *. nic_cost t ~size_bytes))
+
 let busy_until t = t.busy_until
 let busy_time t = t.busy_time
+let waited_ms t = t.waited
 let messages_processed t = t.processed
 
 let reset t =
   t.busy_until <- 0.0;
   t.busy_time <- 0.0;
+  t.waited <- 0.0;
   t.processed <- 0

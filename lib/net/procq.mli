@@ -33,9 +33,25 @@ val occupy_outgoing : t -> now_ms:float -> copies:int -> size_bytes:int -> float
 (** Serialize-and-transmit a batch; returns the departure time of the
     copies. *)
 
+val occupy_incoming_split :
+  t -> now_ms:float -> size_bytes:int -> float * float * float
+(** Like {!occupy_incoming}, also splitting the message's own
+    [(ready, wait, service)]: [ready = now + wait + service], with the
+    same arithmetic (and the same [ready]) as the unsplit form — the
+    tracing layer's per-hop wait/occupancy attribution. *)
+
+val occupy_outgoing_split :
+  t -> now_ms:float -> copies:int -> size_bytes:int -> float * float * float
+(** Like {!occupy_outgoing}, split as [(departure, wait, service)]. *)
+
 val busy_until : t -> float
 val busy_time : t -> float
 (** Total occupied time, for utilization = busy_time / elapsed. *)
+
+val waited_ms : t -> float
+(** Total queueing wait accumulated by messages before their
+    processing started — the measured counterpart of the model's
+    queue-wait term, summed over all messages. *)
 
 val messages_processed : t -> int
 val reset : t -> unit

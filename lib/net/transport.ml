@@ -8,6 +8,31 @@ let inline_delivery =
 
 type 'm handler = src:Address.t -> 'm -> unit
 
+(* Tracing taps. Both callbacks fire after the procq mutation with the
+   values the transport already computed — they must not draw RNG or
+   schedule events, so installing an observer cannot perturb a run. *)
+type 'm observer = {
+  on_delivery :
+    src:Address.t ->
+    dst:Address.t ->
+    size_bytes:int ->
+    sent_ms:float ->
+    arrival_ms:float ->
+    wait_ms:float ->
+    service_ms:float ->
+    ready_ms:float ->
+    'm ->
+    unit;
+  on_transmit :
+    src:Address.t ->
+    now_ms:float ->
+    wait_ms:float ->
+    service_ms:float ->
+    copies:int ->
+    size_bytes:int ->
+    unit;
+}
+
 type 'm t = {
   sim : Sim.t;
   topology : Topology.t;
@@ -28,6 +53,7 @@ type 'm t = {
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
+  mutable observer : 'm observer option;
 }
 
 let create ~sim ~topology ?(faults = Faults.create ())
@@ -52,11 +78,13 @@ let create ~sim ~topology ?(faults = Faults.create ())
     sent = 0;
     delivered = 0;
     dropped = 0;
+    observer = None;
   }
 
 let sim t = t.sim
 let topology t = t.topology
 let faults t = t.faults
+let set_observer t obs = t.observer <- obs
 
 let grow_replica_arrays t n =
   let grow1 arr =
@@ -98,14 +126,25 @@ let handler_for t addr =
       if i < Array.length t.r_handlers then t.r_handlers.(i) else None
   | Address.Client _ -> Address.Table.find_opt t.c_handlers addr
 
-let deliver t ~src ~dst ~size_bytes msg ~arrival =
+let deliver t ~src ~dst ~size_bytes ~sent msg ~arrival =
   Sim.schedule_at t.sim ~time:arrival (fun () ->
       let now = Sim.now t.sim in
       if Faults.is_crashed t.faults ~now_ms:now dst then
         t.dropped <- t.dropped + 1
       else begin
         let q = procq t dst in
-        let ready = Procq.occupy_incoming q ~now_ms:now ~size_bytes in
+        let ready =
+          match t.observer with
+          | None -> Procq.occupy_incoming q ~now_ms:now ~size_bytes
+          | Some obs ->
+              let ready, wait, service =
+                Procq.occupy_incoming_split q ~now_ms:now ~size_bytes
+              in
+              obs.on_delivery ~src ~dst ~size_bytes ~sent_ms:sent
+                ~arrival_ms:now ~wait_ms:wait ~service_ms:service
+                ~ready_ms:ready msg;
+              ready
+        in
         let complete () =
           let now = Sim.now t.sim in
           if Faults.is_crashed t.faults ~now_ms:now dst then
@@ -144,14 +183,25 @@ let send_one t ~src ~dst ~size_bytes msg =
   end
   else begin
     let q = procq t src in
-    let departure = Procq.occupy_outgoing q ~now_ms:now ~copies:1 ~size_bytes in
+    let departure =
+      match t.observer with
+      | None -> Procq.occupy_outgoing q ~now_ms:now ~copies:1 ~size_bytes
+      | Some obs ->
+          let departure, wait, service =
+            Procq.occupy_outgoing_split q ~now_ms:now ~copies:1 ~size_bytes
+          in
+          obs.on_transmit ~src ~now_ms:now ~wait_ms:wait ~service_ms:service
+            ~copies:1 ~size_bytes;
+          departure
+    in
     t.sent <- t.sent + 1;
     if Faults.should_drop t.faults t.rng ~now_ms:now ~src ~dst then
       t.dropped <- t.dropped + 1
     else begin
       let delay = Topology.sample_delay t.topology t.rng src dst in
       let extra = Faults.extra_delay t.faults t.rng ~now_ms:now ~src ~dst in
-      deliver t ~src ~dst ~size_bytes msg ~arrival:(departure +. delay +. extra)
+      deliver t ~src ~dst ~size_bytes ~sent:now msg
+        ~arrival:(departure +. delay +. extra)
     end
   end
 
@@ -170,7 +220,15 @@ let dispatch t ~src ~dsts ~size_bytes msg =
         let copies = List.length dsts in
         let q = procq t src in
         let departure =
-          Procq.occupy_outgoing q ~now_ms:now ~copies ~size_bytes
+          match t.observer with
+          | None -> Procq.occupy_outgoing q ~now_ms:now ~copies ~size_bytes
+          | Some obs ->
+              let departure, wait, service =
+                Procq.occupy_outgoing_split q ~now_ms:now ~copies ~size_bytes
+              in
+              obs.on_transmit ~src ~now_ms:now ~wait_ms:wait
+                ~service_ms:service ~copies ~size_bytes;
+              departure
         in
         List.iter
           (fun dst ->
@@ -182,7 +240,7 @@ let dispatch t ~src ~dsts ~size_bytes msg =
               let extra =
                 Faults.extra_delay t.faults t.rng ~now_ms:now ~src ~dst
               in
-              deliver t ~src ~dst ~size_bytes msg
+              deliver t ~src ~dst ~size_bytes ~sent:now msg
                 ~arrival:(departure +. delay +. extra)
             end)
           dsts

@@ -15,6 +15,40 @@
 
 type 'm t
 
+(** Tracing taps for the observability layer. [on_delivery] fires when
+    a message enters the destination's processing queue (before its
+    handler runs), carrying the send time, arrival time, and the
+    message's own queueing-wait / service split; [on_transmit] fires
+    when a sender's queue serializes an outgoing message or batch.
+    Callbacks receive only values the transport already computed —
+    they draw no randomness and schedule no events, so installing an
+    observer never changes simulation results. *)
+type 'm observer = {
+  on_delivery :
+    src:Address.t ->
+    dst:Address.t ->
+    size_bytes:int ->
+    sent_ms:float ->
+    arrival_ms:float ->
+    wait_ms:float ->
+    service_ms:float ->
+    ready_ms:float ->
+    'm ->
+    unit;
+  on_transmit :
+    src:Address.t ->
+    now_ms:float ->
+    wait_ms:float ->
+    service_ms:float ->
+    copies:int ->
+    size_bytes:int ->
+    unit;
+}
+
+val set_observer : 'm t -> 'm observer option -> unit
+(** Install (or clear) the tracing observer. With [None] — the default
+    — the instrumented code paths are skipped entirely. *)
+
 val inline_delivery : bool ref
 (** When true (the default unless [PAXI_NO_INLINE_DELIVERY=1] is set in
     the environment), a delivery whose queue-ready completion is

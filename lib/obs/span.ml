@@ -1,0 +1,20 @@
+type t = {
+  name : string;
+  track : int;
+  start_ms : float;
+  dur_ms : float;
+}
+
+let make ~name ~track ~start_ms ~end_ms =
+  { name; track; start_ms; dur_ms = Float.max 0.0 (end_ms -. start_ms) }
+
+let to_chrome_json s =
+  Json.Obj
+    [
+      ("name", Json.String s.name);
+      ("ph", Json.String "X");
+      ("ts", Json.Number (s.start_ms *. 1000.0));
+      ("dur", Json.Number (s.dur_ms *. 1000.0));
+      ("pid", Json.Number 0.0);
+      ("tid", Json.Number (float_of_int s.track));
+    ]

@@ -1,0 +1,19 @@
+(** A completed span: one named interval of virtual time on a track.
+    Spans are what the Chrome-trace exporter writes — each request
+    contributes one parent span (the whole round trip) plus one child
+    span per latency component, all on the client's track. *)
+
+type t = {
+  name : string;
+  track : int;  (** chrome [tid]; we use the client id *)
+  start_ms : float;
+  dur_ms : float;
+}
+
+val make : name:string -> track:int -> start_ms:float -> end_ms:float -> t
+(** Clamps a negative duration (possible when a reply is served by a
+    replica other than the proposer) to zero. *)
+
+val to_chrome_json : t -> Json.t
+(** One Chrome-trace "X" (complete) event; [ts]/[dur] are microseconds
+    as the format requires. *)

@@ -1,0 +1,290 @@
+(* One in-flight request's timestamps. Fields start at [nan] and are
+   filled as the round progresses; [close] turns them into component
+   samples. *)
+type open_req = {
+  client : int;
+  cmd_id : int;
+  submitted_ms : float;
+  mutable arrival_ms : float;
+  mutable wait_ms : float;
+  mutable service_ms : float;
+  mutable handled_ms : float;
+  mutable proposed_ms : float;
+  mutable quorum_ms : float;
+}
+
+type node_acc = {
+  mutable nwait : float;
+  mutable nbusy : float;
+  mutable nmsgs : int;
+}
+
+type bucket = { mutable bcount : int; mutable bsum : float }
+
+type t = {
+  on : bool;
+  window_ms : float;
+  max_spans : int;
+  mutable from_ms : float;
+  mutable until_ms : float;
+  reqs : (int * int, open_req) Hashtbl.t;
+  by_slot : (int, int * int) Hashtbl.t;
+  (* component statistics, window-filtered *)
+  c_e2e : Stats.t;
+  c_net_in : Stats.t;
+  c_wait_in : Stats.t;
+  c_service_in : Stats.t;
+  c_propose_gap : Stats.t;
+  c_quorum : Stats.t;
+  c_exec_reply : Stats.t;
+  c_net_out : Stats.t;
+  c_server : Stats.t;
+  nodes : (int, node_acc) Hashtbl.t;
+  msgs : (string, int ref) Hashtbl.t;
+  buckets : (int, bucket) Hashtbl.t;
+  mutable spans : Span.t list;
+  mutable n_spans : int;
+  mutable dropped : int;
+}
+
+let create ?(window_ms = 100.0) ?(max_spans = 200_000) ~enabled () =
+  {
+    on = enabled;
+    window_ms;
+    max_spans;
+    from_ms = 0.0;
+    until_ms = infinity;
+    reqs = Hashtbl.create (if enabled then 256 else 1);
+    by_slot = Hashtbl.create (if enabled then 256 else 1);
+    c_e2e = Stats.create ();
+    c_net_in = Stats.create ();
+    c_wait_in = Stats.create ();
+    c_service_in = Stats.create ();
+    c_propose_gap = Stats.create ();
+    c_quorum = Stats.create ();
+    c_exec_reply = Stats.create ();
+    c_net_out = Stats.create ();
+    c_server = Stats.create ();
+    nodes = Hashtbl.create (if enabled then 16 else 1);
+    msgs = Hashtbl.create (if enabled then 32 else 1);
+    buckets = Hashtbl.create (if enabled then 64 else 1);
+    spans = [];
+    n_spans = 0;
+    dropped = 0;
+  }
+
+let enabled t = t.on
+
+let set_window t ~from_ms ~until_ms =
+  t.from_ms <- from_ms;
+  t.until_ms <- until_ms
+
+let window t = (t.from_ms, t.until_ms)
+
+let on_submit t ~client ~cmd_id ~now_ms =
+  if t.on && not (Hashtbl.mem t.reqs (client, cmd_id)) then
+    Hashtbl.add t.reqs (client, cmd_id)
+      {
+        client;
+        cmd_id;
+        submitted_ms = now_ms;
+        arrival_ms = nan;
+        wait_ms = nan;
+        service_ms = nan;
+        handled_ms = nan;
+        proposed_ms = nan;
+        quorum_ms = nan;
+      }
+
+let on_request_arrival t ~client ~cmd_id ~arrival_ms ~wait_ms ~service_ms
+    ~ready_ms =
+  if t.on then
+    match Hashtbl.find_opt t.reqs (client, cmd_id) with
+    | Some r when Float.is_nan r.arrival_ms ->
+        r.arrival_ms <- arrival_ms;
+        r.wait_ms <- wait_ms;
+        r.service_ms <- service_ms;
+        r.handled_ms <- ready_ms
+    | _ -> ()
+
+let on_propose t ~slot ~client ~cmd_id ~now_ms =
+  if t.on then
+    match Hashtbl.find_opt t.reqs (client, cmd_id) with
+    | Some r when Float.is_nan r.proposed_ms ->
+        r.proposed_ms <- now_ms;
+        Hashtbl.replace t.by_slot slot (client, cmd_id)
+    | _ -> ()
+
+let on_quorum t ~slot ~now_ms =
+  if t.on then
+    match Hashtbl.find_opt t.by_slot slot with
+    | Some key -> (
+        Hashtbl.remove t.by_slot slot;
+        match Hashtbl.find_opt t.reqs key with
+        | Some r when Float.is_nan r.quorum_ms -> r.quorum_ms <- now_ms
+        | _ -> ())
+    | None -> ()
+
+let push_span t span =
+  if t.n_spans >= t.max_spans then t.dropped <- t.dropped + 1
+  else begin
+    t.spans <- span :: t.spans;
+    t.n_spans <- t.n_spans + 1
+  end
+
+let record_bucket t ~done_ms ~latency =
+  let b = int_of_float (done_ms /. t.window_ms) in
+  match Hashtbl.find_opt t.buckets b with
+  | Some bk ->
+      bk.bcount <- bk.bcount + 1;
+      bk.bsum <- bk.bsum +. latency
+  | None -> Hashtbl.add t.buckets b { bcount = 1; bsum = latency }
+
+let on_reply t ~client ~cmd_id ~sent_ms ~ready_ms =
+  if t.on then
+    match Hashtbl.find_opt t.reqs (client, cmd_id) with
+    | None -> () (* duplicate reply after the first already closed it *)
+    | Some r ->
+        Hashtbl.remove t.reqs (client, cmd_id);
+        let e2e = ready_ms -. r.submitted_ms in
+        record_bucket t ~done_ms:ready_ms ~latency:e2e;
+        let dissected = not (Float.is_nan r.arrival_ms) in
+        let staged =
+          dissected
+          && (not (Float.is_nan r.proposed_ms))
+          && not (Float.is_nan r.quorum_ms)
+        in
+        if r.submitted_ms >= t.from_ms && ready_ms <= t.until_ms then begin
+          Stats.add t.c_e2e e2e;
+          if dissected then begin
+            Stats.add t.c_net_in (r.arrival_ms -. r.submitted_ms);
+            Stats.add t.c_wait_in r.wait_ms;
+            Stats.add t.c_service_in r.service_ms;
+            Stats.add t.c_server (sent_ms -. r.handled_ms);
+            Stats.add t.c_net_out (ready_ms -. sent_ms);
+            if staged then begin
+              Stats.add t.c_propose_gap (r.proposed_ms -. r.handled_ms);
+              Stats.add t.c_quorum (r.quorum_ms -. r.proposed_ms);
+              Stats.add t.c_exec_reply (sent_ms -. r.quorum_ms)
+            end
+          end
+        end;
+        let sp name a b =
+          push_span t (Span.make ~name ~track:client ~start_ms:a ~end_ms:b)
+        in
+        let id = Printf.sprintf "c%d#%d" client cmd_id in
+        sp ("request " ^ id) r.submitted_ms ready_ms;
+        if dissected then begin
+          sp "net:client->replica" r.submitted_ms r.arrival_ms;
+          sp "queue-wait" r.arrival_ms (r.arrival_ms +. r.wait_ms);
+          sp "service" (r.arrival_ms +. r.wait_ms) r.handled_ms;
+          if staged then begin
+            sp "propose-gap" r.handled_ms r.proposed_ms;
+            sp "quorum-wait" r.proposed_ms r.quorum_ms;
+            sp "exec+reply" r.quorum_ms sent_ms
+          end
+          else sp "server" r.handled_ms sent_ms;
+          sp "net:replica->client" sent_ms ready_ms
+        end
+
+let node_acc t node =
+  match Hashtbl.find_opt t.nodes node with
+  | Some a -> a
+  | None ->
+      let a = { nwait = 0.0; nbusy = 0.0; nmsgs = 0 } in
+      Hashtbl.add t.nodes node a;
+      a
+
+let on_hop t ~node ~now_ms ~wait_ms ~service_ms =
+  if t.on && now_ms >= t.from_ms && now_ms <= t.until_ms then begin
+    let a = node_acc t node in
+    a.nwait <- a.nwait +. wait_ms;
+    a.nbusy <- a.nbusy +. service_ms;
+    a.nmsgs <- a.nmsgs + 1
+  end
+
+let count_msg t label =
+  if t.on then
+    match Hashtbl.find_opt t.msgs label with
+    | Some r -> incr r
+    | None -> Hashtbl.add t.msgs label (ref 1)
+
+let e2e t = t.c_e2e
+let net_in t = t.c_net_in
+let wait_in t = t.c_wait_in
+let service_in t = t.c_service_in
+let propose_gap t = t.c_propose_gap
+let quorum_wait t = t.c_quorum
+let exec_reply t = t.c_exec_reply
+let net_out t = t.c_net_out
+let server_residency t = t.c_server
+
+let components t =
+  if Stats.count t.c_quorum > 0 then
+    [
+      ("net client->replica", t.c_net_in);
+      ("queue wait", t.c_wait_in);
+      ("service", t.c_service_in);
+      ("propose gap", t.c_propose_gap);
+      ("quorum wait", t.c_quorum);
+      ("exec+reply", t.c_exec_reply);
+      ("net replica->client", t.c_net_out);
+    ]
+  else
+    [
+      ("net client->replica", t.c_net_in);
+      ("queue wait", t.c_wait_in);
+      ("service", t.c_service_in);
+      ("server residency", t.c_server);
+      ("net replica->client", t.c_net_out);
+    ]
+
+let node_ids t =
+  Hashtbl.fold (fun i _ acc -> i :: acc) t.nodes [] |> List.sort Int.compare
+
+let node_wait_ms t i =
+  match Hashtbl.find_opt t.nodes i with Some a -> a.nwait | None -> 0.0
+
+let node_busy_ms t i =
+  match Hashtbl.find_opt t.nodes i with Some a -> a.nbusy | None -> 0.0
+
+let node_msgs t i =
+  match Hashtbl.find_opt t.nodes i with Some a -> a.nmsgs | None -> 0
+
+let message_counts t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.msgs []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let series t =
+  Hashtbl.fold
+    (fun b bk acc ->
+      ( float_of_int b *. t.window_ms,
+        bk.bcount,
+        bk.bsum /. float_of_int bk.bcount )
+      :: acc)
+    t.buckets []
+  |> List.sort (fun (a, _, _) (b, _, _) -> Float.compare a b)
+
+let span_count t = t.n_spans
+let dropped_spans t = t.dropped
+
+let to_chrome_json t =
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Number 0.0);
+        ( "args",
+          Json.Obj [ ("name", Json.String "paxi clients (track = client id)") ]
+        );
+      ]
+  in
+  let events =
+    List.rev_map Span.to_chrome_json t.spans |> fun evs -> meta :: evs
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List events);
+      ("displayTimeUnit", Json.String "ms");
+    ]

@@ -11,6 +11,12 @@ type message =
 let name = "abd"
 let cpu_factor (_ : Config.t) = 1.0
 
+let message_label = function
+  | Query _ -> "Query"
+  | QueryR _ -> "QueryR"
+  | Store _ -> "Store"
+  | StoreR _ -> "StoreR"
+
 let zero_tag = (0, -1)
 
 type register = { mutable tag : tag; mutable value : Command.value option }

@@ -3,6 +3,7 @@ type message =
 
 let name = "chain"
 let cpu_factor (_ : Config.t) = 1.0
+let message_label = function Propagate _ -> "Propagate"
 
 type replica = {
   env : message Proto.env;

@@ -11,6 +11,13 @@ type message =
 let name = "epaxos"
 let cpu_factor (c : Config.t) = c.Config.epaxos_penalty
 
+let message_label = function
+  | PreAccept _ -> "PreAccept"
+  | PreAcceptOk _ -> "PreAcceptOk"
+  | Accept _ -> "Accept"
+  | AcceptOk _ -> "AcceptOk"
+  | Commit _ -> "Commit"
+
 type status = Pre_accepted | Accepted_st | Committed_st | Executed_st
 
 type inst = {

@@ -3,6 +3,7 @@ type replica = Paxos.replica
 
 let name = "fpaxos"
 let cpu_factor = Paxos.cpu_factor
+let message_label = Paxos.message_label
 let default_q2 ~n = (n + 2) / 3
 
 let create (env : message Proto.env) =

@@ -12,6 +12,11 @@ type entry = {
       (* reliable-delivery key of the in-flight Accept (0 when none) *)
 }
 
+let message_label = function
+  | Accept _ -> "Accept"
+  | AcceptOk _ -> "AcceptOk"
+  | Commit _ -> "Commit"
+
 type t = {
   id : int;
   members : int list;

@@ -13,6 +13,10 @@ type message =
   | AcceptOk of { slot : int }
   | Commit of { slot : int; cmd : Command.t }
 
+val message_label : message -> string
+(** Constructor tag (["Accept"], ...) for the enclosing protocol's
+    per-message-type tracing counters. *)
+
 type t
 
 val create :

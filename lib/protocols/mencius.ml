@@ -10,6 +10,12 @@ type message =
 let name = "mencius"
 let cpu_factor (_ : Config.t) = 1.0
 
+let message_label = function
+  | MAccept _ -> "MAccept"
+  | MAcceptOk _ -> "MAcceptOk"
+  | MSkip _ -> "MSkip"
+  | MCommit _ -> "MCommit"
+
 type entry = {
   mutable cmd : Command.t;
   mutable client : Address.t option;

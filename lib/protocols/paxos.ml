@@ -24,6 +24,16 @@ type message =
 let name = "paxos"
 let cpu_factor (_ : Config.t) = 1.0
 
+let message_label = function
+  | P1a _ -> "P1a"
+  | P1b _ -> "P1b"
+  | P2a _ -> "P2a"
+  | P2b _ -> "P2b"
+  | P2aBatch _ -> "P2aBatch"
+  | P2bBatch _ -> "P2bBatch"
+  | Commit _ -> "Commit"
+  | Heartbeat _ -> "Heartbeat"
+
 type entry = {
   mutable ballot : Ballot.t;
   mutable cmd : Command.t;
@@ -168,6 +178,7 @@ let propose t ~client (request : Proto.request) =
     }
   in
   Slot_log.set t.log slot entry;
+  t.env.obs.Proto.on_propose ~slot ~cmd:request.Proto.command;
   let msg =
     P2a
       {
@@ -187,7 +198,9 @@ let commit_batch t first_slot (bs : batch_state) =
   t.env.rel.settle_all ~key:bs.rkey;
   for slot = first_slot to first_slot + bs.count - 1 do
     match Slot_log.get t.log slot with
-    | Some e when not e.committed -> e.committed <- true
+    | Some e when not e.committed ->
+        e.committed <- true;
+        t.env.obs.Proto.on_quorum ~slot
     | _ -> ()
   done;
   advance t;
@@ -222,7 +235,8 @@ let propose_batch t items =
           quorum = None;
           committed = false;
           rkey = 0;
-        })
+        };
+      t.env.obs.Proto.on_propose ~slot ~cmd:request.Proto.command)
     items;
   let tracker =
     Quorum.create (Quorum.Count { members = all_ids t; threshold = q2_size t })
@@ -502,6 +516,7 @@ let on_p2b t ~src ~ballot ~slot ~ok =
         Quorum.ack tracker src;
         if Quorum.satisfied tracker then begin
           e.committed <- true;
+          t.env.obs.Proto.on_quorum ~slot;
           t.env.rel.settle_all ~key:e.rkey;
           advance t;
           if not t.env.config.Config.piggyback_commit then

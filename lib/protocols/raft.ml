@@ -15,6 +15,12 @@ type message =
 let name = "raft"
 let cpu_factor (_ : Config.t) = 1.0
 
+let message_label = function
+  | RequestVote _ -> "RequestVote"
+  | VoteReply _ -> "VoteReply"
+  | AppendEntries _ -> "AppendEntries"
+  | AppendReply _ -> "AppendReply"
+
 type role = Follower | Candidate | Leader
 
 type replica = {
@@ -275,7 +281,11 @@ let advance_commit t =
   let majority_match = sorted.(t.env.n - Config.majority t.env.config) in
   if majority_match > t.commit_index && term_at t (majority_match - 1) = t.term
   then begin
+    let old = t.commit_index in
     t.commit_index <- majority_match;
+    for slot = old to majority_match - 1 do
+      t.env.obs.Proto.on_quorum ~slot
+    done;
     apply_committed t
   end
 
@@ -285,6 +295,7 @@ let on_request t ~client (request : Proto.request) =
       let slot = Slot_log.reserve t.log in
       Slot_log.set t.log slot
         { term = t.term; cmd = request.Proto.command; client = Some client };
+      t.env.obs.Proto.on_propose ~slot ~cmd:request.Proto.command;
       t.match_index.(t.env.id) <- slot + 1;
       match t.env.config.Config.batching with
       | None -> broadcast_append t

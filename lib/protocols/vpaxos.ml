@@ -13,6 +13,13 @@ type message =
 let name = "vpaxos"
 let cpu_factor (_ : Config.t) = 1.0
 
+let message_label = function
+  | G g -> Group.message_label g
+  | VLookup _ -> "VLookup"
+  | VAssign _ -> "VAssign"
+  | VMigrateReq _ -> "VMigrateReq"
+  | VState _ -> "VState"
+
 type replica = {
   env : message Proto.env;
   zones : int list array;

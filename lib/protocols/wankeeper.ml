@@ -18,6 +18,13 @@ type message =
 let name = "wankeeper"
 let cpu_factor (_ : Config.t) = 1.0
 
+let message_label = function
+  | G g -> Group.message_label g
+  | WkRequest _ -> "WkRequest"
+  | TokenGrant _ -> "TokenGrant"
+  | TokenRetract _ -> "TokenRetract"
+  | RetractAck _ -> "RetractAck"
+
 (* Master-side per-key token bookkeeping. *)
 type token = {
   mutable holder : int option; (* zone currently holding the token *)

@@ -24,6 +24,14 @@ type message =
 let name = "wpaxos"
 let cpu_factor (_ : Config.t) = 1.0
 
+let message_label = function
+  | P1a _ -> "P1a"
+  | P1b _ -> "P1b"
+  | P2a _ -> "P2a"
+  | P2b _ -> "P2b"
+  | CommitK _ -> "CommitK"
+  | StealHint _ -> "StealHint"
+
 type entry = {
   mutable ballot : Ballot.t;
   mutable cmd : Command.t;

@@ -2,7 +2,13 @@ type t = {
   mutable data : float array;
   mutable n : int;
   mutable sum : float;
-  mutable sumsq : float;
+  (* Welford running moments: the textbook sumsq - n*m^2 form cancels
+     catastrophically once samples sit on a large offset (virtual-time
+     stamps late in a run), so the second moment is accumulated as the
+     centered [m2] instead. [sum] is kept alongside because [mean] as
+     sum/n is the historically pinned value in fixed-seed outputs. *)
+  mutable wmean : float;
+  mutable m2 : float;
   mutable lo : float;
   mutable hi : float;
   mutable sorted_n : int;
@@ -15,7 +21,8 @@ let create () =
     data = [||];
     n = 0;
     sum = 0.0;
-    sumsq = 0.0;
+    wmean = 0.0;
+    m2 = 0.0;
     lo = infinity;
     hi = neg_infinity;
     sorted_n = 0;
@@ -31,7 +38,9 @@ let add t x =
   t.data.(t.n) <- x;
   t.n <- t.n + 1;
   t.sum <- t.sum +. x;
-  t.sumsq <- t.sumsq +. (x *. x);
+  let d = x -. t.wmean in
+  t.wmean <- t.wmean +. (d /. float_of_int t.n);
+  t.m2 <- t.m2 +. (d *. (x -. t.wmean));
   if x < t.lo then t.lo <- x;
   if x > t.hi then t.hi <- x
 
@@ -40,11 +49,7 @@ let count t = t.n
 let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
 
 let variance t =
-  if t.n < 2 then nan
-  else
-    let n = float_of_int t.n in
-    let m = t.sum /. n in
-    Float.max 0.0 ((t.sumsq -. (n *. m *. m)) /. (n -. 1.0))
+  if t.n < 2 then nan else t.m2 /. float_of_int (t.n - 1)
 
 let stddev t = sqrt (variance t)
 let min t = if t.n = 0 then nan else t.lo
@@ -97,18 +102,15 @@ let percentile t p =
 
 let median t = percentile t 50.0
 
+(* Quantiles through [percentile], so the two agree by construction:
+   nearest-rank rounding here used to disagree with [percentile]'s
+   linear interpolation at small n. *)
 let cdf t ~points =
   if t.n = 0 || points <= 0 then []
-  else begin
-    ensure_sorted t;
+  else
     List.init points (fun i ->
         let q = float_of_int (i + 1) /. float_of_int points in
-        let idx =
-          Stdlib.min (t.n - 1)
-            (int_of_float (Float.round (q *. float_of_int (t.n - 1))))
-        in
-        (t.data.(idx), q))
-  end
+        (percentile t (q *. 100.0), q))
 
 let histogram t ~bins =
   if t.n = 0 || bins <= 0 then []

@@ -11,7 +11,9 @@ val mean : t -> float
 (** Mean of the samples; [nan] when empty. *)
 
 val variance : t -> float
-(** Unbiased sample variance; [nan] for fewer than 2 samples. *)
+(** Unbiased sample variance via Welford's online recurrence — stable
+    for samples sitting on a large common offset; [nan] for fewer than
+    2 samples. *)
 
 val stddev : t -> float
 val min : t -> float
@@ -25,7 +27,9 @@ val median : t -> float
 
 val cdf : t -> points:int -> (float * float) list
 (** [(value, fraction <= value)] pairs at [points] evenly spaced
-    quantiles — the series behind the paper's latency CDF plots. *)
+    quantiles — the series behind the paper's latency CDF plots. Each
+    value equals [percentile t (100 * fraction)] (both linearly
+    interpolate between closest ranks). *)
 
 val histogram : t -> bins:int -> (float * float * int) list
 (** [(lo, hi, count)] buckets over the sample range. *)

@@ -12,6 +12,7 @@ module Group_proto = struct
 
   let name = "group-test"
   let cpu_factor _ = 1.0
+  let message_label = Paxi_protocols.Group.message_label
 
   let members = [ 0; 1; 2 ]
 
@@ -169,6 +170,7 @@ let test_leader_must_be_member () =
       reply = (fun _ _ -> ());
       forward = (fun _ ~client:_ _ -> ());
       rel = Proto.null_rel ();
+      obs = Proto.null_obs;
     }
   in
   Alcotest.check_raises "leader outside members"

@@ -7,12 +7,18 @@ open Paxi_benchmark
 let paxos = Paxi_protocols.Registry.find_exn "paxos"
 let raft = Paxi_protocols.Registry.find_exn "raft"
 
-let lan_spec ?batching ?retransmit ?(seed = 7) ?(concurrency = 12)
-    ?(duration_ms = 1_500.0) ?(collect_history = false)
+let lan_spec ?batching ?retransmit ?(tracing = false) ?(seed = 7)
+    ?(concurrency = 12) ?(duration_ms = 1_500.0) ?(collect_history = false)
     ?(check_consensus = false) () =
   let n = 5 in
   let config =
-    { (Config.default ~n_replicas:n) with Config.seed; batching; retransmit }
+    {
+      (Config.default ~n_replicas:n) with
+      Config.seed;
+      batching;
+      retransmit;
+      tracing;
+    }
   in
   Runner.spec ~warmup_ms:300.0 ~duration_ms ~collect_history ~check_consensus
     ~config
@@ -94,6 +100,40 @@ let test_retransmit_inert_when_fault_free () =
         (name ^ ": event totals identical")
         off.Runner.sim_events on.Runner.sim_events)
     [ ("paxos", paxos); ("raft", raft) ]
+
+(* The tracing subsystem's acceptance bar: instrumentation only reads
+   timestamps the simulator already computed — no extra randomness, no
+   extra events — so a fixed-seed run with tracing on is statistically
+   byte-identical to the same run with tracing off. *)
+let test_tracing_invisible () =
+  let off = Runner.run paxos (lan_spec ())
+  and on = Runner.run paxos (lan_spec ~tracing:true ()) in
+  Alcotest.(check (float 0.0)) "throughput identical"
+    off.Runner.throughput_rps on.Runner.throughput_rps;
+  Alcotest.(check (float 0.0)) "mean latency identical"
+    (Stats.mean off.Runner.latency)
+    (Stats.mean on.Runner.latency);
+  Alcotest.(check (float 0.0)) "max latency identical"
+    (Stats.max off.Runner.latency)
+    (Stats.max on.Runner.latency);
+  Alcotest.(check int) "completed identical" off.Runner.completed
+    on.Runner.completed;
+  Alcotest.(check int) "messages identical" off.Runner.messages_sent
+    on.Runner.messages_sent;
+  Alcotest.(check int) "event totals identical" off.Runner.sim_events
+    on.Runner.sim_events;
+  Alcotest.(check int) "inlined events identical"
+    off.Runner.sim_events_inlined on.Runner.sim_events_inlined;
+  (* and the traced run actually collected a dissection *)
+  let tr = on.Runner.trace in
+  Alcotest.(check bool) "trace disabled by default" false
+    (Paxi_obs.Trace.enabled off.Runner.trace);
+  Alcotest.(check bool) "spans collected" true
+    (Paxi_obs.Trace.span_count tr > 0);
+  Alcotest.(check bool) "components populated" true
+    (List.for_all
+       (fun (_, s) -> Stats.count s > 0)
+       (Paxi_obs.Trace.components tr))
 
 (* Unbatched runs must not notice that the batching machinery exists:
    same seed, batching = None, identical statistics run-to-run. *)
@@ -197,6 +237,7 @@ let suite =
         test_retransmit_inert_when_fault_free;
       Alcotest.test_case "fixed seed reproducible" `Slow
         test_fixed_seed_reproducible;
+      Alcotest.test_case "tracing invisible" `Slow test_tracing_invisible;
       Alcotest.test_case "batched paxos safe" `Slow test_batched_paxos_safe;
       Alcotest.test_case "batched raft safe" `Slow test_batched_raft_safe;
       Alcotest.test_case "batched fpaxos safe" `Slow test_batched_fpaxos_safe;

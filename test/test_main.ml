@@ -36,4 +36,5 @@ let () =
       Test_reliable.suite;
       Test_nemesis.suite;
       Test_hotpath.suite;
+      Test_obs.suite;
     ]

@@ -45,6 +45,54 @@ let test_report_csv () =
   Alcotest.(check string) "csv" "a,b\n1,2\n"
     (Report.csv ~header:[ "a"; "b" ] ~rows:[ [ "1"; "2" ] ])
 
+let test_report_csv_quoting () =
+  (* RFC 4180: cells containing separators, quotes or newlines are
+     quoted; embedded quotes double *)
+  Alcotest.(check string) "quoted cells"
+    "\"a,b\",plain\n\"say \"\"hi\"\"\",\"line\nbreak\"\n"
+    (Report.csv
+       ~header:[ "a,b"; "plain" ]
+       ~rows:[ [ "say \"hi\""; "line\nbreak" ] ])
+
+let test_report_csv_roundtrip () =
+  let rows =
+    [
+      [ "plain"; "with,comma"; "with \"quote\"" ];
+      [ "line\nbreak"; "trailing space "; "" ];
+      [ "crlf\r\npair"; ","; "\"" ];
+    ]
+  in
+  let header = [ "h1"; "h,2"; "h\"3" ] in
+  Alcotest.(check (list (list string)))
+    "round trip" (header :: rows)
+    (Report.csv_parse (Report.csv ~header ~rows))
+
+let prop_csv_roundtrip =
+  let cell_gen =
+    QCheck.Gen.(
+      string_size ~gen:(oneofl [ 'a'; 'b'; ','; '"'; '\n'; '\r'; ' ' ])
+        (int_range 0 8))
+  in
+  QCheck.Test.make ~name:"csv round-trips arbitrary cells" ~count:300
+    QCheck.(
+      list_of_size
+        (Gen.int_range 1 5)
+        (list_of_size (Gen.int_range 1 5) (make cell_gen)))
+    (fun rows ->
+      match rows with
+      | [] -> true
+      | header :: body ->
+          (* csv requires rows to match header width; pad/trim *)
+          let w = List.length header in
+          let body =
+            List.map
+              (fun r ->
+                let r = List.filteri (fun i _ -> i < w) r in
+                r @ List.init (w - List.length r) (fun _ -> ""))
+              body
+          in
+          Report.csv_parse (Report.csv ~header ~rows:body) = header :: body)
+
 let test_report_formats () =
   Alcotest.(check string) "ms" "1.235" (Report.fms 1.2351);
   Alcotest.(check string) "nan" "-" (Report.fms nan);
@@ -75,6 +123,9 @@ let suite =
       Alcotest.test_case "mseries rate" `Quick test_mseries_rate;
       Alcotest.test_case "report table" `Quick test_report_table;
       Alcotest.test_case "report csv" `Quick test_report_csv;
+      Alcotest.test_case "report csv quoting" `Quick test_report_csv_quoting;
+      Alcotest.test_case "report csv roundtrip" `Quick test_report_csv_roundtrip;
+      QCheck_alcotest.to_alcotest prop_csv_roundtrip;
       Alcotest.test_case "report formats" `Quick test_report_formats;
       Alcotest.test_case "registry" `Quick test_registry;
       Alcotest.test_case "registry find_exn" `Quick test_registry_find_exn_raises;

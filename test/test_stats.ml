@@ -57,6 +57,41 @@ let test_histogram () =
   let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
   Alcotest.(check int) "all samples binned" 5 total
 
+let test_variance_large_offset () =
+  (* regression: the sumsq - n*mean^2 form cancels catastrophically
+     when samples sit on a large offset, yielding 0 or even negative
+     variance; Welford's centered accumulation must not. Samples are
+     virtual-time-like stamps ~1e9 apart by [0,4] ms. *)
+  let offset = 1.0e9 in
+  let xs = List.map (fun v -> offset +. v) [ 0.0; 1.0; 2.0; 3.0; 4.0 ] in
+  let s = mk xs in
+  (* exact unbiased variance of {0..4} is 2.5, unaffected by shift *)
+  Alcotest.(check (float 1e-6)) "shifted variance" 2.5 (Stats.variance s);
+  Alcotest.(check bool) "stddev finite" true
+    (Float.is_finite (Stats.stddev s) && Stats.stddev s > 0.0)
+
+let prop_variance_shift_invariant =
+  QCheck.Test.make ~name:"variance invariant under 1e9 offset" ~count:200
+    QCheck.(list_of_size (Gen.int_range 2 50) (float_range 0.0 100.0))
+    (fun xs ->
+      let base = mk xs in
+      let shifted = mk (List.map (fun v -> v +. 1.0e9) xs) in
+      let v0 = Stats.variance base and v1 = Stats.variance shifted in
+      v1 >= 0.0 && Float.abs (v1 -. v0) <= 1e-4 *. Float.max 1.0 v0)
+
+let prop_cdf_matches_percentile =
+  (* the satellite fix: cdf quantiles are percentile values, always *)
+  QCheck.Test.make ~name:"cdf agrees with percentile at every point" ~count:200
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 40) (float_range 0.0 100.0))
+        (int_range 1 20))
+    (fun (xs, points) ->
+      let s = mk xs in
+      List.for_all
+        (fun (v, q) -> Float.abs (v -. Stats.percentile s (q *. 100.0)) <= 1e-9)
+        (Stats.cdf s ~points))
+
 let test_merge () =
   let a = mk [ 1.0; 2.0 ] and b = mk [ 3.0; 4.0 ] in
   let m = Stats.merge a b in
@@ -139,6 +174,10 @@ let suite =
       Alcotest.test_case "cdf" `Quick test_cdf;
       Alcotest.test_case "histogram" `Quick test_histogram;
       Alcotest.test_case "merge" `Quick test_merge;
+      Alcotest.test_case "variance at large offset" `Quick
+        test_variance_large_offset;
+      QCheck_alcotest.to_alcotest prop_variance_shift_invariant;
+      QCheck_alcotest.to_alcotest prop_cdf_matches_percentile;
       QCheck_alcotest.to_alcotest prop_percentile_monotone;
       QCheck_alcotest.to_alcotest prop_mean_bounded;
       QCheck_alcotest.to_alcotest prop_percentile_interleaved;

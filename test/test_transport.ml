@@ -162,6 +162,80 @@ let test_queueing_backpressure () =
         (t2 -. t1 > 0.9 && t3 -. t2 > 0.9)
   | _ -> Alcotest.fail "expected 3 deliveries"
 
+(* The conservation invariant behind every message-count report:
+   every sent copy is eventually delivered or dropped, never both,
+   never neither — across the unicast ([send_one]) and fan-out
+   ([dispatch]) paths, with crashed senders/receivers, dead links and
+   unregistered destinations in any combination. *)
+let prop_accounting_invariant =
+  let n = 4 in
+  QCheck.Test.make
+    ~name:"sent = delivered + dropped after every run drains" ~count:200
+    QCheck.(
+      triple
+        (list_of_size (Gen.int_range 1 25)
+           (triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (int_range 0 2)))
+        (int_range 0 ((1 lsl n) - 1))
+        (list_of_size (Gen.int_range 0 3)
+           (triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (int_range 0 1))))
+    (fun (ops, regmask, fault_specs) ->
+      let faults = Faults.create () in
+      List.iter
+        (fun (a, b, kind) ->
+          if kind = 0 then
+            Faults.crash faults ~node:(Address.replica a) ~from_ms:0.0
+              ~duration_ms:5.0
+          else
+            Faults.drop faults ~src:(Address.replica a)
+              ~dst:(Address.replica b) ~from_ms:0.0 ~duration_ms:5.0)
+        fault_specs;
+      let sim, tr = setup ~n ~faults () in
+      (* leave some destinations unregistered (missing-handler drops) *)
+      for i = 0 to n - 1 do
+        if regmask land (1 lsl i) <> 0 then
+          Transport.register tr (Address.replica i) (fun ~src:_ _ -> ())
+      done;
+      List.iter
+        (fun (src, dst, kind) ->
+          match kind with
+          | 0 ->
+              Transport.send tr ~src:(Address.replica src)
+                ~dst:(Address.replica dst) (Ping 0)
+          | 1 -> Transport.broadcast tr ~src:(Address.replica src) (Ping 1)
+          | _ ->
+              let dsts =
+                [ dst; (dst + 1) mod n ]
+                |> List.filter (fun d -> d <> src)
+                |> List.map Address.replica
+              in
+              if dsts <> [] then
+                Transport.multicast tr ~src:(Address.replica src) ~dsts (Ping 2))
+        ops;
+      Sim.run sim;
+      Transport.sent_count tr
+      = Transport.delivered_count tr + Transport.dropped_count tr)
+
+let test_accounting_fault_free () =
+  (* deterministic spot check of the same invariant without faults,
+     with one unregistered destination *)
+  let sim, tr = setup ~n:4 () in
+  for i = 0 to 2 do
+    Transport.register tr (Address.replica i) (fun ~src:_ _ -> ())
+  done;
+  Transport.send tr ~src:(Address.replica 0) ~dst:(Address.replica 3) (Ping 0);
+  Transport.broadcast tr ~src:(Address.replica 1) (Ping 1);
+  Transport.multicast tr ~src:(Address.replica 2)
+    ~dsts:[ Address.replica 0; Address.replica 3 ]
+    (Ping 2);
+  Sim.run sim;
+  Alcotest.(check int) "sent = delivered + dropped"
+    (Transport.sent_count tr)
+    (Transport.delivered_count tr + Transport.dropped_count tr);
+  (* replica 3 is targeted by the send, the broadcast and the
+     multicast: three missing-handler drops *)
+  Alcotest.(check int) "dropped = missing handlers" 3
+    (Transport.dropped_count tr)
+
 let suite =
   ( "transport",
     [
@@ -177,4 +251,6 @@ let suite =
       Alcotest.test_case "unregistered destination drops" `Quick test_unregistered_destination_drops;
       Alcotest.test_case "sent/delivered counts" `Quick test_counts;
       Alcotest.test_case "queueing backpressure" `Quick test_queueing_backpressure;
+      Alcotest.test_case "accounting fault-free" `Quick test_accounting_fault_free;
+      QCheck_alcotest.to_alcotest prop_accounting_invariant;
     ] )
