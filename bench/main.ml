@@ -986,7 +986,7 @@ let bechamel () =
     ~rows:(List.sort compare !rows)
 
 (* ------------------------------------------------------------------ *)
-(* Perf guard: BENCH_pr4.json                                          *)
+(* Perf guard: BENCH_pr6.json                                          *)
 (* ------------------------------------------------------------------ *)
 
 (* Paxos on a LAN where every link between the leader (replica 0) and
@@ -1031,14 +1031,15 @@ let faulty_link_point () =
   (Runner.run (module P) spec, p_drop)
 
 (* Hot-path perf guard. Wall-clocks the fixed Paxos LAN point for a
-   simulator events/sec figure (with GC allocation and the
-   collapsed-delivery share), re-checks that the pooled sweep is
-   byte-identical to sequential, measures the batched-vs-unbatched
-   saturation throughput of the paxos leader, and pins the
-   recovery-path throughput of the faulty-link point. Not part of the
-   run-everything default — run `bench/main.exe -- perf --quick` to
-   regenerate BENCH_pr4.json, the trajectory future PRs compare
-   against (BENCH_pr1.json holds the pre-overhaul numbers). *)
+   simulator events/sec figure (with the event loop's GC allocation
+   bill — total and bytes/event — and the collapsed-delivery share),
+   re-checks that the pooled sweep is byte-identical to sequential,
+   measures the batched-vs-unbatched saturation throughput of the
+   paxos leader, and pins the recovery-path throughput of the
+   faulty-link point. Not part of the run-everything default — run
+   `bench/main.exe -- perf --quick` to regenerate BENCH_pr6.json, the
+   trajectory future PRs compare against (BENCH_pr1.json holds the
+   pre-overhaul numbers, BENCH_pr4.json the pre-pooling ones). *)
 let perf () =
   Report.section
     "Perf guard: simulator events/sec, delivery collapse, leader batching";
@@ -1071,10 +1072,10 @@ let perf () =
       seq_results par_results
   in
   (* the fixed point BENCH_pr1.json timed: paxos, 9-node LAN, 32
-     closed-loop clients — now with GC and inline-share accounting *)
-  let alloc0 = Gc.allocated_bytes () in
+     closed-loop clients — allocation comes from the runner's own
+     event-loop bracket, so setup/teardown no longer pollutes it *)
   let fixed, fixed_s = time (fun () -> lan_point "paxos" ~concurrency:32) in
-  let alloc_bytes = Gc.allocated_bytes () -. alloc0 in
+  let alloc_bytes = fixed.Runner.allocated_bytes in
   let events_per_sec = float_of_int fixed.Runner.sim_events /. fixed_s in
   let inlined_share =
     float_of_int fixed.Runner.sim_events_inlined
@@ -1087,26 +1088,36 @@ let perf () =
   Printf.printf
     "paxos LAN point (32 clients): %d events in %.2f s = %.0f events/s\n"
     fixed.Runner.sim_events fixed_s events_per_sec;
-  Printf.printf "  inlined deliveries: %d (%.0f%% of events); %.0f MB allocated\n"
+  Printf.printf
+    "  inlined deliveries: %d (%.0f%% of events); %.0f MB allocated (%.0f \
+     bytes/event)\n"
     fixed.Runner.sim_events_inlined (100.0 *. inlined_share)
-    (alloc_bytes /. 1e6);
-  (match
-     let ( let* ) = Option.bind in
-     let* doc =
-       match
-         In_channel.with_open_text "BENCH_pr1.json" In_channel.input_all
-       with
-       | s -> Result.to_option (Json.parse s)
-       | exception Sys_error _ -> None
-     in
-     let* point = Json.member "paxos_lan_point" doc in
-     let* eps = Json.member "events_per_sec" point in
-     Json.to_float eps
-   with
-  | Some base ->
-      Printf.printf "  vs BENCH_pr1 baseline %.0f events/s: %.2fx\n" base
-        (events_per_sec /. base)
-  | None -> print_endline "  (no BENCH_pr1.json baseline found)");
+    (alloc_bytes /. 1e6) fixed.Runner.bytes_per_event;
+  let baseline_field file field =
+    let ( let* ) = Option.bind in
+    let* doc =
+      match In_channel.with_open_text file In_channel.input_all with
+      | s -> Result.to_option (Json.parse s)
+      | exception Sys_error _ -> None
+    in
+    let* point = Json.member "paxos_lan_point" doc in
+    let* v = Json.member field point in
+    Json.to_float v
+  in
+  List.iter
+    (fun file ->
+      match baseline_field file "events_per_sec" with
+      | Some base ->
+          let alloc =
+            match baseline_field file "allocated_mb" with
+            | Some mb ->
+                Printf.sprintf ", %.0f->%.0f MB alloc" mb (alloc_bytes /. 1e6)
+            | None -> ""
+          in
+          Printf.printf "  vs %s baseline %.0f events/s: %.2fx%s\n" file base
+            (events_per_sec /. base) alloc
+      | None -> Printf.printf "  (no %s baseline found)\n" file)
+    [ "BENCH_pr1.json"; "BENCH_pr4.json" ];
   (* leader batching: saturation throughput at equal service-time
      parameters, one unbatched and one max_batch=8 run *)
   let sat_concurrency = if quick then 48 else 64 in
@@ -1151,7 +1162,7 @@ let perf () =
   let json =
     Json.Obj
       [
-        ("pr", num 4.0);
+        ("pr", num 6.0);
         ("quick", Json.Bool quick);
         ( "suite",
           Json.String
@@ -1174,6 +1185,7 @@ let perf () =
               ("wall_s", num fixed_s);
               ("events_per_sec", num events_per_sec);
               ("allocated_mb", num (alloc_bytes /. 1e6));
+              ("bytes_per_event", num fixed.Runner.bytes_per_event);
               ("throughput_rps", num fixed.Runner.throughput_rps);
               ("mean_latency_ms", num (Stats.mean fixed.Runner.latency));
             ] );
@@ -1201,11 +1213,11 @@ let perf () =
             ] );
       ]
   in
-  let oc = open_out "BENCH_pr4.json" in
+  let oc = open_out "BENCH_pr6.json" in
   output_string oc (Json.to_string json);
   output_char oc '\n';
   close_out oc;
-  print_endline "wrote BENCH_pr4.json"
+  print_endline "wrote BENCH_pr6.json"
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)

@@ -57,6 +57,8 @@ type result = {
   sim_events_inlined : int;
   retransmits : int;
   dup_drops : int;
+  allocated_bytes : float;
+  bytes_per_event : float;
   trace : Paxi_obs.Trace.t;
 }
 
@@ -191,7 +193,15 @@ let run (module P : Proto.RUNNABLE) spec =
         start_client cspec
       done)
     spec.client_specs;
+  (* Allocation accounting brackets exactly the event loop: the delta
+     divided by events fired is the hot path's bytes/event figure
+     gated in CI. [Gc.allocated_bytes] is per-domain, and [run]
+     executes wholly on one domain even under [run_many]'s pool. *)
+  let alloc_before = Gc.allocated_bytes () in
+  let events_before = Sim.events_fired sim in
   Sim.run_until sim horizon;
+  let allocated_bytes = Gc.allocated_bytes () -. alloc_before in
+  let loop_events = Sim.events_fired sim - events_before in
   let consensus_violations =
     if spec.check_consensus then begin
       let state_machines =
@@ -236,6 +246,8 @@ let run (module P : Proto.RUNNABLE) spec =
     sim_events_inlined = Sim.events_inlined sim;
     retransmits;
     dup_drops;
+    allocated_bytes;
+    bytes_per_event = allocated_bytes /. float_of_int (max 1 loop_events);
     trace = C.trace cluster;
   }
 

@@ -80,6 +80,13 @@ type result = {
           backoff timers (0 unless [Config.retransmit] is set) *)
   dup_drops : int;
       (** duplicate explicit-ack payloads suppressed at receivers *)
+  allocated_bytes : float;
+      (** GC-reported bytes allocated by this domain across the event
+          loop ([Gc.allocated_bytes] delta around [Sim.run_until]) —
+          the hot path's allocation bill, excluding setup/teardown *)
+  bytes_per_event : float;
+      (** [allocated_bytes] per event fired during the loop; the
+          allocation-regression figure pinned in tests and gated in CI *)
   trace : Paxi_obs.Trace.t;
       (** the cluster's latency-dissection trace, windowed to the
           measured interval; disabled unless [config.tracing] *)

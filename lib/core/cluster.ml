@@ -89,6 +89,7 @@ module Make (P : Proto.RUNNABLE) = struct
       rng = Rng.split (Sim.rng t.sim);
       now = (fun () -> Sim.now t.sim);
       schedule = (fun delay f -> Sim.schedule_after t.sim ~delay f);
+      cancel = (fun h -> Sim.cancel t.sim h);
       send =
         (fun dst m ->
           tally m;

@@ -70,6 +70,7 @@ type 'm env = {
   rng : Rng.t;
   now : unit -> float;
   schedule : float -> (unit -> unit) -> Sim.handle;
+  cancel : Sim.handle -> unit;
   send : int -> 'm -> unit;
   broadcast : 'm -> unit;
   multicast : int list -> 'm -> unit;

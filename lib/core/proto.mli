@@ -76,6 +76,9 @@ type 'm env = {
   now : unit -> float;
   schedule : float -> (unit -> unit) -> Sim.handle;
       (** [schedule delay thunk] — virtual-time timer. *)
+  cancel : Sim.handle -> unit;
+      (** Cancel a timer from [schedule]. Stale handles (already
+          fired, already cancelled, {!Sim.nil}) are ignored. *)
   send : int -> 'm -> unit;
   broadcast : 'm -> unit;  (** to every other replica *)
   multicast : int list -> 'm -> unit;

@@ -44,6 +44,18 @@ val occupy_outgoing_split :
   t -> now_ms:float -> copies:int -> size_bytes:int -> float * float * float
 (** Like {!occupy_outgoing}, split as [(departure, wait, service)]. *)
 
+val occupy_incoming_into : t -> now_ms:float -> size_bytes:int -> float array -> unit
+(** Like {!occupy_incoming}, storing the ready time in [dst.(0)]
+    instead of returning it. Same accounting and bit-identical ready
+    time; the out-parameter form keeps the per-message queue update
+    allocation-free (a boxed float return allocates without
+    flambda). *)
+
+val occupy_outgoing_into :
+  t -> now_ms:float -> copies:int -> size_bytes:int -> float array -> unit
+(** Like {!occupy_outgoing}, storing the departure time in
+    [dst.(0)]. *)
+
 val busy_until : t -> float
 val busy_time : t -> float
 (** Total occupied time, for utilization = busy_time / elapsed. *)

@@ -28,7 +28,22 @@
     layer. With retransmission enabled but no loss, every timer is
     cancelled before it fires; cancelled events are skipped by {!Sim}
     without counting or drawing randomness, so piggyback-mode traffic
-    is still byte-identical to the inert path. *)
+    is still byte-identical to the inert path.
+
+    The per-post hot path is (near-)allocation-free: post records are
+    recycled on a free list with a pre-built retransmit thunk each
+    ({!pooling} is the escape hatch), receiver dedup uses packed
+    [(sender, key)] int keys over an int-keyed table, and every
+    payload advertises the sender's settled {e frontier} — the key
+    below which every post has closed — so receivers prune dedup
+    entries (and drop late stray copies) instead of remembering every
+    key forever. *)
+
+val pooling : bool ref
+(** Escape hatch for the post-record free list, defaulting to [true]
+    unless [PAXI_NO_POOLING=1] is set. With pooling off every post
+    allocates fresh records and thunks; fixed-seed statistics must be
+    byte-identical either way (pinned in [test_hotpath]). *)
 
 type policy = { base_ms : float; max_ms : float; max_tries : int }
 (** Retransmit after [base_ms], then doubling up to [max_ms], at most
@@ -40,7 +55,10 @@ val inert : policy
 type ack_mode = Piggyback | Explicit
 
 type 'p packet =
-  | Payload of { key : int; ack : ack_mode; msg : 'p }
+  | Payload of { key : int; frontier : int; ack : ack_mode; msg : 'p }
+      (** [frontier] is the sender's settled frontier at send time:
+          every key below it is closed, so the receiver may forget
+          (and refuse) those keys. *)
   | Ack of { key : int }
       (** Ack keys are scoped by the (sender, receiver) pair: the
           receiving endpoint settles post [key] for the ack's source. *)
@@ -72,7 +90,10 @@ val post :
   int
 (** Send [msg] to [dst] and keep retransmitting until settled.
     Returns the key (a {!fresh} one unless [?key] pins it — reusing a
-    live key adds [dst] to that post's outstanding set). *)
+    live key adds [dst] to that post's outstanding set). Pinning a
+    key below the settled frontier raises [Invalid_argument] for
+    explicit-ack posts: receivers have already been told to forget
+    it. *)
 
 val post_multi :
   ('p, 'm) t ->
@@ -117,3 +138,11 @@ val retransmits : _ t -> int
 
 val dup_drops : _ t -> int
 (** Duplicate explicit-ack payloads suppressed at this endpoint. *)
+
+val dedup_entries : _ t -> int
+(** Receiver-side dedup keys currently remembered. Bounded by the
+    senders' open posts (frontier advertisements prune settled keys),
+    not by run length. *)
+
+val frontier : _ t -> int
+(** This endpoint's settled frontier: every key below it is closed. *)

@@ -103,7 +103,7 @@ let region_of t = function
 
 let rtt_mean t a b = t.rtt_ms a b
 
-let sample_rtt t rng a b =
+let[@inline] sample_rtt t rng a b =
   let ra = region_of t a and rb = region_of t b in
   let mu = t.rtt_ms ra rb in
   match t.lan_sigma with
@@ -113,6 +113,36 @@ let sample_rtt t rng a b =
       if t.jitter <= 0.0 then mu
       else Float.max 0.01 (Rng.normal rng ~mu ~sigma:(mu *. t.jitter))
 
-let sample_delay t rng a b =
+let[@inline] sample_delay t rng a b =
   if Address.equal a b then 0.005 (* loopback *)
   else sample_rtt t rng a b /. 2.0
+
+(* Out-parameter form of [sample_delay] for the transport hot path:
+   same RNG draws and IEEE operation order, but the result is written
+   to [dst.(0)] and the [Float.max 0.01] clamp is expressed as a plain
+   comparison (identical for the non-nan values a Gaussian over a
+   finite mean produces), so no intermediate float is boxed. *)
+let sample_delay_into t rng a b dst =
+  if Address.equal a b then dst.(0) <- 0.005 (* loopback *)
+  else begin
+    let ra = region_of t a and rb = region_of t b in
+    let mu = t.rtt_ms ra rb in
+    let sampled =
+      match t.lan_sigma with
+      | Some sigma when Region.equal ra rb ->
+          Rng.normal_into rng ~mu ~sigma dst;
+          true
+      | _ ->
+          if t.jitter <= 0.0 then false
+          else begin
+            Rng.normal_into rng ~mu ~sigma:(mu *. t.jitter) dst;
+            true
+          end
+    in
+    if sampled then begin
+      let x = dst.(0) in
+      let rtt = if x > 0.01 then x else 0.01 in
+      dst.(0) <- rtt /. 2.0
+    end
+    else dst.(0) <- mu /. 2.0
+  end

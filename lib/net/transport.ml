@@ -6,6 +6,12 @@
 let inline_delivery =
   ref (Sys.getenv_opt "PAXI_NO_INLINE_DELIVERY" <> Some "1")
 
+(* Runtime escape hatch for the in-flight delivery record pool (the
+   same convention as [Reliable.pooling]): with PAXI_NO_POOLING=1
+   every delivery allocates fresh records and thunks. Results must be
+   identical either way — the determinism suite pins that. *)
+let pooling = ref (Sys.getenv_opt "PAXI_NO_POOLING" <> Some "1")
+
 type 'm handler = src:Address.t -> 'm -> unit
 
 (* Tracing taps. Both callbacks fire after the procq mutation with the
@@ -33,6 +39,23 @@ type 'm observer = {
     unit;
 }
 
+(* One message in flight, from its arrival event to its queue-ready
+   completion. Records are recycled on an intrusive free list
+   ([d_next]; pointing at itself marks a detached record), each with
+   its two event thunks ([arrive], [complete]) built once and reused
+   for every message the record ever carries — the per-message wire
+   path allocates one [Some msg] cell instead of two closures. *)
+type 'm delivery = {
+  mutable d_src : Address.t;
+  mutable d_dst : Address.t;
+  mutable d_size : int;
+  mutable d_sent : float;
+  mutable d_msg : 'm option; (* [None] while pooled, releasing the payload *)
+  mutable arrive : unit -> unit;
+  mutable complete : unit -> unit;
+  mutable d_next : 'm delivery;
+}
+
 type 'm t = {
   sim : Sim.t;
   topology : Topology.t;
@@ -50,6 +73,13 @@ type 'm t = {
      topology's replica count changes. *)
   mutable peers : Address.t list array;
   mutable peers_n : int;
+  mutable dpool : 'm delivery; (* free-list head; [dsentinel] = empty *)
+  dsentinel : 'm delivery;
+  (* single-slot out-parameter for the [_into] procq/topology calls on
+     the hot path: float-array stores and loads are unboxed, where a
+     boxed float return would allocate per message. Each value is read
+     back out before the next [_into] call overwrites the slot. *)
+  scratch : float array;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
@@ -62,6 +92,18 @@ let create ~sim ~topology ?(faults = Faults.create ())
     match processing with Some f -> f | None -> fun _ -> Procq.create ()
   in
   let n = Topology.n_replicas topology in
+  let rec dsentinel =
+    {
+      d_src = Address.replica 0;
+      d_dst = Address.replica 0;
+      d_size = 0;
+      d_sent = 0.0;
+      d_msg = None;
+      arrive = ignore;
+      complete = ignore;
+      d_next = dsentinel;
+    }
+  in
   {
     sim;
     topology;
@@ -75,6 +117,9 @@ let create ~sim ~topology ?(faults = Faults.create ())
     make_procq;
     peers = [||];
     peers_n = -1;
+    dpool = dsentinel;
+    dsentinel;
+    scratch = Array.make 1 0.0;
     sent = 0;
     delivered = 0;
     dropped = 0;
@@ -126,45 +171,103 @@ let handler_for t addr =
       if i < Array.length t.r_handlers then t.r_handlers.(i) else None
   | Address.Client _ -> Address.Table.find_opt t.c_handlers addr
 
+let release_delivery t d =
+  d.d_msg <- None;
+  if !pooling then begin
+    d.d_next <- t.dpool;
+    t.dpool <- d
+  end
+
+(* Queue-ready completion: the handler runs with the message. The
+   record is released first (with everything it carried read out), so
+   a handler that sends — almost all of them — immediately reuses it
+   for its own outbound messages. *)
+let complete_delivery t d =
+  let now = Sim.now t.sim in
+  if Faults.is_crashed t.faults ~now_ms:now d.d_dst then begin
+    t.dropped <- t.dropped + 1;
+    release_delivery t d
+  end
+  else begin
+    let src = d.d_src in
+    let handler = handler_for t d.d_dst in
+    let msg = d.d_msg in
+    release_delivery t d;
+    match (handler, msg) with
+    | Some handler, Some msg ->
+        t.delivered <- t.delivered + 1;
+        handler ~src msg
+    | _ -> t.dropped <- t.dropped + 1
+  end
+
+let arrival_delivery t d =
+  let now = Sim.now t.sim in
+  if Faults.is_crashed t.faults ~now_ms:now d.d_dst then begin
+    t.dropped <- t.dropped + 1;
+    release_delivery t d
+  end
+  else begin
+    let q = procq t d.d_dst in
+    let ready =
+      match t.observer with
+      | None ->
+          Procq.occupy_incoming_into q ~now_ms:now ~size_bytes:d.d_size
+            t.scratch;
+          t.scratch.(0)
+      | Some obs ->
+          let ready, wait, service =
+            Procq.occupy_incoming_split q ~now_ms:now ~size_bytes:d.d_size
+          in
+          (match d.d_msg with
+          | Some msg ->
+              obs.on_delivery ~src:d.d_src ~dst:d.d_dst ~size_bytes:d.d_size
+                ~sent_ms:d.d_sent ~arrival_ms:now ~wait_ms:wait
+                ~service_ms:service ~ready_ms:ready msg
+          | None -> ());
+          ready
+    in
+    (* Collapsed delivery: when no pending event precedes [ready] the
+       queue-ready completion runs inline inside this arrival event
+       instead of being scheduled. All RNG draws happened at send time
+       and [complete] draws none, so the stream and the firing order
+       are bit-identical to the scheduled path. *)
+    if not (!inline_delivery && Sim.try_inline t.sim ~time:ready d.complete)
+    then ignore @@ Sim.schedule_at t.sim ~time:ready d.complete
+  end
+
+let alloc_delivery t =
+  let d = t.dpool in
+  if !pooling && d != t.dsentinel then begin
+    t.dpool <- d.d_next;
+    d.d_next <- d;
+    d
+  end
+  else begin
+    let rec d =
+      {
+        d_src = Address.replica 0;
+        d_dst = Address.replica 0;
+        d_size = 0;
+        d_sent = 0.0;
+        d_msg = None;
+        arrive = ignore;
+        complete = ignore;
+        d_next = d;
+      }
+    in
+    d.arrive <- (fun () -> arrival_delivery t d);
+    d.complete <- (fun () -> complete_delivery t d);
+    d
+  end
+
 let deliver t ~src ~dst ~size_bytes ~sent msg ~arrival =
-  Sim.schedule_at t.sim ~time:arrival (fun () ->
-      let now = Sim.now t.sim in
-      if Faults.is_crashed t.faults ~now_ms:now dst then
-        t.dropped <- t.dropped + 1
-      else begin
-        let q = procq t dst in
-        let ready =
-          match t.observer with
-          | None -> Procq.occupy_incoming q ~now_ms:now ~size_bytes
-          | Some obs ->
-              let ready, wait, service =
-                Procq.occupy_incoming_split q ~now_ms:now ~size_bytes
-              in
-              obs.on_delivery ~src ~dst ~size_bytes ~sent_ms:sent
-                ~arrival_ms:now ~wait_ms:wait ~service_ms:service
-                ~ready_ms:ready msg;
-              ready
-        in
-        let complete () =
-          let now = Sim.now t.sim in
-          if Faults.is_crashed t.faults ~now_ms:now dst then
-            t.dropped <- t.dropped + 1
-          else
-            match handler_for t dst with
-            | Some handler ->
-                t.delivered <- t.delivered + 1;
-                handler ~src msg
-            | None -> t.dropped <- t.dropped + 1
-        in
-        (* Collapsed delivery: when no pending event precedes [ready]
-           the queue-ready completion runs inline inside this arrival
-           event instead of being scheduled. All RNG draws happened at
-           send time and [complete] draws none, so the stream and the
-           firing order are bit-identical to the scheduled path. *)
-        if not (!inline_delivery && Sim.try_inline t.sim ~time:ready complete)
-        then ignore @@ Sim.schedule_at t.sim ~time:ready complete
-      end)
-  |> ignore
+  let d = alloc_delivery t in
+  d.d_src <- src;
+  d.d_dst <- dst;
+  d.d_size <- size_bytes;
+  d.d_sent <- sent;
+  d.d_msg <- Some msg;
+  ignore @@ Sim.schedule_at t.sim ~time:arrival d.arrive
 
 (* Single-destination fast path. Most traffic — client requests,
    replies, forwards, acks — has exactly one destination, so skip the
@@ -185,7 +288,10 @@ let send_one t ~src ~dst ~size_bytes msg =
     let q = procq t src in
     let departure =
       match t.observer with
-      | None -> Procq.occupy_outgoing q ~now_ms:now ~copies:1 ~size_bytes
+      | None ->
+          Procq.occupy_outgoing_into q ~now_ms:now ~copies:1 ~size_bytes
+            t.scratch;
+          t.scratch.(0)
       | Some obs ->
           let departure, wait, service =
             Procq.occupy_outgoing_split q ~now_ms:now ~copies:1 ~size_bytes
@@ -198,7 +304,8 @@ let send_one t ~src ~dst ~size_bytes msg =
     if Faults.should_drop t.faults t.rng ~now_ms:now ~src ~dst then
       t.dropped <- t.dropped + 1
     else begin
-      let delay = Topology.sample_delay t.topology t.rng src dst in
+      Topology.sample_delay_into t.topology t.rng src dst t.scratch;
+      let delay = t.scratch.(0) in
       let extra = Faults.extra_delay t.faults t.rng ~now_ms:now ~src ~dst in
       deliver t ~src ~dst ~size_bytes ~sent:now msg
         ~arrival:(departure +. delay +. extra)
@@ -221,7 +328,10 @@ let dispatch t ~src ~dsts ~size_bytes msg =
         let q = procq t src in
         let departure =
           match t.observer with
-          | None -> Procq.occupy_outgoing q ~now_ms:now ~copies ~size_bytes
+          | None ->
+              Procq.occupy_outgoing_into q ~now_ms:now ~copies ~size_bytes
+                t.scratch;
+              t.scratch.(0)
           | Some obs ->
               let departure, wait, service =
                 Procq.occupy_outgoing_split q ~now_ms:now ~copies ~size_bytes
@@ -236,7 +346,8 @@ let dispatch t ~src ~dsts ~size_bytes msg =
             if Faults.should_drop t.faults t.rng ~now_ms:now ~src ~dst then
               t.dropped <- t.dropped + 1
             else begin
-              let delay = Topology.sample_delay t.topology t.rng src dst in
+              Topology.sample_delay_into t.topology t.rng src dst t.scratch;
+              let delay = t.scratch.(0) in
               let extra =
                 Faults.extra_delay t.faults t.rng ~now_ms:now ~src ~dst
               in

@@ -58,6 +58,13 @@ val inline_delivery : bool ref
     to [false] to force the two-event schedule (used by the
     determinism tests). *)
 
+val pooling : bool ref
+(** Escape hatch for the in-flight delivery-record free list,
+    defaulting to [true] unless [PAXI_NO_POOLING=1] is set. With
+    pooling off every delivery allocates fresh records and thunks;
+    fixed-seed statistics must be byte-identical either way (pinned in
+    [test_hotpath]). *)
+
 val create :
   sim:Sim.t ->
   topology:Topology.t ->

@@ -1,17 +1,46 @@
 (* One in-flight request's timestamps. Fields start at [nan] and are
-   filled as the round progresses; [close] turns them into component
-   samples. *)
+   filled as the round progresses; [on_reply] turns them into
+   component samples. Records are recycled on an intrusive free list
+   ([rnext]; the shared [req_nil] sentinel marks the end) so a
+   closed-loop client's steady stream of requests reuses a handful of
+   records instead of allocating one per request. *)
 type open_req = {
-  client : int;
-  cmd_id : int;
-  submitted_ms : float;
+  mutable client : int;
+  mutable cmd_id : int;
+  mutable submitted_ms : float;
   mutable arrival_ms : float;
   mutable wait_ms : float;
   mutable service_ms : float;
   mutable handled_ms : float;
   mutable proposed_ms : float;
   mutable quorum_ms : float;
+  mutable rnext : open_req;
 }
+
+let rec req_nil =
+  {
+    client = -1;
+    cmd_id = -1;
+    submitted_ms = nan;
+    arrival_ms = nan;
+    wait_ms = nan;
+    service_ms = nan;
+    handled_ms = nan;
+    proposed_ms = nan;
+    quorum_ms = nan;
+    rnext = req_nil;
+  }
+
+(* Escape hatch mirroring [Reliable.pooling]: with PAXI_NO_POOLING=1
+   (or by flipping the ref in a test) request records are freshly
+   allocated per request. Fixed-seed statistics are identical either
+   way — the hooks never draw randomness or schedule events. *)
+let pooling = ref (Sys.getenv_opt "PAXI_NO_POOLING" <> Some "1")
+
+(* Requests are keyed by (client, cmd_id) packed into one int: client
+   ids are small and dense, per-client command ids are per-run
+   counters far below 2^40. *)
+let pack_req ~client ~cmd_id = (client lsl 40) lor cmd_id
 
 type node_acc = {
   mutable nwait : float;
@@ -21,14 +50,36 @@ type node_acc = {
 
 type bucket = { mutable bcount : int; mutable bsum : float }
 
+(* Spans live in growable parallel arrays (structure-of-arrays), not a
+   [Span.t list]: recording a span writes four scalars, allocating
+   nothing beyond amortized array growth. Names are resolved at export
+   time from the span's kind (constant strings for components; the
+   request parent span rebuilds "request c<id>#<n>" from its packed
+   key in [sp_aux]). *)
+let kind_request = 0
+
+let kind_names =
+  [|
+    "request";
+    "net:client->replica";
+    "queue-wait";
+    "service";
+    "propose-gap";
+    "quorum-wait";
+    "exec+reply";
+    "server";
+    "net:replica->client";
+  |]
+
 type t = {
   on : bool;
   window_ms : float;
   max_spans : int;
   mutable from_ms : float;
   mutable until_ms : float;
-  reqs : (int * int, open_req) Hashtbl.t;
-  by_slot : (int, int * int) Hashtbl.t;
+  reqs : (int, open_req) Hashtbl.t; (* packed (client, cmd_id) keys *)
+  mutable req_pool : open_req; (* free list; [req_nil] = empty *)
+  by_slot : (int, int) Hashtbl.t; (* slot -> packed request key *)
   (* component statistics, window-filtered *)
   c_e2e : Stats.t;
   c_net_in : Stats.t;
@@ -42,7 +93,12 @@ type t = {
   nodes : (int, node_acc) Hashtbl.t;
   msgs : (string, int ref) Hashtbl.t;
   buckets : (int, bucket) Hashtbl.t;
-  mutable spans : Span.t list;
+  (* span storage (SoA) *)
+  mutable sp_kind : int array;
+  mutable sp_track : int array;
+  mutable sp_start : float array;
+  mutable sp_end : float array;
+  mutable sp_aux : int array;
   mutable n_spans : int;
   mutable dropped : int;
 }
@@ -55,6 +111,7 @@ let create ?(window_ms = 100.0) ?(max_spans = 200_000) ~enabled () =
     from_ms = 0.0;
     until_ms = infinity;
     reqs = Hashtbl.create (if enabled then 256 else 1);
+    req_pool = req_nil;
     by_slot = Hashtbl.create (if enabled then 256 else 1);
     c_e2e = Stats.create ();
     c_net_in = Stats.create ();
@@ -68,7 +125,11 @@ let create ?(window_ms = 100.0) ?(max_spans = 200_000) ~enabled () =
     nodes = Hashtbl.create (if enabled then 16 else 1);
     msgs = Hashtbl.create (if enabled then 32 else 1);
     buckets = Hashtbl.create (if enabled then 64 else 1);
-    spans = [];
+    sp_kind = [||];
+    sp_track = [||];
+    sp_start = [||];
+    sp_end = [||];
+    sp_aux = [||];
     n_spans = 0;
     dropped = 0;
   }
@@ -81,25 +142,59 @@ let set_window t ~from_ms ~until_ms =
 
 let window t = (t.from_ms, t.until_ms)
 
+let alloc_req t ~client ~cmd_id ~now_ms =
+  let r =
+    if !pooling && t.req_pool != req_nil then begin
+      let r = t.req_pool in
+      t.req_pool <- r.rnext;
+      r.rnext <- r;
+      r
+    end
+    else
+      let rec r =
+        {
+          client = 0;
+          cmd_id = 0;
+          submitted_ms = nan;
+          arrival_ms = nan;
+          wait_ms = nan;
+          service_ms = nan;
+          handled_ms = nan;
+          proposed_ms = nan;
+          quorum_ms = nan;
+          rnext = r;
+        }
+      in
+      r
+  in
+  r.client <- client;
+  r.cmd_id <- cmd_id;
+  r.submitted_ms <- now_ms;
+  r.arrival_ms <- nan;
+  r.wait_ms <- nan;
+  r.service_ms <- nan;
+  r.handled_ms <- nan;
+  r.proposed_ms <- nan;
+  r.quorum_ms <- nan;
+  r
+
+let release_req t r =
+  if !pooling then begin
+    r.rnext <- t.req_pool;
+    t.req_pool <- r
+  end
+
 let on_submit t ~client ~cmd_id ~now_ms =
-  if t.on && not (Hashtbl.mem t.reqs (client, cmd_id)) then
-    Hashtbl.add t.reqs (client, cmd_id)
-      {
-        client;
-        cmd_id;
-        submitted_ms = now_ms;
-        arrival_ms = nan;
-        wait_ms = nan;
-        service_ms = nan;
-        handled_ms = nan;
-        proposed_ms = nan;
-        quorum_ms = nan;
-      }
+  if t.on then begin
+    let key = pack_req ~client ~cmd_id in
+    if not (Hashtbl.mem t.reqs key) then
+      Hashtbl.add t.reqs key (alloc_req t ~client ~cmd_id ~now_ms)
+  end
 
 let on_request_arrival t ~client ~cmd_id ~arrival_ms ~wait_ms ~service_ms
     ~ready_ms =
   if t.on then
-    match Hashtbl.find_opt t.reqs (client, cmd_id) with
+    match Hashtbl.find_opt t.reqs (pack_req ~client ~cmd_id) with
     | Some r when Float.is_nan r.arrival_ms ->
         r.arrival_ms <- arrival_ms;
         r.wait_ms <- wait_ms;
@@ -109,10 +204,11 @@ let on_request_arrival t ~client ~cmd_id ~arrival_ms ~wait_ms ~service_ms
 
 let on_propose t ~slot ~client ~cmd_id ~now_ms =
   if t.on then
-    match Hashtbl.find_opt t.reqs (client, cmd_id) with
+    let key = pack_req ~client ~cmd_id in
+    match Hashtbl.find_opt t.reqs key with
     | Some r when Float.is_nan r.proposed_ms ->
         r.proposed_ms <- now_ms;
-        Hashtbl.replace t.by_slot slot (client, cmd_id)
+        Hashtbl.replace t.by_slot slot key
     | _ -> ()
 
 let on_quorum t ~slot ~now_ms =
@@ -125,11 +221,28 @@ let on_quorum t ~slot ~now_ms =
         | _ -> ())
     | None -> ()
 
-let push_span t span =
+let grow_spans t =
+  let cap = Array.length t.sp_kind in
+  let ncap = if cap = 0 then 1024 else cap * 2 in
+  let gi a = Array.append a (Array.make (ncap - cap) 0) in
+  let gf a = Array.append a (Array.make (ncap - cap) 0.0) in
+  t.sp_kind <- gi t.sp_kind;
+  t.sp_track <- gi t.sp_track;
+  t.sp_aux <- gi t.sp_aux;
+  t.sp_start <- gf t.sp_start;
+  t.sp_end <- gf t.sp_end
+
+let push_span t ~kind ~track ~aux ~start_ms ~end_ms =
   if t.n_spans >= t.max_spans then t.dropped <- t.dropped + 1
   else begin
-    t.spans <- span :: t.spans;
-    t.n_spans <- t.n_spans + 1
+    if t.n_spans >= Array.length t.sp_kind then grow_spans t;
+    let i = t.n_spans in
+    t.sp_kind.(i) <- kind;
+    t.sp_track.(i) <- track;
+    t.sp_aux.(i) <- aux;
+    t.sp_start.(i) <- start_ms;
+    t.sp_end.(i) <- end_ms;
+    t.n_spans <- i + 1
   end
 
 let record_bucket t ~done_ms ~latency =
@@ -142,10 +255,11 @@ let record_bucket t ~done_ms ~latency =
 
 let on_reply t ~client ~cmd_id ~sent_ms ~ready_ms =
   if t.on then
-    match Hashtbl.find_opt t.reqs (client, cmd_id) with
+    let key = pack_req ~client ~cmd_id in
+    match Hashtbl.find_opt t.reqs key with
     | None -> () (* duplicate reply after the first already closed it *)
     | Some r ->
-        Hashtbl.remove t.reqs (client, cmd_id);
+        Hashtbl.remove t.reqs key;
         let e2e = ready_ms -. r.submitted_ms in
         record_bucket t ~done_ms:ready_ms ~latency:e2e;
         let dissected = not (Float.is_nan r.arrival_ms) in
@@ -169,23 +283,24 @@ let on_reply t ~client ~cmd_id ~sent_ms ~ready_ms =
             end
           end
         end;
-        let sp name a b =
-          push_span t (Span.make ~name ~track:client ~start_ms:a ~end_ms:b)
+        let sp kind a b =
+          push_span t ~kind ~track:client ~aux:0 ~start_ms:a ~end_ms:b
         in
-        let id = Printf.sprintf "c%d#%d" client cmd_id in
-        sp ("request " ^ id) r.submitted_ms ready_ms;
+        push_span t ~kind:kind_request ~track:client ~aux:key
+          ~start_ms:r.submitted_ms ~end_ms:ready_ms;
         if dissected then begin
-          sp "net:client->replica" r.submitted_ms r.arrival_ms;
-          sp "queue-wait" r.arrival_ms (r.arrival_ms +. r.wait_ms);
-          sp "service" (r.arrival_ms +. r.wait_ms) r.handled_ms;
+          sp 1 r.submitted_ms r.arrival_ms;
+          sp 2 r.arrival_ms (r.arrival_ms +. r.wait_ms);
+          sp 3 (r.arrival_ms +. r.wait_ms) r.handled_ms;
           if staged then begin
-            sp "propose-gap" r.handled_ms r.proposed_ms;
-            sp "quorum-wait" r.proposed_ms r.quorum_ms;
-            sp "exec+reply" r.quorum_ms sent_ms
+            sp 4 r.handled_ms r.proposed_ms;
+            sp 5 r.proposed_ms r.quorum_ms;
+            sp 6 r.quorum_ms sent_ms
           end
-          else sp "server" r.handled_ms sent_ms;
-          sp "net:replica->client" sent_ms ready_ms
-        end
+          else sp 7 r.handled_ms sent_ms;
+          sp 8 sent_ms ready_ms
+        end;
+        release_req t r
 
 let node_acc t node =
   match Hashtbl.find_opt t.nodes node with
@@ -268,6 +383,13 @@ let series t =
 let span_count t = t.n_spans
 let dropped_spans t = t.dropped
 
+let span_name t i =
+  let kind = t.sp_kind.(i) in
+  if kind = kind_request then
+    let aux = t.sp_aux.(i) in
+    Printf.sprintf "request c%d#%d" (aux lsr 40) (aux land ((1 lsl 40) - 1))
+  else kind_names.(kind)
+
 let to_chrome_json t =
   let meta =
     Json.Obj
@@ -280,11 +402,16 @@ let to_chrome_json t =
         );
       ]
   in
-  let events =
-    List.rev_map Span.to_chrome_json t.spans |> fun evs -> meta :: evs
-  in
+  let events = ref [] in
+  for i = t.n_spans - 1 downto 0 do
+    let span =
+      Span.make ~name:(span_name t i) ~track:t.sp_track.(i)
+        ~start_ms:t.sp_start.(i) ~end_ms:t.sp_end.(i)
+    in
+    events := Span.to_chrome_json span :: !events
+  done;
   Json.Obj
     [
-      ("traceEvents", Json.List events);
+      ("traceEvents", Json.List (meta :: !events));
       ("displayTimeUnit", Json.String "ms");
     ]

@@ -30,9 +30,19 @@
     Every hook only reads virtual-time stamps the simulator already
     computed — a trace draws no randomness and schedules no events, so
     enabling it cannot perturb a run (pinned in [test_hotpath]). All
-    hooks are O(1) no-ops when the trace is disabled. *)
+    hooks are O(1) no-ops when the trace is disabled.
+
+    The tracing-on hot path is (near-)allocation-free: in-flight
+    request records are recycled on a free list and spans are stored
+    as parallel scalar arrays — span names (and their [Span.t]
+    wrappers) are only materialized at {!to_chrome_json} export. *)
 
 type t
+
+val pooling : bool ref
+(** Escape hatch for the request-record free list, defaulting to
+    [true] unless [PAXI_NO_POOLING=1] is set. Statistics are identical
+    either way (pinned in [test_hotpath]). *)
 
 val create : ?window_ms:float -> ?max_spans:int -> enabled:bool -> unit -> t
 (** [window_ms] (default 100) sizes the throughput/latency time-series

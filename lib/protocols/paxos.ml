@@ -71,7 +71,7 @@ type replica = {
   mutable last_heard : float;
   (* leader command batching (Config.batching) *)
   batch_buf : (Address.t * Proto.request) Queue.t;
-  mutable flush_timer : Sim.handle option;
+  mutable flush_timer : Sim.handle; (* Sim.nil when no flush is pending *)
   batches : (int, batch_state) Hashtbl.t; (* keyed by first_slot *)
 }
 
@@ -112,7 +112,7 @@ let create env =
     pending = Queue.create ();
     last_heard = 0.0;
     batch_buf = Queue.create ();
-    flush_timer = None;
+    flush_timer = Sim.nil;
     batches = Hashtbl.create 16;
   }
 
@@ -263,8 +263,8 @@ let propose_batch t items =
   if Quorum.satisfied tracker then commit_batch t first_slot bs
 
 let flush_batch t =
-  (match t.flush_timer with Some h -> Sim.cancel h | None -> ());
-  t.flush_timer <- None;
+  t.env.Proto.cancel t.flush_timer;
+  t.flush_timer <- Sim.nil;
   if t.active && not (Queue.is_empty t.batch_buf) then begin
     let items = List.of_seq (Queue.to_seq t.batch_buf) in
     Queue.clear t.batch_buf;
@@ -279,12 +279,11 @@ let enqueue t ~client request =
   | Some b ->
       Queue.push (client, request) t.batch_buf;
       if Queue.length t.batch_buf >= b.Config.max_batch then flush_batch t
-      else if t.flush_timer = None then
+      else if Sim.is_nil t.flush_timer then
         t.flush_timer <-
-          Some
-            (t.env.schedule b.Config.max_wait_ms (fun () ->
-                 t.flush_timer <- None;
-                 flush_batch t))
+          t.env.schedule b.Config.max_wait_ms (fun () ->
+              t.flush_timer <- Sim.nil;
+              flush_batch t)
 
 let drain_pending t =
   if t.active then
@@ -395,8 +394,8 @@ let step_down t ~ballot =
   (* abandon in-flight batch rounds; buffered-but-unproposed commands
      go back to [pending] so they are forwarded to the new leader *)
   Hashtbl.reset t.batches;
-  (match t.flush_timer with Some h -> Sim.cancel h | None -> ());
-  t.flush_timer <- None;
+  t.env.Proto.cancel t.flush_timer;
+  t.flush_timer <- Sim.nil;
   Queue.transfer t.batch_buf t.pending;
   drain_pending t
 

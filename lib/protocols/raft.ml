@@ -41,7 +41,7 @@ type replica = {
   (* leader command batching (Config.batching): entries appended since
      the last replication round, and the pending deferred-flush timer *)
   mutable unflushed : int;
-  mutable flush_timer : Sim.handle option;
+  mutable flush_timer : Sim.handle; (* Sim.nil when no flush is pending *)
   (* reliable-delivery bookkeeping: the key of the open append post
      covering each follower (0 = none) and the match_index that post
      expects back — a success reply at or past it is the ack *)
@@ -68,7 +68,7 @@ let create env =
     election_deadline = 0.0;
     pending = Queue.create ();
     unflushed = 0;
-    flush_timer = None;
+    flush_timer = Sim.nil;
     append_key = Array.make env.Proto.n 0;
     inflight_match = Array.make env.Proto.n 0;
   }
@@ -178,8 +178,8 @@ let broadcast_append t =
   (* every replication round ships the full unreplicated tail, so any
      deferred batch flush is satisfied by it *)
   t.unflushed <- 0;
-  (match t.flush_timer with Some h -> Sim.cancel h | None -> ());
-  t.flush_timer <- None;
+  t.env.Proto.cancel t.flush_timer;
+  t.flush_timer <- Sim.nil;
   let groups = Hashtbl.create 4 in
   List.iter
     (fun i ->
@@ -251,8 +251,8 @@ let become_follower t ~term =
   t.state <- Follower;
   t.votes <- None;
   t.unflushed <- 0;
-  (match t.flush_timer with Some h -> Sim.cancel h | None -> ());
-  t.flush_timer <- None;
+  t.env.Proto.cancel t.flush_timer;
+  t.flush_timer <- Sim.nil;
   (* open append posts belong to a leadership this replica just lost *)
   t.env.rel.unpost_all ();
   reset_election_timer t
@@ -305,13 +305,12 @@ let on_request t ~client (request : Proto.request) =
              in one message per follower *)
           t.unflushed <- t.unflushed + 1;
           if t.unflushed >= b.Config.max_batch then broadcast_append t
-          else if t.flush_timer = None then
+          else if Sim.is_nil t.flush_timer then
             t.flush_timer <-
-              Some
-                (t.env.schedule b.Config.max_wait_ms (fun () ->
-                     t.flush_timer <- None;
-                     if t.state = Leader && t.unflushed > 0 then
-                       broadcast_append t)))
+              t.env.schedule b.Config.max_wait_ms (fun () ->
+                  t.flush_timer <- Sim.nil;
+                  if t.state = Leader && t.unflushed > 0 then
+                    broadcast_append t))
   | Follower | Candidate -> (
       match t.leader_id with
       | Some l when l <> t.env.id -> t.env.forward l ~client request

@@ -36,24 +36,44 @@ let min_size = function
       in
       take need_zones 0 needs
 
+(* Trackers sit on the per-ack hot path (one [ack] + [satisfied] per
+   vote message), so everything derivable from the immutable [spec] is
+   computed once at [create]: the deduped member list and — for the
+   flat specs — the vote threshold. [ack] only admits distinct members,
+   so [n_acked] doubles as the member-vote count and [satisfied] is a
+   single integer compare, allocating nothing. *)
 type t = {
   spec : spec;
+  memb : int list;  (** [members spec], deduped once at creation *)
+  threshold : int;  (** acks needed among [memb]; unused for [Zones] *)
   mutable acked : int list;
+  mutable n_acked : int;
   mutable nacked : int list;
 }
 
-let create spec = { spec; acked = []; nacked = [] }
+let create spec =
+  let memb = members spec in
+  let threshold =
+    match spec with
+    | Majority _ -> majority_threshold (List.length memb)
+    | Fast _ -> fast_threshold (List.length memb)
+    | Count { threshold; _ } -> threshold
+    | Zones _ -> max_int (* zone counting, not a flat threshold *)
+  in
+  { spec; memb; threshold; acked = []; n_acked = 0; nacked = [] }
 
 let ack t id =
-  if List.mem id (members t.spec) && not (List.mem id t.acked) then
-    t.acked <- id :: t.acked
+  if List.mem id t.memb && not (List.mem id t.acked) then begin
+    t.acked <- id :: t.acked;
+    t.n_acked <- t.n_acked + 1
+  end
 
 let nack t id =
-  if List.mem id (members t.spec) && not (List.mem id t.nacked) then
+  if List.mem id t.memb && not (List.mem id t.nacked) then
     t.nacked <- id :: t.nacked
 
 let count_in acked group =
-  List.length (List.filter (fun m -> List.mem m acked) group)
+  List.fold_left (fun acc m -> if List.mem m acked then acc + 1 else acc) 0 group
 
 let satisfied_with spec acked =
   match spec with
@@ -72,13 +92,26 @@ let satisfied_with spec acked =
       in
       List.length ok_zones >= need_zones
 
-let satisfied t = satisfied_with t.spec t.acked
+let satisfied t =
+  match t.spec with
+  | Majority _ | Fast _ | Count _ ->
+      (* [ack] admits each member at most once, so [n_acked] is exactly
+         [count_in t.acked memb] without walking either list. *)
+      t.n_acked >= t.threshold
+  | Zones { zones; need_zones; per_zone } ->
+      let ok =
+        List.fold_left
+          (fun acc z ->
+            if count_in t.acked z >= zone_need per_zone z then acc + 1 else acc)
+          0 zones
+      in
+      ok >= need_zones
 
 let rejected t =
   (* Satisfaction impossible even if every silent member eventually
      acks: treat all non-nacked members as acked and re-check. *)
   let optimistic =
-    List.filter (fun m -> not (List.mem m t.nacked)) (members t.spec)
+    List.filter (fun m -> not (List.mem m t.nacked)) t.memb
   in
   not (satisfied_with t.spec optimistic)
 
@@ -87,6 +120,7 @@ let nacks t = List.rev t.nacked
 
 let reset t =
   t.acked <- [];
+  t.n_acked <- 0;
   t.nacked <- []
 
 let spec t = t.spec

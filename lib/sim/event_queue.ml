@@ -2,29 +2,36 @@
    arrays so the hot compare is a monomorphic [float] comparison on an
    unboxed float array (no polymorphic entry records, no boxed keys).
 
-   Payloads live in an ['a option array]: slots below [size] are
-   always [Some], retired slots are reset to [None] so a popped
-   event's payload (typically a closure over protocol state) becomes
-   collectable immediately instead of being pinned by the backing
-   array for the rest of the run. When the heap drains to empty the
-   arrays are dropped outright. No unsound sentinel is involved.
+   Payloads live in a plain ['a array] backed by a caller-supplied
+   [dummy] value: slots below [size] hold live payloads, retired slots
+   are reset to [dummy] so a popped event's payload (typically a
+   closure over protocol state) becomes collectable immediately
+   instead of being pinned by the backing array for the rest of the
+   run. No unsound sentinel is involved — [dummy] is an ordinary
+   value of the payload type.
+
+   The scheduler drives the queue through the non-allocating
+   [top_time]/[top_seq]/[top_payload]/[drop_top] accessors; [pop]
+   (which boxes an option and a tuple per call) remains for tests and
+   generic callers off the hot path.
 
    Sift-up/down use the hole method: the moving entry is held in
    locals while ancestors/descendants shift, and written exactly once
    at its final slot. *)
 
 type 'a t = {
+  dummy : 'a;
   mutable times : float array;
   mutable seqs : int array;
-  mutable payloads : 'a option array;
+  mutable payloads : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
 let arity = 4
 
-let create () =
-  { times = [||]; seqs = [||]; payloads = [||]; size = 0; next_seq = 0 }
+let create ~dummy () =
+  { dummy; times = [||]; seqs = [||]; payloads = [||]; size = 0; next_seq = 0 }
 
 let is_empty t = t.size = 0
 let length t = t.size
@@ -39,7 +46,7 @@ let grow t =
   let ncap = if cap = 0 then 16 else cap * 2 in
   let nt = Array.make ncap 0.0 in
   let ns = Array.make ncap 0 in
-  let np = Array.make ncap None in
+  let np = Array.make ncap t.dummy in
   Array.blit t.times 0 nt 0 t.size;
   Array.blit t.seqs 0 ns 0 t.size;
   Array.blit t.payloads 0 np 0 t.size;
@@ -64,64 +71,97 @@ let push_seq t ~time ~seq payload =
   done;
   t.times.(!i) <- time;
   t.seqs.(!i) <- seq;
-  t.payloads.(!i) <- Some payload
+  t.payloads.(!i) <- payload
 
 let push t ~time payload = push_seq t ~time ~seq:(alloc_seq t) payload
+
+(* Place (time, seq, payload) into the hole at [pos], sifting down
+   within the first [n] slots. *)
+let sift_down t ~pos ~n ~time ~seq payload =
+  let i = ref pos in
+  let continue = ref true in
+  while !continue do
+    let first = (arity * !i) + 1 in
+    if first >= n then continue := false
+    else begin
+      let last = min (first + arity - 1) (n - 1) in
+      let best = ref first in
+      for c = first + 1 to last do
+        if
+          t.times.(c) < t.times.(!best)
+          || (t.times.(c) = t.times.(!best) && t.seqs.(c) < t.seqs.(!best))
+        then best := c
+      done;
+      let b = !best in
+      if t.times.(b) < time || (t.times.(b) = time && t.seqs.(b) < seq)
+      then begin
+        t.times.(!i) <- t.times.(b);
+        t.seqs.(!i) <- t.seqs.(b);
+        t.payloads.(!i) <- t.payloads.(b);
+        i := b
+      end
+      else continue := false
+    end
+  done;
+  t.times.(!i) <- time;
+  t.seqs.(!i) <- seq;
+  t.payloads.(!i) <- payload
+
+let top_time t = t.times.(0)
+let top_seq t = t.seqs.(0)
+let top_payload t = t.payloads.(0)
+
+let drop_top t =
+  let n = t.size - 1 in
+  t.size <- n;
+  if n = 0 then t.payloads.(0) <- t.dummy
+  else begin
+    (* re-insert the last entry at the root hole and sift it down *)
+    let time = t.times.(n) and seq = t.seqs.(n) in
+    let payload = t.payloads.(n) in
+    t.payloads.(n) <- t.dummy;
+    sift_down t ~pos:0 ~n ~time ~seq payload
+  end
 
 let pop t =
   if t.size = 0 then None
   else begin
     let top_time = t.times.(0) in
-    let top =
-      match t.payloads.(0) with Some p -> p | None -> assert false
-    in
-    let n = t.size - 1 in
-    t.size <- n;
-    if n = 0 then begin
-      (* dropping the arrays releases every retained reference *)
-      t.times <- [||];
-      t.seqs <- [||];
-      t.payloads <- [||]
-    end
-    else begin
-      (* re-insert the last entry at the root hole and sift it down *)
-      let time = t.times.(n) and seq = t.seqs.(n) in
-      let payload = t.payloads.(n) in
-      t.payloads.(n) <- None;
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let first = (arity * !i) + 1 in
-        if first >= n then continue := false
-        else begin
-          let last = min (first + arity - 1) (n - 1) in
-          let best = ref first in
-          for c = first + 1 to last do
-            if
-              t.times.(c) < t.times.(!best)
-              || (t.times.(c) = t.times.(!best) && t.seqs.(c) < t.seqs.(!best))
-            then best := c
-          done;
-          let b = !best in
-          if t.times.(b) < time || (t.times.(b) = time && t.seqs.(b) < seq)
-          then begin
-            t.times.(!i) <- t.times.(b);
-            t.seqs.(!i) <- t.seqs.(b);
-            t.payloads.(!i) <- t.payloads.(b);
-            i := b
-          end
-          else continue := false
-        end
-      done;
-      t.times.(!i) <- time;
-      t.seqs.(!i) <- seq;
-      t.payloads.(!i) <- payload
-    end;
+    let top = t.payloads.(0) in
+    drop_top t;
     Some (top_time, top)
   end
 
 let peek_time t = if t.size = 0 then None else Some t.times.(0)
 let peek t = if t.size = 0 then None else Some (t.times.(0), t.seqs.(0))
+
+let compact t ~dead =
+  let n = t.size in
+  let kept = ref 0 in
+  for i = 0 to n - 1 do
+    if not (dead t.payloads.(i)) then begin
+      let j = !kept in
+      if j <> i then begin
+        t.times.(j) <- t.times.(i);
+        t.seqs.(j) <- t.seqs.(i);
+        t.payloads.(j) <- t.payloads.(i)
+      end;
+      incr kept
+    end
+  done;
+  let k = !kept in
+  for i = k to n - 1 do
+    t.payloads.(i) <- t.dummy
+  done;
+  t.size <- k;
+  (* bottom-up heapify over the survivors: sift every internal node *)
+  if k > 1 then
+    for i = (k - 2) / arity downto 0 do
+      let time = t.times.(i) and seq = t.seqs.(i) in
+      let payload = t.payloads.(i) in
+      sift_down t ~pos:i ~n:k ~time ~seq payload
+    done;
+  n - k
 
 let clear t =
   t.size <- 0;

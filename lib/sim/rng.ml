@@ -2,26 +2,35 @@ type t = Random.State.t
 
 let create ~seed = Random.State.make [| seed; 0x9e3779b9; seed lxor 0x85ebca6b |]
 let split t = Random.State.split t
-let float t bound = Random.State.float t bound
+let[@inline] float t bound = Random.State.float t bound
 
 let int t bound =
   assert (bound > 0);
   Random.State.int t bound
 
 let bool t = Random.State.bool t
-let bernoulli t ~p = Random.State.float t 1.0 < p
+let[@inline] bernoulli t ~p = Random.State.float t 1.0 < p
 
-let uniform t ~lo ~hi =
+let[@inline] uniform t ~lo ~hi =
   assert (lo <= hi);
   lo +. Random.State.float t (hi -. lo)
 
 (* Box–Muller: draw u1 away from 0 to keep [log] finite. *)
-let normal t ~mu ~sigma =
+let[@inline] normal t ~mu ~sigma =
   let u1 = 1.0 -. Random.State.float t 1.0 in
   let u2 = Random.State.float t 1.0 in
   mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
 
-let exponential t ~rate =
+(* Same draws and operation order as [normal], but the result lands in
+   [dst.(0)] instead of a boxed return value: without flambda every
+   cross-function float return allocates, and this sampler sits on the
+   per-message delay path. *)
+let normal_into t ~mu ~sigma dst =
+  let u1 = 1.0 -. Random.State.float t 1.0 in
+  let u2 = Random.State.float t 1.0 in
+  dst.(0) <- mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let[@inline] exponential t ~rate =
   assert (rate > 0.0);
   let u = 1.0 -. Random.State.float t 1.0 in
   -.log u /. rate

@@ -1,17 +1,55 @@
-type handle = { mutable cancelled : bool }
+(* Timer slots: every scheduled event owns a reusable slot in parallel
+   arrays ([thunks]/[state]) instead of a per-event heap-allocated
+   handle record. The heap and the zero-delay lane carry bare slot
+   indices; a [handle] packs (generation, slot) into one immediate
+   int, so scheduling and cancellation allocate nothing.
 
-type event = { h : handle; thunk : unit -> unit }
+   [state.(slot)] packs [(gen lsl 2) lor (in_heap lsl 1) lor
+   cancelled]. The generation is bumped whenever the slot is retired
+   (its event fired, was skipped, or was compacted away), which makes
+   every outstanding handle for the old occupant stale: [cancel]
+   compares the handle's generation against the slot's and ignores
+   mismatches, so late cancels of already-fired timers are safe no-ops
+   — callers keep a plain [handle] (or {!nil}) instead of a
+   [handle option].
 
-type lane_entry = { lseq : int; lev : event }
+   Cancelled heap entries are skipped when popped, as before; in
+   addition [heap_dead] counts them and the heap is compacted in one
+   O(n) pass whenever dead entries exceed half of it, so mass-
+   cancelled retransmit timers no longer linger until their deadline
+   passes. *)
+
+let nop () = ()
+
+type handle = int
+
+let nil : handle = -1
+let is_nil h = h < 0
+
+(* slot index in the low bits, generation above — 16M concurrent
+   timers, ~2^37 reuses per slot *)
+let slot_bits = 24
+let slot_mask = (1 lsl slot_bits) - 1
 
 type t = {
-  queue : event Event_queue.t;
-  lane : lane_entry Queue.t;
-      (* same-instant FIFO: every entry was scheduled at exactly the
-         current clock ([schedule_immediate] / zero-delay
-         [schedule_after]), so it fires before the clock can advance.
-         Entries carry seqs from the heap's counter so the merged
-         (time, seq) order is identical to pushing them on the heap. *)
+  queue : int Event_queue.t; (* heap payloads are slot indices *)
+  (* timer slots *)
+  mutable thunks : (unit -> unit) array;
+  mutable state : int array;
+  mutable free : int array; (* stack of retired slot indices *)
+  mutable free_top : int;
+  mutable n_slots : int;
+  mutable heap_dead : int; (* cancelled entries still in the heap *)
+  (* same-instant FIFO lane, a ring buffer over parallel arrays:
+     every entry was scheduled at exactly the current clock
+     ([schedule_immediate] / zero-delay [schedule_after]), so it fires
+     before the clock can advance. Entries carry seqs from the heap's
+     counter so the merged (time, seq) order is identical to pushing
+     them on the heap. Capacity is a power of two. *)
+  mutable lane_seqs : int array;
+  mutable lane_slots : int array;
+  mutable lane_head : int;
+  mutable lane_len : int;
   mutable clock : float;
   mutable fired : int;
   mutable inlined : int;
@@ -27,8 +65,17 @@ type t = {
 
 let create ?(seed = 42) () =
   {
-    queue = Event_queue.create ();
-    lane = Queue.create ();
+    queue = Event_queue.create ~dummy:(-1) ();
+    thunks = [||];
+    state = [||];
+    free = [||];
+    free_top = 0;
+    n_slots = 0;
+    heap_dead = 0;
+    lane_seqs = [||];
+    lane_slots = [||];
+    lane_head = 0;
+    lane_len = 0;
     clock = 0.0;
     fired = 0;
     inlined = 0;
@@ -42,50 +89,168 @@ let rng t = t.root_rng
 let events_fired t = t.fired
 let events_inlined t = t.inlined
 
+(* ---- timer slots ---------------------------------------------------- *)
+
+let grow_slots t =
+  let cap = Array.length t.state in
+  let ncap = if cap = 0 then 64 else cap * 2 in
+  if ncap > slot_mask + 1 then failwith "Sim: timer slot space exhausted";
+  let nt = Array.make ncap nop in
+  let ns = Array.make ncap 0 in
+  let nf = Array.make ncap 0 in
+  Array.blit t.thunks 0 nt 0 t.n_slots;
+  Array.blit t.state 0 ns 0 t.n_slots;
+  Array.blit t.free 0 nf 0 t.free_top;
+  t.thunks <- nt;
+  t.state <- ns;
+  t.free <- nf
+
+let alloc_slot t thunk =
+  let s =
+    if t.free_top > 0 then begin
+      t.free_top <- t.free_top - 1;
+      t.free.(t.free_top)
+    end
+    else begin
+      if t.n_slots >= Array.length t.state then grow_slots t;
+      let s = t.n_slots in
+      t.n_slots <- t.n_slots + 1;
+      s
+    end
+  in
+  t.thunks.(s) <- thunk;
+  s
+
+(* Bump the generation (staling every outstanding handle) and return
+   the slot to the free stack. *)
+let retire t s =
+  t.thunks.(s) <- nop;
+  t.state.(s) <- ((t.state.(s) lsr 2) + 1) lsl 2;
+  t.free.(t.free_top) <- s;
+  t.free_top <- t.free_top + 1
+
+let handle_of t s = ((t.state.(s) lsr 2) lsl slot_bits) lor s
+
+(* ---- lane ring ------------------------------------------------------ *)
+
+let grow_lane t =
+  let cap = Array.length t.lane_seqs in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  let ns = Array.make ncap 0 in
+  let nsl = Array.make ncap 0 in
+  for i = 0 to t.lane_len - 1 do
+    let j = (t.lane_head + i) land (cap - 1) in
+    ns.(i) <- t.lane_seqs.(j);
+    nsl.(i) <- t.lane_slots.(j)
+  done;
+  t.lane_seqs <- ns;
+  t.lane_slots <- nsl;
+  t.lane_head <- 0
+
+let lane_push t ~seq ~slot =
+  if t.lane_len >= Array.length t.lane_seqs then grow_lane t;
+  let cap = Array.length t.lane_seqs in
+  let i = (t.lane_head + t.lane_len) land (cap - 1) in
+  t.lane_seqs.(i) <- seq;
+  t.lane_slots.(i) <- slot;
+  t.lane_len <- t.lane_len + 1
+
+(* ---- scheduling ----------------------------------------------------- *)
+
 let schedule_at t ~time thunk =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Sim.schedule_at: time %g < now %g" time t.clock);
-  let h = { cancelled = false } in
+  let s = alloc_slot t thunk in
   if time = t.clock then
-    Queue.add { lseq = Event_queue.alloc_seq t.queue; lev = { h; thunk } }
-      t.lane
-  else Event_queue.push t.queue ~time { h; thunk };
-  h
+    lane_push t ~seq:(Event_queue.alloc_seq t.queue) ~slot:s
+  else begin
+    Event_queue.push t.queue ~time s;
+    t.state.(s) <- t.state.(s) lor 2
+  end;
+  handle_of t s
 
 let schedule_after t ~delay thunk =
   schedule_at t ~time:(t.clock +. Float.max 0.0 delay) thunk
 
 let schedule_immediate t thunk =
-  let h = { cancelled = false } in
-  Queue.add { lseq = Event_queue.alloc_seq t.queue; lev = { h; thunk } } t.lane;
-  h
+  let s = alloc_slot t thunk in
+  lane_push t ~seq:(Event_queue.alloc_seq t.queue) ~slot:s;
+  handle_of t s
 
-let cancel h = h.cancelled <- true
+(* ---- cancellation and compaction ------------------------------------ *)
 
-let fire t time ev =
-  t.clock <- time;
-  if not ev.h.cancelled then begin
-    t.fired <- t.fired + 1;
-    ev.thunk ()
+(* Compact when dead entries dominate the heap; the floor keeps tiny
+   heaps (where a linear sweep per cancel burst would cost more than
+   it saves) on the lazy-deletion path. *)
+let compact_floor = 64
+
+let maybe_compact t =
+  if
+    t.heap_dead >= compact_floor
+    && 2 * t.heap_dead > Event_queue.length t.queue
+  then begin
+    let removed =
+      Event_queue.compact t.queue ~dead:(fun s ->
+          if t.state.(s) land 1 = 1 then begin
+            retire t s;
+            true
+          end
+          else false)
+    in
+    t.heap_dead <- t.heap_dead - removed
   end
+
+let cancel t h =
+  if h >= 0 then begin
+    let s = h land slot_mask in
+    if s < t.n_slots then begin
+      let st = t.state.(s) in
+      if st lsr 2 = h lsr slot_bits && st land 1 = 0 then begin
+        t.state.(s) <- st lor 1;
+        if st land 2 <> 0 then begin
+          t.heap_dead <- t.heap_dead + 1;
+          maybe_compact t
+        end
+      end
+    end
+  end
+
+(* ---- execution ------------------------------------------------------ *)
+
+let exec t time slot =
+  t.clock <- time;
+  let st = t.state.(slot) in
+  let thunk = t.thunks.(slot) in
+  retire t slot;
+  if st land 1 = 0 then begin
+    t.fired <- t.fired + 1;
+    thunk ()
+  end
+  else if st land 2 <> 0 then
+    (* a cancelled heap entry drained naturally before any compaction *)
+    t.heap_dead <- t.heap_dead - 1
+
+let exec_lane_head t =
+  let i = t.lane_head in
+  let slot = t.lane_slots.(i) in
+  t.lane_head <- (i + 1) land (Array.length t.lane_seqs - 1);
+  t.lane_len <- t.lane_len - 1;
+  exec t t.clock slot
+
+let exec_heap_top t =
+  let time = Event_queue.top_time t.queue in
+  let slot = Event_queue.top_payload t.queue in
+  Event_queue.drop_top t.queue;
+  exec t time slot
 
 (* Earliest event across the heap and the lane. Lane entries all sit
    at [t.clock]; a heap entry at the same time fires first iff its seq
    is smaller (it was scheduled earlier). *)
-let pop_next t =
-  if Queue.is_empty t.lane then Event_queue.pop t.queue
-  else
-    let take_heap =
-      match Event_queue.peek t.queue with
-      | Some (htime, hseq) ->
-          htime <= t.clock && hseq < (Queue.peek t.lane).lseq
-      | None -> false
-    in
-    if take_heap then Event_queue.pop t.queue
-    else
-      let { lseq = _; lev } = Queue.pop t.lane in
-      Some (t.clock, lev)
+let heap_precedes_lane t =
+  (not (Event_queue.is_empty t.queue))
+  && Event_queue.top_time t.queue <= t.clock
+  && Event_queue.top_seq t.queue < t.lane_seqs.(t.lane_head)
 
 let run_until t horizon =
   let saved_ok = t.inline_ok and saved_h = t.horizon in
@@ -93,17 +258,13 @@ let run_until t horizon =
   t.horizon <- horizon;
   let continue = ref true in
   while !continue do
-    if not (Queue.is_empty t.lane) then (
-      match pop_next t with
-      | Some (time, ev) -> fire t time ev
-      | None -> continue := false)
-    else
-      match Event_queue.peek_time t.queue with
-      | Some time when time <= horizon -> (
-          match pop_next t with
-          | Some (time, ev) -> fire t time ev
-          | None -> continue := false)
-      | _ -> continue := false
+    if t.lane_len > 0 then
+      if heap_precedes_lane t then exec_heap_top t else exec_lane_head t
+    else if
+      (not (Event_queue.is_empty t.queue))
+      && Event_queue.top_time t.queue <= horizon
+    then exec_heap_top t
+    else continue := false
   done;
   t.inline_ok <- saved_ok;
   t.horizon <- saved_h;
@@ -115,27 +276,29 @@ let run t =
   t.horizon <- infinity;
   let continue = ref true in
   while !continue do
-    match pop_next t with
-    | Some (time, ev) -> fire t time ev
-    | None -> continue := false
+    if t.lane_len > 0 then
+      if heap_precedes_lane t then exec_heap_top t else exec_lane_head t
+    else if not (Event_queue.is_empty t.queue) then exec_heap_top t
+    else continue := false
   done;
   t.inline_ok <- saved_ok;
   t.horizon <- saved_h
 
 let step t =
-  match pop_next t with
-  | Some (time, ev) ->
-      fire t time ev;
-      true
-  | None -> false
+  if t.lane_len > 0 then begin
+    if heap_precedes_lane t then exec_heap_top t else exec_lane_head t;
+    true
+  end
+  else if not (Event_queue.is_empty t.queue) then begin
+    exec_heap_top t;
+    true
+  end
+  else false
 
 let try_inline t ~time thunk =
   if
-    t.inline_ok && time >= t.clock && time <= t.horizon
-    && Queue.is_empty t.lane
-    && (match Event_queue.peek_time t.queue with
-       | Some htime -> htime > time
-       | None -> true)
+    t.inline_ok && time >= t.clock && time <= t.horizon && t.lane_len = 0
+    && (Event_queue.is_empty t.queue || Event_queue.top_time t.queue > time)
   then begin
     (* No pending event precedes (time, fresh-seq), so running the
        thunk here with the clock advanced is observationally identical
@@ -149,4 +312,4 @@ let try_inline t ~time thunk =
   end
   else false
 
-let pending t = Event_queue.length t.queue + Queue.length t.lane
+let pending t = Event_queue.length t.queue + t.lane_len

@@ -16,7 +16,17 @@
 type t
 
 type handle
-(** Cancellation handle for a scheduled event. *)
+(** Cancellation handle for a scheduled event: an immediate
+    (generation, slot) pair, not a heap object. Handles stay valid
+    forever — once the event fires, is cancelled, or is compacted
+    away, the handle goes {e stale} and {!cancel} ignores it — so
+    callers keep a plain [handle] (initialized to {!nil}) instead of
+    a [handle option]. *)
+
+val nil : handle
+(** A handle that never names an event; {!cancel} on it is a no-op. *)
+
+val is_nil : handle -> bool
 
 val create : ?seed:int -> unit -> t
 val now : t -> float
@@ -38,8 +48,13 @@ val schedule_immediate : t -> (unit -> unit) -> handle
 (** Equivalent to [schedule_after ~delay:0.] but skips the clamp and
     heap entirely: the thunk joins the zero-delay FIFO lane. *)
 
-val cancel : handle -> unit
-(** Cancelled events are skipped when their time comes. Idempotent. *)
+val cancel : t -> handle -> unit
+(** Cancelled events are skipped (without counting or drawing
+    randomness) when their time comes. Idempotent; stale handles —
+    {!nil}, already fired, already cancelled — are ignored. When
+    cancelled entries come to dominate the heap (> 1/2, above a small
+    floor) the heap is compacted in one O(n) pass so mass-cancelled
+    timers release their slots and payloads immediately. *)
 
 val run_until : t -> float -> unit
 (** Process every event with timestamp [<= horizon], advancing the
@@ -64,8 +79,8 @@ val try_inline : t -> time:float -> (unit -> unit) -> bool
     normally. *)
 
 val pending : t -> int
-(** Number of scheduled (uncancelled or cancelled-but-unprocessed)
-    events. *)
+(** Number of scheduled events still queued: uncancelled ones plus any
+    cancelled entries not yet popped or compacted away. *)
 
 val events_fired : t -> int
 (** Number of event thunks executed so far (cancelled events are not

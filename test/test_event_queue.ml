@@ -1,5 +1,5 @@
 let test_ordering () =
-  let q = Event_queue.create () in
+  let q = Event_queue.create ~dummy:"" () in
   Event_queue.push q ~time:3.0 "c";
   Event_queue.push q ~time:1.0 "a";
   Event_queue.push q ~time:2.0 "b";
@@ -10,7 +10,7 @@ let test_ordering () =
   Alcotest.(check bool) "empty" true (Event_queue.pop q = None)
 
 let test_fifo_on_ties () =
-  let q = Event_queue.create () in
+  let q = Event_queue.create ~dummy:(-1) () in
   for i = 0 to 9 do
     Event_queue.push q ~time:1.0 i
   done;
@@ -20,7 +20,7 @@ let test_fifo_on_ties () =
   done
 
 let test_interleaved_push_pop () =
-  let q = Event_queue.create () in
+  let q = Event_queue.create ~dummy:"" () in
   Event_queue.push q ~time:5.0 "late";
   Event_queue.push q ~time:1.0 "early";
   let _, v = Option.get (Event_queue.pop q) in
@@ -30,7 +30,7 @@ let test_interleaved_push_pop () =
   Alcotest.(check string) "mid next" "mid" v
 
 let test_length_and_clear () =
-  let q = Event_queue.create () in
+  let q = Event_queue.create ~dummy:(-1) () in
   Alcotest.(check bool) "empty" true (Event_queue.is_empty q);
   for i = 1 to 100 do
     Event_queue.push q ~time:(float_of_int i) i
@@ -40,7 +40,7 @@ let test_length_and_clear () =
   Alcotest.(check bool) "cleared" true (Event_queue.is_empty q)
 
 let test_peek () =
-  let q = Event_queue.create () in
+  let q = Event_queue.create ~dummy:() () in
   Alcotest.(check (option (float 0.0))) "none" None (Event_queue.peek_time q);
   Event_queue.push q ~time:4.2 ();
   Alcotest.(check (option (float 0.0))) "peek" (Some 4.2) (Event_queue.peek_time q);
@@ -54,7 +54,7 @@ let prop_matches_reference =
   QCheck.Test.make ~name:"push/pop/clear matches sorted reference" ~count:300
     QCheck.(list (int_bound 999))
     (fun ops ->
-      let q = Event_queue.create () in
+      let q = Event_queue.create ~dummy:(-1) () in
       let model = ref [] (* (time, payload), kept unsorted *) in
       let counter = ref 0 in
       let ok = ref true in
@@ -112,7 +112,7 @@ let[@inline never] push_and_pop q flag =
   ignore (Event_queue.pop q)
 
 let test_pop_releases_payload () =
-  let q = Event_queue.create () in
+  let q = Event_queue.create ~dummy:(ref 0) () in
   let collected = ref false in
   push_and_pop q collected;
   Gc.full_major ();
@@ -126,7 +126,7 @@ let[@inline never] push_only q flag =
   Event_queue.push q ~time:1.0 payload
 
 let test_clear_releases_payloads () =
-  let q = Event_queue.create () in
+  let q = Event_queue.create ~dummy:(ref 0) () in
   let collected = ref false in
   push_only q collected;
   Event_queue.clear q;
@@ -138,7 +138,7 @@ let prop_heap_sorted =
   QCheck.Test.make ~name:"pop yields non-decreasing times" ~count:200
     QCheck.(list (float_range 0.0 1000.0))
     (fun times ->
-      let q = Event_queue.create () in
+      let q = Event_queue.create ~dummy:() () in
       List.iter (fun t -> Event_queue.push q ~time:t ()) times;
       let rec drain last =
         match Event_queue.pop q with
@@ -146,6 +146,50 @@ let prop_heap_sorted =
         | Some (t, ()) -> t >= last && drain t
       in
       drain neg_infinity)
+
+(* [compact ~dead] filters the heap in place: survivors keep their
+   relative order among equal times, dead slots are released to the
+   GC, and the predicate runs exactly once per entry (it may carry
+   side effects, e.g. slot retirement). *)
+let test_compact_filters_and_keeps_order () =
+  let q = Event_queue.create ~dummy:(-1) () in
+  for i = 0 to 99 do
+    (* two FIFO ties per time bucket *)
+    Event_queue.push q ~time:(float_of_int (i / 2)) i
+  done;
+  let calls = ref 0 in
+  let removed =
+    Event_queue.compact q ~dead:(fun v ->
+        incr calls;
+        v mod 3 = 0)
+  in
+  Alcotest.(check int) "predicate once per entry" 100 !calls;
+  Alcotest.(check int) "removed count" 34 removed;
+  Alcotest.(check int) "length shrank" 66 (Event_queue.length q);
+  let out = ref [] in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, v) ->
+        out := v :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let expect = List.filter (fun v -> v mod 3 <> 0) (List.init 100 Fun.id) in
+  Alcotest.(check (list int)) "survivors in original order" expect
+    (List.rev !out)
+
+let test_compact_releases_dead_payloads () =
+  let q = Event_queue.create ~dummy:(ref 0) () in
+  let collected = ref false in
+  push_only q collected;
+  Event_queue.push q ~time:2.0 (ref 1);
+  let removed = Event_queue.compact q ~dead:(fun r -> !r = 7) in
+  Alcotest.(check int) "one removed" 1 removed;
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "dead payload collected" true !collected;
+  Alcotest.(check int) "survivor kept" 1 (Event_queue.length q)
 
 let suite =
   ( "event_queue",
@@ -159,6 +203,10 @@ let suite =
         test_pop_releases_payload;
       Alcotest.test_case "clear releases payloads" `Quick
         test_clear_releases_payloads;
+      Alcotest.test_case "compact filters, keeps order" `Quick
+        test_compact_filters_and_keeps_order;
+      Alcotest.test_case "compact releases dead payloads" `Quick
+        test_compact_releases_dead_payloads;
       QCheck_alcotest.to_alcotest prop_heap_sorted;
       QCheck_alcotest.to_alcotest prop_matches_reference;
     ] )

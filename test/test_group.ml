@@ -161,6 +161,7 @@ let test_leader_must_be_member () =
       rng = Rng.create ~seed:0;
       now = (fun () -> Sim.now sim);
       schedule = (fun delay f -> Sim.schedule_after sim ~delay f);
+      cancel = (fun h -> Sim.cancel sim h);
       send = (fun _ _ -> ());
       broadcast = (fun _ -> ());
       multicast = (fun _ _ -> ());

@@ -35,6 +35,20 @@ let with_inline_delivery v f =
   Transport.inline_delivery := v;
   Fun.protect ~finally:(fun () -> Transport.inline_delivery := saved) f
 
+let with_pooling v f =
+  let saved_rel = !Reliable.pooling
+  and saved_tr = !Paxi_obs.Trace.pooling
+  and saved_net = !Transport.pooling in
+  Reliable.pooling := v;
+  Paxi_obs.Trace.pooling := v;
+  Transport.pooling := v;
+  Fun.protect
+    ~finally:(fun () ->
+      Reliable.pooling := saved_rel;
+      Paxi_obs.Trace.pooling := saved_tr;
+      Transport.pooling := saved_net)
+    f
+
 (* The acceptance bar of this PR: a fixed-seed run with delivery
    collapse enabled is statistically byte-identical to the same run
    with every delivery going through the heap. *)
@@ -148,6 +162,70 @@ let test_fixed_seed_reproducible () =
   Alcotest.(check int) "events reproducible" r1.Runner.sim_events
     r2.Runner.sim_events
 
+(* The pooling acceptance bar of this PR: recycling post records,
+   retransmit thunks and trace request records must be invisible to
+   every measured statistic. Run with retransmission armed and tracing
+   on so both free lists are actually exercised. *)
+let test_pooling_invisible () =
+  let retransmit =
+    { Config.base_ms = 40.0; max_ms = 320.0; max_tries = 25 }
+  in
+  let run pooled =
+    with_pooling pooled (fun () ->
+        Runner.run paxos (lan_spec ~retransmit ~tracing:true ()))
+  in
+  let on = run true and off = run false in
+  Alcotest.(check (float 0.0)) "throughput identical"
+    off.Runner.throughput_rps on.Runner.throughput_rps;
+  Alcotest.(check (float 0.0)) "mean latency identical"
+    (Stats.mean off.Runner.latency)
+    (Stats.mean on.Runner.latency);
+  Alcotest.(check (float 0.0)) "max latency identical"
+    (Stats.max off.Runner.latency)
+    (Stats.max on.Runner.latency);
+  Alcotest.(check int) "completed identical" off.Runner.completed
+    on.Runner.completed;
+  Alcotest.(check int) "messages identical" off.Runner.messages_sent
+    on.Runner.messages_sent;
+  Alcotest.(check int) "event totals identical" off.Runner.sim_events
+    on.Runner.sim_events;
+  Alcotest.(check int) "inlined events identical"
+    off.Runner.sim_events_inlined on.Runner.sim_events_inlined;
+  Alcotest.(check int) "retransmits identical" off.Runner.retransmits
+    on.Runner.retransmits;
+  Alcotest.(check int) "span counts identical"
+    (Paxi_obs.Trace.span_count off.Runner.trace)
+    (Paxi_obs.Trace.span_count on.Runner.trace)
+
+(* Allocation-regression pin. The zero-alloc overhaul halved the Paxos
+   LAN event loop's allocation rate (~430 bytes/event on this scenario
+   at the time of writing — what remains is dominated by the protocol
+   message values themselves, which are real data, not hot-path
+   machinery). The band is ~1.4x the measured figure: loose enough to
+   absorb GC accounting noise and scenario drift, tight enough that
+   reintroducing boxed-float returns or per-message closures on the
+   delivery path (which cost 100+ bytes/event last time) trips it. *)
+let bytes_per_event_cap = 600.0
+
+let test_allocation_per_event_pinned () =
+  let r = Runner.run paxos (lan_spec ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "bytes/event %.1f <= %.0f" r.Runner.bytes_per_event
+       bytes_per_event_cap)
+    true
+    (r.Runner.bytes_per_event <= bytes_per_event_cap);
+  (* retransmission armed on a loss-free run must not change the
+     allocation class: every post recycles through the free list *)
+  let retransmit =
+    { Config.base_ms = 40.0; max_ms = 320.0; max_tries = 25 }
+  in
+  let rr = Runner.run paxos (lan_spec ~retransmit ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "armed bytes/event %.1f <= %.0f" rr.Runner.bytes_per_event
+       (2.0 *. bytes_per_event_cap))
+    true
+    (rr.Runner.bytes_per_event <= 2.0 *. bytes_per_event_cap)
+
 let check_safe name (r : Runner.result) =
   let anomalies = Linearizability.check r.Runner.history in
   List.iter
@@ -238,6 +316,9 @@ let suite =
       Alcotest.test_case "fixed seed reproducible" `Slow
         test_fixed_seed_reproducible;
       Alcotest.test_case "tracing invisible" `Slow test_tracing_invisible;
+      Alcotest.test_case "pooling invisible" `Slow test_pooling_invisible;
+      Alcotest.test_case "allocation per event pinned" `Slow
+        test_allocation_per_event_pinned;
       Alcotest.test_case "batched paxos safe" `Slow test_batched_paxos_safe;
       Alcotest.test_case "batched raft safe" `Slow test_batched_raft_safe;
       Alcotest.test_case "batched fpaxos safe" `Slow test_batched_fpaxos_safe;

@@ -177,6 +177,59 @@ let test_inert_is_plain_send () =
   (* two posts, two wire messages: the receiver acked neither *)
   Alcotest.(check int) "no ack traffic" 2 (Transport.sent_count transport)
 
+(* Dedup memory must be bounded by open posts, not run length: every
+   payload advertises the sender's settled frontier, and the receiver
+   prunes its seen-set below that floor. A long sequence of settled
+   posts leaves at most the last key remembered. *)
+let test_dedup_memory_bounded () =
+  let sim, _, _, nodes = setup () in
+  let rounds = 200 in
+  for i = 1 to rounds do
+    let _key =
+      Reliable.post nodes.(0).ep ~ack:Reliable.Explicit ~dst:(r 1)
+        (Printf.sprintf "m%d" i)
+    in
+    Sim.run sim
+  done;
+  Alcotest.(check int) "all delivered" rounds (deliveries nodes.(1));
+  Alcotest.(check int) "sender frontier past every key" (rounds + 1)
+    (Reliable.frontier nodes.(0).ep);
+  Alcotest.(check bool)
+    (Printf.sprintf "dedup entries pruned (%d remembered)"
+       (Reliable.dedup_entries nodes.(1).ep))
+    true
+    (Reliable.dedup_entries nodes.(1).ep <= 1)
+
+(* A stray late copy of a key below the advertised frontier is dropped
+   as a duplicate even though its seen-entry was already pruned. *)
+let test_floor_drops_stray_copy () =
+  let _sim, _, _, nodes = setup () in
+  let got = ref 0 in
+  let deliver ~src:_ _ = incr got in
+  let packet key frontier =
+    Reliable.Payload { key; frontier; ack = Reliable.Explicit; msg = "x" }
+  in
+  Reliable.on_packet nodes.(1).ep ~src:(r 0) ~deliver (packet 5 5);
+  Alcotest.(check int) "fresh key delivered" 1 !got;
+  Reliable.on_packet nodes.(1).ep ~src:(r 0) ~deliver (packet 1 5);
+  Alcotest.(check int) "stray copy below the floor suppressed" 1 !got;
+  Alcotest.(check int) "counted as a dup" 1 (Reliable.dup_drops nodes.(1).ep)
+
+(* Re-posting an explicit key the frontier has passed would be
+   silently dropped by every receiver: the endpoint refuses it. *)
+let test_pinned_key_below_frontier_rejected () =
+  let sim, _, _, nodes = setup () in
+  let key = Reliable.post nodes.(0).ep ~ack:Reliable.Explicit ~dst:(r 1) "a" in
+  Sim.run sim;
+  Alcotest.(check bool) "frontier passed the key" true
+    (Reliable.frontier nodes.(0).ep > key);
+  Alcotest.check_raises "reuse below frontier"
+    (Invalid_argument
+       "Reliable.post_multi: explicit post reuses a key below the settled \
+        frontier (receivers would drop it as a duplicate)") (fun () ->
+      ignore
+        (Reliable.post nodes.(0).ep ~key ~ack:Reliable.Explicit ~dst:(r 1) "b"))
+
 let suite =
   ( "reliable",
     [
@@ -194,4 +247,10 @@ let suite =
         test_post_multi_partial_settle;
       Alcotest.test_case "inert is plain send" `Quick
         test_inert_is_plain_send;
+      Alcotest.test_case "dedup memory bounded" `Quick
+        test_dedup_memory_bounded;
+      Alcotest.test_case "floor drops stray copy" `Quick
+        test_floor_drops_stray_copy;
+      Alcotest.test_case "pinned key below frontier rejected" `Quick
+        test_pinned_key_below_frontier_rejected;
     ] )

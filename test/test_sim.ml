@@ -27,9 +27,26 @@ let test_cancel () =
   let sim = Sim.create () in
   let fired = ref false in
   let h = Sim.schedule_at sim ~time:1.0 (fun () -> fired := true) in
-  Sim.cancel h;
+  Sim.cancel sim h;
   Sim.run sim;
-  Alcotest.(check bool) "cancelled" false !fired
+  Alcotest.(check bool) "cancelled" false !fired;
+  (* cancelling again — or cancelling [nil] — is a no-op, even after
+     the slot was recycled *)
+  Sim.cancel sim h;
+  Sim.cancel sim Sim.nil;
+  Alcotest.(check bool) "nil is nil" true (Sim.is_nil Sim.nil)
+
+let test_stale_handle_ignored () =
+  (* a handle kept across its event's firing must not cancel the
+     slot's next tenant (generation counters make it stale) *)
+  let sim = Sim.create () in
+  let h1 = Sim.schedule_at sim ~time:1.0 (fun () -> ()) in
+  Sim.run sim;
+  let fired = ref false in
+  ignore (Sim.schedule_at sim ~time:2.0 (fun () -> fired := true));
+  Sim.cancel sim h1;
+  Sim.run sim;
+  Alcotest.(check bool) "second event still fired" true !fired
 
 let test_run_until_horizon () =
   let sim = Sim.create () in
@@ -125,7 +142,7 @@ let test_immediate_cancel () =
   ignore
     (Sim.schedule_at sim ~time:1.0 (fun () ->
          let h = Sim.schedule_immediate sim (fun () -> fired := true) in
-         Sim.cancel h));
+         Sim.cancel sim h));
   Sim.run sim;
   Alcotest.(check bool) "cancelled lane event" false !fired
 
@@ -137,6 +154,49 @@ let test_immediate_counts_as_pending_and_step () =
   Alcotest.(check bool) "step lane" true (Sim.step sim);
   Alcotest.(check bool) "step heap" true (Sim.step sim);
   Alcotest.(check bool) "exhausted" false (Sim.step sim)
+
+(* --- cancelled-event retention -------------------------------------- *)
+
+let test_mass_cancel_compacts_heap () =
+  (* a leader re-arming 10k timers and cancelling them all must not
+     leave 10k dead entries pinned in the heap: lazy deletion compacts
+     once the dead fraction crosses a half *)
+  let sim = Sim.create () in
+  let n = 10_000 in
+  let handles =
+    Array.init n (fun i ->
+        Sim.schedule_at sim ~time:(1.0 +. float_of_int i) (fun () ->
+            Alcotest.fail "cancelled timer fired"))
+  in
+  Alcotest.(check int) "all pending" n (Sim.pending sim);
+  Array.iter (fun h -> Sim.cancel sim h) handles;
+  Alcotest.(check bool)
+    (Printf.sprintf "heap compacted (pending %d)" (Sim.pending sim))
+    true
+    (Sim.pending sim < n / 4);
+  Sim.run sim;
+  Alcotest.(check int) "no events fired" 0 (Sim.events_fired sim)
+
+let test_cancel_interleaved_survivors_fire_in_order () =
+  (* cancelling every other timer — enough to trigger compaction —
+     must not disturb the survivors' firing order or clock *)
+  let sim = Sim.create () in
+  let n = 2_000 in
+  let log = ref [] in
+  let handles =
+    Array.init n (fun i ->
+        Sim.schedule_at sim ~time:(1.0 +. float_of_int i) (fun () ->
+            log := i :: !log))
+  in
+  for i = 0 to n - 1 do
+    if i mod 2 = 0 then Sim.cancel sim handles.(i)
+  done;
+  Sim.run sim;
+  let expect = List.init (n / 2) (fun k -> (2 * k) + 1) in
+  Alcotest.(check (list int)) "odd timers in order" expect (List.rev !log);
+  Alcotest.(check (float 0.0)) "clock at last survivor"
+    (1.0 +. float_of_int (n - 1))
+    (Sim.now sim)
 
 let test_immediate_cascade_runs_same_instant () =
   let sim = Sim.create () in
@@ -160,6 +220,11 @@ let suite =
       Alcotest.test_case "clock advances" `Quick test_clock_advances;
       Alcotest.test_case "schedule_after is relative" `Quick test_schedule_after;
       Alcotest.test_case "cancel" `Quick test_cancel;
+      Alcotest.test_case "stale handle ignored" `Quick test_stale_handle_ignored;
+      Alcotest.test_case "mass cancel compacts heap" `Quick
+        test_mass_cancel_compacts_heap;
+      Alcotest.test_case "cancel interleaved, survivors in order" `Quick
+        test_cancel_interleaved_survivors_fire_in_order;
       Alcotest.test_case "run_until horizon" `Quick test_run_until_horizon;
       Alcotest.test_case "past scheduling rejected" `Quick test_past_scheduling_rejected;
       Alcotest.test_case "negative delay clamped" `Quick test_negative_delay_clamped;
