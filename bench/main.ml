@@ -986,7 +986,113 @@ let bechamel () =
     ~rows:(List.sort compare !rows)
 
 (* ------------------------------------------------------------------ *)
-(* Perf guard: BENCH_pr6.json                                          *)
+(* Read-path sweep                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The lease expiry margin used everywhere the CLI says "lease": 300 ms
+   against the nemesis clock-skew fault's <=120 ms offsets, i.e. margin
+   >= 2x the worst skew the fault matrix injects (DESIGN.md section 11). *)
+let default_lease = Config.Lease { margin_ms = 300.0 }
+
+let read_path_tag = function
+  | None -> "write-path"
+  | Some (Config.Lease _) -> "lease"
+  | Some Config.Quorum -> "quorum"
+  | Some Config.Tail -> "tail"
+
+(* One read-path point: n=5 LAN, closed-loop clients, the workload mix
+   overridden by [config.read_ratio]. Tracing is on so the fast-read
+   counter distinguishes lease/quorum/tail serves from reads that fell
+   through to the slot log. Lease and quorum reads are served by the
+   leader, so clients pin there; chain clients pin to the tail, which
+   serves reads directly and forwards the writes to the head. *)
+let read_point ~protocol ~read_path ~read_ratio ~concurrency =
+  let (module P) = Paxi_protocols.Registry.find_exn protocol in
+  let n = 5 in
+  let tag = read_path_tag read_path in
+  let config =
+    {
+      (Config.default ~n_replicas:n) with
+      Config.seed = point_seed ("reads", protocol, tag, read_ratio, concurrency);
+      read_ratio = Some read_ratio;
+      read_path;
+      tracing = true;
+    }
+  in
+  let target =
+    if protocol = "chain" then Runner.Fixed (n - 1) else Runner.Fixed 0
+  in
+  let spec =
+    Runner.spec ~warmup_ms ~duration_ms:measured_ms ~config
+      ~topology:(Topology.lan ~n_replicas:n ())
+      ~client_specs:[ Runner.clients ~target ~count:concurrency Workload.default ]
+      ()
+  in
+  Runner.run (module P) spec
+
+(* Read-ratio sweep (r = 0.5 / 0.95 / 0.99): the write path priced
+   against lease reads (paxos/fpaxos/raft), ABD quorum reads (paxos)
+   and chain tail reads. The headline figure is the read p50 — a local
+   lease read skips the slot log and its quorum round, so at r = 0.95
+   it should sit well under the write-path read p50. *)
+let reads () =
+  Report.section
+    "Read paths: lease / quorum / tail reads vs the write path";
+  let concurrency = 16 in
+  let rows =
+    [
+      ("paxos", None);
+      ("paxos", Some default_lease);
+      ("paxos", Some Config.Quorum);
+      ("fpaxos", Some default_lease);
+      ("raft", Some default_lease);
+      ("chain", Some Config.Tail);
+    ]
+  in
+  let ratios = [ 0.5; 0.95; 0.99 ] in
+  let points =
+    List.concat_map
+      (fun read_ratio ->
+        List.map (fun (p, rp) -> (p, rp, read_ratio)) rows)
+      ratios
+  in
+  let results =
+    Parmap.map
+      (fun (protocol, read_path, read_ratio) ->
+        read_point ~protocol ~read_path ~read_ratio ~concurrency)
+      points
+  in
+  let p50_or_dash s =
+    if Stats.count s = 0 then "-" else Report.fms (Stats.percentile s 50.0)
+  in
+  Report.print_table
+    ~header:
+      [
+        "protocol/path";
+        "read ratio";
+        "ops/s";
+        "read p50 (ms)";
+        "write p50 (ms)";
+        "fast reads";
+      ]
+    ~rows:
+      (List.map2
+         (fun (protocol, read_path, read_ratio) (r : Runner.result) ->
+           [
+             Printf.sprintf "%s/%s" protocol (read_path_tag read_path);
+             Printf.sprintf "%.2f" read_ratio;
+             Report.frate r.Runner.throughput_rps;
+             p50_or_dash r.Runner.read_latency;
+             p50_or_dash r.Runner.write_latency;
+             string_of_int (Paxi_obs.Trace.fast_reads r.Runner.trace);
+           ])
+         points results);
+  print_endline
+    "(fast reads = served off the lease / quorum / tail path; 0 on the \n\
+     write-path rows because those reads ride the slot log)"
+
+(* ------------------------------------------------------------------ *)
+(* Perf guard: BENCH_pr7.json                                          *)
 (* ------------------------------------------------------------------ *)
 
 (* Paxos on a LAN where every link between the leader (replica 0) and
@@ -1036,10 +1142,13 @@ let faulty_link_point () =
    re-checks that the pooled sweep is byte-identical to sequential,
    measures the batched-vs-unbatched saturation throughput of the
    paxos leader, and pins the recovery-path throughput of the
-   faulty-link point. Not part of the run-everything default — run
-   `bench/main.exe -- perf --quick` to regenerate BENCH_pr6.json, the
-   trajectory future PRs compare against (BENCH_pr1.json holds the
-   pre-overhaul numbers, BENCH_pr4.json the pre-pooling ones). *)
+   faulty-link point, and adds the PR 7 read-path figures: a paxos
+   lease point at read_ratio 0.95 and the read_ratio=0 byte-identity
+   check that gates the write path. Not part of the run-everything
+   default — run `bench/main.exe -- perf --quick` to regenerate
+   BENCH_pr7.json, the trajectory future PRs compare against
+   (BENCH_pr1.json holds the pre-overhaul numbers, BENCH_pr4.json the
+   pre-pooling ones, BENCH_pr6.json the pre-read-path ones). *)
 let perf () =
   Report.section
     "Perf guard: simulator events/sec, delivery collapse, leader batching";
@@ -1117,7 +1226,7 @@ let perf () =
           Printf.printf "  vs %s baseline %.0f events/s: %.2fx%s\n" file base
             (events_per_sec /. base) alloc
       | None -> Printf.printf "  (no %s baseline found)\n" file)
-    [ "BENCH_pr1.json"; "BENCH_pr4.json" ];
+    [ "BENCH_pr1.json"; "BENCH_pr4.json"; "BENCH_pr6.json" ];
   (* leader batching: saturation throughput at equal service-time
      parameters, one unbatched and one max_batch=8 run *)
   let sat_concurrency = if quick then 48 else 64 in
@@ -1158,16 +1267,62 @@ let perf () =
      retransmits, %d dup drops, %d gave up\n"
     p_drop faulty.Runner.throughput_rps faulty.Runner.retransmits
     faulty.Runner.dup_drops faulty.Runner.gave_up;
+  (* read path: the paxos lease point the CI read-sweep guard pins *)
+  let lease_res =
+    read_point ~protocol:"paxos" ~read_path:(Some default_lease)
+      ~read_ratio:0.95 ~concurrency:16
+  in
+  let lease_read_p50 = Stats.percentile lease_res.Runner.read_latency 50.0 in
+  let lease_write_p50 = Stats.percentile lease_res.Runner.write_latency 50.0 in
+  let lease_fast_reads = Paxi_obs.Trace.fast_reads lease_res.Runner.trace in
+  Printf.printf
+    "read path (paxos lease, r=0.95, 16 clients): %.0f ops/s, read p50 %.3f \
+     ms, write p50 %.3f ms, %d fast reads\n"
+    lease_res.Runner.throughput_rps lease_read_p50 lease_write_p50
+    lease_fast_reads;
+  (* write-path fixed point: with the read knob at zero the run must be
+     byte-identical to one that never heard of read_ratio. The baseline
+     uses write_ratio=1.0 because read_ratio=0 maps to p_write=1.0
+     through the same single Bernoulli draw — identical RNG stream,
+     identical simulation. *)
+  let read_zero read_knob =
+    let (module P) = Paxi_protocols.Registry.find_exn "paxos" in
+    let config =
+      {
+        (Config.default ~n_replicas:5) with
+        Config.seed = point_seed ("perf-read-zero", 5);
+        read_ratio = (if read_knob then Some 0.0 else None);
+      }
+    in
+    let spec =
+      Runner.spec ~warmup_ms ~duration_ms:measured_ms ~config
+        ~topology:(Topology.lan ~n_replicas:5 ())
+        ~client_specs:
+          [
+            Runner.clients ~target:Runner.Round_robin ~count:16
+              { Workload.default with Workload.write_ratio = 1.0 };
+          ]
+        ()
+    in
+    Runner.run (module P) spec
+  in
+  let rz_base = read_zero false and rz_zero = read_zero true in
+  let read_zero_identical =
+    rz_base.Runner.throughput_rps = rz_zero.Runner.throughput_rps
+    && Stats.samples rz_base.Runner.latency = Stats.samples rz_zero.Runner.latency
+  in
+  Printf.printf "read_ratio=0 byte-identical to write-only baseline: %b\n"
+    read_zero_identical;
   let num x = Json.Number x in
   let json =
     Json.Obj
       [
-        ("pr", num 6.0);
+        ("pr", num 7.0);
         ("quick", Json.Bool quick);
         ( "suite",
           Json.String
             "hot path: events/sec, delivery collapse, leader batching, \
-             faulty-link recovery" );
+             faulty-link recovery, lease read path" );
         ("points", num (float_of_int (List.length points)));
         ("jobs", num (float_of_int jobs));
         ("sequential_wall_s", num seq_s);
@@ -1211,13 +1366,27 @@ let perf () =
               ("retransmits", num (float_of_int faulty.Runner.retransmits));
               ("dup_drops", num (float_of_int faulty.Runner.dup_drops));
             ] );
+        ( "read_path_point",
+          Json.Obj
+            [
+              ("protocol", Json.String "paxos");
+              ("read_path", Json.String "lease");
+              ("margin_ms", num 300.0);
+              ("read_ratio", num 0.95);
+              ("concurrency", num 16.0);
+              ("throughput_rps", num lease_res.Runner.throughput_rps);
+              ("read_p50_ms", num lease_read_p50);
+              ("write_p50_ms", num lease_write_p50);
+              ("fast_reads", num (float_of_int lease_fast_reads));
+            ] );
+        ("read_ratio_zero_identical", Json.Bool read_zero_identical);
       ]
   in
-  let oc = open_out "BENCH_pr6.json" in
+  let oc = open_out "BENCH_pr7.json" in
   output_string oc (Json.to_string json);
   output_char oc '\n';
   close_out oc;
-  print_endline "wrote BENCH_pr6.json"
+  print_endline "wrote BENCH_pr7.json"
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
@@ -1241,6 +1410,7 @@ let experiments =
     ("availability", availability);
     ("ycsb", ycsb);
     ("openloop", openloop);
+    ("reads", reads);
     ("ablate-thrifty", ablate_thrifty);
     ("ablate-commit", ablate_commit);
     ("ablate-penalty", ablate_penalty);
@@ -1259,8 +1429,26 @@ module Nemesis = Paxi_nemesis
 let nemesis_usage () =
   prerr_endline
     "usage: main.exe nemesis [--protocol NAME[,NAME..]] [--trials N] \
-     [--seed N] [--max-faults N] [--json] [--replay SCHEDULE_JSON]";
+     [--seed N] [--max-faults N] [--read-ratio F] [--read-path \
+     lease|quorum|tail] [--skew] [--json] [--replay SCHEDULE_JSON]";
   exit 2
+
+let read_path_arg who v =
+  match v with
+  | "lease" -> Config.Lease { margin_ms = 300.0 }
+  | "quorum" -> Config.Quorum
+  | "tail" -> Config.Tail
+  | _ ->
+      Printf.eprintf "%s: --read-path expects lease|quorum|tail, got %S\n" who v;
+      exit 2
+
+let read_ratio_arg who v =
+  match float_of_string_opt v with
+  | Some f when f >= 0.0 && f <= 1.0 -> f
+  | _ ->
+      Printf.eprintf "%s: --read-ratio expects a fraction in [0,1], got %S\n"
+        who v;
+      exit 2
 
 (* Randomized fault-schedule campaigns (or a single replayed repro)
    against the named protocols; exits non-zero when any trial fails,
@@ -1270,6 +1458,9 @@ let nemesis_main args =
   let trials = ref 8 in
   let seed = ref 42 in
   let max_faults = ref 4 in
+  let read_ratio = ref None in
+  let read_path = ref None in
+  let skew = ref false in
   let json = ref false in
   let replay = ref None in
   let int_arg name v =
@@ -1296,6 +1487,15 @@ let nemesis_main args =
         parse rest
     | "--max-faults" :: v :: rest ->
         max_faults := int_arg "--max-faults" v;
+        parse rest
+    | "--read-ratio" :: v :: rest ->
+        read_ratio := Some (read_ratio_arg "nemesis" v);
+        parse rest
+    | "--read-path" :: v :: rest ->
+        read_path := Some (read_path_arg "nemesis" v);
+        parse rest
+    | "--skew" :: rest ->
+        skew := true;
         parse rest
     | "--json" :: rest ->
         json := true;
@@ -1326,12 +1526,21 @@ let nemesis_main args =
           ps;
         ps
   in
+  (* lease campaigns always face the clock-skew fault: skew is what a
+     lease's expiry margin defends against, so a lease run that never
+     sees it would be vacuous *)
+  let skew =
+    !skew || (match !read_path with Some (Config.Lease _) -> true | _ -> false)
+  in
   match !replay with
   | Some schedule ->
       let failed = ref false in
       List.iter
         (fun protocol ->
-          let v = Nemesis.Trial.run ~protocol ~seed:!seed schedule in
+          let v =
+            Nemesis.Trial.run ?read_ratio:!read_ratio ?read_path:!read_path
+              ~protocol ~seed:!seed schedule
+          in
           if not v.Nemesis.Trial.ok then failed := true;
           Printf.printf "nemesis %s seed %d: %s (%d completed, %d gave up)\n"
             protocol !seed
@@ -1345,7 +1554,8 @@ let nemesis_main args =
         List.map
           (fun protocol ->
             Nemesis.Campaign.run ~protocol ~trials:!trials ~seed:!seed
-              ~max_faults:!max_faults ())
+              ~max_faults:!max_faults ?read_ratio:!read_ratio
+              ?read_path:!read_path ~skew ())
           protocols
       in
       if !json then
@@ -1363,8 +1573,8 @@ let nemesis_main args =
 
 let dissect_usage () =
   prerr_endline
-    "usage: main.exe dissect [--protocol NAME] [--load FRAC] [--trace FILE] \
-     [--quick]";
+    "usage: main.exe dissect [--protocol NAME] [--load FRAC] [--read-ratio F] \
+     [--read-path lease|quorum|tail] [--trace FILE] [--quick]";
   exit 2
 
 (* Latency dissection: run one traced open-loop point and print the
@@ -1373,6 +1583,8 @@ let dissect_usage () =
 let dissect_main args =
   let protocol = ref "paxos" in
   let load = ref 0.6 in
+  let read_ratio = ref None in
+  let read_path = ref None in
   let trace_file = ref None in
   let rec parse = function
     | [] -> ()
@@ -1385,6 +1597,12 @@ let dissect_main args =
         | _ ->
             Printf.eprintf "dissect: --load expects a fraction in (0,1), got %S\n" v;
             exit 2);
+        parse rest
+    | "--read-ratio" :: v :: rest ->
+        read_ratio := Some (read_ratio_arg "dissect" v);
+        parse rest
+    | "--read-path" :: v :: rest ->
+        read_path := Some (read_path_arg "dissect" v);
         parse rest
     | "--trace" :: v :: rest ->
         trace_file := Some v;
@@ -1420,20 +1638,49 @@ let dissect_main args =
       (Option.value model_proto ~default:Latency_model.Paxos)
       ~node
   in
-  let rate = !load *. cap in
+  let rate =
+    match !read_path with
+    | Some Config.Quorum ->
+        (* a quorum read costs two broadcast rounds at the leader, and
+           quorum-mode writes defer their acks behind CommitAcks — the
+           write-path capacity estimate is ~4x too optimistic here, so
+           derate the offered load to keep the zero-queue read model
+           comparable *)
+        !load *. cap /. 4.0
+    | _ -> !load *. cap
+  in
+  (* --read-path implies a read-heavy mix unless --read-ratio says
+     otherwise; no read flags leaves the write-path point (and its
+     seed) exactly as before *)
+  let read_ratio =
+    match (!read_ratio, !read_path) with
+    | (Some _ as r), _ -> r
+    | None, Some _ -> Some 0.95
+    | None, None -> None
+  in
   let config =
     {
       (Config.default ~n_replicas:n) with
-      Config.seed = point_seed ("dissect", !protocol, !load);
+      Config.seed =
+        (match (read_ratio, !read_path) with
+        | None, None -> point_seed ("dissect", !protocol, !load)
+        | r, p ->
+            point_seed ("dissect", !protocol, !load, r, read_path_tag p));
       tracing = true;
+      read_ratio;
+      read_path = !read_path;
     }
   in
   let spec =
     Runner.spec ~warmup_ms ~duration_ms:measured_ms ~config
       ~topology:(Topology.lan ~n_replicas:n ())
       ~client_specs:
-        [ (* straight to the leader, as the model's DL assumes *)
-          Runner.clients ~target:(Runner.Fixed 0)
+        [ (* straight to the serving node, as the model's DL assumes:
+             the leader, or the tail for chain tail reads *)
+          Runner.clients
+            ~target:
+              (Runner.Fixed
+                 (match !read_path with Some Config.Tail -> n - 1 | _ -> 0))
             ~arrival:(Runner.Open { rate_per_sec = rate /. 4.0 })
             ~count:4 Workload.default ]
       ()
@@ -1471,16 +1718,29 @@ let dissect_main args =
           [ "sum of components"; Report.fms sum_means; ""; "" ];
           [ "end-to-end"; Report.fms e2e_mean; Report.fms (Stats.percentile e2e 99.0); "" ];
         ]);
+  let read_mode = read_ratio <> None || !read_path <> None in
   let sum_err = Float.abs (sum_means -. e2e_mean) /. e2e_mean in
   Printf.printf "components sum to %s of the measured mean (%d requests)\n"
     (Printf.sprintf "%.3f%%" (100.0 *. (1.0 -. sum_err)))
     requests;
   if sum_err > 0.01 then begin
-    prerr_endline "dissect: breakdown does not telescope to end-to-end (>1%)";
-    exit 1
+    if read_mode then
+      (* fast-path reads skip the propose/quorum stages, so the staged
+         component means no longer telescope against the blended e2e *)
+      print_endline
+        "(component means mix fast-path reads with staged writes; telescope \
+         check skipped)"
+    else begin
+      prerr_endline "dissect: breakdown does not telescope to end-to-end (>1%)";
+      exit 1
+    end
   end;
   (* model comparison *)
   (match model_proto with
+  | _ when read_mode ->
+      (* the write-path table below assumes every request rode the slot
+         log; the read-path comparison happens in its own section *)
+      ()
   | None ->
       Printf.printf "(no analytic model for %s; measured breakdown only)\n"
         !protocol
@@ -1529,6 +1789,76 @@ let dissect_main args =
             "(measured leader wait/occupancy include every message at the \n\
              busiest node — heartbeats and quorum replies, not only the \n\
              request itself — so small positive errors are expected)"));
+  (* read-path dissection: measured read/write split, fast-read count,
+     and the read terms against Latency_model.read_breakdown *)
+  (if read_mode then begin
+     let reads = Paxi_obs.Trace.read_e2e tr in
+     let writes = Paxi_obs.Trace.write_e2e tr in
+     let fast = Paxi_obs.Trace.fast_reads tr in
+     Printf.printf
+       "reads: %d (%d served off the fast path), writes: %d, read_ratio %s\n"
+       (Stats.count reads) fast (Stats.count writes)
+       (match read_ratio with Some r -> Printf.sprintf "%.2f" r | None -> "-");
+     let read_kind =
+       match !read_path with
+       | Some (Config.Lease _) -> Some Latency_model.Local_read
+       | Some Config.Quorum -> Some Latency_model.Quorum_read
+       | Some Config.Tail -> Some Latency_model.Tail_read
+       | None -> None
+     in
+     match read_kind with
+     | None ->
+         print_endline
+           "(no --read-path: reads ride the slot log, so the write-path \
+            model above is the read model too)"
+     | Some _ when Stats.count reads = 0 ->
+         prerr_endline
+           "dissect: no reads completed inside the measured window";
+         exit 1
+     | Some kind ->
+         let rng = Rng.create ~seed:45 in
+         let rb =
+           Latency_model.read_breakdown kind ~node
+             ~lan:Latency_model.default_lan ~rng
+         in
+         let read_mean = Stats.mean reads in
+         (* client RTT is measured on every request's first and last
+            hop; the remainder of a fast read is serve time (plus the
+            quorum rounds for ABD reads), which the model prices as
+            service + DQ *)
+         let dl_meas =
+           Stats.mean (Paxi_obs.Trace.net_in tr)
+           +. Stats.mean (Paxi_obs.Trace.net_out tr)
+         in
+         let row name meas model =
+           [
+             name;
+             Report.fms meas;
+             Report.fms model;
+             (if model > 0.0 then
+                Printf.sprintf "%+.1f%%" (100.0 *. (meas -. model) /. model)
+              else "-");
+           ]
+         in
+         Report.section
+           (Printf.sprintf "Read path: %s measured vs model"
+              (Latency_model.read_kind_name kind));
+         Report.print_table
+           ~header:[ "term"; "measured (ms)"; "model (ms)"; "rel err" ]
+           ~rows:
+             [
+               row "client net DL" dl_meas rb.Latency_model.dl_ms;
+               row "serve + quorum (residual)" (read_mean -. dl_meas)
+                 (rb.Latency_model.service_ms +. rb.Latency_model.dq_ms);
+               row "read end-to-end" read_mean rb.Latency_model.total_ms;
+             ];
+         if Stats.count writes > 0 then
+           Printf.printf
+             "write e2e mean %s ms — a fast read saves %.1f%% of the write \
+              path\n"
+             (Report.fms (Stats.mean writes))
+             (100.0 *. (1.0 -. (read_mean /. Stats.mean writes)))
+   end);
   (* warmup-aware time series *)
   let series = Paxi_obs.Trace.series tr in
   let from_ms, _ = Paxi_obs.Trace.window tr in

@@ -45,6 +45,8 @@ let spec ?(warmup_ms = 1_000.0) ?(duration_ms = 10_000.0)
 type result = {
   throughput_rps : float;
   latency : Stats.t;
+  read_latency : Stats.t;
+  write_latency : Stats.t;
   per_region : (Region.t * Stats.t) list;
   completed : int;
   gave_up : int;
@@ -83,6 +85,8 @@ let run (module P : Proto.RUNNABLE) spec =
   Paxi_obs.Trace.set_window (C.trace cluster) ~from_ms:window_start
     ~until_ms:window_end;
   let latency = Stats.create () in
+  let read_latency = Stats.create () in
+  let write_latency = Stats.create () in
   let per_region : (Region.t * Stats.t) list ref = ref [] in
   let region_stats region =
     match List.find_opt (fun (r, _) -> Region.equal r region) !per_region with
@@ -104,8 +108,15 @@ let run (module P : Proto.RUNNABLE) spec =
     | Some region -> C.register_client cluster ~id:cid ~region ()
     | None -> C.register_client cluster ~id:cid ());
     let region = Topology.region_of spec.topology (Address.client cid) in
+    (* [config.read_ratio] overrides every client's workload mix so a
+       sweep can turn one knob; [None] leaves the specs untouched *)
+    let workload =
+      match spec.config.Config.read_ratio with
+      | Some _ as r -> { cspec.workload with Workload.read_ratio = r }
+      | None -> cspec.workload
+    in
     let gen =
-      Workload.generator cspec.workload ~rng:(Rng.split (Sim.rng sim)) ~client:cid
+      Workload.generator workload ~rng:(Rng.split (Sim.rng sim)) ~client:cid
     in
     let rr = ref 0 in
     let pick_target ~attempt =
@@ -138,6 +149,9 @@ let run (module P : Proto.RUNNABLE) spec =
               incr in_window;
               let l = responded -. invoked in
               Stats.add latency l;
+              Stats.add
+                (if Command.is_read command then read_latency else write_latency)
+                l;
               Stats.add (region_stats region) l
             end;
             if spec.collect_history then
@@ -234,6 +248,8 @@ let run (module P : Proto.RUNNABLE) spec =
   {
     throughput_rps = float_of_int !in_window /. (spec.duration_ms /. 1000.0);
     latency;
+    read_latency;
+    write_latency;
     per_region = List.rev !per_region;
     completed = !completed;
     gave_up = !gave_up;

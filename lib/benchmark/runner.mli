@@ -63,6 +63,10 @@ val spec :
 type result = {
   throughput_rps : float;  (** completed ops/sec in the window *)
   latency : Stats.t;  (** per-request latency (ms) in the window *)
+  read_latency : Stats.t;
+      (** in-window [Get] latencies only — the read-path sweeps compare
+          this against [write_latency] to price a fast read *)
+  write_latency : Stats.t;  (** in-window write latencies only *)
   per_region : (Region.t * Stats.t) list;
   completed : int;  (** total completed ops, including warmup *)
   gave_up : int;  (** ops abandoned after [max_retries] *)

@@ -78,6 +78,7 @@ module Make (P : Proto.RUNNABLE) = struct
           on_quorum =
             (fun ~slot ->
               Paxi_obs.Trace.on_quorum t.trace ~slot ~now_ms:(Sim.now t.sim));
+          on_read = (fun () -> Paxi_obs.Trace.on_fast_read t.trace);
         }
       else Proto.null_obs
     in
@@ -87,7 +88,16 @@ module Make (P : Proto.RUNNABLE) = struct
       config = t.config;
       topology = t.topology;
       rng = Rng.split (Sim.rng t.sim);
-      now = (fun () -> Sim.now t.sim);
+      (* A replica reads its *local* clock: simulator time plus
+         whatever skew the nemesis is currently injecting at this node.
+         Only protocol decisions (lease expiry, timeouts) see the
+         offset; event scheduling stays on true simulator time. The
+         fold is exactly 0.0 on an empty schedule, so fault-free runs
+         are byte-identical. *)
+      now =
+        (fun () ->
+          let t0 = Sim.now t.sim in
+          t0 +. Faults.clock_offset t.faults ~now_ms:t0 addr);
       schedule = (fun delay f -> Sim.schedule_after t.sim ~delay f);
       cancel = (fun h -> Sim.cancel t.sim h);
       send =
@@ -287,7 +297,7 @@ module Make (P : Proto.RUNNABLE) = struct
     in
     if Paxi_obs.Trace.enabled t.trace then
       Paxi_obs.Trace.on_submit t.trace ~client ~cmd_id:command.Command.id
-        ~now_ms:(Sim.now t.sim);
+        ~is_read:(Command.is_read command) ~now_ms:(Sim.now t.sim);
     Transport.send t.transport ~src:(Address.client client)
       ~dst:(Address.replica target)
       (Request { client = Address.client client; request })

@@ -2,6 +2,11 @@ type batching = { max_batch : int; max_wait_ms : float }
 
 type retransmit = { base_ms : float; max_ms : float; max_tries : int }
 
+type read_path =
+  | Lease of { margin_ms : float }
+  | Quorum
+  | Tail
+
 type t = {
   n_replicas : int;
   seed : int;
@@ -24,6 +29,8 @@ type t = {
   batching : batching option;
   retransmit : retransmit option;
   tracing : bool;
+  read_ratio : float option;
+  read_path : read_path option;
 }
 
 let default ~n_replicas =
@@ -49,6 +56,8 @@ let default ~n_replicas =
     batching = None;
     retransmit = None;
     tracing = false;
+    read_ratio = None;
+    read_path = None;
   }
 
 let majority t = (t.n_replicas / 2) + 1
@@ -70,6 +79,20 @@ let validate t =
   else if t.migration_cooldown_ms < 0.0 then err "migration_cooldown_ms must be >= 0"
   else if t.failover_timeout_ms <= 0.0 then err "failover timeout must be positive"
   else if t.master_region_index < 0 then err "master_region_index must be >= 0"
+  else if
+    match t.read_ratio with Some r -> r < 0.0 || r > 1.0 | None -> false
+  then err "read_ratio must be in [0, 1]"
+  else if
+    match t.read_path with Some (Lease l) -> l.margin_ms < 0.0 | _ -> false
+  then err "read_path lease margin_ms must be >= 0"
+  else if
+    (* quorum reads defer the leader's write ack behind an extra commit
+       round per slot; batching would need per-batch sync tracking that
+       the mode deliberately does not carry *)
+    match (t.read_path, t.batching) with
+    | Some Quorum, Some _ -> true
+    | _ -> false
+  then err "read_path quorum is incompatible with batching"
   else
     match t.retransmit with
     | Some r when r.max_tries < 0 -> err "retransmit.max_tries must be >= 0"
@@ -121,6 +144,23 @@ let to_json t =
     @ (match t.initial_object_owner with
       | Some o -> [ ("initial_object_owner", Json.Number (float_of_int o)) ]
       | None -> [])
+    @ (match t.read_ratio with
+      | Some r -> [ ("read_ratio", Json.Number r) ]
+      | None -> [])
+    @ (match t.read_path with
+      | Some (Lease { margin_ms }) ->
+          [
+            ( "read_path",
+              Json.Obj
+                [
+                  ("mode", Json.String "lease");
+                  ("margin_ms", Json.Number margin_ms);
+                ] );
+          ]
+      | Some Quorum ->
+          [ ("read_path", Json.Obj [ ("mode", Json.String "quorum") ]) ]
+      | Some Tail -> [ ("read_path", Json.Obj [ ("mode", Json.String "tail") ]) ]
+      | None -> [])
     @ (match t.batching with
       | Some b ->
           [
@@ -157,6 +197,8 @@ let known_fields =
     "batching";
     "retransmit";
     "tracing";
+    "read_ratio";
+    "read_path";
   ]
 
 let of_json json =
@@ -257,6 +299,34 @@ let of_json json =
                   )
               | Some _ -> Error "retransmit must be an object or null"
             in
+            let* read_ratio =
+              match Json.member "read_ratio" json with
+              | Some Json.Null | None -> Ok None
+              | Some v -> (
+                  match Json.to_float v with
+                  | Some r -> Ok (Some r)
+                  | None -> Error "read_ratio must be a number")
+            in
+            let* read_path =
+              match Json.member "read_path" json with
+              | Some Json.Null | None -> Ok None
+              | Some (Json.Obj _ as rp) -> (
+                  match Option.bind (Json.member "mode" rp) Json.get_string with
+                  | Some "lease" -> (
+                      match
+                        Option.bind (Json.member "margin_ms" rp) Json.to_float
+                      with
+                      | Some margin_ms -> Ok (Some (Lease { margin_ms }))
+                      | None ->
+                          Error "read_path lease requires numeric margin_ms")
+                  | Some "quorum" -> Ok (Some Quorum)
+                  | Some "tail" -> Ok (Some Tail)
+                  | _ ->
+                      Error
+                        "read_path mode must be \"lease\", \"quorum\" or \
+                         \"tail\"")
+              | Some _ -> Error "read_path must be an object or null"
+            in
             let config =
               {
                 n_replicas; seed; msg_size_bytes; t_in_ms; t_out_ms;
@@ -265,6 +335,7 @@ let of_json json =
                 migration_threshold; migration_cooldown_ms;
                 failover_timeout_ms; initial_object_owner;
                 master_region_index; batching; retransmit; tracing;
+                read_ratio; read_path;
               }
             in
             let* () = validate config in

@@ -23,6 +23,25 @@ type retransmit = { base_ms : float; max_ms : float; max_tries : int }
     [max_tries] retransmissions. [max_tries = 0] (or a [None] field)
     leaves the layer inert — no timers, no acks, no dedup state. *)
 
+type read_path =
+  | Lease of { margin_ms : float }
+      (** the established leader answers reads from its local state
+          machine while it holds a heartbeat-renewed lease; [margin_ms]
+          is subtracted from the lease expiry before every serve, and
+          must exceed twice the largest clock offset the deployment
+          (or the nemesis) can produce — see DESIGN.md §11 *)
+  | Quorum
+      (** ABD-style quorum reads from any replica (query a majority's
+          per-key registers, write the freshest value back to a
+          majority); write acks are deferred behind a commit-ack round
+          so acknowledged writes are majority-readable *)
+  | Tail
+      (** chain replication's head-write/tail-read split; other
+          protocols ignore it *)
+(** How [Get] commands are served. [None] (the default) routes reads
+    through the full write path — one slot per read — exactly as every
+    protocol behaved before the read path existed. *)
+
 type t = {
   n_replicas : int;
   seed : int;
@@ -74,6 +93,15 @@ type t = {
           {!Paxi_obs.Trace}); off by default. Tracing only reads
           timestamps the simulator already computed — a fixed-seed run
           produces byte-identical statistics either way *)
+  read_ratio : float option;
+      (** when set, overrides every client workload's read share: an
+          op is a [Get] with this probability (the workload's
+          [write_ratio] is ignored). [None] leaves workloads exactly
+          as specified — including their RNG draw sequence *)
+  read_path : read_path option;
+      (** read-serving strategy; [None] (the default) keeps reads on
+          the write path and is byte-identical to builds without a
+          read path *)
 }
 
 val default : n_replicas:int -> t

@@ -20,5 +20,10 @@ let execute t c =
         Hashtbl.add t.memo (key_of c) read;
         read
 
+let read t (c : Command.t) =
+  match c.Command.op with
+  | Command.Get k -> Kv.get (State_machine.store t.sm) k
+  | Command.Put _ | Command.Delete _ -> None
+
 let state_machine t = t.sm
 let executed_count t = Hashtbl.length t.memo

@@ -13,6 +13,11 @@ val execute : t -> Command.t -> Command.value option
 (** Apply the command (or recall its memoized result) and return the
     read value. No-ops return [None] and are not applied. *)
 
+val read : t -> Command.t -> Command.value option
+(** Peek at the current value of a [Get]'s key without consuming a
+    slot or touching the memo table — the fast read path (lease, ABD
+    and tail reads). Returns [None] for writes and absent keys. *)
+
 val already_executed : t -> Command.t -> bool
 val state_machine : t -> State_machine.t
 val executed_count : t -> int

@@ -57,10 +57,16 @@ type obs = {
   active : bool;
   on_propose : slot:int -> cmd:Command.t -> unit;
   on_quorum : slot:int -> unit;
+  on_read : unit -> unit;
 }
 
 let null_obs =
-  { active = false; on_propose = (fun ~slot:_ ~cmd:_ -> ()); on_quorum = (fun ~slot:_ -> ()) }
+  {
+    active = false;
+    on_propose = (fun ~slot:_ ~cmd:_ -> ());
+    on_quorum = (fun ~slot:_ -> ());
+    on_read = (fun () -> ());
+  }
 
 type 'm env = {
   id : int;

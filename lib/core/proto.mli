@@ -60,6 +60,10 @@ type obs = {
   active : bool;
   on_propose : slot:int -> cmd:Command.t -> unit;
   on_quorum : slot:int -> unit;
+  on_read : unit -> unit;
+      (** a read was served off the fast path — a local lease read, an
+          ABD quorum read, or a chain tail read — i.e. it will never
+          reach [on_propose] because it consumes no slot *)
 }
 
 val null_obs : obs

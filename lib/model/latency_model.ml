@@ -142,6 +142,64 @@ let lan_breakdown ?queue proto ~node ~lan ~rng ~lambda_rps =
           total_ms = wq +. rc.Service.lead_ms +. dl +. dq +. conflict_extra_ms;
         }
 
+(* ----------------------------- Reads ------------------------------ *)
+
+type read_kind = Local_read | Quorum_read | Tail_read
+
+let read_kind_name = function
+  | Local_read -> "local_read"
+  | Quorum_read -> "quorum_read"
+  | Tail_read -> "tail_read"
+
+(* A fast-path read never enters the slot log, so its model drops the
+   write path's quorum terms:
+
+   - local (lease) and tail reads are one client RTT plus the serving
+     node touching the request (deserialize, store peek, serialize),
+     with no quorum wait at all;
+   - an ABD quorum read pays two majority round-trips (query +
+     write-back) on top of the client RTT, and the coordinator
+     serializes two broadcasts and absorbs two reply waves.
+
+   Wq is left 0: the read sweeps run far from saturation, and the
+   measured counterpart lands in the same band without a queue term —
+   queue effects on reads are a write-arrival story the write-path
+   model already prices. *)
+let read_breakdown kind ~node ~lan ~rng =
+  let mu = lan.rtt_mu_ms and sigma = lan.rtt_sigma_ms in
+  let nic = Service.nic_ms node in
+  let touch = node.Service.t_in_ms +. node.Service.t_out_ms +. (2.0 *. nic) in
+  match kind with
+  | Local_read | Tail_read ->
+      {
+        wq_ms = 0.0;
+        service_ms = touch;
+        dl_ms = mu;
+        dq_ms = 0.0;
+        conflict_extra_ms = 0.0;
+        total_ms = touch +. mu;
+      }
+  | Quorum_read ->
+      let n = node.Service.n in
+      let majority = (n / 2) + 1 in
+      let dq =
+        2.0 *. Order_stats.quorum_rtt_lan ~mu ~sigma ~quorum:majority ~n rng
+      in
+      let round =
+        node.Service.t_out_ms
+        +. (float_of_int (n - 1) *. node.Service.t_in_ms)
+        +. (float_of_int n *. nic)
+      in
+      let service = touch +. (2.0 *. round) in
+      {
+        wq_ms = 0.0;
+        service_ms = service;
+        dl_ms = mu;
+        dq_ms = dq;
+        conflict_extra_ms = 0.0;
+        total_ms = service +. mu +. dq;
+      }
+
 let lan_point ?queue proto ~node ~lan ~rng ~lambda_rps =
   match lan_breakdown ?queue proto ~node ~lan ~rng ~lambda_rps with
   | None -> None

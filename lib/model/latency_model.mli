@@ -58,6 +58,26 @@ val lan_breakdown :
   breakdown option
 (** [None] once the busiest node saturates. *)
 
+(** {2 Read paths} (PR 7) *)
+
+(** A fast-path read's analytic shape: [Local_read] (leader lease) and
+    [Tail_read] (chain tail) are one client RTT plus the serving
+    node's touch time with no quorum term; [Quorum_read] (ABD) adds
+    two majority-RTT order-statistic rounds (query + write-back) and
+    the coordinator's two broadcast serializations. *)
+type read_kind = Local_read | Quorum_read | Tail_read
+
+val read_kind_name : read_kind -> string
+
+val read_breakdown :
+  read_kind -> node:Service.node_params -> lan:lan -> rng:Rng.t -> breakdown
+(** The terms of one fast-path read, in the same {!breakdown} shape as
+    the write path so [bench/main dissect] can validate measured
+    local-read/quorum-read latencies against the model per-term.
+    [wq_ms] is 0 by construction (reads bypass the slot log and its
+    queueing story); [rng] only feeds the quorum-RTT Monte Carlo, so
+    local/tail breakdowns are deterministic. *)
+
 val lan_point :
   ?queue:Queueing.kind ->
   protocol ->

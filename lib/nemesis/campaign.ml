@@ -24,28 +24,32 @@ type report = {
 let trial_seed ~protocol ~root index =
   Runner.derive_seed ~root (Hashtbl.hash (protocol, index))
 
-let run_trial ~protocol ~root ~max_faults ~shrink_budget index =
+let run_trial ?read_ratio ?read_path ~skew ~protocol ~root ~max_faults
+    ~shrink_budget index =
   let seed = trial_seed ~protocol ~root index in
-  let schedule = Trial.generate ~protocol ~seed ~max_faults () in
-  let verdict = Trial.run ~protocol ~seed schedule in
+  let schedule = Trial.generate ~skew ~protocol ~seed ~max_faults () in
+  let verdict = Trial.run ?read_ratio ?read_path ~protocol ~seed schedule in
   let shrunk =
     if verdict.Trial.ok then None
     else
       Some
         (Shrink.shrink ~budget:shrink_budget
            ~still_fails:(fun candidate ->
-             not (Trial.run ~protocol ~seed candidate).Trial.ok)
+             not
+               (Trial.run ?read_ratio ?read_path ~protocol ~seed candidate)
+                 .Trial.ok)
            schedule)
   in
   { trial = index; seed; schedule; verdict; shrunk }
 
-let run ?pool ?(shrink_budget = 120) ?(max_faults = 4) ~protocol ~trials ~seed
-    () =
+let run ?pool ?(shrink_budget = 120) ?(max_faults = 4) ?read_ratio ?read_path
+    ?(skew = false) ~protocol ~trials ~seed () =
   (* shrinking happens inside the trial task, so a pool schedules whole
      trials and determinism needs nothing beyond per-trial seeds *)
   let outcomes =
     Paxi_exec.Parmap.map ?pool
-      (run_trial ~protocol ~root:seed ~max_faults ~shrink_budget)
+      (run_trial ?read_ratio ?read_path ~skew ~protocol ~root:seed ~max_faults
+         ~shrink_budget)
       (List.init trials Fun.id)
   in
   let failures = List.filter (fun o -> not o.verdict.Trial.ok) outcomes in

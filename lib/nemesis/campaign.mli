@@ -30,6 +30,9 @@ val run :
   ?pool:Paxi_exec.Pool.t ->
   ?shrink_budget:int ->
   ?max_faults:int ->
+  ?read_ratio:float ->
+  ?read_path:Config.read_path ->
+  ?skew:bool ->
   protocol:string ->
   trials:int ->
   seed:int ->
@@ -37,7 +40,10 @@ val run :
   report
 (** Run [trials] independent trials ([max_faults] defaults to 4).
     Shrinking runs inside each trial's task, so pooling schedules
-    whole trials. *)
+    whole trials. [?read_ratio]/[?read_path] thread the read-path
+    knobs into every trial's config; [?skew] (default false) lets the
+    generator draw clock-skew faults — the combination is the
+    adversarial read campaign. *)
 
 val repro_line : protocol:string -> seed:int -> Schedule.t -> string
 (** The exact CLI invocation that replays a (shrunk) failing trial. *)

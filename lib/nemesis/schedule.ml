@@ -16,6 +16,12 @@ type fault =
       p_drop : float;
     }
   | Partition of { minority : int list; from_ms : float; duration_ms : float }
+  | Skew of {
+      node : int;
+      from_ms : float;
+      duration_ms : float;
+      offset_ms : float; (* signed: the node's clock reads now + offset *)
+    }
 
 type t = fault list
 
@@ -25,20 +31,36 @@ type kinds = {
   drop : bool;
   flaky : bool;
   slow : bool;
+  skew : bool;
 }
 
 let all_kinds =
-  { crash = true; partition = true; drop = true; flaky = true; slow = true }
+  {
+    crash = true;
+    partition = true;
+    drop = true;
+    flaky = true;
+    slow = true;
+    skew = true;
+  }
 
 let no_kinds =
-  { crash = false; partition = false; drop = false; flaky = false; slow = false }
+  {
+    crash = false;
+    partition = false;
+    drop = false;
+    flaky = false;
+    slow = false;
+    skew = false;
+  }
 
 let window_of = function
   | Crash { from_ms; duration_ms; _ }
   | Drop { from_ms; duration_ms; _ }
   | Slow { from_ms; duration_ms; _ }
   | Flaky { from_ms; duration_ms; _ }
-  | Partition { from_ms; duration_ms; _ } ->
+  | Partition { from_ms; duration_ms; _ }
+  | Skew { from_ms; duration_ms; _ } ->
       (from_ms, from_ms +. duration_ms)
 
 let end_ms t =
@@ -51,6 +73,7 @@ let scale_duration fault factor =
   | Slow r -> Slow { r with duration_ms = r.duration_ms *. factor }
   | Flaky r -> Flaky { r with duration_ms = r.duration_ms *. factor }
   | Partition r -> Partition { r with duration_ms = r.duration_ms *. factor }
+  | Skew r -> Skew { r with duration_ms = r.duration_ms *. factor }
 
 let duration_of fault =
   let from_ms, until_ms = window_of fault in
@@ -78,7 +101,9 @@ let install t ~n faults =
           in
           Faults.partition faults
             ~groups:[ List.map r minority; rest ]
-            ~from_ms ~duration_ms)
+            ~from_ms ~duration_ms
+      | Skew { node; from_ms; duration_ms; offset_ms } ->
+          Faults.skew faults ~node:(r node) ~from_ms ~duration_ms ~offset_ms)
     t
 
 (* ------------------------------------------------------------------ *)
@@ -109,6 +134,7 @@ let gen_fault rng ~n ~kinds ~horizon_ms ~crashed =
       (kinds.drop, `Drop);
       (kinds.flaky, `Flaky);
       (kinds.slow, `Slow);
+      (kinds.skew, `Skew);
     ]
     |> List.filter_map (fun (ok, k) -> if ok then Some k else None)
   in
@@ -150,7 +176,18 @@ let gen_fault rng ~n ~kinds ~horizon_ms ~crashed =
       | `Slow ->
           let src, dst = pick_link () in
           let extra_ms = Rng.uniform rng ~lo:1.0 ~hi:10.0 in
-          Some (Slow { src; dst; from_ms; duration_ms; extra_ms }))
+          Some (Slow { src; dst; from_ms; duration_ms; extra_ms })
+      | `Skew ->
+          (* Clock skew attacks lease expiry: the leader reading its
+             clock behind real time over-trusts its lease, a follower
+             reading ahead grants (and expires grants) early. Only
+             protocol-visible time skews, so magnitudes up to the
+             nemesis cap of 120 ms stay under any sane lease margin's
+             2x bound — the oracle must find no violation. *)
+          let node = leader_biased () in
+          let magnitude = Rng.uniform rng ~lo:20.0 ~hi:120.0 in
+          let offset_ms = if Rng.bool rng then magnitude else -.magnitude in
+          Some (Skew { node; from_ms; duration_ms; offset_ms }))
 
 let generate ~rng ~n ~kinds ~max_faults ~horizon_ms =
   if n < 2 then invalid_arg "Schedule.generate: need at least 2 replicas";
@@ -184,6 +221,9 @@ let fault_to_string = function
       Printf.sprintf "partition({%s}|rest,@%.0f+%.0f)"
         (String.concat "," (List.map (Printf.sprintf "n%d") minority))
         from_ms duration_ms
+  | Skew { node; from_ms; duration_ms; offset_ms } ->
+      Printf.sprintf "skew(n%d,%+.1fms,@%.0f+%.0f)" node offset_ms from_ms
+        duration_ms
 
 let to_string t =
   if t = [] then "(no faults)"
@@ -213,6 +253,9 @@ let fault_to_json f =
   | Partition { minority; from_ms; duration_ms } ->
       base "partition" from_ms duration_ms
         [ ("minority", Json.List (List.map inum minority)) ]
+  | Skew { node; from_ms; duration_ms; offset_ms } ->
+      base "skew" from_ms duration_ms
+        [ ("node", inum node); ("offset_ms", num offset_ms) ]
 
 let to_json t = Json.List (List.map fault_to_json t)
 
@@ -265,6 +308,10 @@ let fault_of_json j =
               in
               Ok (Partition { minority = List.rev minority; from_ms; duration_ms })
           | _ -> Error "partition: missing minority")
+      | "skew" ->
+          let* node = get_int "node" j in
+          let* offset_ms = get_num "offset_ms" j in
+          Ok (Skew { node; from_ms; duration_ms; offset_ms })
       | k -> Error (Printf.sprintf "unknown fault kind %S" k))
   | _ -> Error "fault: missing kind"
 

@@ -28,6 +28,17 @@ type fault =
   | Partition of { minority : int list; from_ms : float; duration_ms : float }
       (** The cluster splits into [minority] and its complement; the
           majority side retains a quorum. *)
+  | Skew of {
+      node : int;
+      from_ms : float;
+      duration_ms : float;
+      offset_ms : float;
+    }
+      (** The node's protocol-visible clock reads [now + offset_ms]
+          while the window is open (signed; delivery and scheduling
+          are unaffected). Attacks lease expiry: a leader running
+          behind over-trusts its lease, a follower running ahead
+          expires its grant early. *)
 
 type t = fault list
 
@@ -37,6 +48,7 @@ type kinds = {
   drop : bool;
   flaky : bool;
   slow : bool;
+  skew : bool;
 }
 (** Which fault kinds a generator may draw — protocols that do not
     implement a recovery path (see the per-protocol notes in

@@ -34,17 +34,21 @@ type profile = {
      master zone, static group leaders) still make a crash fatal. *)
 let profile_of name =
   let open Schedule in
-  let no_crash = { all_kinds with crash = false } in
+  (* Clock skew only means anything to lease-based read paths; the
+     default campaigns (and their fixed-seed pins) keep it off, and
+     read-path campaigns opt in via [generate ~skew:true]. *)
+  let full = { all_kinds with skew = false } in
+  let no_crash = { full with crash = false } in
   match name with
   | "paxos" | "fpaxos" | "raft" ->
-      { kinds = all_kinds; n = 5; zoned = false; global_consensus = true }
+      { kinds = full; n = 5; zoned = false; global_consensus = true }
   | "epaxos" ->
       { kinds = no_crash; n = 5; zoned = false; global_consensus = true }
-  | "abd" -> { kinds = all_kinds; n = 5; zoned = false; global_consensus = false }
+  | "abd" -> { kinds = full; n = 5; zoned = false; global_consensus = false }
   | "chain" -> { kinds = no_crash; n = 5; zoned = false; global_consensus = true }
   | "mencius" ->
       {
-        kinds = { all_kinds with crash = false; partition = false };
+        kinds = { full with crash = false; partition = false };
         n = 5;
         zoned = false;
         global_consensus = true;
@@ -107,19 +111,23 @@ let resolve_profile ?n protocol =
   let profile = profile_of protocol in
   match n with Some n -> { profile with n } | None -> profile
 
-let generate ?n ~protocol ~seed ~max_faults () =
+let generate ?n ?(skew = false) ~protocol ~seed ~max_faults () =
   let profile = resolve_profile ?n protocol in
+  let kinds =
+    if skew then { profile.kinds with Schedule.skew = true } else profile.kinds
+  in
   let rng = Rng.create ~seed in
-  Schedule.generate ~rng ~n:profile.n ~kinds:profile.kinds ~max_faults
-    ~horizon_ms
+  Schedule.generate ~rng ~n:profile.n ~kinds ~max_faults ~horizon_ms
 
-let run ?n ~protocol ~seed schedule =
+let run ?n ?read_ratio ?read_path ~protocol ~seed schedule =
   let profile = resolve_profile ?n protocol in
   let (module P) = Paxi_protocols.Registry.find_exn protocol in
   let config =
     {
       (Config.default ~n_replicas:profile.n) with
       Config.seed;
+      Config.read_ratio;
+      Config.read_path;
       (* every trial runs with the reliable-delivery substrate armed:
          faults are the whole point here, and several families (chain,
          wankeeper, vpaxos, and paxos/raft since their ad-hoc retry

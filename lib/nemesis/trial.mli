@@ -43,13 +43,31 @@ type verdict = {
 }
 
 val generate :
-  ?n:int -> protocol:string -> seed:int -> max_faults:int -> unit -> Schedule.t
+  ?n:int ->
+  ?skew:bool ->
+  protocol:string ->
+  seed:int ->
+  max_faults:int ->
+  unit ->
+  Schedule.t
 (** The schedule a trial with this identity runs: deterministic in
     [(protocol, seed, max_faults)] and gated by the protocol's
-    profile. [?n] overrides the profile's cluster size. *)
+    profile. [?n] overrides the profile's cluster size; [?skew]
+    (default false) additionally allows clock-skew faults — the
+    read-path campaigns enable it to attack lease expiry, while the
+    default matrix stays byte-identical to its fixed-seed pins. *)
 
-val run : ?n:int -> protocol:string -> seed:int -> Schedule.t -> verdict
+val run :
+  ?n:int ->
+  ?read_ratio:float ->
+  ?read_path:Config.read_path ->
+  protocol:string ->
+  seed:int ->
+  Schedule.t ->
+  verdict
 (** Run one simulated cluster of [protocol] under the schedule, with
     closed-loop clients, and judge it. Deterministic in the
     arguments. [?n] overrides the profile's cluster size (zoned
-    profiles place [n / 3] replicas per zone). *)
+    profiles place [n / 3] replicas per zone); [?read_ratio] and
+    [?read_path] thread the PR 7 read-path knobs into the cluster
+    config (both default off, preserving the write-path baseline). *)

@@ -8,10 +8,11 @@ type rule =
   | Slow of { src : Address.t; dst : Address.t; w : window; extra_ms : float }
   | Flaky of { src : Address.t; dst : Address.t; w : window; p_drop : float }
   | Partition of { groups : Address.Set.t list; w : window }
+  | Skew of { node : Address.t; w : window; offset_ms : float }
 
 let window_of = function
   | Crash { w; _ } | Drop { w; _ } | Slow { w; _ } | Flaky { w; _ }
-  | Partition { w; _ } ->
+  | Partition { w; _ } | Skew { w; _ } ->
       w
 
 let until_of r = (window_of r).until_ms
@@ -85,6 +86,9 @@ let partition t ~groups ~from_ms ~duration_ms =
   let groups = List.map Address.Set.of_list groups in
   add t (Partition { groups; w = window ~from_ms ~duration_ms })
 
+let skew t ~node ~from_ms ~duration_ms ~offset_ms =
+  add t (Skew { node; w = window ~from_ms ~duration_ms; offset_ms })
+
 let is_crashed t ~now_ms node =
   List.exists
     (function
@@ -103,6 +107,21 @@ let partition_severed groups src dst =
   | Some ga, Some gb -> not (ga == gb)
   | _ -> false
 
+(* Deterministic (no RNG draws): a node's clock error at a given
+   instant is the sum of the active skew offsets, so fault-free runs
+   and runs whose skew windows never overlap a query are bit-identical
+   to a skew-free schedule. *)
+let clock_offset t ~now_ms node =
+  List.fold_left
+    (fun acc rule ->
+      match rule with
+      | Skew { node = n; w; offset_ms }
+        when Address.equal n node && in_window w now_ms ->
+          acc +. offset_ms
+      | _ -> acc)
+    0.0
+    (consult t ~now_ms)
+
 let should_drop t rng ~now_ms ~src ~dst =
   is_crashed t ~now_ms src || is_crashed t ~now_ms dst
   || List.exists
@@ -114,7 +133,7 @@ let should_drop t rng ~now_ms ~src ~dst =
              && Rng.bernoulli rng ~p:p_drop
          | Partition { groups; w } ->
              in_window w now_ms && partition_severed groups src dst
-         | Crash _ | Slow _ -> false)
+         | Crash _ | Slow _ | Skew _ -> false)
        (consult t ~now_ms)
 
 let extra_delay t rng ~now_ms ~src ~dst =
@@ -172,6 +191,12 @@ let rule_to_json = function
                       (List.map addr_json (Address.Set.elements g)))
                   groups) )
         :: window_fields w)
+  | Skew { node; w; offset_ms } ->
+      Json.Obj
+        ((("kind", Json.String "skew")
+         :: ("node", addr_json node)
+         :: window_fields w)
+        @ [ ("offset_ms", Json.Number offset_ms) ])
 
 (* Rules are stored newest-first; serialize in the order they were
    added so [of_json] re-adds them in the same order and rebuilds an
@@ -220,6 +245,10 @@ let rule_of_json j =
           let* src, dst = link () in
           let* p_drop = parse_float "p_drop" (Json.member "p_drop" j) in
           Ok (Flaky { src; dst; w; p_drop })
+      | "skew" ->
+          let* node = parse_addr "node" (Json.member "node" j) in
+          let* offset_ms = parse_float "offset_ms" (Json.member "offset_ms" j) in
+          Ok (Skew { node; w; offset_ms })
       | "partition" -> (
           match Json.member "groups" j with
           | Some (Json.List groups) ->

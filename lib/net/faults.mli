@@ -41,7 +41,24 @@ val partition :
   t -> groups:Address.t list list -> from_ms:float -> duration_ms:float -> unit
 (** Nodes can only talk within their own group during the window. *)
 
+val skew :
+  t ->
+  node:Address.t ->
+  from_ms:float ->
+  duration_ms:float ->
+  offset_ms:float ->
+  unit
+(** Shift [node]'s local clock by [offset_ms] (either sign) during the
+    window. Only protocol-visible time is skewed — event scheduling
+    and message delivery are untouched — so the fault attacks exactly
+    the clock reads that lease expiry depends on. *)
+
 val is_crashed : t -> now_ms:float -> Address.t -> bool
+
+val clock_offset : t -> now_ms:float -> Address.t -> float
+(** Sum of the active skew offsets for a node at [now_ms]; 0 when no
+    skew window covers the instant. Deterministic — consults no RNG —
+    so a schedule without skew rules leaves runs byte-identical. *)
 
 val should_drop : t -> Rng.t -> now_ms:float -> src:Address.t -> dst:Address.t -> bool
 (** Combined verdict of crash/drop/flaky/partition rules. *)

@@ -7,6 +7,7 @@
 type open_req = {
   mutable client : int;
   mutable cmd_id : int;
+  mutable is_read : bool;
   mutable submitted_ms : float;
   mutable arrival_ms : float;
   mutable wait_ms : float;
@@ -21,6 +22,7 @@ let rec req_nil =
   {
     client = -1;
     cmd_id = -1;
+    is_read = false;
     submitted_ms = nan;
     arrival_ms = nan;
     wait_ms = nan;
@@ -90,6 +92,11 @@ type t = {
   c_exec_reply : Stats.t;
   c_net_out : Stats.t;
   c_server : Stats.t;
+  c_read_e2e : Stats.t;
+  c_write_e2e : Stats.t;
+  mutable fast_reads : int;
+      (* reads served off the fast path (lease / quorum / tail) — they
+         never reach [on_propose], so this is the only trace of them *)
   nodes : (int, node_acc) Hashtbl.t;
   msgs : (string, int ref) Hashtbl.t;
   buckets : (int, bucket) Hashtbl.t;
@@ -122,6 +129,9 @@ let create ?(window_ms = 100.0) ?(max_spans = 200_000) ~enabled () =
     c_exec_reply = Stats.create ();
     c_net_out = Stats.create ();
     c_server = Stats.create ();
+    c_read_e2e = Stats.create ();
+    c_write_e2e = Stats.create ();
+    fast_reads = 0;
     nodes = Hashtbl.create (if enabled then 16 else 1);
     msgs = Hashtbl.create (if enabled then 32 else 1);
     buckets = Hashtbl.create (if enabled then 64 else 1);
@@ -155,6 +165,7 @@ let alloc_req t ~client ~cmd_id ~now_ms =
         {
           client = 0;
           cmd_id = 0;
+          is_read = false;
           submitted_ms = nan;
           arrival_ms = nan;
           wait_ms = nan;
@@ -169,6 +180,7 @@ let alloc_req t ~client ~cmd_id ~now_ms =
   in
   r.client <- client;
   r.cmd_id <- cmd_id;
+  r.is_read <- false;
   r.submitted_ms <- now_ms;
   r.arrival_ms <- nan;
   r.wait_ms <- nan;
@@ -184,12 +196,17 @@ let release_req t r =
     t.req_pool <- r
   end
 
-let on_submit t ~client ~cmd_id ~now_ms =
+let on_submit t ~client ~cmd_id ~is_read ~now_ms =
   if t.on then begin
     let key = pack_req ~client ~cmd_id in
-    if not (Hashtbl.mem t.reqs key) then
-      Hashtbl.add t.reqs key (alloc_req t ~client ~cmd_id ~now_ms)
+    if not (Hashtbl.mem t.reqs key) then begin
+      let r = alloc_req t ~client ~cmd_id ~now_ms in
+      r.is_read <- is_read;
+      Hashtbl.add t.reqs key r
+    end
   end
+
+let on_fast_read t = if t.on then t.fast_reads <- t.fast_reads + 1
 
 let on_request_arrival t ~client ~cmd_id ~arrival_ms ~wait_ms ~service_ms
     ~ready_ms =
@@ -270,6 +287,7 @@ let on_reply t ~client ~cmd_id ~sent_ms ~ready_ms =
         in
         if r.submitted_ms >= t.from_ms && ready_ms <= t.until_ms then begin
           Stats.add t.c_e2e e2e;
+          Stats.add (if r.is_read then t.c_read_e2e else t.c_write_e2e) e2e;
           if dissected then begin
             Stats.add t.c_net_in (r.arrival_ms -. r.submitted_ms);
             Stats.add t.c_wait_in r.wait_ms;
@@ -333,6 +351,9 @@ let quorum_wait t = t.c_quorum
 let exec_reply t = t.c_exec_reply
 let net_out t = t.c_net_out
 let server_residency t = t.c_server
+let read_e2e t = t.c_read_e2e
+let write_e2e t = t.c_write_e2e
+let fast_reads t = t.fast_reads
 
 let components t =
   if Stats.count t.c_quorum > 0 then

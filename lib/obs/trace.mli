@@ -62,10 +62,18 @@ val window : t -> float * float
 
 (** {2 Hooks} — called by the cluster engine and transport observer. *)
 
-val on_submit : t -> client:int -> cmd_id:int -> now_ms:float -> unit
+val on_submit :
+  t -> client:int -> cmd_id:int -> is_read:bool -> now_ms:float -> unit
 (** A client handed a command to the cluster. Re-submissions of the
     same (client, cmd_id) — client retries — keep the original
-    timestamps, matching the runner's latency accounting. *)
+    timestamps, matching the runner's latency accounting. [is_read]
+    routes the request's end-to-end sample into {!read_e2e} or
+    {!write_e2e}. *)
+
+val on_fast_read : t -> unit
+(** A read was served off the fast path (lease / ABD quorum / chain
+    tail) — it consumes no slot, so [on_propose] never fires for it;
+    this counter is how a dissection knows reads bypassed the log. *)
 
 val on_request_arrival :
   t ->
@@ -110,6 +118,15 @@ val net_out : t -> Stats.t
 
 val server_residency : t -> Stats.t
 (** handled→reply-sent, recorded for every request (= G1+C+G2). *)
+
+val read_e2e : t -> Stats.t
+(** End-to-end latency of in-window [Get] requests only. *)
+
+val write_e2e : t -> Stats.t
+(** End-to-end latency of in-window write requests only. *)
+
+val fast_reads : t -> int
+(** Reads served off the fast path (see {!on_fast_read}). *)
 
 val components : t -> (string * Stats.t) list
 (** The telescoping decomposition, in phase order: the 7-way split

@@ -1,4 +1,4 @@
-type tag = int * int
+type tag = Read_quorum.tag
 (** (timestamp, writer id), ordered lexicographically. [(0, -1)] is
     the initial tag of an unwritten register. *)
 
@@ -17,19 +17,16 @@ let message_label = function
   | Store _ -> "Store"
   | StoreR _ -> "StoreR"
 
-let zero_tag = (0, -1)
+type register = Command.value option Read_quorum.register
 
-type register = { mutable tag : tag; mutable value : Command.value option }
-
-(* One client operation in flight at the coordinating replica. *)
-type op_phase =
-  | Querying of { mutable best : tag * Command.value option; quorum : Quorum.t }
-  | Storing of { quorum : Quorum.t; result : Command.value option }
-
+(* One client operation in flight at the coordinating replica: an ABD
+   round (query a majority, write the winner back to a majority) run
+   by the shared {!Read_quorum} engine, plus what to reply with. *)
 type op = {
   client : Address.t;
   command : Command.t;
-  mutable phase : op_phase;
+  round : Command.value option Read_quorum.t;
+  mutable result : Command.value option;
 }
 
 type replica = {
@@ -52,45 +49,32 @@ let create env =
 let executor t = t.exec
 let leader_of_key _ _ = None
 
-let register t key =
-  match Hashtbl.find_opt t.registers key with
-  | Some r -> r
-  | None ->
-      let r = { tag = zero_tag; value = None } in
-      Hashtbl.add t.registers key r;
-      r
+let register t key = Read_quorum.lookup t.registers ~empty:None key
 
 let stored_tag t key =
   match Hashtbl.find_opt t.registers key with
-  | Some r when r.tag <> zero_tag -> Some r.tag
+  | Some r when r.Read_quorum.tag <> Read_quorum.zero_tag ->
+      Some r.Read_quorum.tag
   | _ -> None
 
-let all_ids (t : replica) = List.init t.env.n (fun i -> i)
-let majority t = Quorum.create (Quorum.Majority (all_ids t))
-
-(* Adopt (tag, value) if newer; ABD's monotone store rule. *)
-let adopt (r : register) ~tag ~value =
-  if tag > r.tag then begin
-    r.tag <- tag;
-    r.value <- value
-  end
+let majority_spec (t : replica) =
+  Quorum.Majority (List.init t.env.n (fun i -> i))
 
 let on_request t ~client (request : Proto.request) =
   let command = request.Proto.command in
   let rid = t.next_rid in
   t.next_rid <- t.next_rid + 1;
-  let quorum = majority t in
   let key = Command.key command in
   (* the coordinator is also a quorum member: seed with local state *)
   let r = register t key in
-  Quorum.ack quorum t.env.id;
-  let op =
-    { client; command; phase = Querying { best = (r.tag, r.value); quorum } }
+  let round =
+    Read_quorum.create (majority_spec t) ~self:t.env.id
+      ~local_tag:r.Read_quorum.tag ~local_value:r.Read_quorum.value
   in
-  Hashtbl.replace t.ops rid op;
+  Hashtbl.replace t.ops rid { client; command; round; result = None };
   t.env.broadcast (Query { rid; key })
 
-let finish t rid (op : op) ~result =
+let finish t rid (op : op) =
   Hashtbl.remove t.ops rid;
   (* record in the state machine so consensus-style checkers can read
      per-key histories; execution here is just bookkeeping *)
@@ -98,53 +82,50 @@ let finish t rid (op : op) ~result =
   t.env.reply op.client
     {
       Proto.command = op.command;
-      read = (if Command.is_read op.command then result else None);
+      read = (if Command.is_read op.command then op.result else None);
       replier = t.env.id;
       leader_hint = None;
     }
 
 let start_store t rid (op : op) ~tag ~value ~result =
-  let quorum = majority t in
   let key = Command.key op.command in
-  adopt (register t key) ~tag ~value;
-  Quorum.ack quorum t.env.id;
-  op.phase <- Storing { quorum; result };
+  Read_quorum.adopt (register t key) ~tag ~value;
+  Read_quorum.begin_store op.round ~self:t.env.id ~tag ~value;
+  op.result <- result;
   t.env.broadcast (Store { rid; key; tag; value })
 
 let on_query t ~src ~rid ~key =
   let r = register t key in
-  t.env.send src (QueryR { rid; tag = r.tag; value = r.value })
+  t.env.send src
+    (QueryR { rid; tag = r.Read_quorum.tag; value = r.Read_quorum.value })
 
 let on_query_reply t ~src ~rid ~tag ~value =
   match Hashtbl.find_opt t.ops rid with
-  | Some ({ phase = Querying q; _ } as op) ->
-      if tag > fst q.best then q.best <- (tag, value);
-      Quorum.ack q.quorum src;
-      if Quorum.satisfied q.quorum then begin
-        let (ts, _), best_value = q.best in
-        match op.command.Command.op with
-        | Command.Put (_, v) ->
-            (* store under a strictly larger tag owned by us *)
-            start_store t rid op ~tag:(ts + 1, t.env.id) ~value:(Some v)
-              ~result:None
-        | Command.Delete _ ->
-            start_store t rid op ~tag:(ts + 1, t.env.id) ~value:None ~result:None
-        | Command.Get _ ->
-            (* write-back phase makes the read linearizable *)
-            start_store t rid op ~tag:(fst q.best) ~value:best_value
-              ~result:best_value
-      end
+  | Some op when Read_quorum.query_ack op.round ~src ~tag ~value ->
+      let best_tag, best_value = Read_quorum.best op.round in
+      (match op.command.Command.op with
+      | Command.Put (_, v) ->
+          (* store under a strictly larger tag owned by us *)
+          start_store t rid op
+            ~tag:(Read_quorum.next_tag best_tag ~self:t.env.id)
+            ~value:(Some v) ~result:None
+      | Command.Delete _ ->
+          start_store t rid op
+            ~tag:(Read_quorum.next_tag best_tag ~self:t.env.id)
+            ~value:None ~result:None
+      | Command.Get _ ->
+          (* write-back phase makes the read linearizable *)
+          start_store t rid op ~tag:best_tag ~value:best_value
+            ~result:best_value)
   | _ -> ()
 
 let on_store t ~src ~rid ~key ~tag ~value =
-  adopt (register t key) ~tag ~value;
+  Read_quorum.adopt (register t key) ~tag ~value;
   t.env.send src (StoreR { rid })
 
 let on_store_reply t ~src ~rid =
   match Hashtbl.find_opt t.ops rid with
-  | Some ({ phase = Storing s; _ } as op) ->
-      Quorum.ack s.quorum src;
-      if Quorum.satisfied s.quorum then finish t rid op ~result:s.result
+  | Some op when Read_quorum.store_ack op.round ~src -> finish t rid op
   | _ -> ()
 
 let on_message t ~src = function

@@ -12,6 +12,7 @@ type replica = {
   mutable applied_seq : int; (* last sequence applied here *)
   pending : (int, Command.t * Address.t) Hashtbl.t; (* out-of-order buffer *)
   mutable forwarded : int;
+  mutable tail_reads : int; (* fast-path reads served (read_path = Tail) *)
 }
 
 let create env =
@@ -22,6 +23,7 @@ let create env =
     applied_seq = -1;
     pending = Hashtbl.create 32;
     forwarded = 0;
+    tail_reads = 0;
   }
 
 let executor t = t.exec
@@ -30,6 +32,7 @@ let tail t = t.env.n - 1
 let is_head t = t.env.id = head t
 let is_tail t = t.env.id = tail t
 let writes_forwarded t = t.forwarded
+let tail_reads_served t = t.tail_reads
 let leader_of_key t (_ : Command.key) = Some (tail t)
 
 let reply t ~client ~cmd ~read =
@@ -69,8 +72,19 @@ let handle_write t ~client cmd =
 
 let handle_read t ~client cmd =
   if is_tail t then
-    let read = Executor.execute t.exec cmd in
-    reply t ~client ~cmd ~read
+    match t.env.config.Config.read_path with
+    | Some Config.Tail ->
+        (* Fast path: peek the store without consuming executor
+           history — the tail-read counterpart of a lease read. The
+           legacy path below stays the default so existing chain
+           baselines are untouched. *)
+        let read = Executor.read t.exec cmd in
+        t.tail_reads <- t.tail_reads + 1;
+        t.env.obs.Proto.on_read ();
+        reply t ~client ~cmd ~read
+    | _ ->
+        let read = Executor.execute t.exec cmd in
+        reply t ~client ~cmd ~read
   else t.env.forward (tail t) ~client { Proto.command = cmd; sent_at_ms = 0.0 }
 
 let on_request t ~client (request : Proto.request) =

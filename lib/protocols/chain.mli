@@ -20,3 +20,8 @@ val executor : replica -> Executor.t
 val is_head : replica -> bool
 val is_tail : replica -> bool
 val writes_forwarded : replica -> int
+
+val tail_reads_served : replica -> int
+(** Reads the tail answered off the fast path ([read_path = Tail]):
+    a store peek that consumes no executor history. 0 in the default
+    configuration, which keeps the legacy execute-at-tail path. *)

@@ -13,3 +13,8 @@ val executor : replica -> Executor.t
 val default_q2 : n:int -> int
 (** The small phase-2 quorum the paper evaluates: [⌈(n+1)/3⌉] — 3 for
     a 9-node cluster. *)
+
+val lease_valid : replica -> bool
+val local_reads_served : replica -> int
+val quorum_reads_served : replica -> int
+(** Read-path accessors, shared with {!Paxos} (same replica type). *)

@@ -19,7 +19,24 @@ type message =
           whole batch *)
   | P2bBatch of { ballot : Ballot.t; first_slot : int; count : int; ok : bool }
   | Commit of { slot : int; cmd : Command.t }
-  | Heartbeat of { ballot : Ballot.t; commit_up_to : int }
+  | Heartbeat of { ballot : Ballot.t; commit_up_to : int; epoch : int }
+      (** [epoch] numbers lease-renewal rounds (0 and unacked when the
+          lease read path is off) *)
+  | HeartbeatAck of { ballot : Ballot.t; epoch : int }
+      (** lease grant: the follower promises not to promise a foreign
+          phase-1 for the serve window; only sent in lease mode *)
+  | CommitAck of { slot : int }
+      (** quorum-read mode: a follower applied this slot — the leader
+          defers the client's write ack until a majority did *)
+  | ReadQ of { rid : int; key : Command.key }
+  | ReadQR of { rid : int; tag : Read_quorum.tag; value : Command.value option }
+  | ReadWB of {
+      rid : int;
+      key : Command.key;
+      tag : Read_quorum.tag;
+      value : Command.value option;
+    }
+  | ReadWBAck of { rid : int }
 
 let name = "paxos"
 let cpu_factor (_ : Config.t) = 1.0
@@ -33,6 +50,12 @@ let message_label = function
   | P2bBatch _ -> "P2bBatch"
   | Commit _ -> "Commit"
   | Heartbeat _ -> "Heartbeat"
+  | HeartbeatAck _ -> "HeartbeatAck"
+  | CommitAck _ -> "CommitAck"
+  | ReadQ _ -> "ReadQ"
+  | ReadQR _ -> "ReadQR"
+  | ReadWB _ -> "ReadWB"
+  | ReadWBAck _ -> "ReadWBAck"
 
 type entry = {
   mutable ballot : Ballot.t;
@@ -60,6 +83,14 @@ type batch_state = {
   rkey : int;
 }
 
+(* One quorum read in flight at its coordinating replica: an ABD round
+   over the shadow registers. *)
+type qread = {
+  rclient : Address.t;
+  rcmd : Command.t;
+  round : Command.value option Read_quorum.t;
+}
+
 type replica = {
   env : message Proto.env;
   mutable ballot : Ballot.t;
@@ -73,6 +104,30 @@ type replica = {
   batch_buf : (Address.t * Proto.request) Queue.t;
   mutable flush_timer : Sim.handle; (* Sim.nil when no flush is pending *)
   batches : (int, batch_state) Hashtbl.t; (* keyed by first_slot *)
+  (* ---- read path: leader leases (Config.read_path = Lease) ---- *)
+  mutable lease_epoch : int; (* leader: renewal round counter *)
+  mutable lease_sent_at : float; (* leader: local clock at renewal send *)
+  mutable lease_acks : Quorum.t option; (* leader: grants for lease_epoch *)
+  mutable lease_until : float; (* leader: serve until (local clock) *)
+  mutable lease_holder : int; (* follower: who holds our grant *)
+  mutable lease_granted_until : float;
+      (* follower: refuse foreign phase-1 until (local clock) *)
+  mutable read_barrier : int;
+      (* leader: serve reads only once exec_frontier reached this —
+         the first slot of our own term, so every predecessor's
+         acknowledged write is applied locally *)
+  pending_reads : (Address.t * Proto.request) Queue.t;
+  mutable local_reads : int; (* lease reads served from local state *)
+  (* ---- read path: quorum reads (Config.read_path = Quorum) ---- *)
+  shadow : (Command.key, Command.value option Read_quorum.register) Hashtbl.t;
+      (* per-key (tag = (slot, 0), value) of the freshest locally
+         applied write; fed only in quorum mode, never touches the KV *)
+  qreads : (int, qread) Hashtbl.t; (* in-flight ABD rounds by rid *)
+  mutable next_rid : int;
+  held : (int, Address.t * Command.t * Command.value option) Hashtbl.t;
+      (* leader: write replies deferred until a majority applied *)
+  commit_acks : (int, Quorum.t) Hashtbl.t; (* slot -> applied-at votes *)
+  mutable quorum_reads : int; (* ABD reads completed here *)
 }
 
 let all_ids (t : replica) = List.init t.env.n (fun i -> i)
@@ -114,12 +169,57 @@ let create env =
     batch_buf = Queue.create ();
     flush_timer = Sim.nil;
     batches = Hashtbl.create 16;
+    lease_epoch = 0;
+    lease_sent_at = neg_infinity;
+    lease_acks = None;
+    lease_until = neg_infinity;
+    lease_holder = -1;
+    lease_granted_until = neg_infinity;
+    read_barrier = 0;
+    pending_reads = Queue.create ();
+    local_reads = 0;
+    shadow = Hashtbl.create 64;
+    qreads = Hashtbl.create 16;
+    next_rid = 0;
+    held = Hashtbl.create 32;
+    commit_acks = Hashtbl.create 32;
+    quorum_reads = 0;
   }
 
 let is_leader t = t.active
 let current_ballot t = t.ballot
 let commit_frontier t = Slot_log.exec_frontier t.log
 let executor t = t.exec
+let local_reads_served t = t.local_reads
+let quorum_reads_served t = t.quorum_reads
+
+let lease_mode t =
+  match t.env.config.Config.read_path with
+  | Some (Config.Lease _) -> true
+  | _ -> false
+
+let quorum_mode t =
+  match t.env.config.Config.read_path with
+  | Some Config.Quorum -> true
+  | _ -> false
+
+let lease_margin t =
+  match t.env.config.Config.read_path with
+  | Some (Config.Lease { margin_ms }) -> margin_ms
+  | _ -> 0.0
+
+(* A follower that granted a lease holds its own phase-1 for at least
+   the minimum staggered failover timeout (base × 1.5, replica id 0),
+   measured on its local clock from heartbeat receipt. The leader's
+   serve window runs from the earlier *send* instant on its own clock,
+   so with clocks within [margin/2] the serve window ends strictly
+   inside every grantor's hold window (DESIGN.md §11). *)
+let serve_window t = t.env.config.Config.failover_timeout_ms *. 1.5
+
+let lease_valid t =
+  t.active
+  && Slot_log.exec_frontier t.log >= t.read_barrier
+  && t.env.now () < t.lease_until -. lease_margin t
 
 let log_entry t slot =
   Option.map
@@ -129,24 +229,101 @@ let log_entry t slot =
 let leader_of_key t (_ : Command.key) =
   if t.ballot.Ballot.round > 0 then Some t.ballot.Ballot.owner else None
 
-(* Execute committed slots in order; the proposer replies to its
-   recorded clients as their commands execute. *)
-let advance t =
-  Slot_log.advance_frontier t.log
-    ~executable:(fun e -> e.committed)
-    ~f:(fun _slot e ->
-      let read = Executor.execute t.exec e.cmd in
-      match e.client with
-      | Some client ->
-          e.client <- None;
+let serve_local_read t ~client (request : Proto.request) =
+  let cmd = request.Proto.command in
+  let read = Executor.read t.exec cmd in
+  t.local_reads <- t.local_reads + 1;
+  t.env.obs.Proto.on_read ();
+  t.env.reply client
+    { Proto.command = cmd; read; replier = t.env.id; leader_hint = Some t.env.id }
+
+let maybe_serve_reads t =
+  if not (Queue.is_empty t.pending_reads) then
+    while lease_valid t && not (Queue.is_empty t.pending_reads) do
+      let client, request = Queue.pop t.pending_reads in
+      serve_local_read t ~client request
+    done
+
+let commit_tracker t slot =
+  match Hashtbl.find_opt t.commit_acks slot with
+  | Some q -> q
+  | None ->
+      let q = Quorum.create (Quorum.Majority (all_ids t)) in
+      Hashtbl.add t.commit_acks slot q;
+      q
+
+(* Release a deferred write ack once a majority applied the slot. The
+   tracker is a plain majority — NOT q2: the quorum a read queries is
+   a majority, and only majorities are guaranteed to intersect it. *)
+let maybe_release_held t slot =
+  match Hashtbl.find_opt t.commit_acks slot with
+  | Some q when Quorum.satisfied q -> (
+      Hashtbl.remove t.commit_acks slot;
+      match Hashtbl.find_opt t.held slot with
+      | Some (client, cmd, read) ->
+          Hashtbl.remove t.held slot;
           t.env.reply client
             {
-              Proto.command = e.cmd;
+              Proto.command = cmd;
               read;
               replier = t.env.id;
               leader_hint = (if t.active then Some t.env.id else None);
             }
       | None -> ())
+  | _ -> ()
+
+(* Execute committed slots in order; the proposer replies to its
+   recorded clients as their commands execute. In quorum-read mode the
+   reply is deferred (held until a majority acks application) and
+   every apply feeds the per-key shadow register / CommitAck stream. *)
+let advance t =
+  let qmode = quorum_mode t in
+  Slot_log.advance_frontier t.log
+    ~executable:(fun e -> e.committed)
+    ~f:(fun slot e ->
+      let read = Executor.execute t.exec e.cmd in
+      if qmode then begin
+        (if Command.is_write e.cmd then
+           let value =
+             match e.cmd.Command.op with
+             | Command.Put (_, v) -> Some v
+             | _ -> None
+           in
+           Read_quorum.adopt
+             (Read_quorum.lookup t.shadow ~empty:None (Command.key e.cmd))
+             ~tag:(slot, 0) ~value);
+        if t.active then begin
+          (match e.client with
+          | Some client ->
+              e.client <- None;
+              Hashtbl.replace t.held slot (client, e.cmd, read)
+          | None -> ());
+          Quorum.ack (commit_tracker t slot) t.env.id;
+          maybe_release_held t slot
+        end
+        else begin
+          (* A deposed proposer must not ack its recorded client here:
+             the write may not be majority-applied yet, and a quorum
+             read could miss it. The client's retry reaches the new
+             leader, which re-proposes and defers the ack properly. *)
+          e.client <- None;
+          if t.ballot.Ballot.round > 0 && t.ballot.Ballot.owner <> t.env.id then
+            t.env.send t.ballot.Ballot.owner (CommitAck { slot })
+        end
+      end
+      else
+        match e.client with
+        | Some client ->
+            e.client <- None;
+            t.env.reply client
+              {
+                Proto.command = e.cmd;
+                read;
+                replier = t.env.id;
+                leader_hint = (if t.active then Some t.env.id else None);
+              }
+        | None -> ());
+  if lease_mode t then maybe_serve_reads t
 
 let commit_up_to t bound =
   let changed = ref false in
@@ -204,7 +381,10 @@ let commit_batch t first_slot (bs : batch_state) =
     | _ -> ()
   done;
   advance t;
-  if not t.env.config.Config.piggyback_commit then
+  (* quorum-read mode forces the explicit commit broadcast even under
+     piggybacking: followers must learn commits promptly, because the
+     client's ack is waiting on their CommitAcks *)
+  if (not t.env.config.Config.piggyback_commit) || quorum_mode t then
     for slot = first_slot to first_slot + bs.count - 1 do
       match Slot_log.get t.log slot with
       | Some e -> t.env.broadcast (Commit { slot; cmd = e.cmd })
@@ -301,9 +481,66 @@ let drain_pending t =
       t.env.forward t.ballot.Ballot.owner ~client request
     done
 
+(* Leaving leadership (or candidacy for it): stop serving lease reads,
+   abandon lease-renewal and deferred-ack state, and push queued reads
+   back onto [pending] so they are forwarded to the new leader. Held
+   write acks are simply dropped — their clients retry, and the new
+   leader re-proposes and defers the ack correctly. Every queue and
+   table is empty when no read path is configured, so this is a no-op
+   for plain runs. *)
+let resign_read_path t =
+  t.lease_acks <- None;
+  t.lease_until <- neg_infinity;
+  Queue.transfer t.pending_reads t.pending;
+  if Hashtbl.length t.held > 0 then Hashtbl.reset t.held;
+  if Hashtbl.length t.commit_acks > 0 then Hashtbl.reset t.commit_acks
+
+(* Start (or renew) the lease alongside the keep-alive heartbeat: each
+   beat opens a new epoch whose grants are tracked against a fresh
+   quorum. The tracker needs only [q2_size] grants — a set of q2
+   refusers blocks every phase-1 quorum of n − q2 + 1 — which makes
+   FPaxos lease renewal as cheap as its phase-2. *)
+let send_heartbeat t =
+  if lease_mode t then begin
+    t.lease_epoch <- t.lease_epoch + 1;
+    t.lease_sent_at <- t.env.now ();
+    let tracker =
+      Quorum.create (Quorum.Count { members = all_ids t; threshold = q2_size t })
+    in
+    Quorum.ack tracker t.env.id;
+    t.lease_acks <- Some tracker
+  end;
+  t.env.broadcast
+    (Heartbeat
+       {
+         ballot = t.ballot;
+         commit_up_to = Slot_log.exec_frontier t.log;
+         epoch = t.lease_epoch;
+       });
+  t.last_heard <- t.env.now ()
+
+let on_heartbeat_ack t ~src ~ballot ~epoch =
+  if t.active && Ballot.equal ballot t.ballot && epoch = t.lease_epoch then
+    match t.lease_acks with
+    | Some tracker ->
+        Quorum.ack tracker src;
+        if Quorum.satisfied tracker then begin
+          let until = t.lease_sent_at +. serve_window t in
+          if until > t.lease_until then t.lease_until <- until;
+          maybe_serve_reads t
+        end
+    | None -> ()
+
+let on_commit_ack t ~src ~slot =
+  if t.active && quorum_mode t then begin
+    Quorum.ack (commit_tracker t slot) src;
+    maybe_release_held t slot
+  end
+
 let start_phase1 t =
   t.ballot <- Ballot.next t.ballot ~owner:t.env.id;
   t.active <- false;
+  resign_read_path t;
   (* a fresh candidacy obsoletes whatever this replica was still
      retransmitting (an older P1a, stale P2as from lost leadership) *)
   t.env.rel.unpost_all ();
@@ -381,12 +618,19 @@ let become_leader t (state : phase1_state) =
                })
     | _ -> ()
   done;
+  (* Read barrier: reads wait until everything up to and including the
+     recovered tail is applied locally, so no predecessor's
+     acknowledged write can be missing from a lease read. *)
+  t.read_barrier <- Slot_log.next_slot t.log;
+  t.lease_until <- neg_infinity;
+  if lease_mode t then send_heartbeat t;
   drain_pending t
 
 let step_down t ~ballot =
   if Ballot.(ballot > t.ballot) then t.ballot <- ballot;
   t.active <- false;
   t.p1 <- None;
+  resign_read_path t;
   t.last_heard <- t.env.now ();
   (* everything this replica was retransmitting carried the lost
      ballot; the new leader re-proposes whatever survives phase-1 *)
@@ -399,8 +643,72 @@ let step_down t ~ballot =
   Queue.transfer t.batch_buf t.pending;
   drain_pending t
 
-let on_request t ~client request =
-  if t.active then enqueue t ~client request
+(* Quorum-read coordination: any replica runs an ABD round over the
+   shadow registers — query a majority for the freshest applied
+   (tag, value) of the key, write the winner back to a majority, then
+   answer. Safe because write acks are deferred until a majority
+   applied (see [advance]/[maybe_release_held]): every acknowledged
+   write is visible to every majority the read can draw. *)
+let start_quorum_read t ~client (request : Proto.request) =
+  let cmd = request.Proto.command in
+  let key = Command.key cmd in
+  let rid = t.next_rid in
+  t.next_rid <- t.next_rid + 1;
+  let r = Read_quorum.lookup t.shadow ~empty:None key in
+  let round =
+    Read_quorum.create
+      (Quorum.Majority (all_ids t))
+      ~self:t.env.id ~local_tag:r.Read_quorum.tag
+      ~local_value:r.Read_quorum.value
+  in
+  Hashtbl.replace t.qreads rid { rclient = client; rcmd = cmd; round };
+  t.env.broadcast (ReadQ { rid; key })
+
+let on_readq t ~src ~rid ~key =
+  let r = Read_quorum.lookup t.shadow ~empty:None key in
+  t.env.send src
+    (ReadQR { rid; tag = r.Read_quorum.tag; value = r.Read_quorum.value })
+
+let on_readqr t ~src ~rid ~tag ~value =
+  match Hashtbl.find_opt t.qreads rid with
+  | Some qr when Read_quorum.query_ack qr.round ~src ~tag ~value ->
+      let tag, value = Read_quorum.best qr.round in
+      Read_quorum.begin_store qr.round ~self:t.env.id ~tag ~value;
+      Read_quorum.adopt
+        (Read_quorum.lookup t.shadow ~empty:None (Command.key qr.rcmd))
+        ~tag ~value;
+      t.env.broadcast (ReadWB { rid; key = Command.key qr.rcmd; tag; value })
+  | _ -> ()
+
+let on_readwb t ~src ~rid ~key ~tag ~value =
+  Read_quorum.adopt (Read_quorum.lookup t.shadow ~empty:None key) ~tag ~value;
+  t.env.send src (ReadWBAck { rid })
+
+let on_readwback t ~src ~rid =
+  match Hashtbl.find_opt t.qreads rid with
+  | Some qr when Read_quorum.store_ack qr.round ~src ->
+      Hashtbl.remove t.qreads rid;
+      let _, value = Read_quorum.best qr.round in
+      t.quorum_reads <- t.quorum_reads + 1;
+      t.env.obs.Proto.on_read ();
+      t.env.reply qr.rclient
+        {
+          Proto.command = qr.rcmd;
+          read = value;
+          replier = t.env.id;
+          leader_hint = None;
+        }
+  | _ -> ()
+
+let on_request t ~client (request : Proto.request) =
+  if quorum_mode t && Command.is_read request.Proto.command then
+    start_quorum_read t ~client request
+  else if t.active then
+    if lease_mode t && Command.is_read request.Proto.command then begin
+      if lease_valid t then serve_local_read t ~client request
+      else Queue.push (client, request) t.pending_reads
+    end
+    else enqueue t ~client request
   else if
     t.ballot.Ballot.round > 0
     && t.ballot.Ballot.owner <> t.env.id
@@ -409,18 +717,30 @@ let on_request t ~client request =
   else Queue.push (client, request) t.pending
 
 let on_p1a t ~src ~ballot ~frontier =
+  (* Lease safety: while our grant to the current leader is live we
+     refuse to promise any other candidate — this is what blocks a new
+     leader from forming inside the grantee's serve window. The nok
+     is harmless to liveness: the candidate's reliable-delivery layer
+     retransmits the P1a and the promise succeeds after expiry. *)
+  let lease_blocks =
+    lease_mode t
+    && ballot.Ballot.owner <> t.lease_holder
+    && t.env.now () < t.lease_granted_until
+  in
   (* Promise not only strictly higher ballots but also the exact
      ballot we already hold when [src] owns it: we may have adopted it
      from a nok P2b or a duplicate (retransmitted) P1a before this
      copy arrived, and the promise is idempotent. Refusing would make
      a retransmitted P1a elicit nok forever after its P1b was lost. *)
   if
-    Ballot.(ballot > t.ballot)
-    || (Ballot.equal ballot t.ballot && ballot.Ballot.owner = src)
+    (not lease_blocks)
+    && (Ballot.(ballot > t.ballot)
+       || (Ballot.equal ballot t.ballot && ballot.Ballot.owner = src))
   then begin
     t.ballot <- ballot;
     t.active <- false;
     t.p1 <- None;
+    resign_read_path t;
     t.last_heard <- t.env.now ();
     let accepted = ref [] in
     Slot_log.iter_from t.log ~start:frontier ~f:(fun slot e ->
@@ -444,6 +764,7 @@ let on_p2a t ~src ~ballot ~slot ~cmd ~commit_up_to:bound =
   if Ballot.(ballot >= t.ballot) then begin
     t.ballot <- ballot;
     if ballot.Ballot.owner <> t.env.id then begin
+      if t.active then resign_read_path t;
       t.active <- false;
       t.p1 <- None
     end;
@@ -473,6 +794,7 @@ let on_p2a_batch t ~src ~ballot ~first_slot ~cmds ~commit_up_to:bound =
   if Ballot.(ballot >= t.ballot) then begin
     t.ballot <- ballot;
     if ballot.Ballot.owner <> t.env.id then begin
+      if t.active then resign_read_path t;
       t.active <- false;
       t.p1 <- None
     end;
@@ -518,7 +840,7 @@ let on_p2b t ~src ~ballot ~slot ~ok =
           t.env.obs.Proto.on_quorum ~slot;
           t.env.rel.settle_all ~key:e.rkey;
           advance t;
-          if not t.env.config.Config.piggyback_commit then
+          if (not t.env.config.Config.piggyback_commit) || quorum_mode t then
             t.env.broadcast (Commit { slot; cmd = e.cmd })
         end
     | Some { committed = true; rkey; _ } when rkey <> 0 ->
@@ -545,11 +867,24 @@ let on_commit t ~slot ~cmd =
         });
   advance t
 
-let on_heartbeat t ~ballot ~commit_up_to:bound =
+let on_heartbeat t ~src ~ballot ~commit_up_to:bound ~epoch =
   if Ballot.(ballot >= t.ballot) then begin
     t.ballot <- ballot;
-    if ballot.Ballot.owner <> t.env.id then t.active <- false;
+    if ballot.Ballot.owner <> t.env.id then begin
+      if t.active then resign_read_path t;
+      t.active <- false
+    end;
     t.last_heard <- t.env.now ();
+    (* Accepting the beat is the lease grant: promise not to help any
+       other candidate for a serve window, and tell the leader so. The
+       grant is renewed wholesale — [lease_granted_until] only moves
+       forward here since beats arrive every window/6. *)
+    if lease_mode t && ballot.Ballot.owner <> t.env.id then begin
+      t.lease_holder <- ballot.Ballot.owner;
+      let until = t.env.now () +. serve_window t in
+      if until > t.lease_granted_until then t.lease_granted_until <- until;
+      t.env.send src (HeartbeatAck { ballot; epoch })
+    end;
     commit_up_to t bound;
     drain_pending t
   end
@@ -566,22 +901,25 @@ let on_message t ~src msg =
   | P2bBatch { ballot; first_slot; count; ok } ->
       on_p2b_batch t ~src ~ballot ~first_slot ~count ~ok
   | Commit { slot; cmd } -> on_commit t ~slot ~cmd
-  | Heartbeat { ballot; commit_up_to } -> on_heartbeat t ~ballot ~commit_up_to
+  | Heartbeat { ballot; commit_up_to; epoch } ->
+      on_heartbeat t ~src ~ballot ~commit_up_to ~epoch
+  | HeartbeatAck { ballot; epoch } -> on_heartbeat_ack t ~src ~ballot ~epoch
+  | CommitAck { slot } -> on_commit_ack t ~src ~slot
+  | ReadQ { rid; key } -> on_readq t ~src ~rid ~key
+  | ReadQR { rid; tag; value } -> on_readqr t ~src ~rid ~tag ~value
+  | ReadWB { rid; key; tag; value } -> on_readwb t ~src ~rid ~key ~tag ~value
+  | ReadWBAck { rid } -> on_readwback t ~src ~rid
 
 let rec heartbeat_loop t =
   let period = t.env.config.Config.failover_timeout_ms /. 4.0 in
   ignore
   @@ t.env.schedule period (fun () ->
-         if t.active then begin
-           (* Lost P2a/P2b recovery now lives in the reliable-delivery
-              layer (each phase-2 post retransmits on its own backoff
-              timer until acked) — the beat is a pure keep-alive plus
-              commit-frontier carrier. *)
-           t.env.broadcast
-             (Heartbeat
-                { ballot = t.ballot; commit_up_to = Slot_log.exec_frontier t.log });
-           t.last_heard <- t.env.now ()
-         end;
+         (* Lost P2a/P2b recovery now lives in the reliable-delivery
+            layer (each phase-2 post retransmits on its own backoff
+            timer until acked) — the beat is a pure keep-alive plus
+            commit-frontier carrier, and in lease mode also the lease
+            renewal round. *)
+         if t.active then send_heartbeat t;
          heartbeat_loop t)
 
 let rec failover_loop t =

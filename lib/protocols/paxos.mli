@@ -21,3 +21,17 @@ val commit_frontier : replica -> int
 val executor : replica -> Executor.t
 val log_entry : replica -> int -> (Ballot.t * Command.t * bool) option
 (** [(ballot, command, committed)] for a slot, for tests. *)
+
+(** {2 Read path} (PR 7) — all inert unless [config.read_path] is set. *)
+
+val lease_valid : replica -> bool
+(** The leader may serve a read locally right now: it is active, has
+    executed past its leadership barrier, and holds an unexpired lease
+    with the safety margin subtracted. Always [false] off-leader and
+    outside [Lease] mode. *)
+
+val local_reads_served : replica -> int
+(** Reads answered from the leader's local store under a lease. *)
+
+val quorum_reads_served : replica -> int
+(** Reads answered via an ABD round over the shadow registers. *)

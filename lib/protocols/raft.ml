@@ -47,6 +47,22 @@ type replica = {
      expects back — a success reply at or past it is the ack *)
   mutable append_key : int array;
   mutable inflight_match : int array;
+  (* Leader-lease read path (config.read_path = Lease; PR 7). The
+     lease rides on the append traffic: every outgoing AppendEntries
+     is a probe, and any reply of the current term proves the follower
+     reset its election timer (and granted) after the probe left.
+     [probe_sent_at.(i)] is the send time of the oldest unanswered
+     probe to i (0 = none outstanding); [acked_at.(i)] the latest such
+     proven-contact time. The lease extends to the majority-th largest
+     acked_at plus the minimum election delay. *)
+  mutable probe_sent_at : float array;
+  mutable acked_at : float array;
+  mutable lease_until : float;
+  mutable lease_holder : int;
+  mutable lease_granted_until : float;
+  mutable read_barrier : int;
+  pending_reads : (Address.t * Proto.request) Queue.t;
+  mutable local_reads : int;
 }
 
 let all_ids (t : replica) = List.init t.env.n (fun i -> i)
@@ -71,6 +87,14 @@ let create env =
     flush_timer = Sim.nil;
     append_key = Array.make env.Proto.n 0;
     inflight_match = Array.make env.Proto.n 0;
+    probe_sent_at = Array.make env.Proto.n 0.0;
+    acked_at = Array.make env.Proto.n neg_infinity;
+    lease_until = neg_infinity;
+    lease_holder = -1;
+    lease_granted_until = neg_infinity;
+    read_barrier = 0;
+    pending_reads = Queue.create ();
+    local_reads = 0;
   }
 
 let role t = t.state
@@ -78,6 +102,28 @@ let current_term t = t.term
 let commit_index t = t.commit_index
 let executor t = t.exec
 let log_length t = Slot_log.next_slot t.log
+let local_reads_served t = t.local_reads
+
+let lease_mode t =
+  match t.env.Proto.config.Config.read_path with
+  | Some (Config.Lease _) -> true
+  | _ -> false
+
+let lease_margin t =
+  match t.env.Proto.config.Config.read_path with
+  | Some (Config.Lease { margin_ms }) -> margin_ms
+  | _ -> 0.0
+
+(* A follower that heard from the leader waits at least
+   [base + U(0, base)] before standing for election, so [base] is the
+   window a proven contact buys — the same length the follower grants
+   and refuses foreign votes for. *)
+let lease_window t = t.env.Proto.config.Config.failover_timeout_ms
+
+let lease_valid t =
+  t.state = Leader
+  && t.commit_index > t.read_barrier
+  && t.env.Proto.now () < t.lease_until -. lease_margin t
 
 let log_term_at t i =
   Option.map (fun (e : entry) -> e.term) (Slot_log.get t.log i)
@@ -114,6 +160,54 @@ let apply_committed t =
             }
       | None -> ())
 
+(* Serve a read from the local state machine without consuming a
+   slot: legal exactly while {!lease_valid} holds. *)
+let serve_local_read t ~client (request : Proto.request) =
+  let read = Executor.read t.exec request.Proto.command in
+  t.local_reads <- t.local_reads + 1;
+  t.env.obs.Proto.on_read ();
+  t.env.reply client
+    {
+      Proto.command = request.Proto.command;
+      read;
+      replier = t.env.id;
+      leader_hint = Some t.env.id;
+    }
+
+let maybe_serve_reads t =
+  while lease_valid t && not (Queue.is_empty t.pending_reads) do
+    let client, request = Queue.pop t.pending_reads in
+    serve_local_read t ~client request
+  done
+
+(* Every append (probe) may extend the lease once answered; remember
+   the oldest outstanding send time per follower — conservative, since
+   the follower's grant starts no earlier than the probe that reached
+   it. *)
+let note_probe t dsts =
+  if lease_mode t then
+    let now = t.env.now () in
+    List.iter
+      (fun f -> if t.probe_sent_at.(f) = 0.0 then t.probe_sent_at.(f) <- now)
+      dsts
+
+(* The lease holds as long as a majority (self included) was in
+   contact within the last window: sort contact times ascending and
+   take the majority-th largest — that instant plus the window is the
+   earliest any majority member could start helping a rival. *)
+let recompute_lease t =
+  if lease_mode t && t.state = Leader then begin
+    let contact = Array.copy t.acked_at in
+    contact.(t.env.id) <- t.env.now ();
+    Array.sort Float.compare contact;
+    let pivot = contact.(t.env.n - Config.majority t.env.config) in
+    let until = pivot +. lease_window t in
+    if until > t.lease_until then begin
+      t.lease_until <- until;
+      maybe_serve_reads t
+    end
+  end
+
 (* With batching on, an AppendEntries carrying k entries costs k
    message sizes on the wire (but still one t_in/t_out) — without it,
    sends keep the flat per-message default so unbatched runs are
@@ -149,6 +243,7 @@ let post_append t ~dsts ~next =
       }
   in
   let size_bytes = append_size t !entries in
+  note_probe t dsts;
   List.iter
     (fun f ->
       if t.append_key.(f) <> 0 then begin
@@ -208,6 +303,7 @@ let broadcast_keepalive t =
   Hashtbl.iter
     (fun next members ->
       let prev_index = next - 1 in
+      note_probe t members;
       t.env.multicast_sized members ~size_bytes:(append_size t [])
         (AppendEntries
            {
@@ -228,10 +324,17 @@ let become_leader t =
   t.match_index <- Array.make t.env.n 0;
   t.append_key <- Array.make t.env.n 0;
   t.inflight_match <- Array.make t.env.n 0;
+  t.probe_sent_at <- Array.make t.env.n 0.0;
+  t.acked_at <- Array.make t.env.n neg_infinity;
+  t.lease_until <- neg_infinity;
   (* No-op barrier: an entry of the new term lets the leader commit
-     any uncommitted tail from previous terms (Raft §5.4.2). *)
+     any uncommitted tail from previous terms (Raft §5.4.2). Lease
+     reads additionally wait for it to commit ([read_barrier]), so a
+     fresh leader never serves a read before applying every write its
+     predecessors could have acknowledged. *)
   let barrier = Slot_log.reserve t.log in
   Slot_log.set t.log barrier { term = t.term; cmd = Command.noop; client = None };
+  t.read_barrier <- barrier;
   t.match_index.(t.env.id) <- barrier + 1;
   broadcast_append t;
   while not (Queue.is_empty t.pending) do
@@ -253,6 +356,9 @@ let become_follower t ~term =
   t.unflushed <- 0;
   t.env.Proto.cancel t.flush_timer;
   t.flush_timer <- Sim.nil;
+  t.lease_until <- neg_infinity;
+  (* queued lease reads go back to [pending] and get forwarded *)
+  Queue.transfer t.pending_reads t.pending;
   (* open append posts belong to a leadership this replica just lost *)
   t.env.rel.unpost_all ();
   reset_election_timer t
@@ -286,11 +392,16 @@ let advance_commit t =
     for slot = old to majority_match - 1 do
       t.env.obs.Proto.on_quorum ~slot
     done;
-    apply_committed t
+    apply_committed t;
+    (* the barrier committing may unblock queued lease reads *)
+    if lease_mode t then maybe_serve_reads t
   end
 
 let on_request t ~client (request : Proto.request) =
   match t.state with
+  | Leader when lease_mode t && Command.is_read request.Proto.command ->
+      if lease_valid t then serve_local_read t ~client request
+      else Queue.push (client, request) t.pending_reads
   | Leader -> (
       let slot = Slot_log.reserve t.log in
       Slot_log.set t.log slot
@@ -331,8 +442,17 @@ let on_request_vote t ~src ~term ~last_index:cand_last ~last_term =
     last_term > term_at t (last_index t)
     || (last_term = term_at t (last_index t) && cand_last >= last_index t)
   in
+  (* Lease safety: having accepted an AppendEntries grants its sender
+     a window during which this replica helps no other candidate win —
+     the counterpart of the leader's {!recompute_lease} bound. *)
+  let lease_blocks =
+    lease_mode t
+    && src <> t.lease_holder
+    && t.env.now () < t.lease_granted_until
+  in
   let granted =
-    term = t.term
+    (not lease_blocks)
+    && term = t.term
     && up_to_date
     && match t.voted_for with None -> true | Some v -> v = src
   in
@@ -360,6 +480,13 @@ let on_append_entries t ~src ~term ~prev_index ~prev_term ~entries
     t.leader_id <- Some src;
     t.last_heard <- t.env.now ();
     reset_election_timer t;
+    (* the accepted append doubles as the lease grant; the reply (of
+       either polarity) is the leader's proof of it *)
+    if lease_mode t then begin
+      t.lease_holder <- src;
+      let until = t.env.now () +. lease_window t in
+      if until > t.lease_granted_until then t.lease_granted_until <- until
+    end;
     drain_pending_to_leader t;
     let consistent = prev_index < 0 || term_at t prev_index = prev_term in
     if not consistent then
@@ -390,7 +517,17 @@ let on_append_entries t ~src ~term ~prev_index ~prev_term ~entries
 
 let on_append_reply t ~src ~term ~success ~match_index =
   if term > t.term then become_follower t ~term
-  else if t.state = Leader && term = t.term then
+  else if t.state = Leader && term = t.term then begin
+    (* Either polarity of a current-term reply proves the follower
+       accepted an append of ours sent no earlier than the recorded
+       probe time — it reset its election timer and granted then — so
+       the probe round-trip extends the lease. *)
+    if lease_mode t && t.probe_sent_at.(src) > 0.0 then begin
+      if t.probe_sent_at.(src) > t.acked_at.(src) then
+        t.acked_at.(src) <- t.probe_sent_at.(src);
+      t.probe_sent_at.(src) <- 0.0;
+      recompute_lease t
+    end;
     if success then begin
       (* the open post's ack: a success at or past the match it was
          shipped to establish (an older reply leaves it posted) *)
@@ -409,6 +546,7 @@ let on_append_reply t ~src ~term ~success ~match_index =
       t.next_index.(src) <- Stdlib.max 0 (Stdlib.min match_index (t.next_index.(src) - 1));
       send_append t src
     end
+  end
 
 let on_message t ~src = function
   | RequestVote { term; last_index; last_term } ->

@@ -17,3 +17,16 @@ val commit_index : replica -> int
 val executor : replica -> Executor.t
 val log_length : replica -> int
 val log_term_at : replica -> int -> int option
+
+(** {2 Read path} (PR 7) — inert unless [config.read_path = Lease].
+    The Raft lease needs no extra messages: every AppendEntries is a
+    probe, accepting one is the grant (it resets the follower's
+    election timer and blocks its vote for anyone else for a window),
+    and any current-term reply is the leader's proof of contact. *)
+
+val lease_valid : replica -> bool
+(** The leader may serve a read locally right now: the no-op barrier
+    of its term is committed and a majority was in proven contact
+    within the lease window minus the safety margin. *)
+
+val local_reads_served : replica -> int

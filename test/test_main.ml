@@ -37,4 +37,6 @@ let () =
       Test_nemesis.suite;
       Test_hotpath.suite;
       Test_obs.suite;
+      Test_read_oracle.suite;
+      Test_read_path.suite;
     ]

@@ -257,6 +257,74 @@ let prop_load_decreasing_in_leaders =
       Formulas.load ~leaders:4 ~conflict:c ~quorum:q
       <= Formulas.load ~leaders:1 ~conflict:c ~quorum:q +. 1e-9)
 
+(* Read-path terms (PR 7): a local (lease) or tail read is one client
+   RTT plus the serving node's touch time — no queue, no quorum — and
+   a quorum read adds two majority-RTT rounds plus two broadcast
+   serializations. *)
+let test_read_breakdown_local_and_tail () =
+  let node = Service.default_node ~n:5 in
+  let lan = Latency_model.default_lan in
+  let rng = Rng.create ~seed:1 in
+  List.iter
+    (fun kind ->
+      let b = Latency_model.read_breakdown kind ~node ~lan ~rng in
+      feq "wq is zero by construction" 0.0 b.Latency_model.wq_ms;
+      feq "no quorum term" 0.0 b.Latency_model.dq_ms;
+      feq "dl is the client rtt" lan.Latency_model.rtt_mu_ms
+        b.Latency_model.dl_ms;
+      feq "service is the touch time"
+        (node.Service.t_in_ms +. node.Service.t_out_ms
+        +. (2.0 *. Service.nic_ms node))
+        b.Latency_model.service_ms;
+      feq "terms telescope"
+        (b.Latency_model.service_ms +. b.Latency_model.dl_ms)
+        b.Latency_model.total_ms;
+      (* no Monte-Carlo term: deterministic regardless of rng *)
+      let b' =
+        Latency_model.read_breakdown kind ~node ~lan
+          ~rng:(Rng.create ~seed:999)
+      in
+      feq "deterministic" b.Latency_model.total_ms b'.Latency_model.total_ms)
+    [ Latency_model.Local_read; Latency_model.Tail_read ]
+
+let test_read_breakdown_quorum () =
+  let node = Service.default_node ~n:5 in
+  let lan = Latency_model.default_lan in
+  let b =
+    Latency_model.read_breakdown Latency_model.Quorum_read ~node ~lan
+      ~rng:(Rng.create ~seed:2)
+  in
+  let local =
+    Latency_model.read_breakdown Latency_model.Local_read ~node ~lan
+      ~rng:(Rng.create ~seed:2)
+  in
+  Alcotest.(check bool) "quorum term present" true (b.Latency_model.dq_ms > 0.0);
+  (* two majority-RTT order-statistic rounds: the (Q-1)-th of n-1
+     draws sits a touch under mu for a LAN's tight sigma, so 2x the
+     round count brackets it from both sides *)
+  Alcotest.(check bool)
+    (Printf.sprintf "dq %.4f ~ two quorum rounds" b.Latency_model.dq_ms)
+    true
+    (b.Latency_model.dq_ms >= 1.6 *. lan.Latency_model.rtt_mu_ms
+    && b.Latency_model.dq_ms <= 2.6 *. lan.Latency_model.rtt_mu_ms);
+  Alcotest.(check bool) "quorum read dearer than local" true
+    (b.Latency_model.total_ms > local.Latency_model.total_ms);
+  feq "terms telescope"
+    (b.Latency_model.service_ms +. b.Latency_model.dl_ms
+    +. b.Latency_model.dq_ms)
+    b.Latency_model.total_ms;
+  (* the model prices the write path above the local read at any load:
+     a lease read must always look cheaper than a commit round *)
+  let rng = Rng.create ~seed:3 in
+  match
+    Latency_model.lan_breakdown Latency_model.Paxos ~node ~lan ~rng
+      ~lambda_rps:100.0
+  with
+  | None -> Alcotest.fail "write path saturated at trivial load"
+  | Some w ->
+      Alcotest.(check bool) "local read under the write path" true
+        (local.Latency_model.total_ms < w.Latency_model.total_ms)
+
 let prop_wait_nonnegative =
   QCheck.Test.make ~name:"queue wait is non-negative" ~count:200
     QCheck.(pair (float_range 0.1 9.9) (float_range 10.0 20.0))
@@ -292,6 +360,10 @@ let suite =
       Alcotest.test_case "wankeeper locality helps" `Quick test_wankeeper_locality_helps;
       Alcotest.test_case "wpaxos fz latency cost" `Quick test_wpaxos_fz_latency_cost;
       Alcotest.test_case "advisor paths" `Quick test_advisor_paths;
+      Alcotest.test_case "read breakdown local/tail" `Quick
+        test_read_breakdown_local_and_tail;
+      Alcotest.test_case "read breakdown quorum" `Quick
+        test_read_breakdown_quorum;
       QCheck_alcotest.to_alcotest prop_load_decreasing_in_leaders;
       QCheck_alcotest.to_alcotest prop_wait_nonnegative;
     ] )

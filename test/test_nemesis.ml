@@ -188,6 +188,147 @@ let test_wpaxos_n6_no_wedge () =
     true
     (v.Trial.completed > 2_000)
 
+(* ------------------------------------------------------------------ *)
+(* Clock-skew faults and read-path pins (PR 7)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Skew is opt-in: default profiles must keep generating the exact
+   schedules every pre-PR7 fixed-seed pin was recorded against. *)
+let test_skew_opt_in () =
+  let has_skew s =
+    List.exists (function Schedule.Skew _ -> true | _ -> false) s
+  in
+  for seed = 1 to 40 do
+    let s = Trial.generate ~protocol:"paxos" ~seed ~max_faults:6 () in
+    Alcotest.(check bool)
+      (Printf.sprintf "no skew by default (seed %d)" seed)
+      false (has_skew s)
+  done;
+  let some_skew = ref false in
+  for seed = 1 to 40 do
+    let s =
+      Trial.generate ~protocol:"paxos" ~seed ~max_faults:6 ~skew:true ()
+    in
+    if has_skew s then some_skew := true;
+    (* offsets stay inside the band the lease margin defends against *)
+    List.iter
+      (function
+        | Schedule.Skew { offset_ms; _ } ->
+            Alcotest.(check bool)
+              (Printf.sprintf "offset %.1f within [20,120]" offset_ms)
+              true
+              (Float.abs offset_ms >= 20.0 && Float.abs offset_ms <= 120.0)
+        | _ -> ())
+      s
+  done;
+  Alcotest.(check bool) "skew=true generates skew faults" true !some_skew
+
+let test_skew_schedule_roundtrip () =
+  for seed = 1 to 30 do
+    let s = Trial.generate ~protocol:"raft" ~seed ~max_faults:6 ~skew:true () in
+    match Schedule.of_json (Schedule.to_json s) with
+    | Ok s' -> Alcotest.check schedule_testable "skew roundtrip" s s'
+    | Error e -> Alcotest.failf "skew roundtrip failed: %s" e
+  done
+
+(* Fixed-seed pins: lease reads survive a leader partition compounded
+   by clock skew on the deposed leader — the shrunk shape of the
+   campaign failures a broken lease produces. The skew slows the old
+   leader's clock (the unsafe direction) by less than the 300ms
+   margin; the trial oracle checks linearizability of the collected
+   history, so a single stale lease read fails the pin. *)
+let lease_pin_schedule =
+  [
+    Schedule.Skew
+      { node = 0; from_ms = 500.0; duration_ms = 4_000.0; offset_ms = -110.0 };
+    Schedule.Partition
+      { minority = [ 0 ]; from_ms = 1_000.0; duration_ms = 3_000.0 };
+  ]
+
+let test_lease_reads_survive_partition_and_skew () =
+  List.iter
+    (fun protocol ->
+      let v =
+        Trial.run ~protocol ~seed:42 ~read_ratio:0.95
+          ~read_path:(Config.Lease { margin_ms = 300.0 })
+          lease_pin_schedule
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s lease pin: %s" protocol
+           (String.concat "; " v.Trial.reasons))
+        true v.Trial.ok;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s progressed (%d)" protocol v.Trial.completed)
+        true
+        (v.Trial.completed > 500))
+    [ "paxos"; "fpaxos"; "raft" ]
+
+(* Chain tail reads under a slow then flaky tail link: reads keep
+   answering (the tail itself is healthy) and writes heal through the
+   reliable-delivery layer. *)
+let test_tail_reads_survive_tail_link_faults () =
+  let schedule =
+    [
+      Schedule.Slow
+        {
+          src = 3;
+          dst = 4;
+          from_ms = 500.0;
+          duration_ms = 2_000.0;
+          extra_ms = 15.0;
+        };
+      Schedule.Flaky
+        { src = 3; dst = 4; from_ms = 3_000.0; duration_ms = 1_500.0; p_drop = 0.4 };
+    ]
+  in
+  let v =
+    Trial.run ~protocol:"chain" ~seed:42 ~read_ratio:0.95
+      ~read_path:Config.Tail schedule
+  in
+  Alcotest.(check bool)
+    ("chain tail pin: " ^ String.concat "; " v.Trial.reasons)
+    true v.Trial.ok;
+  Alcotest.(check bool)
+    (Printf.sprintf "chain progressed (%d)" v.Trial.completed)
+    true
+    (v.Trial.completed > 500)
+
+(* Quorum reads pinned under the same leader partition: ABD rounds
+   need no lease, so they must ride out skew AND partition. *)
+let test_quorum_reads_survive_partition_and_skew () =
+  let v =
+    Trial.run ~protocol:"paxos" ~seed:42 ~read_ratio:0.5
+      ~read_path:Config.Quorum lease_pin_schedule
+  in
+  Alcotest.(check bool)
+    ("quorum pin: " ^ String.concat "; " v.Trial.reasons)
+    true v.Trial.ok
+
+(* Randomized lease campaign with the skew fault armed: the acceptance
+   gate for the whole read path. *)
+let test_lease_campaign_with_skew protocol () =
+  let report =
+    Campaign.run ~protocol ~trials:3 ~seed:42 ~read_ratio:0.95
+      ~read_path:(Config.Lease { margin_ms = 300.0 })
+      ~skew:true ()
+  in
+  List.iter
+    (fun (o : Campaign.outcome) ->
+      let shrunk =
+        match o.Campaign.shrunk with
+        | Some (s, _) -> s
+        | None -> o.Campaign.schedule
+      in
+      Printf.printf "%s lease trial %d failed: %s\n  repro: %s\n" protocol
+        o.Campaign.trial
+        (String.concat "; " o.Campaign.verdict.Trial.reasons)
+        (Campaign.repro_line ~protocol ~seed:o.Campaign.seed shrunk))
+    report.Campaign.failures;
+  Alcotest.(check int)
+    (protocol ^ " lease campaign failures")
+    0
+    (List.length report.Campaign.failures)
+
 let test_trial_detects_unsurvivable_fault () =
   (* mencius wedges when a replica is partitioned away mid-run (its
      slot range stops being skipped and no other path revokes it);
@@ -233,4 +374,20 @@ let suite =
           test_wpaxos_n6_no_wedge;
         Alcotest.test_case "trial detects unsurvivable fault" `Slow
           test_trial_detects_unsurvivable_fault;
-      ] )
+        Alcotest.test_case "skew opt-in" `Quick test_skew_opt_in;
+        Alcotest.test_case "skew schedule roundtrip" `Quick
+          test_skew_schedule_roundtrip;
+        Alcotest.test_case "lease reads survive partition+skew" `Slow
+          test_lease_reads_survive_partition_and_skew;
+        Alcotest.test_case "tail reads survive tail link faults" `Slow
+          test_tail_reads_survive_tail_link_faults;
+        Alcotest.test_case "quorum reads survive partition+skew" `Slow
+          test_quorum_reads_survive_partition_and_skew;
+      ]
+    @ List.map
+        (fun p ->
+          Alcotest.test_case
+            ("lease campaign with skew " ^ p)
+            `Slow
+            (test_lease_campaign_with_skew p))
+        [ "paxos"; "fpaxos"; "raft" ] )

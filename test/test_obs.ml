@@ -3,12 +3,13 @@
 
 open Paxi_benchmark
 module Trace = Paxi_obs.Trace
+module Latency_model = Paxi_model.Latency_model
 
 let feed_request tr ?(client = 0) ?(cmd_id = 1) ?(slot = 5) () =
   (* submit 0 ──1.0──▸ arrival ──0.2──▸ start ──0.1──▸ handled(1.3)
      ──0.2──▸ proposed(1.5) ──1.0──▸ quorum(2.5) ──0.2──▸ sent(2.7)
      ──0.3──▸ delivered(3.0) *)
-  Trace.on_submit tr ~client ~cmd_id ~now_ms:0.0;
+  Trace.on_submit tr ~client ~cmd_id ~is_read:false ~now_ms:0.0;
   Trace.on_request_arrival tr ~client ~cmd_id ~arrival_ms:1.0 ~wait_ms:0.2
     ~service_ms:0.1 ~ready_ms:1.3;
   Trace.on_propose tr ~slot ~client ~cmd_id ~now_ms:1.5;
@@ -40,7 +41,7 @@ let test_fallback_without_quorum_events () =
      handled(1.3) ─▸ sent(2.7) = 1.4, and still telescopes *)
   let tr = Trace.create ~enabled:true () in
   Trace.set_window tr ~from_ms:0.0 ~until_ms:100.0;
-  Trace.on_submit tr ~client:0 ~cmd_id:1 ~now_ms:0.0;
+  Trace.on_submit tr ~client:0 ~cmd_id:1 ~is_read:false ~now_ms:0.0;
   Trace.on_request_arrival tr ~client:0 ~cmd_id:1 ~arrival_ms:1.0 ~wait_ms:0.2
     ~service_ms:0.1 ~ready_ms:1.3;
   Trace.on_reply tr ~client:0 ~cmd_id:1 ~sent_ms:2.7 ~ready_ms:3.0;
@@ -67,9 +68,9 @@ let test_window_filtering () =
 let test_retry_keeps_first_submit () =
   let tr = Trace.create ~enabled:true () in
   Trace.set_window tr ~from_ms:0.0 ~until_ms:100.0;
-  Trace.on_submit tr ~client:0 ~cmd_id:1 ~now_ms:0.0;
+  Trace.on_submit tr ~client:0 ~cmd_id:1 ~is_read:false ~now_ms:0.0;
   (* client retry re-submits the same command later *)
-  Trace.on_submit tr ~client:0 ~cmd_id:1 ~now_ms:5.0;
+  Trace.on_submit tr ~client:0 ~cmd_id:1 ~is_read:false ~now_ms:5.0;
   Trace.on_request_arrival tr ~client:0 ~cmd_id:1 ~arrival_ms:6.0 ~wait_ms:0.0
     ~service_ms:0.0 ~ready_ms:6.0;
   Trace.on_reply tr ~client:0 ~cmd_id:1 ~sent_ms:6.5 ~ready_ms:7.0;
@@ -199,6 +200,81 @@ let test_traced_run_telescopes () =
   Alcotest.(check bool) "leader hops recorded" true
     (List.mem 0 (Trace.node_ids tr) && Trace.node_msgs tr 0 > 0)
 
+(* Measured read-path latency agrees with the analytic read model
+   (PR 7, the dissect guarantee): an open-loop traced lease run's
+   read_e2e mean lands within the relative-error band of
+   Latency_model.read_breakdown, and the read/write split telescopes
+   to the overall e2e population. *)
+let traced_read_run ~read_path ~rate_per_sec ~seed =
+  let n = 5 in
+  let config =
+    {
+      (Config.default ~n_replicas:n) with
+      Config.seed;
+      tracing = true;
+      read_ratio = Some 0.95;
+      read_path = Some read_path;
+    }
+  in
+  let spec =
+    Runner.spec ~warmup_ms:300.0 ~duration_ms:1_500.0 ~config
+      ~topology:(Topology.lan ~n_replicas:n ())
+      ~client_specs:
+        [
+          Runner.clients ~target:(Runner.Fixed 0)
+            ~arrival:(Runner.Open { rate_per_sec = rate_per_sec /. 4.0 })
+            ~count:4 Workload.default;
+        ]
+      ()
+  in
+  Runner.run (Paxi_protocols.Registry.find_exn "paxos") spec
+
+let check_read_band ~name ~kind ~rate_per_sec ~seed ~band =
+  let result = traced_read_run ~read_path:kind ~rate_per_sec ~seed in
+  let tr = result.Runner.trace in
+  let reads = Trace.read_e2e tr in
+  let writes = Trace.write_e2e tr in
+  Alcotest.(check bool) (name ^ " collected reads") true
+    (Stats.count reads > 200);
+  Alcotest.(check int)
+    (name ^ " split telescopes")
+    (Stats.count (Trace.e2e tr))
+    (Stats.count reads + Stats.count writes);
+  Alcotest.(check bool) (name ^ " fast reads counted") true
+    (Trace.fast_reads tr > 0);
+  let model_kind =
+    match kind with
+    | Config.Lease _ -> Latency_model.Local_read
+    | Config.Quorum -> Latency_model.Quorum_read
+    | Config.Tail -> Latency_model.Tail_read
+  in
+  let b =
+    Latency_model.read_breakdown model_kind
+      ~node:(Paxi_model.Service.default_node ~n:5)
+      ~lan:Latency_model.default_lan ~rng:(Rng.create ~seed:44)
+  in
+  let meas = Stats.mean reads in
+  let rel =
+    Float.abs (meas -. b.Latency_model.total_ms) /. b.Latency_model.total_ms
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s measured %.4f vs model %.4f within %.0f%%" name meas
+       b.Latency_model.total_ms (100.0 *. band))
+    true (rel < band);
+  (* a fast read undercuts the measured write path *)
+  if Stats.count writes > 50 then
+    Alcotest.(check bool) (name ^ " reads cheaper than writes") true
+      (meas < Stats.mean writes)
+
+let test_lease_read_matches_model () =
+  check_read_band ~name:"lease"
+    ~kind:(Config.Lease { margin_ms = 300.0 })
+    ~rate_per_sec:2_000.0 ~seed:21 ~band:0.15
+
+let test_quorum_read_matches_model () =
+  check_read_band ~name:"quorum" ~kind:Config.Quorum ~rate_per_sec:600.0
+    ~seed:22 ~band:0.20
+
 let suite =
   ( "obs",
     [
@@ -214,4 +290,8 @@ let suite =
       Alcotest.test_case "message counters" `Quick test_message_counters;
       Alcotest.test_case "traced run telescopes" `Slow
         test_traced_run_telescopes;
+      Alcotest.test_case "lease read matches model" `Slow
+        test_lease_read_matches_model;
+      Alcotest.test_case "quorum read matches model" `Slow
+        test_quorum_read_matches_model;
     ] )

@@ -1,0 +1,212 @@
+(* Adversarial read oracle: seed synthetic histories with the read
+   anomalies a broken read path would produce — stale lease reads,
+   reordered read/write overlaps, reads served after lease expiry off
+   a deposed leader's stale state — and check the linearizability
+   checker rejects every one. The protocols' read paths are only as
+   trustworthy as this oracle, so the oracle gets its own adversary. *)
+
+open Paxi_benchmark
+module L = Linearizability
+
+let op ?(client = 0) ~id ~key kind ~from ~until =
+  {
+    L.client;
+    op_id = id;
+    key;
+    kind;
+    invoked_ms = from;
+    responded_ms = until;
+  }
+
+let write ?client ~id ~key v ~from ~until =
+  op ?client ~id ~key (L.Write v) ~from ~until
+
+let read ?client ~id ~key v ~from ~until =
+  op ?client ~id ~key (L.Read v) ~from ~until
+
+let anomalies history = List.length (L.check history)
+
+let check_rejected name history =
+  Alcotest.(check bool)
+    (name ^ " rejected") true
+    (anomalies history > 0)
+
+let check_accepted name history =
+  let r = L.check history in
+  Alcotest.(check int)
+    (Printf.sprintf "%s accepted (%s)" name
+       (String.concat "; " (List.map (fun a -> a.L.reason) r)))
+    0 (List.length r)
+
+(* A lease held too long: w1 and w2 both complete, then a read returns
+   w1's value. This is exactly what a deposed leader serves when it
+   keeps answering reads after a new leader committed w2 elsewhere. *)
+let test_stale_read_rejected () =
+  check_rejected "stale read"
+    [
+      write ~id:0 ~key:1 10 ~from:0.0 ~until:1.0;
+      write ~client:1 ~id:0 ~key:1 20 ~from:2.0 ~until:3.0;
+      read ~client:2 ~id:0 ~key:1 (Some 10) ~from:4.0 ~until:5.0;
+    ]
+
+(* Expired-lease shape with real-looking timing: the old leader's
+   lease expires at t=5, a partitioned-away quorum commits 30 at t=6,
+   and the old leader still answers 10 at t=8. The checker cannot see
+   leases — it sees an overwritten value returned after the overwrite
+   finished, which is the same stale-read rule. *)
+let test_expired_lease_read_rejected () =
+  check_rejected "expired-lease read"
+    [
+      write ~id:0 ~key:7 10 ~from:0.0 ~until:1.0;
+      write ~client:1 ~id:0 ~key:7 30 ~from:5.5 ~until:6.0;
+      read ~client:2 ~id:0 ~key:7 (Some 10) ~from:7.0 ~until:8.0;
+    ]
+
+(* A read that returns a value whose write had not even started —
+   a quorum read that adopted a tag from the future (or a buggy
+   write-back that invented one). *)
+let test_future_read_rejected () =
+  check_rejected "future read"
+    [
+      read ~id:0 ~key:3 (Some 40) ~from:0.0 ~until:1.0;
+      write ~client:1 ~id:0 ~key:3 40 ~from:2.0 ~until:3.0;
+    ]
+
+(* A value nobody ever wrote: a corrupted shadow register or a
+   misrouted reply. *)
+let test_unwritten_value_rejected () =
+  check_rejected "never-written value"
+    [
+      write ~id:0 ~key:2 11 ~from:0.0 ~until:1.0;
+      read ~client:1 ~id:0 ~key:2 (Some 99) ~from:2.0 ~until:3.0;
+    ]
+
+(* Reading the initial empty state after a write completed — a tail
+   read served by a chain node that never saw the write propagate. *)
+let test_empty_read_after_write_rejected () =
+  check_rejected "empty read after completed write"
+    [
+      write ~id:0 ~key:4 5 ~from:0.0 ~until:1.0;
+      read ~client:1 ~id:0 ~key:4 None ~from:2.0 ~until:3.0;
+    ]
+
+(* Reordered read/write overlap gone wrong: r1 and r2 do not overlap
+   each other (r2 starts after r1 finished), yet r2 travels back in
+   time — it returns the old value after r1 already returned the new
+   one AND the new write completed before r2 began. *)
+let test_reordered_overlap_rejected () =
+  check_rejected "non-monotonic reads across a completed write"
+    [
+      write ~id:0 ~key:9 1 ~from:0.0 ~until:1.0;
+      write ~client:1 ~id:0 ~key:9 2 ~from:2.0 ~until:3.0;
+      read ~client:2 ~id:0 ~key:9 (Some 2) ~from:3.5 ~until:4.0;
+      read ~client:2 ~id:1 ~key:9 (Some 1) ~from:4.5 ~until:5.0;
+    ]
+
+(* Overlap freedom the oracle must NOT flag: a read concurrent with a
+   write may return either the old or the new value, and two
+   concurrent reads may disagree. *)
+let test_concurrent_overlap_accepted () =
+  check_accepted "read overlapping a write (old value)"
+    [
+      write ~id:0 ~key:1 10 ~from:0.0 ~until:1.0;
+      write ~client:1 ~id:0 ~key:1 20 ~from:2.0 ~until:4.0;
+      read ~client:2 ~id:0 ~key:1 (Some 10) ~from:2.5 ~until:3.0;
+    ];
+  check_accepted "read overlapping a write (new value)"
+    [
+      write ~id:0 ~key:1 10 ~from:0.0 ~until:1.0;
+      write ~client:1 ~id:0 ~key:1 20 ~from:2.0 ~until:4.0;
+      read ~client:2 ~id:0 ~key:1 (Some 20) ~from:2.5 ~until:3.0;
+    ];
+  check_accepted "concurrent reads disagreeing under an open write"
+    [
+      write ~id:0 ~key:1 10 ~from:0.0 ~until:1.0;
+      write ~client:1 ~id:0 ~key:1 20 ~from:2.0 ~until:6.0;
+      read ~client:2 ~id:0 ~key:1 (Some 20) ~from:3.0 ~until:4.0;
+      read ~client:3 ~id:0 ~key:1 (Some 10) ~from:3.0 ~until:4.0;
+    ]
+
+(* A correct lease-read interleaving: reads between writes always see
+   the latest completed write, across keys. *)
+let test_valid_history_accepted () =
+  check_accepted "valid multi-key history"
+    [
+      write ~id:0 ~key:1 10 ~from:0.0 ~until:1.0;
+      read ~client:1 ~id:0 ~key:1 (Some 10) ~from:1.5 ~until:2.0;
+      write ~id:1 ~key:2 7 ~from:2.0 ~until:3.0;
+      read ~client:1 ~id:1 ~key:2 (Some 7) ~from:3.5 ~until:4.0;
+      write ~client:2 ~id:0 ~key:1 11 ~from:4.0 ~until:5.0;
+      read ~client:1 ~id:2 ~key:1 (Some 11) ~from:5.5 ~until:6.0;
+    ]
+
+(* Inject a stale read into an otherwise-clean generated history: the
+   oracle must find exactly the seeded anomaly, for any seed. The
+   generator emulates a single-leader history (sequential writes,
+   interleaved fresh reads), then one read is re-aimed at an
+   overwritten value. *)
+let test_seeded_injection_found () =
+  for seed = 1 to 20 do
+    let rng = Rng.create ~seed in
+    let key = 1 in
+    let history = ref [] in
+    let now = ref 0.0 in
+    let last_value = ref None in
+    let values = ref [] in
+    for i = 0 to 39 do
+      let dur = 0.5 +. Rng.float rng 1.0 in
+      let from = !now in
+      let until = !now +. dur in
+      now := until +. (0.1 +. Rng.float rng 0.5);
+      if i mod 2 = 0 then begin
+        let v = 100 + i in
+        values := v :: !values;
+        last_value := Some v;
+        history := write ~id:i ~key v ~from ~until :: !history
+      end
+      else
+        history :=
+          read ~client:1 ~id:i ~key !last_value ~from ~until :: !history
+    done;
+    let clean = List.rev !history in
+    check_accepted (Printf.sprintf "clean generated history (seed %d)" seed)
+      clean;
+    (* overwrite the final read with a stale value: any value other
+       than the last written one is overwritten by construction *)
+    let stale =
+      match !values with _ :: _ :: rest -> List.nth rest 0 | _ -> assert false
+    in
+    let injected =
+      List.map
+        (fun o ->
+          match o.L.kind with
+          | L.Read _ when o.L.op_id = 39 -> { o with L.kind = L.Read (Some stale) }
+          | _ -> o)
+        clean
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "exactly the seeded anomaly found (seed %d)" seed)
+      1 (anomalies injected)
+  done
+
+let suite =
+  ( "read-oracle",
+    [
+      Alcotest.test_case "stale read rejected" `Quick test_stale_read_rejected;
+      Alcotest.test_case "expired-lease read rejected" `Quick
+        test_expired_lease_read_rejected;
+      Alcotest.test_case "future read rejected" `Quick
+        test_future_read_rejected;
+      Alcotest.test_case "unwritten value rejected" `Quick
+        test_unwritten_value_rejected;
+      Alcotest.test_case "empty read after write rejected" `Quick
+        test_empty_read_after_write_rejected;
+      Alcotest.test_case "reordered overlap rejected" `Quick
+        test_reordered_overlap_rejected;
+      Alcotest.test_case "concurrent overlap accepted" `Quick
+        test_concurrent_overlap_accepted;
+      Alcotest.test_case "valid history accepted" `Quick
+        test_valid_history_accepted;
+      Alcotest.test_case "seeded injections found" `Quick
+        test_seeded_injection_found;
+    ] )
