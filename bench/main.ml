@@ -1389,6 +1389,129 @@ let perf () =
   print_endline "wrote BENCH_pr7.json"
 
 (* ------------------------------------------------------------------ *)
+(* Scale sweep: BENCH_pr8.json                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Rotation-relay fan-out for the sweep: r = ceil((n - 1) / 8) keeps
+   relay group size near eight members at every cluster size, so the
+   leader's per-slot message cost stays ~2r while each relay's stays
+   ~2*8 — both flat as n grows. *)
+let scale_relay_groups n = Stdlib.max 1 ((n + 6) / 8)
+
+let scale_point ~protocol ~n ~relay_groups =
+  let (module P) = Paxi_protocols.Registry.find_exn protocol in
+  let config =
+    {
+      (Config.default ~n_replicas:n) with
+      Config.seed = point_seed ("scale", protocol, n, relay_groups);
+      relay_groups;
+    }
+  in
+  let spec =
+    Runner.spec ~warmup_ms ~duration_ms:measured_ms ~config
+      ~topology:(Topology.lan ~n_replicas:n ())
+      ~client_specs:
+        [ Runner.clients ~target:Runner.Round_robin ~count:64 Workload.default ]
+      ()
+  in
+  Runner.run (module P) spec
+
+(* Throughput vs cluster size, direct vs relay trees (DESIGN.md §12):
+   64 closed-loop clients saturate the leader, so the direct series
+   degrades as the leader's 2(n-1) per-slot messages eat its cycles
+   while the relay series holds near-flat at 2r. Writes
+   BENCH_pr8.json; CI's scale-smoke job gates the relay-vs-direct gain
+   at n = 49 and the monotone direct decline on it. *)
+let scale () =
+  Report.section
+    "Scale: saturation throughput vs cluster size, direct vs relay trees";
+  let sizes = [ 9; 25; 49; 81 ] in
+  let protocols = [ "paxos"; "raft" ] in
+  let points =
+    List.concat_map
+      (fun protocol ->
+        List.concat_map
+          (fun n -> [ (protocol, n, 0); (protocol, n, scale_relay_groups n) ])
+          sizes)
+      protocols
+  in
+  let results =
+    Parmap.map
+      (fun (protocol, n, r) ->
+        ((protocol, n, r), scale_point ~protocol ~n ~relay_groups:r))
+      points
+  in
+  let find protocol n r = List.assoc (protocol, n, r) results in
+  List.iter
+    (fun protocol ->
+      Printf.printf "%s (64 closed-loop clients):\n" protocol;
+      Report.print_table
+        ~header:
+          [ "n"; "direct (ops/s)"; "relay (ops/s)"; "relay groups"; "gain" ]
+        ~rows:
+          (List.map
+             (fun n ->
+               let r = scale_relay_groups n in
+               let d = find protocol n 0 and v = find protocol n r in
+               [
+                 string_of_int n;
+                 Report.frate d.Runner.throughput_rps;
+                 Report.frate v.Runner.throughput_rps;
+                 string_of_int r;
+                 Printf.sprintf "%.2fx"
+                   (v.Runner.throughput_rps /. d.Runner.throughput_rps);
+               ])
+             sizes))
+    protocols;
+  (* relay_groups = 0 must leave the direct path untouched: re-run the
+     paxos n=25 direct point sequentially and demand it is
+     byte-identical to the pooled sweep's. (The cross-build guarantee —
+     a binary carrying relay code matches one that never had it — is
+     held by the committed fig9 baseline diff and the fixed-seed pins
+     in test/test_relay.ml.) *)
+  let d0 = find "paxos" 25 0 in
+  let d1 = scale_point ~protocol:"paxos" ~n:25 ~relay_groups:0 in
+  let relay_zero_identical =
+    d0.Runner.throughput_rps = d1.Runner.throughput_rps
+    && Stats.samples d0.Runner.latency = Stats.samples d1.Runner.latency
+    && d0.Runner.sim_events = d1.Runner.sim_events
+  in
+  Printf.printf "relay_groups=0 byte-identical across re-run: %b\n"
+    relay_zero_identical;
+  let num x = Json.Number x in
+  let point_json ((protocol, n, r), (res : Runner.result)) =
+    Json.Obj
+      [
+        ("protocol", Json.String protocol);
+        ("n", num (float_of_int n));
+        ("relay_groups", num (float_of_int r));
+        ("throughput_rps", num res.Runner.throughput_rps);
+        ("mean_latency_ms", num (Stats.mean res.Runner.latency));
+        ("completed", num (float_of_int res.Runner.completed));
+        ("sim_events", num (float_of_int res.Runner.sim_events));
+      ]
+  in
+  let json =
+    Json.Obj
+      [
+        ("pr", num 8.0);
+        ("quick", Json.Bool quick);
+        ( "suite",
+          Json.String
+            "scale: throughput vs cluster size, direct vs relay trees" );
+        ("clients", num 64.0);
+        ("sizes", Json.List (List.map (fun n -> num (float_of_int n)) sizes));
+        ("points", Json.List (List.map point_json results));
+        ("relay_zero_identical", Json.Bool relay_zero_identical);
+      ]
+  in
+  let oc = open_out "BENCH_pr8.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_pr8.json"
+
+(* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1418,7 +1541,7 @@ let experiments =
   ]
 
 (* runnable by name but not part of the run-everything default *)
-let extra_experiments = [ ("perf", perf) ]
+let extra_experiments = [ ("perf", perf); ("scale", scale) ]
 
 (* ------------------------------------------------------------------ *)
 (* nemesis subcommand                                                  *)
@@ -1429,8 +1552,9 @@ module Nemesis = Paxi_nemesis
 let nemesis_usage () =
   prerr_endline
     "usage: main.exe nemesis [--protocol NAME[,NAME..]] [--trials N] \
-     [--seed N] [--max-faults N] [--read-ratio F] [--read-path \
-     lease|quorum|tail] [--skew] [--json] [--replay SCHEDULE_JSON]";
+     [--seed N] [--max-faults N] [--n N] [--relay-groups N] [--read-ratio F] \
+     [--read-path lease|quorum|tail] [--skew] [--json] [--replay \
+     SCHEDULE_JSON]";
   exit 2
 
 let read_path_arg who v =
@@ -1458,6 +1582,8 @@ let nemesis_main args =
   let trials = ref 8 in
   let seed = ref 42 in
   let max_faults = ref 4 in
+  let n = ref None in
+  let relay_groups = ref None in
   let read_ratio = ref None in
   let read_path = ref None in
   let skew = ref false in
@@ -1487,6 +1613,12 @@ let nemesis_main args =
         parse rest
     | "--max-faults" :: v :: rest ->
         max_faults := int_arg "--max-faults" v;
+        parse rest
+    | "--n" :: v :: rest ->
+        n := Some (int_arg "--n" v);
+        parse rest
+    | "--relay-groups" :: v :: rest ->
+        relay_groups := Some (int_arg "--relay-groups" v);
         parse rest
     | "--read-ratio" :: v :: rest ->
         read_ratio := Some (read_ratio_arg "nemesis" v);
@@ -1538,8 +1670,9 @@ let nemesis_main args =
       List.iter
         (fun protocol ->
           let v =
-            Nemesis.Trial.run ?read_ratio:!read_ratio ?read_path:!read_path
-              ~protocol ~seed:!seed schedule
+            Nemesis.Trial.run ?n:!n ?read_ratio:!read_ratio
+              ?read_path:!read_path ?relay_groups:!relay_groups ~protocol
+              ~seed:!seed schedule
           in
           if not v.Nemesis.Trial.ok then failed := true;
           Printf.printf "nemesis %s seed %d: %s (%d completed, %d gave up)\n"
@@ -1554,8 +1687,8 @@ let nemesis_main args =
         List.map
           (fun protocol ->
             Nemesis.Campaign.run ~protocol ~trials:!trials ~seed:!seed
-              ~max_faults:!max_faults ?read_ratio:!read_ratio
-              ?read_path:!read_path ~skew ())
+              ~max_faults:!max_faults ?n:!n ?read_ratio:!read_ratio
+              ?read_path:!read_path ?relay_groups:!relay_groups ~skew ())
           protocols
       in
       if !json then
@@ -1573,8 +1706,9 @@ let nemesis_main args =
 
 let dissect_usage () =
   prerr_endline
-    "usage: main.exe dissect [--protocol NAME] [--load FRAC] [--read-ratio F] \
-     [--read-path lease|quorum|tail] [--trace FILE] [--quick]";
+    "usage: main.exe dissect [--protocol NAME] [--load FRAC] [--n N] \
+     [--relay-groups N] [--read-ratio F] [--read-path lease|quorum|tail] \
+     [--trace FILE] [--quick]";
   exit 2
 
 (* Latency dissection: run one traced open-loop point and print the
@@ -1583,6 +1717,8 @@ let dissect_usage () =
 let dissect_main args =
   let protocol = ref "paxos" in
   let load = ref 0.6 in
+  let n_flag = ref None in
+  let relay_groups = ref 0 in
   let read_ratio = ref None in
   let read_path = ref None in
   let trace_file = ref None in
@@ -1596,6 +1732,22 @@ let dissect_main args =
         | Some f when f > 0.0 && f < 1.0 -> load := f
         | _ ->
             Printf.eprintf "dissect: --load expects a fraction in (0,1), got %S\n" v;
+            exit 2);
+        parse rest
+    | "--n" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some i when i >= 3 -> n_flag := Some i
+        | _ ->
+            Printf.eprintf "dissect: --n expects an integer >= 3, got %S\n" v;
+            exit 2);
+        parse rest
+    | "--relay-groups" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some i when i >= 0 -> relay_groups := i
+        | _ ->
+            Printf.eprintf
+              "dissect: --relay-groups expects a non-negative integer, got %S\n"
+              v;
             exit 2);
         parse rest
     | "--read-ratio" :: v :: rest ->
@@ -1621,10 +1773,12 @@ let dissect_main args =
           (String.concat ", " Paxi_protocols.Registry.names);
         exit 2
   in
-  let n = 5 in
+  let n = Option.value !n_flag ~default:5 in
   let node = Service.default_node ~n in
   let model_proto =
     match !protocol with
+    | ("paxos" | "raft") when !relay_groups > 0 ->
+        Some (Latency_model.Paxos_relay { groups = !relay_groups })
     | "paxos" | "raft" -> Some Latency_model.Paxos
     | "fpaxos" ->
         Some (Latency_model.Fpaxos { q2 = Paxi_protocols.Fpaxos.default_q2 ~n })
@@ -1662,11 +1816,17 @@ let dissect_main args =
     {
       (Config.default ~n_replicas:n) with
       Config.seed =
-        (match (read_ratio, !read_path) with
-        | None, None -> point_seed ("dissect", !protocol, !load)
-        | r, p ->
-            point_seed ("dissect", !protocol, !load, r, read_path_tag p));
+        (* big-n / relay points get their own seed family; the default
+           n=5 direct seeds stay exactly as before *)
+        (match (!n_flag, !relay_groups) with
+        | None, 0 -> (
+            match (read_ratio, !read_path) with
+            | None, None -> point_seed ("dissect", !protocol, !load)
+            | r, p ->
+                point_seed ("dissect", !protocol, !load, r, read_path_tag p))
+        | _, g -> point_seed ("dissect", !protocol, !load, n, g));
       tracing = true;
+      relay_groups = !relay_groups;
       read_ratio;
       read_path = !read_path;
     }
@@ -1775,12 +1935,17 @@ let dissect_main args =
                else "-");
             ]
           in
+          let who = if !relay_groups > 0 then "busiest" else "leader" in
           Report.print_table
             ~header:[ "term"; "measured (ms)"; "model (ms)"; "rel err" ]
             ~rows:
               [
-                row "queue wait Wq (leader)" wq_meas b.Latency_model.wq_ms;
-                row "service ts (leader)" ts_meas b.Latency_model.service_ms;
+                row
+                  (Printf.sprintf "queue wait Wq (%s)" who)
+                  wq_meas b.Latency_model.wq_ms;
+                row
+                  (Printf.sprintf "service ts (%s)" who)
+                  ts_meas b.Latency_model.service_ms;
                 row "client net DL" dl_meas b.Latency_model.dl_ms;
                 row "quorum DQ" dq_meas b.Latency_model.dq_ms;
                 row "total" e2e_mean b.Latency_model.total_ms;
@@ -1788,7 +1953,25 @@ let dissect_main args =
           print_endline
             "(measured leader wait/occupancy include every message at the \n\
              busiest node — heartbeats and quorum replies, not only the \n\
-             request itself — so small positive errors are expected)"));
+             request itself — so small positive errors are expected)";
+          if !relay_groups > 0 then begin
+            (* the relay tree's internal latency: first member delivery
+               at the relay to combined-ack departure, against the
+               model's worst-member-RTT + touch term (DESIGN.md §12) *)
+            let hops = Paxi_obs.Trace.relay_hops tr in
+            let hop_meas = Stats.mean (Paxi_obs.Trace.relay_hop_ms tr) in
+            let hop_model =
+              Latency_model.relay_hop_lan ~lan:Latency_model.default_lan ~n
+                ~groups:!relay_groups ~rng:(Rng.create ~seed:46)
+            in
+            Printf.printf
+              "relay hop (aggregate span over %d hops): measured %s ms, \
+               model %s ms (%+.1f%%)\n"
+              hops
+              (Report.fms hop_meas)
+              (Report.fms hop_model)
+              (100.0 *. (hop_meas -. hop_model) /. hop_model)
+          end));
   (* read-path dissection: measured read/write split, fast-read count,
      and the read terms against Latency_model.read_breakdown *)
   (if read_mode then begin

@@ -79,6 +79,9 @@ module Make (P : Proto.RUNNABLE) = struct
             (fun ~slot ->
               Paxi_obs.Trace.on_quorum t.trace ~slot ~now_ms:(Sim.now t.sim));
           on_read = (fun () -> Paxi_obs.Trace.on_fast_read t.trace);
+          on_relay =
+            (fun ~start_ms ~end_ms ->
+              Paxi_obs.Trace.on_relay_hop t.trace ~start_ms ~end_ms);
         }
       else Proto.null_obs
     in

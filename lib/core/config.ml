@@ -31,6 +31,10 @@ type t = {
   tracing : bool;
   read_ratio : float option;
   read_path : read_path option;
+  relay_groups : int;
+      (** 0 = direct fan-out (the legacy path, byte-identical to
+          pre-relay builds); r > 0 partitions the followers into r
+          relay groups and routes phase-2 traffic through them. *)
 }
 
 let default ~n_replicas =
@@ -58,6 +62,7 @@ let default ~n_replicas =
     tracing = false;
     read_ratio = None;
     read_path = None;
+    relay_groups = 0;
   }
 
 let majority t = (t.n_replicas / 2) + 1
@@ -85,6 +90,21 @@ let validate t =
   else if
     match t.read_path with Some (Lease l) -> l.margin_ms < 0.0 | _ -> false
   then err "read_path lease margin_ms must be >= 0"
+  else if t.relay_groups < 0 || t.relay_groups >= t.n_replicas then
+    err "relay_groups %d out of range 0..%d" t.relay_groups (t.n_replicas - 1)
+  else if t.relay_groups > 0 && t.thrifty then
+    (* thrifty trims the phase-2 copy list below the follower set; a
+       relay round always covers every follower, so the two knobs
+       contradict each other *)
+    err "relay_groups is incompatible with thrifty"
+  else if
+    (* a relay's ack bitmap is one immediate int; cap group size below
+       the 63-bit word (largest group = ceil((n-1)/r)) *)
+    t.relay_groups > 0
+    && (t.n_replicas - 2 + t.relay_groups) / t.relay_groups > 62
+  then
+    err "relay_groups %d gives groups of more than 62 members at n=%d"
+      t.relay_groups t.n_replicas
   else if
     (* quorum reads defer the leader's write ack behind an extra commit
        round per slot; batching would need per-batch sync tracking that
@@ -147,6 +167,9 @@ let to_json t =
     @ (match t.read_ratio with
       | Some r -> [ ("read_ratio", Json.Number r) ]
       | None -> [])
+    @ (if t.relay_groups > 0 then
+         [ ("relay_groups", Json.Number (float_of_int t.relay_groups)) ]
+       else [])
     @ (match t.read_path with
       | Some (Lease { margin_ms }) ->
           [
@@ -199,6 +222,7 @@ let known_fields =
     "tracing";
     "read_ratio";
     "read_path";
+    "relay_groups";
   ]
 
 let of_json json =
@@ -327,6 +351,7 @@ let of_json json =
                          \"tail\"")
               | Some _ -> Error "read_path must be an object or null"
             in
+            let* relay_groups = intf "relay_groups" d.relay_groups in
             let config =
               {
                 n_replicas; seed; msg_size_bytes; t_in_ms; t_out_ms;
@@ -335,7 +360,7 @@ let of_json json =
                 migration_threshold; migration_cooldown_ms;
                 failover_timeout_ms; initial_object_owner;
                 master_region_index; batching; retransmit; tracing;
-                read_ratio; read_path;
+                read_ratio; read_path; relay_groups;
               }
             in
             let* () = validate config in

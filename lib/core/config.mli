@@ -102,6 +102,16 @@ type t = {
       (** read-serving strategy; [None] (the default) keeps reads on
           the write path and is byte-identical to builds without a
           read path *)
+  relay_groups : int;
+      (** PigPaxos-style relay trees for Paxos/Raft phase 2: partition
+          the [n-1] followers into this many groups, send each round to
+          one relay per group, and let relays fan out and aggregate
+          acks into one bitmap reply — the leader touches [2r] messages
+          per slot instead of [2(n-1)]. Group membership rotates
+          deterministically and a silent relay is bypassed (the leader
+          re-sends direct and re-partitions). [0] (the default) is the
+          direct path, byte-identical to pre-relay builds. Incompatible
+          with [thrifty]. See DESIGN.md §12. *)
 }
 
 val default : n_replicas:int -> t

@@ -58,6 +58,9 @@ type obs = {
   on_propose : slot:int -> cmd:Command.t -> unit;
   on_quorum : slot:int -> unit;
   on_read : unit -> unit;
+  on_relay : start_ms:float -> end_ms:float -> unit;
+      (** a relay finished aggregating one round's group acks
+          ([start_ms] = round received, [end_ms] = combined ack sent) *)
 }
 
 let null_obs =
@@ -66,6 +69,7 @@ let null_obs =
     on_propose = (fun ~slot:_ ~cmd:_ -> ());
     on_quorum = (fun ~slot:_ -> ());
     on_read = (fun () -> ());
+    on_relay = (fun ~start_ms:_ ~end_ms:_ -> ());
   }
 
 type 'm env = {

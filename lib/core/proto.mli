@@ -64,6 +64,10 @@ type obs = {
       (** a read was served off the fast path — a local lease read, an
           ABD quorum read, or a chain tail read — i.e. it will never
           reach [on_propose] because it consumes no slot *)
+  on_relay : start_ms:float -> end_ms:float -> unit;
+      (** a relay (Config.relay_groups > 0) finished aggregating one
+          round's group acks: [start_ms] is when the wrapped round
+          reached it, [end_ms] when the combined bitmap ack left *)
 }
 
 val null_obs : obs

@@ -1,5 +1,6 @@
 type protocol =
   | Paxos
+  | Paxos_relay of { groups : int }
   | Fpaxos of { q2 : int }
   | Epaxos of { conflict : float }
   | Epaxos_adaptive of { conflict_lo : float; conflict_hi : float }
@@ -8,10 +9,17 @@ type protocol =
 
 let protocol_name = function
   | Paxos -> "paxos"
+  | Paxos_relay _ -> "paxos"
   | Fpaxos _ -> "fpaxos"
   | Epaxos _ | Epaxos_adaptive _ -> "epaxos"
   | Wpaxos _ -> "wpaxos"
   | Wankeeper _ -> "wankeeper"
+
+(* The relay's own fan-out/aggregation service on the quorum path
+   (deserialize the wrapped round, serialize the fan, fold the acks,
+   serialize the combined ack) — calibrated against measured
+   [relay:aggregate] spans at n = 25 (bench/main dissect). *)
+let relay_touch_ms = 0.075
 
 type point = { throughput_rps : float; latency_ms : float }
 
@@ -19,10 +27,26 @@ type lan = { rtt_mu_ms : float; rtt_sigma_ms : float }
 
 let default_lan = { rtt_mu_ms = 0.4271; rtt_sigma_ms = 0.0476 }
 
+(* One relay aggregation hop: the relay's own fan/fold service plus
+   the worst of its (s - 1) member RTTs — the term [bench/main dissect
+   --relay-groups] compares against measured [relay:aggregate]
+   spans. *)
+let relay_hop_lan ~lan ~n ~groups ~rng =
+  let s = (n - 2 + groups) / groups in
+  let spread =
+    if s <= 1 then 0.0
+    else
+      Order_stats.kth_of_n
+        (Dist.normal_pos ~mu:lan.rtt_mu_ms ~sigma:lan.rtt_sigma_ms)
+        rng ~k:(s - 1) ~n:(s - 1) ~trials:2000
+  in
+  spread +. relay_touch_ms
+
 let epaxos_penalty = 1.8
 
 let round_cost ~node = function
   | Paxos -> Service.paxos node
+  | Paxos_relay { groups } -> Service.paxos_relay node ~groups
   | Fpaxos { q2 } -> Service.fpaxos node ~q2
   | Epaxos { conflict } -> Service.epaxos node ~penalty:epaxos_penalty ~conflict
   | Epaxos_adaptive { conflict_lo; _ } ->
@@ -95,6 +119,11 @@ let lan_network_delays proto ~node ~lan ~rng =
   let majority = (n / 2) + 1 in
   match proto with
   | Paxos -> (mu, quorum_rtt majority, 0.0)
+  | Paxos_relay { groups } ->
+      ( mu,
+        Order_stats.relay_quorum_rtt_lan ~mu ~sigma ~n ~groups
+          ~touch_ms:relay_touch_ms rng,
+        0.0 )
   | Fpaxos { q2 } -> (mu, quorum_rtt q2, 0.0)
   | Epaxos _ | Epaxos_adaptive _ ->
       (* client talks to its local (nearest) replica *)
@@ -242,7 +271,9 @@ let wan_network_delays proto ~wan ~leader_region =
   let n = List.length wan.regions in
   let majority = (n / 2) + 1 in
   match proto with
-  | Paxos ->
+  | Paxos | Paxos_relay _ ->
+      (* relay trees are a LAN big-n story; over a handful of regions
+         the direct quorum term is the right WAN approximation *)
       let dl = avg_over_mix wan (fun r -> wan.rtt_ms r leader_region) in
       (dl, wan_quorum_rtt wan leader_region ~quorum:majority, 0.0)
   | Fpaxos { q2 } ->

@@ -12,6 +12,10 @@
 
 type protocol =
   | Paxos
+  | Paxos_relay of { groups : int }
+      (** Paxos behind relay/aggregation trees (DESIGN.md §12): leader
+          service demand ∝ groups, quorum wait a nested two-hop order
+          statistic ({!Order_stats.relay_quorum_rtt_lan}) *)
   | Fpaxos of { q2 : int }
   | Epaxos of { conflict : float }
   | Epaxos_adaptive of { conflict_lo : float; conflict_hi : float }
@@ -30,6 +34,18 @@ type lan = { rtt_mu_ms : float; rtt_sigma_ms : float }
 
 val default_lan : lan
 (** The paper's measured intra-region RTT, N(0.4271, 0.0476) ms. *)
+
+val relay_touch_ms : float
+(** The relay's own per-round fan-out/aggregation service on the
+    quorum path, calibrated against measured ["relay:aggregate"] spans
+    at n = 25 (DESIGN.md §12). *)
+
+val relay_hop_lan : lan:lan -> n:int -> groups:int -> rng:Rng.t -> float
+(** Expected duration of one relay aggregation hop — first member
+    delivery to combined-ack departure: the worst of the group's
+    [s - 1] member RTTs plus {!relay_touch_ms}, where
+    [s = ceil ((n - 1) / groups)]. [bench/main dissect --relay-groups]
+    validates measured hop spans against this term. *)
 
 val lan_max_throughput :
   protocol -> node:Service.node_params -> float

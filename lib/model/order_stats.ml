@@ -26,3 +26,51 @@ let quorum_rtt_lan ~mu ~sigma ~quorum ~n rng =
 
 let quorum_rtt_wan ~rtts ~quorum =
   if quorum <= 1 then 0.0 else kth_of_samples rtts ~k:(quorum - 1)
+
+(* Two-hop quorum wait under relay trees (DESIGN.md §12): group g's
+   combined ack lands at [leader<->relay RTT + max of the (s_g - 1)
+   member RTTs + touch] — nested order statistics, since the relay
+   holds its bitmap until the slowest member answers. The leader's
+   majority completes when the cumulative membership of the
+   earliest-arriving groups reaches majority - 1 (its own vote is
+   free), so we sort the per-group arrival times and accumulate group
+   sizes. Partial flushes are a straggler-recovery path and priced out
+   of the common case. *)
+let relay_quorum_rtt_lan ~mu ~sigma ~n ~groups ~touch_ms rng =
+  let majority = (n / 2) + 1 in
+  let need = majority - 1 in
+  if need <= 0 || groups <= 0 then 0.0
+  else begin
+    let sizes = Array.make groups ((n - 1) / groups) in
+    for i = 0 to ((n - 1) mod groups) - 1 do
+      sizes.(i) <- sizes.(i) + 1
+    done;
+    let dist = Dist.normal_pos ~mu ~sigma in
+    let arrivals = Array.make groups 0.0 in
+    let idx = Array.make groups 0 in
+    let trials = 2000 in
+    let acc = ref 0.0 in
+    for _ = 1 to trials do
+      for g = 0 to groups - 1 do
+        let worst = ref 0.0 in
+        for _ = 2 to sizes.(g) do
+          let m = Dist.sample dist rng in
+          if m > !worst then worst := m
+        done;
+        arrivals.(g) <- Dist.sample dist rng +. !worst +. touch_ms;
+        idx.(g) <- g
+      done;
+      Array.sort
+        (fun a b -> Float.compare arrivals.(a) arrivals.(b))
+        idx;
+      let got = ref 0 and gi = ref 0 and tq = ref 0.0 in
+      while !got < need && !gi < groups do
+        let g = idx.(!gi) in
+        got := !got + sizes.(g);
+        tq := arrivals.(g);
+        incr gi
+      done;
+      acc := !acc +. !tq
+    done;
+    !acc /. float_of_int trials
+  end

@@ -19,3 +19,18 @@ val quorum_rtt_lan :
 val quorum_rtt_wan : rtts:float array -> quorum:int -> float
 (** WAN version over the fixed RTTs from the leader to each other
     node: the [(quorum-1)]-th smallest (§3.3). *)
+
+val relay_quorum_rtt_lan :
+  mu:float ->
+  sigma:float ->
+  n:int ->
+  groups:int ->
+  touch_ms:float ->
+  Rng.t ->
+  float
+(** Expected majority-completion wait with relay trees (DESIGN.md
+    §12): nested order statistics where group g's aggregated ack
+    arrives at [RTT(leader,relay) + max of (s_g - 1) member RTTs +
+    touch_ms] and the leader's majority completes once the cumulative
+    size of the earliest groups reaches majority - 1. [touch_ms] is
+    the relay's own per-round fan-out/aggregation service. *)

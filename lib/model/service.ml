@@ -36,6 +36,30 @@ let paxos p =
 
 let fpaxos p ~q2:_ = paxos p
 
+(* Relay-tree round (Config.relay_groups = r; DESIGN.md §12): the
+   leader serializes one multicast to the r relays and absorbs r
+   aggregated acks, so its demand is ∝ r, not N. Each relay fans the
+   round to its group of s = ceil((N-1)/r) members (itself included)
+   and absorbs s-1 member acks. The system saturates at whichever of
+   the two hot roles is busier — at the r the scale sweeps pick they
+   stay close, which is the point of the rotation. *)
+let paxos_relay p ~groups =
+  let r = fi groups in
+  let lead =
+    (2.0 *. p.t_out_ms) +. ((r +. 1.0) *. p.t_in_ms)
+    +. (2.0 *. (r +. 1.0) *. nic_ms p)
+  in
+  let s = fi ((p.n - 2 + groups) / groups) in
+  let relay =
+    (2.0 *. p.t_out_ms) +. (s *. p.t_in_ms) +. (2.0 *. s *. nic_ms p)
+  in
+  {
+    lead_ms = Float.max lead relay;
+    follow_ms = relay;
+    lead_share = 1.0;
+    follow_share = 0.0;
+  }
+
 (* Batched leader round of b commands: b client requests in, ONE
    phase-2 broadcast serialization (the batch is one message), N-1
    batched acks in, b client replies out. Per command that is the

@@ -42,6 +42,13 @@ val fpaxos : node_params -> q2:int -> round_cost
     count (the leader still broadcasts to all). With [thrifty] the
     leader processes [q2+2] messages instead. *)
 
+val paxos_relay : node_params -> groups:int -> round_cost
+(** Relay trees with [groups] = r rotation groups (DESIGN.md §12):
+    the leader touches r+2 messages per round instead of N+1, each
+    relay ceil((N-1)/r)+1. [lead_ms] is the busiest of the two roles
+    (that node gates saturation); [follow_ms] reports the relay's own
+    cost. Reduces to roughly {!paxos} at r = N-1. *)
+
 val paxos_batched : node_params -> batch:int -> round_cost
 (** Leader batching at batch size [b]: one phase-2 broadcast and one
     ack per follower cover [b] commands, so per-command leader CPU is

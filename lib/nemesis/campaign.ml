@@ -24,11 +24,13 @@ type report = {
 let trial_seed ~protocol ~root index =
   Runner.derive_seed ~root (Hashtbl.hash (protocol, index))
 
-let run_trial ?read_ratio ?read_path ~skew ~protocol ~root ~max_faults
-    ~shrink_budget index =
+let run_trial ?n ?read_ratio ?read_path ?relay_groups ~skew ~protocol ~root
+    ~max_faults ~shrink_budget index =
   let seed = trial_seed ~protocol ~root index in
-  let schedule = Trial.generate ~skew ~protocol ~seed ~max_faults () in
-  let verdict = Trial.run ?read_ratio ?read_path ~protocol ~seed schedule in
+  let schedule = Trial.generate ?n ~skew ~protocol ~seed ~max_faults () in
+  let verdict =
+    Trial.run ?n ?read_ratio ?read_path ?relay_groups ~protocol ~seed schedule
+  in
   let shrunk =
     if verdict.Trial.ok then None
     else
@@ -36,20 +38,21 @@ let run_trial ?read_ratio ?read_path ~skew ~protocol ~root ~max_faults
         (Shrink.shrink ~budget:shrink_budget
            ~still_fails:(fun candidate ->
              not
-               (Trial.run ?read_ratio ?read_path ~protocol ~seed candidate)
+               (Trial.run ?n ?read_ratio ?read_path ?relay_groups ~protocol
+                  ~seed candidate)
                  .Trial.ok)
            schedule)
   in
   { trial = index; seed; schedule; verdict; shrunk }
 
-let run ?pool ?(shrink_budget = 120) ?(max_faults = 4) ?read_ratio ?read_path
-    ?(skew = false) ~protocol ~trials ~seed () =
+let run ?pool ?(shrink_budget = 120) ?(max_faults = 4) ?n ?read_ratio
+    ?read_path ?relay_groups ?(skew = false) ~protocol ~trials ~seed () =
   (* shrinking happens inside the trial task, so a pool schedules whole
      trials and determinism needs nothing beyond per-trial seeds *)
   let outcomes =
     Paxi_exec.Parmap.map ?pool
-      (run_trial ?read_ratio ?read_path ~skew ~protocol ~root:seed ~max_faults
-         ~shrink_budget)
+      (run_trial ?n ?read_ratio ?read_path ?relay_groups ~skew ~protocol
+         ~root:seed ~max_faults ~shrink_budget)
       (List.init trials Fun.id)
   in
   let failures = List.filter (fun o -> not o.verdict.Trial.ok) outcomes in

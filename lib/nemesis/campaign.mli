@@ -30,8 +30,10 @@ val run :
   ?pool:Paxi_exec.Pool.t ->
   ?shrink_budget:int ->
   ?max_faults:int ->
+  ?n:int ->
   ?read_ratio:float ->
   ?read_path:Config.read_path ->
+  ?relay_groups:int ->
   ?skew:bool ->
   protocol:string ->
   trials:int ->
@@ -40,10 +42,12 @@ val run :
   report
 (** Run [trials] independent trials ([max_faults] defaults to 4).
     Shrinking runs inside each trial's task, so pooling schedules
-    whole trials. [?read_ratio]/[?read_path] thread the read-path
-    knobs into every trial's config; [?skew] (default false) lets the
-    generator draw clock-skew faults — the combination is the
-    adversarial read campaign. *)
+    whole trials. [?n] overrides the profile's cluster size;
+    [?read_ratio]/[?read_path] thread the read-path knobs into every
+    trial's config; [?relay_groups] routes paxos/raft rounds through
+    relay trees — the relay-crash campaign; [?skew] (default false)
+    lets the generator draw clock-skew faults — with the read knobs,
+    the adversarial read campaign. *)
 
 val repro_line : protocol:string -> seed:int -> Schedule.t -> string
 (** The exact CLI invocation that replays a (shrunk) failing trial. *)

@@ -119,7 +119,8 @@ let generate ?n ?(skew = false) ~protocol ~seed ~max_faults () =
   let rng = Rng.create ~seed in
   Schedule.generate ~rng ~n:profile.n ~kinds ~max_faults ~horizon_ms
 
-let run ?n ?read_ratio ?read_path ~protocol ~seed schedule =
+let run ?n ?read_ratio ?read_path ?(relay_groups = 0) ~protocol ~seed schedule
+    =
   let profile = resolve_profile ?n protocol in
   let (module P) = Paxi_protocols.Registry.find_exn protocol in
   let config =
@@ -128,6 +129,7 @@ let run ?n ?read_ratio ?read_path ~protocol ~seed schedule =
       Config.seed;
       Config.read_ratio;
       Config.read_path;
+      Config.relay_groups;
       (* every trial runs with the reliable-delivery substrate armed:
          faults are the whole point here, and several families (chain,
          wankeeper, vpaxos, and paxos/raft since their ad-hoc retry

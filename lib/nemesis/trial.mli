@@ -61,6 +61,7 @@ val run :
   ?n:int ->
   ?read_ratio:float ->
   ?read_path:Config.read_path ->
+  ?relay_groups:int ->
   protocol:string ->
   seed:int ->
   Schedule.t ->
@@ -70,4 +71,7 @@ val run :
     arguments. [?n] overrides the profile's cluster size (zoned
     profiles place [n / 3] replicas per zone); [?read_ratio] and
     [?read_path] thread the PR 7 read-path knobs into the cluster
-    config (both default off, preserving the write-path baseline). *)
+    config; [?relay_groups] (default 0 = direct) the PR 8 relay-tree
+    knob — the relay-crash campaigns run paxos/raft behind relays and
+    demand commits survive relay failures. All default off, preserving
+    the write-path baseline. *)

@@ -71,7 +71,10 @@ let kind_names =
     "exec+reply";
     "server";
     "net:replica->client";
+    "relay:aggregate";
   |]
+
+let kind_relay = 9
 
 type t = {
   on : bool;
@@ -97,6 +100,11 @@ type t = {
   mutable fast_reads : int;
       (* reads served off the fast path (lease / quorum / tail) — they
          never reach [on_propose], so this is the only trace of them *)
+  c_relay : Stats.t;
+      (* relay aggregation hops (round received at relay -> combined
+         ack sent); kept OUT of [components] — the hop overlaps the
+         quorum wait, so adding it would break the telescoping check *)
+  mutable relay_hops : int;
   nodes : (int, node_acc) Hashtbl.t;
   msgs : (string, int ref) Hashtbl.t;
   buckets : (int, bucket) Hashtbl.t;
@@ -132,6 +140,8 @@ let create ?(window_ms = 100.0) ?(max_spans = 200_000) ~enabled () =
     c_read_e2e = Stats.create ();
     c_write_e2e = Stats.create ();
     fast_reads = 0;
+    c_relay = Stats.create ();
+    relay_hops = 0;
     nodes = Hashtbl.create (if enabled then 16 else 1);
     msgs = Hashtbl.create (if enabled then 32 else 1);
     buckets = Hashtbl.create (if enabled then 64 else 1);
@@ -262,6 +272,15 @@ let push_span t ~kind ~track ~aux ~start_ms ~end_ms =
     t.n_spans <- i + 1
   end
 
+let on_relay_hop t ~start_ms ~end_ms =
+  if t.on then begin
+    t.relay_hops <- t.relay_hops + 1;
+    if start_ms >= t.from_ms && end_ms <= t.until_ms then begin
+      Stats.add t.c_relay (end_ms -. start_ms);
+      push_span t ~kind:kind_relay ~track:0 ~aux:0 ~start_ms ~end_ms
+    end
+  end
+
 let record_bucket t ~done_ms ~latency =
   let b = int_of_float (done_ms /. t.window_ms) in
   match Hashtbl.find_opt t.buckets b with
@@ -354,6 +373,8 @@ let server_residency t = t.c_server
 let read_e2e t = t.c_read_e2e
 let write_e2e t = t.c_write_e2e
 let fast_reads t = t.fast_reads
+let relay_hops t = t.relay_hops
+let relay_hop_ms t = t.c_relay
 
 let components t =
   if Stats.count t.c_quorum > 0 then

@@ -75,6 +75,12 @@ val on_fast_read : t -> unit
     tail) — it consumes no slot, so [on_propose] never fires for it;
     this counter is how a dissection knows reads bypassed the log. *)
 
+val on_relay_hop : t -> start_ms:float -> end_ms:float -> unit
+(** A relay (Config.relay_groups > 0) finished aggregating one round's
+    group acks: [start_ms] is when the wrapped round reached the relay,
+    [end_ms] when the combined bitmap ack left it. Feeds {!relay_hops}
+    / {!relay_hop_ms} and records a ["relay:aggregate"] span. *)
+
 val on_request_arrival :
   t ->
   client:int ->
@@ -127,6 +133,14 @@ val write_e2e : t -> Stats.t
 
 val fast_reads : t -> int
 (** Reads served off the fast path (see {!on_fast_read}). *)
+
+val relay_hops : t -> int
+(** Relay aggregation rounds completed (see {!on_relay_hop}). *)
+
+val relay_hop_ms : t -> Stats.t
+(** In-window relay aggregation durations. NOT part of {!components}:
+    the hop overlaps [quorum_wait], so it reports the relay tree's
+    internal latency without disturbing the telescoping split. *)
 
 val components : t -> (string * Stats.t) list
 (** The telescoping decomposition, in phase order: the 7-way split

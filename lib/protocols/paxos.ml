@@ -37,6 +37,23 @@ type message =
       value : Command.value option;
     }
   | ReadWBAck of { rid : int }
+  | RelayRound of { gen : int; inner : message }
+      (** leader → relay (Config.relay_groups > 0): apply [inner] (a
+          P2a/P2aBatch) locally, fan it out to the relay's rotation
+          group, and aggregate the group's acks into one [RelayAck];
+          [gen] names the rotation plan every replica derives
+          identically (DESIGN.md §12) *)
+  | RelayAck of {
+      ballot : Ballot.t;
+      gen : int;
+      first_slot : int;
+      count : int;
+      batch : bool;
+      bits : int;
+          (** positional ack bitmap over the plan's group array — bit i
+              set = group member i accepted, so quorum accounting stays
+              exact: each bit maps back to a replica id *)
+    }
 
 let name = "paxos"
 let cpu_factor (_ : Config.t) = 1.0
@@ -56,6 +73,8 @@ let message_label = function
   | ReadQR _ -> "ReadQR"
   | ReadWB _ -> "ReadWB"
   | ReadWBAck _ -> "ReadWBAck"
+  | RelayRound _ -> "RelayRound"
+  | RelayAck _ -> "RelayAck"
 
 type entry = {
   mutable ballot : Ballot.t;
@@ -66,6 +85,10 @@ type entry = {
   mutable rkey : int;
       (** reliable-delivery key of the in-flight P2a for this slot
           (0 when none) — settled per-acceptor as P2bs arrive *)
+  mutable fb : Sim.handle;
+      (** relay-mode fallback timer: if the slot is still uncommitted
+          when it fires, the leader re-sends direct and rotates the
+          relay plan ([Sim.nil] outside relay rounds) *)
 }
 
 type phase1_state = {
@@ -81,6 +104,7 @@ type batch_state = {
   count : int;
   tracker : Quorum.t;
   rkey : int;
+  mutable bfb : Sim.handle;  (** relay-mode fallback timer (see entry.fb) *)
 }
 
 (* One quorum read in flight at its coordinating replica: an ABD round
@@ -128,6 +152,19 @@ type replica = {
       (* leader: write replies deferred until a majority applied *)
   commit_acks : (int, Quorum.t) Hashtbl.t; (* slot -> applied-at votes *)
   mutable quorum_reads : int; (* ABD reads completed here *)
+  (* ---- relay trees (Config.relay_groups > 0; DESIGN.md §12) ---- *)
+  relay_plans : Relay.plans; (* memoized rotation plans by (leader, gen) *)
+  relay_aggs : (int, Relay.agg) Hashtbl.t;
+      (* relay side: in-flight aggregation records keyed by first_slot *)
+  relay_pool : Relay.pool;
+  mutable relay_seq : int; (* leader: relay rounds posted (drives rotation) *)
+  mutable relay_bump : int; (* leader: forced rotations after fallbacks *)
+  mutable relay_bypass_until : float;
+      (* leader: send direct until this instant after a relay stalled *)
+  mutable relay_dsts : int list; (* leader: cached relay ids for dsts_gen *)
+  mutable relay_dsts_gen : int;
+  mutable relay_fan : int list; (* relay: cached own group minus self *)
+  mutable relay_fan_gen : int;
 }
 
 let all_ids (t : replica) = List.init t.env.n (fun i -> i)
@@ -184,6 +221,16 @@ let create env =
     held = Hashtbl.create 32;
     commit_acks = Hashtbl.create 32;
     quorum_reads = 0;
+    relay_plans = Relay.plans ();
+    relay_aggs = Hashtbl.create 16;
+    relay_pool = Relay.pool ();
+    relay_seq = 0;
+    relay_bump = 0;
+    relay_bypass_until = neg_infinity;
+    relay_dsts = [];
+    relay_dsts_gen = min_int;
+    relay_fan = [];
+    relay_fan_gen = min_int;
   }
 
 let is_leader t = t.active
@@ -338,6 +385,231 @@ let commit_up_to t bound =
   done;
   if !changed then advance t
 
+(* ---- relay trees (Config.relay_groups > 0; DESIGN.md §12) ----
+   The leader wraps each phase-2 round in [RelayRound] and multicasts
+   it to one relay per rotation group; relays accept locally, fan the
+   plain inner round out to their group, and aggregate the group's
+   P2bs into one [RelayAck] bitmap. Every function below is guarded so
+   a [relay_groups = 0] run never reaches any of it — no messages, no
+   timers, no RNG draws — keeping the direct path byte-identical. *)
+
+let relay_on t = t.env.config.Config.relay_groups > 0
+
+(* Route this round through relays? Off outside relay mode, and off
+   during the bypass window a stalled relay opens. *)
+let relay_route t = relay_on t && t.env.now () >= t.relay_bypass_until
+let relay_gen t = Relay.gen_of_seq ~seq:t.relay_seq ~bump:t.relay_bump
+
+let relay_plan t ~leader ~gen =
+  Relay.find t.relay_plans ~n:t.env.n ~leader
+    ~r:t.env.config.Config.relay_groups ~gen
+
+(* The relay ids for [gen], cached so steady state reuses one list. *)
+let relay_targets t ~gen (plan : Relay.plan) =
+  if t.relay_dsts_gen <> gen then begin
+    t.relay_dsts <-
+      Array.to_list (Array.map (fun g -> g.(0)) plan.Relay.groups);
+    t.relay_dsts_gen <- gen
+  end;
+  t.relay_dsts
+
+(* Group members this relay fans a round out to (own group minus
+   self), cached per (leader, gen) like the plans themselves. *)
+let relay_fan_list t ~leader ~gen (plan : Relay.plan) gi =
+  let key = (gen lsl 10) lor leader in
+  if t.relay_fan_gen <> key then begin
+    let g = plan.Relay.groups.(gi) in
+    let rec tail i acc = if i < 1 then acc else tail (i - 1) (g.(i) :: acc) in
+    t.relay_fan <- tail (Array.length g - 1) [];
+    t.relay_fan_gen <- key
+  end;
+  t.relay_fan
+
+(* How long the leader gives a relay round before falling back to
+   direct fan-out: well under the failover timeout, so a dead relay
+   costs one blip rather than a leadership change. *)
+let relay_fallback_ms t = t.env.config.Config.failover_timeout_ms /. 8.0
+
+(* Partial-flush cadence at a relay: match the retransmission base so
+   a flush lands between the leader's retries, else the fallback
+   division of the failover timeout. *)
+let relay_flush_ms t =
+  match t.env.config.Config.retransmit with
+  | Some r when r.Config.max_tries > 0 -> r.Config.base_ms
+  | _ -> relay_fallback_ms t
+
+(* A relay round stalled (dead or slow relay): rotate the plan and
+   send direct until the window closes, re-partitioning the silent
+   relay out of its post. *)
+let relay_stall t =
+  t.relay_bump <- t.relay_bump + 1;
+  t.relay_bypass_until <-
+    t.env.now () +. t.env.config.Config.failover_timeout_ms
+
+let relay_fallback_slot t slot =
+  match Slot_log.get t.log slot with
+  | Some e
+    when t.active && (not e.committed) && Ballot.equal e.ballot t.ballot ->
+      e.fb <- Sim.nil;
+      relay_stall t;
+      if e.rkey <> 0 then t.env.rel.settle_all ~key:e.rkey;
+      e.rkey <-
+        t.env.rel.post_all ~ack:Reliable.Piggyback
+          (P2a
+             {
+               ballot = t.ballot;
+               slot;
+               cmd = e.cmd;
+               commit_up_to = Slot_log.exec_frontier t.log;
+             })
+  | _ -> ()
+
+let relay_fallback_batch t first_slot =
+  match Hashtbl.find_opt t.batches first_slot with
+  | Some bs when t.active && Ballot.equal bs.bballot t.ballot ->
+      bs.bfb <- Sim.nil;
+      relay_stall t;
+      t.env.rel.settle_all ~key:bs.rkey;
+      let cmds =
+        Array.init bs.count (fun i ->
+            match Slot_log.get t.log (first_slot + i) with
+            | Some e -> e.cmd
+            | None -> Command.noop)
+      in
+      let size_bytes = bs.count * t.env.config.Config.msg_size_bytes in
+      let rkey =
+        t.env.rel.post_all ~size_bytes ~ack:Reliable.Piggyback
+          (P2aBatch
+             {
+               ballot = t.ballot;
+               first_slot;
+               cmds;
+               commit_up_to = Slot_log.exec_frontier t.log;
+             })
+      in
+      Hashtbl.replace t.batches first_slot { bs with rkey }
+  | _ -> ()
+
+let relay_send_ack t first_slot (a : Relay.agg) =
+  t.env.send a.Relay.a_leader
+    (RelayAck
+       {
+         ballot = { Ballot.round = a.Relay.a_tag; owner = a.Relay.a_leader };
+         gen = a.Relay.a_gen;
+         first_slot;
+         count = a.Relay.a_aux;
+         batch = a.Relay.a_batch;
+         bits = a.Relay.a_bits;
+       })
+
+let relay_drop t first_slot (a : Relay.agg) =
+  if not (Sim.is_nil a.Relay.a_flush) then t.env.Proto.cancel a.Relay.a_flush;
+  a.Relay.a_flush <- Sim.nil;
+  Hashtbl.remove t.relay_aggs first_slot;
+  Relay.release t.relay_pool a
+
+(* Drop every relay-side aggregation record (our ballot moved on, or
+   we are becoming a candidate/leader ourselves). *)
+let relay_reset t =
+  if Hashtbl.length t.relay_aggs > 0 then
+    Hashtbl.fold (fun k a acc -> (k, a) :: acc) t.relay_aggs []
+    |> List.iter (fun (k, a) -> relay_drop t k a)
+
+let relay_finalize t first_slot (a : Relay.agg) =
+  a.Relay.a_complete <- true;
+  if not (Sim.is_nil a.Relay.a_flush) then begin
+    t.env.Proto.cancel a.Relay.a_flush;
+    a.Relay.a_flush <- Sim.nil
+  end;
+  if t.env.obs.Proto.active then
+    t.env.obs.Proto.on_relay ~start_ms:a.Relay.a_t0 ~end_ms:(t.env.now ());
+  relay_send_ack t first_slot a
+
+(* Partial-ack flush: a group member is slow or dead — report the bits
+   we do have so the leader's quorum can complete through the other
+   groups, then keep waiting. Records superseded by a newer ballot are
+   dropped instead of re-armed. *)
+let rec relay_flush t first_slot =
+  match Hashtbl.find_opt t.relay_aggs first_slot with
+  | Some a when not a.Relay.a_complete ->
+      a.Relay.a_flush <- Sim.nil;
+      if
+        a.Relay.a_tag = t.ballot.Ballot.round
+        && a.Relay.a_leader = t.ballot.Ballot.owner
+      then begin
+        relay_send_ack t first_slot a;
+        a.Relay.a_flush <-
+          t.env.schedule (relay_flush_ms t) (fun () ->
+              relay_flush t first_slot)
+      end
+      else relay_drop t first_slot a
+  | _ -> ()
+
+(* Completed records linger so a duplicate [RelayRound] (the leader's
+   retransmission racing our ack) gets a full-ack resend; prune them
+   once their slots fall below the commit frontier, amortized behind a
+   size threshold. *)
+let relay_prune t =
+  if Hashtbl.length t.relay_aggs > 128 then begin
+    let frontier = Slot_log.exec_frontier t.log in
+    Hashtbl.fold
+      (fun slot (a : Relay.agg) acc ->
+        if slot + a.Relay.a_aux <= frontier then (slot, a) :: acc else acc)
+      t.relay_aggs []
+    |> List.iter (fun (slot, a) -> relay_drop t slot a)
+  end
+
+(* A member's ack arriving at its relay: fold it into the aggregation
+   bitmap instead of the (absent) leader-side tracker. Returns [false]
+   when the ack is not ours to absorb — the caller runs the normal
+   path. *)
+let relay_absorb_p2b t ~src ~ballot ~first_slot ~count ~batch ~ok =
+  if t.active || not (relay_on t) then false
+  else
+    match Hashtbl.find_opt t.relay_aggs first_slot with
+    | Some a when a.Relay.a_batch = batch && a.Relay.a_aux = count ->
+        if
+          ok
+          && a.Relay.a_tag = ballot.Ballot.round
+          && a.Relay.a_leader = ballot.Ballot.owner
+        then begin
+          let i = Relay.position a src in
+          if i >= 0 then begin
+            Relay.set_bit a i;
+            if (not a.Relay.a_complete) && Relay.complete a then
+              relay_finalize t first_slot a
+          end;
+          true
+        end
+        else if not ok then begin
+          (* the member knows a higher ballot: relay the nok to the
+             round's leader (it must step down), then take the normal
+             nok path ourselves *)
+          t.env.send a.Relay.a_leader
+            (if batch then P2bBatch { ballot; first_slot; count; ok = false }
+             else P2b { ballot; slot = first_slot; ok = false });
+          relay_drop t first_slot a;
+          false
+        end
+        else false
+    | _ -> false
+
+(* Commit a single-slot round once its tracker is satisfied; shared by
+   the direct P2b path and the aggregated RelayAck path. *)
+let maybe_commit_slot t slot (e : entry) tracker =
+  if Quorum.satisfied tracker then begin
+    e.committed <- true;
+    t.env.obs.Proto.on_quorum ~slot;
+    t.env.rel.settle_all ~key:e.rkey;
+    if not (Sim.is_nil e.fb) then begin
+      t.env.Proto.cancel e.fb;
+      e.fb <- Sim.nil
+    end;
+    advance t;
+    if (not t.env.config.Config.piggyback_commit) || quorum_mode t then
+      t.env.broadcast (Commit { slot; cmd = e.cmd })
+  end
+
 let propose t ~client (request : Proto.request) =
   let slot = Slot_log.reserve t.log in
   let tracker =
@@ -352,6 +624,7 @@ let propose t ~client (request : Proto.request) =
       quorum = Some tracker;
       committed = false;
       rkey = 0;
+      fb = Sim.nil;
     }
   in
   Slot_log.set t.log slot entry;
@@ -365,14 +638,31 @@ let propose t ~client (request : Proto.request) =
         commit_up_to = Slot_log.exec_frontier t.log;
       }
   in
-  entry.rkey <-
-    (if t.env.config.Config.thrifty then
-       t.env.rel.post_multi ~ack:Reliable.Piggyback (phase2_peers t) msg
-     else t.env.rel.post_all ~ack:Reliable.Piggyback msg)
+  if relay_route t then begin
+    let gen = relay_gen t in
+    t.relay_seq <- t.relay_seq + 1;
+    let plan = relay_plan t ~leader:t.env.id ~gen in
+    entry.rkey <-
+      t.env.rel.post_multi ~ack:Reliable.Piggyback
+        (relay_targets t ~gen plan)
+        (RelayRound { gen; inner = msg });
+    entry.fb <-
+      t.env.schedule (relay_fallback_ms t) (fun () ->
+          relay_fallback_slot t slot)
+  end
+  else
+    entry.rkey <-
+      (if t.env.config.Config.thrifty then
+         t.env.rel.post_multi ~ack:Reliable.Piggyback (phase2_peers t) msg
+       else t.env.rel.post_all ~ack:Reliable.Piggyback msg)
 
 let commit_batch t first_slot (bs : batch_state) =
   Hashtbl.remove t.batches first_slot;
   t.env.rel.settle_all ~key:bs.rkey;
+  if not (Sim.is_nil bs.bfb) then begin
+    t.env.Proto.cancel bs.bfb;
+    bs.bfb <- Sim.nil
+  end;
   for slot = first_slot to first_slot + bs.count - 1 do
     match Slot_log.get t.log slot with
     | Some e when not e.committed ->
@@ -415,6 +705,7 @@ let propose_batch t items =
           quorum = None;
           committed = false;
           rkey = 0;
+          fb = Sim.nil;
         };
       t.env.obs.Proto.on_propose ~slot ~cmd:request.Proto.command)
     items;
@@ -432,13 +723,31 @@ let propose_batch t items =
       }
   in
   let size_bytes = k * t.env.config.Config.msg_size_bytes in
-  let rkey =
-    if t.env.config.Config.thrifty then
-      t.env.rel.post_multi ~size_bytes ~ack:Reliable.Piggyback (phase2_peers t)
-        msg
-    else t.env.rel.post_all ~size_bytes ~ack:Reliable.Piggyback msg
+  let bs =
+    if relay_route t then begin
+      let gen = relay_gen t in
+      t.relay_seq <- t.relay_seq + 1;
+      let plan = relay_plan t ~leader:t.env.id ~gen in
+      let rkey =
+        t.env.rel.post_multi ~size_bytes ~ack:Reliable.Piggyback
+          (relay_targets t ~gen plan)
+          (RelayRound { gen; inner = msg })
+      in
+      let bfb =
+        t.env.schedule (relay_fallback_ms t) (fun () ->
+            relay_fallback_batch t first_slot)
+      in
+      { bballot = t.ballot; count = k; tracker; rkey; bfb }
+    end
+    else
+      let rkey =
+        if t.env.config.Config.thrifty then
+          t.env.rel.post_multi ~size_bytes ~ack:Reliable.Piggyback
+            (phase2_peers t) msg
+        else t.env.rel.post_all ~size_bytes ~ack:Reliable.Piggyback msg
+      in
+      { bballot = t.ballot; count = k; tracker; rkey; bfb = Sim.nil }
   in
-  let bs = { bballot = t.ballot; count = k; tracker; rkey } in
   Hashtbl.replace t.batches first_slot bs;
   if Quorum.satisfied tracker then commit_batch t first_slot bs
 
@@ -544,6 +853,7 @@ let start_phase1 t =
   (* a fresh candidacy obsoletes whatever this replica was still
      retransmitting (an older P1a, stale P2as from lost leadership) *)
   t.env.rel.unpost_all ();
+  relay_reset t;
   let tracker =
     Quorum.create (Quorum.Count { members = all_ids t; threshold = q1_size t })
   in
@@ -604,9 +914,14 @@ let become_leader t (state : phase1_state) =
             quorum = Some tracker;
             committed = false;
             rkey = 0;
+            fb = Sim.nil;
           });
     match Slot_log.get t.log slot with
     | Some e when not e.committed ->
+        if not (Sim.is_nil e.fb) then begin
+          t.env.Proto.cancel e.fb;
+          e.fb <- Sim.nil
+        end;
         e.rkey <-
           t.env.rel.post_all ~ack:Reliable.Piggyback
             (P2a
@@ -635,6 +950,7 @@ let step_down t ~ballot =
   (* everything this replica was retransmitting carried the lost
      ballot; the new leader re-proposes whatever survives phase-1 *)
   t.env.rel.unpost_all ();
+  relay_reset t;
   (* abandon in-flight batch rounds; buffered-but-unproposed commands
      go back to [pending] so they are forwarded to the new leader *)
   Hashtbl.reset t.batches;
@@ -760,7 +1076,11 @@ let on_p1b t ~src ~ballot ~ok ~accepted =
   | Some _ when Ballot.(ballot > t.ballot) -> step_down t ~ballot
   | _ -> ()
 
-let on_p2a t ~src ~ballot ~slot ~cmd ~commit_up_to:bound =
+(* Acceptor-side adoption of a single-slot phase-2 round, shared by
+   the direct path (reply with a P2b) and the relay path (the relay
+   accepts silently and folds its own vote into the aggregated
+   bitmap). Returns [true] when the round was accepted at [ballot]. *)
+let accept_p2a t ~ballot ~slot ~cmd ~commit_up_to:bound =
   if Ballot.(ballot >= t.ballot) then begin
     t.ballot <- ballot;
     if ballot.Ballot.owner <> t.env.id then begin
@@ -779,8 +1099,22 @@ let on_p2a t ~src ~ballot ~slot ~cmd ~commit_up_to:bound =
         e.cmd <- cmd
     | None ->
         Slot_log.set t.log slot
-          { ballot; cmd; client = None; quorum = None; committed = false; rkey = 0 });
+          {
+            ballot;
+            cmd;
+            client = None;
+            quorum = None;
+            committed = false;
+            rkey = 0;
+            fb = Sim.nil;
+          });
     commit_up_to t bound;
+    true
+  end
+  else false
+
+let on_p2a t ~src ~ballot ~slot ~cmd ~commit_up_to =
+  if accept_p2a t ~ballot ~slot ~cmd ~commit_up_to then begin
     t.env.send src (P2b { ballot; slot; ok = true });
     drain_pending t
   end
@@ -788,9 +1122,8 @@ let on_p2a t ~src ~ballot ~slot ~cmd ~commit_up_to:bound =
 
 (* Acceptor side of a batched round: store every slot, then send ONE
    ack covering the whole range — the per-slot adoption logic is
-   identical to [on_p2a]. *)
-let on_p2a_batch t ~src ~ballot ~first_slot ~cmds ~commit_up_to:bound =
-  let count = Array.length cmds in
+   identical to [accept_p2a]. *)
+let accept_p2a_batch t ~ballot ~first_slot ~cmds ~commit_up_to:bound =
   if Ballot.(ballot >= t.ballot) then begin
     t.ballot <- ballot;
     if ballot.Ballot.owner <> t.env.id then begin
@@ -810,16 +1143,125 @@ let on_p2a_batch t ~src ~ballot ~first_slot ~cmds ~commit_up_to:bound =
             e.cmd <- cmd
         | None ->
             Slot_log.set t.log slot
-              { ballot; cmd; client = None; quorum = None; committed = false; rkey = 0 })
+              {
+                ballot;
+                cmd;
+                client = None;
+                quorum = None;
+                committed = false;
+                rkey = 0;
+                fb = Sim.nil;
+              })
       cmds;
     commit_up_to t bound;
+    true
+  end
+  else false
+
+let on_p2a_batch t ~src ~ballot ~first_slot ~cmds ~commit_up_to =
+  let count = Array.length cmds in
+  if accept_p2a_batch t ~ballot ~first_slot ~cmds ~commit_up_to then begin
     t.env.send src (P2bBatch { ballot; first_slot; count; ok = true });
     drain_pending t
   end
-  else t.env.send src (P2bBatch { ballot = t.ballot; first_slot; count; ok = false })
+  else
+    t.env.send src
+      (P2bBatch { ballot = t.ballot; first_slot; count; ok = false })
+
+(* Relay ingress: accept the inner round locally, fan the plain round
+   out to the group (members reply to us, not the leader), and start
+   the aggregation record. A duplicate wrapper — the leader is
+   retransmitting because our ack or some member's copy got lost —
+   re-sends the completed ack, or re-fans to the members whose bits
+   are still clear. *)
+let on_relay_round t ~src ~gen ~inner =
+  let info =
+    match inner with
+    | P2a { ballot; slot; _ } -> Some (ballot, slot, 1, false, 0)
+    | P2aBatch { ballot; first_slot; cmds; _ } ->
+        Some
+          ( ballot,
+            first_slot,
+            Array.length cmds,
+            true,
+            Array.length cmds * t.env.config.Config.msg_size_bytes )
+    | _ -> None
+  in
+  match info with
+  | None -> ()
+  | Some (ballot, first_slot, count, batch, fan_size) -> (
+      let fan dst =
+        if batch then t.env.send_sized dst ~size_bytes:fan_size inner
+        else t.env.send dst inner
+      in
+      match Hashtbl.find_opt t.relay_aggs first_slot with
+      | Some a
+        when a.Relay.a_tag = ballot.Ballot.round
+             && a.Relay.a_leader = ballot.Ballot.owner
+             && a.Relay.a_batch = batch
+             && a.Relay.a_aux = count ->
+          if a.Relay.a_complete then relay_send_ack t first_slot a
+          else begin
+            let g = a.Relay.a_group in
+            for i = 1 to Array.length g - 1 do
+              if a.Relay.a_bits land (1 lsl i) = 0 then fan g.(i)
+            done
+          end
+      | stale ->
+          let accepted =
+            match inner with
+            | P2a { ballot; slot; cmd; commit_up_to } ->
+                accept_p2a t ~ballot ~slot ~cmd ~commit_up_to
+            | P2aBatch { ballot; first_slot; cmds; commit_up_to } ->
+                accept_p2a_batch t ~ballot ~first_slot ~cmds ~commit_up_to
+            | _ -> false
+          in
+          if not accepted then
+            (* we know a higher ballot: nok straight back to the
+               leader, exactly as the direct path would *)
+            if batch then
+              t.env.send src
+                (P2bBatch { ballot = t.ballot; first_slot; count; ok = false })
+            else
+              t.env.send src
+                (P2b { ballot = t.ballot; slot = first_slot; ok = false })
+          else begin
+            (match stale with
+            | Some old -> relay_drop t first_slot old
+            | None -> ());
+            let leader = ballot.Ballot.owner in
+            let plan = relay_plan t ~leader ~gen in
+            let gi = plan.Relay.group_of.(t.env.id) in
+            if gi < 0 || plan.Relay.groups.(gi).(0) <> t.env.id then begin
+              (* not a relay under this plan (the round raced a plan
+                 rotation): behave like a plain acceptor *)
+              if batch then
+                t.env.send src (P2bBatch { ballot; first_slot; count; ok = true })
+              else t.env.send src (P2b { ballot; slot = first_slot; ok = true })
+            end
+            else begin
+              let group = plan.Relay.groups.(gi) in
+              let a =
+                Relay.alloc t.relay_pool ~leader ~gen ~group
+                  ~tag:ballot.Ballot.round ~aux:count ~batch
+              in
+              a.Relay.a_t0 <- t.env.now ();
+              Relay.set_bit a 0 (* position 0 = self: our own accept *);
+              Hashtbl.replace t.relay_aggs first_slot a;
+              List.iter fan (relay_fan_list t ~leader ~gen plan gi);
+              if Relay.complete a then relay_finalize t first_slot a
+              else
+                a.Relay.a_flush <-
+                  t.env.schedule (relay_flush_ms t) (fun () ->
+                      relay_flush t first_slot);
+              relay_prune t
+            end;
+            drain_pending t
+          end)
 
 let on_p2b_batch t ~src ~ballot ~first_slot ~count ~ok =
-  if ok && t.active && Ballot.equal ballot t.ballot then begin
+  if relay_absorb_p2b t ~src ~ballot ~first_slot ~count ~batch:true ~ok then ()
+  else if ok && t.active && Ballot.equal ballot t.ballot then begin
     match Hashtbl.find_opt t.batches first_slot with
     | Some bs when bs.count = count && Ballot.equal bs.bballot ballot ->
         t.env.rel.settle ~dst:src ~key:bs.rkey;
@@ -830,25 +1272,60 @@ let on_p2b_batch t ~src ~ballot ~first_slot ~count ~ok =
   else if (not ok) && Ballot.(ballot > t.ballot) then step_down t ~ballot
 
 let on_p2b t ~src ~ballot ~slot ~ok =
-  if ok && t.active && Ballot.equal ballot t.ballot then begin
+  if relay_absorb_p2b t ~src ~ballot ~first_slot:slot ~count:1 ~batch:false ~ok
+  then ()
+  else if ok && t.active && Ballot.equal ballot t.ballot then begin
     match Slot_log.get t.log slot with
     | Some ({ quorum = Some tracker; committed = false; _ } as e) ->
         t.env.rel.settle ~dst:src ~key:e.rkey;
         Quorum.ack tracker src;
-        if Quorum.satisfied tracker then begin
-          e.committed <- true;
-          t.env.obs.Proto.on_quorum ~slot;
-          t.env.rel.settle_all ~key:e.rkey;
-          advance t;
-          if (not t.env.config.Config.piggyback_commit) || quorum_mode t then
-            t.env.broadcast (Commit { slot; cmd = e.cmd })
-        end
+        maybe_commit_slot t slot e tracker
     | Some { committed = true; rkey; _ } when rkey <> 0 ->
         (* late ack for an already-committed slot: just stop the timer *)
         t.env.rel.settle ~dst:src ~key:rkey
     | _ -> ()
   end
   else if (not ok) && Ballot.(ballot > t.ballot) then step_down t ~ballot
+
+(* Leader ingress of an aggregated ack: translate bitmap positions
+   back to replica ids through the shared plan and feed the ordinary
+   quorum trackers — quorum accounting is exactly as if each member
+   had replied directly. The relay's reliable post settles only on a
+   FULL group bitmap: a partial flush keeps the wrapper
+   retransmitting, which is what re-prods the relay to re-fan to its
+   silent members. *)
+let on_relay_ack t ~src ~ballot ~gen ~first_slot ~count ~batch ~bits =
+  if t.active && relay_on t && Ballot.equal ballot t.ballot then begin
+    let plan = relay_plan t ~leader:t.env.id ~gen in
+    let gi = plan.Relay.group_of.(src) in
+    if gi >= 0 && plan.Relay.groups.(gi).(0) = src then begin
+      let group = plan.Relay.groups.(gi) in
+      let mask = Relay.full_mask (Array.length group) in
+      let full = bits land mask = mask in
+      if batch then begin
+        match Hashtbl.find_opt t.batches first_slot with
+        | Some bs when bs.count = count && Ballot.equal bs.bballot ballot ->
+            if full then t.env.rel.settle ~dst:src ~key:bs.rkey;
+            for i = 0 to Array.length group - 1 do
+              if bits land (1 lsl i) <> 0 then Quorum.ack bs.tracker group.(i)
+            done;
+            if Quorum.satisfied bs.tracker then commit_batch t first_slot bs
+        | _ -> ()
+      end
+      else begin
+        match Slot_log.get t.log first_slot with
+        | Some ({ quorum = Some tracker; committed = false; _ } as e) ->
+            if full then t.env.rel.settle ~dst:src ~key:e.rkey;
+            for i = 0 to Array.length group - 1 do
+              if bits land (1 lsl i) <> 0 then Quorum.ack tracker group.(i)
+            done;
+            maybe_commit_slot t first_slot e tracker
+        | Some { committed = true; rkey; _ } when full && rkey <> 0 ->
+            t.env.rel.settle ~dst:src ~key:rkey
+        | _ -> ()
+      end
+    end
+  end
 
 let on_commit t ~slot ~cmd =
   (match Slot_log.get t.log slot with
@@ -864,6 +1341,7 @@ let on_commit t ~slot ~cmd =
           quorum = None;
           committed = true;
           rkey = 0;
+          fb = Sim.nil;
         });
   advance t
 
@@ -909,6 +1387,9 @@ let on_message t ~src msg =
   | ReadQR { rid; tag; value } -> on_readqr t ~src ~rid ~tag ~value
   | ReadWB { rid; key; tag; value } -> on_readwb t ~src ~rid ~key ~tag ~value
   | ReadWBAck { rid } -> on_readwback t ~src ~rid
+  | RelayRound { gen; inner } -> on_relay_round t ~src ~gen ~inner
+  | RelayAck { ballot; gen; first_slot; count; batch; bits } ->
+      on_relay_ack t ~src ~ballot ~gen ~first_slot ~count ~batch ~bits
 
 let rec heartbeat_loop t =
   let period = t.env.config.Config.failover_timeout_ms /. 4.0 in

@@ -11,6 +11,17 @@ type message =
       leader_commit : int;
     }
   | AppendReply of { term : int; success : bool; match_index : int }
+  | RelayAppend of { gen : int; inner : message }
+      (** leader → relay (Config.relay_groups > 0): apply the inner
+          AppendEntries locally, fan it to the rotation group, and
+          aggregate the group's replies into one [RelayAppendAck] *)
+  | FanAppend of { origin : int; inner : message }
+      (** relay → group member: process [inner] as if it came from
+          leader [origin] (leader identity, lease grant), but reply to
+          the relay so it can aggregate *)
+  | RelayAppendAck of { term : int; gen : int; expected : int; bits : int }
+      (** aggregated success replies for the round that establishes
+          match index [expected]; bit i = plan-group member i accepted *)
 
 let name = "raft"
 let cpu_factor (_ : Config.t) = 1.0
@@ -20,6 +31,9 @@ let message_label = function
   | VoteReply _ -> "VoteReply"
   | AppendEntries _ -> "AppendEntries"
   | AppendReply _ -> "AppendReply"
+  | RelayAppend _ -> "RelayAppend"
+  | FanAppend _ -> "FanAppend"
+  | RelayAppendAck _ -> "RelayAppendAck"
 
 type role = Follower | Candidate | Leader
 
@@ -63,6 +77,22 @@ type replica = {
   mutable read_barrier : int;
   pending_reads : (Address.t * Proto.request) Queue.t;
   mutable local_reads : int;
+  (* ---- relay trees (Config.relay_groups > 0; DESIGN.md §12) ---- *)
+  relay_plans : Relay.plans;
+  relay_aggs : (int, Relay.agg) Hashtbl.t;
+      (* relay side: in-flight rounds keyed by the match index they
+         establish (strictly increasing, so keys never collide) *)
+  relay_pool : Relay.pool;
+  mutable relay_seq : int;
+  mutable relay_bump : int;
+  mutable relay_bypass_until : float;
+  mutable relay_dsts : int list; (* leader: cached relay ids *)
+  mutable relay_dsts_gen : int;
+  mutable relay_fan : int list; (* relay: cached own group minus self *)
+  mutable relay_fan_gen : int;
+  mutable relay_akey : int; (* leader: open relay-round post (0 = none) *)
+  mutable relay_expected : int; (* match index that round establishes *)
+  mutable relay_fb : Sim.handle; (* leader: relay fallback timer *)
 }
 
 let all_ids (t : replica) = List.init t.env.n (fun i -> i)
@@ -95,6 +125,19 @@ let create env =
     read_barrier = 0;
     pending_reads = Queue.create ();
     local_reads = 0;
+    relay_plans = Relay.plans ();
+    relay_aggs = Hashtbl.create 16;
+    relay_pool = Relay.pool ();
+    relay_seq = 0;
+    relay_bump = 0;
+    relay_bypass_until = neg_infinity;
+    relay_dsts = [];
+    relay_dsts_gen = min_int;
+    relay_fan = [];
+    relay_fan_gen = min_int;
+    relay_akey = 0;
+    relay_expected = 0;
+    relay_fb = Sim.nil;
   }
 
 let role t = t.state
@@ -218,6 +261,137 @@ let append_size t entries =
       Stdlib.max 1 (List.length entries) * t.env.config.Config.msg_size_bytes
   | None -> t.env.config.Config.msg_size_bytes
 
+(* ---- relay trees (Config.relay_groups = r > 0; DESIGN.md §12) ----
+
+   Mirrors the Paxos integration: a uniform replication round is
+   wrapped in [RelayAppend] and posted to one relay per rotation
+   group; relays apply it locally, fan [FanAppend] to their group, and
+   aggregate the members' AppendReplies into one [RelayAppendAck]
+   bitmap. Everything below is guarded so a [relay_groups = 0] run
+   never reaches any of it — no messages, no timers, no RNG draws —
+   keeping the direct path byte-identical. *)
+
+let relay_on t = t.env.config.Config.relay_groups > 0
+let relay_route t = relay_on t && t.env.now () >= t.relay_bypass_until
+let relay_gen t = Relay.gen_of_seq ~seq:t.relay_seq ~bump:t.relay_bump
+
+let relay_plan t ~leader ~gen =
+  Relay.find t.relay_plans ~n:t.env.n ~leader
+    ~r:t.env.config.Config.relay_groups ~gen
+
+let relay_targets t ~gen (plan : Relay.plan) =
+  if t.relay_dsts_gen <> gen then begin
+    t.relay_dsts <-
+      Array.to_list (Array.map (fun g -> g.(0)) plan.Relay.groups);
+    t.relay_dsts_gen <- gen
+  end;
+  t.relay_dsts
+
+let relay_fan_list t ~leader ~gen (plan : Relay.plan) gi =
+  let key = (gen lsl 10) lor leader in
+  if t.relay_fan_gen <> key then begin
+    let g = plan.Relay.groups.(gi) in
+    let rec tail i acc = if i < 1 then acc else tail (i - 1) (g.(i) :: acc) in
+    t.relay_fan <- tail (Array.length g - 1) [];
+    t.relay_fan_gen <- key
+  end;
+  t.relay_fan
+
+let relay_fallback_ms t = t.env.config.Config.failover_timeout_ms /. 8.0
+
+let relay_flush_ms t =
+  match t.env.config.Config.retransmit with
+  | Some r when r.Config.max_tries > 0 -> r.Config.base_ms
+  | _ -> relay_fallback_ms t
+
+(* A relay round stalled (dead or slow relay): rotate the plan and
+   send direct until the window closes, re-partitioning the silent
+   relay out of its post. *)
+let relay_stall t =
+  t.relay_bump <- t.relay_bump + 1;
+  t.relay_bypass_until <-
+    t.env.now () +. t.env.config.Config.failover_timeout_ms
+
+let relay_send_ack t expected (a : Relay.agg) =
+  t.env.send a.Relay.a_leader
+    (RelayAppendAck
+       {
+         term = a.Relay.a_tag;
+         gen = a.Relay.a_gen;
+         expected;
+         bits = a.Relay.a_bits;
+       })
+
+let relay_drop t expected (a : Relay.agg) =
+  if not (Sim.is_nil a.Relay.a_flush) then t.env.Proto.cancel a.Relay.a_flush;
+  a.Relay.a_flush <- Sim.nil;
+  Hashtbl.remove t.relay_aggs expected;
+  Relay.release t.relay_pool a
+
+(* Drop every relay-side aggregation record (our term moved on, or we
+   are becoming a candidate/leader ourselves). *)
+let relay_reset t =
+  if Hashtbl.length t.relay_aggs > 0 then
+    Hashtbl.fold (fun k a acc -> (k, a) :: acc) t.relay_aggs []
+    |> List.iter (fun (k, a) -> relay_drop t k a)
+
+let relay_finalize t expected (a : Relay.agg) =
+  a.Relay.a_complete <- true;
+  if not (Sim.is_nil a.Relay.a_flush) then begin
+    t.env.Proto.cancel a.Relay.a_flush;
+    a.Relay.a_flush <- Sim.nil
+  end;
+  if t.env.obs.Proto.active then
+    t.env.obs.Proto.on_relay ~start_ms:a.Relay.a_t0 ~end_ms:(t.env.now ());
+  relay_send_ack t expected a
+
+(* Partial-ack flush: a group member is slow or dead — report the bits
+   we do have so the leader's majority can complete through the other
+   groups, then keep waiting. Records superseded by a newer term are
+   dropped instead of re-armed. *)
+let rec relay_flush t expected =
+  match Hashtbl.find_opt t.relay_aggs expected with
+  | Some a when not a.Relay.a_complete ->
+      a.Relay.a_flush <- Sim.nil;
+      if a.Relay.a_tag = t.term && t.state <> Leader then begin
+        relay_send_ack t expected a;
+        a.Relay.a_flush <-
+          t.env.schedule (relay_flush_ms t) (fun () -> relay_flush t expected)
+      end
+      else relay_drop t expected a
+  | _ -> ()
+
+(* Completed records linger so a duplicate [RelayAppend] (the leader's
+   retransmission racing our ack) gets a full-ack resend; prune them
+   once their match index commits, amortized behind a size
+   threshold. *)
+let relay_prune t =
+  if Hashtbl.length t.relay_aggs > 128 then
+    Hashtbl.fold
+      (fun expected (a : Relay.agg) acc ->
+        if expected <= t.commit_index then (expected, a) :: acc else acc)
+      t.relay_aggs []
+    |> List.iter (fun (expected, a) -> relay_drop t expected a)
+
+(* A member's success reply arriving at its relay: fold it into the
+   aggregation bitmap. Returns [false] when the reply is not ours to
+   absorb — the caller runs the normal leader-side path. Failure
+   replies are never absorbed; a diverged member heals through the
+   leader's direct keepalive path. *)
+let relay_absorb_reply t ~src ~term ~success ~match_index =
+  if t.state = Leader || (not (relay_on t)) || not success then false
+  else
+    match Hashtbl.find_opt t.relay_aggs match_index with
+    | Some a when a.Relay.a_tag = term ->
+        let i = Relay.position a src in
+        if i >= 0 then begin
+          Relay.set_bit a i;
+          if (not a.Relay.a_complete) && Relay.complete a then
+            relay_finalize t match_index a
+        end;
+        true
+    | _ -> false
+
 (* Ship the tail from [next] to [dsts] (who all share that
    next_index). A non-empty tail goes through the reliable layer: any
    post still covering a destination is superseded first (settled and
@@ -269,22 +443,105 @@ let send_append t follower =
 (* Group followers that share the same next_index so the CPU
    serializes the batch once (etcd replicates a shared log the same
    way); stragglers with a lagging next_index get tailored sends. *)
-let broadcast_append t =
+let rec broadcast_append t =
   (* every replication round ships the full unreplicated tail, so any
      deferred batch flush is satisfied by it *)
   t.unflushed <- 0;
   t.env.Proto.cancel t.flush_timer;
   t.flush_timer <- Sim.nil;
-  let groups = Hashtbl.create 4 in
-  List.iter
-    (fun i ->
-      if i <> t.env.id then begin
-        let next = t.next_index.(i) in
-        let members = Option.value (Hashtbl.find_opt groups next) ~default:[] in
-        Hashtbl.replace groups next (i :: members)
-      end)
-    (all_ids t);
-  Hashtbl.iter (fun next members -> post_append t ~dsts:members ~next) groups
+  if not (relay_broadcast_append t) then begin
+    let groups = Hashtbl.create 4 in
+    List.iter
+      (fun i ->
+        if i <> t.env.id then begin
+          let next = t.next_index.(i) in
+          let members =
+            Option.value (Hashtbl.find_opt groups next) ~default:[]
+          in
+          Hashtbl.replace groups next (i :: members)
+        end)
+      (all_ids t);
+    Hashtbl.iter (fun next members -> post_append t ~dsts:members ~next) groups
+  end
+
+(* Route one replication round through the relays. Applies only when
+   every follower shares the same next_index — so one wrapped
+   AppendEntries serves every group — and the tail is non-empty;
+   stragglers and keepalives always go direct. Returns whether the
+   round was routed. *)
+and relay_broadcast_append t =
+  relay_route t
+  &&
+  let next = t.next_index.((t.env.id + 1) mod t.env.n) in
+  let uniform = ref (last_index t >= next) in
+  for i = 0 to t.env.n - 1 do
+    if i <> t.env.id && t.next_index.(i) <> next then uniform := false
+  done;
+  !uniform
+  && begin
+       (* supersede the previous relay round and any direct posts *)
+       if t.relay_akey <> 0 then begin
+         t.env.rel.settle_all ~key:t.relay_akey;
+         t.relay_akey <- 0
+       end;
+       if not (Sim.is_nil t.relay_fb) then begin
+         t.env.Proto.cancel t.relay_fb;
+         t.relay_fb <- Sim.nil
+       end;
+       for f = 0 to t.env.n - 1 do
+         if f <> t.env.id && t.append_key.(f) <> 0 then begin
+           t.env.rel.settle ~dst:f ~key:t.append_key.(f);
+           t.append_key.(f) <- 0;
+           t.inflight_match.(f) <- 0
+         end
+       done;
+       let prev_index = next - 1 in
+       let entries = ref [] in
+       for i = last_index t downto next do
+         match Slot_log.get t.log i with
+         | Some e -> entries := e :: !entries
+         | None -> ()
+       done;
+       let inner =
+         AppendEntries
+           {
+             term = t.term;
+             prev_index;
+             prev_term = term_at t prev_index;
+             entries = !entries;
+             leader_commit = t.commit_index;
+           }
+       in
+       (* every follower is probed through its relay this round *)
+       if lease_mode t then
+         note_probe t (List.filter (fun i -> i <> t.env.id) (all_ids t));
+       let gen = relay_gen t in
+       t.relay_seq <- t.relay_seq + 1;
+       let plan = relay_plan t ~leader:t.env.id ~gen in
+       t.relay_akey <-
+         t.env.rel.post_multi ~size_bytes:(append_size t !entries)
+           ~ack:Reliable.Piggyback
+           (relay_targets t ~gen plan)
+           (RelayAppend { gen; inner });
+       t.relay_expected <- prev_index + 1 + List.length !entries;
+       t.relay_fb <-
+         t.env.schedule (relay_fallback_ms t) (fun () -> relay_fallback t);
+       true
+     end
+
+(* The leader gave a relay round [relay_fallback_ms] and the round's
+   match index still has not committed: withdraw the post, rotate the
+   plan, and re-ship the tail direct for a bypass window. *)
+and relay_fallback t =
+  t.relay_fb <- Sim.nil;
+  if t.state = Leader && t.relay_akey <> 0 then begin
+    t.env.rel.settle_all ~key:t.relay_akey;
+    t.relay_akey <- 0;
+    if t.commit_index < t.relay_expected then begin
+      relay_stall t;
+      broadcast_append t
+    end
+  end
 
 (* The beat when there is nothing to flush: empty appends grouped by
    next_index. They keep election timers quiet and carry the commit
@@ -315,10 +572,21 @@ let broadcast_keepalive t =
            }))
     groups
 
+let relay_clear_leader t =
+  if relay_on t then begin
+    t.relay_akey <- 0;
+    if not (Sim.is_nil t.relay_fb) then begin
+      t.env.Proto.cancel t.relay_fb;
+      t.relay_fb <- Sim.nil
+    end;
+    relay_reset t
+  end
+
 let become_leader t =
   t.state <- Leader;
   t.leader_id <- Some t.env.id;
   t.votes <- None;
+  relay_clear_leader t;
   let len = Slot_log.next_slot t.log in
   t.next_index <- Array.make t.env.n len;
   t.match_index <- Array.make t.env.n 0;
@@ -361,6 +629,7 @@ let become_follower t ~term =
   Queue.transfer t.pending_reads t.pending;
   (* open append posts belong to a leadership this replica just lost *)
   t.env.rel.unpost_all ();
+  relay_clear_leader t;
   reset_election_timer t
 
 let start_election t =
@@ -369,6 +638,7 @@ let start_election t =
   t.voted_for <- Some t.env.id;
   t.leader_id <- None;
   t.env.rel.unpost_all ();
+  relay_clear_leader t;
   let tracker = Quorum.create (Quorum.Majority (all_ids t)) in
   Quorum.ack tracker t.env.id;
   t.votes <- Some tracker;
@@ -471,32 +741,31 @@ let on_vote_reply t ~src ~term ~granted =
         if Quorum.satisfied tracker then become_leader t
     | None -> ()
 
-let on_append_entries t ~src ~term ~prev_index ~prev_term ~entries
+(* Follower-side append processing shared by the direct path, a
+   relay's local accept, and a fanned-out member (where the entries
+   come from [leader] but the reply goes back to the forwarding
+   relay). Returns the reply's (success, match_index); the caller
+   sends it — with [t.term] read after this returns, since a higher
+   [term] is adopted here. *)
+let append_entries_core t ~leader ~term ~prev_index ~prev_term ~entries
     ~leader_commit =
-  if term < t.term then
-    t.env.send src (AppendReply { term = t.term; success = false; match_index = 0 })
+  if term < t.term then (false, 0)
   else begin
     if term > t.term || t.state <> Follower then become_follower t ~term;
-    t.leader_id <- Some src;
+    t.leader_id <- Some leader;
     t.last_heard <- t.env.now ();
     reset_election_timer t;
     (* the accepted append doubles as the lease grant; the reply (of
        either polarity) is the leader's proof of it *)
     if lease_mode t then begin
-      t.lease_holder <- src;
+      t.lease_holder <- leader;
       let until = t.env.now () +. lease_window t in
       if until > t.lease_granted_until then t.lease_granted_until <- until
     end;
     drain_pending_to_leader t;
     let consistent = prev_index < 0 || term_at t prev_index = prev_term in
     if not consistent then
-      t.env.send src
-        (AppendReply
-           {
-             term = t.term;
-             success = false;
-             match_index = Stdlib.min prev_index (Slot_log.next_slot t.log);
-           })
+      (false, Stdlib.min prev_index (Slot_log.next_slot t.log))
     else begin
       (* Append, overwriting conflicting suffixes. *)
       List.iteri
@@ -511,12 +780,139 @@ let on_append_entries t ~src ~term ~prev_index ~prev_term ~entries
         t.commit_index <- Stdlib.min leader_commit match_index;
         apply_committed t
       end;
-      t.env.send src (AppendReply { term = t.term; success = true; match_index })
+      (true, match_index)
+    end
+  end
+
+let on_append_entries t ~src ~term ~prev_index ~prev_term ~entries
+    ~leader_commit =
+  let success, match_index =
+    append_entries_core t ~leader:src ~term ~prev_index ~prev_term ~entries
+      ~leader_commit
+  in
+  t.env.send src (AppendReply { term = t.term; success; match_index })
+
+(* A relay fanned a round out to us: process it as the leader's own
+   append (leader identity, lease grant, election-timer reset), but
+   reply to the relay so it can aggregate. *)
+let on_fan_append t ~src ~origin ~inner =
+  match inner with
+  | AppendEntries { term; prev_index; prev_term; entries; leader_commit } ->
+      let success, match_index =
+        append_entries_core t ~leader:origin ~term ~prev_index ~prev_term
+          ~entries ~leader_commit
+      in
+      t.env.send src (AppendReply { term = t.term; success; match_index })
+  | _ -> ()
+
+(* The leader routed a round through us: accept it locally, then fan
+   it to our rotation group and start aggregating. A round we cannot
+   accept (stale term or log inconsistency) is nacked straight back to
+   the leader, which handles it exactly like a direct nack. *)
+let on_relay_append t ~src ~gen ~inner =
+  match inner with
+  | AppendEntries { term; prev_index; prev_term; entries; leader_commit } -> (
+      let expected = prev_index + 1 + List.length entries in
+      match Hashtbl.find_opt t.relay_aggs expected with
+      | Some a when a.Relay.a_tag = term && a.Relay.a_leader = src ->
+          (* the leader's retransmission: resend the full ack, or
+             re-fan to the members still missing from the bitmap *)
+          if a.Relay.a_complete then relay_send_ack t expected a
+          else begin
+            let g = a.Relay.a_group in
+            let size_bytes = append_size t entries in
+            for i = 1 to Array.length g - 1 do
+              if a.Relay.a_bits land (1 lsl i) = 0 then
+                t.env.send_sized g.(i) ~size_bytes
+                  (FanAppend { origin = src; inner })
+            done
+          end
+      | stale ->
+          let success, match_index =
+            append_entries_core t ~leader:src ~term ~prev_index ~prev_term
+              ~entries ~leader_commit
+          in
+          if not (success && match_index = expected) then
+            t.env.send src
+              (AppendReply { term = t.term; success; match_index })
+          else begin
+            (match stale with
+            | Some old -> relay_drop t expected old
+            | None -> ());
+            let plan = relay_plan t ~leader:src ~gen in
+            let gi = plan.Relay.group_of.(t.env.id) in
+            if gi < 0 || plan.Relay.groups.(gi).(0) <> t.env.id then
+              (* plans disagree (a gen raced a bump): answer direct *)
+              t.env.send src
+                (AppendReply { term = t.term; success = true; match_index })
+            else begin
+              let group = plan.Relay.groups.(gi) in
+              let a =
+                Relay.alloc t.relay_pool ~leader:src ~gen ~group ~tag:term
+                  ~aux:expected ~batch:false
+              in
+              a.Relay.a_t0 <- t.env.now ();
+              Relay.set_bit a 0;
+              Hashtbl.replace t.relay_aggs expected a;
+              let size_bytes = append_size t entries in
+              List.iter
+                (fun m ->
+                  t.env.send_sized m ~size_bytes
+                    (FanAppend { origin = src; inner }))
+                (relay_fan_list t ~leader:src ~gen plan gi);
+              if Relay.complete a then relay_finalize t expected a
+              else
+                a.Relay.a_flush <-
+                  t.env.schedule (relay_flush_ms t) (fun () ->
+                      relay_flush t expected);
+              relay_prune t
+            end
+          end)
+  | _ -> ()
+
+(* One aggregated bitmap covers a whole rotation group: credit every
+   bit's member with the round's match index, settle the relay's post
+   once its group is complete, and advance the commit frontier. *)
+let on_relay_append_ack t ~src ~term ~gen ~expected ~bits =
+  if term > t.term then become_follower t ~term
+  else if t.state = Leader && term = t.term && relay_on t then begin
+    let plan = relay_plan t ~leader:t.env.id ~gen in
+    let gi = plan.Relay.group_of.(src) in
+    if gi >= 0 && plan.Relay.groups.(gi).(0) = src then begin
+      let group = plan.Relay.groups.(gi) in
+      let mask = Relay.full_mask (Array.length group) in
+      if
+        t.relay_akey <> 0 && expected = t.relay_expected
+        && bits land mask = mask
+      then t.env.rel.settle ~dst:src ~key:t.relay_akey;
+      let lease = lease_mode t in
+      for i = 0 to Array.length group - 1 do
+        if bits land (1 lsl i) <> 0 then begin
+          let m = group.(i) in
+          (* the member accepted the append — its relayed reply proves
+             the probe contact just like a direct reply would *)
+          if lease && t.probe_sent_at.(m) > 0.0 then begin
+            if t.probe_sent_at.(m) > t.acked_at.(m) then
+              t.acked_at.(m) <- t.probe_sent_at.(m);
+            t.probe_sent_at.(m) <- 0.0
+          end;
+          t.match_index.(m) <- Stdlib.max t.match_index.(m) expected;
+          t.next_index.(m) <- Stdlib.max t.next_index.(m) expected
+        end
+      done;
+      if lease then recompute_lease t;
+      advance_commit t;
+      if t.commit_index >= t.relay_expected && not (Sim.is_nil t.relay_fb)
+      then begin
+        t.env.Proto.cancel t.relay_fb;
+        t.relay_fb <- Sim.nil
+      end
     end
   end
 
 let on_append_reply t ~src ~term ~success ~match_index =
-  if term > t.term then become_follower t ~term
+  if relay_absorb_reply t ~src ~term ~success ~match_index then ()
+  else if term > t.term then become_follower t ~term
   else if t.state = Leader && term = t.term then begin
     (* Either polarity of a current-term reply proves the follower
        accepted an append of ours sent no earlier than the recorded
@@ -557,6 +953,10 @@ let on_message t ~src = function
         ~leader_commit
   | AppendReply { term; success; match_index } ->
       on_append_reply t ~src ~term ~success ~match_index
+  | RelayAppend { gen; inner } -> on_relay_append t ~src ~gen ~inner
+  | FanAppend { origin; inner } -> on_fan_append t ~src ~origin ~inner
+  | RelayAppendAck { term; gen; expected; bits } ->
+      on_relay_append_ack t ~src ~term ~gen ~expected ~bits
 
 let rec heartbeat_loop t =
   let period = t.env.config.Config.failover_timeout_ms /. 4.0 in

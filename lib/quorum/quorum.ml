@@ -38,18 +38,25 @@ let min_size = function
 
 (* Trackers sit on the per-ack hot path (one [ack] + [satisfied] per
    vote message), so everything derivable from the immutable [spec] is
-   computed once at [create]: the deduped member list and — for the
-   flat specs — the vote threshold. [ack] only admits distinct members,
-   so [n_acked] doubles as the member-vote count and [satisfied] is a
-   single integer compare, allocating nothing. *)
+   computed once at [create]: the deduped member list, the vote
+   threshold for the flat specs, and a per-replica flag byte indexed
+   by id (ids are small ints, see the mli) holding membership and
+   acked/nacked bits. A vote is then one bounds check and one byte
+   read/write — no list scan — which is what keeps [ack] O(1) at
+   n = 81 where the old [List.mem] walks cost O(n) per vote. *)
 type t = {
   spec : spec;
   memb : int list;  (** [members spec], deduped once at creation *)
   threshold : int;  (** acks needed among [memb]; unused for [Zones] *)
+  flags : Bytes.t;  (** per-id bits: 1 = member, 2 = acked, 4 = nacked *)
   mutable acked : int list;
   mutable n_acked : int;
   mutable nacked : int list;
 }
+
+let flag_member = 1
+let flag_acked = 2
+let flag_nacked = 4
 
 let create spec =
   let memb = members spec in
@@ -60,17 +67,31 @@ let create spec =
     | Count { threshold; _ } -> threshold
     | Zones _ -> max_int (* zone counting, not a flat threshold *)
   in
-  { spec; memb; threshold; acked = []; n_acked = 0; nacked = [] }
+  let top = List.fold_left (fun acc m -> if m > acc then m else acc) (-1) memb in
+  let flags = Bytes.make (top + 1) '\000' in
+  List.iter
+    (fun m -> if m >= 0 then Bytes.unsafe_set flags m (Char.unsafe_chr flag_member))
+    memb;
+  { spec; memb; threshold; flags; acked = []; n_acked = 0; nacked = [] }
 
 let ack t id =
-  if List.mem id t.memb && not (List.mem id t.acked) then begin
-    t.acked <- id :: t.acked;
-    t.n_acked <- t.n_acked + 1
+  if id >= 0 && id < Bytes.length t.flags then begin
+    let f = Char.code (Bytes.unsafe_get t.flags id) in
+    if f land (flag_member lor flag_acked) = flag_member then begin
+      Bytes.unsafe_set t.flags id (Char.unsafe_chr (f lor flag_acked));
+      t.acked <- id :: t.acked;
+      t.n_acked <- t.n_acked + 1
+    end
   end
 
 let nack t id =
-  if List.mem id t.memb && not (List.mem id t.nacked) then
-    t.nacked <- id :: t.nacked
+  if id >= 0 && id < Bytes.length t.flags then begin
+    let f = Char.code (Bytes.unsafe_get t.flags id) in
+    if f land (flag_member lor flag_nacked) = flag_member then begin
+      Bytes.unsafe_set t.flags id (Char.unsafe_chr (f lor flag_nacked));
+      t.nacked <- id :: t.nacked
+    end
+  end
 
 let count_in acked group =
   List.fold_left (fun acc m -> if List.mem m acked then acc + 1 else acc) 0 group
@@ -118,7 +139,13 @@ let rejected t =
 let acks t = List.rev t.acked
 let nacks t = List.rev t.nacked
 
+let clear_flag t flag id =
+  let f = Char.code (Bytes.unsafe_get t.flags id) in
+  Bytes.unsafe_set t.flags id (Char.unsafe_chr (f land lnot flag))
+
 let reset t =
+  List.iter (clear_flag t flag_acked) t.acked;
+  List.iter (clear_flag t flag_nacked) t.nacked;
   t.acked <- [];
   t.n_acked <- 0;
   t.nacked <- []

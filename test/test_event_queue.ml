@@ -191,6 +191,49 @@ let test_compact_releases_dead_payloads () =
   Alcotest.(check bool) "dead payload collected" true !collected;
   Alcotest.(check int) "survivor kept" 1 (Event_queue.length q)
 
+(* The n = 81 relay sweep churns retransmit/fallback timers at
+   81-replica scale: most are cancelled (the ack wins the race) and
+   linger as lazy-deleted entries until the scheduler compacts the
+   heap. Ten rounds of 81 staggered timers with 90% killed per round:
+   every compaction must remove exactly the dead entries, and the
+   survivors must still drain in (time, FIFO) order. *)
+let test_compaction_churn_n81 () =
+  let q = Event_queue.create ~dummy:(-1) () in
+  let live = ref [] in
+  let id = ref 0 in
+  for round = 0 to 9 do
+    let dead = Hashtbl.create 128 in
+    for r = 0 to 80 do
+      incr id;
+      let time = float_of_int (((round * 81) + (r * 13)) mod 97) in
+      Event_queue.push q ~time !id;
+      if (r + round) mod 10 <> 0 then Hashtbl.replace dead !id ()
+      else live := (time, !id) :: !live
+    done;
+    let before = Event_queue.length q in
+    let removed = Event_queue.compact q ~dead:(Hashtbl.mem dead) in
+    Alcotest.(check int) "removes exactly this round's dead"
+      (Hashtbl.length dead) removed;
+    Alcotest.(check int) "length = survivors" (before - removed)
+      (Event_queue.length q)
+  done;
+  let expected =
+    List.stable_sort
+      (fun (t1, _) (t2, _) -> Float.compare t1 t2)
+      (List.rev !live)
+  in
+  Alcotest.(check int) "live count" (List.length expected)
+    (Event_queue.length q);
+  List.iter
+    (fun (t, v) ->
+      match Event_queue.pop q with
+      | Some (t', v') ->
+          Alcotest.(check (float 0.0)) "survivor time" t t';
+          Alcotest.(check int) "survivor payload" v v'
+      | None -> Alcotest.fail "queue drained early")
+    expected;
+  Alcotest.(check bool) "empty after drain" true (Event_queue.is_empty q)
+
 let suite =
   ( "event_queue",
     [
@@ -207,6 +250,8 @@ let suite =
         test_compact_filters_and_keeps_order;
       Alcotest.test_case "compact releases dead payloads" `Quick
         test_compact_releases_dead_payloads;
+      Alcotest.test_case "compaction churn at n=81" `Quick
+        test_compaction_churn_n81;
       QCheck_alcotest.to_alcotest prop_heap_sorted;
       QCheck_alcotest.to_alcotest prop_matches_reference;
     ] )

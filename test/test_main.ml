@@ -39,4 +39,5 @@ let () =
       Test_obs.suite;
       Test_read_oracle.suite;
       Test_read_path.suite;
+      Test_relay.suite;
     ]

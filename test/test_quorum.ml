@@ -74,6 +74,31 @@ let test_zones_all () =
   Quorum.ack t 1;
   Alcotest.(check bool) "full row" true (Quorum.satisfied t)
 
+(* Relay aggregation leans on the tracker staying O(1) per vote at
+   big n — one flag-byte read/write, no list scan. At n = 81 the
+   tracker must count an exact majority (41 of 81), ignore duplicates
+   and strays, and reset clean for slot reuse. *)
+let test_majority_n81 () =
+  Alcotest.(check int) "majority of 81" 41
+    (Quorum.min_size (Quorum.Majority (ids 81)));
+  let t = Quorum.create (Quorum.Majority (ids 81)) in
+  for i = 0 to 39 do
+    Quorum.ack t (2 * i);
+    Quorum.ack t (2 * i) (* duplicate vote must not double-count *)
+  done;
+  Quorum.ack t 200 (* stray id outside the membership *);
+  Alcotest.(check bool) "40/81 not yet" false (Quorum.satisfied t);
+  Alcotest.(check int) "40 distinct acks" 40 (List.length (Quorum.acks t));
+  Quorum.ack t 79;
+  Alcotest.(check bool) "41/81 satisfied" true (Quorum.satisfied t);
+  Quorum.reset t;
+  Alcotest.(check bool) "reset clears" false (Quorum.satisfied t);
+  for i = 0 to 80 do
+    Quorum.ack t i
+  done;
+  Alcotest.(check bool) "all 81 after reset" true (Quorum.satisfied t);
+  Alcotest.(check int) "81 acks" 81 (List.length (Quorum.acks t))
+
 let test_reset () =
   let t = Quorum.create (Quorum.Majority (ids 3)) in
   List.iter (Quorum.ack t) [ 0; 1 ];
@@ -169,6 +194,7 @@ let suite =
       Alcotest.test_case "fast quorum" `Quick test_fast_quorum;
       Alcotest.test_case "zones majority" `Quick test_zones_majority;
       Alcotest.test_case "zones all (grid row)" `Quick test_zones_all;
+      Alcotest.test_case "majority tracker at n=81" `Quick test_majority_n81;
       Alcotest.test_case "reset" `Quick test_reset;
       Alcotest.test_case "min_size" `Quick test_min_size;
       Alcotest.test_case "minimal quorums of majority" `Quick test_minimal_quorums_majority;
