@@ -1512,6 +1512,292 @@ let scale () =
   print_endline "wrote BENCH_pr8.json"
 
 (* ------------------------------------------------------------------ *)
+(* Shard sweep: BENCH_pr9.json                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Small groups — three replicas each — so a K-shard deployment costs
+   3K replicas and each group's leader is the bottleneck the open-loop
+   ramp saturates. *)
+let shard_n = 3
+
+let shard_dist_name = function `Uniform -> "uniform" | `Hotspot -> "hotspot"
+let shard_partition_name = function `Hash -> "hash" | `Range -> "range"
+
+let shard_workload = function
+  | `Uniform -> Workload.default
+  | `Hotspot -> Workload.hotspot ~keys:1000
+
+(* max/mean of the per-shard throughput series: 1.0 is perfect
+   balance; K means one shard carries everything *)
+let shard_imbalance (res : Runner.result) =
+  let ss = res.Runner.shard_stats in
+  let total =
+    Array.fold_left (fun a s -> a +. s.Runner.shard_throughput_rps) 0.0 ss
+  in
+  let mean = total /. float_of_int (Array.length ss) in
+  if mean <= 0.0 then 1.0
+  else
+    Array.fold_left
+      (fun a s -> Float.max a (s.Runner.shard_throughput_rps /. mean))
+      0.0 ss
+
+(* One open-loop point: K groups of [shard_n] behind the partitioner,
+   [rate] rps offered across 4K independent arrival processes aimed at
+   each group's initial leader. The client timeout exceeds the run
+   horizon so over-the-knee points measure the saturated service rate,
+   not a retry storm compounding the overload. *)
+let shard_point ?(arrival = `Poisson) ~shards ~partition ~dist ~rate () =
+  let (module P) = Paxi_protocols.Registry.find_exn "paxos" in
+  let clients = 4 * shards in
+  let per_client = rate /. float_of_int clients in
+  let arrival_spec, arrival_tag =
+    match arrival with
+    | `Poisson -> (Runner.Open { rate_per_sec = per_client }, "poisson")
+    | `Bursty ->
+        ( Runner.Bursty
+            { rate_per_sec = per_client; on_ms = 50.0; off_ms = 150.0 },
+          "bursty" )
+  in
+  let config =
+    {
+      (Config.default ~n_replicas:shard_n) with
+      Config.seed =
+        point_seed
+          ( "shard",
+            shards,
+            shard_partition_name partition,
+            shard_dist_name dist,
+            arrival_tag,
+            int_of_float rate );
+      client_timeout_ms = 6_000.0;
+    }
+  in
+  let spec =
+    Runner.spec ~warmup_ms ~duration_ms:measured_ms ~config
+      ~topology:(Topology.lan ~n_replicas:shard_n ())
+      ~sharding:{ Runner.shards; partition }
+      ~client_specs:
+        [
+          Runner.clients ~target:(Runner.Fixed 0) ~arrival:arrival_spec
+            ~count:clients (shard_workload dist);
+        ]
+      ()
+  in
+  Runner.run (module P) spec
+
+(* Sharded saturation: K = 1/2/4/8 groups over one simulator, Poisson
+   arrival ramp past the modeled knee, uniform vs 80/20 hotspot keys
+   under hash vs range partitioning. Writes BENCH_pr9.json; CI's
+   shard-smoke job gates the K=4-vs-K=1 saturation gain and the
+   shards=1 identity bool on it. *)
+let shard () =
+  Report.section
+    "Shard: open-loop saturation vs group count K (paxos, 3 replicas/group)";
+  let node = Service.default_node ~n:shard_n in
+  let cap shards =
+    Latency_model.sharded_max_throughput Latency_model.Paxos ~node ~shards
+  in
+  let ks = if quick then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+  let fracs = if quick then [ 0.6; 1.2 ] else [ 0.5; 0.9; 1.3 ] in
+  let top_frac = List.fold_left Float.max 0.0 fracs in
+  let combos = [ (`Uniform, `Hash); (`Hotspot, `Hash); (`Hotspot, `Range) ] in
+  let points =
+    List.concat_map
+      (fun (dist, partition) ->
+        List.concat_map
+          (fun shards ->
+            List.map
+              (fun frac -> (dist, partition, shards, frac, frac *. cap shards))
+              fracs)
+          ks)
+      combos
+  in
+  let results =
+    Parmap.map
+      (fun ((dist, partition, shards, _, rate) as p) ->
+        (p, shard_point ~shards ~partition ~dist ~rate ()))
+      points
+  in
+  let find dist partition shards frac =
+    snd
+      (List.find
+         (fun ((d, p, k, f, _), _) ->
+           d = dist && p = partition && k = shards && f = frac)
+         results)
+  in
+  let saturation dist partition shards =
+    List.fold_left
+      (fun acc frac ->
+        Float.max acc (find dist partition shards frac).Runner.throughput_rps)
+      0.0 fracs
+  in
+  List.iter
+    (fun (dist, partition) ->
+      Printf.printf "%s keys, %s partitioning (Poisson arrivals):\n"
+        (shard_dist_name dist)
+        (shard_partition_name partition);
+      let sat1 = saturation dist partition 1 in
+      Report.print_table
+        ~header:
+          [
+            "K";
+            "saturation (ops/s)";
+            "vs K=1";
+            "imbalance (max/mean)";
+            "p99 at 1.2-1.3x (ms)";
+          ]
+        ~rows:
+          (List.map
+             (fun shards ->
+               let sat = saturation dist partition shards in
+               let top = find dist partition shards top_frac in
+               [
+                 string_of_int shards;
+                 Report.frate sat;
+                 Printf.sprintf "%.2fx" (sat /. sat1);
+                 Printf.sprintf "%.2f" (shard_imbalance top);
+                 Report.fms (Stats.percentile top.Runner.latency 99.0);
+               ])
+             ks))
+    combos;
+  print_endline
+    "(hash partitioning spreads the hot prefix across groups, so hotspot\n\
+     saturation tracks uniform; range partitioning hands 80% of the mass\n\
+     to the shards owning the first fifth of the key space — the\n\
+     imbalance column is that concentration)";
+  (* open- vs bursty-loop tails at the same mean load: the on/off
+     stream (50ms on / 150ms off, so 4x the rate while on) pushes the
+     same requests/sec through the K=4 deployment but pays in p99 *)
+  let b_shards = 4 in
+  let b_rate = 0.7 *. cap b_shards in
+  let poisson_r, bursty_r =
+    match
+      Parmap.map
+        (fun arrival ->
+          shard_point ~arrival ~shards:b_shards ~partition:`Hash
+            ~dist:`Uniform ~rate:b_rate ())
+        [ `Poisson; `Bursty ]
+    with
+    | [ a; b ] -> (a, b)
+    | _ -> assert false
+  in
+  let p99 (r : Runner.result) = Stats.percentile r.Runner.latency 99.0 in
+  Printf.printf
+    "K=4 at %.0f rps mean: poisson p99 %s ms, bursty (50/150ms on/off) p99 \
+     %s ms\n"
+    b_rate
+    (Report.fms (p99 poisson_r))
+    (Report.fms (p99 bursty_r));
+  (* shards=1 + closed loop must replay the legacy single-cluster
+     stream exactly: same throughput, same latency samples, same event
+     count. (The cross-build guarantee — a binary carrying shard code
+     matches one that never had it — is held by the committed fig9
+     baseline diff and the fixed-seed pins in test/test_shard.ml.) *)
+  let identity_run sharding =
+    let (module P) = Paxi_protocols.Registry.find_exn "paxos" in
+    let config =
+      {
+        (Config.default ~n_replicas:5) with
+        Config.seed = point_seed ("shard", "identity");
+      }
+    in
+    Runner.run
+      (module P)
+      (Runner.spec ~warmup_ms ~duration_ms:measured_ms ~config
+         ~topology:(Topology.lan ~n_replicas:5 ())
+         ?sharding
+         ~client_specs:
+           [ Runner.clients ~target:Runner.Round_robin ~count:8 Workload.default ]
+         ())
+  in
+  let legacy = identity_run None in
+  let sharded1 = identity_run (Some { Runner.shards = 1; partition = `Hash }) in
+  let k1_identity =
+    legacy.Runner.throughput_rps = sharded1.Runner.throughput_rps
+    && Stats.samples legacy.Runner.latency
+       = Stats.samples sharded1.Runner.latency
+    && legacy.Runner.sim_events = sharded1.Runner.sim_events
+  in
+  Printf.printf "shards=1 closed-loop byte-identical to the unsharded runner: %b\n"
+    k1_identity;
+  let num x = Json.Number x in
+  let point_json ((dist, partition, shards, frac, rate), (res : Runner.result))
+      =
+    Json.Obj
+      [
+        ("dist", Json.String (shard_dist_name dist));
+        ("partition", Json.String (shard_partition_name partition));
+        ("shards", num (float_of_int shards));
+        ("frac", num frac);
+        ("offered_rps", num rate);
+        ("throughput_rps", num res.Runner.throughput_rps);
+        ("mean_latency_ms", num (Stats.mean res.Runner.latency));
+        ("p99_latency_ms", num (Stats.percentile res.Runner.latency 99.0));
+        ("gave_up", num (float_of_int res.Runner.gave_up));
+        ("imbalance", num (shard_imbalance res));
+        ( "shard_throughput_rps",
+          Json.List
+            (Array.to_list
+               (Array.map
+                  (fun s -> num s.Runner.shard_throughput_rps)
+                  res.Runner.shard_stats)) );
+        ( "shard_leader_busy_ms",
+          Json.List
+            (Array.to_list
+               (Array.map
+                  (fun s -> num s.Runner.shard_leader_busy_ms)
+                  res.Runner.shard_stats)) );
+        ("sim_events", num (float_of_int res.Runner.sim_events));
+      ]
+  in
+  let sat_json =
+    List.concat_map
+      (fun (dist, partition) ->
+        List.map
+          (fun shards ->
+            Json.Obj
+              [
+                ("dist", Json.String (shard_dist_name dist));
+                ("partition", Json.String (shard_partition_name partition));
+                ("shards", num (float_of_int shards));
+                ("saturation_rps", num (saturation dist partition shards));
+                ( "imbalance",
+                  num (shard_imbalance (find dist partition shards top_frac))
+                );
+              ])
+          ks)
+      combos
+  in
+  let json =
+    Json.Obj
+      [
+        ("pr", num 9.0);
+        ("quick", Json.Bool quick);
+        ( "suite",
+          Json.String
+            "shard: open-loop saturation vs group count, hotspot vs uniform" );
+        ("group_n", num (float_of_int shard_n));
+        ("ks", Json.List (List.map (fun k -> num (float_of_int k)) ks));
+        ("points", Json.List (List.map point_json results));
+        ("saturation", Json.List sat_json);
+        ( "bursty",
+          Json.Obj
+            [
+              ("shards", num (float_of_int b_shards));
+              ("rate_rps", num b_rate);
+              ("poisson_p99_ms", num (p99 poisson_r));
+              ("bursty_p99_ms", num (p99 bursty_r));
+            ] );
+        ("k1_identity", Json.Bool k1_identity);
+      ]
+  in
+  let oc = open_out "BENCH_pr9.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_pr9.json"
+
+(* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1541,7 +1827,7 @@ let experiments =
   ]
 
 (* runnable by name but not part of the run-everything default *)
-let extra_experiments = [ ("perf", perf); ("scale", scale) ]
+let extra_experiments = [ ("perf", perf); ("scale", scale); ("shard", shard) ]
 
 (* ------------------------------------------------------------------ *)
 (* nemesis subcommand                                                  *)
@@ -1552,7 +1838,8 @@ module Nemesis = Paxi_nemesis
 let nemesis_usage () =
   prerr_endline
     "usage: main.exe nemesis [--protocol NAME[,NAME..]] [--trials N] \
-     [--seed N] [--max-faults N] [--n N] [--relay-groups N] [--read-ratio F] \
+     [--seed N] [--max-faults N] [--n N] [--relay-groups N] [--shards N] \
+     [--arrival closed|poisson:RATE|bursty:RATE:ON:OFF] [--read-ratio F] \
      [--read-path lease|quorum|tail] [--skew] [--json] [--replay \
      SCHEDULE_JSON]";
   exit 2
@@ -1574,6 +1861,38 @@ let read_ratio_arg who v =
         who v;
       exit 2
 
+(* --arrival closed | poisson:RATE | bursty:RATE:ON_MS:OFF_MS — RATE
+   is the aggregate offered rps, split evenly across the subcommand's
+   clients *)
+let arrival_arg who v =
+  let bad () =
+    Printf.eprintf
+      "%s: --arrival expects closed | poisson:RATE | \
+       bursty:RATE:ON_MS:OFF_MS, got %S\n"
+      who v;
+    exit 2
+  in
+  let pos f = match float_of_string_opt f with
+    | Some x when x > 0.0 -> x
+    | _ -> bad ()
+  in
+  match String.split_on_char ':' v with
+  | [ "closed" ] -> Runner.Closed
+  | [ ("poisson" | "open"); r ] -> Runner.Open { rate_per_sec = pos r }
+  | [ "bursty"; r; on; off ] ->
+      Runner.Bursty { rate_per_sec = pos r; on_ms = pos on; off_ms = pos off }
+  | _ -> bad ()
+
+(* split an aggregate-rate arrival across [count] clients *)
+let arrival_per_client arrival ~count =
+  let c = float_of_int count in
+  match arrival with
+  | Runner.Closed -> Runner.Closed
+  | Runner.Open { rate_per_sec } ->
+      Runner.Open { rate_per_sec = rate_per_sec /. c }
+  | Runner.Bursty { rate_per_sec; on_ms; off_ms } ->
+      Runner.Bursty { rate_per_sec = rate_per_sec /. c; on_ms; off_ms }
+
 (* Randomized fault-schedule campaigns (or a single replayed repro)
    against the named protocols; exits non-zero when any trial fails,
    printing a shrunk one-line repro for each failure. *)
@@ -1584,6 +1903,8 @@ let nemesis_main args =
   let max_faults = ref 4 in
   let n = ref None in
   let relay_groups = ref None in
+  let shards = ref None in
+  let arrival = ref None in
   let read_ratio = ref None in
   let read_path = ref None in
   let skew = ref false in
@@ -1619,6 +1940,13 @@ let nemesis_main args =
         parse rest
     | "--relay-groups" :: v :: rest ->
         relay_groups := Some (int_arg "--relay-groups" v);
+        parse rest
+    | "--shards" :: v :: rest ->
+        shards := Some (int_arg "--shards" v);
+        parse rest
+    | "--arrival" :: v :: rest ->
+        (* the trial drives 3 clients; split the aggregate rate *)
+        arrival := Some (arrival_per_client (arrival_arg "nemesis" v) ~count:3);
         parse rest
     | "--read-ratio" :: v :: rest ->
         read_ratio := Some (read_ratio_arg "nemesis" v);
@@ -1671,8 +1999,8 @@ let nemesis_main args =
         (fun protocol ->
           let v =
             Nemesis.Trial.run ?n:!n ?read_ratio:!read_ratio
-              ?read_path:!read_path ?relay_groups:!relay_groups ~protocol
-              ~seed:!seed schedule
+              ?read_path:!read_path ?relay_groups:!relay_groups
+              ?shards:!shards ?arrival:!arrival ~protocol ~seed:!seed schedule
           in
           if not v.Nemesis.Trial.ok then failed := true;
           Printf.printf "nemesis %s seed %d: %s (%d completed, %d gave up)\n"
@@ -1688,7 +2016,8 @@ let nemesis_main args =
           (fun protocol ->
             Nemesis.Campaign.run ~protocol ~trials:!trials ~seed:!seed
               ~max_faults:!max_faults ?n:!n ?read_ratio:!read_ratio
-              ?read_path:!read_path ?relay_groups:!relay_groups ~skew ())
+              ?read_path:!read_path ?relay_groups:!relay_groups
+              ?shards:!shards ?arrival:!arrival ~skew ())
           protocols
       in
       if !json then
@@ -1707,8 +2036,9 @@ let nemesis_main args =
 let dissect_usage () =
   prerr_endline
     "usage: main.exe dissect [--protocol NAME] [--load FRAC] [--n N] \
-     [--relay-groups N] [--read-ratio F] [--read-path lease|quorum|tail] \
-     [--trace FILE] [--quick]";
+     [--relay-groups N] [--shards N] [--arrival \
+     closed|poisson:RATE|bursty:RATE:ON:OFF] [--read-ratio F] [--read-path \
+     lease|quorum|tail] [--trace FILE] [--quick]";
   exit 2
 
 (* Latency dissection: run one traced open-loop point and print the
@@ -1719,6 +2049,8 @@ let dissect_main args =
   let load = ref 0.6 in
   let n_flag = ref None in
   let relay_groups = ref 0 in
+  let shards = ref 1 in
+  let arrival = ref None in
   let read_ratio = ref None in
   let read_path = ref None in
   let trace_file = ref None in
@@ -1749,6 +2081,17 @@ let dissect_main args =
               "dissect: --relay-groups expects a non-negative integer, got %S\n"
               v;
             exit 2);
+        parse rest
+    | "--shards" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some i when i >= 1 -> shards := i
+        | _ ->
+            Printf.eprintf "dissect: --shards expects an integer >= 1, got %S\n"
+              v;
+            exit 2);
+        parse rest
+    | "--arrival" :: v :: rest ->
+        arrival := Some (arrival_arg "dissect" v);
         parse rest
     | "--read-ratio" :: v :: rest ->
         read_ratio := Some (read_ratio_arg "dissect" v);
@@ -1803,6 +2146,9 @@ let dissect_main args =
         !load *. cap /. 4.0
     | _ -> !load *. cap
   in
+  (* each group brings its own leader, so the offered load scales with
+     the shard count; per-group load stays at --load of capacity *)
+  let rate = rate *. float_of_int !shards in
   (* --read-path implies a read-heavy mix unless --read-ratio says
      otherwise; no read flags leaves the write-path point (and its
      seed) exactly as before *)
@@ -1816,15 +2162,19 @@ let dissect_main args =
     {
       (Config.default ~n_replicas:n) with
       Config.seed =
-        (* big-n / relay points get their own seed family; the default
-           n=5 direct seeds stay exactly as before *)
-        (match (!n_flag, !relay_groups) with
-        | None, 0 -> (
-            match (read_ratio, !read_path) with
-            | None, None -> point_seed ("dissect", !protocol, !load)
-            | r, p ->
-                point_seed ("dissect", !protocol, !load, r, read_path_tag p))
-        | _, g -> point_seed ("dissect", !protocol, !load, n, g));
+        (* big-n / relay / sharded / custom-arrival points get their
+           own seed families; the default n=5 direct seeds stay
+           exactly as before *)
+        (if !shards > 1 || !arrival <> None then
+           point_seed ("dissect", !protocol, !load, "shards", !shards)
+         else
+           match (!n_flag, !relay_groups) with
+           | None, 0 -> (
+               match (read_ratio, !read_path) with
+               | None, None -> point_seed ("dissect", !protocol, !load)
+               | r, p ->
+                   point_seed ("dissect", !protocol, !load, r, read_path_tag p))
+           | _, g -> point_seed ("dissect", !protocol, !load, n, g));
       tracing = true;
       relay_groups = !relay_groups;
       read_ratio;
@@ -1834,6 +2184,10 @@ let dissect_main args =
   let spec =
     Runner.spec ~warmup_ms ~duration_ms:measured_ms ~config
       ~topology:(Topology.lan ~n_replicas:n ())
+      ?sharding:
+        (if !shards > 1 then
+           Some { Runner.shards = !shards; partition = `Hash }
+         else None)
       ~client_specs:
         [ (* straight to the serving node, as the model's DL assumes:
              the leader, or the tail for chain tail reads *)
@@ -1841,7 +2195,10 @@ let dissect_main args =
             ~target:
               (Runner.Fixed
                  (match !read_path with Some Config.Tail -> n - 1 | _ -> 0))
-            ~arrival:(Runner.Open { rate_per_sec = rate /. 4.0 })
+            ~arrival:
+              (match !arrival with
+              | Some a -> arrival_per_client a ~count:4
+              | None -> Runner.Open { rate_per_sec = rate /. 4.0 })
             ~count:4 Workload.default ]
       ()
   in
@@ -1850,6 +2207,11 @@ let dissect_main args =
                      (%.0f rps offered)"
        !protocol (100.0 *. !load) rate);
   let result = Runner.run (module P) spec in
+  if !shards > 1 then
+    Printf.printf
+      "(%d hash-partitioned groups; the trace, breakdown and model terms \
+       below cover shard 0's group at its per-group load)\n"
+      !shards;
   let tr = result.Runner.trace in
   let e2e = Paxi_obs.Trace.e2e tr in
   let requests = Stats.count e2e in
@@ -1908,11 +2270,18 @@ let dissect_main args =
       let rng = Rng.create ~seed:44 in
       match
         Latency_model.lan_breakdown proto ~node ~lan:Latency_model.default_lan
-          ~rng ~lambda_rps:rate
+          ~rng
+          ~lambda_rps:(rate /. float_of_int !shards)
       with
       | None -> print_endline "(model saturated at this load)"
       | Some b ->
-          let leader = result.Runner.busiest_node in
+          (* sharded runs dissect shard 0's group: its trace, its
+             busiest replica, per-group offered load for the model *)
+          let leader =
+            if !shards > 1 then
+              result.Runner.shard_stats.(0).Runner.shard_leader
+            else result.Runner.busiest_node
+          in
           let per_req total = total /. float_of_int requests in
           let wq_meas = per_req (Paxi_obs.Trace.node_wait_ms tr leader) in
           let ts_meas = per_req (Paxi_obs.Trace.node_busy_ms tr leader) in

@@ -1,6 +1,11 @@
 type target = Nearest | Fixed of int | Round_robin
 
-type arrival = Closed | Open of { rate_per_sec : float }
+type arrival = Arrival.t =
+  | Closed
+  | Open of { rate_per_sec : float }
+  | Bursty of { rate_per_sec : float; on_ms : float; off_ms : float }
+
+type sharding = { shards : int; partition : Paxi_shard.Partitioner.kind }
 
 type client_spec = {
   region : Region.t option;
@@ -24,11 +29,13 @@ type spec = {
   collect_history : bool;
   check_consensus : bool;
   faults : (Faults.t -> unit) option;
+  sharding : sharding option;
 }
 
 let spec ?(warmup_ms = 1_000.0) ?(duration_ms = 10_000.0)
     ?(cooldown_ms = 1_000.0) ?(max_retries = 10) ?(collect_history = false)
-    ?(check_consensus = false) ?faults ~config ~topology ~client_specs () =
+    ?(check_consensus = false) ?faults ?sharding ~config ~topology
+    ~client_specs () =
   {
     config;
     topology;
@@ -40,7 +47,16 @@ let spec ?(warmup_ms = 1_000.0) ?(duration_ms = 10_000.0)
     collect_history;
     check_consensus;
     faults;
+    sharding;
   }
+
+type shard_stat = {
+  shard_completed : int;
+  shard_throughput_rps : float;
+  shard_latency : Stats.t;
+  shard_leader : int;
+  shard_leader_busy_ms : float;
+}
 
 type result = {
   throughput_rps : float;
@@ -48,6 +64,7 @@ type result = {
   read_latency : Stats.t;
   write_latency : Stats.t;
   per_region : (Region.t * Stats.t) list;
+  shard_stats : shard_stat array;
   completed : int;
   gave_up : int;
   history : Linearizability.op list;
@@ -70,23 +87,53 @@ let kind_of_op (op : Command.op) (read : Command.value option) =
   | Command.Delete _ -> Linearizability.Del
   | Command.Get _ -> Linearizability.Read read
 
-let run (module P : Proto.RUNNABLE) spec =
-  let module C = Cluster.Make (P) in
-  let faults = Faults.create () in
-  (match spec.faults with Some install -> install faults | None -> ());
-  let cluster =
-    C.create ~faults ~config:spec.config ~topology:spec.topology ()
-  in
-  let sim = C.sim cluster in
+(* What [drive] needs from a deployment — one cluster or K sharded
+   groups. The classic path wraps [Cluster.Make] with [shards = 1] and
+   a constant route, so the driving loop below is shared verbatim and
+   the unsharded event/draw sequence stays byte-identical to the
+   pre-shard runner. *)
+module type DEPLOY = sig
+  type t
+
+  val sim : t -> Sim.t
+  val shards : t -> int
+  val route : t -> key:int -> int
+  val register_client : t -> id:int -> ?region:Region.t -> unit -> unit
+  val nearest_replica : t -> shard:int -> client:int -> int
+
+  val submit :
+    t ->
+    shard:int ->
+    client:int ->
+    target:int ->
+    command:Command.t ->
+    on_reply:(Proto.reply -> unit) ->
+    unit
+
+  val pending : t -> shard:int -> client:int -> command:Command.t -> bool
+  val give_up : t -> shard:int -> client:int -> command:Command.t -> unit
+  val set_window : t -> from_ms:float -> until_ms:float -> unit
+  val trace : t -> Paxi_obs.Trace.t
+  val consensus_violations : t -> Consensus_check.violation list
+  val busiest : t -> int * float
+  val shard_leader_load : t -> shard:int -> int * float
+  val message_counts : t -> int * int * int
+  val retransmit_counts : t -> int * int
+end
+
+let drive (type d) (module D : DEPLOY with type t = d) (dep : d) spec =
+  let sim = D.sim dep in
   let n = spec.config.Config.n_replicas in
+  let nshards = D.shards dep in
   let window_start = spec.warmup_ms in
   let window_end = spec.warmup_ms +. spec.duration_ms in
   let horizon = window_end +. spec.cooldown_ms in
-  Paxi_obs.Trace.set_window (C.trace cluster) ~from_ms:window_start
-    ~until_ms:window_end;
+  D.set_window dep ~from_ms:window_start ~until_ms:window_end;
   let latency = Stats.create () in
   let read_latency = Stats.create () in
   let write_latency = Stats.create () in
+  let shard_latency = Array.init nshards (fun _ -> Stats.create ()) in
+  let shard_in_window = Array.make nshards 0 in
   let per_region : (Region.t * Stats.t) list ref = ref [] in
   let region_stats region =
     match List.find_opt (fun (r, _) -> Region.equal r region) !per_region with
@@ -105,8 +152,8 @@ let run (module P : Proto.RUNNABLE) spec =
     let cid = !next_client_id in
     incr next_client_id;
     (match cspec.region with
-    | Some region -> C.register_client cluster ~id:cid ~region ()
-    | None -> C.register_client cluster ~id:cid ());
+    | Some region -> D.register_client dep ~id:cid ~region ()
+    | None -> D.register_client dep ~id:cid ());
     let region = Topology.region_of spec.topology (Address.client cid) in
     (* [config.read_ratio] overrides every client's workload mix so a
        sweep can turn one knob; [None] leaves the specs untouched *)
@@ -119,12 +166,12 @@ let run (module P : Proto.RUNNABLE) spec =
       Workload.generator workload ~rng:(Rng.split (Sim.rng sim)) ~client:cid
     in
     let rr = ref 0 in
-    let pick_target ~attempt =
+    let pick_target ~shard ~attempt =
       match cspec.target with
       | Fixed r -> (r + attempt) mod n
       | Nearest ->
-          if attempt = 0 then C.nearest_replica cluster ~client:cid
-          else (C.nearest_replica cluster ~client:cid + attempt) mod n
+          if attempt = 0 then D.nearest_replica dep ~shard ~client:cid
+          else (D.nearest_replica dep ~shard ~client:cid + attempt) mod n
       | Round_robin ->
           incr rr;
           (!rr + attempt) mod n
@@ -132,7 +179,7 @@ let run (module P : Proto.RUNNABLE) spec =
     let op_counter = ref 0 in
     (* [issue ~continue] sends one command; [continue] fires once the
        command resolves (closed loop chains the next request there;
-       open loop passes a no-op, pacing on a Poisson clock instead). *)
+       open loop passes a no-op, pacing on an arrival clock instead). *)
     let issue ~continue =
       let now = Sim.now sim in
       if now < window_end then begin
@@ -140,6 +187,8 @@ let run (module P : Proto.RUNNABLE) spec =
         incr op_counter;
         let op = Workload.next_op gen ~now_ms:now in
         let command = Command.make ~id ~client:cid op in
+        (* routing is pure arithmetic: no RNG, no events *)
+        let shard = D.route dep ~key:(Command.key command) in
         let invoked = now in
         let rec attempt_send attempt =
           let on_reply (reply : Proto.reply) =
@@ -147,12 +196,14 @@ let run (module P : Proto.RUNNABLE) spec =
             incr completed;
             if invoked >= window_start && responded <= window_end then begin
               incr in_window;
+              shard_in_window.(shard) <- shard_in_window.(shard) + 1;
               let l = responded -. invoked in
               Stats.add latency l;
               Stats.add
                 (if Command.is_read command then read_latency else write_latency)
                 l;
-              Stats.add (region_stats region) l
+              Stats.add (region_stats region) l;
+              Stats.add shard_latency.(shard) l
             end;
             if spec.collect_history then
               history :=
@@ -167,16 +218,16 @@ let run (module P : Proto.RUNNABLE) spec =
                 :: !history;
             continue ()
           in
-          C.submit cluster ~client:cid
-            ~target:(pick_target ~attempt)
+          D.submit dep ~shard ~client:cid
+            ~target:(pick_target ~shard ~attempt)
             ~command ~on_reply;
           ignore
           @@ Sim.schedule_after sim ~delay:spec.config.Config.client_timeout_ms
                (fun () ->
-                 if C.pending cluster ~client:cid ~command then
+                 if D.pending dep ~shard ~client:cid ~command then
                    if attempt < spec.max_retries then attempt_send (attempt + 1)
                    else begin
-                     C.give_up cluster ~client:cid ~command;
+                     D.give_up dep ~shard ~client:cid ~command;
                      incr gave_up;
                      continue ()
                    end)
@@ -190,12 +241,12 @@ let run (module P : Proto.RUNNABLE) spec =
         (* Stagger client start a little to avoid lock-step *)
         let rec closed_loop () = issue ~continue:closed_loop in
         ignore (Sim.schedule_at sim ~time:jitter (fun () -> closed_loop ()))
-    | Open { rate_per_sec } ->
+    | (Open _ | Bursty _) as arrival ->
         let rng = Rng.split (Sim.rng sim) in
         let rec tick () =
           if Sim.now sim < window_end then begin
             issue ~continue:(fun () -> ());
-            let gap = Rng.exponential rng ~rate:(rate_per_sec /. 1000.0) in
+            let gap = Arrival.next_gap_ms arrival ~rng ~now_ms:(Sim.now sim) in
             ignore (Sim.schedule_after sim ~delay:gap tick)
           end
         in
@@ -203,6 +254,9 @@ let run (module P : Proto.RUNNABLE) spec =
   in
   List.iter
     (fun cspec ->
+      (match Arrival.validate cspec.arrival with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("Runner.run: " ^ e));
       for _ = 1 to cspec.count do
         start_client cspec
       done)
@@ -217,40 +271,32 @@ let run (module P : Proto.RUNNABLE) spec =
   let allocated_bytes = Gc.allocated_bytes () -. alloc_before in
   let loop_events = Sim.events_fired sim - events_before in
   let consensus_violations =
-    if spec.check_consensus then begin
-      let state_machines =
-        List.init n (fun i ->
-            (i, Executor.state_machine (P.executor (C.replica cluster i))))
-      in
-      (* keys touched: union across nodes *)
-      let keys = Hashtbl.create 64 in
-      List.iter
-        (fun (_, sm) ->
-          List.iter
-            (fun k -> if k >= 0 then Hashtbl.replace keys k ())
-            (Kv.keys (State_machine.store sm)))
-        state_machines;
-      Consensus_check.check ~state_machines
-        ~keys:(Hashtbl.fold (fun k () acc -> k :: acc) keys [])
-    end
-    else []
+    if spec.check_consensus then D.consensus_violations dep else []
   in
-  let busiest_node, busiest_node_busy_ms =
-    let best = ref (0, 0.0) in
-    for i = 0 to n - 1 do
-      let b = C.replica_busy_ms cluster i in
-      if b > snd !best then best := (i, b)
-    done;
-    !best
+  let busiest_node, busiest_node_busy_ms = D.busiest dep in
+  let messages_sent, _, _ = D.message_counts dep in
+  let retransmits, dup_drops = D.retransmit_counts dep in
+  let shard_stats =
+    Array.init nshards (fun s ->
+        let shard_leader, shard_leader_busy_ms =
+          D.shard_leader_load dep ~shard:s
+        in
+        {
+          shard_completed = shard_in_window.(s);
+          shard_throughput_rps =
+            float_of_int shard_in_window.(s) /. (spec.duration_ms /. 1000.0);
+          shard_latency = shard_latency.(s);
+          shard_leader;
+          shard_leader_busy_ms;
+        })
   in
-  let messages_sent, _, _ = C.message_counts cluster in
-  let retransmits, dup_drops = C.retransmit_counts cluster in
   {
     throughput_rps = float_of_int !in_window /. (spec.duration_ms /. 1000.0);
     latency;
     read_latency;
     write_latency;
     per_region = List.rev !per_region;
+    shard_stats;
     completed = !completed;
     gave_up = !gave_up;
     history = List.rev !history;
@@ -264,8 +310,131 @@ let run (module P : Proto.RUNNABLE) spec =
     dup_drops;
     allocated_bytes;
     bytes_per_event = allocated_bytes /. float_of_int (max 1 loop_events);
-    trace = C.trace cluster;
+    trace = D.trace dep;
   }
+
+(* union of keys touched by any of the group's state machines *)
+let touched_keys state_machines =
+  let keys = Hashtbl.create 64 in
+  List.iter
+    (fun (_, sm) ->
+      List.iter
+        (fun k -> if k >= 0 then Hashtbl.replace keys k ())
+        (Kv.keys (State_machine.store sm)))
+    state_machines;
+  Hashtbl.fold (fun k () acc -> k :: acc) keys []
+
+let partitioner_of spec sh =
+  (* the partitioned key space is the union of every client spec's
+     declared key range; hash partitioning ignores the bounds *)
+  let lo, hi =
+    List.fold_left
+      (fun (lo, hi) c ->
+        ( Int.min lo c.workload.Workload.min_key,
+          Int.max hi (c.workload.Workload.min_key + c.workload.Workload.keys) ))
+      (max_int, min_int) spec.client_specs
+  in
+  let lo, hi = if lo > hi then (0, sh.shards) else (lo, hi) in
+  Paxi_shard.Partitioner.make sh.partition ~shards:sh.shards ~min_key:lo
+    ~keys:(hi - lo)
+
+let run (module P : Proto.RUNNABLE) spec =
+  match spec.sharding with
+  | None ->
+      let module C = Cluster.Make (P) in
+      let faults = Faults.create () in
+      (match spec.faults with Some install -> install faults | None -> ());
+      let cluster =
+        C.create ~faults ~config:spec.config ~topology:spec.topology ()
+      in
+      let n = spec.config.Config.n_replicas in
+      let module D = struct
+        type t = C.t
+
+        let sim = C.sim
+        let shards _ = 1
+        let route _ ~key:_ = 0
+        let register_client = C.register_client
+        let nearest_replica c ~shard:_ ~client = C.nearest_replica c ~client
+        let submit c ~shard:_ = C.submit c
+        let pending c ~shard:_ = C.pending c
+        let give_up c ~shard:_ = C.give_up c
+
+        let set_window c ~from_ms ~until_ms =
+          Paxi_obs.Trace.set_window (C.trace c) ~from_ms ~until_ms
+
+        let trace = C.trace
+
+        let consensus_violations c =
+          let state_machines =
+            List.init n (fun i ->
+                (i, Executor.state_machine (P.executor (C.replica c i))))
+          in
+          Consensus_check.check ~state_machines
+            ~keys:(touched_keys state_machines)
+
+        let busiest c =
+          let best = ref (0, 0.0) in
+          for i = 0 to n - 1 do
+            let b = C.replica_busy_ms c i in
+            if b > snd !best then best := (i, b)
+          done;
+          !best
+
+        let shard_leader_load c ~shard:_ = busiest c
+        let message_counts = C.message_counts
+        let retransmit_counts = C.retransmit_counts
+      end in
+      drive (module D) cluster spec
+  | Some sh ->
+      let module S = Paxi_shard.Shard.Make (P) in
+      let faults = Faults.create () in
+      (match spec.faults with Some install -> install faults | None -> ());
+      let partitioner = partitioner_of spec sh in
+      let t =
+        S.create ~faults ~config:spec.config ~topology:spec.topology
+          ~partitioner ()
+      in
+      let n = spec.config.Config.n_replicas in
+      let module D = struct
+        type t = S.t
+
+        let sim = S.sim
+        let shards = S.shards
+        let route = S.route
+        let register_client = S.register_client
+        let nearest_replica = S.nearest_replica
+        let submit = S.submit
+        let pending = S.pending
+        let give_up = S.give_up
+        let set_window = S.set_window
+        let trace t = S.trace t ~shard:0
+
+        let consensus_violations t =
+          List.concat
+            (List.init (S.shards t) (fun shard ->
+                 let state_machines =
+                   List.init n (fun i ->
+                       ( i,
+                         Executor.state_machine
+                           (P.executor (S.replica t ~shard i)) ))
+                 in
+                 Consensus_check.check ~state_machines
+                   ~keys:(touched_keys state_machines)))
+
+        let busiest t =
+          let best = ref (0, 0.0) in
+          for s = 0 to S.shards t - 1 do
+            let i, b = S.busiest_in_shard t ~shard:s in
+            if b > snd !best then best := (i, b)
+          done;
+          !best
+
+        let shard_leader_load t ~shard = S.busiest_in_shard t ~shard
+        let message_counts = S.message_counts
+        let retransmit_counts = S.retransmit_counts
+      end in
+      drive (module D) t spec
 
 (* Stable per-point seed, splittable from a fixed root: every
    experiment point owns a seed that depends only on the root and the

@@ -1,20 +1,31 @@
-(** Benchmark runner (§4.2 Benchmarker): drives a protocol cluster
-    with closed-loop clients generating a {!Workload}, measures
-    per-request latency and aggregate throughput over a measured
-    window, optionally collects the full operation history for the
-    offline checkers, and sweeps concurrency to find saturation (the
-    latency-vs-throughput curves of Fig. 7/9). *)
+(** Benchmark runner (§4.2 Benchmarker): drives a protocol deployment
+    — one consensus group, or K sharded groups behind a key
+    partitioner — with closed- or open-loop clients generating a
+    {!Workload}, measures per-request latency and aggregate + per-shard
+    throughput over a measured window, optionally collects the full
+    operation history for the offline checkers, and sweeps concurrency
+    or arrival rate to find saturation (Fig. 7/9). *)
 
 type target =
   | Nearest  (** the client's in-region replica (default) *)
   | Fixed of int
   | Round_robin
 
-(** How a client issues requests: [Closed] waits for each reply before
-    the next request (the paper's concurrency-sweep mode); [Open]
-    fires at Poisson arrivals of the given rate regardless of replies,
-    matching the analytic model's arrival assumption (§3.2). *)
-type arrival = Closed | Open of { rate_per_sec : float }
+type arrival = Arrival.t =
+  | Closed
+  | Open of { rate_per_sec : float }
+  | Bursty of { rate_per_sec : float; on_ms : float; off_ms : float }
+      (** see {!Arrival}: closed loop paces on replies, the open-loop
+          models pace on their own Poisson / on-off modulated clock *)
+
+type sharding = {
+  shards : int;  (** number of independent consensus groups, K *)
+  partition : Paxi_shard.Partitioner.kind;
+}
+(** Deployment-level sharding: the runner builds K groups of
+    [config.n_replicas] replicas each over one shared simulator and
+    fault plane, and routes every command by key. The partitioned key
+    space is the union of the client specs' declared ranges. *)
 
 type client_spec = {
   region : Region.t option;
@@ -42,8 +53,13 @@ type spec = {
   max_retries : int;  (** client retries before giving up a command *)
   collect_history : bool;
   check_consensus : bool;
-      (** compare per-key histories across replicas at the end *)
+      (** compare per-key histories across replicas at the end (per
+          group, in a sharded deployment) *)
   faults : (Faults.t -> unit) option;  (** fault schedule installer *)
+  sharding : sharding option;
+      (** [None] (default) is the classic single-group deployment,
+          byte-identical to the pre-shard runner; [Some _] with
+          [shards = 1] performs the same event/draw sequence *)
 }
 
 val spec :
@@ -54,11 +70,22 @@ val spec :
   ?collect_history:bool ->
   ?check_consensus:bool ->
   ?faults:(Faults.t -> unit) ->
+  ?sharding:sharding ->
   config:Config.t ->
   topology:Topology.t ->
   client_specs:client_spec list ->
   unit ->
   spec
+
+type shard_stat = {
+  shard_completed : int;  (** in-window completions owned by the shard *)
+  shard_throughput_rps : float;
+  shard_latency : Stats.t;
+  shard_leader : int;
+      (** the group's busiest replica — its de-facto leader under
+          leader-based protocols *)
+  shard_leader_busy_ms : float;  (** that replica's queue occupancy *)
+}
 
 type result = {
   throughput_rps : float;  (** completed ops/sec in the window *)
@@ -68,6 +95,9 @@ type result = {
           this against [write_latency] to price a fast read *)
   write_latency : Stats.t;  (** in-window write latencies only *)
   per_region : (Region.t * Stats.t) list;
+  shard_stats : shard_stat array;
+      (** per-shard series, length = deployment shards (1 when
+          unsharded: entry 0 then mirrors the aggregate) *)
   completed : int;  (** total completed ops, including warmup *)
   gave_up : int;  (** ops abandoned after [max_retries] *)
   history : Linearizability.op list;  (** empty unless collected *)
@@ -92,8 +122,9 @@ type result = {
       (** [allocated_bytes] per event fired during the loop; the
           allocation-regression figure pinned in tests and gated in CI *)
   trace : Paxi_obs.Trace.t;
-      (** the cluster's latency-dissection trace, windowed to the
-          measured interval; disabled unless [config.tracing] *)
+      (** the latency-dissection trace (shard 0's, in a sharded
+          deployment), windowed to the measured interval; disabled
+          unless [config.tracing] *)
 }
 
 val run : (module Proto.RUNNABLE) -> spec -> result

@@ -3,6 +3,7 @@ type key_dist =
   | Zipfian of { s : float; v : float }
   | Normal of { mu : float; sigma : float; speed_ms : float; drift : float }
   | Exponential of { mean : float }
+  | Hotspot of { hot_fraction : float; hot_mass : float }
 
 type t = {
   keys : int;
@@ -47,6 +48,8 @@ let ycsb kind ~keys =
       }
   | `F -> { base with write_ratio = 0.5 }
 
+let hotspot ~keys = { default with keys; dist = Hotspot { hot_fraction = 0.2; hot_mass = 0.8 } }
+
 let validate t =
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
   if t.keys < 1 then err "keys must be >= 1"
@@ -62,6 +65,11 @@ let validate t =
     | Zipfian { s; v } when s <= 0.0 || v <= 0.0 -> err "zipfian s,v must be > 0"
     | Normal { sigma; _ } when sigma <= 0.0 -> err "normal sigma must be > 0"
     | Exponential { mean } when mean <= 0.0 -> err "exponential mean must be > 0"
+    | Hotspot { hot_fraction; hot_mass }
+      when hot_fraction <= 0.0 || hot_fraction >= 1.0 || hot_mass < 0.0
+           || hot_mass > 1.0 ->
+        err "hotspot needs hot_fraction in (0,1) and hot_mass in [0,1]"
+    | Hotspot _ when t.keys < 2 -> err "hotspot needs keys >= 2"
     | _ -> Ok ()
 
 type gen = {
@@ -82,6 +90,8 @@ let discrete_of spec =
       if speed_ms > 0.0 then Dist.Discrete.with_moving_mean d ~speed_ms ~drift
       else d
   | Exponential { mean } -> Dist.Discrete.exponential ~k ~mean
+  | Hotspot { hot_fraction; hot_mass } ->
+      Dist.Discrete.hotspot ~k ~hot_fraction ~mass:hot_mass
 
 let generator spec ~rng ~client =
   (match validate spec with

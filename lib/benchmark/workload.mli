@@ -10,6 +10,12 @@ type key_dist =
       (** [speed_ms > 0] makes the mean advance by [drift] keys every
           [speed_ms] — Table 3's moving average *)
   | Exponential of { mean : float }
+  | Hotspot of { hot_fraction : float; hot_mass : float }
+      (** [hot_mass] of the draws land uniformly on the first
+          [hot_fraction] of the key space (the production-traffic
+          "80% of ops on 20% of keys" shape); the rest are uniform
+          over the remainder. Composes with range partitioning to
+          concentrate load on the shards owning the hot prefix. *)
 
 type t = {
   keys : int;  (** K: size of the key space *)
@@ -45,6 +51,10 @@ val ycsb : [ `A | `B | `C | `D | `F ] -> keys:int -> t
     with an exponential recency distribution), F = read-modify-write
     approximated as 50/50 zipfian. Workload E (scans) has no
     equivalent in a key-value interface and is omitted. *)
+
+val hotspot : keys:int -> t
+(** The 80/20 hotspot preset: [Hotspot { hot_fraction = 0.2;
+    hot_mass = 0.8 }] over [keys] uniform keys, 50% writes. *)
 
 val validate : t -> (unit, string) result
 

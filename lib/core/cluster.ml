@@ -7,48 +7,55 @@ type 'p envelope =
           one of the substrate's own acks *)
 
 module Make (P : Proto.RUNNABLE) = struct
-  type t = {
+  (* The context one or more groups run over: a single virtual-time
+     heap, latency matrix and fault plane. A classic deployment is one
+     group; a sharded deployment instantiates K groups over one
+     [shared] (lib/shard), each with its own replicas, transport,
+     reliable endpoints and pending table. *)
+  type shared = {
     sim : Sim.t;
     config : Config.t;
     topology : Topology.t;
     faults : Faults.t;
+  }
+
+  type t = {
+    shared : shared;
+    gid : int;
     transport : P.message envelope Transport.t;
     endpoints : (P.message, P.message envelope) Reliable.t array;
     replicas : P.replica array;
-    (* per-client map from command id to reply callback *)
-    pending : (int, (int, Proto.reply -> unit) Hashtbl.t) Hashtbl.t;
+    (* (client << 32) | cmd_id -> reply callback. One flat table per
+       group instead of a Hashtbl of per-client Hashtbls: the packed
+       int key (same trick as Reliable's dedup keys) keeps the K-group
+       client path from multiplying small-table allocation. *)
+    pending : (int, Proto.reply -> unit) Hashtbl.t;
     trace : Paxi_obs.Trace.t;
   }
 
-  let client_table t cid =
-    match Hashtbl.find_opt t.pending cid with
-    | Some tbl -> tbl
-    | None ->
-        let tbl = Hashtbl.create 16 in
-        Hashtbl.add t.pending cid tbl;
-        tbl
+  let pending_key ~client ~id = (client lsl 32) lor (id land 0xFFFF_FFFF)
 
   let deliver_reply t cid (reply : Proto.reply) =
-    let tbl = client_table t cid in
-    let id = reply.command.Command.id in
     if reply.command.Command.client <> cid then ()
     else
-    match Hashtbl.find_opt tbl id with
-    | Some cb ->
-        Hashtbl.remove tbl id;
-        cb reply
-    | None -> () (* late duplicate reply after retry already answered *)
+      let key = pending_key ~client:cid ~id:reply.command.Command.id in
+      match Hashtbl.find_opt t.pending key with
+      | Some cb ->
+          Hashtbl.remove t.pending key;
+          cb reply
+      | None -> () (* late duplicate reply after retry already answered *)
 
   let make_env t transport i : P.message Proto.env =
     let addr = Address.replica i in
     let ep = t.endpoints.(i) in
+    let config = t.shared.config in
     let peer_addrs =
-      List.init t.config.Config.n_replicas Fun.id
+      List.init config.Config.n_replicas Fun.id
       |> List.filter_map (fun j ->
              if j = i then None else Some (Address.replica j))
     in
     let rel_active =
-      match t.config.Config.retransmit with
+      match config.Config.retransmit with
       | Some r -> r.Config.max_tries > 0
       | None -> false
     in
@@ -74,10 +81,11 @@ module Make (P : Proto.RUNNABLE) = struct
             (fun ~slot ~cmd ->
               Paxi_obs.Trace.on_propose t.trace ~slot
                 ~client:cmd.Command.client ~cmd_id:cmd.Command.id
-                ~now_ms:(Sim.now t.sim));
+                ~now_ms:(Sim.now t.shared.sim));
           on_quorum =
             (fun ~slot ->
-              Paxi_obs.Trace.on_quorum t.trace ~slot ~now_ms:(Sim.now t.sim));
+              Paxi_obs.Trace.on_quorum t.trace ~slot
+                ~now_ms:(Sim.now t.shared.sim));
           on_read = (fun () -> Paxi_obs.Trace.on_fast_read t.trace);
           on_relay =
             (fun ~start_ms ~end_ms ->
@@ -87,10 +95,10 @@ module Make (P : Proto.RUNNABLE) = struct
     in
     {
       Proto.id = i;
-      n = t.config.Config.n_replicas;
-      config = t.config;
-      topology = t.topology;
-      rng = Rng.split (Sim.rng t.sim);
+      n = config.Config.n_replicas;
+      config;
+      topology = t.shared.topology;
+      rng = Rng.split (Sim.rng t.shared.sim);
       (* A replica reads its *local* clock: simulator time plus
          whatever skew the nemesis is currently injecting at this node.
          Only protocol decisions (lease expiry, timeouts) see the
@@ -99,10 +107,10 @@ module Make (P : Proto.RUNNABLE) = struct
          are byte-identical. *)
       now =
         (fun () ->
-          let t0 = Sim.now t.sim in
-          t0 +. Faults.clock_offset t.faults ~now_ms:t0 addr);
-      schedule = (fun delay f -> Sim.schedule_after t.sim ~delay f);
-      cancel = (fun h -> Sim.cancel t.sim h);
+          let t0 = Sim.now t.shared.sim in
+          t0 +. Faults.clock_offset t.shared.faults ~now_ms:t0 addr);
+      schedule = (fun delay f -> Sim.schedule_after t.shared.sim ~delay f);
+      cancel = (fun h -> Sim.cancel t.shared.sim h);
       send =
         (fun dst m ->
           tally m;
@@ -170,7 +178,7 @@ module Make (P : Proto.RUNNABLE) = struct
       obs;
     }
 
-  let create ?sim ?faults ~config ~topology () =
+  let create_shared ?sim ?faults ~config ~topology () =
     (match Config.validate config with
     | Ok () -> ()
     | Error msg -> invalid_arg ("Cluster.create: " ^ msg));
@@ -183,6 +191,10 @@ module Make (P : Proto.RUNNABLE) = struct
       match sim with Some s -> s | None -> Sim.create ~seed:config.Config.seed ()
     in
     let faults = match faults with Some f -> f | None -> Faults.create () in
+    { sim; config; topology; faults }
+
+  let create_group ?(gid = 0) (shared : shared) =
+    let { sim; config; topology; faults } = shared in
     let factor = P.cpu_factor config in
     let processing _i =
       Procq.create
@@ -212,14 +224,12 @@ module Make (P : Proto.RUNNABLE) = struct
     let trace = Paxi_obs.Trace.create ~enabled:config.Config.tracing () in
     let t =
       {
-        sim;
-        config;
-        topology;
-        faults;
+        shared;
+        gid;
         transport;
         endpoints;
         replicas = [||];
-        pending = Hashtbl.create 16;
+        pending = Hashtbl.create 64;
         trace;
       }
     in
@@ -272,19 +282,28 @@ module Make (P : Proto.RUNNABLE) = struct
                   pkt
             | Reply _ -> () (* replicas never receive replies *)))
       replicas;
-    Array.iter (fun r -> ignore (Sim.schedule_at sim ~time:(Sim.now sim) (fun () -> P.on_start r))) replicas;
+    Array.iter
+      (fun r ->
+        ignore
+          (Sim.schedule_at sim ~time:(Sim.now sim) (fun () -> P.on_start r)))
+      replicas;
     t
 
-  let sim t = t.sim
+  let create ?sim ?faults ~config ~topology () =
+    create_group (create_shared ?sim ?faults ~config ~topology ())
+
+  let sim t = t.shared.sim
   let trace t = t.trace
-  let config t = t.config
-  let topology t = t.topology
-  let faults t = t.faults
+  let config t = t.shared.config
+  let topology t = t.shared.topology
+  let faults t = t.shared.faults
+  let gid t = t.gid
+  let shared t = t.shared
   let replica t i = t.replicas.(i)
 
   let register_client t ~id ?region () =
     (match region with
-    | Some r -> Topology.assign_client t.topology ~id ~region:r
+    | Some r -> Topology.assign_client t.shared.topology ~id ~region:r
     | None -> ());
     let addr = Address.client id in
     Transport.register t.transport addr (fun ~src:_ msg ->
@@ -293,33 +312,28 @@ module Make (P : Proto.RUNNABLE) = struct
         | Peer _ | Request _ | Rel _ -> ())
 
   let submit t ~client ~target ~command ~on_reply =
-    let tbl = client_table t client in
-    Hashtbl.replace tbl command.Command.id on_reply;
-    let request =
-      { Proto.command; sent_at_ms = Sim.now t.sim }
-    in
+    Hashtbl.replace t.pending
+      (pending_key ~client ~id:command.Command.id)
+      on_reply;
+    let request = { Proto.command; sent_at_ms = Sim.now t.shared.sim } in
     if Paxi_obs.Trace.enabled t.trace then
       Paxi_obs.Trace.on_submit t.trace ~client ~cmd_id:command.Command.id
-        ~is_read:(Command.is_read command) ~now_ms:(Sim.now t.sim);
+        ~is_read:(Command.is_read command) ~now_ms:(Sim.now t.shared.sim);
     Transport.send t.transport ~src:(Address.client client)
       ~dst:(Address.replica target)
       (Request { client = Address.client client; request })
 
   let pending t ~client ~command =
-    match Hashtbl.find_opt t.pending client with
-    | Some tbl -> Hashtbl.mem tbl command.Command.id
-    | None -> false
+    Hashtbl.mem t.pending (pending_key ~client ~id:command.Command.id)
 
   let give_up t ~client ~command =
-    match Hashtbl.find_opt t.pending client with
-    | Some tbl -> Hashtbl.remove tbl command.Command.id
-    | None -> ()
+    Hashtbl.remove t.pending (pending_key ~client ~id:command.Command.id)
 
   let leader_of_key t ~replica key = P.leader_of_key t.replicas.(replica) key
 
   let nearest_replica t ~client =
-    let region = Topology.region_of t.topology (Address.client client) in
-    match Topology.replicas_in t.topology region with
+    let region = Topology.region_of t.shared.topology (Address.client client) in
+    match Topology.replicas_in t.shared.topology region with
     | r :: _ -> r
     | [] -> 0
 

@@ -17,6 +17,35 @@ type 'p envelope =
 
 module Make (P : Proto.RUNNABLE) : sig
   type t
+  (** One consensus group: replicas, transport, reliable endpoints and
+      the client pending table. *)
+
+  type shared
+  (** The context a group — or several groups, in a sharded deployment
+      — runs over: one virtual-time heap ([Sim.t]), one latency matrix
+      ([Topology.t]) and one fault plane ([Faults.t]). Groups sharing
+      a [shared] are co-located by replica index: fault injection is
+      addressed by [Address.replica i], so crashing machine [i] takes
+      out replica [i] of every group at once (rack-scoped faults),
+      while each group keeps its own leader, failover clocks and
+      processing queues. *)
+
+  val create_shared :
+    ?sim:Sim.t ->
+    ?faults:Faults.t ->
+    config:Config.t ->
+    topology:Topology.t ->
+    unit ->
+    shared
+  (** Validate the config/topology pair and build the shared context
+      (the sim defaults to a fresh one seeded from [config.seed]).
+      Raises [Invalid_argument] on an invalid config or when the
+      topology size disagrees with [config.n_replicas]. *)
+
+  val create_group : ?gid:int -> shared -> t
+  (** Instantiate one group over the shared context: replicas are
+      created and [P.on_start] runs at virtual time 0. [gid] (default
+      0) labels the group for sharded deployments. *)
 
   val create :
     ?sim:Sim.t ->
@@ -25,12 +54,12 @@ module Make (P : Proto.RUNNABLE) : sig
     topology:Topology.t ->
     unit ->
     t
-  (** Build and start the cluster: replicas are created and
-      [P.on_start] runs at virtual time 0. Raises [Invalid_argument]
-      on an invalid config or when the topology size disagrees with
-      [config.n_replicas]. *)
+  (** [create_shared] followed by [create_group ~gid:0] — the classic
+      one-group deployment, byte-identical to the pre-shard engine. *)
 
   val sim : t -> Sim.t
+  val gid : t -> int
+  val shared : t -> shared
 
   val trace : t -> Paxi_obs.Trace.t
   (** The cluster's latency-dissection trace. Disabled (a no-op sink)

@@ -89,6 +89,15 @@ let lan_max_throughput proto ~node =
       Service.max_throughput_rps rc
   | _ -> Service.max_throughput_rps (round_cost ~node proto)
 
+(* Sharded deployments run K independent groups on disjoint machines,
+   so the analytic aggregate capacity is exactly K times one group's:
+   the independence assumption the shard sweep validates (and that a
+   skewed key distribution breaks — a hot shard saturates first while
+   the others idle, capping the useful aggregate below K x). *)
+let sharded_max_throughput proto ~node ~shards =
+  assert (shards >= 1);
+  float_of_int shards *. lan_max_throughput proto ~node
+
 (* Queue wait at the busiest node for aggregate arrival rate lambda,
    using the role-mixed service distribution. *)
 let queue_wait_ms ?(queue = Queueing.Md1) rc ~lambda_rps =

@@ -51,6 +51,14 @@ val lan_max_throughput :
   protocol -> node:Service.node_params -> float
 (** Saturation throughput (rounds/sec). *)
 
+val sharded_max_throughput :
+  protocol -> node:Service.node_params -> shards:int -> float
+(** Aggregate saturation of K independent groups on disjoint machines:
+    [K * lan_max_throughput] — the linear-scaling assumption the shard
+    sweep measures against. Holds for balanced partitioning; a skewed
+    key distribution saturates its hot shard first, so the measured
+    aggregate falls below this line while per-shard imbalance rises. *)
+
 type breakdown = {
   wq_ms : float;  (** queue wait at the busiest node *)
   service_ms : float;  (** leader round service time *)

@@ -24,12 +24,13 @@ type report = {
 let trial_seed ~protocol ~root index =
   Runner.derive_seed ~root (Hashtbl.hash (protocol, index))
 
-let run_trial ?n ?read_ratio ?read_path ?relay_groups ~skew ~protocol ~root
-    ~max_faults ~shrink_budget index =
+let run_trial ?n ?read_ratio ?read_path ?relay_groups ?shards ?arrival ~skew
+    ~protocol ~root ~max_faults ~shrink_budget index =
   let seed = trial_seed ~protocol ~root index in
   let schedule = Trial.generate ?n ~skew ~protocol ~seed ~max_faults () in
   let verdict =
-    Trial.run ?n ?read_ratio ?read_path ?relay_groups ~protocol ~seed schedule
+    Trial.run ?n ?read_ratio ?read_path ?relay_groups ?shards ?arrival
+      ~protocol ~seed schedule
   in
   let shrunk =
     if verdict.Trial.ok then None
@@ -38,21 +39,22 @@ let run_trial ?n ?read_ratio ?read_path ?relay_groups ~skew ~protocol ~root
         (Shrink.shrink ~budget:shrink_budget
            ~still_fails:(fun candidate ->
              not
-               (Trial.run ?n ?read_ratio ?read_path ?relay_groups ~protocol
-                  ~seed candidate)
+               (Trial.run ?n ?read_ratio ?read_path ?relay_groups ?shards
+                  ?arrival ~protocol ~seed candidate)
                  .Trial.ok)
            schedule)
   in
   { trial = index; seed; schedule; verdict; shrunk }
 
 let run ?pool ?(shrink_budget = 120) ?(max_faults = 4) ?n ?read_ratio
-    ?read_path ?relay_groups ?(skew = false) ~protocol ~trials ~seed () =
+    ?read_path ?relay_groups ?shards ?arrival ?(skew = false) ~protocol
+    ~trials ~seed () =
   (* shrinking happens inside the trial task, so a pool schedules whole
      trials and determinism needs nothing beyond per-trial seeds *)
   let outcomes =
     Paxi_exec.Parmap.map ?pool
-      (run_trial ?n ?read_ratio ?read_path ?relay_groups ~skew ~protocol
-         ~root:seed ~max_faults ~shrink_budget)
+      (run_trial ?n ?read_ratio ?read_path ?relay_groups ?shards ?arrival
+         ~skew ~protocol ~root:seed ~max_faults ~shrink_budget)
       (List.init trials Fun.id)
   in
   let failures = List.filter (fun o -> not o.verdict.Trial.ok) outcomes in

@@ -34,6 +34,8 @@ val run :
   ?read_ratio:float ->
   ?read_path:Config.read_path ->
   ?relay_groups:int ->
+  ?shards:int ->
+  ?arrival:Paxi_benchmark.Runner.arrival ->
   ?skew:bool ->
   protocol:string ->
   trials:int ->

@@ -94,14 +94,14 @@ let topology_for profile =
       ~jitter:0.02 ()
   else Topology.lan ~n_replicas:profile.n ()
 
-let client_specs_for profile workload =
+let client_specs_for ?(arrival = Runner.Closed) profile workload =
   if profile.zoned then
     List.map
       (fun z ->
         Runner.clients ~region:(Region.make z) ~target:Runner.Round_robin
-          ~count:1 workload)
+          ~arrival ~count:1 workload)
       zones
-  else [ Runner.clients ~target:Runner.Round_robin ~count:3 workload ]
+  else [ Runner.clients ~target:Runner.Round_robin ~arrival ~count:3 workload ]
 
 (* [?n] overrides the profile's cluster size (zoned profiles spread
    [n / 3] replicas per zone) — regression trials pin behavior at
@@ -119,8 +119,8 @@ let generate ?n ?(skew = false) ~protocol ~seed ~max_faults () =
   let rng = Rng.create ~seed in
   Schedule.generate ~rng ~n:profile.n ~kinds ~max_faults ~horizon_ms
 
-let run ?n ?read_ratio ?read_path ?(relay_groups = 0) ~protocol ~seed schedule
-    =
+let run ?n ?read_ratio ?read_path ?(relay_groups = 0) ?(shards = 1) ?arrival
+    ~protocol ~seed schedule =
   let profile = resolve_profile ?n protocol in
   let (module P) = Paxi_protocols.Registry.find_exn protocol in
   let config =
@@ -147,13 +147,22 @@ let run ?n ?read_ratio ?read_path ?(relay_groups = 0) ~protocol ~seed schedule
     Float.max 1_500.0 (fault_end +. recovery_ms -. warmup_ms)
   in
   let workload = { Workload.default with Workload.keys = 15 } in
+  (* sharded trials run K co-located groups behind a hash partitioner
+     over the shared fault plane: every injected fault hits replica i
+     of all K groups at once, and the oracle judges the union — the
+     per-key histories still serialize because a key never changes
+     owner. [shards = 1] keeps the legacy single-group path (and its
+     fixed-seed pins) untouched. *)
+  let sharding =
+    if shards > 1 then Some { Runner.shards; partition = `Hash } else None
+  in
   let spec =
     Runner.spec ~warmup_ms ~duration_ms ~cooldown_ms:2_000.0
       ~collect_history:true ~check_consensus:profile.global_consensus
       ~faults:(Schedule.install schedule ~n:profile.n)
-      ~config
+      ?sharding ~config
       ~topology:(topology_for profile)
-      ~client_specs:(client_specs_for profile workload)
+      ~client_specs:(client_specs_for ?arrival profile workload)
       ()
   in
   let result = Runner.run (module P) spec in

@@ -62,6 +62,8 @@ val run :
   ?read_ratio:float ->
   ?read_path:Config.read_path ->
   ?relay_groups:int ->
+  ?shards:int ->
+  ?arrival:Paxi_benchmark.Runner.arrival ->
   protocol:string ->
   seed:int ->
   Schedule.t ->
@@ -73,5 +75,10 @@ val run :
     [?read_path] thread the PR 7 read-path knobs into the cluster
     config; [?relay_groups] (default 0 = direct) the PR 8 relay-tree
     knob — the relay-crash campaigns run paxos/raft behind relays and
-    demand commits survive relay failures. All default off, preserving
-    the write-path baseline. *)
+    demand commits survive relay failures. [?shards] (default 1) runs
+    K hash-partitioned groups over the shared fault plane (faults are
+    machine-scoped: replica [i] of every group fails together) and
+    [?arrival] (default closed-loop) swaps the client pacing model, so
+    the oracle also covers sharded and open-loop configurations. All
+    default off, preserving the write-path baseline and its
+    fixed-seed pins. *)

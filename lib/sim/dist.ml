@@ -35,6 +35,9 @@ module Discrete = struct
     | Uniform
     | Table of float array (* cumulative popularity, length k *)
     | Gaussian of { mu : float; sigma : float }
+    | Hotspot of { hot_k : int; mass : float }
+        (* [mass] of the draws land uniformly in [0..hot_k-1], the
+           rest uniformly in [hot_k..k-1] *)
 
   type t = { k : int; kind : kind; move_speed_ms : float; move_drift : float }
 
@@ -63,6 +66,13 @@ module Discrete = struct
   let normal ~k ~mu ~sigma =
     assert (k > 0 && sigma > 0.0);
     plain k (Gaussian { mu; sigma })
+
+  let hotspot ~k ~hot_fraction ~mass =
+    assert (k > 1 && hot_fraction > 0.0 && hot_fraction < 1.0);
+    assert (mass >= 0.0 && mass <= 1.0);
+    (* at least one key on each side so both uniform draws are valid *)
+    let hot_k = Int.max 1 (Int.min (k - 1) (int_of_float (Float.round (hot_fraction *. float_of_int k)))) in
+    plain k (Hotspot { hot_k; mass })
 
   let exponential ~k ~mean =
     assert (k > 0 && mean > 0.0);
@@ -94,6 +104,9 @@ module Discrete = struct
       match t.kind with
       | Uniform -> Rng.int rng t.k
       | Table cum -> search cum (Rng.float rng 1.0)
+      | Hotspot { hot_k; mass } ->
+          if Rng.bernoulli rng ~p:mass then Rng.int rng hot_k
+          else hot_k + Rng.int rng (t.k - hot_k)
       | Gaussian { mu; sigma } ->
           let rec draw tries =
             let x = int_of_float (Float.round (Rng.normal rng ~mu ~sigma)) in

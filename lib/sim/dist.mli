@@ -39,6 +39,14 @@ module Discrete : sig
       outside [0..k-1] are clamped by resampling. The paper uses this
       to synthesise locality: each region gets its own [mu]. *)
 
+  val hotspot : k:int -> hot_fraction:float -> mass:float -> t
+  (** Two-level uniform: a [mass] fraction of draws lands uniformly in
+      the first [hot_fraction] of the key space, the rest uniformly in
+      the remainder — the classic "80% of ops on 20% of keys" shape at
+      [hot_fraction = 0.2, mass = 0.8]. Costs one Bernoulli plus one
+      bounded int draw per sample. Requires [0 < hot_fraction < 1] and
+      [k > 1] so both sides of the split are non-empty. *)
+
   val exponential : k:int -> mean:float -> t
 
   val with_moving_mean : t -> speed_ms:float -> drift:float -> t

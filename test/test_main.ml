@@ -40,4 +40,5 @@ let () =
       Test_read_oracle.suite;
       Test_read_path.suite;
       Test_relay.suite;
+      Test_shard.suite;
     ]
