@@ -1798,6 +1798,255 @@ let shard () =
   print_endline "wrote BENCH_pr9.json"
 
 (* ------------------------------------------------------------------ *)
+(* Recovery sweep: BENCH_pr10.json                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Nemesis = Paxi_nemesis
+
+(* Durable-mode measurements (DESIGN.md §14), three parts:
+
+   1. the durability tax — one fault-free closed-loop paxos point
+      under storage off / sync=none / batched / every: throughput,
+      latency and the measured per-fsync device time. sync=none must
+      replay the memory-only stream exactly (same events, same
+      samples); CI gates that identity bool.
+   2. crash-and-recover — paxos and raft under crash-only nemesis
+      schedules with sync=every storage: crashes now destroy volatile
+      state, so the verdict proves a replica can be rebuilt from its
+      durable log (safety + liveness), and the recovery time is the
+      measured log-replay cost.
+   3. snapshots — raft replay cost with threshold snapshotting off vs
+      on: compaction caps the durable log, so replay per recovery
+      stops growing with history length. *)
+let durable_cfg ?(threshold = 0) mode =
+  {
+    Storage.default_config with
+    Storage.sync_mode = mode;
+    snapshot_threshold = threshold;
+  }
+
+let recovery_mode_tag = function
+  | None -> "off"
+  | Some (c : Storage.config) -> Storage.mode_to_string c.Storage.sync_mode
+
+let recovery_tax_point ~storage =
+  let (module P) = Paxi_protocols.Registry.find_exn "paxos" in
+  let config =
+    {
+      (Config.default ~n_replicas:5) with
+      (* one seed across all four modes: sync=none must reproduce the
+         storage-off stream bit for bit, and the other modes then
+         isolate the durability tax from seed noise *)
+      Config.seed = point_seed ("recovery", "tax");
+      Config.storage = storage;
+    }
+  in
+  Runner.run
+    (module P)
+    (Runner.spec ~warmup_ms ~duration_ms:measured_ms ~config
+       ~topology:(Topology.lan ~n_replicas:5 ())
+       ~client_specs:
+         [ Runner.clients ~target:(Runner.Fixed 0) ~count:16 Workload.default ]
+       ())
+
+let recovery_crash_schedule ~seed =
+  let kinds =
+    { Nemesis.Schedule.no_kinds with Nemesis.Schedule.crash = true }
+  in
+  let rng = Rng.create ~seed in
+  Nemesis.Schedule.generate ~rng ~n:5 ~kinds ~max_faults:3
+    ~horizon_ms:Nemesis.Trial.horizon_ms
+
+let recovery () =
+  Report.section "Recovery: durability tax (paxos, 5-replica LAN, 16 clients)";
+  let modes =
+    [
+      None;
+      Some (durable_cfg Storage.Sync_none);
+      Some (durable_cfg Storage.Sync_batched);
+      Some (durable_cfg Storage.Sync_every);
+    ]
+  in
+  let tax = Parmap.map (fun m -> (m, recovery_tax_point ~storage:m)) modes in
+  let mean_fsync_ms (r : Runner.result) =
+    if r.Runner.storage_fsyncs = 0 then 0.0
+    else r.Runner.storage_busy_ms /. float_of_int r.Runner.storage_fsyncs
+  in
+  Report.print_table
+    ~header:
+      [ "sync mode"; "tput (rps)"; "mean lat (ms)"; "fsyncs"; "fsync (ms)" ]
+    ~rows:
+      (List.map
+         (fun (m, (r : Runner.result)) ->
+           [
+             recovery_mode_tag m;
+             Printf.sprintf "%.0f" r.Runner.throughput_rps;
+             Report.fms (Stats.mean r.Runner.latency);
+             string_of_int r.Runner.storage_fsyncs;
+             Report.fms (mean_fsync_ms r);
+           ])
+         tax);
+  let find_tax m =
+    snd (List.find (fun (m', _) -> recovery_mode_tag m' = m) tax)
+  in
+  let off = find_tax "off" and none = find_tax "none" in
+  (* sync=none arms the whole storage layer but never touches the
+     event heap or an RNG stream, so the run must be indistinguishable
+     from a memory-only one *)
+  let sync_none_identity =
+    off.Runner.throughput_rps = none.Runner.throughput_rps
+    && Stats.samples off.Runner.latency = Stats.samples none.Runner.latency
+    && off.Runner.sim_events = none.Runner.sim_events
+    && off.Runner.messages_sent = none.Runner.messages_sent
+  in
+  Printf.printf "sync=none byte-identical to storage off: %b\n"
+    sync_none_identity;
+  Report.section "Recovery: crash-and-recover (sync=every, crash-only nemesis)";
+  let seeds = if quick then [ 7; 8 ] else [ 7; 8; 9; 10; 11; 12 ] in
+  (* raft additionally snapshots every 40 applied commands in the
+     threshold-on arm, so its recoveries replay a bounded suffix *)
+  let arms =
+    [ ("paxos", 0); ("raft", 0); ("raft", 40) ]
+  in
+  let points =
+    List.concat_map
+      (fun (protocol, threshold) ->
+        List.map (fun seed -> (protocol, threshold, seed)) seeds)
+      arms
+  in
+  let crash =
+    Parmap.map
+      (fun (protocol, threshold, seed) ->
+        let schedule = recovery_crash_schedule ~seed in
+        let v =
+          Nemesis.Trial.run
+            ~durable:(durable_cfg ~threshold Storage.Sync_every)
+            ~protocol ~seed schedule
+        in
+        (protocol, threshold, seed, v))
+      points
+  in
+  let replay_per_recovery (v : Nemesis.Trial.verdict) =
+    if v.Nemesis.Trial.recoveries = 0 then 0.0
+    else
+      v.Nemesis.Trial.replay_ms_total
+      /. float_of_int v.Nemesis.Trial.recoveries
+  in
+  Report.print_table
+    ~header:
+      [
+        "protocol"; "snap thr"; "seed"; "verdict"; "recoveries";
+        "replay/rec (ms)"; "timers cancelled";
+      ]
+    ~rows:
+      (List.map
+         (fun (protocol, threshold, seed, (v : Nemesis.Trial.verdict)) ->
+           [
+             protocol;
+             (if threshold = 0 then "-" else string_of_int threshold);
+             string_of_int seed;
+             (if v.Nemesis.Trial.ok then "ok" else "FAIL");
+             string_of_int v.Nemesis.Trial.recoveries;
+             Report.fms (replay_per_recovery v);
+             string_of_int v.Nemesis.Trial.timers_cancelled;
+           ])
+         crash);
+  List.iter
+    (fun (protocol, threshold, seed, (v : Nemesis.Trial.verdict)) ->
+      if not v.Nemesis.Trial.ok then
+        Printf.printf "FAIL %s thr=%d seed %d: %s\n" protocol threshold seed
+          (String.concat "; " v.Nemesis.Trial.reasons))
+    crash;
+  let arm_stats want_proto want_thr =
+    let vs =
+      List.filter_map
+        (fun (p, t, _, v) ->
+          if p = want_proto && t = want_thr then Some v else None)
+        crash
+    in
+    let recs =
+      List.fold_left (fun a v -> a + v.Nemesis.Trial.recoveries) 0 vs
+    in
+    let replay =
+      List.fold_left (fun a v -> a +. v.Nemesis.Trial.replay_ms_total) 0.0 vs
+    in
+    (recs, if recs = 0 then 0.0 else replay /. float_of_int recs)
+  in
+  let _, raft_plain_replay = arm_stats "raft" 0 in
+  let _, raft_snap_replay = arm_stats "raft" 40 in
+  Printf.printf
+    "raft replay per recovery: %.3f ms unbounded log, %.3f ms with \
+     threshold-40 snapshots\n"
+    raft_plain_replay raft_snap_replay;
+  let all_ok = List.for_all (fun (_, _, _, v) -> v.Nemesis.Trial.ok) crash in
+  let num x = Json.Number x in
+  let json =
+    Json.Obj
+      [
+        ("pr", num 10.0);
+        ("quick", Json.Bool quick);
+        ( "suite",
+          Json.String
+            "recovery: durability tax, crash-and-recover, snapshot replay" );
+        ( "tax",
+          Json.List
+            (List.map
+               (fun (m, (r : Runner.result)) ->
+                 Json.Obj
+                   [
+                     ("mode", Json.String (recovery_mode_tag m));
+                     ("throughput_rps", num r.Runner.throughput_rps);
+                     ("mean_latency_ms", num (Stats.mean r.Runner.latency));
+                     ("fsyncs", num (float_of_int r.Runner.storage_fsyncs));
+                     ( "storage_writes",
+                       num (float_of_int r.Runner.storage_writes) );
+                     ("mean_fsync_ms", num (mean_fsync_ms r));
+                   ])
+               tax) );
+        ("sync_none_identity", Json.Bool sync_none_identity);
+        ( "crash",
+          Json.List
+            (List.map
+               (fun (protocol, threshold, seed, (v : Nemesis.Trial.verdict)) ->
+                 Json.Obj
+                   [
+                     ("protocol", Json.String protocol);
+                     ("snapshot_threshold", num (float_of_int threshold));
+                     ("seed", num (float_of_int seed));
+                     ("ok", Json.Bool v.Nemesis.Trial.ok);
+                     ( "recoveries",
+                       num (float_of_int v.Nemesis.Trial.recoveries) );
+                     ("replay_ms_total", num v.Nemesis.Trial.replay_ms_total);
+                     ("replay_ms_per_recovery", num (replay_per_recovery v));
+                     ( "timers_cancelled",
+                       num (float_of_int v.Nemesis.Trial.timers_cancelled) );
+                     ("completed", num (float_of_int v.Nemesis.Trial.completed));
+                   ])
+               crash) );
+        ("crash_all_ok", Json.Bool all_ok);
+        ( "raft_replay_ms_per_recovery",
+          Json.Obj
+            [
+              ("unbounded", num raft_plain_replay);
+              ("threshold_40", num raft_snap_replay);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_pr10.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_pr10.json";
+  if not sync_none_identity then begin
+    prerr_endline "recovery: sync=none diverged from the memory-only stream";
+    exit 1
+  end;
+  if not all_ok then begin
+    prerr_endline "recovery: a crash-and-recover trial failed its oracle";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1827,13 +2076,12 @@ let experiments =
   ]
 
 (* runnable by name but not part of the run-everything default *)
-let extra_experiments = [ ("perf", perf); ("scale", scale); ("shard", shard) ]
+let extra_experiments =
+  [ ("perf", perf); ("scale", scale); ("shard", shard); ("recovery", recovery) ]
 
 (* ------------------------------------------------------------------ *)
 (* nemesis subcommand                                                  *)
 (* ------------------------------------------------------------------ *)
-
-module Nemesis = Paxi_nemesis
 
 let nemesis_usage () =
   prerr_endline
@@ -2038,7 +2286,8 @@ let dissect_usage () =
     "usage: main.exe dissect [--protocol NAME] [--load FRAC] [--n N] \
      [--relay-groups N] [--shards N] [--arrival \
      closed|poisson:RATE|bursty:RATE:ON:OFF] [--read-ratio F] [--read-path \
-     lease|quorum|tail] [--trace FILE] [--quick]";
+     lease|quorum|tail] [--durable none|batched|every] [--trace FILE] \
+     [--quick]";
   exit 2
 
 (* Latency dissection: run one traced open-loop point and print the
@@ -2053,11 +2302,22 @@ let dissect_main args =
   let arrival = ref None in
   let read_ratio = ref None in
   let read_path = ref None in
+  let durable = ref None in
   let trace_file = ref None in
   let rec parse = function
     | [] -> ()
     | "--protocol" :: v :: rest ->
         protocol := v;
+        parse rest
+    | "--durable" :: v :: rest ->
+        (match Storage.mode_of_string v with
+        | Ok m ->
+            (* jitter stays at the default 0 so the measured per-fsync
+               device time is gated exactly against the model term *)
+            durable := Some (durable_cfg m)
+        | Error e ->
+            Printf.eprintf "dissect: %s\n" e;
+            exit 2);
         parse rest
     | "--load" :: v :: rest ->
         (match float_of_string_opt v with
@@ -2149,6 +2409,17 @@ let dissect_main args =
   (* each group brings its own leader, so the offered load scales with
      the shard count; per-group load stays at --load of capacity *)
   let rate = rate *. float_of_int !shards in
+  (* a real fsync puts the storage device on the commit path: its
+     service rate (one fsync per commit under sync=every, one per
+     group-commit window under batched — bounded the same way) caps
+     the deployment well below the CPU model's knee, so scale the
+     offered load off the disk ceiling instead *)
+  let rate =
+    match !durable with
+    | Some { Storage.sync_mode = Storage.Sync_none; _ } | None -> rate
+    | Some c ->
+        Float.min rate (!load *. 1000.0 /. Float.max 1e-9 c.Storage.fsync_ms)
+  in
   (* --read-path implies a read-heavy mix unless --read-ratio says
      otherwise; no read flags leaves the write-path point (and its
      seed) exactly as before *)
@@ -2162,10 +2433,13 @@ let dissect_main args =
     {
       (Config.default ~n_replicas:n) with
       Config.seed =
-        (* big-n / relay / sharded / custom-arrival points get their
-           own seed families; the default n=5 direct seeds stay
-           exactly as before *)
-        (if !shards > 1 || !arrival <> None then
+        (* big-n / relay / sharded / custom-arrival / durable points
+           get their own seed families; the default n=5 direct seeds
+           stay exactly as before *)
+        (if !durable <> None then
+           point_seed
+             ("dissect", !protocol, !load, "durable", recovery_mode_tag !durable)
+         else if !shards > 1 || !arrival <> None then
            point_seed ("dissect", !protocol, !load, "shards", !shards)
          else
            match (!n_flag, !relay_groups) with
@@ -2179,6 +2453,7 @@ let dissect_main args =
       relay_groups = !relay_groups;
       read_ratio;
       read_path = !read_path;
+      storage = !durable;
     }
   in
   let spec =
@@ -2269,8 +2544,8 @@ let dissect_main args =
   | Some proto -> (
       let rng = Rng.create ~seed:44 in
       match
-        Latency_model.lan_breakdown proto ~node ~lan:Latency_model.default_lan
-          ~rng
+        Latency_model.lan_breakdown ?durable:!durable proto ~node
+          ~lan:Latency_model.default_lan ~rng
           ~lambda_rps:(rate /. float_of_int !shards)
       with
       | None -> print_endline "(model saturated at this load)"
@@ -2305,24 +2580,53 @@ let dissect_main args =
             ]
           in
           let who = if !relay_groups > 0 then "busiest" else "leader" in
+          (* the device's measured per-fsync service time against the
+             model's durability term; 0/0 when storage is off or never
+             on the measured path *)
+          let fsync_meas =
+            if result.Runner.storage_fsyncs = 0 then 0.0
+            else
+              result.Runner.storage_busy_ms
+              /. float_of_int result.Runner.storage_fsyncs
+          in
           Report.print_table
             ~header:[ "term"; "measured (ms)"; "model (ms)"; "rel err" ]
             ~rows:
-              [
-                row
-                  (Printf.sprintf "queue wait Wq (%s)" who)
-                  wq_meas b.Latency_model.wq_ms;
-                row
-                  (Printf.sprintf "service ts (%s)" who)
-                  ts_meas b.Latency_model.service_ms;
-                row "client net DL" dl_meas b.Latency_model.dl_ms;
-                row "quorum DQ" dq_meas b.Latency_model.dq_ms;
-                row "total" e2e_mean b.Latency_model.total_ms;
-              ];
+              ([
+                 row
+                   (Printf.sprintf "queue wait Wq (%s)" who)
+                   wq_meas b.Latency_model.wq_ms;
+                 row
+                   (Printf.sprintf "service ts (%s)" who)
+                   ts_meas b.Latency_model.service_ms;
+                 row "client net DL" dl_meas b.Latency_model.dl_ms;
+                 row "quorum DQ" dq_meas b.Latency_model.dq_ms;
+               ]
+              @ (if !durable <> None then
+                   [ row "fsync Dfsync" fsync_meas b.Latency_model.durability_ms ]
+                 else [])
+              @ [ row "total" e2e_mean b.Latency_model.total_ms ]);
           print_endline
             "(measured leader wait/occupancy include every message at the \n\
              busiest node — heartbeats and quorum replies, not only the \n\
              request itself — so small positive errors are expected)";
+          (match !durable with
+          | Some { Storage.sync_mode = Storage.Sync_every; _ } ->
+              (* CI's storage-smoke gate: with per-sync fsyncs and no
+                 jitter the measured device service time must land on
+                 the model term *)
+              let err =
+                Float.abs (fsync_meas -. b.Latency_model.durability_ms)
+                /. Float.max 1e-9 b.Latency_model.durability_ms
+              in
+              Printf.printf "fsync term rel err: %.2f%% (%d fsyncs)\n"
+                (100.0 *. err) result.Runner.storage_fsyncs;
+              if err > 0.05 then begin
+                prerr_endline
+                  "dissect: fsync term off the model by more than 5%";
+                exit 1
+              end
+          | _ -> ());
           if !relay_groups > 0 then begin
             (* the relay tree's internal latency: first member delivery
                at the relay to combined-ack departure, against the

@@ -78,6 +78,7 @@ module Primary_backup = struct
             end)
 
   let on_start _ = ()
+  let on_recover _ = ()
   let leader_of_key _ _ = Some primary
   let executor t = t.exec
 end

@@ -76,6 +76,13 @@ type result = {
   sim_events_inlined : int;
   retransmits : int;
   dup_drops : int;
+  recoveries : int;
+  replay_ms_total : float;
+  timers_cancelled : int;
+  storage_writes : int;
+  storage_fsyncs : int;
+  storage_busy_ms : float;
+  storage_lost_writes : int;
   allocated_bytes : float;
   bytes_per_event : float;
   trace : Paxi_obs.Trace.t;
@@ -119,6 +126,8 @@ module type DEPLOY = sig
   val shard_leader_load : t -> shard:int -> int * float
   val message_counts : t -> int * int * int
   val retransmit_counts : t -> int * int
+  val recovery_counts : t -> int * float * int
+  val storage_totals : t -> int * int * float * int
 end
 
 let drive (type d) (module D : DEPLOY with type t = d) (dep : d) spec =
@@ -276,6 +285,10 @@ let drive (type d) (module D : DEPLOY with type t = d) (dep : d) spec =
   let busiest_node, busiest_node_busy_ms = D.busiest dep in
   let messages_sent, _, _ = D.message_counts dep in
   let retransmits, dup_drops = D.retransmit_counts dep in
+  let recoveries, replay_ms_total, timers_cancelled = D.recovery_counts dep in
+  let storage_writes, storage_fsyncs, storage_busy_ms, storage_lost_writes =
+    D.storage_totals dep
+  in
   let shard_stats =
     Array.init nshards (fun s ->
         let shard_leader, shard_leader_busy_ms =
@@ -308,6 +321,13 @@ let drive (type d) (module D : DEPLOY with type t = d) (dep : d) spec =
     sim_events_inlined = Sim.events_inlined sim;
     retransmits;
     dup_drops;
+    recoveries;
+    replay_ms_total;
+    timers_cancelled;
+    storage_writes;
+    storage_fsyncs;
+    storage_busy_ms;
+    storage_lost_writes;
     allocated_bytes;
     bytes_per_event = allocated_bytes /. float_of_int (max 1 loop_events);
     trace = D.trace dep;
@@ -384,6 +404,11 @@ let run (module P : Proto.RUNNABLE) spec =
         let shard_leader_load c ~shard:_ = busiest c
         let message_counts = C.message_counts
         let retransmit_counts = C.retransmit_counts
+
+        let recovery_counts c =
+          (C.recoveries c, C.replay_ms_total c, C.timers_cancelled c)
+
+        let storage_totals = C.storage_totals
       end in
       drive (module D) cluster spec
   | Some sh ->
@@ -433,6 +458,31 @@ let run (module P : Proto.RUNNABLE) spec =
         let shard_leader_load t ~shard = S.busiest_in_shard t ~shard
         let message_counts = S.message_counts
         let retransmit_counts = S.retransmit_counts
+
+        (* sum per-group counters across the K co-located groups *)
+        module C = Cluster.Make (P)
+
+        let fold_groups t f init =
+          let acc = ref init in
+          for s = 0 to S.shards t - 1 do
+            acc := f !acc (S.group t s)
+          done;
+          !acc
+
+        let recovery_counts t =
+          fold_groups t
+            (fun (r, ms, tc) g ->
+              ( r + C.recoveries g,
+                ms +. C.replay_ms_total g,
+                tc + C.timers_cancelled g ))
+            (0, 0.0, 0)
+
+        let storage_totals t =
+          fold_groups t
+            (fun (w, f, b, l) g ->
+              let w', f', b', l' = C.storage_totals g in
+              (w + w', f + f', b +. b', l + l'))
+            (0, 0, 0.0, 0)
       end in
       drive (module D) t spec
 

@@ -114,6 +114,23 @@ type result = {
           backoff timers (0 unless [Config.retransmit] is set) *)
   dup_drops : int;
       (** duplicate explicit-ack payloads suppressed at receivers *)
+  recoveries : int;
+      (** crash-recovery edges completed: fresh replica instances
+          booted from durable state. 0 on memory-only deployments,
+          where crashes are transport-level pauses *)
+  replay_ms_total : float;
+      (** simulated time spent replaying durable logs at recovery
+          edges, summed over every recovery *)
+  timers_cancelled : int;
+      (** pending timer events mass-cancelled at crash edges *)
+  storage_writes : int;  (** records appended across all devices *)
+  storage_fsyncs : int;  (** fsync operations serviced *)
+  storage_busy_ms : float;
+      (** total device occupancy servicing fsyncs;
+          [storage_busy_ms /. storage_fsyncs] is the measured mean
+          fsync latency compared against the model term *)
+  storage_lost_writes : int;
+      (** records lost to crashes before their fsync completed *)
   allocated_bytes : float;
       (** GC-reported bytes allocated by this domain across the event
           loop ([Gc.allocated_bytes] delta around [Sim.run_until]) —

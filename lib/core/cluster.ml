@@ -31,6 +31,16 @@ module Make (P : Proto.RUNNABLE) = struct
        client path from multiplying small-table allocation. *)
     pending : (int, Proto.reply -> unit) Hashtbl.t;
     trace : Paxi_obs.Trace.t;
+    (* Crash domains (Config.storage only — all three stay inert on
+       memory-only clusters): per-replica timer ownership registries,
+       stable-storage devices, and the down flags that hold a replica
+       offline between its crash window's end and the moment log
+       replay finishes. *)
+    timers : Timers.t array;
+    storages : Storage.t option array;
+    down : bool array;
+    mutable recoveries : int;
+    mutable replay_ms_total : float;
   }
 
   let pending_key ~client ~id = (client lsl 32) lor (id land 0xFFFF_FFFF)
@@ -109,7 +119,16 @@ module Make (P : Proto.RUNNABLE) = struct
         (fun () ->
           let t0 = Sim.now t.shared.sim in
           t0 +. Faults.clock_offset t.shared.faults ~now_ms:t0 addr);
-      schedule = (fun delay f -> Sim.schedule_after t.shared.sim ~delay f);
+      schedule =
+        (* durable clusters route every protocol timer through the
+           replica's ownership registry so a crash can mass-cancel
+           them; memory-only clusters keep the raw path (identical
+           closures, no tracking) *)
+        (if config.Config.storage = None then fun delay f ->
+           Sim.schedule_after t.shared.sim ~delay f
+         else
+           let tm = t.timers.(i) in
+           fun delay f -> Timers.track tm (Sim.schedule_after t.shared.sim ~delay f));
       cancel = (fun h -> Sim.cancel t.shared.sim h);
       send =
         (fun dst m ->
@@ -176,7 +195,77 @@ module Make (P : Proto.RUNNABLE) = struct
           unpost_all = (fun () -> Reliable.unpost_all ep);
         };
       obs;
+      storage = t.storages.(i);
     }
+
+  (* ---- crash / recovery edges (Config.storage only) ----------------- *)
+
+  (* Merge a node's crash windows into disjoint [from, until) spans so
+     overlapping or abutting windows yield one crash edge and one
+     recovery edge. *)
+  let merge_windows ws =
+    let sorted = List.sort (fun (a, _) (b, _) -> Float.compare a b) ws in
+    List.rev
+      (List.fold_left
+         (fun acc (f, u) ->
+           match acc with
+           | (pf, pu) :: rest when f <= pu -> (pf, Float.max pu u) :: rest
+           | _ -> (f, u) :: acc)
+         [] sorted)
+
+  (* The crash is real (the bug this PR fixes): the replica loses every
+     byte of volatile state. Its timers are mass-cancelled, its
+     reliable-delivery endpoint forgets open posts and dedup memory,
+     and the storage device discards the unsynced tail. The replica
+     object itself stays in place only as an inert corpse — [down]
+     stops deliveries, and recovery replaces it wholesale. *)
+  let crash_edge t i =
+    t.down.(i) <- true;
+    Timers.cancel_all t.timers.(i);
+    Reliable.crash_reset t.endpoints.(i);
+    match t.storages.(i) with Some st -> Storage.crash st | None -> ()
+
+  (* Recovery edge (the crash window just closed): charge the log
+     replay on the simulated clock, then boot a fresh replica instance
+     that rebuilds itself from storage alone via [P.on_recover]. *)
+  let recovery_edge t transport i =
+    let sim = t.shared.sim in
+    let replay =
+      match t.storages.(i) with
+      | Some st -> Storage.replay_cost_ms st
+      | None -> 0.0
+    in
+    t.recoveries <- t.recoveries + 1;
+    t.replay_ms_total <- t.replay_ms_total +. replay;
+    ignore
+      (Sim.schedule_after sim ~delay:replay (fun () ->
+           (* a later crash window may have opened during replay; its
+              own recovery edge owns the reboot then *)
+           if
+             not
+               (Faults.is_crashed t.shared.faults ~now_ms:(Sim.now sim)
+                  (Address.replica i))
+           then begin
+             let r = P.create (make_env t transport i) in
+             t.replicas.(i) <- r;
+             t.down.(i) <- false;
+             P.on_recover r
+           end))
+
+  let schedule_crash_edges t transport =
+    let sim = t.shared.sim in
+    let now = Sim.now sim in
+    for i = 0 to Array.length t.down - 1 do
+      Faults.crash_windows t.shared.faults (Address.replica i)
+      |> merge_windows
+      |> List.iter (fun (from_ms, until_ms) ->
+             ignore
+               (Sim.schedule_at sim ~time:(Float.max from_ms now) (fun () ->
+                    crash_edge t i));
+             ignore
+               (Sim.schedule_at sim ~time:(Float.max until_ms now) (fun () ->
+                    recovery_edge t transport i)))
+    done
 
   let create_shared ?sim ?faults ~config ~topology () =
     (match Config.validate config with
@@ -222,6 +311,24 @@ module Make (P : Proto.RUNNABLE) = struct
             ~inject:(fun pkt -> Rel pkt))
     in
     let trace = Paxi_obs.Trace.create ~enabled:config.Config.tracing () in
+    let n = config.Config.n_replicas in
+    let timers =
+      match config.Config.storage with
+      | None -> [||]
+      | Some _ -> Array.init n (fun _ -> Timers.create sim)
+    in
+    let storages =
+      match config.Config.storage with
+      | None -> Array.make n None
+      | Some sc ->
+          Array.init n (fun i ->
+              let tm = timers.(i) in
+              Some
+                (Storage.create ~config:sc ~sim
+                   ~schedule:(fun delay f ->
+                     ignore (Timers.track tm (Sim.schedule_after sim ~delay f)))
+                   ~rng_parent:(Sim.rng sim)))
+    in
     let t =
       {
         shared;
@@ -231,6 +338,11 @@ module Make (P : Proto.RUNNABLE) = struct
         replicas = [||];
         pending = Hashtbl.create 64;
         trace;
+        timers;
+        storages;
+        down = Array.make n false;
+        recoveries = 0;
+        replay_ms_total = 0.0;
       }
     in
     if config.Config.tracing then
@@ -269,24 +381,33 @@ module Make (P : Proto.RUNNABLE) = struct
     in
     let t = { t with replicas } in
     Array.iteri
-      (fun i replica ->
+      (fun i _ ->
+        (* handlers look the replica up through [t.replicas] on every
+           delivery (not a captured binding): recovery swaps in a
+           fresh instance and deliveries must reach it, never the dead
+           one. [down] holds the slot offline between the crash
+           window's end and the end of log replay. *)
         Transport.register transport (Address.replica i) (fun ~src msg ->
-            match msg with
-            | Peer m -> P.on_message replica ~src:(Address.replica_id src) m
-            | Request { client; request } ->
-                P.on_request replica ~client request
-            | Rel pkt ->
-                Reliable.on_packet t.endpoints.(i) ~src
-                  ~deliver:(fun ~src m ->
-                    P.on_message replica ~src:(Address.replica_id src) m)
-                  pkt
-            | Reply _ -> () (* replicas never receive replies *)))
+            if t.down.(i) then ()
+            else
+              let replica = t.replicas.(i) in
+              match msg with
+              | Peer m -> P.on_message replica ~src:(Address.replica_id src) m
+              | Request { client; request } ->
+                  P.on_request replica ~client request
+              | Rel pkt ->
+                  Reliable.on_packet t.endpoints.(i) ~src
+                    ~deliver:(fun ~src m ->
+                      P.on_message replica ~src:(Address.replica_id src) m)
+                    pkt
+              | Reply _ -> () (* replicas never receive replies *)))
       replicas;
     Array.iter
       (fun r ->
         ignore
           (Sim.schedule_at sim ~time:(Sim.now sim) (fun () -> P.on_start r)))
       replicas;
+    if config.Config.storage <> None then schedule_crash_edges t transport;
     t
 
   let create ?sim ?faults ~config ~topology () =
@@ -349,4 +470,23 @@ module Make (P : Proto.RUNNABLE) = struct
 
   let replica_busy_ms t i =
     Procq.busy_time (Transport.procq t.transport (Address.replica i))
+
+  let storage t i = t.storages.(i)
+  let recoveries t = t.recoveries
+  let replay_ms_total t = t.replay_ms_total
+
+  let timers_cancelled t =
+    Array.fold_left (fun acc tm -> acc + Timers.cancelled_total tm) 0 t.timers
+
+  let storage_totals t =
+    Array.fold_left
+      (fun (w, f, b, l) st ->
+        match st with
+        | None -> (w, f, b, l)
+        | Some st ->
+            ( w + Storage.writes st,
+              f + Storage.fsyncs st,
+              b +. Storage.busy_ms st,
+              l + Storage.lost_writes st ))
+      (0, 0, 0.0, 0) t.storages
 end

@@ -110,4 +110,25 @@ module Make (P : Proto.RUNNABLE) : sig
   val replica_busy_ms : t -> int -> float
   (** Cumulative processing-queue occupancy of a replica — the
       busiest-node load of §6. *)
+
+  val storage : t -> int -> Storage.t option
+  (** A replica's stable-storage device; [None] on memory-only
+      clusters ([Config.storage] unset). *)
+
+  val recoveries : t -> int
+  (** Crash-recovery edges completed (a fresh replica instance booted
+      from durable state). 0 on memory-only clusters, where crashes
+      are transport-level pauses. *)
+
+  val replay_ms_total : t -> float
+  (** Total simulated time spent replaying durable logs at recovery
+      edges. *)
+
+  val timers_cancelled : t -> int
+  (** Pending events mass-cancelled at crash edges across all
+      replicas. *)
+
+  val storage_totals : t -> int * int * float * int
+  (** (writes, fsyncs, fsync busy ms, lost writes) summed over every
+      replica's storage device; zeros when storage is off. *)
 end

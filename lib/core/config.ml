@@ -35,6 +35,13 @@ type t = {
       (** 0 = direct fan-out (the legacy path, byte-identical to
           pre-relay builds); r > 0 partitions the followers into r
           relay groups and routes phase-2 traffic through them. *)
+  storage : Storage.config option;
+      (** [None] = memory-only replicas (the legacy semantics: nemesis
+          crashes pause, durability is free, byte-identical to
+          pre-storage builds). [Some c] arms the stable-storage model:
+          persistent writes traverse a simulated fsync queue before a
+          replica may ack, and nemesis crashes destroy volatile state
+          — recovery reloads only what storage holds. *)
 }
 
 let default ~n_replicas =
@@ -63,6 +70,7 @@ let default ~n_replicas =
     read_ratio = None;
     read_path = None;
     relay_groups = 0;
+    storage = None;
   }
 
 let majority t = (t.n_replicas / 2) + 1
@@ -113,7 +121,15 @@ let validate t =
     | Some Quorum, Some _ -> true
     | _ -> false
   then err "read_path quorum is incompatible with batching"
+  else if t.storage <> None && t.relay_groups > 0 then
+    (* relay rounds aggregate follower acks without the relays knowing
+       about follower fsync schedules; gating each relayed vote on a
+       sync would serialize the aggregation the mode exists to avoid *)
+    err "storage is incompatible with relay_groups"
   else
+    match Option.map Storage.validate_config t.storage with
+    | Some (Error e) -> err "%s" e
+    | _ ->
     match t.retransmit with
     | Some r when r.max_tries < 0 -> err "retransmit.max_tries must be >= 0"
     | Some r when r.max_tries > 0 && r.base_ms <= 0.0 ->
@@ -170,6 +186,9 @@ let to_json t =
     @ (if t.relay_groups > 0 then
          [ ("relay_groups", Json.Number (float_of_int t.relay_groups)) ]
        else [])
+    @ (match t.storage with
+      | Some s -> [ ("storage", Storage.config_to_json s) ]
+      | None -> [])
     @ (match t.read_path with
       | Some (Lease { margin_ms }) ->
           [
@@ -223,6 +242,7 @@ let known_fields =
     "read_ratio";
     "read_path";
     "relay_groups";
+    "storage";
   ]
 
 let of_json json =
@@ -352,6 +372,13 @@ let of_json json =
               | Some _ -> Error "read_path must be an object or null"
             in
             let* relay_groups = intf "relay_groups" d.relay_groups in
+            let* storage =
+              match Json.member "storage" json with
+              | Some Json.Null | None -> Ok None
+              | Some (Json.Obj _ as s) ->
+                  Result.map Option.some (Storage.config_of_json s)
+              | Some _ -> Error "storage must be an object or null"
+            in
             let config =
               {
                 n_replicas; seed; msg_size_bytes; t_in_ms; t_out_ms;
@@ -360,7 +387,7 @@ let of_json json =
                 migration_threshold; migration_cooldown_ms;
                 failover_timeout_ms; initial_object_owner;
                 master_region_index; batching; retransmit; tracing;
-                read_ratio; read_path; relay_groups;
+                read_ratio; read_path; relay_groups; storage;
               }
             in
             let* () = validate config in

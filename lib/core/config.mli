@@ -112,6 +112,16 @@ type t = {
           re-sends direct and re-partitions). [0] (the default) is the
           direct path, byte-identical to pre-relay builds. Incompatible
           with [thrifty]. See DESIGN.md §12. *)
+  storage : Storage.config option;
+      (** stable-storage model (DESIGN.md §14): [Some c] makes every
+          persistent protocol write (ballots, terms, votes, accepted
+          entries) traverse a simulated fsync queue before the replica
+          may ack, arms Raft snapshot/log-compaction, and turns
+          nemesis crashes into real crashes — volatile state is lost,
+          timers are mass-cancelled, and recovery replays the durable
+          log on the simulated clock. [None] (the default) keeps the
+          legacy memory-only semantics and is byte-identical to
+          pre-storage builds. Incompatible with [relay_groups]. *)
 }
 
 val default : n_replicas:int -> t

@@ -1,5 +1,5 @@
 type t = {
-  sm : State_machine.t;
+  mutable sm : State_machine.t;
   memo : (int * int, Command.value option) Hashtbl.t;
 }
 
@@ -27,3 +27,10 @@ let read t (c : Command.t) =
 
 let state_machine t = t.sm
 let executed_count t = Hashtbl.length t.memo
+
+let image t = Array.of_list (State_machine.applied t.sm)
+
+let install t image =
+  t.sm <- State_machine.create ();
+  Hashtbl.reset t.memo;
+  Array.iter (fun c -> ignore (execute t c)) image

@@ -22,3 +22,13 @@ val already_executed : t -> Command.t -> bool
 val state_machine : t -> State_machine.t
 val executed_count : t -> int
 (** Distinct commands applied (excludes no-ops and duplicates). *)
+
+val image : t -> Command.t array
+(** The applied-command prefix, oldest first: a snapshot image that
+    {!install} replays to rebuild the store, memo table and applied
+    sequence exactly (no-ops are never applied, so never appear). *)
+
+val install : t -> Command.t array -> unit
+(** Reset to [image]: replay every command through a fresh state
+    machine, deterministically reconstructing the KV — the receiving
+    half of snapshot install and crash recovery. *)

@@ -91,6 +91,7 @@ type 'm env = {
   forward : int -> client:Address.t -> request -> unit;
   rel : 'm rel;
   obs : obs;
+  storage : Storage.t option;
 }
 
 module type PROTOCOL = sig
@@ -103,6 +104,7 @@ module type PROTOCOL = sig
   val on_request : replica -> client:Address.t -> request -> unit
   val on_message : replica -> src:int -> message -> unit
   val on_start : replica -> unit
+  val on_recover : replica -> unit
   val leader_of_key : replica -> Command.key -> int option
   val executor : replica -> Executor.t
 end

@@ -102,6 +102,10 @@ type 'm env = {
           originating client address *)
   rel : 'm rel;  (** reliable-delivery operations *)
   obs : obs;  (** tracing hooks; inert when tracing is off *)
+  storage : Storage.t option;
+      (** this replica's stable storage ([Config.storage]); [None] =
+          memory-only, where durability is free and protocols must
+          keep their pre-storage behavior byte-for-byte *)
 }
 
 module type PROTOCOL = sig
@@ -125,6 +129,15 @@ module type PROTOCOL = sig
 
   val on_start : replica -> unit
   (** Called once at time 0 (e.g. to elect an initial leader). *)
+
+  val on_recover : replica -> unit
+  (** Called on a {e fresh} replica instance (from {!create}) standing
+      in for one that crashed, after the cluster restored whatever
+      [env.storage] held. The replica must rebuild only from durable
+      state — re-arm timers, rejoin the cluster — never assume its
+      pre-crash volatile state (old ballot, quorum votes, leadership)
+      survived. Only reached when [Config.storage] is set; memory-only
+      clusters never call it. *)
 
   val leader_of_key : replica -> Command.key -> int option
   (** Introspection for routing and tests: which replica currently

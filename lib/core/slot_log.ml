@@ -3,9 +3,11 @@ type 'a t = {
   mutable high : int; (* one past highest occupied slot *)
   mutable frontier : int;
   mutable filled : int;
+  mutable base : int; (* slots below this were compacted into a snapshot *)
 }
 
-let create () = { slots = Array.make 64 None; high = 0; frontier = 0; filled = 0 }
+let create () =
+  { slots = Array.make 64 None; high = 0; frontier = 0; filled = 0; base = 0 }
 
 let ensure t i =
   let cap = Array.length t.slots in
@@ -23,10 +25,14 @@ let get t i = if i < 0 || i >= Array.length t.slots then None else t.slots.(i)
 
 let set t i v =
   if i < 0 then invalid_arg "Slot_log.set: negative slot";
-  ensure t i;
-  if t.slots.(i) = None then t.filled <- t.filled + 1;
-  t.slots.(i) <- Some v;
-  if i >= t.high then t.high <- i + 1
+  if i >= t.base then begin
+    ensure t i;
+    if t.slots.(i) = None then t.filled <- t.filled + 1;
+    t.slots.(i) <- Some v;
+    if i >= t.high then t.high <- i + 1
+  end
+  (* below [base]: the slot's effect is already folded into the
+     snapshot — a late duplicate append carries no new information *)
 
 let update t i ~f = set t i (f (get t i))
 let next_slot t = t.high
@@ -59,3 +65,18 @@ let iter_from t ~start ~f =
   done
 
 let filled_count t = t.filled
+let base t = t.base
+
+let truncate t ~upto =
+  if upto > t.base then begin
+    let hi = min upto (Array.length t.slots) in
+    for i = t.base to hi - 1 do
+      if t.slots.(i) <> None then begin
+        t.slots.(i) <- None;
+        t.filled <- t.filled - 1
+      end
+    done;
+    t.base <- upto;
+    if t.frontier < upto then t.frontier <- upto;
+    if t.high < upto then t.high <- upto
+  end

@@ -30,3 +30,15 @@ val iter_from : 'a t -> start:int -> f:(int -> 'a -> unit) -> unit
     rescanning the whole history. *)
 
 val filled_count : 'a t -> int
+
+val base : 'a t -> int
+(** First slot still held in the log; slots below it were discarded by
+    {!truncate} (their effect lives in a snapshot). 0 until the first
+    truncation. *)
+
+val truncate : 'a t -> upto:int -> unit
+(** Discard every slot below [upto] (exclusive) and raise {!base} to
+    it: [get] on a discarded slot returns [None], [set] below [base]
+    is ignored, and the execution frontier is advanced to at least
+    [upto] (a snapshot at [upto - 1] subsumes execution of the
+    prefix). No-op when [upto <= base]. *)

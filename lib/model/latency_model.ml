@@ -159,10 +159,28 @@ type breakdown = {
   dl_ms : float;
   dq_ms : float;
   conflict_extra_ms : float;
+  durability_ms : float;
   total_ms : float;
 }
 
-let lan_breakdown ?queue proto ~node ~lan ~rng ~lambda_rps =
+(* Expected fsync wait a commit pays when stable storage is armed.
+   Acceptors fsync in parallel before acking, so the term enters the
+   round once, not per quorum member: one device service time under
+   Sync_every, plus the expected wait for the open group-commit window
+   to close under Sync_batched (a record lands uniformly inside the
+   window, so waits [batch_window_ms / 2] on average before the single
+   shared fsync starts). Sync_none keeps durability off the critical
+   path entirely. *)
+let fsync_term_ms = function
+  | None -> 0.0
+  | Some (c : Storage.config) -> (
+      match c.Storage.sync_mode with
+      | Storage.Sync_none -> 0.0
+      | Storage.Sync_every -> c.Storage.fsync_ms
+      | Storage.Sync_batched ->
+          (c.Storage.batch_window_ms /. 2.0) +. c.Storage.fsync_ms)
+
+let lan_breakdown ?queue ?durable proto ~node ~lan ~rng ~lambda_rps =
   let rc = resolved_cost proto ~node ~lambda_rps in
   match queue_wait_ms ?queue rc ~lambda_rps with
   | None -> None
@@ -170,6 +188,7 @@ let lan_breakdown ?queue proto ~node ~lan ~rng ~lambda_rps =
       let dl, dq, dq_extra = lan_network_delays proto ~node ~lan ~rng in
       let c = effective_conflict proto ~node ~lambda_rps in
       let conflict_extra_ms = c *. dq_extra in
+      let durability_ms = fsync_term_ms durable in
       Some
         {
           wq_ms = wq;
@@ -177,7 +196,10 @@ let lan_breakdown ?queue proto ~node ~lan ~rng ~lambda_rps =
           dl_ms = dl;
           dq_ms = dq;
           conflict_extra_ms;
-          total_ms = wq +. rc.Service.lead_ms +. dl +. dq +. conflict_extra_ms;
+          durability_ms;
+          total_ms =
+            wq +. rc.Service.lead_ms +. dl +. dq +. conflict_extra_ms
+            +. durability_ms;
         }
 
 (* ----------------------------- Reads ------------------------------ *)
@@ -215,6 +237,7 @@ let read_breakdown kind ~node ~lan ~rng =
         dl_ms = mu;
         dq_ms = 0.0;
         conflict_extra_ms = 0.0;
+        durability_ms = 0.0;
         total_ms = touch +. mu;
       }
   | Quorum_read ->
@@ -235,6 +258,7 @@ let read_breakdown kind ~node ~lan ~rng =
         dl_ms = mu;
         dq_ms = dq;
         conflict_extra_ms = 0.0;
+        durability_ms = 0.0;
         total_ms = service +. mu +. dq;
       }
 

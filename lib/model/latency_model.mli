@@ -66,21 +66,36 @@ type breakdown = {
   dq_ms : float;  (** quorum RTT (order statistic) *)
   conflict_extra_ms : float;
       (** EPaxos second-phase penalty weighted by conflict rate *)
+  durability_ms : float;
+      (** fsync wait on the commit path when stable storage is armed
+          ({!fsync_term_ms}); 0 on memory-only deployments *)
   total_ms : float;  (** sum of the components — [lan_point]'s latency *)
 }
-(** The Latency = Wq + ts + DL + DQ decomposition of §3.3, kept as
-    separate components so measured per-request traces can be compared
-    term by term against the model ([bench/main dissect]). *)
+(** The Latency = Wq + ts + DL + DQ (+ Dfsync) decomposition of §3.3,
+    kept as separate components so measured per-request traces can be
+    compared term by term against the model ([bench/main dissect]). *)
+
+val fsync_term_ms : Storage.config option -> float
+(** Expected fsync wait one commit pays (DESIGN.md §14): acceptors
+    fsync in parallel before acking, so the round absorbs the term
+    once — [fsync_ms] under [Sync_every],
+    [batch_window_ms / 2 + fsync_ms] under [Sync_batched] (a record
+    lands uniformly inside the open group-commit window), and [0]
+    under [Sync_none] or with storage off. [bench/main dissect
+    --durable] gates the measured per-fsync device time against this
+    term. *)
 
 val lan_breakdown :
   ?queue:Queueing.kind ->
+  ?durable:Storage.config ->
   protocol ->
   node:Service.node_params ->
   lan:lan ->
   rng:Rng.t ->
   lambda_rps:float ->
   breakdown option
-(** [None] once the busiest node saturates. *)
+(** [None] once the busiest node saturates. [?durable] adds the
+    {!fsync_term_ms} durability term to the commit path. *)
 
 (** {2 Read paths} (PR 7) *)
 

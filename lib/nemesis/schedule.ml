@@ -122,6 +122,17 @@ let gen_fault rng ~n ~kinds ~horizon_ms ~crashed =
   let other_than a = (a + 1 + Rng.int rng (n - 1)) mod n in
   let from_ms = Rng.float rng (Float.max 1.0 (horizon_ms *. 0.75)) in
   let duration_ms = Rng.uniform rng ~lo:300.0 ~hi:1_800.0 in
+  let until_ms = from_ms +. duration_ms in
+  (* Crash windows that overlap the candidate window — only those
+     constrain it. Entries whose windows have no overlap drain out of
+     consideration, so a long schedule can keep crashing (distinct or
+     even repeated) nodes as earlier crashes recover, while no instant
+     ever sees more than a minority down. (Counting every window that
+     touches ours overestimates true concurrency — windows overlapping
+     ours need not overlap each other — which only errs safe.) *)
+  let live =
+    List.filter (fun (_, f, u) -> f < until_ms && from_ms < u) !crashed
+  in
   let pick_link () =
     let a = leader_biased () in
     let b = other_than a in
@@ -129,7 +140,7 @@ let gen_fault rng ~n ~kinds ~horizon_ms ~crashed =
   in
   let available =
     [
-      (kinds.crash && List.length !crashed < minority_cap, `Crash);
+      (kinds.crash && List.length live < minority_cap, `Crash);
       (kinds.partition, `Partition);
       (kinds.drop, `Drop);
       (kinds.flaky, `Flaky);
@@ -143,16 +154,18 @@ let gen_fault rng ~n ~kinds ~horizon_ms ~crashed =
   | ks -> (
       match Rng.pick rng (Array.of_list ks) with
       | `Crash ->
-          (* distinct targets, capped at a minority of the cluster, so
-             a quorum always survives every instant of the schedule *)
+          (* targets distinct from every concurrently-down node, with
+             concurrency capped at a minority of the cluster, so a
+             quorum survives every instant of the schedule *)
+          let down = List.map (fun (node, _, _) -> node) live in
           let candidates =
-            List.filter (fun i -> not (List.mem i !crashed)) (List.init n Fun.id)
+            List.filter (fun i -> not (List.mem i down)) (List.init n Fun.id)
           in
           let node =
             if List.mem 0 candidates && Rng.bernoulli rng ~p:0.4 then 0
             else Rng.pick rng (Array.of_list candidates)
           in
-          crashed := node :: !crashed;
+          crashed := (node, from_ms, until_ms) :: !crashed;
           Some (Crash { node; from_ms; duration_ms })
       | `Partition ->
           let k = 1 + Rng.int rng minority_cap in

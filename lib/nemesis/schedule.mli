@@ -72,9 +72,12 @@ val end_ms : t -> float
 val generate :
   rng:Rng.t -> n:int -> kinds:kinds -> max_faults:int -> horizon_ms:float -> t
 (** Draw 1..[max_faults] faults with windows inside
-    [\[0, horizon_ms + max window\]]. Crashes target distinct nodes,
-    never more than a minority of the cluster, and are biased toward
-    replica 0 (the initial stable leader of the single-leader
+    [\[0, horizon_ms + max window\]]. At every instant the crashed
+    set is a minority of distinct nodes — the constraint is
+    per-overlap, not per-schedule, so nodes whose windows have
+    expired drain back into the candidate pool and long schedules
+    keep crashing (and recovering) machines. Crashes are biased
+    toward replica 0 (the initial stable leader of the single-leader
     protocols); partitions split a random minority — sometimes
     containing the leader — from the rest. Deterministic in [rng]. *)
 

@@ -72,6 +72,9 @@ type verdict = {
   gave_up : int;
   anomalies : int;
   divergences : int;
+  recoveries : int;
+  replay_ms_total : float;
+  timers_cancelled : int;
 }
 
 let horizon_ms = 3_000.0
@@ -120,7 +123,7 @@ let generate ?n ?(skew = false) ~protocol ~seed ~max_faults () =
   Schedule.generate ~rng ~n:profile.n ~kinds ~max_faults ~horizon_ms
 
 let run ?n ?read_ratio ?read_path ?(relay_groups = 0) ?(shards = 1) ?arrival
-    ~protocol ~seed schedule =
+    ?durable ~protocol ~seed schedule =
   let profile = resolve_profile ?n protocol in
   let (module P) = Paxi_protocols.Registry.find_exn protocol in
   let config =
@@ -130,6 +133,10 @@ let run ?n ?read_ratio ?read_path ?(relay_groups = 0) ?(shards = 1) ?arrival
       Config.read_ratio;
       Config.read_path;
       Config.relay_groups;
+      (* [?durable] arms the stable-storage model: crashes become real
+         (volatile state lost, durable log replayed on recovery)
+         instead of transport-level pauses. *)
+      Config.storage = durable;
       (* every trial runs with the reliable-delivery substrate armed:
          faults are the whole point here, and several families (chain,
          wankeeper, vpaxos, and paxos/raft since their ad-hoc retry
@@ -201,4 +208,7 @@ let run ?n ?read_ratio ?read_path ?(relay_groups = 0) ?(shards = 1) ?arrival
     gave_up = result.Runner.gave_up;
     anomalies = List.length anomalies;
     divergences = List.length divergences;
+    recoveries = result.Runner.recoveries;
+    replay_ms_total = result.Runner.replay_ms_total;
+    timers_cancelled = result.Runner.timers_cancelled;
   }

@@ -40,6 +40,10 @@ type verdict = {
   gave_up : int;
   anomalies : int;  (** linearizability anomalies *)
   divergences : int;  (** consensus-check violations *)
+  recoveries : int;
+      (** crash-recovery edges completed (0 on memory-only trials) *)
+  replay_ms_total : float;  (** simulated log-replay time at recovery *)
+  timers_cancelled : int;  (** timer events mass-cancelled at crashes *)
 }
 
 val generate :
@@ -64,6 +68,7 @@ val run :
   ?relay_groups:int ->
   ?shards:int ->
   ?arrival:Paxi_benchmark.Runner.arrival ->
+  ?durable:Storage.config ->
   protocol:string ->
   seed:int ->
   Schedule.t ->
@@ -79,6 +84,10 @@ val run :
     K hash-partitioned groups over the shared fault plane (faults are
     machine-scoped: replica [i] of every group fails together) and
     [?arrival] (default closed-loop) swaps the client pacing model, so
-    the oracle also covers sharded and open-loop configurations. All
+    the oracle also covers sharded and open-loop configurations.
+    [?durable] (default off) arms the stable-storage model: crashes
+    destroy volatile state and recovery boots a fresh replica from
+    the durable log (pause-not-crash becomes crash-and-recover), with
+    the verdict reporting recovery counts and replay time. All
     default off, preserving the write-path baseline and its
     fixed-seed pins. *)

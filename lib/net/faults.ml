@@ -96,6 +96,17 @@ let is_crashed t ~now_ms node =
       | _ -> false)
     (consult t ~now_ms)
 
+(* Oldest-first, straight off the authoritative list (not the pruning
+   cache): the cluster's crash/recovery scheduler reads the whole
+   timeline up front, including windows that will long have expired by
+   the time it looks. *)
+let crash_windows t node =
+  List.rev t.rules
+  |> List.filter_map (function
+       | Crash { node = n; w } when Address.equal n node ->
+           Some (w.from_ms, w.until_ms)
+       | _ -> None)
+
 let link_matches ~src ~dst rule_src rule_dst =
   Address.equal src rule_src && Address.equal dst rule_dst
 

@@ -55,6 +55,12 @@ val skew :
 
 val is_crashed : t -> now_ms:float -> Address.t -> bool
 
+val crash_windows : t -> Address.t -> (float * float) list
+(** All crash windows scheduled for [node], oldest-first, as
+    [(from_ms, until_ms)] pairs — including windows already expired at
+    query time. Lets the cluster engine pre-schedule crash and
+    recovery edges for the whole run. *)
+
 val clock_offset : t -> now_ms:float -> Address.t -> float
 (** Sum of the active skew offsets for a node at [now_ms]; 0 when no
     skew window covers the instant. Deterministic — consults no RNG —

@@ -237,6 +237,20 @@ let unpost_all t =
       free_post t p)
     open_posts
 
+(* A crash wipes the endpoint's volatile state: open posts (and their
+   timers) die with the sender, and the receiver-side dedup memory is
+   gone — duplicates arriving after recovery re-run their (idempotent)
+   handlers, exactly as a process restart would behave. What must NOT
+   reset is [next_key] and [frontier]: receivers remember floors
+   learned from our pre-crash frontier advertisements, so restarting
+   keys from 0 would make every post-recovery explicit post look like
+   a settled duplicate and wedge the channel. The counters model a
+   monotonic session epoch, not durable storage. *)
+let crash_reset t =
+  unpost_all t;
+  Hashtbl.reset t.seen;
+  t.floors <- [||]
+
 (* ---- receiver side -------------------------------------------------- *)
 
 let floor_of t code = if code < Array.length t.floors then t.floors.(code) else 1

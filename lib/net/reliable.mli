@@ -120,6 +120,14 @@ val settle_all : _ t -> key:int -> unit
 val unpost_all : _ t -> unit
 (** Withdraw every open post (step-down, ownership loss). *)
 
+val crash_reset : _ t -> unit
+(** Crash edge: withdraw every open post and forget all receiver-side
+    dedup state (duplicates arriving after recovery re-run their
+    idempotent handlers, as a real process restart would). The key
+    counter and settled frontier survive — they model a monotonic
+    session epoch, and resetting them would collide with floors other
+    endpoints already learned and wedge the channel. *)
+
 val on_packet :
   ('p, 'm) t ->
   src:Address.t ->

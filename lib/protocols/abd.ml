@@ -135,3 +135,9 @@ let on_message t ~src = function
   | StoreR { rid } -> on_store_reply t ~src ~rid
 
 let on_start (_ : replica) = ()
+
+(* In-memory protocol: a crash-recovery edge reboots it from scratch
+   (no durable state to reload) — the cluster engine only pairs
+   [Config.storage] with protocols that persist, so this is a
+   rejoin-from-zero fallback. *)
+let on_recover = on_start

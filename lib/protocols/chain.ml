@@ -98,3 +98,9 @@ let on_message t ~src:_ = function
       apply_ready t
 
 let on_start (_ : replica) = ()
+
+(* In-memory protocol: a crash-recovery edge reboots it from scratch
+   (no durable state to reload) — the cluster engine only pairs
+   [Config.storage] with protocols that persist, so this is a
+   rejoin-from-zero fallback. *)
+let on_recover = on_start

@@ -19,6 +19,7 @@ let create (env : message Proto.env) =
 let on_request = Paxos.on_request
 let on_message = Paxos.on_message
 let on_start = Paxos.on_start
+let on_recover = Paxos.on_recover
 let leader_of_key = Paxos.leader_of_key
 let is_leader = Paxos.is_leader
 let executor = Paxos.executor

@@ -171,3 +171,9 @@ let on_message t ~src = function
   | MCommit { slot; cmd } -> on_commit t ~slot ~cmd
 
 let on_start (_ : replica) = ()
+
+(* In-memory protocol: a crash-recovery edge reboots it from scratch
+   (no durable state to reload) — the cluster engine only pairs
+   [Config.storage] with protocols that persist, so this is a
+   rejoin-from-zero fallback. *)
+let on_recover = on_start

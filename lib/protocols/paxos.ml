@@ -610,12 +610,30 @@ let maybe_commit_slot t slot (e : entry) tracker =
       t.env.broadcast (Commit { slot; cmd = e.cmd })
   end
 
+(* ---- stable storage (Config.storage; DESIGN.md §14) ----------------
+   Registers 0/1 hold the durable promised ballot (round, owner); the
+   durable log holds every accepted (slot, ballot, command). Acks that
+   Paxos safety rests on — the P1b promise, the P2b/P2bBatch accept,
+   and the leader's own phase-2 vote — are deferred until the fsync
+   covering their records completes. With [Config.storage] unset every
+   branch below falls through to the original code path, so
+   memory-only runs stay byte-identical. *)
+
+let durable_ballot_ops (b : Ballot.t) =
+  [ Storage.Reg (0, b.Ballot.round); Storage.Reg (1, b.Ballot.owner) ]
+
+let entry_op ~slot ~(ballot : Ballot.t) ~cmd =
+  Storage.Entry
+    (slot, { Storage.a = ballot.Ballot.round; b = ballot.Ballot.owner; cmd })
+
 let propose t ~client (request : Proto.request) =
   let slot = Slot_log.reserve t.log in
   let tracker =
     Quorum.create (Quorum.Count { members = all_ids t; threshold = q2_size t })
   in
-  Quorum.ack tracker t.env.id;
+  (match t.env.Proto.storage with
+  | None -> Quorum.ack tracker t.env.id
+  | Some _ -> () (* self-vote deferred until the entry is durable *));
   let entry =
     {
       ballot = t.ballot;
@@ -654,7 +672,19 @@ let propose t ~client (request : Proto.request) =
     entry.rkey <-
       (if t.env.config.Config.thrifty then
          t.env.rel.post_multi ~ack:Reliable.Piggyback (phase2_peers t) msg
-       else t.env.rel.post_all ~ack:Reliable.Piggyback msg)
+       else t.env.rel.post_all ~ack:Reliable.Piggyback msg);
+  match t.env.Proto.storage with
+  | None -> ()
+  | Some st ->
+      (* the leader's own vote counts only once its accept record is
+         on disk — by then leadership or the slot may have moved on *)
+      Storage.write st (entry_op ~slot ~ballot:entry.ballot ~cmd:entry.cmd);
+      let b = t.ballot in
+      Storage.sync st (fun () ->
+          if t.active && Ballot.equal t.ballot b && not entry.committed then begin
+            Quorum.ack tracker t.env.id;
+            maybe_commit_slot t slot entry tracker
+          end)
 
 let commit_batch t first_slot (bs : batch_state) =
   Hashtbl.remove t.batches first_slot;
@@ -712,7 +742,9 @@ let propose_batch t items =
   let tracker =
     Quorum.create (Quorum.Count { members = all_ids t; threshold = q2_size t })
   in
-  Quorum.ack tracker t.env.id;
+  (match t.env.Proto.storage with
+  | None -> Quorum.ack tracker t.env.id
+  | Some _ -> () (* self-vote deferred until the batch is durable *));
   let msg =
     P2aBatch
       {
@@ -749,7 +781,20 @@ let propose_batch t items =
       { bballot = t.ballot; count = k; tracker; rkey; bfb = Sim.nil }
   in
   Hashtbl.replace t.batches first_slot bs;
-  if Quorum.satisfied tracker then commit_batch t first_slot bs
+  match t.env.Proto.storage with
+  | None -> if Quorum.satisfied tracker then commit_batch t first_slot bs
+  | Some st ->
+      Array.iteri
+        (fun i cmd ->
+          Storage.write st
+            (entry_op ~slot:(first_slot + i) ~ballot:bs.bballot ~cmd))
+        cmds;
+      Storage.sync st (fun () ->
+          match Hashtbl.find_opt t.batches first_slot with
+          | Some bs' when bs' == bs ->
+              Quorum.ack tracker t.env.id;
+              if Quorum.satisfied tracker then commit_batch t first_slot bs
+          | _ -> () (* round abandoned (step-down) before the fsync *))
 
 let flush_batch t =
   t.env.Proto.cancel t.flush_timer;
@@ -864,9 +909,21 @@ let start_phase1 t =
   (* self-report own accepted entries *)
   Slot_log.iter_from t.log ~start:frontier ~f:(fun slot e ->
       state.recovered <- (slot, e.ballot, e.cmd) :: state.recovered);
-  ignore
-    (t.env.rel.post_all ~key:state.rkey ~ack:Reliable.Piggyback
-       (P1a { ballot = t.ballot; frontier }))
+  let send () =
+    ignore
+      (t.env.rel.post_all ~key:state.rkey ~ack:Reliable.Piggyback
+         (P1a { ballot = t.ballot; frontier }))
+  in
+  match t.env.Proto.storage with
+  | None -> send ()
+  | Some st ->
+      (* the candidacy's own implicit promise must be durable before
+         anyone else can count on it *)
+      let b = t.ballot in
+      Storage.persist st (durable_ballot_ops b) (fun () ->
+          match t.p1 with
+          | Some s when s == state && Ballot.equal t.ballot b -> send ()
+          | _ -> () (* candidacy superseded before the fsync *))
 
 let become_leader t (state : phase1_state) =
   t.p1 <- None;
@@ -887,6 +944,7 @@ let become_leader t (state : phase1_state) =
     state.recovered;
   let max_slot = Hashtbl.fold (fun s _ acc -> Stdlib.max s acc) best (-1) in
   let frontier = Slot_log.exec_frontier t.log in
+  let resync = ref [] in
   for slot = frontier to max_slot do
     let cmd =
       match Hashtbl.find_opt best slot with
@@ -897,7 +955,9 @@ let become_leader t (state : phase1_state) =
       Quorum.create
         (Quorum.Count { members = all_ids t; threshold = q2_size t })
     in
-    Quorum.ack tracker t.env.id;
+    (match t.env.Proto.storage with
+    | None -> Quorum.ack tracker t.env.id
+    | Some _ -> () (* self-vote deferred until the re-proposal is durable *));
     (match Slot_log.get t.log slot with
     | Some e when e.committed -> () (* keep committed state *)
     | Some e ->
@@ -930,9 +990,32 @@ let become_leader t (state : phase1_state) =
                  slot;
                  cmd = e.cmd;
                  commit_up_to = Slot_log.exec_frontier t.log;
-               })
+               });
+        (match t.env.Proto.storage with
+        | None -> ()
+        | Some st ->
+            Storage.write st (entry_op ~slot ~ballot:e.ballot ~cmd:e.cmd);
+            resync := (slot, e) :: !resync)
     | _ -> ()
   done;
+  (match t.env.Proto.storage with
+  | None -> ()
+  | Some st ->
+      (* one fsync covers the new term's ballot and every re-proposed
+         accept; the self-votes land when it completes *)
+      let b = t.ballot in
+      let slots = !resync in
+      List.iter (Storage.write st) (durable_ballot_ops b);
+      Storage.sync st (fun () ->
+          if t.active && Ballot.equal t.ballot b then
+            List.iter
+              (fun (slot, (e : entry)) ->
+                match e.quorum with
+                | Some tracker when not e.committed ->
+                    Quorum.ack tracker t.env.id;
+                    maybe_commit_slot t slot e tracker
+                | _ -> ())
+              slots));
   (* Read barrier: reads wait until everything up to and including the
      recovered tail is applied locally, so no predecessor's
      acknowledged write can be missing from a lease read. *)
@@ -1061,7 +1144,13 @@ let on_p1a t ~src ~ballot ~frontier =
     let accepted = ref [] in
     Slot_log.iter_from t.log ~start:frontier ~f:(fun slot e ->
         accepted := (slot, e.ballot, e.cmd) :: !accepted);
-    t.env.send src (P1b { ballot; ok = true; accepted = !accepted });
+    (* the promise binds across crashes: it leaves only after the
+       promised ballot is on disk *)
+    (match t.env.Proto.storage with
+    | None -> t.env.send src (P1b { ballot; ok = true; accepted = !accepted })
+    | Some st ->
+        Storage.persist st (durable_ballot_ops ballot) (fun () ->
+            t.env.send src (P1b { ballot; ok = true; accepted = !accepted })));
     drain_pending t
   end
   else t.env.send src (P1b { ballot = t.ballot; ok = false; accepted = [] })
@@ -1108,6 +1197,11 @@ let accept_p2a t ~ballot ~slot ~cmd ~commit_up_to:bound =
             rkey = 0;
             fb = Sim.nil;
           });
+    (match t.env.Proto.storage with
+    | None -> ()
+    | Some st ->
+        List.iter (Storage.write st) (durable_ballot_ops ballot);
+        Storage.write st (entry_op ~slot ~ballot ~cmd));
     commit_up_to t bound;
     true
   end
@@ -1115,7 +1209,12 @@ let accept_p2a t ~ballot ~slot ~cmd ~commit_up_to:bound =
 
 let on_p2a t ~src ~ballot ~slot ~cmd ~commit_up_to =
   if accept_p2a t ~ballot ~slot ~cmd ~commit_up_to then begin
-    t.env.send src (P2b { ballot; slot; ok = true });
+    (* the accept vote leaves only after its record is durable *)
+    (match t.env.Proto.storage with
+    | None -> t.env.send src (P2b { ballot; slot; ok = true })
+    | Some st ->
+        Storage.sync st (fun () ->
+            t.env.send src (P2b { ballot; slot; ok = true })));
     drain_pending t
   end
   else t.env.send src (P2b { ballot = t.ballot; slot; ok = false })
@@ -1153,6 +1252,14 @@ let accept_p2a_batch t ~ballot ~first_slot ~cmds ~commit_up_to:bound =
                 fb = Sim.nil;
               })
       cmds;
+    (match t.env.Proto.storage with
+    | None -> ()
+    | Some st ->
+        List.iter (Storage.write st) (durable_ballot_ops ballot);
+        Array.iteri
+          (fun i cmd ->
+            Storage.write st (entry_op ~slot:(first_slot + i) ~ballot ~cmd))
+          cmds);
     commit_up_to t bound;
     true
   end
@@ -1161,7 +1268,12 @@ let accept_p2a_batch t ~ballot ~first_slot ~cmds ~commit_up_to:bound =
 let on_p2a_batch t ~src ~ballot ~first_slot ~cmds ~commit_up_to =
   let count = Array.length cmds in
   if accept_p2a_batch t ~ballot ~first_slot ~cmds ~commit_up_to then begin
-    t.env.send src (P2bBatch { ballot; first_slot; count; ok = true });
+    (match t.env.Proto.storage with
+    | None -> t.env.send src (P2bBatch { ballot; first_slot; count; ok = true })
+    | Some st ->
+        Storage.sync st (fun () ->
+            t.env.send src
+              (P2bBatch { ballot; first_slot; count; ok = true })));
     drain_pending t
   end
   else
@@ -1418,5 +1530,34 @@ let rec failover_loop t =
 let on_start t =
   t.last_heard <- t.env.now ();
   if t.env.id = 0 then start_phase1 t;
+  heartbeat_loop t;
+  failover_loop t
+
+(* Boot a FRESH replica instance from durable state after a crash
+   (the cluster engine swaps instances at the recovery edge). By
+   construction everything volatile is gone — leadership, phase-1
+   progress, leases, batches, client continuations. Only the promised
+   ballot (registers 0/1) and the accepted log survive; commits and
+   the KV image are re-derived as the replica re-learns the commit
+   frontier from the incumbent leader (or re-runs phase 1 itself on
+   failover timeout — a recovered leader never resumes its old term). *)
+let on_recover t =
+  (match t.env.Proto.storage with
+  | None -> ()
+  | Some st ->
+      let round = Storage.reg st 0 and owner = Storage.reg st 1 in
+      if round > 0 then t.ballot <- { Ballot.round; owner };
+      Storage.iter_entries st ~f:(fun slot (de : Storage.entry) ->
+          Slot_log.set t.log slot
+            {
+              ballot = { Ballot.round = de.Storage.a; owner = de.Storage.b };
+              cmd = de.Storage.cmd;
+              client = None;
+              quorum = None;
+              committed = false;
+              rkey = 0;
+              fb = Sim.nil;
+            }));
+  t.last_heard <- t.env.now ();
   heartbeat_loop t;
   failover_loop t

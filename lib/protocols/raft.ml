@@ -22,6 +22,17 @@ type message =
   | RelayAppendAck of { term : int; gen : int; expected : int; bits : int }
       (** aggregated success replies for the round that establishes
           match index [expected]; bit i = plan-group member i accepted *)
+  | InstallSnapshot of {
+      term : int;
+      last_index : int;
+      last_term : int;
+      image : Command.t array;
+    }
+      (** leader → lagging follower whose next_index fell below the
+          leader's compacted log base: the applied-command image
+          through [last_index] (exclusive), replayed to rebuild the
+          follower's state machine; answered with an ordinary
+          [AppendReply] at [last_index] *)
 
 let name = "raft"
 let cpu_factor (_ : Config.t) = 1.0
@@ -34,6 +45,7 @@ let message_label = function
   | RelayAppend _ -> "RelayAppend"
   | FanAppend _ -> "FanAppend"
   | RelayAppendAck _ -> "RelayAppendAck"
+  | InstallSnapshot _ -> "InstallSnapshot"
 
 type role = Follower | Candidate | Leader
 
@@ -93,6 +105,12 @@ type replica = {
   mutable relay_akey : int; (* leader: open relay-round post (0 = none) *)
   mutable relay_expected : int; (* match index that round establishes *)
   mutable relay_fb : Sim.handle; (* leader: relay fallback timer *)
+  (* ---- stable storage + log compaction (Config.storage; §14) ---- *)
+  mutable snap : (int * int * Command.t array) option;
+      (* latest snapshot taken or installed here: (one past last
+         included index, last included term, applied-command image) *)
+  mutable snap_term : int; (* term of the entry at [log base - 1] *)
+  mutable snapshots : int; (* snapshots taken locally *)
 }
 
 let all_ids (t : replica) = List.init t.env.n (fun i -> i)
@@ -138,6 +156,9 @@ let create env =
     relay_akey = 0;
     relay_expected = 0;
     relay_fb = Sim.nil;
+    snap = None;
+    snap_term = 0;
+    snapshots = 0;
   }
 
 let role t = t.state
@@ -146,6 +167,8 @@ let commit_index t = t.commit_index
 let executor t = t.exec
 let log_length t = Slot_log.next_slot t.log
 let local_reads_served t = t.local_reads
+let log_base t = Slot_log.base t.log
+let snapshots_taken t = t.snapshots
 
 let lease_mode t =
   match t.env.Proto.config.Config.read_path with
@@ -177,12 +200,58 @@ let last_index t = Slot_log.next_slot t.log - 1
 
 let term_at t i =
   if i < 0 then 0
+  else if i = Slot_log.base t.log - 1 then
+    (* the slot right below the compacted base: its term survives in
+       the snapshot record so consistency checks still line up *)
+    t.snap_term
   else match Slot_log.get t.log i with Some e -> e.term | None -> 0
+
+(* ---- stable storage (Config.storage; DESIGN.md §14) ----------------
+   Register 0 holds the durable term, register 1 the durable vote
+   ([voted_for + 1]; 0 = none). The durable log holds every appended
+   (slot, term, command); snapshots compact it below the applied
+   frontier. Votes and append acks leave only once the fsync covering
+   their records completes; with [Config.storage] unset every branch
+   falls through to the original path, keeping memory-only runs
+   byte-identical. *)
+
+let durable_term_ops t =
+  [
+    Storage.Reg (0, t.term);
+    Storage.Reg (1, (match t.voted_for with Some v -> v + 1 | None -> 0));
+  ]
+
+let entry_op ~slot (e : entry) =
+  Storage.Entry (slot, { Storage.a = e.term; b = 0; cmd = e.cmd })
 
 let reset_election_timer t =
   let base = t.env.config.Config.failover_timeout_ms in
   t.election_deadline <-
     t.env.now () +. base +. Rng.float t.env.rng base
+
+(* Threshold log compaction (Raft §7): once the applied prefix since
+   the last compaction reaches [snapshot_threshold], capture the
+   state-machine image, persist it with a [Truncate], and drop the
+   in-memory slots below the frontier. The in-memory log truncates
+   immediately (it is volatile either way); durability of the
+   snapshot rides the next fsync, and a crash before it completes
+   simply recovers from the previous image plus the longer log. *)
+let maybe_snapshot t =
+  match t.env.Proto.storage with
+  | None -> ()
+  | Some st ->
+      let thr = Storage.snapshot_threshold st in
+      let applied = Slot_log.exec_frontier t.log in
+      if thr > 0 && applied - Slot_log.base t.log >= thr then begin
+        let image = Executor.image t.exec in
+        t.snap_term <- term_at t (applied - 1);
+        t.snap <- Some (applied, t.snap_term, image);
+        Storage.write st (Storage.Snapshot (applied, t.snap_term, image));
+        Storage.write st (Storage.Truncate applied);
+        Storage.sync st ignore;
+        Slot_log.truncate t.log ~upto:applied;
+        t.snapshots <- t.snapshots + 1
+      end
 
 (* Apply committed entries in order; leaders answer recorded clients. *)
 let apply_committed t =
@@ -201,7 +270,8 @@ let apply_committed t =
               replier = t.env.id;
               leader_hint = t.leader_id;
             }
-      | None -> ())
+      | None -> ());
+  maybe_snapshot t
 
 (* Serve a read from the local state machine without consuming a
    slot: legal exactly while {!lease_valid} holds. *)
@@ -398,7 +468,22 @@ let relay_absorb_reply t ~src ~term ~success ~match_index =
    re-posted with the current tail), so at most one append post is
    open per follower and it always carries the freshest state. An
    empty tail is a plain probe — nothing to recover. *)
-let post_append t ~dsts ~next =
+(* A follower's next_index fell below our compacted base: the slots it
+   needs are gone, so ship the state-machine image instead. Answered
+   with an ordinary AppendReply at the image's frontier; a lost copy
+   re-triggers through the usual nack/backoff path. *)
+let send_install_snapshot t ~dsts =
+  match t.snap with
+  | None -> ()
+  | Some (last, last_term, image) ->
+      let size_bytes =
+        Stdlib.max 1 (Array.length image) * t.env.config.Config.msg_size_bytes
+      in
+      note_probe t dsts;
+      t.env.multicast_sized dsts ~size_bytes
+        (InstallSnapshot { term = t.term; last_index = last; last_term; image })
+
+let post_append_tail t ~dsts ~next =
   let prev_index = next - 1 in
   let entries = ref [] in
   for i = last_index t downto next do
@@ -436,6 +521,10 @@ let post_append t ~dsts ~next =
         t.inflight_match.(f) <- expected)
       dsts
   end
+
+let post_append t ~dsts ~next =
+  if next < Slot_log.base t.log then send_install_snapshot t ~dsts
+  else post_append_tail t ~dsts ~next
 
 let send_append t follower =
   post_append t ~dsts:[ follower ] ~next:t.next_index.(follower)
@@ -582,6 +671,26 @@ let relay_clear_leader t =
     relay_reset t
   end
 
+let advance_commit t =
+  (* Largest index replicated on a majority with an entry of the
+     current term (Raft's commit rule). *)
+  let sorted = Array.copy t.match_index in
+  Array.sort Int.compare sorted;
+  (* the majority-th smallest match: at least majority replicas have
+     match_index >= this value *)
+  let majority_match = sorted.(t.env.n - Config.majority t.env.config) in
+  if majority_match > t.commit_index && term_at t (majority_match - 1) = t.term
+  then begin
+    let old = t.commit_index in
+    t.commit_index <- majority_match;
+    for slot = old to majority_match - 1 do
+      t.env.obs.Proto.on_quorum ~slot
+    done;
+    apply_committed t;
+    (* the barrier committing may unblock queued lease reads *)
+    if lease_mode t then maybe_serve_reads t
+  end
+
 let become_leader t =
   t.state <- Leader;
   t.leader_id <- Some t.env.id;
@@ -601,17 +710,35 @@ let become_leader t =
      fresh leader never serves a read before applying every write its
      predecessors could have acknowledged. *)
   let barrier = Slot_log.reserve t.log in
-  Slot_log.set t.log barrier { term = t.term; cmd = Command.noop; client = None };
+  let be = { term = t.term; cmd = Command.noop; client = None } in
+  Slot_log.set t.log barrier be;
   t.read_barrier <- barrier;
-  t.match_index.(t.env.id) <- barrier + 1;
+  (match t.env.Proto.storage with
+  | None -> t.match_index.(t.env.id) <- barrier + 1
+  | Some st -> Storage.write st (entry_op ~slot:barrier be));
   broadcast_append t;
   while not (Queue.is_empty t.pending) do
     let client, request = Queue.pop t.pending in
     let slot = Slot_log.reserve t.log in
-    Slot_log.set t.log slot
-      { term = t.term; cmd = request.Proto.command; client = Some client };
-    t.match_index.(t.env.id) <- slot + 1
+    let e = { term = t.term; cmd = request.Proto.command; client = Some client } in
+    Slot_log.set t.log slot e;
+    match t.env.Proto.storage with
+    | None -> t.match_index.(t.env.id) <- slot + 1
+    | Some st -> Storage.write st (entry_op ~slot e)
   done;
+  (match t.env.Proto.storage with
+  | None -> ()
+  | Some st ->
+      (* the leader's own match counts only once its entries are on
+         disk; one fsync covers the barrier and the drained backlog *)
+      let top = Slot_log.next_slot t.log in
+      let term = t.term in
+      Storage.sync st (fun () ->
+          if t.state = Leader && t.term = term then begin
+            if top > t.match_index.(t.env.id) then
+              t.match_index.(t.env.id) <- top;
+            advance_commit t
+          end));
   if Slot_log.next_slot t.log > len then broadcast_append t
 
 let become_follower t ~term =
@@ -643,29 +770,23 @@ let start_election t =
   Quorum.ack tracker t.env.id;
   t.votes <- Some tracker;
   reset_election_timer t;
-  t.env.broadcast
-    (RequestVote
-       { term = t.term; last_index = last_index t; last_term = term_at t (last_index t) })
-
-let advance_commit t =
-  (* Largest index replicated on a majority with an entry of the
-     current term (Raft's commit rule). *)
-  let sorted = Array.copy t.match_index in
-  Array.sort Int.compare sorted;
-  (* the majority-th smallest match: at least majority replicas have
-     match_index >= this value *)
-  let majority_match = sorted.(t.env.n - Config.majority t.env.config) in
-  if majority_match > t.commit_index && term_at t (majority_match - 1) = t.term
-  then begin
-    let old = t.commit_index in
-    t.commit_index <- majority_match;
-    for slot = old to majority_match - 1 do
-      t.env.obs.Proto.on_quorum ~slot
-    done;
-    apply_committed t;
-    (* the barrier committing may unblock queued lease reads *)
-    if lease_mode t then maybe_serve_reads t
-  end
+  let send () =
+    t.env.broadcast
+      (RequestVote
+         {
+           term = t.term;
+           last_index = last_index t;
+           last_term = term_at t (last_index t);
+         })
+  in
+  match t.env.Proto.storage with
+  | None -> send ()
+  | Some st ->
+      (* the candidacy's term and self-vote bind across crashes: the
+         solicitation leaves only once they are on disk *)
+      let term = t.term in
+      Storage.persist st (durable_term_ops t) (fun () ->
+          if t.state = Candidate && t.term = term then send ())
 
 let on_request t ~client (request : Proto.request) =
   match t.state with
@@ -674,10 +795,24 @@ let on_request t ~client (request : Proto.request) =
       else Queue.push (client, request) t.pending_reads
   | Leader -> (
       let slot = Slot_log.reserve t.log in
-      Slot_log.set t.log slot
-        { term = t.term; cmd = request.Proto.command; client = Some client };
+      let e =
+        { term = t.term; cmd = request.Proto.command; client = Some client }
+      in
+      Slot_log.set t.log slot e;
       t.env.obs.Proto.on_propose ~slot ~cmd:request.Proto.command;
-      t.match_index.(t.env.id) <- slot + 1;
+      (match t.env.Proto.storage with
+      | None -> t.match_index.(t.env.id) <- slot + 1
+      | Some st ->
+          (* the leader's own match counts only once the entry's fsync
+             completes — by then leadership may have moved on *)
+          Storage.write st (entry_op ~slot e);
+          let term = t.term in
+          Storage.sync st (fun () ->
+              if t.state = Leader && t.term = term then begin
+                if slot + 1 > t.match_index.(t.env.id) then
+                  t.match_index.(t.env.id) <- slot + 1;
+                advance_commit t
+              end));
       match t.env.config.Config.batching with
       | None -> broadcast_append t
       | Some b ->
@@ -730,7 +865,14 @@ let on_request_vote t ~src ~term ~last_index:cand_last ~last_term =
     t.voted_for <- Some src;
     reset_election_timer t
   end;
-  t.env.send src (VoteReply { term = t.term; granted })
+  let reply_term = t.term in
+  match t.env.Proto.storage with
+  | Some st when granted ->
+      (* the vote binds across crashes: it leaves only after term and
+         voted_for are on disk *)
+      Storage.persist st (durable_term_ops t) (fun () ->
+          t.env.send src (VoteReply { term = reply_term; granted = true }))
+  | _ -> t.env.send src (VoteReply { term = reply_term; granted })
 
 let on_vote_reply t ~src ~term ~granted =
   if term > t.term then become_follower t ~term
@@ -773,7 +915,11 @@ let append_entries_core t ~leader ~term ~prev_index ~prev_term ~entries
           let i = prev_index + 1 + off in
           match Slot_log.get t.log i with
           | Some existing when existing.term = e.term -> ()
-          | _ -> Slot_log.set t.log i { e with client = None })
+          | _ ->
+              Slot_log.set t.log i { e with client = None };
+              (match t.env.Proto.storage with
+              | None -> ()
+              | Some st -> Storage.write st (entry_op ~slot:i e)))
         entries;
       let match_index = prev_index + 1 + List.length entries in
       if leader_commit > t.commit_index then begin
@@ -790,7 +936,68 @@ let on_append_entries t ~src ~term ~prev_index ~prev_term ~entries
     append_entries_core t ~leader:src ~term ~prev_index ~prev_term ~entries
       ~leader_commit
   in
-  t.env.send src (AppendReply { term = t.term; success; match_index })
+  let reply_term = t.term in
+  match t.env.Proto.storage with
+  | Some st when success && entries <> [] ->
+      (* the accept vote leaves only after its records are durable *)
+      Storage.sync st (fun () ->
+          t.env.send src
+            (AppendReply { term = reply_term; success; match_index }))
+  | _ -> t.env.send src (AppendReply { term = reply_term; success; match_index })
+
+(* Snapshot install (Raft §7): replace the state machine with the
+   shipped image, drop the log below its frontier, and answer with an
+   ordinary AppendReply so the leader's match/next bookkeeping needs
+   no special case. A stale image (we already applied past it) only
+   refreshes leader identity and the election timer. *)
+let on_install_snapshot t ~src ~term ~last_index ~last_term ~image =
+  if term < t.term then
+    t.env.send src
+      (AppendReply
+         {
+           term = t.term;
+           success = false;
+           match_index = Slot_log.next_slot t.log;
+         })
+  else begin
+    if term > t.term || t.state <> Follower then become_follower t ~term;
+    t.leader_id <- Some src;
+    t.last_heard <- t.env.now ();
+    reset_election_timer t;
+    if lease_mode t then begin
+      t.lease_holder <- src;
+      let until = t.env.now () +. lease_window t in
+      if until > t.lease_granted_until then t.lease_granted_until <- until
+    end;
+    drain_pending_to_leader t;
+    let reply_term = t.term in
+    if last_index > Slot_log.exec_frontier t.log then begin
+      Executor.install t.exec image;
+      Slot_log.truncate t.log ~upto:last_index;
+      t.snap_term <- last_term;
+      t.snap <- Some (last_index, last_term, image);
+      if last_index > t.commit_index then t.commit_index <- last_index;
+      let reply () =
+        t.env.send src
+          (AppendReply
+             { term = reply_term; success = true; match_index = last_index })
+      in
+      match t.env.Proto.storage with
+      | None -> reply ()
+      | Some st ->
+          Storage.write st (Storage.Snapshot (last_index, last_term, image));
+          Storage.write st (Storage.Truncate last_index);
+          Storage.sync st reply
+    end
+    else
+      t.env.send src
+        (AppendReply
+           {
+             term = reply_term;
+             success = true;
+             match_index = Stdlib.max last_index (Slot_log.exec_frontier t.log);
+           })
+  end
 
 (* A relay fanned a round out to us: process it as the leader's own
    append (leader identity, lease grant, election-timer reset), but
@@ -957,6 +1164,8 @@ let on_message t ~src = function
   | FanAppend { origin; inner } -> on_fan_append t ~src ~origin ~inner
   | RelayAppendAck { term; gen; expected; bits } ->
       on_relay_append_ack t ~src ~term ~gen ~expected ~bits
+  | InstallSnapshot { term; last_index; last_term; image } ->
+      on_install_snapshot t ~src ~term ~last_index ~last_term ~image
 
 let rec heartbeat_loop t =
   let period = t.env.config.Config.failover_timeout_ms /. 4.0 in
@@ -986,5 +1195,37 @@ let on_start t =
       (t.env.schedule 1.0 (fun () ->
            if t.state = Follower && t.leader_id = None then start_election t))
   else t.election_deadline <- t.env.now () +. base +. Rng.float t.env.rng base;
+  heartbeat_loop t;
+  election_loop t
+
+(* Boot a FRESH replica instance from durable state after a crash (the
+   cluster engine swaps instances at the recovery edge). Volatile
+   state — role, leader identity, commit index beyond the snapshot,
+   match/next bookkeeping, leases — is gone by construction; the
+   durable term, vote, snapshot and log survive. The replica restarts
+   as a follower with a full election timeout: even a pre-crash leader
+   must win a fresh election (or hear from the incumbent) before it
+   touches the log again. *)
+let on_recover t =
+  (match t.env.Proto.storage with
+  | None -> ()
+  | Some st ->
+      t.term <- Storage.reg st 0;
+      let v = Storage.reg st 1 in
+      t.voted_for <- (if v > 0 then Some (v - 1) else None);
+      (match Storage.snapshot st with
+      | Some (last, last_term, image) ->
+          Executor.install t.exec image;
+          Slot_log.truncate t.log ~upto:last;
+          t.snap_term <- last_term;
+          t.snap <- Some (last, last_term, image);
+          t.commit_index <- last
+      | None -> ());
+      Storage.iter_entries st ~f:(fun slot (de : Storage.entry) ->
+          if slot >= Slot_log.base t.log then
+            Slot_log.set t.log slot
+              { term = de.Storage.a; cmd = de.Storage.cmd; client = None }));
+  t.last_heard <- t.env.now ();
+  reset_election_timer t;
   heartbeat_loop t;
   election_loop t

@@ -18,6 +18,15 @@ val executor : replica -> Executor.t
 val log_length : replica -> int
 val log_term_at : replica -> int -> int option
 
+val log_base : replica -> int
+(** First retained in-memory slot — rises above 0 once threshold
+    snapshotting ([Config.storage.snapshot_threshold]) compacts the
+    applied prefix. *)
+
+val snapshots_taken : replica -> int
+(** Threshold snapshots captured locally (excludes installs received
+    from the leader). *)
+
 (** {2 Read path} (PR 7) — inert unless [config.read_path = Lease].
     The Raft lease needs no extra messages: every AppendEntries is a
     probe, accepting one is the grant (it resets the follower's

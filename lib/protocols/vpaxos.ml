@@ -340,3 +340,9 @@ let create env =
   t
 
 let on_start (_ : replica) = ()
+
+(* In-memory protocol: a crash-recovery edge reboots it from scratch
+   (no durable state to reload) — the cluster engine only pairs
+   [Config.storage] with protocols that persist, so this is a
+   rejoin-from-zero fallback. *)
+let on_recover = on_start

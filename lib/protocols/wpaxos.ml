@@ -563,3 +563,9 @@ let on_message t ~src = function
   | StealHint { key } -> on_steal_hint t key
 
 let on_start (_ : replica) = ()
+
+(* In-memory protocol: a crash-recovery edge reboots it from scratch
+   (no durable state to reload) — the cluster engine only pairs
+   [Config.storage] with protocols that persist, so this is a
+   rejoin-from-zero fallback. *)
+let on_recover = on_start

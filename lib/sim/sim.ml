@@ -201,6 +201,15 @@ let maybe_compact t =
     t.heap_dead <- t.heap_dead - removed
   end
 
+let live t h =
+  h >= 0
+  &&
+  let s = h land slot_mask in
+  s < t.n_slots
+  &&
+  let st = t.state.(s) in
+  st lsr 2 = h lsr slot_bits && st land 1 = 0
+
 let cancel t h =
   if h >= 0 then begin
     let s = h land slot_mask in

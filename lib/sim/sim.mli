@@ -48,6 +48,14 @@ val schedule_immediate : t -> (unit -> unit) -> handle
 (** Equivalent to [schedule_after ~delay:0.] but skips the clamp and
     heap entirely: the thunk joins the zero-delay FIFO lane. *)
 
+val live : t -> handle -> bool
+(** [live t h] is true iff [h] still names a pending, uncancelled
+    event: the handle's generation matches its slot's and the slot has
+    not been cancelled, fired, or compacted away. Stale handles
+    (including {!nil}) are [false]. Lets ownership registries
+    ({!Timers}) sweep dead handles without bookkeeping on the firing
+    path. *)
+
 val cancel : t -> handle -> unit
 (** Cancelled events are skipped (without counting or drawing
     randomness) when their time comes. Idempotent; stale handles —

@@ -38,6 +38,7 @@ module Group_proto = struct
 
   let on_message t ~src m = Paxi_protocols.Group.on_message t.group ~src m
   let on_start _ = ()
+  let on_recover _ = ()
   let leader_of_key _ _ = Some 0
   let executor _ = Executor.create () (* unused in these tests *)
 end
@@ -172,6 +173,7 @@ let test_leader_must_be_member () =
       forward = (fun _ ~client:_ _ -> ());
       rel = Proto.null_rel ();
       obs = Proto.null_obs;
+      storage = None;
     }
   in
   Alcotest.check_raises "leader outside members"

@@ -41,4 +41,5 @@ let () =
       Test_read_path.suite;
       Test_relay.suite;
       Test_shard.suite;
+      Test_storage.suite;
     ]

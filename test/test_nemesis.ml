@@ -72,22 +72,65 @@ let test_generate_respects_kinds () =
   done
 
 let test_generate_crashes_bounded () =
-  (* crashes target distinct nodes and never reach a majority, so a
-     quorum survives every instant *)
+  (* The crash constraint is per-overlap, not per-schedule: at every
+     instant the crashed set must be a minority of distinct nodes so a
+     quorum survives, but nodes whose windows expired may crash again
+     later. Checked at every window boundary, where the covering set
+     changes. *)
   for seed = 1 to 50 do
     let s = Trial.generate ~protocol:"paxos" ~seed ~max_faults:8 () in
-    let crashed =
+    let windows =
+      List.filter_map
+        (function
+          | Schedule.Crash { node; from_ms; duration_ms } ->
+              Some (node, from_ms, from_ms +. duration_ms)
+          | _ -> None)
+        s
+    in
+    List.iter
+      (fun (_, t, _) ->
+        let covering =
+          List.filter_map
+            (fun (node, f, u) -> if f <= t && t < u then Some node else None)
+            windows
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: concurrent crashes a distinct minority"
+             seed)
+          true
+          (List.length covering <= 2
+          && List.length (List.sort_uniq compare covering)
+             = List.length covering))
+      windows
+  done
+
+let test_generate_crashed_windows_drain () =
+  (* Regression (PR 10): the generator once accumulated crashed nodes
+     for the whole schedule, so after minority_cap crashes it could
+     never crash anyone again — long campaigns silently stopped
+     exercising crash recovery. With windows draining, some seed must
+     produce more total crashes than any instant allows. *)
+  let kinds = { Schedule.no_kinds with Schedule.crash = true } in
+  let exceeded = ref false in
+  let repeated = ref false in
+  for seed = 1 to 80 do
+    let rng = Rng.create ~seed in
+    let s =
+      Schedule.generate ~rng ~n:5 ~kinds ~max_faults:12 ~horizon_ms:3_000.0
+    in
+    let nodes =
       List.filter_map
         (function Schedule.Crash { node; _ } -> Some node | _ -> None)
         s
     in
-    Alcotest.(check bool)
-      "crash targets distinct" true
-      (List.length (List.sort_uniq compare crashed) = List.length crashed);
-    Alcotest.(check bool)
-      "crashes below majority" true
-      (List.length crashed <= 2)
-  done
+    if List.length nodes > 2 then exceeded := true;
+    if List.length (List.sort_uniq compare nodes) < List.length nodes then
+      repeated := true
+  done;
+  Alcotest.(check bool)
+    "some schedule crashes more nodes than one instant may" true !exceeded;
+  Alcotest.(check bool)
+    "some schedule re-crashes a recovered node" true !repeated
 
 let test_schedule_json_roundtrip () =
   for seed = 1 to 50 do
@@ -358,6 +401,8 @@ let suite =
           test_generate_respects_kinds;
         Alcotest.test_case "generate bounds crashes" `Quick
           test_generate_crashes_bounded;
+        Alcotest.test_case "crashed windows drain" `Quick
+          test_generate_crashed_windows_drain;
         Alcotest.test_case "schedule json roundtrip" `Quick
           test_schedule_json_roundtrip;
         Alcotest.test_case "schedule text roundtrip" `Quick
